@@ -1,0 +1,51 @@
+"""Shared machinery for the hexbin figure benchmarks (Figures 3–10)."""
+
+from __future__ import annotations
+
+from repro.analysis import score_figure, weight_figure
+from repro.analysis.figures import ScoreFigure, WeightFigure
+from repro.pipeline import CoordinationPipeline, PipelineConfig, PipelineResult
+from repro.projection import TimeWindow
+
+
+def run_pipeline(dataset, delta2: int, cutoff: int = 10) -> PipelineResult:
+    """One figure-scale pipeline run: window (0, delta2), the paper's
+    figure cutoff of 10, hypergraph metrics on."""
+    return CoordinationPipeline(
+        PipelineConfig(
+            window=TimeWindow(0, delta2),
+            min_triangle_weight=cutoff,
+        )
+    ).run(dataset.btm)
+
+
+def score_figure_report(
+    title: str, paper_note: str, fig: ScoreFigure
+) -> str:
+    """Render a C-vs-T figure as text (stats + ASCII hexbin)."""
+    return "\n".join(
+        [
+            title,
+            f"paper: {paper_note}",
+            f"measured: {fig.describe()}",
+            "",
+            "hexbin (x: T score 0..1, y: C score 0..1, log-scaled density):",
+            fig.hist.render(),
+        ]
+    )
+
+
+def weight_figure_report(
+    title: str, paper_note: str, fig: WeightFigure
+) -> str:
+    """Render a w_xyz-vs-min-weight figure as text."""
+    return "\n".join(
+        [
+            title,
+            f"paper: {paper_note}",
+            f"measured: {fig.describe()}",
+            "",
+            "hexbin (x: min triangle weight, y: w_xyz, log-scaled density):",
+            fig.hist.render(),
+        ]
+    )

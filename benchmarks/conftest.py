@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures: the two paper-analog corpora and a report sink.
+
+Each benchmark regenerates one figure or numeric claim of the thesis and
+appends its data series to ``benchmarks/results/<name>.txt`` so the whole
+evaluation can be inspected after a run (EXPERIMENTS.md is written from
+these outputs).  Corpora are session-scoped: dataset generation is not
+what is being measured.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datagen import RedditDatasetBuilder
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def jan2020():
+    """The January-2020-like corpus: background + GPT-2 net + restream net
+    + reply-trigger bots + 36 misc groups + helpful bots."""
+    return RedditDatasetBuilder.jan2020_like(seed=2020).build()
+
+
+@pytest.fixture(scope="session")
+def oct2016():
+    """The October-2016-like corpus: smaller, election reshare net."""
+    return RedditDatasetBuilder.oct2016_like(seed=2016).build()
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Writer appending named report sections to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text.rstrip() + "\n", encoding="utf-8")
+        print(f"\n=== {name} ===\n{text}")
+
+    return write

@@ -1,0 +1,63 @@
+"""§1.3 / §4.1 — whole-network pipeline vs community-scoped baseline vs naive.
+
+The paper's core positioning claims, quantified with ground truth:
+
+1. The pipeline sweeps the **entire network** and finds both behaviour
+   types (generation + share-reshare) with no community nomination.
+2. A Pacheco-style co-share detector, which must be pointed at
+   hypothesised communities (the hashtag analogue), finds the reshare net
+   inside its scope but is structurally blind to the GPT-2 net outside it.
+3. The naive direct-hypergraph enumeration is exact but performs orders
+   of magnitude more triplet work than the pruned pipeline surveys.
+"""
+
+from repro.baselines import CoShareDetector, NaiveTripletDetector
+from repro.datagen import score_detection
+from repro.pipeline import CoordinationPipeline, PipelineConfig
+from repro.projection import TimeWindow
+
+
+def test_bench_baseline_comparison(benchmark, jan2020, report_sink):
+    cfg = PipelineConfig(
+        window=TimeWindow(0, 60), min_triangle_weight=25, compute_hypergraph=False
+    )
+
+    def run_all():
+        pipeline = CoordinationPipeline(cfg).run(jan2020.btm)
+        pacheco = CoShareDetector(
+            communities=frozenset({"r/mlbstreams"}), min_common_pages=5
+        ).detect(jan2020.records)
+        naive = NaiveTripletDetector(min_weight=10, max_page_degree=60).detect(
+            jan2020.btm
+        )
+        return pipeline, pacheco, naive
+
+    pipeline, pacheco, naive = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    ours = score_detection(jan2020.truth, pipeline.component_name_lists())
+    theirs = score_detection(jan2020.truth, pacheco.groups)
+
+    rows = [
+        "Detector comparison on Jan-2020 corpus (ground truth scoring)",
+        "",
+        f"{'detector':<28}{'gpt2 R':>8}{'restream R':>12}{'scope':>28}",
+        f"{'-'*28}{'-'*8}{'-'*12}{'-'*28}",
+        f"{'3-step pipeline (ours)':<28}{ours['gpt2'].recall:>8.2f}"
+        f"{ours['restream'].recall:>12.2f}{'whole network':>28}",
+        f"{'co-share (Pacheco-style)':<28}{theirs['gpt2'].recall:>8.2f}"
+        f"{theirs['restream'].recall:>12.2f}{'nominated communities only':>28}",
+        "",
+        f"naive direct enumeration: {naive.triplet_increments:,} triplet "
+        f"increments vs {pipeline.n_triangles:,} pipeline-surveyed triangles "
+        f"({naive.triplet_increments / max(pipeline.n_triangles, 1):,.0f}× work)",
+    ]
+    report_sink("baseline_comparison", "\n".join(rows))
+
+    # Our pipeline finds both nets.
+    assert ours["gpt2"].recall >= 0.9 and ours["restream"].recall >= 0.5
+    # The community-scoped baseline finds the in-scope net …
+    assert theirs["restream"].recall >= 0.5
+    # … and is blind to the out-of-scope one (the paper's §4.1 contrast).
+    assert theirs["gpt2"].recall == 0.0
+    # Pruning pays: naive enumeration does far more triplet work.
+    assert naive.triplet_increments > 50 * pipeline.n_triangles

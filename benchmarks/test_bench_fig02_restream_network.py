@@ -1,0 +1,61 @@
+"""Figure 2 — the share-reshare (MLB restream) botnet.
+
+Paper setup: January 2020, window (0 s, 60 s), cutoff 25.  Paper findings
+reproduced in shape:
+
+- a **dense** component driven by an 8-clique of core accounts (every
+  member reacts to every trigger page within seconds);
+- edge weights spread much **higher** than the GPT net's (paper: 27–91);
+- the same whole-network sweep finds it — no community nomination needed.
+"""
+
+import pytest
+
+from repro.analysis import census_components
+from repro.datagen import score_detection
+from repro.pipeline import CoordinationPipeline, PipelineConfig
+from repro.projection import TimeWindow
+
+
+def _run(jan2020):
+    return CoordinationPipeline(
+        PipelineConfig(
+            window=TimeWindow(0, 60),
+            min_triangle_weight=25,
+            compute_hypergraph=False,
+        )
+    ).run(jan2020.btm)
+
+
+def test_bench_fig02_restream_network(benchmark, jan2020, report_sink):
+    result = benchmark.pedantic(_run, args=(jan2020,), rounds=1, iterations=1)
+
+    census = census_components(result, jan2020.truth)
+    reshare = next(c for c in census if c.label == "restream")
+    gpt = next(c for c in census if c.label == "gpt2")
+    scores = score_detection(jan2020.truth, result.component_name_lists())
+
+    lines = [
+        "Figure 2 — restream share-reshare network (window (0s,60s), cutoff 25)",
+        "paper: dense component with an 8-clique core; edge weights 27-91",
+        f"measured: size {reshare.report.size}, "
+        f"clique lower bound {reshare.report.max_clique_lower_bound}, "
+        f"edge weights {reshare.report.weight_min}-{reshare.report.weight_max}, "
+        f"density {reshare.report.density:.2f}",
+        f"detection: P={scores['restream'].precision:.2f} "
+        f"R={scores['restream'].recall:.2f}",
+        f"contrast vs GPT net: restream w_max {reshare.report.weight_max} "
+        f"> gpt w_max {gpt.report.weight_max}; "
+        f"restream clique {reshare.report.max_clique_lower_bound} "
+        f">= gpt clique {gpt.report.max_clique_lower_bound}",
+    ]
+    report_sink("fig02_restream_network", "\n".join(lines))
+
+    assert scores["restream"].precision == 1.0
+    assert scores["restream"].recall >= 0.55  # fringe members may miss cutoff
+    # The 8-core shows as a large clique (paper: 8-clique).
+    assert reshare.report.max_clique_lower_bound >= 7
+    # Weight spread reaches far above the cutoff (paper: up to 91).
+    assert reshare.report.weight_max >= 60
+    # Denser / higher-weight than the generation net.
+    assert reshare.report.weight_max > gpt.report.weight_max

@@ -1,0 +1,32 @@
+"""Figure 3 — C(x,y,z) vs T(x,y,z), January 2020, window (0 s, 60 s).
+
+Paper setup: min triangle weight 10.  Paper reading: "Although there is
+wide variance in the trend, there appears to be a positive relationship
+in the values."  The bench asserts that positive relationship and records
+the full binned density the plot shows.
+"""
+
+from benchmarks._figures import run_pipeline, score_figure_report
+from repro.analysis import score_figure
+
+
+def test_bench_fig03_scores_jan(benchmark, jan2020, report_sink):
+    result = benchmark.pedantic(
+        run_pipeline, args=(jan2020, 60), rounds=1, iterations=1
+    )
+    fig = score_figure(result)
+    report_sink(
+        "fig03_scores_jan",
+        score_figure_report(
+            "Figure 3 — C vs T, Jan 2020, window (0s,60s), cutoff 10",
+            "positive relationship with wide variance",
+            fig,
+        ),
+    )
+    assert fig.n_triplets > 100
+    assert fig.pearson_r > 0.3  # positive relationship
+    assert fig.spearman_r > 0.3
+    # Wide variance: the mass is not all on the diagonal.
+    assert fig.hist.occupied_bins > 20
+    # Both scores bounded (eqs. 4 and 7).
+    assert (fig.t_scores <= 1.0).all() and (fig.c_scores <= 1.0).all()

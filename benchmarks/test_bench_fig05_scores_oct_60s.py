@@ -1,0 +1,36 @@
+"""Figure 5 — C vs T, October 2016, window (0 s, 60 s), cutoff 10.
+
+Paper reading: "Although there are some differences in the densities for
+each graph, there are similarities in the distributions for each month."
+The bench asserts the same qualitative relationship as Figure 3 on the
+smaller pre-election corpus.
+"""
+
+from benchmarks._figures import run_pipeline, score_figure_report
+from repro.analysis import score_figure
+
+
+def test_bench_fig05_scores_oct_60s(benchmark, oct2016, jan2020, report_sink):
+    result = benchmark.pedantic(
+        run_pipeline, args=(oct2016, 60), rounds=1, iterations=1
+    )
+    fig = score_figure(result)
+
+    # For the cross-month comparison the paper draws, compute Jan's too.
+    jan_fig = score_figure(run_pipeline(jan2020, 60))
+
+    report_sink(
+        "fig05_scores_oct_60s",
+        score_figure_report(
+            "Figure 5 — C vs T, Oct 2016, window (0s,60s), cutoff 10",
+            "distribution similar to Jan 2020 (Figure 3)",
+            fig,
+        )
+        + f"\n\ncross-month check: Jan pearson={jan_fig.pearson_r:.3f}, "
+        f"Oct pearson={fig.pearson_r:.3f} (both positive)",
+    )
+
+    assert fig.n_triplets > 30
+    assert fig.pearson_r > 0.3
+    # Same sign and broad magnitude as the January relationship.
+    assert (fig.pearson_r > 0) == (jan_fig.pearson_r > 0)

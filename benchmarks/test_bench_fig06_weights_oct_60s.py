@@ -1,0 +1,35 @@
+"""Figure 6 — w_xyz vs min triangle weight, October 2016, window (0 s, 60 s).
+
+Paper reading: positive correlation again, but *without* the two distinct
+line artifacts of Figure 4 — those came from the January reply-trigger
+bots, which do not exist in the 2016 corpus.  The bench checks the
+correlation and that no extreme reply-bot-style triangle dominates.
+"""
+
+import numpy as np
+
+from benchmarks._figures import run_pipeline, weight_figure_report
+from repro.analysis import weight_figure
+
+
+def test_bench_fig06_weights_oct_60s(benchmark, oct2016, report_sink):
+    result = benchmark.pedantic(
+        run_pipeline, args=(oct2016, 60), rounds=1, iterations=1
+    )
+    fig = weight_figure(result)
+
+    report_sink(
+        "fig06_weights_oct_60s",
+        weight_figure_report(
+            "Figure 6 — w_xyz vs min w', Oct 2016, window (0s,60s), cutoff 10",
+            "positive correlation; no double-line artifact (no reply bots "
+            "in 2016 data)",
+            fig,
+        ),
+    )
+
+    assert fig.pearson_r > 0.3
+    # No runaway extreme: the max min-weight stays within an order of
+    # magnitude of the bulk (contrast Fig. 4's 4460 vs a bulk under ~100).
+    bulk = np.percentile(fig.min_weights, 95)
+    assert fig.min_weights.max() <= 10 * max(bulk, 1)

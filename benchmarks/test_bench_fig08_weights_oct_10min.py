@@ -1,0 +1,55 @@
+"""Figure 8 — w_xyz vs min triangle weight, October 2016, window (0 s, 600 s).
+
+Paper readings reproduced:
+
+- the relationship moves closer to y = x than at 60 s (wider windows
+  capture more of the pairwise interactions that hyperedges count);
+- "we do still see many triplets that have a greater hyperedge weight
+  than minimum triangle weight" — hyperedge counts have **no** time bound
+  (the §4.2 shortcoming), so w_xyz can exceed min w' at any window.
+"""
+
+import numpy as np
+
+from benchmarks._figures import run_pipeline, weight_figure_report
+from repro.analysis import weight_figure
+from repro.util.stats import fraction_above_diagonal
+
+
+def test_bench_fig08_weights_oct_10min(benchmark, oct2016, report_sink):
+    result = benchmark.pedantic(
+        run_pipeline, args=(oct2016, 600), rounds=1, iterations=1
+    )
+    fig = weight_figure(result)
+    fig_60 = weight_figure(run_pipeline(oct2016, 60))
+
+    # Relative distance to y=x: mean |minw - w|/minw over triplets.  At
+    # 60 s the slow nets' hyperedge weights dwarf their windowed minimum
+    # weights (points far above the diagonal); at 600 s the window has
+    # captured most of the pairwise interaction and points hug the line.
+    def rel_gap(f):
+        return float(
+            np.mean(
+                np.abs(f.min_weights - f.w_xyz) / np.maximum(f.min_weights, 1)
+            )
+        )
+
+    report_sink(
+        "fig08_weights_oct_10min",
+        weight_figure_report(
+            "Figure 8 — w_xyz vs min w', Oct 2016, window (0s,600s), cutoff 10",
+            "closer to y=x than 60 s; some triplets still have w_xyz > min w'",
+            fig,
+        )
+        + f"\n\nrelative gap to diagonal: 600s = {rel_gap(fig):.3f} "
+        f"vs 60s = {rel_gap(fig_60):.3f}; "
+        f"P[w_xyz > min w'] at 600s = "
+        f"{fraction_above_diagonal(fig.min_weights, fig.w_xyz):.4f}",
+    )
+
+    assert fig.pearson_r > 0.5
+    # Closer to the diagonal than at 60 s (the paper's Figure 6→8 movement).
+    assert rel_gap(fig) < rel_gap(fig_60)
+    # Hyperedges are un-windowed: above-diagonal mass exists (>0) —
+    # the paper's "many triplets … greater hyperedge weight".
+    assert fraction_above_diagonal(fig.min_weights, fig.w_xyz) > 0.0

@@ -1,0 +1,67 @@
+"""§3 helpful-bot filtering — AutoModerator / [deleted] pre-exclusion.
+
+The paper removes known-benign utility accounts before projection because
+(1) their behaviour is already understood, and (2) they are false-positive
+magnets: AutoModerator first-comments huge numbers of pages within
+seconds, so it would otherwise acquire enormous projection weight.  The
+bench quantifies both effects and the projection-size savings.
+"""
+
+from repro.graph import AuthorFilter
+from repro.pipeline import CoordinationPipeline, PipelineConfig
+from repro.projection import TimeWindow
+
+
+def test_bench_filtering(benchmark, jan2020, report_sink):
+    cfg_on = PipelineConfig(
+        window=TimeWindow(0, 60), min_triangle_weight=25, compute_hypergraph=False
+    )
+    cfg_off = PipelineConfig(
+        window=TimeWindow(0, 60),
+        min_triangle_weight=25,
+        author_filter=AuthorFilter.none(),
+        compute_hypergraph=False,
+    )
+
+    def run_both():
+        return (
+            CoordinationPipeline(cfg_on).run(jan2020.btm),
+            CoordinationPipeline(cfg_off).run(jan2020.btm),
+        )
+
+    with_filter, without_filter = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    automod_id = jan2020.btm.user_names.id_of("AutoModerator")
+    automod_pprime = int(without_filter.ci.page_counts[automod_id])
+    automod_detected = any(
+        "AutoModerator" in comp for comp in without_filter.component_name_lists()
+    )
+
+    report_sink(
+        "filtering",
+        "Helpful-bot pre-filtering (paper §3)\n"
+        f"filter report: {with_filter.filter_report}\n"
+        f"CI edges with filter:    {with_filter.ci.n_edges:,}\n"
+        f"CI edges without filter: {without_filter.ci.n_edges:,} "
+        f"({without_filter.ci.n_edges - with_filter.ci.n_edges:,} extra "
+        "edges stored for known-benign accounts)\n"
+        f"AutoModerator P' when unfiltered: {automod_pprime:,} pages\n"
+        f"AutoModerator lands in a detected component when unfiltered: "
+        f"{automod_detected}",
+    )
+
+    # Filtering shrinks the projection (the paper's memory argument) …
+    assert with_filter.ci.n_edges < without_filter.ci.n_edges
+    # … and AutoModerator really is a projection hub when kept.
+    assert automod_pprime > 50
+    # Filtered run never reports helpful bots.
+    detected = {
+        name
+        for comp in with_filter.component_name_lists()
+        for name in comp
+    }
+    assert not (detected & jan2020.truth.helpful)
+    # Filtering does not change how many real components are found.
+    assert len(with_filter.components) >= len(without_filter.components) - 2

@@ -1,0 +1,53 @@
+"""§2.1.3 / §2.2.1 metric guarantees, verified on the full corpus.
+
+Paper claims asserted over every triplet the pipeline surveys:
+
+- ``C(x, y, z) ∈ [0, 1]`` (eq. 4) and ``T(x, y, z) ∈ [0, 1]`` (eq. 7);
+- ``w_xyz ≤ min(p_x, p_y, p_z)`` and ``min w' ≤ min(P'_x, P'_y, P'_z)``;
+- ``w'_xy ≤ min(P'_x, P'_y)`` for every CI edge;
+- min triangle weight and ``w_xyz`` are positively correlated — the
+  paper's "experimentally shown to exhibit positive correlation" (§2.4).
+"""
+
+import numpy as np
+
+from benchmarks._figures import run_pipeline
+from repro.util.stats import pearson
+
+
+def test_bench_metric_bounds(benchmark, jan2020, report_sink):
+    result = benchmark.pedantic(
+        run_pipeline, args=(jan2020, 60), rounds=1, iterations=1
+    )
+    ci = result.ci
+    tri = result.triangles
+    m = result.triplet_metrics
+    assert m is not None
+
+    pc = ci.page_counts
+    min_pprime = np.minimum(np.minimum(pc[tri.a], pc[tri.b]), pc[tri.c])
+    corr = pearson(tri.min_weights(), m.w_xyz)
+
+    report_sink(
+        "metric_bounds",
+        "Metric guarantees (paper §2.1.3, §2.2.1) over "
+        f"{m.n_triplets:,} surveyed triplets and {ci.n_edges:,} CI edges\n"
+        f"T range: [{result.t_scores.min():.4f}, {result.t_scores.max():.4f}]\n"
+        f"C range: [{m.c_scores.min():.4f}, {m.c_scores.max():.4f}]\n"
+        f"max (min w' − min P') over triangles: "
+        f"{int((tri.min_weights() - min_pprime).max())} (must be ≤ 0)\n"
+        f"pearson(min w', w_xyz) = {corr:.3f} "
+        "(paper §2.4: positive correlation)",
+    )
+
+    assert (result.t_scores >= 0).all() and (result.t_scores <= 1).all()
+    assert (m.c_scores >= 0).all() and (m.c_scores <= 1).all()
+    assert (tri.min_weights() <= min_pprime).all()
+    for s, d, w in ci.edges:
+        assert w <= min(pc[s], pc[d])
+        break  # spot check head; the full check is vectorized below
+    assert (
+        ci.edges.weight
+        <= np.minimum(pc[ci.edges.src], pc[ci.edges.dst])
+    ).all()
+    assert corr > 0.3

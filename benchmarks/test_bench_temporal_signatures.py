@@ -1,0 +1,85 @@
+"""§1.2 hypothesis — coordinated behaviour is measurably different.
+
+"When a large group of accounts is controlled by a single entity,
+commands are often issued to and completed by the entire network of bots
+at the same time.  This is contrary to the typical user interaction …
+limited by the ability to interact with the platform."
+
+The bench measures that difference directly for each detected component
+versus a human control group, with the confirmation statistics of
+:mod:`repro.analysis.temporal`:
+
+- **synchrony** (fraction of comments within 60 s of another member on
+  the same page): botnets far above humans;
+- **response delay** after a page's first comment: reshare bots react in
+  seconds, humans over the page-hotness tail (hours).
+"""
+
+from repro.analysis import format_table, response_delay_stats, synchrony_score
+from repro.analysis.components import census_components
+from repro.pipeline import CoordinationPipeline, PipelineConfig
+from repro.projection import TimeWindow
+
+
+def test_bench_temporal_signatures(benchmark, jan2020, report_sink):
+    result = CoordinationPipeline(
+        PipelineConfig(
+            window=TimeWindow(0, 60),
+            min_triangle_weight=25,
+            compute_hypergraph=False,
+        )
+    ).run(jan2020.btm)
+    census = census_components(result, jan2020.truth)
+    btm = jan2020.btm
+
+    humans = [
+        btm.user_names.id_of(f"user_{i}")
+        for i in range(200)
+        if f"user_{i}" in btm.user_names
+    ]
+
+    def measure():
+        rows = []
+        for c in census[:6]:
+            sync = synchrony_score(btm, c.report.members, 60)
+            delays = response_delay_stats(btm, c.report.members)
+            rows.append(
+                {
+                    "group": c.label or "?",
+                    "size": c.report.size,
+                    "synchrony": round(sync, 3),
+                    "median delay (s)": round(delays.median, 0),
+                }
+            )
+        rows.append(
+            {
+                "group": "humans (control)",
+                "size": len(humans),
+                "synchrony": round(synchrony_score(btm, humans, 60), 3),
+                "median delay (s)": round(
+                    response_delay_stats(btm, humans).median, 0
+                ),
+            }
+        )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report_sink(
+        "temporal_signatures",
+        format_table(
+            rows,
+            title="Temporal signatures per detected component vs humans "
+            "(paper §1.2 hypothesis):",
+        ),
+    )
+
+    human_row = rows[-1]
+    bot_rows = rows[:-1]
+    # Every detected component is far more synchronized than humans
+    # (humans on hot pages do co-comment within 60 s — the false-positive
+    # pressure — but never at botnet rates) …
+    for row in bot_rows:
+        assert row["synchrony"] > 2 * human_row["synchrony"]
+    # … and responds far faster.
+    for row in bot_rows:
+        assert row["median delay (s)"] < human_row["median delay (s)"] / 5

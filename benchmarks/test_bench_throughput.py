@@ -1,0 +1,66 @@
+"""Throughput — how far from the paper's 138 M-comment months are we?
+
+The paper's projection "read 138 million different comments" on an MPI
+cluster.  This bench measures this library's single-core throughput on a
+200k-comment corpus (comments/second through the full Step 1
+kernel plus the Step 2 survey) so the gap is quantified rather than
+waved at: extrapolate `138e6 / throughput` for a single-core month.
+"""
+
+import pytest
+
+from repro.datagen import BackgroundConfig, RedditDatasetBuilder
+from repro.graph import AuthorFilter
+from repro.projection import TimeWindow, project
+from repro.tripoll import survey_triangles
+from repro.util.timers import Timer
+
+
+@pytest.fixture(scope="module")
+def big_corpus():
+    return (
+        RedditDatasetBuilder(seed=404)
+        .with_background(
+            BackgroundConfig(
+                n_users=15_000, n_pages=50_000, n_comments=200_000
+            )
+        )
+        .with_gpt_style_botnet()
+        .with_reshare_botnet()
+        .with_helpful_bots()
+        .build()
+    )
+
+
+def test_bench_throughput(benchmark, big_corpus, report_sink):
+    btm, _ = AuthorFilter().apply(big_corpus.btm)
+
+    def run():
+        return project(btm, TimeWindow(0, 60))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    with Timer() as t_survey:
+        triangles = survey_triangles(result.ci.edges, min_edge_weight=10)
+
+    proj_seconds = result.timings.total
+    throughput = btm.n_comments / max(proj_seconds, 1e-9)
+    month_estimate = 138e6 / throughput
+
+    report_sink(
+        "throughput",
+        f"Single-core throughput, (0s,60s) projection\n"
+        f"corpus: {btm.n_comments:,} comments, {btm.n_users:,} authors, "
+        f"{btm.n_pages:,} pages\n"
+        f"projection: {proj_seconds:.2f}s "
+        f"({throughput:,.0f} comments/s) → "
+        f"{result.ci.n_edges:,} CI edges\n"
+        f"triangle survey (cutoff 10): {t_survey.elapsed:.2f}s → "
+        f"{triangles.n_triangles:,} triangles\n"
+        f"extrapolated single-core time for the paper's 138 M-comment "
+        f"month: ~{month_estimate / 60:.0f} minutes "
+        "(the cluster exists for the memory, not just the time)",
+    )
+
+    assert result.ci.n_edges > 0
+    assert throughput > 2_000  # guard against pathological regressions

@@ -1,0 +1,56 @@
+"""YGM ablation — message aggregation (the routing-buffer win).
+
+YGM's throughput at cluster scale comes from packing many small
+asynchronous messages into few large buffers.  This bench quantifies the
+analogue here: the same 20,000 counter increments sent individually vs
+through a :class:`~repro.ygm.SendBuffer`, comparing wire-message counts
+and wall-clock on both metrics the buffer reports.
+"""
+
+from repro.ygm import DistCounter, SendBuffer, YgmWorld
+from repro.util.timers import Timer
+
+N_MESSAGES = 20_000
+N_RANKS = 4
+
+
+def test_bench_ygm_aggregation(benchmark, report_sink):
+    def run_buffered():
+        with YgmWorld(N_RANKS) as world:
+            counter = DistCounter(world)
+            with SendBuffer(world, flush_threshold=2048) as buf:
+                for i in range(N_MESSAGES):
+                    key = i % 97
+                    buf.send(
+                        counter.owner(key), counter.container_id,
+                        "ygm.counter.add", (key, 1),
+                    )
+            world.barrier()
+            return counter.total(), world.messages_delivered, buf.batches_sent
+
+    total, wire_buffered, batches = benchmark.pedantic(
+        run_buffered, rounds=1, iterations=1
+    )
+
+    with Timer() as t_unbuffered:
+        with YgmWorld(N_RANKS) as world:
+            counter = DistCounter(world)
+            for i in range(N_MESSAGES):
+                counter.async_add(i % 97, 1)
+            world.barrier()
+            total_unbuffered = counter.total()
+            wire_unbuffered = world.messages_delivered
+
+    assert total == total_unbuffered == N_MESSAGES
+    report_sink(
+        "ygm_aggregation",
+        f"Message aggregation over {N_MESSAGES:,} increments, "
+        f"{N_RANKS} ranks\n"
+        f"unbuffered: {wire_unbuffered:,} wire messages "
+        f"({t_unbuffered.elapsed:.3f}s)\n"
+        f"buffered:   {wire_buffered:,} wire messages in {batches} batches "
+        "(time in the pytest-benchmark table)\n"
+        f"wire-message reduction: {wire_unbuffered / max(wire_buffered, 1):,.0f}×",
+    )
+    # Aggregation collapses wire traffic by orders of magnitude.
+    assert wire_buffered * 100 <= wire_unbuffered

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Analyst workflow — drill into a suspicious component and refine.
+
+Mirrors how the paper's author actually used the framework (§2.4, §3):
+
+1. run a broad sweep at a conservative cutoff,
+2. pick the densest component (share-reshare signature),
+3. re-project the original data *restricted to those authors* with a
+   longer window to map the group's full interaction (§2.2's targeted
+   reprojection strategy),
+4. validate with hypergraph metrics and agglomerate verified triplets
+   into the final group,
+5. extract the concrete evidence — the pages where the group acted —
+   for the moderator hand-off,
+6. rule the confirmed group out, reproject, and look at what remains —
+   the iterative refinement loop.
+
+Run:  python examples/investigate_botnet.py
+"""
+
+from repro import (
+    CoordinationPipeline,
+    PipelineConfig,
+    RedditDatasetBuilder,
+    TimeWindow,
+    UserPageIncidence,
+    agglomerate_groups,
+    evaluate_triplets,
+    project,
+    survey_triangles,
+)
+from repro.graph import AuthorFilter
+from repro.pipeline import IterativeRefiner
+
+
+def main() -> None:
+    print("generating corpus…")
+    dataset = RedditDatasetBuilder.jan2020_like(seed=99).build()
+    btm, _ = AuthorFilter().apply(dataset.btm)
+
+    # -- 1. broad sweep -----------------------------------------------------
+    broad = CoordinationPipeline(
+        PipelineConfig(
+            window=TimeWindow(0, 60),
+            min_triangle_weight=25,
+            compute_hypergraph=False,
+        )
+    ).run(btm)
+    print(f"broad sweep: {len(broad.components)} components")
+
+    # -- 2. pick the densest (share-reshare signature) ------------------------
+    suspect = max(broad.components, key=lambda c: (c.density, c.size))
+    print(
+        f"densest component: {suspect.size} authors, density "
+        f"{suspect.density:.2f}, clique>= {suspect.max_clique_lower_bound}, "
+        f"weights {suspect.weight_min}-{suspect.weight_max}"
+    )
+    print(f"  members: {', '.join(suspect.member_names[:6])}…")
+
+    # -- 3. targeted reprojection with a longer window -------------------------
+    focused_btm = btm.restricted_to_users(suspect.members)
+    focused = project(focused_btm, TimeWindow(0, 600))
+    print(
+        f"targeted reprojection (0s,600s) over {suspect.size} authors: "
+        f"{focused.ci.n_edges} edges, max w' {focused.ci.max_weight()}"
+    )
+
+    # -- 4. hypergraph validation + group building -----------------------------
+    triangles = survey_triangles(focused.ci.edges, min_edge_weight=10)
+    incidence = UserPageIncidence.from_btm(focused_btm)
+    metrics = evaluate_triplets(incidence, triangles)
+    groups = agglomerate_groups(metrics, min_w_xyz=10)
+    confirmed = groups[0] if groups else None
+    if confirmed:
+        print(
+            f"confirmed group: {confirmed.size} authors from "
+            f"{confirmed.n_triplets} verified triplets "
+            f"(mean C = {confirmed.mean_c_score:.2f}, "
+            f"w_xyz {confirmed.min_w_xyz}-{confirmed.max_w_xyz})"
+        )
+
+    # -- 5. evidence for the moderator hand-off -----------------------------------
+    from repro.analysis import coordination_evidence
+
+    evidence = coordination_evidence(
+        btm, suspect.members, TimeWindow(0, 60)
+    )
+    print(
+        f"evidence: {len(evidence)} pages with in-window group bursts; "
+        f"strongest: {evidence[0].page} "
+        f"({evidence[0].n_participants} members within "
+        f"{evidence[0].span_seconds}s)"
+    )
+
+    # -- 6. rule out and rerun (refinement loop) --------------------------------
+    confirmed_ids = set(confirmed.members) if confirmed else set()
+
+    def adjudicate(result):
+        # First round: remove the confirmed group; then stop.
+        remaining = [
+            v
+            for comp in result.components
+            for v in comp.members
+            if v in confirmed_ids
+        ]
+        return remaining
+
+    rounds = IterativeRefiner(
+        configs=[
+            PipelineConfig(
+                window=TimeWindow(0, 60),
+                min_triangle_weight=25,
+                compute_hypergraph=False,
+            )
+        ],
+        adjudicator=adjudicate,
+        max_rounds=3,
+    ).run(btm)
+    print(
+        f"refinement: {len(rounds)} rounds; components per round: "
+        f"{[len(r.result.components) for r in rounds]}"
+    )
+    last = rounds[-1].result
+    leftover_names = {
+        n for comp in last.component_name_lists() for n in comp
+    }
+    still_suspect = sorted(leftover_names)[:5]
+    print(
+        f"after removing the confirmed net, {len(last.components)} "
+        f"components remain (e.g. {still_suspect}…) — next targets for "
+        "the analyst."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart — detect coordinated botnets in a synthetic Reddit month.
+
+Runs the paper's full three-step framework end to end:
+
+1. generate a month-scale synthetic corpus with two injected botnets,
+2. project the bipartite temporal multigraph onto the common interaction
+   graph with a (0 s, 60 s) window,
+3. survey high-minimum-weight triangles and read off connected
+   components,
+4. validate surviving triplets with hypergraph coordination metrics,
+5. score the detections against the generator's ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CoordinationPipeline,
+    PipelineConfig,
+    RedditDatasetBuilder,
+    TimeWindow,
+    score_detection,
+)
+from repro.analysis import census_components, format_table
+
+
+def main() -> None:
+    # -- 1. data ----------------------------------------------------------
+    # A Jan-2020-style corpus: organic background traffic plus a GPT-style
+    # generation net, a share-reshare net, reply-trigger bots, 36 small
+    # coordinated groups, and the helpful bots the pipeline must ignore.
+    print("generating synthetic corpus…")
+    dataset = RedditDatasetBuilder.jan2020_like(seed=7).build()
+    print(
+        f"  {dataset.n_comments:,} comments, "
+        f"{dataset.btm.n_users:,} authors, {dataset.btm.n_pages:,} pages"
+    )
+
+    # -- 2-4. the three-step framework -------------------------------------
+    config = PipelineConfig(
+        window=TimeWindow(0, 60),       # δ1=0s, δ2=60s — fast coordination
+        min_triangle_weight=25,         # the paper's component-hunt cutoff
+    )
+    result = CoordinationPipeline(config).run(dataset.btm)
+    print()
+    print(result.summary())
+
+    # -- 5. inspect what was found ------------------------------------------
+    census = census_components(result, dataset.truth)
+    print()
+    print(
+        format_table(
+            [c.row() for c in census[:10]],
+            title=f"largest components at cutoff {config.min_triangle_weight} "
+            "(label/purity from ground truth):",
+        )
+    )
+
+    scores = score_detection(dataset.truth, result.component_name_lists())
+    print()
+    print("headline detections:")
+    for name in ("gpt2", "restream", "smiley"):
+        s = scores[name]
+        print(
+            f"  {name:<10} precision={s.precision:.2f} "
+            f"recall={s.recall:.2f} (component #{s.matched_component})"
+        )
+
+    print()
+    print("stage timings:")
+    print(result.timings.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Window sweep — how the (δ1, δ2) choice trades cost against coverage.
+
+Reproduces the paper's October-2016 study (§3.2) interactively: the same
+corpus projected at 60 s, 10 min, and 1 hr windows, reporting
+
+- projection size growth (the paper's monotone-size claim, §3),
+- the tightening relationship between the CI-graph score T and the
+  hypergraph score C (Figures 5 → 7 → 9),
+- which botnets each window can see: the fast "election" reshare net is
+  caught at 60 s; the slow "amplifier" net only appears to wide windows.
+
+Run:  python examples/window_sweep.py
+"""
+
+import numpy as np
+
+from repro import (
+    CoordinationPipeline,
+    PipelineConfig,
+    RedditDatasetBuilder,
+    TimeWindow,
+    score_detection,
+)
+from repro.analysis import format_table, score_figure
+
+WINDOWS = [60, 600, 3600]
+
+
+def main() -> None:
+    print("generating Oct-2016-style corpus (election + amplifier nets)…")
+    dataset = RedditDatasetBuilder.oct2016_like(seed=11).build()
+    print(f"  {dataset.n_comments:,} comments, {dataset.btm.n_users:,} authors")
+
+    rows = []
+    for delta2 in WINDOWS:
+        config = PipelineConfig(
+            window=TimeWindow(0, delta2), min_triangle_weight=10
+        )
+        result = CoordinationPipeline(config).run(dataset.btm)
+        fig = score_figure(result)
+        gap = float(np.mean(np.abs(fig.c_scores - fig.t_scores)))
+        detect = score_detection(
+            dataset.truth, result.component_name_lists()
+        )
+        rows.append(
+            {
+                "window": str(config.window),
+                "CI edges": result.ci.n_edges,
+                "triangles": result.n_triangles,
+                "mean |C-T|": round(gap, 4),
+                "pearson(T,C)": round(fig.pearson_r, 3),
+                "election R": round(detect["election"].recall, 2),
+                "amplifier R": round(detect["amplifier"].recall, 2),
+                "proj time (s)": round(result.timings.total, 2),
+            }
+        )
+
+    print()
+    print(
+        format_table(
+            rows,
+            title="window sweep (cutoff 10) — cost grows, scores converge, "
+            "slow nets appear:",
+        )
+    )
+    print()
+    print(
+        "reading: a 60 s window is cheap and catches burst coordination;\n"
+        "the 1 hr window pays a much larger projection to see the slow\n"
+        "amplifier net and to pull T(x,y,z) into agreement with C(x,y,z)\n"
+        "(the paper's Figures 5-10)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so `pip install -e .` works on minimal
+environments whose pip/setuptools cannot build PEP 660 editable wheels
+(no `wheel` package); all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

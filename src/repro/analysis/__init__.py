@@ -1,0 +1,67 @@
+"""Figure and report computation.
+
+The thesis's evaluation artifacts are (a) network visualisations of
+discovered components (Figures 1–2) and (b) 2-D log-scaled histograms
+comparing common-interaction-graph metrics with hypergraph metrics
+(Figures 3–10).  This package computes the *numbers behind those plots*:
+
+- :mod:`~repro.analysis.figures` — the two hexbin figure families
+  (``C`` vs ``T`` scores; ``w_xyz`` vs min triangle weight) with
+  correlations and the y=x diagonal comparison.
+- :mod:`~repro.analysis.components` — the component census used for the
+  network figures: sizes, edge-weight ranges, density, clique bounds,
+  ground-truth labels.
+- :mod:`~repro.analysis.report` — fixed-width table rendering for
+  benchmark output and EXPERIMENTS.md.
+"""
+
+from repro.analysis.figures import (
+    ScoreFigure,
+    WeightFigure,
+    score_figure,
+    weight_figure,
+)
+from repro.analysis.components import ComponentCensus, census_components
+from repro.analysis.report import format_table
+from repro.analysis.parameters import (
+    DelayProfile,
+    WindowRecommendation,
+    delay_profile,
+    recommend_windows,
+)
+from repro.analysis.temporal import (
+    DelayStats,
+    HourlyProfile,
+    hourly_profile,
+    response_delay_stats,
+    synchrony_score,
+)
+from repro.analysis.summary import render_markdown_report, write_markdown_report
+from repro.analysis.evidence import EvidencePage, coordination_evidence
+from repro.analysis.longitudinal import NetworkMatch, RunComparison, match_runs
+
+__all__ = [
+    "ScoreFigure",
+    "WeightFigure",
+    "score_figure",
+    "weight_figure",
+    "ComponentCensus",
+    "census_components",
+    "format_table",
+    "DelayProfile",
+    "WindowRecommendation",
+    "delay_profile",
+    "recommend_windows",
+    "DelayStats",
+    "HourlyProfile",
+    "hourly_profile",
+    "response_delay_stats",
+    "synchrony_score",
+    "render_markdown_report",
+    "write_markdown_report",
+    "EvidencePage",
+    "coordination_evidence",
+    "NetworkMatch",
+    "RunComparison",
+    "match_runs",
+]

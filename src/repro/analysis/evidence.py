@@ -1,0 +1,130 @@
+"""Coordination evidence — the pages where a detected group acted.
+
+Detection (Steps 1–3) names *who*; moderation needs *where and when*.
+For a candidate group, :func:`coordination_evidence` recovers every page
+carrying an in-window co-comment burst by group members — the concrete,
+reviewable artifacts behind each CI edge — ordered by how much of the
+group participated.  This is the hand-off the paper describes to "content
+moderators or existing bot detection methods" (§4.2): each evidence row
+is one page a human can open and judge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteTemporalMultigraph
+from repro.projection.window import TimeWindow
+
+__all__ = ["EvidencePage", "coordination_evidence"]
+
+
+@dataclass(frozen=True)
+class EvidencePage:
+    """One page where the group co-commented inside the window.
+
+    Attributes
+    ----------
+    page:
+        Page id (or platform name when the BTM carries a page interner).
+    participants:
+        Group members with an in-window co-comment on the page, sorted.
+    first_time, last_time:
+        Span of the participating members' burst comments.
+    n_comments:
+        Group comments on the page inside the burst.
+    """
+
+    page: int | str
+    participants: tuple[int, ...]
+    first_time: int
+    last_time: int
+    n_comments: int
+
+    @property
+    def n_participants(self) -> int:
+        return len(self.participants)
+
+    @property
+    def span_seconds(self) -> int:
+        return self.last_time - self.first_time
+
+
+def coordination_evidence(
+    btm: BipartiteTemporalMultigraph,
+    members: Sequence[int],
+    window: TimeWindow,
+    min_participants: int = 2,
+) -> list[EvidencePage]:
+    """Pages where ≥ *min_participants* members co-comment in-window.
+
+    A member's comment counts as participating when another member's
+    comment on the same page lies within the window of it (the same
+    pairing rule as Algorithm 1, restricted to the group).
+
+    Returns evidence sorted by participant count (descending), then page.
+
+    Examples
+    --------
+    >>> btm = BipartiteTemporalMultigraph.from_comments(
+    ...     [("a", "p", 0), ("b", "p", 30), ("c", "p", 5000),
+    ...      ("a", "q", 0), ("x", "q", 10)]
+    ... )
+    >>> ev = coordination_evidence(btm, [0, 1, 2], TimeWindow(0, 60))
+    >>> (ev[0].page, ev[0].participants)
+    ('p', (0, 1))
+    """
+    member_ids = np.asarray(sorted({int(m) for m in members}), dtype=np.int64)
+    mask = np.isin(btm.users, member_ids)
+    users = btm.users[mask]
+    pages = btm.pages[mask]
+    times = btm.times[mask]
+    order = np.lexsort((times, pages))
+    users, pages, times = users[order], pages[order], times[order]
+
+    evidence: list[EvidencePage] = []
+    n = users.shape[0]
+    start = 0
+    while start < n:
+        stop = start
+        while stop < n and pages[stop] == pages[start]:
+            stop += 1
+        t = times[start:stop]
+        u = users[start:stop]
+        k = stop - start
+        participating = np.zeros(k, dtype=bool)
+        for i in range(k):
+            lo = int(np.searchsorted(t, t[i] - window.delta2, side="left"))
+            hi = int(np.searchsorted(t, t[i] + window.delta2, side="right"))
+            nearby = u[lo:hi]
+            gaps = np.abs(t[lo:hi] - t[i])
+            ok = (nearby != u[i]) & (gaps >= window.delta1) & (
+                gaps <= window.delta2
+            )
+            if np.any(ok):
+                participating[i] = True
+        if participating.any():
+            who = np.unique(u[participating])
+            if who.shape[0] >= min_participants:
+                burst_t = t[participating]
+                page_id = int(pages[start])
+                page_label: int | str = (
+                    str(btm.page_names.key_of(page_id))
+                    if btm.page_names is not None
+                    else page_id
+                )
+                evidence.append(
+                    EvidencePage(
+                        page=page_label,
+                        participants=tuple(int(v) for v in who),
+                        first_time=int(burst_t.min()),
+                        last_time=int(burst_t.max()),
+                        n_comments=int(participating.sum()),
+                    )
+                )
+        start = stop
+    evidence.sort(key=lambda e: (-e.n_participants, str(e.page)))
+    return evidence

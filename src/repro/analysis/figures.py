@@ -1,0 +1,157 @@
+"""The paper's two hexbin figure families, as data.
+
+Figures 3/5/7/9 plot the hypergraph coordination score ``C(x, y, z)``
+(y-axis) against the CI-graph triangle score ``T(x, y, z)`` (x-axis);
+Figures 4/6/8/10 plot the triplet hyperedge weight ``w_xyz`` (y) against
+the minimum triangle weight (x).  Both use log-scaled bin colors with
+empty bins blank, and are read against the ``y = x`` diagonal.
+
+Here each figure is a dataclass holding the raw point arrays, the binned
+log counts, the Pearson/Spearman correlations the paper describes
+qualitatively ("there appears to be a positive relationship"), and the
+fraction of mass above the diagonal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pipeline.results import PipelineResult
+from repro.util.stats import (
+    Hist2D,
+    binned_log_counts,
+    fraction_above_diagonal,
+    pearson,
+    spearman,
+)
+
+__all__ = ["ScoreFigure", "WeightFigure", "score_figure", "weight_figure"]
+
+
+@dataclass(frozen=True)
+class ScoreFigure:
+    """Figure 3/5/7/9 content: ``C`` (y) vs ``T`` (x) per triplet."""
+
+    t_scores: np.ndarray
+    c_scores: np.ndarray
+    hist: Hist2D
+    pearson_r: float
+    spearman_r: float
+    above_diagonal: float
+
+    @property
+    def n_triplets(self) -> int:
+        return int(self.t_scores.shape[0])
+
+    def describe(self) -> str:
+        """One-line numeric summary (what the paper reads off the plot)."""
+        return (
+            f"n={self.n_triplets}, pearson={self.pearson_r:.3f}, "
+            f"spearman={self.spearman_r:.3f}, "
+            f"P[C > T]={self.above_diagonal:.3f}, "
+            f"occupied bins={self.hist.occupied_bins}"
+        )
+
+
+@dataclass(frozen=True)
+class WeightFigure:
+    """Figure 4/6/8/10 content: ``w_xyz`` (y) vs min triangle weight (x)."""
+
+    min_weights: np.ndarray
+    w_xyz: np.ndarray
+    hist: Hist2D
+    pearson_r: float
+    spearman_r: float
+    above_diagonal: float
+    omitted_extreme: tuple[int, int, int] | None
+
+    @property
+    def n_triplets(self) -> int:
+        return int(self.min_weights.shape[0])
+
+    def describe(self) -> str:
+        """One-line numeric summary."""
+        extreme = (
+            f", omitted extreme edge weights={self.omitted_extreme}"
+            if self.omitted_extreme
+            else ""
+        )
+        return (
+            f"n={self.n_triplets}, pearson={self.pearson_r:.3f}, "
+            f"spearman={self.spearman_r:.3f}, "
+            f"P[w_xyz > min w']={self.above_diagonal:.3f}{extreme}"
+        )
+
+
+def score_figure(result: PipelineResult, bins: int = 40) -> ScoreFigure:
+    """Build the ``C`` vs ``T`` figure from a pipeline run.
+
+    Both scores are bounded in ``[0, 1]``, so the bin grid is fixed to the
+    unit square for comparability across windows (how the paper compares
+    Figures 5, 7, and 9).
+    """
+    if result.triplet_metrics is None:
+        raise ValueError(
+            "pipeline must run with compute_hypergraph=True for score figures"
+        )
+    t = np.asarray(result.t_scores, dtype=np.float64)
+    c = np.asarray(result.triplet_metrics.c_scores, dtype=np.float64)
+    hist = binned_log_counts(t, c, bins=bins, x_range=(0, 1), y_range=(0, 1))
+    return ScoreFigure(
+        t_scores=t,
+        c_scores=c,
+        hist=hist,
+        pearson_r=pearson(t, c),
+        spearman_r=spearman(t, c),
+        above_diagonal=fraction_above_diagonal(t, c),
+    )
+
+
+def weight_figure(
+    result: PipelineResult,
+    bins: int = 40,
+    omit_extreme_above: int | None = None,
+) -> WeightFigure:
+    """Build the ``w_xyz`` vs min-triangle-weight figure from a pipeline run.
+
+    Parameters
+    ----------
+    omit_extreme_above:
+        When set, triangles whose minimum weight exceeds this value are
+        dropped from the *plot* (their edge weights are reported in
+        ``omitted_extreme``) — reproducing the paper's removal of the
+        (4460, 5516, 13355) reply-bot triangle from Figure 4; correlations
+        are computed on the plotted points, as the paper's figure shows.
+    """
+    if result.triplet_metrics is None:
+        raise ValueError(
+            "pipeline must run with compute_hypergraph=True for weight figures"
+        )
+    minw = result.triangles.min_weights().astype(np.float64)
+    w = result.triplet_metrics.w_xyz.astype(np.float64)
+
+    omitted: tuple[int, int, int] | None = None
+    if omit_extreme_above is not None and minw.shape[0]:
+        extreme_mask = minw > omit_extreme_above
+        if np.any(extreme_mask):
+            i = int(np.argmax(minw))
+            omitted = (
+                int(result.triangles.w_ab[i]),
+                int(result.triangles.w_ac[i]),
+                int(result.triangles.w_bc[i]),
+            )
+            keep = ~extreme_mask
+            minw, w = minw[keep], w[keep]
+
+    hist = binned_log_counts(minw, w, bins=bins)
+    return WeightFigure(
+        min_weights=minw,
+        w_xyz=w,
+        hist=hist,
+        pearson_r=pearson(minw, w),
+        spearman_r=spearman(minw, w),
+        above_diagonal=fraction_above_diagonal(minw, w),
+        omitted_extreme=omitted,
+    )

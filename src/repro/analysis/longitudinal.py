@@ -1,0 +1,141 @@
+"""Longitudinal comparison — tracking networks across analysis months.
+
+The thesis analyses two months (January 2020, October 2016) and compares
+them by eye.  In deployment the same pipeline runs every month, and the
+question becomes *which coordinated networks persist, grow, or appear*.
+:func:`match_runs` aligns the detected components of two runs by
+account-name overlap (Jaccard) and classifies each network's fate —
+giving the monitoring loop its month-over-month diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pipeline.results import PipelineResult
+
+__all__ = ["NetworkMatch", "RunComparison", "match_runs"]
+
+
+@dataclass(frozen=True)
+class NetworkMatch:
+    """One earlier-run component matched against the later run.
+
+    Attributes
+    ----------
+    earlier_index, later_index:
+        Component positions in their respective runs (``later_index`` is
+        ``None`` for dissolved networks).
+    jaccard:
+        Name-set Jaccard similarity of the matched pair.
+    members_kept, members_gone, members_new:
+        Account names retained, departed, and newly joined.
+    """
+
+    earlier_index: int
+    later_index: int | None
+    jaccard: float
+    members_kept: tuple[str, ...]
+    members_gone: tuple[str, ...]
+    members_new: tuple[str, ...]
+
+    @property
+    def fate(self) -> str:
+        """``persisted`` / ``reshaped`` / ``dissolved``."""
+        if self.later_index is None:
+            return "dissolved"
+        return "persisted" if self.jaccard >= 0.5 else "reshaped"
+
+
+@dataclass
+class RunComparison:
+    """The month-over-month diff of two pipeline runs.
+
+    Attributes
+    ----------
+    matches:
+        One entry per earlier-run component, in earlier-run order.
+    emerged:
+        Later-run component indices with no earlier counterpart.
+    """
+
+    matches: list[NetworkMatch]
+    emerged: list[int]
+
+    def summary(self) -> str:
+        """One-line census of network fates."""
+        fates = {"persisted": 0, "reshaped": 0, "dissolved": 0}
+        for m in self.matches:
+            fates[m.fate] += 1
+        return (
+            f"{fates['persisted']} persisted, {fates['reshaped']} reshaped, "
+            f"{fates['dissolved']} dissolved, {len(self.emerged)} emerged"
+        )
+
+
+def match_runs(
+    earlier: PipelineResult,
+    later: PipelineResult,
+    min_jaccard: float = 0.1,
+) -> RunComparison:
+    """Match the components of two runs by member-name overlap.
+
+    Greedy best-first matching on Jaccard similarity (each later component
+    is consumed by at most one earlier component); pairs below
+    *min_jaccard* are not matched.
+
+    Examples
+    --------
+    A network whose accounts persist across months is matched with high
+    Jaccard; a new botnet shows up in ``emerged``.
+    """
+    earlier_sets = [frozenset(c.member_names) for c in earlier.components]
+    later_sets = [frozenset(c.member_names) for c in later.components]
+
+    candidates: list[tuple[float, int, int]] = []
+    for i, a in enumerate(earlier_sets):
+        for j, b in enumerate(later_sets):
+            union = len(a | b)
+            if union == 0:
+                continue
+            jac = len(a & b) / union
+            if jac >= min_jaccard:
+                candidates.append((jac, i, j))
+    candidates.sort(key=lambda t: (-t[0], t[1], t[2]))
+
+    assigned_earlier: dict[int, tuple[int, float]] = {}
+    used_later: set[int] = set()
+    for jac, i, j in candidates:
+        if i in assigned_earlier or j in used_later:
+            continue
+        assigned_earlier[i] = (j, jac)
+        used_later.add(j)
+
+    matches: list[NetworkMatch] = []
+    for i, a in enumerate(earlier_sets):
+        if i in assigned_earlier:
+            j, jac = assigned_earlier[i]
+            b = later_sets[j]
+            matches.append(
+                NetworkMatch(
+                    earlier_index=i,
+                    later_index=j,
+                    jaccard=jac,
+                    members_kept=tuple(sorted(a & b)),
+                    members_gone=tuple(sorted(a - b)),
+                    members_new=tuple(sorted(b - a)),
+                )
+            )
+        else:
+            matches.append(
+                NetworkMatch(
+                    earlier_index=i,
+                    later_index=None,
+                    jaccard=0.0,
+                    members_kept=(),
+                    members_gone=tuple(sorted(a)),
+                    members_new=(),
+                )
+            )
+    emerged = [j for j in range(len(later_sets)) if j not in used_later]
+    return RunComparison(matches=matches, emerged=emerged)

@@ -1,0 +1,155 @@
+"""Window-parameter selection — the paper's open question (§3.2.3).
+
+"A way to predict or determine the best parameters has not been studied
+and may be a good direction for future research."  This module studies
+it with two data-driven tools:
+
+- :func:`delay_profile` — the distribution of same-page inter-comment
+  delays, the quantity the window ``(δ1, δ2)`` actually thresholds.
+  Burst coordination lives in the left tail; organic replies spread over
+  hours.
+- :func:`recommend_windows` — candidate windows at the delay
+  distribution's quantiles, each annotated with a *pre-projection cost
+  prediction* (:func:`repro.projection.project.estimate_pair_volume` —
+  two binary-search passes, no pair materialization), so an analyst can
+  pick the widest window their memory budget allows, before paying for
+  any projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteTemporalMultigraph
+from repro.projection.project import estimate_pair_volume
+from repro.projection.window import TimeWindow
+from repro.util.grouping import group_boundaries
+
+__all__ = ["DelayProfile", "WindowRecommendation", "delay_profile",
+           "recommend_windows"]
+
+
+@dataclass(frozen=True)
+class DelayProfile:
+    """Summary of same-page consecutive inter-comment delays.
+
+    Attributes
+    ----------
+    n_delays:
+        Number of consecutive comment gaps measured.
+    quantiles:
+        ``{q: delay_seconds}`` at the requested quantiles.
+    fast_fraction:
+        Fraction of gaps at or under 60 s (burst-pressure indicator).
+    """
+
+    n_delays: int
+    quantiles: dict[float, int]
+    fast_fraction: float
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        qs = ", ".join(
+            f"q{int(q * 100)}={d}s" for q, d in sorted(self.quantiles.items())
+        )
+        return (
+            f"{self.n_delays:,} same-page gaps; {qs}; "
+            f"{self.fast_fraction:.1%} within 60s"
+        )
+
+
+def delay_profile(
+    btm: BipartiteTemporalMultigraph,
+    quantiles: tuple[float, ...] = (0.25, 0.5, 0.75, 0.9),
+) -> DelayProfile:
+    """Measure the same-page consecutive-delay distribution.
+
+    Consecutive gaps (not all pairs) keep the measurement linear in the
+    comment count while still characterizing page tempo.
+
+    Examples
+    --------
+    >>> btm = BipartiteTemporalMultigraph.from_comments(
+    ...     [("a", "p", 0), ("b", "p", 30), ("c", "p", 90)]
+    ... )
+    >>> delay_profile(btm).n_delays
+    2
+    """
+    _users, pages, times, _b = btm.page_sorted_view()
+    if pages.shape[0] == 0:
+        return DelayProfile(0, {q: 0 for q in quantiles}, 0.0)
+    bounds = group_boundaries(pages)
+    gaps = np.diff(times)
+    # Drop the gaps that straddle page boundaries.
+    boundary_positions = bounds[1:-1] - 1
+    keep = np.ones(gaps.shape[0], dtype=bool)
+    keep[boundary_positions] = False
+    gaps = gaps[keep]
+    if gaps.shape[0] == 0:
+        return DelayProfile(0, {q: 0 for q in quantiles}, 0.0)
+    return DelayProfile(
+        n_delays=int(gaps.shape[0]),
+        quantiles={
+            q: int(np.quantile(gaps, q)) for q in quantiles
+        },
+        fast_fraction=float(np.mean(gaps <= 60)),
+    )
+
+
+@dataclass(frozen=True)
+class WindowRecommendation:
+    """One candidate window with its predicted cost.
+
+    Attributes
+    ----------
+    window:
+        The candidate ``(0, δ2)`` window.
+    rationale:
+        Which delay quantile (or floor) produced it.
+    predicted_pairs:
+        Upper bound on candidate pairs the projection would materialize.
+    relative_cost:
+        ``predicted_pairs`` normalized by the cheapest recommendation.
+    """
+
+    window: TimeWindow
+    rationale: str
+    predicted_pairs: int
+    relative_cost: float
+
+
+def recommend_windows(
+    btm: BipartiteTemporalMultigraph,
+    quantiles: tuple[float, ...] = (0.25, 0.5, 0.75),
+    floor_seconds: int = 60,
+) -> list[WindowRecommendation]:
+    """Candidate windows at delay quantiles, costed before projecting.
+
+    Always includes the *floor* window (default 60 s — the paper's
+    burst-detection setting) and one window per requested quantile of the
+    same-page delay distribution, deduplicated and sorted by width.
+    """
+    profile = delay_profile(btm, quantiles=quantiles)
+    candidates: dict[int, str] = {int(floor_seconds): "floor (burst nets)"}
+    for q, delay in profile.quantiles.items():
+        delta2 = max(int(delay), floor_seconds)
+        candidates.setdefault(delta2, f"delay q{int(q * 100)}")
+
+    recs = []
+    for delta2 in sorted(candidates):
+        window = TimeWindow(0, delta2)
+        recs.append(
+            (window, candidates[delta2], estimate_pair_volume(btm, window))
+        )
+    cheapest = max(min(r[2] for r in recs), 1)
+    return [
+        WindowRecommendation(
+            window=w,
+            rationale=why,
+            predicted_pairs=pairs,
+            relative_cost=pairs / cheapest,
+        )
+        for w, why, pairs in recs
+    ]

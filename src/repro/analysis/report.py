@@ -1,0 +1,50 @@
+"""Fixed-width table rendering for benchmark output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as a fixed-width text table.
+
+    Examples
+    --------
+    >>> print(format_table([{"a": 1, "b": "x"}, {"a": 20, "b": "yy"}]))
+    a   b
+    --  --
+    1   x
+    20  yy
+    """
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        {col: _fmt(row.get(col, "")) for col in columns} for row in rows
+    ]
+    widths = {
+        col: max(len(col), *(len(r[col]) for r in rendered)) for col in columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in columns).rstrip()
+    rule = "  ".join("-" * widths[col] for col in columns).rstrip()
+    body = [
+        "  ".join(r[col].ljust(widths[col]) for col in columns).rstrip()
+        for r in rendered
+    ]
+    lines = [header, rule, *body]
+    if title:
+        lines.insert(0, title)
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

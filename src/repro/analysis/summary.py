@@ -1,0 +1,132 @@
+"""One-call markdown analysis reports.
+
+Packages a pipeline run (plus optional ground truth) into the analyst
+deliverable: run configuration, size accounting, component census with
+temporal confirmation signatures, figure statistics, and timings.  Used
+by ``repro-botnets detect --report``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.components import census_components
+from repro.analysis.figures import score_figure, weight_figure
+from repro.analysis.report import format_table
+from repro.analysis.temporal import response_delay_stats, synchrony_score
+from repro.datagen.ground_truth import GroundTruth, score_detection
+from repro.graph.bipartite import BipartiteTemporalMultigraph
+from repro.pipeline.results import PipelineResult
+
+__all__ = ["render_markdown_report", "write_markdown_report"]
+
+
+def render_markdown_report(
+    result: PipelineResult,
+    btm: BipartiteTemporalMultigraph | None = None,
+    truth: GroundTruth | None = None,
+    max_components: int = 12,
+) -> str:
+    """Render a full analysis report as markdown text.
+
+    Parameters
+    ----------
+    result:
+        The pipeline run to report.
+    btm:
+        The analysed corpus; enables the temporal-confirmation columns
+        (synchrony, response delay) in the component table.
+    truth:
+        Ground-truth labels; enables per-botnet scoring.
+    """
+    lines: list[str] = [
+        "# Coordination analysis report",
+        "",
+        f"**Configuration:** {result.config.describe()}",
+        "",
+        "## Run summary",
+        "",
+        "```",
+        result.summary(),
+        "```",
+        "",
+        "## Candidate networks",
+        "",
+    ]
+
+    census = census_components(result, truth)
+    rows = []
+    for c in census[:max_components]:
+        row = c.row()
+        if btm is not None:
+            row["sync@60s"] = round(
+                synchrony_score(btm, c.report.members, 60), 2
+            )
+            delays = response_delay_stats(btm, c.report.members)
+            row["med delay"] = (
+                f"{delays.median:.0f}s" if delays.n_responses else "-"
+            )
+        rows.append(row)
+    lines.append("```")
+    lines.append(format_table(rows))
+    lines.append("```")
+    if len(census) > max_components:
+        lines.append(f"\n({len(census) - max_components} more components omitted)")
+
+    if truth is not None and truth.botnets:
+        lines += ["", "## Ground-truth scoring", ""]
+        scores = score_detection(truth, result.component_name_lists())
+        lines.append("```")
+        lines.append(
+            format_table(
+                [
+                    {
+                        "botnet": name,
+                        "precision": s.precision,
+                        "recall": s.recall,
+                        "F1": s.f1,
+                        "component": s.matched_component
+                        if s.matched_component is not None
+                        else "-",
+                    }
+                    for name, s in sorted(scores.items())
+                ]
+            )
+        )
+        lines.append("```")
+
+    if result.triplet_metrics is not None and result.n_triangles:
+        sf = score_figure(result)
+        wf = weight_figure(result)
+        lines += [
+            "",
+            "## Metric relationships",
+            "",
+            f"- C vs T: {sf.describe()}",
+            f"- w_xyz vs min w': {wf.describe()}",
+        ]
+
+    lines += [
+        "",
+        "## Timings",
+        "",
+        "```",
+        result.timings.format(),
+        "```",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def write_markdown_report(
+    path: str | Path,
+    result: PipelineResult,
+    btm: BipartiteTemporalMultigraph | None = None,
+    truth: GroundTruth | None = None,
+) -> Path:
+    """Write :func:`render_markdown_report` output to *path*."""
+    path = Path(path)
+    path.write_text(
+        render_markdown_report(result, btm=btm, truth=truth), encoding="utf-8"
+    )
+    return path

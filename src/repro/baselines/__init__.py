@@ -1,0 +1,25 @@
+"""Baselines the paper positions itself against (§1.3, §4.1).
+
+- :mod:`~repro.baselines.pacheco` — a co-share similarity detector in the
+  style of Pacheco et al. (2021): it keys on *reshare-like* events (fast
+  follow-up interactions after an original share) inside analyst-chosen
+  communities — "specific communities where coordinated behavior is
+  hypothesized".  Its blind spot is exactly the paper's argument: behaviour
+  outside the hypothesis set (the GPT-2 net in its own subreddit) is never
+  examined.
+- :mod:`~repro.baselines.naive` — the direct hypergraph approach the
+  three-step pruning replaces: enumerate *every* triplet with a nonzero
+  hyperedge weight.  Exact, content-agnostic, and combinatorially
+  explosive; its operation counter quantifies the blow-up against the
+  pipeline's pruned work.
+"""
+
+from repro.baselines.pacheco import CoShareDetector, CoShareResult
+from repro.baselines.naive import NaiveTripletDetector, NaiveResult
+
+__all__ = [
+    "CoShareDetector",
+    "CoShareResult",
+    "NaiveTripletDetector",
+    "NaiveResult",
+]

@@ -1,0 +1,168 @@
+"""A Pacheco-style co-share coordination detector.
+
+Pacheco et al., "Uncovering Coordinated Networks on Social Media" (ICWSM
+2021), detect coordination on Twitter by (1) restricting to a behavioural
+trace — accounts retweeting the same tagged content in quick succession —
+(2) building a user×content bipartite incidence over those events, (3)
+projecting it to a user–user *similarity* network (cosine over shared
+content), and (4) thresholding the similarity and reading off connected
+components.
+
+Reddit has no retweet, so the faithful analogue treats the *first comment*
+on a page as the share and fast follow-up comments as reshares.  Crucially
+— and this is the methodological contrast the paper draws — the detector
+runs only over **analyst-nominated communities** (the stand-in for
+Twitter's user-provided hashtags): coordination outside the hypothesis set
+is structurally invisible to it, whereas the paper's pipeline sweeps the
+whole network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen.records import CommentRecord
+from repro.graph.components import components_as_lists
+from repro.graph.edgelist import EdgeList
+from repro.util.grouping import unique_pair_weights
+from repro.util.ids import Interner
+
+__all__ = ["CoShareDetector", "CoShareResult"]
+
+
+@dataclass
+class CoShareResult:
+    """Detector output.
+
+    Attributes
+    ----------
+    groups:
+        Detected coordinated groups, as lists of account names.
+    n_share_events, n_reshare_events:
+        Size of the behavioural trace examined.
+    similarity_edges:
+        Number of user pairs above the similarity threshold.
+    """
+
+    groups: list[list[str]]
+    n_share_events: int
+    n_reshare_events: int
+    similarity_edges: int
+
+
+@dataclass
+class CoShareDetector:
+    """Co-share similarity detection over nominated communities.
+
+    Parameters
+    ----------
+    communities:
+        Subreddits to examine (the analyst's hypothesis set).  ``None``
+        examines everything — an upper bound the original method does not
+        reach in practice, kept for the ablation.
+    max_reshare_delay:
+        Seconds after the share within which a comment counts as a
+        reshare (retweets are near-immediate; default 60 s).
+    min_similarity:
+        Cosine-similarity threshold on the user–user projection.
+    min_common_pages:
+        Support floor: pairs sharing fewer pages are discarded regardless
+        of cosine (kills coincidental single-page matches).
+    """
+
+    communities: frozenset[str] | None = None
+    max_reshare_delay: int = 60
+    min_similarity: float = 0.5
+    min_common_pages: int = 3
+    _user_names: Interner = field(default_factory=Interner, repr=False)
+
+    def detect(self, records: list[CommentRecord]) -> CoShareResult:
+        """Run the detector over a comment stream.
+
+        Examples
+        --------
+        >>> recs = [
+        ...     CommentRecord("a", "p1", 0, "r/x"),
+        ...     CommentRecord("b", "p1", 5, "r/x"),
+        ...     CommentRecord("c", "p1", 9, "r/x"),
+        ... ]
+        >>> CoShareDetector(min_common_pages=1).detect(recs).groups
+        [['a', 'b', 'c']]
+        """
+        if self.communities is not None:
+            records = [r for r in records if r.subreddit in self.communities]
+
+        # Identify share events (first comment per page) and reshares.
+        first_time: dict[str, int] = {}
+        for rec in records:
+            t = first_time.get(rec.page)
+            if t is None or rec.created_utc < t:
+                first_time[rec.page] = rec.created_utc
+
+        page_ids = Interner()
+        users: list[int] = []
+        pages: list[int] = []
+        n_reshares = 0
+        for rec in records:
+            dt = rec.created_utc - first_time[rec.page]
+            if dt > self.max_reshare_delay:
+                continue
+            if dt > 0:
+                n_reshares += 1
+            users.append(self._user_names.intern(rec.author))
+            pages.append(page_ids.intern(rec.page))
+
+        if not users:
+            return CoShareResult([], len(first_time), 0, 0)
+
+        u = np.asarray(users, dtype=np.int64)
+        p = np.asarray(pages, dtype=np.int64)
+        # Deduplicate (user, page) events.
+        u, p, _ = unique_pair_weights(u, p)
+
+        # Co-share counts per user pair, via the page-grouped pair kernel.
+        order = np.lexsort((u, p))
+        u_s, p_s = u[order], p[order]
+        pair_a: list[np.ndarray] = []
+        pair_b: list[np.ndarray] = []
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], p_s[1:] != p_s[:-1], [True]))
+        )
+        for i in range(boundaries.shape[0] - 1):
+            start, stop = int(boundaries[i]), int(boundaries[i + 1])
+            members = u_s[start:stop]
+            k = members.shape[0]
+            if k < 2:
+                continue
+            ii, jj = np.triu_indices(k, k=1)
+            pair_a.append(members[ii])
+            pair_b.append(members[jj])
+        if not pair_a:
+            return CoShareResult([], len(first_time), n_reshares, 0)
+        a = np.concatenate(pair_a)
+        b = np.concatenate(pair_b)
+        lo, hi = np.minimum(a, b), np.maximum(a, b)
+        ua, ub, common = unique_pair_weights(lo, hi)
+
+        # Cosine similarity: common / sqrt(n_pages(a) · n_pages(b)).
+        n_users = len(self._user_names)
+        per_user = np.bincount(u, minlength=n_users).astype(np.float64)
+        sim = common / np.sqrt(per_user[ua] * per_user[ub])
+        keep = (sim >= self.min_similarity) & (common >= self.min_common_pages)
+        similarity_edges = int(keep.sum())
+        if similarity_edges == 0:
+            return CoShareResult([], len(first_time), n_reshares, 0)
+
+        graph = EdgeList(ua[keep], ub[keep], common[keep])
+        comps = components_as_lists(graph, min_size=2, n_vertices=n_users)
+        groups = [
+            [str(self._user_names.key_of(v)) for v in comp] for comp in comps
+        ]
+        return CoShareResult(
+            groups=groups,
+            n_share_events=len(first_time),
+            n_reshare_events=n_reshares,
+            similarity_edges=similarity_edges,
+        )

@@ -1,0 +1,240 @@
+"""Command-line interface — the analyst front door.
+
+Four subcommands cover the workflow the paper describes:
+
+- ``generate`` — synthesize a ground-truth corpus to Pushshift-format
+  ndjson (plus a truth JSON for scoring);
+- ``recommend`` — profile a corpus's same-page delays and cost candidate
+  windows *before* projecting (the §3.2.3 parameter question);
+- ``detect`` — run the three-step framework over an ndjson corpus and
+  report components, optionally exporting DOT renders;
+- ``figures`` — regenerate the paper's metric-relationship figures
+  (C vs T, w_xyz vs min w') for a corpus and window.
+
+Installed as ``repro-botnets`` (see ``pyproject.toml``); also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    census_components,
+    format_table,
+    recommend_windows,
+    score_figure,
+    weight_figure,
+)
+from repro.analysis.export import result_to_dot
+from repro.datagen import GroundTruth, RedditDatasetBuilder, score_detection
+from repro.graph import AuthorFilter
+from repro.graph.io import btm_from_ndjson, write_comments_ndjson
+from repro.pipeline import CoordinationPipeline, PipelineConfig
+from repro.projection import TimeWindow
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-botnets",
+        description="Coordinated botnet detection via temporal clustering "
+        "analysis (Piercey 2023 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser(
+        "generate", help="synthesize a ground-truth corpus to ndjson"
+    )
+    gen.add_argument(
+        "--preset",
+        choices=["jan2020", "oct2016"],
+        default="jan2020",
+        help="corpus preset (botnet mix mirrors the paper's months)",
+    )
+    gen.add_argument("--seed", type=int, default=2020)
+    gen.add_argument("--scale", type=float, default=1.0,
+                     help="background size multiplier")
+    gen.add_argument("--out", required=True, help="output ndjson path")
+    gen.add_argument("--truth", help="optional ground-truth JSON path")
+
+    rec = sub.add_parser(
+        "recommend", help="profile delays and cost candidate windows"
+    )
+    rec.add_argument("--input", required=True, help="ndjson corpus")
+
+    det = sub.add_parser("detect", help="run the three-step framework")
+    det.add_argument("--input", required=True, help="ndjson corpus")
+    det.add_argument("--delta1", type=int, default=0)
+    det.add_argument("--delta2", type=int, default=60)
+    det.add_argument("--cutoff", type=int, default=25,
+                     help="minimum triangle edge weight")
+    det.add_argument("--buckets", type=int, default=None,
+                     help="time-bucket width for the low-memory projection")
+    det.add_argument("--no-filter", action="store_true",
+                     help="keep AutoModerator/[deleted] (ablation)")
+    det.add_argument("--no-hypergraph", action="store_true",
+                     help="skip Step 3 validation")
+    det.add_argument("--truth", help="ground-truth JSON for scoring")
+    det.add_argument("--export-dot", metavar="DIR",
+                     help="write component DOT files to DIR")
+    det.add_argument("--report", metavar="PATH",
+                     help="write a full markdown analysis report to PATH")
+    det.add_argument("--top", type=int, default=15,
+                     help="components to list")
+
+    fig = sub.add_parser(
+        "figures", help="regenerate the metric-relationship figures"
+    )
+    fig.add_argument("--input", required=True, help="ndjson corpus")
+    fig.add_argument("--delta1", type=int, default=0)
+    fig.add_argument("--delta2", type=int, default=60)
+    fig.add_argument("--cutoff", type=int, default=10)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_generate(args: argparse.Namespace, out) -> int:
+    builder = (
+        RedditDatasetBuilder.jan2020_like(seed=args.seed, scale=args.scale)
+        if args.preset == "jan2020"
+        else RedditDatasetBuilder.oct2016_like(seed=args.seed, scale=args.scale)
+    )
+    dataset = builder.build()
+    count = write_comments_ndjson(
+        args.out, (rec.to_pushshift_dict() for rec in dataset.records)
+    )
+    print(f"wrote {count:,} comments to {args.out}", file=out)
+    if args.truth:
+        Path(args.truth).write_text(
+            json.dumps(
+                {
+                    "botnets": {
+                        k: sorted(v) for k, v in dataset.truth.botnets.items()
+                    },
+                    "helpful": sorted(dataset.truth.helpful),
+                },
+                indent=2,
+            ),
+            encoding="utf-8",
+        )
+        print(f"wrote ground truth to {args.truth}", file=out)
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace, out) -> int:
+    btm = btm_from_ndjson(args.input)
+    from repro.analysis import delay_profile
+
+    profile = delay_profile(btm)
+    print(f"delay profile: {profile.describe()}", file=out)
+    rows = [
+        {
+            "window": str(r.window),
+            "basis": r.rationale,
+            "predicted pairs": r.predicted_pairs,
+            "relative cost": round(r.relative_cost, 1),
+        }
+        for r in recommend_windows(btm)
+    ]
+    print(format_table(rows, title="candidate windows:"), file=out)
+    return 0
+
+
+def _load_truth(path: str) -> GroundTruth:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    truth = GroundTruth()
+    for name, members in data.get("botnets", {}).items():
+        truth.add(name, members)
+    truth.helpful = frozenset(data.get("helpful", []))
+    return truth
+
+
+def _cmd_detect(args: argparse.Namespace, out) -> int:
+    btm = btm_from_ndjson(args.input)
+    config = PipelineConfig(
+        window=TimeWindow(args.delta1, args.delta2),
+        min_triangle_weight=args.cutoff,
+        author_filter=AuthorFilter.none() if args.no_filter else AuthorFilter(),
+        compute_hypergraph=not args.no_hypergraph,
+        time_bucket_width=args.buckets,
+    )
+    result = CoordinationPipeline(config).run(btm)
+    print(result.summary(), file=out)
+
+    truth = _load_truth(args.truth) if args.truth else None
+    census = census_components(result, truth)
+    print("", file=out)
+    print(
+        format_table(
+            [c.row() for c in census[: args.top]],
+            title=f"top {min(args.top, len(census))} components:",
+        ),
+        file=out,
+    )
+    if truth is not None:
+        scores = score_detection(truth, result.component_name_lists())
+        print("", file=out)
+        print("ground-truth scoring:", file=out)
+        for name, s in sorted(scores.items()):
+            print(
+                f"  {name:<12} P={s.precision:.2f} R={s.recall:.2f} "
+                f"F1={s.f1:.2f}",
+                file=out,
+            )
+    if args.export_dot:
+        written = result_to_dot(result, args.export_dot)
+        print(f"\nwrote {len(written)} DOT files to {args.export_dot}", file=out)
+    if args.report:
+        from repro.analysis.summary import write_markdown_report
+
+        write_markdown_report(args.report, result, btm=btm, truth=truth)
+        print(f"wrote analysis report to {args.report}", file=out)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace, out) -> int:
+    btm = btm_from_ndjson(args.input)
+    config = PipelineConfig(
+        window=TimeWindow(args.delta1, args.delta2),
+        min_triangle_weight=args.cutoff,
+    )
+    result = CoordinationPipeline(config).run(btm)
+    sf = score_figure(result)
+    wf = weight_figure(result)
+    print(f"run: {config.describe()} — {result.n_triangles:,} triplets", file=out)
+    print(f"\nC vs T (Figures 3/5/7/9 family): {sf.describe()}", file=out)
+    print(sf.hist.render(), file=out)
+    print(
+        f"\nw_xyz vs min w' (Figures 4/6/8/10 family): {wf.describe()}",
+        file=out,
+    )
+    print(wf.hist.render(), file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "recommend": _cmd_recommend,
+        "detect": _cmd_detect,
+        "figures": _cmd_figures,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""Synthetic Reddit comment corpora with ground-truth botnets.
+
+The paper analyses Pushshift dumps of January 2020 (138 M comments) and
+October 2016 Reddit comments.  Those dumps are no longer publicly hosted
+and exceed laptop scale, so this package synthesizes corpora that
+reproduce the *statistical structure the detection method keys on*
+(DESIGN.md §2):
+
+- :mod:`~repro.datagen.background` — heavy-tailed human traffic: Zipf
+  page popularity, log-normal author activity, diurnal timestamps, and
+  exponentially decaying page hotness (co-comments within 60 s are rare
+  but nonzero for humans).
+- :mod:`~repro.datagen.botnets` — injectable coordinated behaviours
+  replicating the paper's three discoveries: the GPT-2 text-generation
+  net (§3.1.1), the share-reshare restream net (§3.1.2), and the
+  reply-trigger "smiley" bots behind the extreme-weight triangle (§3.1.4)
+  — plus the helpful bots (``AutoModerator``, ``[deleted]``) the paper
+  filters out.
+- :mod:`~repro.datagen.reddit` — the corpus builder composing background
+  and botnets into one shuffled comment stream and a
+  :class:`~repro.graph.BipartiteTemporalMultigraph`.
+- :mod:`~repro.datagen.ground_truth` — botnet membership labels and
+  precision/recall scoring of detected components (evaluation the paper
+  could only do anecdotally).
+"""
+
+from repro.datagen.records import CommentRecord
+from repro.datagen.background import BackgroundConfig, generate_background
+from repro.datagen.botnets import (
+    GptStyleBotnetConfig,
+    ReshareBotnetConfig,
+    ReplyTriggerBotnetConfig,
+    EvasiveBotnetConfig,
+    MiscBotnetConfig,
+    HelpfulBotConfig,
+    generate_gpt_style_botnet,
+    generate_reshare_botnet,
+    generate_reply_trigger_botnet,
+    generate_evasive_botnet,
+    generate_misc_botnets,
+    generate_helpful_bots,
+)
+from repro.datagen.reddit import RedditDatasetBuilder, SyntheticDataset
+from repro.datagen.ground_truth import GroundTruth, DetectionScore, score_detection
+
+__all__ = [
+    "CommentRecord",
+    "BackgroundConfig",
+    "generate_background",
+    "GptStyleBotnetConfig",
+    "ReshareBotnetConfig",
+    "ReplyTriggerBotnetConfig",
+    "EvasiveBotnetConfig",
+    "MiscBotnetConfig",
+    "HelpfulBotConfig",
+    "generate_gpt_style_botnet",
+    "generate_reshare_botnet",
+    "generate_reply_trigger_botnet",
+    "generate_evasive_botnet",
+    "generate_misc_botnets",
+    "generate_helpful_bots",
+    "RedditDatasetBuilder",
+    "SyntheticDataset",
+    "GroundTruth",
+    "DetectionScore",
+    "score_detection",
+]

@@ -1,0 +1,475 @@
+"""Injectable coordinated botnets (the paper's three discovered behaviours).
+
+Each generator returns ``(records, member_names)``; the member list is the
+ground truth the detection pipeline is scored against.  The behavioural
+parameters default to values that reproduce the paper's reported
+signatures at synthetic scale:
+
+- **GPT-2 style** (§3.1.1): bots live in their own subreddit; *self pages*
+  (author-only comment chains) contribute nothing to the CI graph, *mixed
+  pages* draw a random subset of the other bots with generation-speed
+  delays.  Expected CI pair weights cluster just above the paper's cutoff
+  (25–33 band) and the component is sparse.
+- **Share-reshare / restream** (§3.1.2): a dense core (the paper's
+  8-clique) reacting to trigger pages within seconds; pair weights spread
+  high (paper: 27–91).
+- **Reply-trigger "smiley" bots** (§3.1.4): a small fixed crew answering a
+  trigger found on very many *background* pages, producing the
+  extreme-minimum-weight triangle the paper omits from Figure 4.
+- **Helpful bots** (§3): ``AutoModerator`` first-comments a large share of
+  pages; ``[deleted]`` is sprinkled everywhere.  Both are known-benign
+  high-activity accounts the pre-filter must remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.records import MONTH_SECONDS, CommentRecord
+from repro.util.rng import SeedSequenceFactory
+
+__all__ = [
+    "GptStyleBotnetConfig",
+    "ReshareBotnetConfig",
+    "ReplyTriggerBotnetConfig",
+    "EvasiveBotnetConfig",
+    "MiscBotnetConfig",
+    "HelpfulBotConfig",
+    "generate_gpt_style_botnet",
+    "generate_reshare_botnet",
+    "generate_reply_trigger_botnet",
+    "generate_evasive_botnet",
+    "generate_misc_botnets",
+    "generate_helpful_bots",
+]
+
+
+# ---------------------------------------------------------------------------
+# GPT-2 style text-generation network
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GptStyleBotnetConfig:
+    """Parameters of the GPT-2-style generation net.
+
+    ``n_mixed_pages · E[pairs per page] / C(n_bots, 2)`` sets the expected
+    CI pair weight; the defaults land the weight distribution in the
+    paper's 25–33 band for a (0, 60 s) window at cutoff 25.
+    """
+
+    name: str = "gpt2"
+    n_bots: int = 20
+    n_mixed_pages: int = 190
+    n_self_pages: int = 60
+    subset_low: int = 5
+    subset_high: int = 8
+    reply_delay_low: int = 4
+    reply_delay_high: int = 58
+    self_chain_length: int = 8
+    subreddit: str = "r/SubSimulatorGPT2"
+    span_seconds: int = MONTH_SECONDS
+
+
+def generate_gpt_style_botnet(
+    config: GptStyleBotnetConfig, seeds: SeedSequenceFactory
+) -> tuple[list[CommentRecord], list[str]]:
+    """Generate the GPT-2-style net's comments and its member list."""
+    rng = seeds.rng(f"botnet.{config.name}")
+    members = [f"{config.name}_bot_{i:02d}" for i in range(config.n_bots)]
+    records: list[CommentRecord] = []
+
+    page_times = np.sort(
+        rng.integers(0, config.span_seconds, size=config.n_mixed_pages)
+    )
+    for p, t0 in enumerate(page_times):
+        author = int(rng.integers(0, config.n_bots))
+        page = f"t3_{config.name}_mix{p}"
+        records.append(
+            CommentRecord(members[author], page, int(t0), config.subreddit, config.name)
+        )
+        subset_size = int(rng.integers(config.subset_low, config.subset_high + 1))
+        others = [i for i in range(config.n_bots) if i != author]
+        chosen = rng.choice(others, size=min(subset_size, len(others)), replace=False)
+        delays = rng.integers(
+            config.reply_delay_low, config.reply_delay_high + 1, size=chosen.shape[0]
+        )
+        for bot, d in zip(chosen, np.sort(delays)):
+            records.append(
+                CommentRecord(
+                    members[int(bot)],
+                    page,
+                    int(t0 + d),
+                    config.subreddit,
+                    config.name,
+                )
+            )
+
+    # Self pages: one bot talking to itself — no CI edges (self
+    # interactions are excluded), but they inflate p_x realistically.
+    self_times = rng.integers(0, config.span_seconds, size=config.n_self_pages)
+    for p, t0 in enumerate(self_times):
+        author = int(rng.integers(0, config.n_bots))
+        page = f"t3_{config.name}_self{p}"
+        for k in range(config.self_chain_length):
+            records.append(
+                CommentRecord(
+                    members[author],
+                    page,
+                    int(t0 + k * int(rng.integers(10, 90))),
+                    config.subreddit,
+                    config.name,
+                )
+            )
+    return records, members
+
+
+# ---------------------------------------------------------------------------
+# Share-reshare / restream network
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReshareBotnetConfig:
+    """Parameters of the share-reshare (restream link) net.
+
+    The core behaves like the paper's 8-clique: every trigger page is
+    commented by (almost) the whole core within seconds.  ``fringe``
+    members participate with lower probability, giving the 27–91 weight
+    spread.
+    """
+
+    name: str = "restream"
+    n_core: int = 8
+    n_fringe: int = 6
+    n_trigger_pages: int = 95
+    core_participation: float = 0.93
+    fringe_participation: float = 0.35
+    reshare_delay_low: int = 1
+    reshare_delay_high: int = 45
+    subreddit: str = "r/mlbstreams"
+    span_seconds: int = MONTH_SECONDS
+
+
+def generate_reshare_botnet(
+    config: ReshareBotnetConfig, seeds: SeedSequenceFactory
+) -> tuple[list[CommentRecord], list[str]]:
+    """Generate the restream net's comments and its member list."""
+    rng = seeds.rng(f"botnet.{config.name}")
+    n_total = config.n_core + config.n_fringe
+    members = [f"{config.name}_acct_{i:02d}" for i in range(n_total)]
+    participation = np.concatenate(
+        (
+            np.full(config.n_core, config.core_participation),
+            np.full(config.n_fringe, config.fringe_participation),
+        )
+    )
+    records: list[CommentRecord] = []
+    page_times = np.sort(
+        rng.integers(0, config.span_seconds, size=config.n_trigger_pages)
+    )
+    for p, t0 in enumerate(page_times):
+        page = f"t3_{config.name}_stream{p}"
+        poster = int(rng.integers(0, config.n_core))  # a core member posts
+        records.append(
+            CommentRecord(members[poster], page, int(t0), config.subreddit, config.name)
+        )
+        for i in range(n_total):
+            if i == poster:
+                continue
+            if rng.random() < participation[i]:
+                d = int(
+                    rng.integers(
+                        config.reshare_delay_low, config.reshare_delay_high + 1
+                    )
+                )
+                records.append(
+                    CommentRecord(
+                        members[i], page, int(t0 + d), config.subreddit, config.name
+                    )
+                )
+    return records, members
+
+
+# ---------------------------------------------------------------------------
+# Reply-trigger ("smiley") bots
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplyTriggerBotnetConfig:
+    """Parameters of the reply-trigger crew.
+
+    These bots answer a textual trigger wherever it appears, so they
+    co-occur on *background* pages (passed in at generation time) at a
+    huge rate — the source of the paper's (4460, 5516, 13355) triangle.
+    Per-bot response probabilities differ, which is exactly why the three
+    pairwise weights differ so much in the paper.
+    """
+
+    name: str = "smiley"
+    n_bots: int = 3
+    response_probs: tuple[float, ...] = (0.92, 0.75, 0.55)
+    trigger_rate: float = 0.5
+    reply_delay_low: int = 1
+    reply_delay_high: int = 20
+    span_seconds: int = MONTH_SECONDS
+
+
+def generate_reply_trigger_botnet(
+    config: ReplyTriggerBotnetConfig,
+    seeds: SeedSequenceFactory,
+    host_pages: list[tuple[str, int, str]],
+) -> tuple[list[CommentRecord], list[str]]:
+    """Generate reply-trigger comments over *host_pages*.
+
+    Parameters
+    ----------
+    host_pages:
+        ``(page, first_comment_time, subreddit)`` of candidate pages (the
+        background corpus provides these); a ``trigger_rate`` fraction get
+        a trigger event each bot answers independently.
+    """
+    if len(config.response_probs) != config.n_bots:
+        raise ValueError("response_probs must have one entry per bot")
+    rng = seeds.rng(f"botnet.{config.name}")
+    members = [f"{config.name}_bot_{i}" for i in range(config.n_bots)]
+    records: list[CommentRecord] = []
+    for page, t0, subreddit in host_pages:
+        if rng.random() >= config.trigger_rate:
+            continue
+        trigger_t = t0 + int(rng.integers(0, 3600))
+        for i, prob in enumerate(config.response_probs):
+            if rng.random() < prob:
+                d = int(
+                    rng.integers(config.reply_delay_low, config.reply_delay_high + 1)
+                )
+                records.append(
+                    CommentRecord(
+                        members[i],
+                        page,
+                        min(trigger_t + d, config.span_seconds - 1),
+                        subreddit,
+                        config.name,
+                    )
+                )
+    return records, members
+
+
+# ---------------------------------------------------------------------------
+# Evasive botnet (adversarial robustness study)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvasiveBotnetConfig:
+    """A coordination net that actively evades temporal detection.
+
+    Two countermeasures an operator aware of windowed co-comment analysis
+    would deploy:
+
+    - **delay jitter**: members respond to each trigger with delays drawn
+      uniformly from ``[0, jitter_seconds]``, spreading pairwise gaps so
+      short windows catch only a fraction of interactions;
+    - **decoy activity**: each member also comments on ``decoy_pages``
+      random organic pages, inflating its ``p_x``/``P'`` and diluting the
+      normalized scores.
+
+    Used by the evasion ablation to chart detection recall as a function
+    of jitter versus the analyst's window choice — the arms race the
+    paper's window discussion (§2.2) implies but does not measure.
+    """
+
+    name: str = "evasive"
+    n_bots: int = 10
+    n_trigger_pages: int = 90
+    jitter_seconds: int = 900
+    participation: float = 0.9
+    decoy_pages: int = 30
+    subreddit: str = "r/worldnews_links"
+    span_seconds: int = MONTH_SECONDS
+
+
+def generate_evasive_botnet(
+    config: EvasiveBotnetConfig,
+    seeds: SeedSequenceFactory,
+    host_pages: list[tuple[str, int, str]] | None = None,
+) -> tuple[list[CommentRecord], list[str]]:
+    """Generate the evasive net's comments and its member list.
+
+    ``host_pages`` supplies the organic pages used for decoy comments;
+    without it the decoy countermeasure is skipped.
+    """
+    rng = seeds.rng(f"botnet.{config.name}")
+    members = [f"{config.name}_acct_{i:02d}" for i in range(config.n_bots)]
+    records: list[CommentRecord] = []
+    page_times = np.sort(
+        rng.integers(0, config.span_seconds, size=config.n_trigger_pages)
+    )
+    for p, t0 in enumerate(page_times):
+        page = f"t3_{config.name}_p{p}"
+        poster = int(rng.integers(0, config.n_bots))
+        records.append(
+            CommentRecord(members[poster], page, int(t0), config.subreddit, config.name)
+        )
+        for i in range(config.n_bots):
+            if i == poster or rng.random() >= config.participation:
+                continue
+            d = int(rng.integers(0, config.jitter_seconds + 1))
+            records.append(
+                CommentRecord(
+                    members[i],
+                    page,
+                    min(int(t0 + d), config.span_seconds - 1),
+                    config.subreddit,
+                    config.name,
+                )
+            )
+    if host_pages:
+        for i in range(config.n_bots):
+            for _ in range(config.decoy_pages):
+                page, t0, subreddit = host_pages[
+                    int(rng.integers(0, len(host_pages)))
+                ]
+                records.append(
+                    CommentRecord(
+                        members[i],
+                        page,
+                        min(
+                            t0 + int(rng.exponential(7200.0)),
+                            config.span_seconds - 1,
+                        ),
+                        subreddit,
+                        config.name,
+                    )
+                )
+    return records, members
+
+
+# ---------------------------------------------------------------------------
+# Miscellaneous small coordinated groups
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MiscBotnetConfig:
+    """Many small independent coordinated groups.
+
+    The paper's threshold-25 survey of January 2020 yields **39** connected
+    components, of which the GPT-2 and restream nets are two; the rest are
+    unidentified smaller coordinated groups.  This generator injects that
+    population: ``n_groups`` independent crews of 3–6 accounts, each
+    co-commenting on its own page stream at burst speed.
+    """
+
+    name: str = "misc"
+    n_groups: int = 36
+    group_size_low: int = 3
+    group_size_high: int = 6
+    pages_per_group_low: int = 28
+    pages_per_group_high: int = 60
+    reply_delay_low: int = 2
+    reply_delay_high: int = 55
+    participation: float = 0.95
+    span_seconds: int = MONTH_SECONDS
+
+
+def generate_misc_botnets(
+    config: MiscBotnetConfig, seeds: SeedSequenceFactory
+) -> tuple[list[CommentRecord], dict[str, list[str]]]:
+    """Generate the small-group population.
+
+    Returns ``(records, {group_name: member_names})`` — each group is its
+    own ground-truth botnet, so component counting can be validated.
+    """
+    rng = seeds.rng(f"botnet.{config.name}")
+    records: list[CommentRecord] = []
+    groups: dict[str, list[str]] = {}
+    for g in range(config.n_groups):
+        size = int(rng.integers(config.group_size_low, config.group_size_high + 1))
+        members = [f"{config.name}{g:02d}_acct_{i}" for i in range(size)]
+        group_name = f"{config.name}{g:02d}"
+        groups[group_name] = members
+        n_pages = int(
+            rng.integers(config.pages_per_group_low, config.pages_per_group_high + 1)
+        )
+        page_times = np.sort(rng.integers(0, config.span_seconds, size=n_pages))
+        for p, t0 in enumerate(page_times):
+            page = f"t3_{group_name}_p{p}"
+            poster = int(rng.integers(0, size))
+            records.append(
+                CommentRecord(
+                    members[poster], page, int(t0), f"r/{group_name}", config.name
+                )
+            )
+            for i in range(size):
+                if i == poster or rng.random() >= config.participation:
+                    continue
+                d = int(
+                    rng.integers(config.reply_delay_low, config.reply_delay_high + 1)
+                )
+                records.append(
+                    CommentRecord(
+                        members[i], page, int(t0 + d), f"r/{group_name}", config.name
+                    )
+                )
+    return records, groups
+
+
+# ---------------------------------------------------------------------------
+# Helpful bots (to be filtered out, not detected)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HelpfulBotConfig:
+    """Parameters of the benign utility accounts."""
+
+    automod_page_fraction: float = 0.4
+    deleted_comment_fraction: float = 0.03
+    span_seconds: int = MONTH_SECONDS
+
+
+def generate_helpful_bots(
+    config: HelpfulBotConfig,
+    seeds: SeedSequenceFactory,
+    host_pages: list[tuple[str, int, str]],
+    n_background_comments: int,
+) -> tuple[list[CommentRecord], list[str]]:
+    """Generate ``AutoModerator`` and ``[deleted]`` traffic.
+
+    ``AutoModerator`` comments within seconds of page creation on a large
+    fraction of pages (it would otherwise look hyper-coordinated with
+    every fast commenter — precisely why the paper removes it).
+    """
+    rng = seeds.rng("botnet.helpful")
+    records: list[CommentRecord] = []
+    for page, t0, subreddit in host_pages:
+        if rng.random() < config.automod_page_fraction:
+            records.append(
+                CommentRecord(
+                    "AutoModerator",
+                    page,
+                    t0 + int(rng.integers(0, 5)),
+                    subreddit,
+                    "helpful",
+                )
+            )
+    n_deleted = int(n_background_comments * config.deleted_comment_fraction)
+    for _ in range(n_deleted):
+        page, t0, subreddit = host_pages[int(rng.integers(0, len(host_pages)))]
+        records.append(
+            CommentRecord(
+                "[deleted]",
+                page,
+                min(
+                    t0 + int(rng.exponential(3600.0)),
+                    config.span_seconds - 1,
+                ),
+                subreddit,
+                "helpful",
+            )
+        )
+    return records, ["AutoModerator", "[deleted]"]

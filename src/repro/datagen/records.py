@@ -1,0 +1,58 @@
+"""Comment records: the atom of the synthetic corpus.
+
+Field names follow the Pushshift schema (``author``, ``link_id``,
+``created_utc``, ``subreddit``) so generated corpora serialize to ndjson
+that the same loader (:func:`repro.graph.io.btm_from_ndjson`) accepts for
+real dumps.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["CommentRecord", "MONTH_SECONDS"]
+
+#: A 30-day analysis window in seconds (the paper analyses one month).
+MONTH_SECONDS: int = 30 * 24 * 3600
+
+
+class CommentRecord(NamedTuple):
+    """One comment: who, where, when (plus provenance for ground truth).
+
+    Attributes
+    ----------
+    author:
+        Account name.
+    page:
+        Page (Reddit ``link_id``) at the root of the comment tree —
+        paper §2.1.1 treats every nested comment as an interaction with
+        the root page.
+    created_utc:
+        Epoch-second timestamp (synthetic corpora use seconds from the
+        start of the month).
+    subreddit:
+        Community the page lives in (unused by the method — it is
+        content/location agnostic — but kept for realism and inspection).
+    source:
+        Generator provenance tag (``"background"``, ``"gpt2"``, …); this
+        is *ground truth only* and is never fed to the detection pipeline.
+    """
+
+    author: str
+    page: str
+    created_utc: int
+    subreddit: str = ""
+    source: str = "background"
+
+    def to_pushshift_dict(self) -> dict:
+        """Render as a Pushshift-style JSON object (provenance dropped)."""
+        return {
+            "author": self.author,
+            "link_id": self.page,
+            "created_utc": int(self.created_utc),
+            "subreddit": self.subreddit,
+        }
+
+    def as_triple(self) -> tuple[str, str, int]:
+        """The ``(author, page, created_utc)`` triple the BTM builder eats."""
+        return (self.author, self.page, int(self.created_utc))

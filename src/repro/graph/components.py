@@ -1,0 +1,166 @@
+"""Connected components: union-find plus a distributed YGM variant.
+
+The paper reports coordinated botnets as *connected components* of the
+threshold-pruned common-interaction graph ("one of 39 connected components",
+§3.1.1).  The driver-side implementation is a weighted-union path-halving
+union-find over the edge list; the distributed implementation runs
+asynchronous min-label propagation on a :class:`~repro.ygm.DistMap`, and
+the two are cross-checked in tests (against networkx as a third oracle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.ygm.handlers import ygm_handler
+from repro.ygm.partition import HashPartitioner
+
+__all__ = [
+    "UnionFind",
+    "connected_components",
+    "components_as_lists",
+    "distributed_components",
+]
+
+
+class UnionFind:
+    """Array-based union-find with union by size and path halving."""
+
+    __slots__ = ("parent", "size")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+
+    def find(self, x: int) -> int:
+        """Representative of *x*'s set (with path halving)."""
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return int(x)
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of *a* and *b*; return the surviving root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return ra
+
+    def connected(self, a: int, b: int) -> bool:
+        """Whether *a* and *b* share a component."""
+        return self.find(a) == self.find(b)
+
+    def component_labels(self) -> np.ndarray:
+        """Root id of every element (fully path-compressed)."""
+        # Iterate until fixpoint; each pass halves remaining path lengths.
+        parent = self.parent
+        while True:
+            grand = parent[parent]
+            if np.array_equal(grand, parent):
+                return parent.copy()
+            parent[:] = grand
+
+
+def connected_components(
+    edges: EdgeList, n_vertices: int | None = None
+) -> np.ndarray:
+    """Component label (root id) for each vertex ``0..n_vertices-1``.
+
+    Vertices touching no edge form singleton components labelled by
+    themselves.
+    """
+    if n_vertices is None:
+        n_vertices = edges.max_vertex + 1
+    uf = UnionFind(int(n_vertices))
+    for s, d in zip(edges.src, edges.dst):
+        uf.union(int(s), int(d))
+    return uf.component_labels()
+
+
+def components_as_lists(
+    edges: EdgeList, min_size: int = 2, n_vertices: int | None = None
+) -> list[list[int]]:
+    """Components with at least *min_size* vertices, largest first.
+
+    Only vertices incident to an edge are considered (matching the paper,
+    which inspects components of the *thresholded* CI graph).
+    """
+    if edges.n_edges == 0:
+        return []
+    labels = connected_components(edges, n_vertices)
+    active = np.unique(np.concatenate((edges.src, edges.dst)))
+    by_label: dict[int, list[int]] = {}
+    for v in active:
+        by_label.setdefault(int(labels[v]), []).append(int(v))
+    comps = [
+        sorted(members) for members in by_label.values() if len(members) >= min_size
+    ]
+    comps.sort(key=lambda c: (-len(c), c))
+    return comps
+
+
+# ---------------------------------------------------------------------------
+# Distributed variant: asynchronous min-label propagation on the YGM runtime.
+#
+# Each vertex's owner rank holds ``{vertex: [current_label, neighbors]}``.
+# Inserting an edge records the adjacency on both endpoints and sends each
+# endpoint's current label across it; a rank receiving a smaller label adopts
+# it and forwards it to all recorded neighbors.  Quiescence (the barrier)
+# is convergence: every vertex ends at the minimum id in its component.
+# Handler payloads carry the container id because handlers only see
+# rank-local state, never driver objects.
+# ---------------------------------------------------------------------------
+
+
+def _owner(ctx, key: int) -> int:
+    """Owner rank of an integer key under the standard hash partitioner."""
+    return HashPartitioner(ctx.n_ranks).owner(key)
+
+
+@ygm_handler("repro.cc.add_edge")
+def _h_add_edge(ctx, state: dict, payload) -> None:
+    vertex, neighbor, cid = payload
+    entry = state.setdefault(vertex, [vertex, []])
+    entry[1].append(neighbor)
+    ctx.send(
+        _owner(ctx, neighbor), cid, "repro.cc.propose", (neighbor, entry[0], cid)
+    )
+
+
+@ygm_handler("repro.cc.propose")
+def _h_propose(ctx, state: dict, payload) -> None:
+    vertex, label, cid = payload
+    entry = state.setdefault(vertex, [vertex, []])
+    if label < entry[0]:
+        entry[0] = label
+        for nbr in entry[1]:
+            ctx.send(_owner(ctx, nbr), cid, "repro.cc.propose", (nbr, label, cid))
+
+
+def distributed_components(edges: EdgeList, world) -> dict[int, int]:
+    """Min-label propagation over the YGM runtime: ``{vertex: label}``.
+
+    Every vertex incident to an edge converges to the minimum vertex id in
+    its component — a canonical labelling equal (up to representative
+    choice) to the union-find partition; tests assert the partitions match.
+    """
+    from repro.ygm.containers.map import DistMap
+
+    dmap = DistMap(world)
+    cid = dmap.container_id
+    for s, d in zip(edges.src, edges.dst):
+        s, d = int(s), int(d)
+        world.async_send(dmap.owner(s), cid, "repro.cc.add_edge", (s, d, cid))
+        world.async_send(dmap.owner(d), cid, "repro.cc.add_edge", (d, s, cid))
+    world.barrier()
+    labels = {int(v): int(entry[0]) for v, entry in dmap.to_dict().items()}
+    dmap.release()
+    return labels

@@ -1,0 +1,150 @@
+"""Compressed sparse row adjacency with edge weights.
+
+The triangle survey needs "neighbors of v, with weights, sorted" in O(1)
+per vertex; CSR gives exactly that with three flat arrays.  Built once
+from an :class:`~repro.graph.edgelist.EdgeList`, then read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Undirected weighted graph in CSR form.
+
+    Attributes
+    ----------
+    indptr:
+        ``indptr[v]..indptr[v+1]`` bounds vertex *v*'s adjacency slice.
+    indices:
+        Neighbor ids, sorted ascending within each vertex's slice.
+    weights:
+        Edge weight parallel to :attr:`indices` (each undirected edge is
+        stored twice, once per endpoint, with equal weight).
+    n_vertices:
+        Size of the vertex id space (isolated vertices allowed).
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "n_vertices")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        n_vertices: int,
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.weights = np.asarray(weights)
+        self.n_vertices = int(n_vertices)
+        if self.indptr.shape[0] != self.n_vertices + 1:
+            raise ValueError(
+                f"indptr length {self.indptr.shape[0]} != n_vertices+1 "
+                f"({self.n_vertices + 1})"
+            )
+        if self.indices.shape[0] != self.weights.shape[0]:
+            raise ValueError("indices and weights must have equal length")
+
+    @classmethod
+    def from_edgelist(
+        cls, edges: EdgeList, n_vertices: int | None = None
+    ) -> "CSRGraph":
+        """Build from an edge list (duplicates are accumulated first)."""
+        acc = edges.accumulate()
+        if n_vertices is None:
+            n_vertices = acc.max_vertex + 1
+        n_vertices = int(n_vertices)
+        if acc.n_edges and acc.max_vertex >= n_vertices:
+            raise ValueError(
+                f"edge endpoint {acc.max_vertex} exceeds n_vertices={n_vertices}"
+            )
+        # Symmetrize: each undirected edge appears in both endpoints' rows.
+        src = np.concatenate((acc.src, acc.dst))
+        dst = np.concatenate((acc.dst, acc.src))
+        wgt = np.concatenate((acc.weight, acc.weight))
+        order = np.lexsort((dst, src))
+        src, dst, wgt = src[order], dst[order], wgt[order]
+        indptr = np.zeros(n_vertices + 1, dtype=np.int64)
+        if src.size:
+            counts = np.bincount(src, minlength=n_vertices)
+            np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, dst, wgt, n_vertices)
+
+    # -- queries ------------------------------------------------------------------
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of *v* (a view, do not mutate)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights parallel to :meth:`neighbors` (a view)."""
+        return self.weights[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Number of neighbors of *v*."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex."""
+        return np.diff(self.indptr)
+
+    def edge_weight(self, u: int, v: int) -> int | None:
+        """Weight of edge ``(u, v)``, or ``None`` when absent (binary search)."""
+        row = self.neighbors(u)
+        pos = np.searchsorted(row, v)
+        if pos < row.shape[0] and row[pos] == v:
+            return self.neighbor_weights(u)[pos].item()
+        return None
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``(u, v)`` exists."""
+        return self.edge_weight(u, v) is not None
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self.indices.shape[0] // 2)
+
+    # -- transforms ----------------------------------------------------------------
+    def to_edgelist(self) -> EdgeList:
+        """Back to canonical edge-list form (each edge once, src < dst)."""
+        src = np.repeat(np.arange(self.n_vertices, dtype=np.int64), self.degrees())
+        mask = src < self.indices
+        out = EdgeList.__new__(EdgeList)
+        out.src = src[mask]
+        out.dst = self.indices[mask]
+        out.weight = self.weights[mask]
+        return out
+
+    def subgraph_vertices(self, vertices: np.ndarray) -> "CSRGraph":
+        """Vertex-induced subgraph (same id space; other rows emptied)."""
+        keep = np.zeros(self.n_vertices, dtype=bool)
+        keep[np.asarray(vertices, dtype=np.int64)] = True
+        el = self.to_edgelist()
+        mask = keep[el.src] & keep[el.dst]
+        pruned = EdgeList.__new__(EdgeList)
+        pruned.src = el.src[mask]
+        pruned.dst = el.dst[mask]
+        pruned.weight = el.weight[mask]
+        return CSRGraph.from_edgelist(pruned, n_vertices=self.n_vertices)
+
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph`` (isolated vertices included)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n_vertices))
+        el = self.to_edgelist()
+        g.add_weighted_edges_from(
+            (int(s), int(d), w.item())
+            for s, d, w in zip(el.src, el.dst, el.weight)
+        )
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(n_vertices={self.n_vertices}, n_edges={self.n_edges})"

@@ -1,0 +1,190 @@
+"""Struct-of-arrays weighted edge lists.
+
+An :class:`EdgeList` stores undirected weighted edges as three parallel
+numpy arrays ``(src, dst, weight)`` with the canonical orientation
+``src < dst``.  It is the exchange format between the projection step
+(which emits pair-weight increments) and the CSR builder (which the
+triangle survey consumes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.util.grouping import unique_pair_weights
+from repro.util.validation import check_int_array, check_same_length
+
+__all__ = ["EdgeList"]
+
+
+class EdgeList:
+    """An undirected, weighted edge list in canonical ``src < dst`` form.
+
+    Construction canonicalizes orientation, rejects self-loops, and leaves
+    duplicates intact; :meth:`accumulate` collapses duplicates by summing
+    weights (how the projection turns per-page pair observations into
+    common-interaction weights ``w'``).
+
+    Parameters
+    ----------
+    src, dst:
+        Integer endpoint arrays (any orientation; swapped internally).
+    weight:
+        Optional per-edge weights (default 1).
+
+    Examples
+    --------
+    >>> el = EdgeList([3, 0, 3], [1, 2, 1])   # duplicate 1-3 edge
+    >>> el.accumulate().to_dict()
+    {(0, 2): 1, (1, 3): 2}
+    """
+
+    __slots__ = ("src", "dst", "weight")
+
+    def __init__(
+        self,
+        src: np.ndarray | Iterable[int],
+        dst: np.ndarray | Iterable[int],
+        weight: np.ndarray | Iterable[int] | None = None,
+    ) -> None:
+        src = check_int_array(np.asarray(list(src) if not isinstance(src, np.ndarray) else src), "src")
+        dst = check_int_array(np.asarray(list(dst) if not isinstance(dst, np.ndarray) else dst), "dst")
+        n = check_same_length(("src", src), ("dst", dst))
+        if weight is None:
+            weight = np.ones(n, dtype=np.int64)
+        else:
+            weight = np.asarray(
+                list(weight) if not isinstance(weight, np.ndarray) else weight
+            )
+            check_same_length(("src", src), ("weight", weight))
+        if np.any(src == dst):
+            raise ValueError("self-loops are not allowed in an EdgeList")
+        lo = np.minimum(src, dst)
+        hi = np.maximum(src, dst)
+        self.src = lo
+        self.dst = hi
+        self.weight = weight
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "EdgeList":
+        """An edge list with no edges."""
+        return cls(np.empty(0, np.int64), np.empty(0, np.int64))
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, int]]) -> "EdgeList":
+        """Build from an iterable of ``(u, v)`` pairs (unit weights)."""
+        pair_list = list(pairs)
+        if not pair_list:
+            return cls.empty()
+        arr = np.asarray(pair_list, dtype=np.int64)
+        return cls(arr[:, 0], arr[:, 1])
+
+    @classmethod
+    def from_weighted_dict(cls, weights: dict[tuple[int, int], int]) -> "EdgeList":
+        """Build from a ``{(u, v): w}`` mapping (the DistMap gather format)."""
+        if not weights:
+            return cls.empty()
+        keys = np.asarray(list(weights.keys()), dtype=np.int64)
+        vals = np.asarray(list(weights.values()))
+        return cls(keys[:, 0], keys[:, 1], vals)
+
+    # -- basic properties ---------------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        """Number of stored edge rows (duplicates counted)."""
+        return int(self.src.shape[0])
+
+    @property
+    def max_vertex(self) -> int:
+        """Largest endpoint id, or -1 when empty."""
+        if self.n_edges == 0:
+            return -1
+        return int(max(self.src.max(), self.dst.max()))
+
+    def vertices(self) -> np.ndarray:
+        """Sorted array of distinct endpoint ids."""
+        return np.unique(np.concatenate((self.src, self.dst)))
+
+    def total_weight(self) -> int:
+        """Sum of all edge weights."""
+        return int(self.weight.sum())
+
+    # -- transformations -------------------------------------------------------------
+    def accumulate(self) -> "EdgeList":
+        """Collapse duplicate edges, summing weights; result sorted by (src, dst)."""
+        s, d, w = unique_pair_weights(self.src, self.dst, self.weight)
+        out = EdgeList.__new__(EdgeList)
+        out.src, out.dst, out.weight = s, d, w
+        return out
+
+    def threshold(self, min_weight: int) -> "EdgeList":
+        """Keep only edges with ``weight >= min_weight``."""
+        mask = self.weight >= min_weight
+        out = EdgeList.__new__(EdgeList)
+        out.src = self.src[mask]
+        out.dst = self.dst[mask]
+        out.weight = self.weight[mask]
+        return out
+
+    def concat(self, other: "EdgeList") -> "EdgeList":
+        """Concatenate two edge lists (no accumulation)."""
+        out = EdgeList.__new__(EdgeList)
+        out.src = np.concatenate((self.src, other.src))
+        out.dst = np.concatenate((self.dst, other.dst))
+        out.weight = np.concatenate((self.weight, other.weight))
+        return out
+
+    def without_vertices(self, vertices: np.ndarray | Iterable[int]) -> "EdgeList":
+        """Drop every edge incident to any of *vertices*."""
+        drop = np.asarray(
+            sorted(set(int(v) for v in vertices)), dtype=np.int64
+        )
+        if drop.size == 0:
+            return self
+        mask = ~(np.isin(self.src, drop) | np.isin(self.dst, drop))
+        out = EdgeList.__new__(EdgeList)
+        out.src = self.src[mask]
+        out.dst = self.dst[mask]
+        out.weight = self.weight[mask]
+        return out
+
+    # -- iteration / interop ------------------------------------------------------------
+    def __iter__(self) -> Iterator[tuple[int, int, int]]:
+        for i in range(self.n_edges):
+            yield int(self.src[i]), int(self.dst[i]), self.weight[i].item()
+
+    def to_dict(self) -> dict[tuple[int, int], int]:
+        """Return ``{(u, v): w}``; duplicate edges must be accumulated first."""
+        acc = self.accumulate()
+        return {
+            (int(s), int(d)): w.item()
+            for s, d, w in zip(acc.src, acc.dst, acc.weight)
+        }
+
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph`` with ``weight`` edge attributes."""
+        import networkx as nx
+
+        g = nx.Graph()
+        acc = self.accumulate()
+        g.add_weighted_edges_from(
+            (int(s), int(d), w.item())
+            for s, d, w in zip(acc.src, acc.dst, acc.weight)
+        )
+        return g
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeList):
+            return NotImplemented
+        a, b = self.accumulate(), other.accumulate()
+        return (
+            np.array_equal(a.src, b.src)
+            and np.array_equal(a.dst, b.dst)
+            and np.array_equal(a.weight, b.weight)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EdgeList(n_edges={self.n_edges})"

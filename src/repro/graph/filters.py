@@ -1,0 +1,130 @@
+"""Author pre-filters (paper §3, "helpful bots").
+
+The paper excludes two classes of authors from projection: accounts whose
+behaviour is known and benign (``AutoModerator`` and similar platform
+utilities) and the ``[deleted]`` placeholder, which conflates arbitrarily
+many real users.  :class:`AuthorFilter` implements exactly that exclusion,
+by exact name and by configurable name patterns, and reports what it
+removed so the refinement loop (§2.4) can audit its pruning.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.graph.bipartite import BipartiteTemporalMultigraph
+
+__all__ = ["AuthorFilter", "DEFAULT_EXCLUDED_AUTHORS", "FilterReport"]
+
+#: The paper's explicit exclusions plus the common Reddit utility bots a
+#: practitioner would strip before projection.
+DEFAULT_EXCLUDED_AUTHORS: frozenset[str] = frozenset(
+    {
+        "AutoModerator",
+        "[deleted]",
+        "RemindMeBot",
+        "sneakpeekbot",
+        "WikiTextBot",
+    }
+)
+
+#: Name patterns that flag self-declared utility accounts.
+DEFAULT_EXCLUDED_PATTERNS: tuple[str, ...] = (
+    r".*_bot$",
+    r"^bot_.*",
+)
+
+
+@dataclass(frozen=True)
+class FilterReport:
+    """What an :class:`AuthorFilter` application removed."""
+
+    removed_names: tuple[str, ...]
+    removed_user_ids: tuple[int, ...]
+    removed_comments: int
+
+    def __str__(self) -> str:
+        return (
+            f"removed {len(self.removed_names)} authors "
+            f"({self.removed_comments} comments): "
+            + ", ".join(self.removed_names[:8])
+            + ("…" if len(self.removed_names) > 8 else "")
+        )
+
+
+@dataclass
+class AuthorFilter:
+    """Removes known-benign / uninformative authors before projection.
+
+    Parameters
+    ----------
+    exact_names:
+        Author names removed by exact match.
+    name_patterns:
+        Regular expressions (full-match, case-insensitive) removing authors
+        by naming convention; empty by default patterns can be enabled with
+        :meth:`with_default_patterns`.
+    """
+
+    exact_names: frozenset[str] = field(default_factory=lambda: DEFAULT_EXCLUDED_AUTHORS)
+    name_patterns: tuple[str, ...] = ()
+
+    @classmethod
+    def none(cls) -> "AuthorFilter":
+        """A filter that removes nothing (for ablations)."""
+        return cls(exact_names=frozenset(), name_patterns=())
+
+    @classmethod
+    def with_default_patterns(cls) -> "AuthorFilter":
+        """The default names plus the ``*_bot`` naming-convention patterns."""
+        return cls(name_patterns=DEFAULT_EXCLUDED_PATTERNS)
+
+    def extended(self, names: Iterable[str]) -> "AuthorFilter":
+        """A new filter additionally excluding *names* (refinement loop)."""
+        return AuthorFilter(
+            exact_names=self.exact_names | frozenset(names),
+            name_patterns=self.name_patterns,
+        )
+
+    def matches(self, name: str) -> bool:
+        """Whether *name* should be excluded."""
+        if name in self.exact_names:
+            return True
+        return any(
+            re.fullmatch(pattern, name, flags=re.IGNORECASE)
+            for pattern in self.name_patterns
+        )
+
+    def matching_names(self, names: Sequence[str]) -> list[str]:
+        """Subset of *names* this filter excludes."""
+        return [name for name in names if self.matches(name)]
+
+    def apply(
+        self, btm: BipartiteTemporalMultigraph
+    ) -> tuple[BipartiteTemporalMultigraph, FilterReport]:
+        """Return ``(filtered BTM, report)``.
+
+        Requires the BTM to carry a user-name interner (names are what the
+        filter matches on); a BTM built from raw integer ids passes through
+        untouched with an empty report.
+        """
+        if btm.user_names is None:
+            return btm, FilterReport((), (), 0)
+        removed_ids = [
+            ident
+            for ident, name in enumerate(btm.user_names)
+            if isinstance(name, str) and self.matches(name)
+        ]
+        if not removed_ids:
+            return btm, FilterReport((), (), 0)
+        before = btm.n_comments
+        filtered = btm.without_users(removed_ids)
+        return filtered, FilterReport(
+            removed_names=tuple(
+                str(btm.user_names.key_of(i)) for i in removed_ids
+            ),
+            removed_user_ids=tuple(removed_ids),
+            removed_comments=before - filtered.n_comments,
+        )

@@ -1,0 +1,55 @@
+"""Degree-based vertex ordering and edge orientation.
+
+The triangle survey counts each triangle exactly once by orienting every
+undirected edge from its lower-rank to its higher-rank endpoint under a
+*degeneracy-friendly* total order (degree, then id).  Low-degree vertices
+come first, so the out-adjacency of every vertex in the oriented DAG is
+small — the standard trick (cf. TriPoll, and Chiba–Nishizeki before it)
+that bounds the wedge work by O(m^1.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["degree_order", "orient_edges"]
+
+
+def degree_order(edges: EdgeList, n_vertices: int | None = None) -> np.ndarray:
+    """Rank of every vertex under (degree, id) ascending.
+
+    Returns ``rank`` with ``rank[v]`` the position of *v* in the total
+    order; lower rank = lower degree.
+    """
+    if n_vertices is None:
+        n_vertices = edges.max_vertex + 1
+    n_vertices = int(n_vertices)
+    acc = edges.accumulate()
+    deg = np.zeros(n_vertices, dtype=np.int64)
+    if acc.n_edges:
+        deg += np.bincount(acc.src, minlength=n_vertices)
+        deg += np.bincount(acc.dst, minlength=n_vertices)
+    # argsort of (degree, id): stable sort on ids is implicit since ids are
+    # the tiebreaker and np.lexsort's last key is primary.
+    order = np.lexsort((np.arange(n_vertices), deg))
+    rank = np.empty(n_vertices, dtype=np.int64)
+    rank[order] = np.arange(n_vertices)
+    return rank
+
+
+def orient_edges(
+    edges: EdgeList, rank: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Orient each undirected edge from lower to higher rank.
+
+    Returns ``(tail, head, weight)`` with ``rank[tail] < rank[head]`` for
+    every edge; duplicates must have been accumulated by the caller.
+    """
+    rank = np.asarray(rank)
+    src, dst, wgt = edges.src, edges.dst, edges.weight
+    forward = rank[src] < rank[dst]
+    tail = np.where(forward, src, dst)
+    head = np.where(forward, dst, src)
+    return tail.astype(np.int64), head.astype(np.int64), wgt

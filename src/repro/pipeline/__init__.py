@@ -1,0 +1,35 @@
+"""End-to-end orchestration of the paper's three-step framework.
+
+:class:`~repro.pipeline.framework.CoordinationPipeline` wires the stages
+together exactly as §1.3 prescribes:
+
+1. filter helpful bots, project ``B`` → ``C`` for a chosen ``(δ1, δ2)``
+   (:mod:`repro.projection`),
+2. survey triangles of ``C`` above a minimum-edge-weight cutoff and score
+   them with ``T`` (:mod:`repro.tripoll`),
+3. validate survivors against the hypergraph: ``w_xyz``, ``C(x, y, z)``
+   (:mod:`repro.hypergraph`),
+
+returning a :class:`~repro.pipeline.results.PipelineResult` that carries
+every intermediate artifact the paper's figures are drawn from.
+:mod:`~repro.pipeline.iterative` adds the §2.4 refinement loop: rule
+authors out, reproject, repeat.
+"""
+
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.framework import CoordinationPipeline
+from repro.pipeline.results import PipelineResult, ComponentReport
+from repro.pipeline.iterative import IterativeRefiner, RefinementRound
+from repro.pipeline.sweep import SweepPoint, detection_curve, run_sweep
+
+__all__ = [
+    "PipelineConfig",
+    "CoordinationPipeline",
+    "PipelineResult",
+    "ComponentReport",
+    "IterativeRefiner",
+    "RefinementRound",
+    "SweepPoint",
+    "run_sweep",
+    "detection_curve",
+]

@@ -1,0 +1,236 @@
+"""The three-step framework, end to end (paper §1.3, §2).
+
+``CoordinationPipeline.run(btm)`` executes:
+
+1. **Filter + project** — strip helpful bots, run Algorithm 1 (directly or
+   through the time-bucket workaround) to obtain ``C`` and ``P'``.
+2. **Survey** — enumerate triangles of ``C`` with minimum edge weight
+   above the cutoff; compute ``T`` per triangle; extract connected
+   components of the pruned graph as candidate networks.
+3. **Validate** — compute ``w_xyz`` and ``C(x, y, z)`` on the hypergraph
+   incidence for every surviving triangle.
+"""
+
+from __future__ import annotations
+
+from repro.graph.bipartite import BipartiteTemporalMultigraph
+from repro.graph.csr import CSRGraph
+from repro.hypergraph.incidence import UserPageIncidence
+from repro.hypergraph.triplets import evaluate_triplets
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.results import ComponentReport, PipelineResult
+from repro.projection.buckets import project_bucketed
+from repro.projection.ci_graph import CommonInteractionGraph
+from repro.projection.distributed import project_distributed
+from repro.projection.project import project
+from repro.tripoll.engine import survey_triangles_distributed
+from repro.tripoll.metrics import t_scores as compute_t_scores
+from repro.tripoll.survey import survey_triangles
+from repro.util.timers import StageTimings
+
+__all__ = ["CoordinationPipeline"]
+
+
+class CoordinationPipeline:
+    """Runs the paper's framework under a :class:`PipelineConfig`.
+
+    Examples
+    --------
+    >>> from repro.datagen import RedditDatasetBuilder
+    >>> from repro.projection import TimeWindow
+    >>> ds = RedditDatasetBuilder.jan2020_like(seed=1, scale=0.1).build()
+    >>> pipe = CoordinationPipeline(PipelineConfig(
+    ...     window=TimeWindow(0, 60), min_triangle_weight=25))
+    >>> result = pipe.run(ds.btm)
+    >>> result.n_triangles > 0
+    True
+    """
+
+    def __init__(self, config: PipelineConfig | None = None) -> None:
+        self.config = config if config is not None else PipelineConfig()
+
+    def run(self, btm: BipartiteTemporalMultigraph) -> PipelineResult:
+        """Execute Steps 1–3 on *btm* and return the full result bundle."""
+        cfg = self.config
+        timings = StageTimings()
+
+        with timings.stage("step0.filter"):
+            filtered, filter_report = cfg.author_filter.apply(btm)
+
+        with timings.stage("step1.project"):
+            if cfg.time_bucket_width is not None:
+                proj = project_bucketed(
+                    filtered,
+                    cfg.window,
+                    bucket_width=cfg.time_bucket_width,
+                    pair_batch=cfg.pair_batch,
+                )
+            else:
+                proj = project(filtered, cfg.window, pair_batch=cfg.pair_batch)
+        ci = proj.ci
+        timings.merge(proj.timings)
+
+        with timings.stage("step2.threshold"):
+            ci_thr = ci.threshold(cfg.min_triangle_weight)
+
+        with timings.stage("step2.survey"):
+            triangles = survey_triangles(
+                ci.edges,
+                min_edge_weight=cfg.min_triangle_weight,
+                wedge_batch=cfg.wedge_batch,
+            )
+            t_vals = compute_t_scores(triangles, ci.page_counts)
+
+        with timings.stage("step2.components"):
+            components = self._component_reports(ci_thr)
+
+        triplet_metrics = None
+        if cfg.compute_hypergraph:
+            with timings.stage("step3.hypergraph"):
+                inc = UserPageIncidence.from_btm(filtered)
+                triplet_metrics = evaluate_triplets(inc, triangles)
+
+        stats = dict(proj.stats)
+        stats.update(
+            {
+                "triangles": triangles.n_triangles,
+                "thresholded_edges": ci_thr.n_edges,
+                "components": len(components),
+            }
+        )
+        return PipelineResult(
+            config=cfg,
+            filter_report=filter_report,
+            ci=ci,
+            ci_thresholded=ci_thr,
+            triangles=triangles,
+            t_scores=t_vals,
+            triplet_metrics=triplet_metrics,
+            components=components,
+            stats=stats,
+            timings=timings,
+        )
+
+    def run_distributed(
+        self, btm: BipartiteTemporalMultigraph, world
+    ) -> PipelineResult:
+        """Execute all three steps on the YGM runtime of *world*.
+
+        Step 1 scatters pages across ranks
+        (:func:`~repro.projection.distributed.project_distributed`); Step 2
+        ships wedge queries between adjacency owners
+        (:func:`~repro.tripoll.engine.survey_triangles_distributed`);
+        Step 3 chains per-triplet page-set intersections through the
+        authors' owner ranks
+        (:func:`~repro.hypergraph.distributed.evaluate_triplets_distributed`)
+        — the paper's "dividing up authors to be checked among several
+        compute nodes" (§2.4).  Results equal :meth:`run` exactly
+        (asserted in tests on both backends); bucketed projection is a
+        single-process memory workaround and is ignored here.
+        """
+        cfg = self.config
+        timings = StageTimings()
+
+        with timings.stage("step0.filter"):
+            filtered, filter_report = cfg.author_filter.apply(btm)
+
+        with timings.stage("step1.project[distributed]"):
+            proj = project_distributed(filtered, cfg.window, world)
+        ci = proj.ci
+
+        with timings.stage("step2.threshold"):
+            ci_thr = ci.threshold(cfg.min_triangle_weight)
+
+        with timings.stage("step2.survey[distributed]"):
+            triangles = survey_triangles_distributed(
+                ci.edges, world, min_edge_weight=cfg.min_triangle_weight
+            ).sorted_canonical()
+            t_vals = compute_t_scores(triangles, ci.page_counts)
+
+        with timings.stage("step2.components"):
+            components = self._component_reports(ci_thr)
+
+        triplet_metrics = None
+        if cfg.compute_hypergraph:
+            with timings.stage("step3.hypergraph[distributed]"):
+                from repro.hypergraph.distributed import (
+                    evaluate_triplets_distributed,
+                )
+
+                triplet_metrics = evaluate_triplets_distributed(
+                    filtered, triangles, world
+                )
+
+        stats = dict(proj.stats)
+        stats.update(
+            {
+                "triangles": triangles.n_triangles,
+                "thresholded_edges": ci_thr.n_edges,
+                "components": len(components),
+            }
+        )
+        return PipelineResult(
+            config=cfg,
+            filter_report=filter_report,
+            ci=ci,
+            ci_thresholded=ci_thr,
+            triangles=triangles,
+            t_scores=t_vals,
+            triplet_metrics=triplet_metrics,
+            components=components,
+            stats=stats,
+            timings=timings,
+        )
+
+    # -- component analysis -------------------------------------------------------
+    def _component_reports(
+        self, ci_thr: CommonInteractionGraph
+    ) -> list[ComponentReport]:
+        comps = ci_thr.components(min_size=self.config.min_component_size)
+        if not comps:
+            return []
+        csr = ci_thr.to_csr()
+        return [self._describe_component(ci_thr, csr, comp) for comp in comps]
+
+    @staticmethod
+    def _describe_component(
+        ci: CommonInteractionGraph, csr: CSRGraph, members: list[int]
+    ) -> ComponentReport:
+        member_set = set(members)
+        weights: list[int] = []
+        for v in members:
+            for nbr, w in zip(csr.neighbors(v), csr.neighbor_weights(v)):
+                if int(nbr) in member_set and int(nbr) > v:
+                    weights.append(int(w))
+        n = len(members)
+        n_edges = len(weights)
+        density = 2.0 * n_edges / (n * (n - 1)) if n > 1 else 0.0
+        return ComponentReport(
+            members=tuple(members),
+            member_names=tuple(ci.author_name(v) for v in members),
+            n_edges=n_edges,
+            weight_min=min(weights) if weights else 0,
+            weight_max=max(weights) if weights else 0,
+            density=density,
+            max_clique_lower_bound=_greedy_clique(csr, members),
+        )
+
+
+def _greedy_clique(csr: CSRGraph, members: list[int]) -> int:
+    """Greedy clique lower bound inside a component (degree-descending seed)."""
+    member_set = set(members)
+    adj = {
+        v: {int(n) for n in csr.neighbors(v) if int(n) in member_set}
+        for v in members
+    }
+    best = 0
+    order = sorted(members, key=lambda v: -len(adj[v]))
+    for seed in order[:16]:  # a few seeds are enough for a bound
+        clique = {seed}
+        for cand in sorted(adj[seed], key=lambda v: -len(adj[v])):
+            if clique <= adj[cand]:
+                clique.add(cand)
+        best = max(best, len(clique))
+        if best >= len(members):
+            break
+    return best

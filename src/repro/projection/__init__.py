@@ -1,0 +1,53 @@
+"""Step 1 — projecting the bipartite temporal multigraph (paper §2.2).
+
+Given the BTM ``B`` and a time window ``(δ1, δ2)``, the projection emits
+the **common interaction graph** ``C = (U, I, w')`` where ``w'_{xy}``
+counts the pages on which authors *x* and *y* comment within the window of
+each other (eq. 5), together with the per-author page-count ledger ``P'``
+(eq. 6) that normalizes the triangle score ``T`` (eq. 7).
+
+Three interchangeable engines implement Algorithm 1:
+
+- :func:`~repro.projection.project.project` — the production engine: a
+  fully vectorized global two-pointer over ``(page, time)``-sorted
+  comments, chunked by pages to bound peak memory.
+- :func:`~repro.projection.project.project_reference` — a line-by-line
+  transcription of Algorithm 1 with Python dicts/sets; the correctness
+  oracle for the vectorized engine.
+- :func:`~repro.projection.distributed.project_distributed` — pages
+  scattered across YGM ranks, pair weights merged through
+  ``DistMap.async_reduce_batch`` (how the paper runs at cluster scale).
+
+:mod:`~repro.projection.buckets` adds the paper's time-bucket workaround
+(§3): a wide window computed as a union of narrow disjoint sub-windows.
+"""
+
+from repro.projection.window import TimeWindow
+from repro.projection.project import (
+    project,
+    project_reference,
+    ProjectionResult,
+    estimate_pair_volume,
+)
+from repro.projection.ci_graph import CommonInteractionGraph
+from repro.projection.buckets import project_bucketed
+from repro.projection.distributed import project_distributed
+from repro.projection.cores import core_numbers, k_core_groups, k_core_subgraph
+from repro.projection.streaming import project_streaming
+from repro.projection.incremental import IncrementalProjector
+
+__all__ = [
+    "TimeWindow",
+    "project",
+    "project_reference",
+    "ProjectionResult",
+    "estimate_pair_volume",
+    "CommonInteractionGraph",
+    "project_bucketed",
+    "project_distributed",
+    "core_numbers",
+    "k_core_groups",
+    "k_core_subgraph",
+    "project_streaming",
+    "IncrementalProjector",
+]

@@ -1,0 +1,130 @@
+"""Time-bucketed projection (paper §3's memory workaround).
+
+A wide window ``(0, 1 hr)`` materializes far more candidate pairs at once
+than ``(0, 60 s)``.  The paper proposes projecting a sequence of narrow
+buckets ``{(0, 60 s), (60 s, 120 s), …}`` and "merging these projected
+graphs together at the end".
+
+Merging needs care: ``w'_{xy}`` counts *pages*, so a pair co-commenting on
+the same page with delays in two different buckets must still contribute
+**one** to the merged weight.  Naively summing per-bucket edge weights
+over-counts such pages.  This module implements both:
+
+- ``merge="exact"`` (default) — unions the distinct ``(page, x, y)``
+  observations across buckets before reducing, which is provably equal to
+  the direct wide-window projection (the union of the buckets' delay
+  intervals is the full window, and triples are deduplicated);
+- ``merge="sum"`` — the naive weight sum, kept for the ablation that
+  quantifies the over-count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteTemporalMultigraph
+from repro.graph.edgelist import EdgeList
+from repro.projection.ci_graph import CommonInteractionGraph
+from repro.projection.project import (
+    ProjectionResult,
+    _dedup_triples,
+    project,
+    reduce_triples_to_ci,
+)
+from repro.projection.window import TimeWindow
+from repro.util.timers import StageTimings
+
+__all__ = ["project_bucketed"]
+
+
+def project_bucketed(
+    btm: BipartiteTemporalMultigraph,
+    window: TimeWindow,
+    bucket_width: int,
+    merge: str = "exact",
+    pair_batch: int = 4_000_000,
+    keep_triples: bool = False,
+) -> ProjectionResult:
+    """Project *window* as a merge of consecutive ``bucket_width`` sub-windows.
+
+    With ``merge="exact"`` the result equals ``project(btm, window)``
+    exactly (asserted by property tests); peak memory is governed by the
+    largest single bucket instead of the whole window.
+
+    Examples
+    --------
+    >>> btm = BipartiteTemporalMultigraph.from_comments(
+    ...     [("a", "p", 0), ("b", "p", 50), ("c", "p", 110)]
+    ... )
+    >>> direct = project(btm, TimeWindow(0, 120))
+    >>> bucketed = project_bucketed(btm, TimeWindow(0, 120), bucket_width=60)
+    >>> bucketed.ci.edges.to_dict() == direct.ci.edges.to_dict()
+    True
+    """
+    if merge not in ("exact", "sum"):
+        raise ValueError(f"merge must be 'exact' or 'sum', got {merge!r}")
+    buckets = window.buckets(bucket_width)
+    timings = StageTimings()
+
+    if merge == "exact":
+        parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        pair_observations = 0
+        for bucket in buckets:
+            with timings.stage(f"bucket {bucket}"):
+                sub = project(
+                    btm, bucket, pair_batch=pair_batch, keep_triples=True
+                )
+            assert sub.triples is not None
+            parts.append(sub.triples)
+            pair_observations += sub.stats["pair_observations"]
+        with timings.stage("merge"):
+            if parts:
+                pg = np.concatenate([t[0] for t in parts])
+                a = np.concatenate([t[1] for t in parts])
+                b = np.concatenate([t[2] for t in parts])
+                pg, a, b = _dedup_triples(pg, a, b)
+            else:
+                pg = a = b = np.empty(0, dtype=np.int64)
+            ci = reduce_triples_to_ci(
+                pg, a, b, btm.user_id_space, window, btm.user_names
+            )
+        return ProjectionResult(
+            ci=ci,
+            triples=(pg, a, b) if keep_triples else None,
+            stats={
+                "comments_scanned": btm.n_comments,
+                "buckets": len(buckets),
+                "pair_observations": pair_observations,
+                "distinct_page_pairs": int(pg.shape[0]),
+                "ci_edges": ci.edges.n_edges,
+            },
+            timings=timings,
+        )
+
+    # merge == "sum": the naive merge the ablation quantifies.
+    merged = EdgeList.empty()
+    page_counts = np.zeros(btm.user_id_space, dtype=np.int64)
+    pair_observations = 0
+    for bucket in buckets:
+        with timings.stage(f"bucket {bucket}"):
+            sub = project(btm, bucket, pair_batch=pair_batch)
+        merged = merged.concat(sub.ci.edges)
+        page_counts += sub.ci.page_counts
+        pair_observations += sub.stats["pair_observations"]
+    merged = merged.accumulate()
+    ci = CommonInteractionGraph(
+        edges=merged,
+        page_counts=page_counts,
+        window=window,
+        user_names=btm.user_names,
+    )
+    return ProjectionResult(
+        ci=ci,
+        stats={
+            "comments_scanned": btm.n_comments,
+            "buckets": len(buckets),
+            "pair_observations": pair_observations,
+            "ci_edges": merged.n_edges,
+        },
+        timings=timings,
+    )

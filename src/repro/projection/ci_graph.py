@@ -1,0 +1,139 @@
+"""The common interaction graph ``C = (U, I, w')`` with its ``P'`` ledger.
+
+Wraps the projection output with the operations Steps 2–3 need:
+thresholding, CSR conversion for the triangle survey, connected components
+of the pruned graph (the paper's botnet "networks"), and the normalized
+triangle score ``T(x, y, z)`` of eq. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.components import components_as_lists
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.projection.window import TimeWindow
+from repro.util.ids import Interner
+
+__all__ = ["CommonInteractionGraph"]
+
+
+@dataclass
+class CommonInteractionGraph:
+    """Weighted author–author graph plus per-author page counts.
+
+    Attributes
+    ----------
+    edges:
+        Accumulated edge list; ``weight`` is ``w'`` (eq. 5).
+    page_counts:
+        ``P'_x`` per author id (eq. 6): the number of pages that created at
+        least one projection edge incident to *x*.
+    window:
+        The ``(δ1, δ2)`` window that produced the graph.
+    user_names:
+        Optional interner for reporting author names.
+    """
+
+    edges: EdgeList
+    page_counts: np.ndarray
+    window: TimeWindow
+    user_names: Interner | None = None
+
+    def __post_init__(self) -> None:
+        self.page_counts = np.asarray(self.page_counts, dtype=np.int64)
+        if self.edges.n_edges and self.edges.max_vertex >= self.page_counts.shape[0]:
+            raise ValueError(
+                "page_counts shorter than the edge endpoint id space "
+                f"({self.page_counts.shape[0]} <= {self.edges.max_vertex})"
+            )
+
+    # -- size accounting --------------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        """Number of distinct author pairs with ``w' >= 1``."""
+        return self.edges.n_edges
+
+    @property
+    def n_authors(self) -> int:
+        """Authors participating in at least one projection edge."""
+        return int((self.page_counts > 0).sum())
+
+    @property
+    def id_space(self) -> int:
+        """Size of the author id space (isolated authors included)."""
+        return int(self.page_counts.shape[0])
+
+    def max_weight(self) -> int:
+        """Largest ``w'`` in the graph (0 when empty)."""
+        return int(self.edges.weight.max()) if self.n_edges else 0
+
+    # -- derived forms -------------------------------------------------------------
+    def threshold(self, min_weight: int) -> "CommonInteractionGraph":
+        """Keep only edges with ``w' >= min_weight`` (``P'`` unchanged).
+
+        ``P'`` is a property of the *projection*, not of the pruned view,
+        so normalized scores stay comparable across thresholds.
+        """
+        return CommonInteractionGraph(
+            edges=self.edges.threshold(min_weight),
+            page_counts=self.page_counts,
+            window=self.window,
+            user_names=self.user_names,
+        )
+
+    def without_authors(self, author_ids) -> "CommonInteractionGraph":
+        """Drop all edges incident to *author_ids* (refinement loop)."""
+        return CommonInteractionGraph(
+            edges=self.edges.without_vertices(author_ids),
+            page_counts=self.page_counts,
+            window=self.window,
+            user_names=self.user_names,
+        )
+
+    def to_csr(self) -> CSRGraph:
+        """CSR adjacency over the full author id space."""
+        return CSRGraph.from_edgelist(self.edges, n_vertices=self.id_space)
+
+    def components(self, min_size: int = 2) -> list[list[int]]:
+        """Connected components of the (already thresholded) graph."""
+        return components_as_lists(
+            self.edges, min_size=min_size, n_vertices=self.id_space
+        )
+
+    # -- scores ------------------------------------------------------------------------
+    def triangle_score(self, x: int, y: int, z: int) -> float:
+        """``T(x, y, z)`` of eq. 7 for one triangle (edges must exist).
+
+        Provided for spot checks; the triangle survey computes this in
+        bulk without per-call CSR rebuilds.
+        """
+        csr = self.to_csr()
+        weights = [
+            csr.edge_weight(x, y),
+            csr.edge_weight(y, z),
+            csr.edge_weight(x, z),
+        ]
+        if any(w is None for w in weights):
+            raise ValueError(f"({x}, {y}, {z}) is not a triangle in C")
+        denom = int(
+            self.page_counts[x] + self.page_counts[y] + self.page_counts[z]
+        )
+        if denom == 0:
+            return 0.0
+        return 3.0 * min(weights) / denom
+
+    def author_name(self, author_id: int) -> str:
+        """Platform name for an author id (falls back to ``user<id>``)."""
+        if self.user_names is None:
+            return f"user{author_id}"
+        return str(self.user_names.key_of(author_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CommonInteractionGraph(window={self.window}, "
+            f"n_authors={self.n_authors}, n_edges={self.n_edges})"
+        )

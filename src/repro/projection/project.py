@@ -1,0 +1,342 @@
+"""Algorithm 1 — projecting B to the common interaction graph C.
+
+Two engines:
+
+- :func:`project_reference` transcribes the paper's Algorithm 1 verbatim
+  (dict-of-lists, per-page double loop, ``S_I``/``S_P'`` sets).  It is
+  O(Σ k_p²) in Python and exists as the correctness oracle.
+- :func:`project` is the production engine.  It sorts all comments by
+  ``(page, time)`` once, then finds every in-window pair with a *global*
+  vectorized two-pointer: comment *i*'s window mates are the contiguous
+  index range ``searchsorted(key, key_i + δ1) .. searchsorted(key,
+  key_i + δ2)`` where ``key = page_run * STRIDE + rebased_time`` encodes
+  page and time into one monotone int64 (the stride is wide enough that a
+  window can never bleed into the next page's run).  Pair explosion is
+  bounded by processing rows in batches of at most ``pair_batch``
+  candidate pairs (the memory-vs-window trade-off of paper §2.2/§3).
+
+Both return the same :class:`ProjectionResult`; equality is enforced by
+unit and property tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteTemporalMultigraph
+from repro.graph.edgelist import EdgeList
+from repro.projection.ci_graph import CommonInteractionGraph
+from repro.projection.window import TimeWindow
+from repro.util.grouping import group_boundaries, unique_pair_weights
+from repro.util.timers import StageTimings
+
+__all__ = [
+    "project",
+    "project_reference",
+    "ProjectionResult",
+    "estimate_pair_volume",
+]
+
+
+@dataclass
+class ProjectionResult:
+    """Output of Step 1.
+
+    Attributes
+    ----------
+    ci:
+        The common interaction graph ``C = (U, I, w')`` plus the ``P'``
+        page-count ledger.
+    triples:
+        Optional ``(page, lo_user, hi_user)`` arrays of the distinct
+        per-page author pairs behind every edge weight — retained when
+        ``keep_triples=True`` so the exact bucket merge can union them.
+    stats:
+        Size accounting: comments scanned, pages visited, raw in-window
+        pair observations, distinct per-page pairs, CI edges.
+    timings:
+        Per-stage wall-clock ledger.
+    """
+
+    ci: CommonInteractionGraph
+    triples: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+    stats: dict[str, int] = field(default_factory=dict)
+    timings: StageTimings = field(default_factory=StageTimings)
+
+
+# ---------------------------------------------------------------------------
+# Reference engine (Algorithm 1, verbatim)
+# ---------------------------------------------------------------------------
+
+
+def project_reference(
+    btm: BipartiteTemporalMultigraph, window: TimeWindow
+) -> ProjectionResult:
+    """Line-by-line Algorithm 1: the slow, obviously correct oracle."""
+    by_page: dict[int, list[tuple[int, int]]] = defaultdict(list)
+    for u, p, t in zip(btm.users, btm.pages, btm.times):
+        by_page[int(p)].append((int(t), int(u)))
+
+    weights: dict[tuple[int, int], int] = defaultdict(int)
+    page_counts: dict[int, int] = defaultdict(int)
+    pair_observations = 0
+    for page, comments in by_page.items():
+        comments.sort()
+        s_i: set[tuple[int, int]] = set()
+        k = len(comments)
+        for i in range(k):
+            tx, x = comments[i]
+            for j in range(k):
+                if j == i:
+                    continue
+                ty, y = comments[j]
+                if ty < tx:
+                    continue
+                if window.delta1 <= ty - tx <= window.delta2 and x != y:
+                    s_i.add((min(x, y), max(x, y)))
+                    pair_observations += 1
+        s_pprime: set[int] = set()
+        for x, y in s_i:
+            s_pprime.add(x)
+            s_pprime.add(y)
+            weights[(x, y)] += 1
+        for x in s_pprime:
+            page_counts[x] += 1
+
+    n_users = btm.user_id_space
+    pc = np.zeros(n_users, dtype=np.int64)
+    for user, count in page_counts.items():
+        pc[user] = count
+    edges = EdgeList.from_weighted_dict(dict(weights))
+    ci = CommonInteractionGraph(
+        edges=edges.accumulate(),
+        page_counts=pc,
+        window=window,
+        user_names=btm.user_names,
+    )
+    return ProjectionResult(
+        ci=ci,
+        stats={
+            "comments_scanned": btm.n_comments,
+            "pages_visited": len(by_page),
+            "pair_observations": pair_observations,
+            # Each unit of weight is one distinct (page, pair) observation.
+            "distinct_page_pairs": int(sum(weights.values())),
+            "ci_edges": edges.accumulate().n_edges,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized production engine
+# ---------------------------------------------------------------------------
+
+
+def _dedup_triples(
+    pg: np.ndarray, a: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deduplicate ``(page, a, b)`` triples (a < b assumed), sorted output."""
+    if pg.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    order = np.lexsort((b, a, pg))
+    pg, a, b = pg[order], a[order], b[order]
+    keep = np.empty(pg.shape[0], dtype=bool)
+    keep[0] = True
+    keep[1:] = (pg[1:] != pg[:-1]) | (a[1:] != a[:-1]) | (b[1:] != b[:-1])
+    return pg[keep], a[keep], b[keep]
+
+
+def _windowed_pair_batches(
+    users: np.ndarray,
+    pages: np.ndarray,
+    times: np.ndarray,
+    window: TimeWindow,
+    pair_batch: int,
+):
+    """Yield deduplicated ``(page, lo, hi)`` triple batches plus raw counts.
+
+    Input arrays must be sorted by ``(page, time)``.  Yields tuples
+    ``(pg, a, b, n_raw_pairs)``; batches may repeat triples across batch
+    boundaries (the caller deduplicates globally).
+    """
+    n = users.shape[0]
+    if n == 0:
+        return
+    bounds = group_boundaries(pages)
+    run_sizes = np.diff(bounds)
+    run_index = np.repeat(
+        np.arange(run_sizes.shape[0], dtype=np.int64), run_sizes
+    )
+    tb = times - times.min()
+    stride = np.int64(int(tb.max()) + window.delta2 + 2)
+    key = run_index * stride + tb
+    lo = np.searchsorted(key, key + window.delta1, side="left")
+    hi = np.searchsorted(key, key + window.delta2, side="right")
+    counts = hi - lo
+    # Comment i itself sits inside its own window iff delta1 == 0; the
+    # row/col mask below removes it, so counts here are upper bounds only.
+    cum = np.concatenate(([0], np.cumsum(counts)))
+    start_row = 0
+    while start_row < n:
+        # Grow the row range until the candidate-pair budget is hit.
+        stop_row = int(
+            np.searchsorted(cum, cum[start_row] + max(pair_batch, 1), side="left")
+        )
+        stop_row = max(stop_row, start_row + 1)
+        stop_row = min(stop_row, n)
+        batch_counts = counts[start_row:stop_row]
+        batch_total = int(cum[stop_row] - cum[start_row])
+        if batch_total == 0:
+            start_row = stop_row
+            continue
+        rows = np.repeat(
+            np.arange(start_row, stop_row, dtype=np.int64), batch_counts
+        )
+        offsets = (
+            np.arange(batch_total, dtype=np.int64)
+            - np.repeat(cum[start_row:stop_row] - cum[start_row], batch_counts)
+        )
+        cols = lo[rows] + offsets
+        mask = (cols != rows) & (users[rows] != users[cols])
+        ux = users[rows[mask]]
+        uy = users[cols[mask]]
+        pgc = pages[rows[mask]]
+        a = np.minimum(ux, uy)
+        b = np.maximum(ux, uy)
+        yield (*_dedup_triples(pgc, a, b), int(mask.sum()))
+        start_row = stop_row
+
+
+def project(
+    btm: BipartiteTemporalMultigraph,
+    window: TimeWindow,
+    pair_batch: int = 4_000_000,
+    keep_triples: bool = False,
+) -> ProjectionResult:
+    """Vectorized Algorithm 1 (see module docstring).
+
+    Parameters
+    ----------
+    btm:
+        The bipartite temporal multigraph to project.
+    window:
+        The delay window ``(δ1, δ2)``.
+    pair_batch:
+        Peak number of candidate pairs materialized at once; the
+        memory/throughput knob (paper §3's "much greater space to store in
+        memory" concern).
+    keep_triples:
+        Retain the distinct ``(page, x, y)`` observations in the result
+        (needed by the exact bucket merge and some ablations).
+
+    Examples
+    --------
+    >>> btm = BipartiteTemporalMultigraph.from_comments(
+    ...     [("a", "p", 0), ("b", "p", 30), ("c", "p", 300)]
+    ... )
+    >>> result = project(btm, TimeWindow(0, 60))
+    >>> result.ci.edges.to_dict()
+    {(0, 1): 1}
+    """
+    timings = StageTimings()
+    with timings.stage("sort"):
+        users, pages, times, _bounds = btm.page_sorted_view()
+
+    triple_parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    pair_observations = 0
+    with timings.stage("windowed_pairs"):
+        for pg, a, b, raw in _windowed_pair_batches(
+            users, pages, times, window, pair_batch
+        ):
+            triple_parts.append((pg, a, b))
+            pair_observations += raw
+
+    with timings.stage("dedup"):
+        if triple_parts:
+            pg = np.concatenate([t[0] for t in triple_parts])
+            a = np.concatenate([t[1] for t in triple_parts])
+            b = np.concatenate([t[2] for t in triple_parts])
+            pg, a, b = _dedup_triples(pg, a, b)
+        else:
+            pg = a = b = np.empty(0, dtype=np.int64)
+
+    n_users = btm.user_id_space
+    with timings.stage("reduce"):
+        ci = reduce_triples_to_ci(pg, a, b, n_users, window, btm.user_names)
+
+    result = ProjectionResult(
+        ci=ci,
+        triples=(pg, a, b) if keep_triples else None,
+        stats={
+            "comments_scanned": btm.n_comments,
+            "pages_visited": int(np.unique(pages).shape[0]),
+            "pair_observations": pair_observations,
+            "distinct_page_pairs": int(pg.shape[0]),
+            "ci_edges": ci.edges.n_edges,
+        },
+        timings=timings,
+    )
+    return result
+
+
+def estimate_pair_volume(
+    btm: BipartiteTemporalMultigraph, window: TimeWindow
+) -> int:
+    """Upper bound on the candidate pairs Algorithm 1 materializes.
+
+    Runs only the two searchsorted passes of the windowed two-pointer —
+    no pair arrays are built — so a caller can predict the memory and
+    compute cost of a window *before* committing to the projection (the
+    parameter-selection question the paper leaves open, §3.2.3/§4.3).
+    The count includes each comment's self-window hit when ``δ1 = 0``
+    and same-author pairs, hence "upper bound".
+    """
+    users, pages, times, _bounds = btm.page_sorted_view()
+    n = users.shape[0]
+    if n == 0:
+        return 0
+    bounds = group_boundaries(pages)
+    run_sizes = np.diff(bounds)
+    run_index = np.repeat(
+        np.arange(run_sizes.shape[0], dtype=np.int64), run_sizes
+    )
+    tb = times - times.min()
+    stride = np.int64(int(tb.max()) + window.delta2 + 2)
+    key = run_index * stride + tb
+    lo = np.searchsorted(key, key + window.delta1, side="left")
+    hi = np.searchsorted(key, key + window.delta2, side="right")
+    return int((hi - lo).sum())
+
+
+def reduce_triples_to_ci(
+    pg: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    n_users: int,
+    window: TimeWindow,
+    user_names=None,
+) -> CommonInteractionGraph:
+    """Fold distinct ``(page, x, y)`` observations into ``C`` and ``P'``.
+
+    Each triple is one page where the pair co-interacted inside the
+    window, so ``w'_{xy}`` is the triple count per pair (eq. 5) and
+    ``P'_x`` is the number of distinct pages over triples touching *x*
+    (eq. 6).
+    """
+    ua, ub, w = unique_pair_weights(a, b)
+    edges = EdgeList.__new__(EdgeList)
+    edges.src, edges.dst, edges.weight = ua, ub, w
+
+    page_counts = np.zeros(n_users, dtype=np.int64)
+    if pg.shape[0]:
+        pu = np.concatenate((pg, pg))
+        uu = np.concatenate((a, b))
+        dp, du, _ = unique_pair_weights(pu, uu)
+        np.add.at(page_counts, du, 1)
+    return CommonInteractionGraph(
+        edges=edges, page_counts=page_counts, window=window, user_names=user_names
+    )

@@ -1,0 +1,73 @@
+"""The temporal window ``(δ1, δ2)`` (paper §2.2).
+
+A window selects pairs of comments on the same page whose time difference
+``t(y) - t(x)`` (with ``t(y) >= t(x)``) lies in ``[δ1, δ2]``.  Narrow
+windows target share-reshare bursts; wide windows capture slower
+generation bots at quadratically growing cost — the trade-off the paper's
+§3.2 window sweep explores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TimeWindow"]
+
+
+@dataclass(frozen=True, order=True)
+class TimeWindow:
+    """A closed delay interval ``[delta1, delta2]`` in seconds.
+
+    Invariant (from the paper): ``delta2 > delta1 >= 0``.
+
+    Examples
+    --------
+    >>> w = TimeWindow(0, 60)
+    >>> w.contains(0), w.contains(60), w.contains(61)
+    (True, True, False)
+    >>> [str(b) for b in TimeWindow(0, 180).buckets(60)]
+    ['(0s, 60s)', '(60s, 120s)', '(120s, 180s)']
+    """
+
+    delta1: int
+    delta2: int
+
+    def __post_init__(self) -> None:
+        if self.delta1 < 0:
+            raise ValueError(f"delta1 must be >= 0, got {self.delta1}")
+        if self.delta2 <= self.delta1:
+            raise ValueError(
+                f"delta2 ({self.delta2}) must exceed delta1 ({self.delta1})"
+            )
+
+    @property
+    def width(self) -> int:
+        """``delta2 - delta1``."""
+        return self.delta2 - self.delta1
+
+    def contains(self, dt: int) -> bool:
+        """Whether a delay *dt* falls inside the window."""
+        return self.delta1 <= dt <= self.delta2
+
+    def buckets(self, width: int) -> list["TimeWindow"]:
+        """Split into consecutive sub-windows of at most *width* seconds.
+
+        This is the paper's memory workaround: project each narrow bucket
+        separately, then merge (``{(0,60s), (60s,120s), …, (59min,1hr)}``).
+        Buckets partition the *delay value space*: consecutive buckets
+        share a boundary point, and the exact-merge in
+        :mod:`repro.projection.buckets` deduplicates per-page pairs so a
+        boundary delay counted by two buckets is not double counted.
+        """
+        if width <= 0:
+            raise ValueError(f"bucket width must be > 0, got {width}")
+        out: list[TimeWindow] = []
+        lo = self.delta1
+        while lo < self.delta2:
+            hi = min(lo + width, self.delta2)
+            out.append(TimeWindow(lo, hi))
+            lo = hi
+        return out
+
+    def __str__(self) -> str:
+        return f"({self.delta1}s, {self.delta2}s)"

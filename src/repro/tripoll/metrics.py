@@ -1,0 +1,53 @@
+"""Step 2 metrics over surveyed triangles (paper §2.2.1, eq. 7).
+
+Array-level computations on a :class:`~repro.tripoll.survey.TriangleSet`:
+the minimum edge weight per triangle, and the normalized common-interaction
+triangle score::
+
+    T(x, y, z) = 3 · min(w'_xy, w'_yz, w'_xz) / (P'_x + P'_y + P'_z)
+
+which is guaranteed to lie in ``[0, 1]`` because one interaction per pair
+is counted per page, so ``min(w') <= min(P')`` (see the paper's argument
+following eq. 7; the property tests verify it holds on arbitrary inputs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tripoll.survey import TriangleSet
+
+__all__ = ["min_edge_weights", "t_scores"]
+
+
+def min_edge_weights(triangles: TriangleSet) -> np.ndarray:
+    """``min{w'_xy, w'_yz, w'_xz}`` per triangle."""
+    return triangles.min_weights()
+
+
+def t_scores(triangles: TriangleSet, page_counts: np.ndarray) -> np.ndarray:
+    """``T(x, y, z)`` of eq. 7 for every triangle.
+
+    Parameters
+    ----------
+    triangles:
+        The surveyed triangles with their edge weights.
+    page_counts:
+        The ``P'`` ledger from the projection (eq. 6), indexed by author id.
+
+    Returns
+    -------
+    Float array in ``[0, 1]``; triangles whose three authors all have
+    ``P' = 0`` (impossible for genuine projection output, but reachable on
+    hand-built inputs) score 0.
+    """
+    page_counts = np.asarray(page_counts, dtype=np.int64)
+    denom = (
+        page_counts[triangles.a]
+        + page_counts[triangles.b]
+        + page_counts[triangles.c]
+    ).astype(np.float64)
+    numer = 3.0 * triangles.min_weights().astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        scores = np.where(denom > 0, numer / denom, 0.0)
+    return scores

@@ -1,0 +1,379 @@
+"""Vectorized triangle surveying with per-edge metadata.
+
+Algorithm (the standard degree-ordered edge-iterator, as in TriPoll):
+
+1. Rank vertices by (degree, id); orient every edge low → high rank.
+   Forward degrees are then O(√m), bounding wedge work by O(m^1.5).
+2. For every vertex *u*, generate all ordered pairs ``(v, w)`` of forward
+   neighbors with ``rank(v) < rank(w)`` — the *wedges* — with the same
+   repeat/arange flattening used by the projection kernel (no Python
+   loops over vertices).
+3. Close wedges with a hash join: oriented edges are encoded as the
+   sorted int64 keys ``tail * n + head``; a wedge survives iff its
+   ``(v, w)`` key is present (binary search).  The matched edge index
+   also yields ``w'_{vw}``, so all three edge weights arrive with the
+   triangle — TriPoll's "metadata survey".
+
+Memory is bounded by ``wedge_batch``: vertices are processed in groups
+whose total wedge count stays under the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.ordering import degree_order
+
+__all__ = ["TriangleSet", "survey_triangles", "triangles_brute"]
+
+
+@dataclass
+class TriangleSet:
+    """Triangles in canonical form (``a < b < c`` by vertex id).
+
+    Attributes
+    ----------
+    a, b, c:
+        Vertex ids per triangle, sorted ascending within each triangle.
+    w_ab, w_ac, w_bc:
+        The three edge weights, aligned to the id ordering.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    w_ab: np.ndarray
+    w_ac: np.ndarray
+    w_bc: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.a.shape[0]
+        for name in ("b", "c", "w_ab", "w_ac", "w_bc"):
+            if getattr(self, name).shape[0] != n:
+                raise ValueError(f"TriangleSet field {name} length mismatch")
+
+    @classmethod
+    def empty(cls) -> "TriangleSet":
+        """A set with no triangles."""
+        e = np.empty(0, dtype=np.int64)
+        return cls(e, e.copy(), e.copy(), e.copy(), e.copy(), e.copy())
+
+    @classmethod
+    def from_raw(
+        cls,
+        x: np.ndarray,
+        y: np.ndarray,
+        z: np.ndarray,
+        w_xy: np.ndarray,
+        w_xz: np.ndarray,
+        w_yz: np.ndarray,
+    ) -> "TriangleSet":
+        """Canonicalize arbitrary-order triangles (sort ids, realign weights).
+
+        Weight ``w_xy`` must connect ``x``–``y`` and so on; after sorting
+        the ids, weights are permuted to match the ``(ab, ac, bc)`` slots.
+        """
+        n = x.shape[0]
+        ids = np.stack([x, y, z], axis=1).astype(np.int64, copy=False)
+        # The weight opposite each vertex: w_yz is opposite x, etc.
+        opp = np.stack([w_yz, w_xz, w_xy], axis=1)
+        order = np.argsort(ids, axis=1, kind="stable")
+        rows = np.arange(n)[:, None]
+        sorted_ids = ids[rows, order]
+        sorted_opp = opp[rows, order]
+        # After sorting: columns are (a, b, c); opposite weights follow, so
+        # w_bc is opposite a, w_ac opposite b, w_ab opposite c.
+        return cls(
+            a=sorted_ids[:, 0],
+            b=sorted_ids[:, 1],
+            c=sorted_ids[:, 2],
+            w_ab=sorted_opp[:, 2],
+            w_ac=sorted_opp[:, 1],
+            w_bc=sorted_opp[:, 0],
+        )
+
+    # -- basic accounting ---------------------------------------------------------
+    @property
+    def n_triangles(self) -> int:
+        """Number of triangles in the set."""
+        return int(self.a.shape[0])
+
+    def min_weights(self) -> np.ndarray:
+        """Minimum edge weight per triangle (paper §2.3's ranking metric)."""
+        return np.minimum(np.minimum(self.w_ab, self.w_ac), self.w_bc)
+
+    def max_weights(self) -> np.ndarray:
+        """Maximum edge weight per triangle."""
+        return np.maximum(np.maximum(self.w_ab, self.w_ac), self.w_bc)
+
+    # -- filtering / iteration -------------------------------------------------------
+    def filter_min_weight(self, cutoff: int) -> "TriangleSet":
+        """Keep triangles whose minimum edge weight is ``>= cutoff``."""
+        mask = self.min_weights() >= cutoff
+        return self.filter_mask(mask)
+
+    def filter_mask(self, mask: np.ndarray) -> "TriangleSet":
+        """Keep triangles selected by a boolean mask."""
+        return TriangleSet(
+            self.a[mask],
+            self.b[mask],
+            self.c[mask],
+            self.w_ab[mask],
+            self.w_ac[mask],
+            self.w_bc[mask],
+        )
+
+    def vertices(self) -> np.ndarray:
+        """Sorted distinct vertex ids appearing in any triangle."""
+        if self.n_triangles == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate((self.a, self.b, self.c)))
+
+    def as_tuples(self) -> set[tuple[int, int, int]]:
+        """Canonical ``(a, b, c)`` id triples as a Python set (tests)."""
+        return {
+            (int(x), int(y), int(z))
+            for x, y, z in zip(self.a, self.b, self.c)
+        }
+
+    def __iter__(self) -> Iterator[tuple[int, int, int, int, int, int]]:
+        for i in range(self.n_triangles):
+            yield (
+                int(self.a[i]),
+                int(self.b[i]),
+                int(self.c[i]),
+                self.w_ab[i].item(),
+                self.w_ac[i].item(),
+                self.w_bc[i].item(),
+            )
+
+    def sorted_canonical(self) -> "TriangleSet":
+        """Sort triangles by ``(a, b, c)`` for order-independent comparison."""
+        if self.n_triangles == 0:
+            return TriangleSet.empty()
+        order = np.lexsort((self.c, self.b, self.a))
+        return TriangleSet(
+            self.a[order],
+            self.b[order],
+            self.c[order],
+            self.w_ab[order],
+            self.w_ac[order],
+            self.w_bc[order],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TriangleSet(n_triangles={self.n_triangles})"
+
+
+def survey_triangles(
+    edges: EdgeList,
+    min_edge_weight: int = 0,
+    wedge_batch: int = 4_000_000,
+    survey_callback: Callable[[TriangleSet], None] | None = None,
+    collect: bool = True,
+) -> TriangleSet:
+    """Enumerate all triangles of an undirected weighted graph, with weights.
+
+    Parameters
+    ----------
+    edges:
+        The graph (duplicates are accumulated).  For the paper's Step 2
+        this is the common-interaction graph's edge list.
+    min_edge_weight:
+        Pre-threshold: edges lighter than this are removed *before*
+        enumeration, so every reported triangle has min weight >= cutoff.
+        This is TriPoll's edge-filtered survey mode and the knob the paper
+        turns ("a minimum triangle weight cutoff of 25").
+    wedge_batch:
+        Peak number of wedges materialized at once.
+    survey_callback:
+        Optional metadata survey: invoked once per internal batch with the
+        batch's :class:`TriangleSet` (TriPoll's streaming survey API); the
+        full set is still returned unless ``collect=False``.
+    collect:
+        When ``False``, batches are *not* retained after the callback and
+        an empty set is returned — peak memory stays at one wedge batch
+        regardless of the triangle count (the TriPoll survey mode; see
+        :mod:`repro.tripoll.aggregate`).
+
+    Examples
+    --------
+    >>> el = EdgeList([0, 0, 1, 2], [1, 2, 2, 3], [5, 4, 3, 9])
+    >>> ts = survey_triangles(el)
+    >>> ts.as_tuples()
+    {(0, 1, 2)}
+    >>> ts.min_weights().tolist()
+    [3]
+    """
+    acc = edges.accumulate()
+    if min_edge_weight > 0:
+        acc = acc.threshold(min_edge_weight)
+    if acc.n_edges == 0:
+        return TriangleSet.empty()
+    n = acc.max_vertex + 1
+    rank = degree_order(acc, n)
+
+    src, dst, wgt = acc.src, acc.dst, acc.weight
+    forward = rank[src] < rank[dst]
+    tail = np.where(forward, src, dst).astype(np.int64)
+    head = np.where(forward, dst, src).astype(np.int64)
+
+    # Forward adjacency sorted by (tail, rank(head)) so wedge pairs (v, w)
+    # come out with rank(v) < rank(w) — matching the closing edge's
+    # orientation by construction.
+    order = np.lexsort((rank[head], tail))
+    tail, head, wgt = tail[order], head[order], wgt[order]
+
+    # Sorted key table for the closing-edge hash join.
+    edge_key = tail * np.int64(n) + head
+    key_order = np.argsort(edge_key)
+    sorted_keys = edge_key[key_order]
+    sorted_wgt = wgt[key_order]
+
+    # Per-tail adjacency slices.
+    fdeg = np.bincount(tail, minlength=n)
+    fptr = np.concatenate(([0], np.cumsum(fdeg)))
+
+    # A wedge is an adjacency position paired with every *later* position
+    # in the same tail's slice (the slice is rank-sorted, so the pair
+    # (v, w) automatically has rank(v) < rank(w)).  Wedges per position:
+    m = tail.shape[0]
+    u_of_pos = tail  # tail array is already expanded per position
+    slice_end = fptr[u_of_pos + 1]
+    counts = slice_end - np.arange(m, dtype=np.int64) - 1
+    cum = np.concatenate(([0], np.cumsum(counts)))
+
+    parts: list[TriangleSet] = []
+    start_pos = 0
+    while start_pos < m:
+        stop_pos = int(
+            np.searchsorted(cum, cum[start_pos] + max(wedge_batch, 1), side="left")
+        )
+        stop_pos = max(stop_pos, start_pos + 1)
+        stop_pos = min(stop_pos, m)
+        batch = _close_wedges(
+            start_pos,
+            stop_pos,
+            counts,
+            cum,
+            u_of_pos,
+            head,
+            wgt,
+            sorted_keys,
+            sorted_wgt,
+            n,
+        )
+        if batch.n_triangles:
+            if survey_callback is not None:
+                survey_callback(batch)
+            if collect:
+                parts.append(batch)
+        start_pos = stop_pos
+
+    if not parts:
+        return TriangleSet.empty()
+    return TriangleSet(
+        a=np.concatenate([p.a for p in parts]),
+        b=np.concatenate([p.b for p in parts]),
+        c=np.concatenate([p.c for p in parts]),
+        w_ab=np.concatenate([p.w_ab for p in parts]),
+        w_ac=np.concatenate([p.w_ac for p in parts]),
+        w_bc=np.concatenate([p.w_bc for p in parts]),
+    )
+
+
+def _close_wedges(
+    start_pos: int,
+    stop_pos: int,
+    counts: np.ndarray,
+    cum: np.ndarray,
+    u_of_pos: np.ndarray,
+    head: np.ndarray,
+    wgt: np.ndarray,
+    sorted_keys: np.ndarray,
+    sorted_wgt: np.ndarray,
+    n: int,
+) -> TriangleSet:
+    """Generate and close the wedges of adjacency positions in a range.
+
+    Position *p* (holding neighbor ``v = head[p]`` of tail ``u``) pairs
+    with every later position *q* in the same slice (``w = head[q]``);
+    the candidate triangle is ``(u, v, w)`` pending the ``(v, w)`` edge
+    lookup.
+    """
+    batch_counts = counts[start_pos:stop_pos]
+    total = int(cum[stop_pos] - cum[start_pos])
+    if total == 0:
+        return TriangleSet.empty()
+    rows = np.repeat(np.arange(start_pos, stop_pos, dtype=np.int64), batch_counts)
+    offsets = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(cum[start_pos:stop_pos] - cum[start_pos], batch_counts)
+    )
+    cols = rows + 1 + offsets
+
+    u_rep = u_of_pos[rows]
+    v = head[rows]
+    w = head[cols]
+    w_uv = wgt[rows]
+    w_uw = wgt[cols]
+
+    close_key = v * np.int64(n) + w
+    pos = np.searchsorted(sorted_keys, close_key)
+    pos = np.minimum(pos, sorted_keys.shape[0] - 1)
+    hit = sorted_keys[pos] == close_key
+    if not np.any(hit):
+        return TriangleSet.empty()
+    return TriangleSet.from_raw(
+        x=u_rep[hit],
+        y=v[hit],
+        z=w[hit],
+        w_xy=w_uv[hit],
+        w_xz=w_uw[hit],
+        w_yz=sorted_wgt[pos[hit]],
+    )
+
+
+def triangles_brute(edges: EdgeList) -> TriangleSet:
+    """O(n³) reference enumeration (tests only)."""
+    acc = edges.accumulate()
+    lookup = acc.to_dict()
+    adj: dict[int, set[int]] = {}
+    for (u, v), _w in lookup.items():
+        adj.setdefault(u, set()).add(v)
+        adj.setdefault(v, set()).add(u)
+    verts = sorted(adj)
+    rows = []
+    for ai in range(len(verts)):
+        for bi in range(ai + 1, len(verts)):
+            a, b = verts[ai], verts[bi]
+            if b not in adj[a]:
+                continue
+            for ci in range(bi + 1, len(verts)):
+                c = verts[ci]
+                if c in adj[a] and c in adj[b]:
+                    rows.append(
+                        (
+                            a,
+                            b,
+                            c,
+                            lookup[(a, b)],
+                            lookup[(a, c)],
+                            lookup[(b, c)],
+                        )
+                    )
+    if not rows:
+        return TriangleSet.empty()
+    arr = np.asarray(rows, dtype=np.int64)
+    return TriangleSet(
+        a=arr[:, 0],
+        b=arr[:, 1],
+        c=arr[:, 2],
+        w_ab=arr[:, 3],
+        w_ac=arr[:, 4],
+        w_bc=arr[:, 5],
+    )

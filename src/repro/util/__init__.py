@@ -1,0 +1,44 @@
+"""Shared low-level utilities for the :mod:`repro` library.
+
+This package contains the pieces every other subsystem leans on:
+
+- :mod:`repro.util.ids` — string/int interning used to map author and page
+  names onto dense integer vertex ids (all graph kernels operate on dense
+  ids so they can be vectorized with numpy).
+- :mod:`repro.util.grouping` — vectorized group-by / run-length kernels used
+  by the projection and triangle-survey engines.
+- :mod:`repro.util.rng` — deterministic, splittable random streams used by
+  the synthetic data generator and property tests.
+- :mod:`repro.util.stats` — correlation and binned-statistic helpers behind
+  the figure reproductions.
+- :mod:`repro.util.timers` — lightweight wall-clock instrumentation (the
+  "no optimization without measuring" discipline from the HPC guides).
+- :mod:`repro.util.validation` — argument-checking helpers with consistent
+  error messages.
+"""
+
+from repro.util.ids import Interner
+from repro.util.grouping import (
+    group_boundaries,
+    group_slices,
+    run_lengths,
+    counts_from_sorted,
+)
+from repro.util.rng import SeedSequenceFactory, derive_rng
+from repro.util.timers import Timer, StageTimings
+from repro.util.stats import pearson, spearman, binned_log_counts
+
+__all__ = [
+    "Interner",
+    "group_boundaries",
+    "group_slices",
+    "run_lengths",
+    "counts_from_sorted",
+    "SeedSequenceFactory",
+    "derive_rng",
+    "Timer",
+    "StageTimings",
+    "pearson",
+    "spearman",
+    "binned_log_counts",
+]

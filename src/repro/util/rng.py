@@ -1,0 +1,79 @@
+"""Deterministic, splittable random streams.
+
+The synthetic Reddit generator composes many independent stochastic
+processes (background humans, each injected botnet, timestamp jitter…).
+Giving each process its own child stream derived from a single master seed
+makes every dataset reproducible while keeping the processes statistically
+independent — the standard ``numpy.random.SeedSequence.spawn`` discipline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SeedSequenceFactory", "derive_rng"]
+
+
+class SeedSequenceFactory:
+    """Hands out named, reproducible child generators from one master seed.
+
+    The same ``(seed, name)`` pair always yields the same stream regardless
+    of the order in which streams are requested, because each child is keyed
+    by a stable hash of its name rather than by spawn order.
+
+    Examples
+    --------
+    >>> f = SeedSequenceFactory(42)
+    >>> a = f.rng("background").integers(0, 100, 3)
+    >>> b = SeedSequenceFactory(42).rng("background").integers(0, 100, 3)
+    >>> bool((a == b).all())
+    True
+    """
+
+    def __init__(self, seed: int) -> None:
+        if not isinstance(seed, (int, np.integer)):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        """The master seed this factory derives all streams from."""
+        return self._seed
+
+    def rng(self, name: str) -> np.random.Generator:
+        """Return the generator for stream *name* (stable across calls)."""
+        return derive_rng(self._seed, name)
+
+    def child(self, name: str) -> "SeedSequenceFactory":
+        """Return a sub-factory whose streams are namespaced under *name*."""
+        sub_seed = int(
+            np.random.SeedSequence([self._seed, _stable_key(name)])
+            .generate_state(1, np.uint64)[0]
+        )
+        return SeedSequenceFactory(sub_seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SeedSequenceFactory(seed={self._seed})"
+
+
+def derive_rng(seed: int, name: str) -> np.random.Generator:
+    """Return a generator deterministically derived from ``(seed, name)``."""
+    return np.random.default_rng(
+        np.random.SeedSequence([int(seed), _stable_key(name)])
+    )
+
+
+def _stable_key(name: str) -> int:
+    """A stable (non-salted) 64-bit hash of a stream name.
+
+    Python's builtin ``hash`` on strings is salted per process, which would
+    destroy reproducibility across runs, so we fold the UTF-8 bytes with the
+    FNV-1a constant instead.
+    """
+    acc = np.uint64(1469598103934665603)
+    prime = np.uint64(1099511628211)
+    # uint64 arithmetic wraps intentionally; silence numpy overflow warnings.
+    with np.errstate(over="ignore"):
+        for byte in name.encode("utf-8"):
+            acc = (acc ^ np.uint64(byte)) * prime
+    return int(acc)

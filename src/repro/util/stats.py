@@ -1,0 +1,177 @@
+"""Statistics helpers behind the figure reproductions.
+
+The thesis evaluates its method with 2-D log-scaled histograms ("hexbin"
+plots) of hypergraph metrics against common-interaction-graph metrics, and
+remarks on the correlation between the two.  This module provides the exact
+numeric content of those plots — binned log counts plus correlation
+coefficients — as plain arrays that the benchmark harness prints and the
+tests assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+__all__ = [
+    "pearson",
+    "spearman",
+    "binned_log_counts",
+    "Hist2D",
+    "fraction_above_diagonal",
+]
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation of two samples; ``nan`` for degenerate input."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"samples differ in shape: {x.shape} vs {y.shape}")
+    if x.size < 2 or np.ptp(x) == 0 or np.ptp(y) == 0:
+        return float("nan")
+    return float(_scipy_stats.pearsonr(x, y).statistic)
+
+
+def spearman(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation; ``nan`` for degenerate input."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"samples differ in shape: {x.shape} vs {y.shape}")
+    if x.size < 2 or np.ptp(x) == 0 or np.ptp(y) == 0:
+        return float("nan")
+    return float(_scipy_stats.spearmanr(x, y).statistic)
+
+
+@dataclass(frozen=True)
+class Hist2D:
+    """A 2-D histogram with log-scaled color values, mirroring the paper's plots.
+
+    Attributes
+    ----------
+    counts:
+        Raw bin counts, shape ``(nx, ny)``; ``counts[i, j]`` covers
+        ``x_edges[i]..x_edges[i+1]`` × ``y_edges[j]..y_edges[j+1]``.
+    log_counts:
+        ``log10(counts)`` with empty bins at ``-inf`` (rendered white/blank,
+        matching the paper's "empty bins left white").
+    x_edges, y_edges:
+        Bin edges.
+    """
+
+    counts: np.ndarray
+    x_edges: np.ndarray
+    y_edges: np.ndarray
+
+    @property
+    def log_counts(self) -> np.ndarray:
+        with np.errstate(divide="ignore"):
+            return np.log10(self.counts.astype(np.float64))
+
+    @property
+    def n_points(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def occupied_bins(self) -> int:
+        return int((self.counts > 0).sum())
+
+    def to_rows(self, include_empty: bool = False) -> list[dict]:
+        """Flatten to ``{x, y, count}`` rows (bin centers) for replotting.
+
+        The exact data series behind the paper's plots, in a form any
+        plotting tool ingests; empty bins are skipped by default (the
+        paper leaves them white).
+        """
+        xc = 0.5 * (self.x_edges[:-1] + self.x_edges[1:])
+        yc = 0.5 * (self.y_edges[:-1] + self.y_edges[1:])
+        rows: list[dict] = []
+        for i in range(self.counts.shape[0]):
+            for j in range(self.counts.shape[1]):
+                c = int(self.counts[i, j])
+                if c or include_empty:
+                    rows.append(
+                        {"x": float(xc[i]), "y": float(yc[j]), "count": c}
+                    )
+        return rows
+
+    def render(self, max_rows: int = 24) -> str:
+        """ASCII-render the histogram (y increasing upward) for reports."""
+        counts = self.counts
+        nx, ny = counts.shape
+        row_step = max(1, ny // max_rows)
+        glyphs = " .:-=+*#%@"
+        with np.errstate(divide="ignore"):
+            logc = np.log10(np.maximum(counts, 1))
+        peak = float(logc.max()) if logc.size else 0.0
+        lines: list[str] = []
+        for j in range(ny - 1, -1, -row_step):
+            row = []
+            for i in range(nx):
+                c = counts[i, j]
+                if c == 0:
+                    row.append(" ")
+                else:
+                    level = 1 if peak == 0 else 1 + int(
+                        (len(glyphs) - 2) * (logc[i, j] / peak)
+                    )
+                    row.append(glyphs[min(level, len(glyphs) - 1)])
+            lines.append("|" + "".join(row) + "|")
+        lines.append("+" + "-" * nx + "+")
+        return "\n".join(lines)
+
+
+def binned_log_counts(
+    x: np.ndarray,
+    y: np.ndarray,
+    bins: int = 40,
+    x_range: tuple[float, float] | None = None,
+    y_range: tuple[float, float] | None = None,
+) -> Hist2D:
+    """Compute the paper's hexbin content as a rectangular 2-D histogram.
+
+    True hexagonal binning and rectangular binning carry the same
+    information for our purposes (bin occupancy on a log color scale);
+    rectangular bins keep the output a plain array.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"samples differ in shape: {x.shape} vs {y.shape}")
+    hist_range = None
+    if x_range is not None or y_range is not None:
+        hist_range = (
+            x_range if x_range is not None else _span(x),
+            y_range if y_range is not None else _span(y),
+        )
+    counts, x_edges, y_edges = np.histogram2d(x, y, bins=bins, range=hist_range)
+    return Hist2D(counts=counts.astype(np.int64), x_edges=x_edges, y_edges=y_edges)
+
+
+def fraction_above_diagonal(x: np.ndarray, y: np.ndarray) -> float:
+    """Fraction of points with ``y > x`` (strictly above the blue y=x line).
+
+    The paper reads its figures against the ``y = x`` diagonal; this scalar
+    summarizes that comparison (e.g. triplets whose hyperedge weight exceeds
+    the minimum triangle weight).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"samples differ in shape: {x.shape} vs {y.shape}")
+    if x.size == 0:
+        return float("nan")
+    return float(np.mean(y > x))
+
+
+def _span(a: np.ndarray) -> tuple[float, float]:
+    if a.size == 0:
+        return (0.0, 1.0)
+    lo = float(a.min())
+    hi = float(a.max())
+    if lo == hi:
+        hi = lo + 1.0
+    return (lo, hi)

@@ -1,0 +1,87 @@
+"""Wall-clock instrumentation.
+
+"No optimization without measuring" — every pipeline stage records its
+duration into a :class:`StageTimings` ledger so benchmark output can report
+where the time went without requiring an external profiler.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Timer", "StageTimings"]
+
+
+class Timer:
+    """A context-manager stopwatch.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    __slots__ = ("_start", "elapsed")
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class StageTimings:
+    """An ordered ledger of named stage durations (seconds)."""
+
+    stages: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a named stage; repeated names accumulate."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[name] = self.stages.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add an externally measured duration to stage *name*."""
+        self.stages[name] = self.stages.get(name, 0.0) + float(seconds)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded stage durations."""
+        return sum(self.stages.values())
+
+    def merge(self, other: "StageTimings") -> None:
+        """Fold another ledger's stages into this one."""
+        for name, seconds in other.stages.items():
+            self.record(name, seconds)
+
+    def format(self) -> str:
+        """Render a fixed-width table of stages, longest first."""
+        if not self.stages:
+            return "(no stages timed)"
+        width = max(len(name) for name in self.stages)
+        lines = [
+            f"{name:<{width}}  {seconds:>10.4f}s"
+            for name, seconds in sorted(
+                self.stages.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        lines.append(f"{'TOTAL':<{width}}  {self.total:>10.4f}s")
+        return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "require",
+    "check_int_array",
+    "check_same_length",
+    "check_nonnegative",
+    "check_positive",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` when *condition* is false."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_int_array(a: Any, name: str) -> np.ndarray:
+    """Coerce *a* to a 1-D ``int64`` array, rejecting floats with fractions."""
+    arr = np.asarray(a)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got ndim={arr.ndim}")
+    if arr.dtype.kind == "f":
+        if arr.size and not np.all(arr == np.floor(arr)):
+            raise ValueError(f"{name} contains non-integer values")
+        arr = arr.astype(np.int64)
+    elif arr.dtype.kind in "iu":
+        arr = arr.astype(np.int64, copy=False)
+    elif arr.size == 0:
+        arr = arr.astype(np.int64)
+    else:
+        raise ValueError(f"{name} must be integer-valued, got dtype={arr.dtype}")
+    return arr
+
+
+def check_same_length(*named_arrays: tuple[str, np.ndarray]) -> int:
+    """Check all named arrays share a length; return it."""
+    lengths = {name: np.asarray(a).shape[0] for name, a in named_arrays}
+    distinct = set(lengths.values())
+    if len(distinct) > 1:
+        detail = ", ".join(f"{k}={v}" for k, v in lengths.items())
+        raise ValueError(f"length mismatch: {detail}")
+    return distinct.pop() if distinct else 0
+
+
+def check_nonnegative(value: float | int, name: str) -> None:
+    """Raise when *value* is negative."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+def check_positive(value: float | int, name: str) -> None:
+    """Raise when *value* is not strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")

@@ -1,0 +1,240 @@
+"""Multiprocessing backend: real worker processes, queue transports.
+
+Each rank is a forked worker process holding its own container state and
+draining a :class:`multiprocessing.Queue`.  Workers send nested messages by
+putting directly onto the destination rank's queue, so the communication
+topology matches an MPI job (any rank to any rank, no central router).
+
+Quiescence (barrier) uses a shared outstanding-message counter: the counter
+is incremented *before* a message is enqueued and decremented only *after*
+the handler finishes (by which point any nested sends it issued have
+already incremented the counter).  The counter therefore reaches zero only
+when no message is queued or executing — the classic credit-based
+termination-detection argument.
+
+Constraints inherited from pickling (the same constraints mpi4py imposes on
+object communication): handler references must be registered names or
+module-level functions, and payloads must be picklable.  Every handler in
+this library satisfies both, so all distributed algorithms run unmodified
+on this backend; the cross-backend equivalence tests exercise exactly that.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Any
+
+from repro.ygm.backend import Backend, HandlerContext
+from repro.ygm.handlers import handler_ref as _wire, resolve_handler
+
+__all__ = ["MultiprocessingBackend"]
+
+_STOP = "stop"
+_CREATE = "create"
+_DESTROY = "destroy"
+_MSG = "msg"
+_EXEC = "exec"
+
+
+def _worker_main(
+    rank: int,
+    n_ranks: int,
+    queues: list,
+    outstanding,
+    result_queue,
+    error_queue,
+    error_count,
+) -> None:
+    """Worker process entry point: drain this rank's queue until STOP.
+
+    Handler exceptions do not kill the worker: they are reported to the
+    driver through *error_queue* (raised at the next barrier), so a
+    failing message cannot silently wedge or tear down the world.
+    """
+    states: dict[str, Any] = {}
+
+    def nested_send(target_rank: int, container_id: str, href: Any, payload: Any) -> None:
+        with outstanding.get_lock():
+            outstanding.value += 1
+        queues[target_rank].put((_MSG, container_id, _wire(href), payload))
+
+    ctx = HandlerContext(rank, n_ranks, nested_send, states)
+    my_queue = queues[rank]
+    while True:
+        item = my_queue.get()
+        kind = item[0]
+        try:
+            if kind == _STOP:
+                return
+            if kind == _CREATE:
+                _, container_id, factory_ref, args = item
+                states[container_id] = resolve_handler(factory_ref)(rank, *args)
+            elif kind == _DESTROY:
+                states.pop(item[1], None)
+            elif kind == _MSG:
+                _, container_id, href, payload = item
+                try:
+                    resolve_handler(href)(ctx, states[container_id], payload)
+                except Exception as exc:
+                    # Count first, then enqueue: the driver reads the
+                    # counter and *blocks* on the queue for exactly that
+                    # many reports, so no error can be missed to queue
+                    # visibility lag.
+                    with error_count.get_lock():
+                        error_count.value += 1
+                    error_queue.put((rank, f"{href!r}: {exc!r}"))
+            elif kind == _EXEC:
+                _, fn_ref, payload = item
+                try:
+                    result = resolve_handler(fn_ref)(ctx, payload)
+                    result_queue.put((rank, True, result))
+                except Exception as exc:  # surface worker errors to driver
+                    result_queue.put((rank, False, repr(exc)))
+        finally:
+            if kind != _STOP:
+                with outstanding.get_lock():
+                    outstanding.value -= 1
+
+
+class MultiprocessingBackend(Backend):
+    """Process-parallel backend (see module docstring)."""
+
+    #: Seconds between quiescence polls; short because barriers are frequent.
+    _POLL = 0.0005
+
+    def __init__(self, n_ranks: int, start_method: str = "fork") -> None:
+        if n_ranks <= 0:
+            raise ValueError(f"n_ranks must be positive, got {n_ranks}")
+        self.n_ranks = int(n_ranks)
+        self._ctx = mp.get_context(start_method)
+        self._queues = [self._ctx.Queue() for _ in range(self.n_ranks)]
+        self._outstanding = self._ctx.Value("q", 0)
+        self._result_queue = self._ctx.Queue()
+        self._error_queue = self._ctx.Queue()
+        self._error_count = self._ctx.Value("q", 0)
+        self._sent = 0
+        self._alive = True
+        self._workers = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    rank,
+                    self.n_ranks,
+                    self._queues,
+                    self._outstanding,
+                    self._result_queue,
+                    self._error_queue,
+                    self._error_count,
+                ),
+                daemon=True,
+            )
+            for rank in range(self.n_ranks)
+        ]
+        for w in self._workers:
+            w.start()
+
+    # -- container state ----------------------------------------------------
+    def create_state(self, container_id: str, factory_ref: Any, args: tuple = ()) -> None:
+        for rank in range(self.n_ranks):
+            self._enqueue(rank, (_CREATE, container_id, _wire(factory_ref), args))
+        self.run_until_quiescent()
+
+    def destroy_state(self, container_id: str) -> None:
+        if not self._alive:
+            return
+        for rank in range(self.n_ranks):
+            self._enqueue(rank, (_DESTROY, container_id))
+        self.run_until_quiescent()
+
+    # -- messaging ----------------------------------------------------------
+    def send(self, target_rank: int, container_id: str, handler_ref: Any, payload: Any) -> None:
+        if not 0 <= target_rank < self.n_ranks:
+            raise IndexError(f"rank {target_rank} out of range (size {self.n_ranks})")
+        self._enqueue(target_rank, (_MSG, container_id, _wire(handler_ref), payload))
+
+    def _enqueue(self, rank: int, item: tuple) -> None:
+        if not self._alive:
+            raise RuntimeError("backend has been shut down")
+        with self._outstanding.get_lock():
+            self._outstanding.value += 1
+        self._queues[rank].put(item)
+        self._sent += 1
+
+    def run_until_quiescent(self) -> None:
+        # Credit-based quiescence: zero outstanding ⇒ nothing queued or
+        # executing anywhere (see module docstring for the argument).
+        while True:
+            with self._outstanding.get_lock():
+                if self._outstanding.value == 0:
+                    self._raise_pending_errors()
+                    return
+            self._check_workers()
+            time.sleep(self._POLL)
+
+    def _raise_pending_errors(self) -> None:
+        """Surface handler exceptions reported by workers."""
+        with self._error_count.get_lock():
+            n_errors = self._error_count.value
+            self._error_count.value = 0
+        if n_errors == 0:
+            return
+        # The counter was incremented before each enqueue, so exactly
+        # n_errors reports are (or will be) in the queue — block for them.
+        errors = [self._error_queue.get() for _ in range(n_errors)]
+        rank, detail = errors[0]
+        more = f" (+{len(errors) - 1} more)" if len(errors) > 1 else ""
+        raise RuntimeError(f"handler failed on rank {rank}: {detail}{more}")
+
+    def _check_workers(self) -> None:
+        self._raise_pending_errors()
+        for rank, w in enumerate(self._workers):
+            if not w.is_alive():
+                raise RuntimeError(
+                    f"ygm worker rank {rank} died (exitcode {w.exitcode})"
+                )
+
+    # -- synchronous execution ----------------------------------------------
+    def run_on_rank(self, rank: int, fn_ref: Any, payload: Any = None) -> Any:
+        results = self._exec_on([rank], fn_ref, payload)
+        return results[rank]
+
+    def run_on_all(self, fn_ref: Any, payload: Any = None) -> list[Any]:
+        results = self._exec_on(list(range(self.n_ranks)), fn_ref, payload)
+        return [results[r] for r in range(self.n_ranks)]
+
+    def _exec_on(self, ranks: list[int], fn_ref: Any, payload: Any) -> dict[int, Any]:
+        self.run_until_quiescent()
+        for rank in ranks:
+            if not 0 <= rank < self.n_ranks:
+                raise IndexError(f"rank {rank} out of range (size {self.n_ranks})")
+            self._enqueue(rank, (_EXEC, _wire(fn_ref), payload))
+        results: dict[int, Any] = {}
+        while len(results) < len(ranks):
+            self._check_workers()
+            rank, ok, value = self._result_queue.get()
+            if not ok:
+                raise RuntimeError(f"exec failed on rank {rank}: {value}")
+            results[rank] = value
+        return results
+
+    @property
+    def messages_delivered(self) -> int:
+        return self._sent
+
+    def shutdown(self) -> None:
+        if not self._alive:
+            return
+        self._alive = False
+        for rank in range(self.n_ranks):
+            self._queues[rank].put((_STOP,))
+        for w in self._workers:
+            w.join(timeout=5)
+            if w.is_alive():  # pragma: no cover - defensive
+                w.terminate()
+
+    def __del__(self) -> None:  # pragma: no cover - best effort cleanup
+        try:
+            self.shutdown()
+        except Exception:
+            pass

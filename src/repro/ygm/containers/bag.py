@@ -1,0 +1,113 @@
+"""``DistBag`` — an unordered distributed multiset of items.
+
+Mirrors ``ygm::container::bag``: items carry no key, so placement is
+round-robin from the driver (or local when inserted from a handler).  The
+distributed projection stores page comment-lists in a bag so each rank
+projects its local share of pages independently.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable
+
+from repro.ygm.containers.base import DistContainer
+from repro.ygm.handlers import handler_ref, ygm_handler
+from repro.ygm.world import YgmWorld
+
+__all__ = ["DistBag"]
+
+
+@ygm_handler("ygm.bag.insert")
+def _h_insert(ctx, state: list, item) -> None:
+    state.append(item)
+
+
+@ygm_handler("ygm.bag.insert_batch")
+def _h_insert_batch(ctx, state: list, items) -> None:
+    state.extend(items)
+
+
+@ygm_handler("ygm.bag.for_all_local")
+def _h_for_all_local(ctx, payload) -> int:
+    from repro.ygm.handlers import resolve_handler
+
+    container_id, fn_ref, extra = payload
+    state = ctx.local_state(container_id)
+    fn = resolve_handler(fn_ref)
+    for item in list(state):
+        fn(ctx, item, *extra)
+    return len(state)
+
+
+@ygm_handler("ygm.bag.map_local")
+def _h_map_local(ctx, payload) -> list:
+    from repro.ygm.handlers import resolve_handler
+
+    container_id, fn_ref, extra = payload
+    state = ctx.local_state(container_id)
+    fn = resolve_handler(fn_ref)
+    return [fn(ctx, item, *extra) for item in state]
+
+
+class DistBag(DistContainer):
+    """An unordered, round-robin partitioned item collection.
+
+    Examples
+    --------
+    >>> from repro.ygm import YgmWorld, DistBag
+    >>> with YgmWorld(3) as world:
+    ...     bag = DistBag(world)
+    ...     bag.async_insert_batch(range(10))
+    ...     world.barrier()
+    ...     n = bag.size()
+    >>> n
+    10
+    """
+
+    _KIND = "bag"
+    _STATE_FACTORY = "ygm.state.list"
+
+    def __init__(self, world: YgmWorld) -> None:
+        super().__init__(world)
+        self._next_rank = itertools.cycle(range(world.n_ranks))
+
+    def async_insert(self, item: Any) -> None:
+        """Add one item (round-robin placement)."""
+        self.world.async_send(
+            next(self._next_rank), self.container_id, "ygm.bag.insert", item
+        )
+
+    def async_insert_batch(self, items: Iterable[Any]) -> None:
+        """Add many items, one batched message per rank."""
+        per_rank: list[list[Any]] = [[] for _ in range(self.world.n_ranks)]
+        for item in items:
+            per_rank[next(self._next_rank)].append(item)
+        for rank, batch in enumerate(per_rank):
+            if batch:
+                self.world.async_send(
+                    rank, self.container_id, "ygm.bag.insert_batch", batch
+                )
+
+    def for_all(self, fn: Callable | str, *extra: Any) -> None:
+        """Run ``fn(ctx, item, *extra)`` for every item, rank-locally.
+
+        *fn* may issue nested sends; the closing barrier delivers them.
+        """
+        self.world.barrier()
+        self.world.run_on_all(
+            "ygm.bag.for_all_local", (self.container_id, handler_ref(fn), extra)
+        )
+        self.world.barrier()
+
+    def map_gather(self, fn: Callable | str, *extra: Any) -> list[Any]:
+        """Apply ``fn(ctx, item, *extra)`` to every item; gather the results."""
+        self.world.barrier()
+        per_rank = self.world.run_on_all(
+            "ygm.bag.map_local", (self.container_id, handler_ref(fn), extra)
+        )
+        return [value for shard in per_rank for value in shard]
+
+    def gather(self) -> list[Any]:
+        """All items, concatenated in rank order (implies a barrier)."""
+        return [item for shard in self._gather_states() for item in shard]

@@ -1,0 +1,116 @@
+"""``DistCounter`` — a counting map with distributed top-k.
+
+Mirrors ``ygm::container::counting_set``.  Used for degree counting and
+for the `P'` page-count ledger in the distributed projection.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterable
+
+from repro.ygm.containers.base import DistContainer
+from repro.ygm.handlers import ygm_handler
+
+__all__ = ["DistCounter"]
+
+
+@ygm_handler("ygm.counter.add")
+def _h_add(ctx, state: dict, payload) -> None:
+    key, amount = payload
+    state[key] = state.get(key, 0) + amount
+
+
+@ygm_handler("ygm.counter.add_batch")
+def _h_add_batch(ctx, state: dict, items) -> None:
+    get = state.get
+    for key, amount in items:
+        state[key] = get(key, 0) + amount
+
+
+@ygm_handler("ygm.counter.local_topk")
+def _h_local_topk(ctx, payload):
+    container_id, k = payload
+    state = ctx.local_state(container_id)
+    # Global order is (count desc, repr asc); the local candidate set must
+    # use the same order or a tie at the global boundary could be dropped.
+    return heapq.nsmallest(
+        k, state.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+    )
+
+
+@ygm_handler("ygm.counter.local_total")
+def _h_local_total(ctx, container_id) -> int:
+    return sum(ctx.local_state(container_id).values())
+
+
+class DistCounter(DistContainer):
+    """A distributed counting map.
+
+    Examples
+    --------
+    >>> from repro.ygm import YgmWorld, DistCounter
+    >>> with YgmWorld(2) as world:
+    ...     c = DistCounter(world)
+    ...     c.async_add_batch([("a", 1), ("b", 2), ("a", 3)])
+    ...     world.barrier()
+    ...     top = c.top_k(1)
+    >>> top
+    [('a', 4)]
+    """
+
+    _KIND = "counter"
+    _STATE_FACTORY = "ygm.state.dict"
+
+    def async_add(self, key: Hashable, amount: int = 1) -> None:
+        """Add *amount* to ``counter[key]`` at the owner rank."""
+        self.world.async_send(
+            self.owner(key), self.container_id, "ygm.counter.add", (key, amount)
+        )
+
+    def async_add_batch(self, items: Iterable[tuple[Hashable, int]]) -> None:
+        """Batched :meth:`async_add`, one message per destination rank."""
+        per_rank: dict[int, list[tuple[Hashable, int]]] = {}
+        for key, amount in items:
+            per_rank.setdefault(self.owner(key), []).append((key, amount))
+        for rank, batch in per_rank.items():
+            self.world.async_send(
+                rank, self.container_id, "ygm.counter.add_batch", batch
+            )
+
+    def count_of(self, key: Hashable) -> int:
+        """Synchronously read one count (0 when absent; implies a barrier)."""
+        self.world.barrier()
+        shard = self.world.run_on_rank(
+            self.owner(key), "ygm.container.collect_state", self.container_id
+        )
+        return shard.get(key, 0)
+
+    def total(self) -> int:
+        """Sum of all counts (implies a barrier)."""
+        self.world.barrier()
+        return sum(
+            self.world.run_on_all("ygm.counter.local_total", self.container_id)
+        )
+
+    def top_k(self, k: int) -> list[tuple[Hashable, int]]:
+        """The *k* highest-count entries, globally (implies a barrier).
+
+        Each rank contributes its local top-k; the driver merges — the
+        standard two-level top-k reduction, exact because per-key counts
+        are complete at their owner rank.
+        """
+        self.world.barrier()
+        candidates = self.world.run_on_all(
+            "ygm.counter.local_topk", (self.container_id, k)
+        )
+        merged = [kv for shard in candidates for kv in shard]
+        merged.sort(key=lambda kv: (-kv[1], repr(kv[0])))
+        return merged[:k]
+
+    def to_dict(self) -> dict:
+        """Gather all counts to the driver (implies a barrier)."""
+        merged: dict = {}
+        for shard in self._gather_states():
+            merged.update(shard)
+        return merged

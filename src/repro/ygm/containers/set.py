@@ -1,0 +1,108 @@
+"""``DistSet`` — a hash-partitioned membership set.
+
+Mirrors ``ygm::container::set``.  The pipeline's iterative-refinement loop
+keeps the set of ruled-out authors in a ``DistSet`` so reprojection can
+skip them.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.ygm.containers.base import DistContainer
+from repro.ygm.handlers import ygm_handler
+
+__all__ = ["DistSet"]
+
+
+@ygm_handler("ygm.set.insert")
+def _h_insert(ctx, state: set, item) -> None:
+    state.add(item)
+
+
+@ygm_handler("ygm.set.insert_batch")
+def _h_insert_batch(ctx, state: set, items) -> None:
+    state.update(items)
+
+
+@ygm_handler("ygm.set.erase")
+def _h_erase(ctx, state: set, item) -> None:
+    state.discard(item)
+
+
+@ygm_handler("ygm.set.contains_many")
+def _h_contains_many(ctx, payload):
+    container_id, items = payload
+    state = ctx.local_state(container_id)
+    return [item for item in items if item in state]
+
+
+class DistSet(DistContainer):
+    """A distributed set with asynchronous inserts and collective queries.
+
+    Examples
+    --------
+    >>> from repro.ygm import YgmWorld, DistSet
+    >>> with YgmWorld(2) as world:
+    ...     s = DistSet(world)
+    ...     s.async_insert_batch(["a", "b", "a"])
+    ...     world.barrier()
+    ...     n, has_a = s.size(), s.contains("a")
+    >>> (n, has_a)
+    (2, True)
+    """
+
+    _KIND = "set"
+    _STATE_FACTORY = "ygm.state.set"
+
+    def async_insert(self, item: Hashable) -> None:
+        """Add *item* at its owner rank."""
+        self.world.async_send(
+            self.owner(item), self.container_id, "ygm.set.insert", item
+        )
+
+    def async_insert_batch(self, items: Iterable[Hashable]) -> None:
+        """Add many items, one batched message per destination rank."""
+        per_rank: dict[int, list[Hashable]] = {}
+        for item in items:
+            per_rank.setdefault(self.owner(item), []).append(item)
+        for rank, batch in per_rank.items():
+            self.world.async_send(
+                rank, self.container_id, "ygm.set.insert_batch", batch
+            )
+
+    def async_erase(self, item: Hashable) -> None:
+        """Remove *item* (no-op when absent)."""
+        self.world.async_send(
+            self.owner(item), self.container_id, "ygm.set.erase", item
+        )
+
+    def contains(self, item: Hashable) -> bool:
+        """Synchronous membership test (implies a barrier)."""
+        self.world.barrier()
+        found = self.world.run_on_rank(
+            self.owner(item), "ygm.set.contains_many", (self.container_id, [item])
+        )
+        return bool(found)
+
+    def contains_many(self, items: Iterable[Hashable]) -> set:
+        """Subset of *items* present in the set (implies a barrier)."""
+        self.world.barrier()
+        per_rank: dict[int, list[Hashable]] = {}
+        for item in items:
+            per_rank.setdefault(self.owner(item), []).append(item)
+        out: set = set()
+        for rank, batch in per_rank.items():
+            out.update(
+                self.world.run_on_rank(
+                    rank, "ygm.set.contains_many", (self.container_id, batch)
+                )
+            )
+        return out
+
+    def to_set(self) -> set:
+        """Gather the whole set to the driver (implies a barrier)."""
+        merged: set = set()
+        for shard in self._gather_states():
+            merged.update(shard)
+        return merged

@@ -1,0 +1,78 @@
+"""Handler registry for message dispatch.
+
+YGM ships C++ lambdas to remote ranks.  In Python, a multiprocessing
+backend cannot pickle arbitrary closures reliably, so — following the
+mpi4py discipline of communicating *data* and dispatching on *names* —
+every remotely invocable function is registered under a stable string name.
+Messages carry the name; the receiving rank resolves it here.
+
+Module-level functions are importable and therefore picklable by
+reference, so :func:`resolve_handler` also accepts them directly; the
+registry exists for functions created at runtime (e.g. test fixtures) and
+for explicit, versionable naming of the library's own handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["ygm_handler", "resolve_handler", "handler_ref", "registered_handlers"]
+
+_REGISTRY: dict[str, Callable] = {}
+
+
+def ygm_handler(name: str | None = None) -> Callable[[Callable], Callable]:
+    """Decorator registering a function as a remotely invocable handler.
+
+    Examples
+    --------
+    >>> @ygm_handler("demo.add")
+    ... def _add(ctx, state, payload):
+    ...     state["total"] = state.get("total", 0) + payload
+    >>> resolve_handler("demo.add") is _add
+    True
+    """
+
+    def deco(fn: Callable) -> Callable:
+        key = name if name is not None else f"{fn.__module__}.{fn.__qualname__}"
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing is not fn:
+            raise ValueError(f"handler name already registered: {key!r}")
+        _REGISTRY[key] = fn
+        fn.__ygm_name__ = key  # type: ignore[attr-defined]
+        return fn
+
+    return deco
+
+
+def handler_ref(fn_or_name: Callable | str) -> str | Callable:
+    """Return the wire representation of a handler.
+
+    Registered functions and module-level functions travel as their name /
+    themselves (both picklable); anything else (lambdas, local defs) is
+    returned as-is and will only work on the serial backend, which never
+    pickles.
+    """
+    if isinstance(fn_or_name, str):
+        if fn_or_name not in _REGISTRY:
+            raise KeyError(f"unknown handler name: {fn_or_name!r}")
+        return fn_or_name
+    name = getattr(fn_or_name, "__ygm_name__", None)
+    if name is not None:
+        return name
+    return fn_or_name
+
+
+def resolve_handler(ref: Callable | str) -> Callable:
+    """Resolve a wire representation back to a callable."""
+    if isinstance(ref, str):
+        try:
+            return _REGISTRY[ref]
+        except KeyError:
+            raise KeyError(f"unknown handler name: {ref!r}") from None
+    return ref
+
+
+def registered_handlers() -> tuple[str, ...]:
+    """Names of all registered handlers (diagnostics)."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,126 @@
+"""Owner functions: which rank owns a key.
+
+YGM containers distribute entries by hashing keys to ranks; block
+partitioning is used for dense index spaces (``DistArray``).  Both
+partitioners are deterministic and backend-independent, so the serial and
+multiprocessing backends place every key identically — a property the
+cross-backend equivalence tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+__all__ = ["HashPartitioner", "BlockPartitioner"]
+
+# splitmix64 constants — a fast, well-mixed integer hash (public domain).
+_SM64_1 = np.uint64(0x9E3779B97F4A7C15)
+_SM64_2 = np.uint64(0xBF58476D1CE4E5B9)
+_SM64_3 = np.uint64(0x94D049BB133111EB)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over a uint64 array."""
+    with np.errstate(over="ignore"):
+        z = x + _SM64_1
+        z = (z ^ (z >> np.uint64(30))) * _SM64_2
+        z = (z ^ (z >> np.uint64(27))) * _SM64_3
+        return z ^ (z >> np.uint64(31))
+
+
+class HashPartitioner:
+    """Assigns keys to ranks by a stable hash.
+
+    Integer keys (including numpy integers) are mixed with splitmix64 so
+    that consecutive vertex ids spread across ranks; other hashable keys
+    fall back to a stable string-bytes fold (Python's salted ``hash`` would
+    differ between worker processes).
+    """
+
+    __slots__ = ("n_ranks",)
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks <= 0:
+            raise ValueError(f"n_ranks must be positive, got {n_ranks}")
+        self.n_ranks = int(n_ranks)
+
+    def owner(self, key: Hashable) -> int:
+        """Rank owning *key*."""
+        if isinstance(key, (int, np.integer)):
+            mixed = _splitmix64(np.uint64(np.int64(key)).reshape(1))[0]
+            return int(mixed % np.uint64(self.n_ranks))
+        if isinstance(key, tuple):
+            acc = np.uint64(0)
+            with np.errstate(over="ignore"):
+                for part in key:
+                    sub = self.owner(part)
+                    acc = _splitmix64(
+                        (acc * np.uint64(1000003) + np.uint64(sub + 1)).reshape(1)
+                    )[0]
+            return int(acc % np.uint64(self.n_ranks))
+        data = repr(key).encode("utf-8")
+        acc = np.uint64(1469598103934665603)
+        with np.errstate(over="ignore"):
+            for byte in data:
+                acc = (acc ^ np.uint64(byte)) * np.uint64(1099511628211)
+        return int(acc % np.uint64(self.n_ranks))
+
+    def owner_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner` for integer key arrays."""
+        keys = np.asarray(keys)
+        if keys.dtype.kind not in "iu":
+            raise TypeError("owner_array requires integer keys")
+        mixed = _splitmix64(keys.astype(np.int64).view(np.uint64))
+        return (mixed % np.uint64(self.n_ranks)).astype(np.int64)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HashPartitioner) and other.n_ranks == self.n_ranks
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"HashPartitioner(n_ranks={self.n_ranks})"
+
+
+class BlockPartitioner:
+    """Assigns a dense index space ``0..n-1`` to ranks in contiguous blocks."""
+
+    __slots__ = ("n_ranks", "n_items", "_block")
+
+    def __init__(self, n_ranks: int, n_items: int) -> None:
+        if n_ranks <= 0:
+            raise ValueError(f"n_ranks must be positive, got {n_ranks}")
+        if n_items < 0:
+            raise ValueError(f"n_items must be >= 0, got {n_items}")
+        self.n_ranks = int(n_ranks)
+        self.n_items = int(n_items)
+        self._block = max(1, -(-self.n_items // self.n_ranks))  # ceil div
+
+    def owner(self, index: int) -> int:
+        """Rank owning *index*."""
+        if not 0 <= index < max(self.n_items, 1):
+            if index < 0 or index >= self.n_items:
+                raise IndexError(
+                    f"index {index} out of range for {self.n_items} items"
+                )
+        return min(int(index) // self._block, self.n_ranks - 1)
+
+    def owner_array(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner`."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self.n_items
+        ):
+            raise IndexError("index out of range")
+        return np.minimum(indices // self._block, self.n_ranks - 1)
+
+    def local_range(self, rank: int) -> tuple[int, int]:
+        """The ``[start, stop)`` index block owned by *rank*."""
+        start = min(rank * self._block, self.n_items)
+        stop = min(start + self._block, self.n_items)
+        return start, stop
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"BlockPartitioner(n_ranks={self.n_ranks}, n_items={self.n_items})"
+        )

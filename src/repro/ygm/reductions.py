@@ -1,0 +1,51 @@
+"""Named binary reduction operators.
+
+``DistMap.async_reduce`` and the world collectives ship the *name* of the
+operator rather than a closure so the multiprocessing backend can resolve
+it locally (the handler-registry discipline of :mod:`repro.ygm.handlers`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.ygm.handlers import ygm_handler
+
+__all__ = ["op_add", "op_max", "op_min", "op_or", "op_concat"]
+
+
+@ygm_handler("ygm.op.add")
+def op_add(a: Any, b: Any) -> Any:
+    """Sum reduction."""
+    return a + b
+
+
+@ygm_handler("ygm.op.max")
+def op_max(a: Any, b: Any) -> Any:
+    """Maximum reduction."""
+    return a if a >= b else b
+
+
+@ygm_handler("ygm.op.min")
+def op_min(a: Any, b: Any) -> Any:
+    """Minimum reduction."""
+    return a if a <= b else b
+
+
+@ygm_handler("ygm.op.or")
+def op_or(a: Any, b: Any) -> Any:
+    """Logical/bitwise OR reduction."""
+    return a | b
+
+
+@ygm_handler("ygm.op.concat")
+def op_concat(a: list, b: list) -> list:
+    """List concatenation reduction."""
+    return list(a) + list(b)
+
+
+def resolve_op(op: Callable | str) -> Callable:
+    """Resolve an operator given either a callable or a registered name."""
+    from repro.ygm.handlers import resolve_handler
+
+    return resolve_handler(op)

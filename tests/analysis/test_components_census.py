@@ -1,0 +1,55 @@
+"""Tests for the component census."""
+
+import pytest
+
+from repro.analysis import census_components, format_table
+from repro.pipeline import CoordinationPipeline, PipelineConfig
+from repro.projection import TimeWindow
+
+
+@pytest.fixture(scope="module")
+def result(small_dataset):
+    return CoordinationPipeline(
+        PipelineConfig(
+            window=TimeWindow(0, 60),
+            min_triangle_weight=15,
+            compute_hypergraph=False,
+        )
+    ).run(small_dataset.btm)
+
+
+class TestCensus:
+    def test_labels_attach_to_botnets(self, result, small_dataset):
+        census = census_components(result, small_dataset.truth)
+        labels = {c.label for c in census}
+        assert "gpt2" in labels and "restream" in labels
+
+    def test_purity_high_on_clean_corpus(self, result, small_dataset):
+        census = census_components(result, small_dataset.truth)
+        for c in census:
+            if c.label in ("gpt2", "restream"):
+                assert c.label_purity >= 0.8
+
+    def test_no_truth_leaves_labels_none(self, result):
+        census = census_components(result)
+        assert all(c.label is None for c in census)
+
+    def test_rows_render(self, result, small_dataset):
+        census = census_components(result, small_dataset.truth)
+        table = format_table([c.row() for c in census])
+        assert "label" in table and "w_min" in table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_column_subset_and_title(self):
+        out = format_table(
+            [{"a": 1, "b": 2}], columns=["a"], title="T"
+        )
+        assert out.startswith("T\n")
+        assert "b" not in out
+
+    def test_floats_formatted(self):
+        assert "0.500" in format_table([{"x": 0.5}])

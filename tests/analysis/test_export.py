@@ -1,0 +1,68 @@
+"""Tests for DOT/CSV component export."""
+
+import pytest
+
+from repro.analysis.export import (
+    component_to_dot,
+    result_to_dot,
+    write_component_csv,
+)
+from repro.pipeline import CoordinationPipeline, PipelineConfig
+from repro.projection import TimeWindow
+
+
+@pytest.fixture(scope="module")
+def result(small_dataset):
+    return CoordinationPipeline(
+        PipelineConfig(
+            window=TimeWindow(0, 60),
+            min_triangle_weight=15,
+            compute_hypergraph=False,
+        )
+    ).run(small_dataset.btm)
+
+
+class TestDot:
+    def test_contains_all_members(self, result):
+        comp = result.components[0]
+        dot = component_to_dot(result, comp)
+        assert dot.startswith("graph component {")
+        for name in comp.member_names:
+            assert f'"{name}"' in dot
+
+    def test_edge_count_matches_component(self, result):
+        comp = result.components[0]
+        dot = component_to_dot(result, comp)
+        assert dot.count(" -- ") == comp.n_edges
+
+    def test_weights_labelled(self, result):
+        comp = result.components[0]
+        dot = component_to_dot(result, comp)
+        assert f'label="{comp.weight_max}"' in dot
+
+    def test_label_and_quoting(self, result):
+        dot = component_to_dot(
+            result, result.components[0], label='say "hi"'
+        )
+        assert 'label="say \\"hi\\""' in dot
+
+    def test_result_to_dot_writes_files(self, result, tmp_path):
+        written = result_to_dot(result, tmp_path, max_components=2)
+        assert len(written) == min(2, len(result.components))
+        assert all(p.exists() and p.suffix == ".dot" for p in written)
+
+
+class TestCsv:
+    def test_row_count_matches_edges(self, result, tmp_path):
+        path = tmp_path / "edges.csv"
+        rows = write_component_csv(result, path)
+        expected = sum(c.n_edges for c in result.components)
+        assert rows == expected
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "source,target,weight,component"
+        assert len(lines) == rows + 1
+
+    def test_component_selection(self, result, tmp_path):
+        path = tmp_path / "one.csv"
+        rows = write_component_csv(result, path, components=[0])
+        assert rows == result.components[0].n_edges

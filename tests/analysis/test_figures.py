@@ -1,0 +1,71 @@
+"""Tests for the hexbin figure computations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import score_figure, weight_figure
+from repro.pipeline import CoordinationPipeline, PipelineConfig
+from repro.projection import TimeWindow
+
+
+@pytest.fixture(scope="module")
+def result(small_dataset):
+    return CoordinationPipeline(
+        PipelineConfig(window=TimeWindow(0, 60), min_triangle_weight=5)
+    ).run(small_dataset.btm)
+
+
+class TestScoreFigure:
+    def test_axes_are_scores(self, result):
+        fig = score_figure(result)
+        assert fig.n_triplets == result.n_triangles
+        assert (fig.t_scores <= 1).all() and (fig.c_scores <= 1).all()
+
+    def test_unit_square_bins(self, result):
+        fig = score_figure(result, bins=20)
+        assert fig.hist.x_edges[0] == 0 and fig.hist.x_edges[-1] == 1
+        assert fig.hist.counts.shape == (20, 20)
+
+    def test_positive_correlation_on_botnet_corpus(self, result):
+        """The paper's qualitative reading of Fig. 3: positive relationship."""
+        fig = score_figure(result)
+        assert fig.pearson_r > 0.3
+
+    def test_describe_mentions_stats(self, result):
+        text = score_figure(result).describe()
+        assert "pearson=" in text and "n=" in text
+
+    def test_requires_hypergraph(self, small_dataset):
+        res = CoordinationPipeline(
+            PipelineConfig(window=TimeWindow(0, 60), compute_hypergraph=False)
+        ).run(small_dataset.btm)
+        with pytest.raises(ValueError, match="compute_hypergraph"):
+            score_figure(res)
+
+
+class TestWeightFigure:
+    def test_axes_lengths(self, result):
+        fig = weight_figure(result)
+        assert fig.min_weights.shape == fig.w_xyz.shape
+
+    def test_positive_correlation(self, result):
+        assert weight_figure(result).pearson_r > 0.3
+
+    def test_extreme_omission(self, result):
+        full = weight_figure(result)
+        peak = int(full.min_weights.max())
+        clipped = weight_figure(result, omit_extreme_above=peak - 1)
+        assert clipped.omitted_extreme is not None
+        assert clipped.n_triplets < full.n_triplets
+        assert clipped.min_weights.max() <= peak - 1
+
+    def test_no_omission_when_below_cutoff(self, result):
+        fig = weight_figure(result, omit_extreme_above=10**9)
+        assert fig.omitted_extreme is None
+
+    def test_requires_hypergraph(self, small_dataset):
+        res = CoordinationPipeline(
+            PipelineConfig(window=TimeWindow(0, 60), compute_hypergraph=False)
+        ).run(small_dataset.btm)
+        with pytest.raises(ValueError, match="compute_hypergraph"):
+            weight_figure(res)

@@ -1,0 +1,104 @@
+"""Tests for month-over-month network matching."""
+
+import pytest
+
+from repro.analysis.longitudinal import match_runs
+from repro.datagen import (
+    BackgroundConfig,
+    GptStyleBotnetConfig,
+    RedditDatasetBuilder,
+    ReshareBotnetConfig,
+)
+from repro.pipeline import CoordinationPipeline, PipelineConfig
+from repro.projection import TimeWindow
+
+
+def run_on(dataset):
+    return CoordinationPipeline(
+        PipelineConfig(
+            window=TimeWindow(0, 60),
+            min_triangle_weight=15,
+            compute_hypergraph=False,
+        )
+    ).run(dataset.btm)
+
+
+@pytest.fixture(scope="module")
+def two_months():
+    """Month 1: gpt + reshare nets.  Month 2: the same gpt accounts (the
+    net persists), a new reshare crew (the old one dissolved)."""
+
+    def month(seed, reshare_name):
+        return (
+            RedditDatasetBuilder(seed=seed)
+            .with_background(
+                BackgroundConfig(n_users=250, n_pages=300, n_comments=3000)
+            )
+            .with_gpt_style_botnet(
+                GptStyleBotnetConfig(n_bots=8, n_mixed_pages=60, n_self_pages=5)
+            )
+            .with_reshare_botnet(
+                ReshareBotnetConfig(
+                    name=reshare_name, n_core=5, n_fringe=2, n_trigger_pages=40
+                )
+            )
+            .build()
+        )
+
+    return run_on(month(1, "oldcrew")), run_on(month(2, "newcrew"))
+
+
+class TestMatchRuns:
+    def test_persistent_net_matched(self, two_months):
+        earlier, later = two_months
+        comparison = match_runs(earlier, later)
+        gpt_matches = [
+            m
+            for m in comparison.matches
+            if any(n.startswith("gpt2") for n in m.members_kept)
+        ]
+        assert gpt_matches
+        assert gpt_matches[0].fate == "persisted"
+        assert gpt_matches[0].jaccard >= 0.5
+
+    def test_dissolved_net_detected(self, two_months):
+        earlier, later = two_months
+        comparison = match_runs(earlier, later)
+        old = [
+            m
+            for m in comparison.matches
+            if any(n.startswith("oldcrew") for n in m.members_gone)
+        ]
+        assert old and old[0].fate == "dissolved"
+        assert old[0].later_index is None
+
+    def test_emerged_net_detected(self, two_months):
+        earlier, later = two_months
+        comparison = match_runs(earlier, later)
+        emerged_names = {
+            n
+            for j in comparison.emerged
+            for n in later.components[j].member_names
+        }
+        assert any(n.startswith("newcrew") for n in emerged_names)
+
+    def test_summary_counts(self, two_months):
+        earlier, later = two_months
+        comparison = match_runs(earlier, later)
+        text = comparison.summary()
+        assert "persisted" in text and "emerged" in text
+
+    def test_identical_runs_all_persist(self, two_months):
+        earlier, _ = two_months
+        comparison = match_runs(earlier, earlier)
+        assert all(m.fate == "persisted" for m in comparison.matches)
+        assert all(m.jaccard == 1.0 for m in comparison.matches)
+        assert comparison.emerged == []
+
+    def test_greedy_matching_one_to_one(self, two_months):
+        earlier, later = two_months
+        comparison = match_runs(earlier, later)
+        later_indices = [
+            m.later_index for m in comparison.matches if m.later_index is not None
+        ]
+        assert len(later_indices) == len(set(later_indices))

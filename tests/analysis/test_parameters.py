@@ -1,0 +1,83 @@
+"""Tests for window-parameter selection and cost prediction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import delay_profile, recommend_windows
+from repro.graph import BipartiteTemporalMultigraph
+from repro.projection import TimeWindow, estimate_pair_volume, project
+
+
+def btm_of(comments):
+    return BipartiteTemporalMultigraph.from_comments(comments)
+
+
+class TestDelayProfile:
+    def test_gap_count(self):
+        profile = delay_profile(
+            btm_of([("a", "p", 0), ("b", "p", 30), ("c", "p", 90)])
+        )
+        assert profile.n_delays == 2
+
+    def test_page_boundaries_excluded(self):
+        # Two pages, one comment each: no same-page gaps at all.
+        profile = delay_profile(btm_of([("a", "p1", 0), ("b", "p2", 1000)]))
+        assert profile.n_delays == 0
+
+    def test_quantiles_ordered(self, random_btm):
+        profile = delay_profile(random_btm)
+        values = [profile.quantiles[q] for q in sorted(profile.quantiles)]
+        assert values == sorted(values)
+
+    def test_fast_fraction(self):
+        profile = delay_profile(
+            btm_of(
+                [("a", "p", 0), ("b", "p", 10), ("c", "p", 10_000)]
+            )
+        )
+        assert profile.fast_fraction == pytest.approx(0.5)
+
+    def test_empty_btm(self):
+        profile = delay_profile(btm_of([]))
+        assert profile.n_delays == 0 and profile.fast_fraction == 0.0
+
+    def test_describe(self, random_btm):
+        text = delay_profile(random_btm).describe()
+        assert "gaps" in text and "q50" in text
+
+
+class TestEstimatePairVolume:
+    def test_upper_bounds_actual_pairs(self, random_btm):
+        for delta2 in (60, 600):
+            window = TimeWindow(0, delta2)
+            estimate = estimate_pair_volume(random_btm, window)
+            actual = project(random_btm, window).stats["pair_observations"]
+            assert estimate >= actual
+
+    def test_monotone_in_window(self, random_btm):
+        narrow = estimate_pair_volume(random_btm, TimeWindow(0, 60))
+        wide = estimate_pair_volume(random_btm, TimeWindow(0, 3600))
+        assert narrow <= wide
+
+    def test_empty_btm_is_zero(self):
+        assert estimate_pair_volume(btm_of([]), TimeWindow(0, 60)) == 0
+
+
+class TestRecommendWindows:
+    def test_includes_floor_window(self, random_btm):
+        recs = recommend_windows(random_btm)
+        assert any(r.window == TimeWindow(0, 60) for r in recs)
+
+    def test_costs_normalized_to_cheapest(self, random_btm):
+        recs = recommend_windows(random_btm)
+        assert min(r.relative_cost for r in recs) == pytest.approx(1.0)
+        # Wider windows never cheaper.
+        widths = [r.window.delta2 for r in recs]
+        costs = [r.predicted_pairs for r in recs]
+        assert widths == sorted(widths)
+        assert costs == sorted(costs)
+
+    def test_rationales_present(self, random_btm):
+        recs = recommend_windows(random_btm)
+        assert any("floor" in r.rationale for r in recs)
+        assert any(r.rationale.startswith("delay q") for r in recs)

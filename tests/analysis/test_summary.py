@@ -1,0 +1,89 @@
+"""Tests for the markdown analysis report."""
+
+import pytest
+
+from repro.analysis.summary import render_markdown_report, write_markdown_report
+from repro.pipeline import CoordinationPipeline, PipelineConfig
+from repro.projection import TimeWindow
+
+
+@pytest.fixture(scope="module")
+def result(small_dataset):
+    return CoordinationPipeline(
+        PipelineConfig(window=TimeWindow(0, 60), min_triangle_weight=15)
+    ).run(small_dataset.btm)
+
+
+class TestRenderReport:
+    def test_sections_present(self, result, small_dataset):
+        text = render_markdown_report(
+            result, btm=small_dataset.btm, truth=small_dataset.truth
+        )
+        for heading in (
+            "# Coordination analysis report",
+            "## Run summary",
+            "## Candidate networks",
+            "## Ground-truth scoring",
+            "## Metric relationships",
+            "## Timings",
+        ):
+            assert heading in text
+
+    def test_temporal_columns_require_btm(self, result):
+        without = render_markdown_report(result)
+        assert "sync@60s" not in without
+
+    def test_scoring_requires_truth(self, result):
+        text = render_markdown_report(result)
+        assert "Ground-truth scoring" not in text
+
+    def test_metric_section_requires_hypergraph(self, small_dataset):
+        res = CoordinationPipeline(
+            PipelineConfig(
+                window=TimeWindow(0, 60),
+                min_triangle_weight=15,
+                compute_hypergraph=False,
+            )
+        ).run(small_dataset.btm)
+        text = render_markdown_report(res)
+        assert "Metric relationships" not in text
+
+    def test_component_truncation_note(self, result):
+        text = render_markdown_report(result, max_components=1)
+        assert "more components omitted" in text
+
+    def test_write_to_disk(self, result, small_dataset, tmp_path):
+        path = write_markdown_report(
+            tmp_path / "report.md", result, btm=small_dataset.btm
+        )
+        assert path.exists()
+        assert path.read_text().startswith("# Coordination analysis report")
+
+
+class TestCliReportFlag:
+    def test_detect_writes_report(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        ndjson = tmp_path / "c.ndjson"
+        main(
+            [
+                "generate", "--preset", "oct2016", "--seed", "3",
+                "--scale", "0.1", "--out", str(ndjson),
+            ],
+            out=io.StringIO(),
+        )
+        report = tmp_path / "analysis.md"
+        out = io.StringIO()
+        code = main(
+            [
+                "detect", "--input", str(ndjson), "--cutoff", "10",
+                "--delta2", "600", "--report", str(report),
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert report.exists()
+        assert "## Candidate networks" in report.read_text()
+        assert "wrote analysis report" in out.getvalue()

@@ -1,0 +1,116 @@
+"""Tests for temporal behaviour signatures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    hourly_profile,
+    response_delay_stats,
+    synchrony_score,
+)
+from repro.graph import BipartiteTemporalMultigraph
+
+
+def btm_of(comments):
+    return BipartiteTemporalMultigraph.from_comments(comments)
+
+
+class TestSynchronyScore:
+    def test_fully_synchronized_group(self):
+        btm = btm_of([("a", "p", 0), ("b", "p", 10), ("c", "p", 20)])
+        assert synchrony_score(btm, [0, 1, 2], 60) == 1.0
+
+    def test_unsynchronized_group(self):
+        btm = btm_of([("a", "p", 0), ("b", "p", 10_000), ("c", "q", 5)])
+        assert synchrony_score(btm, [0, 1, 2], 60) == 0.0
+
+    def test_partial(self):
+        btm = btm_of([("a", "p", 0), ("b", "p", 30), ("c", "q", 10_000)])
+        assert synchrony_score(btm, [0, 1, 2], 60) == pytest.approx(2 / 3)
+
+    def test_same_member_repeat_comments_not_self_synced(self):
+        btm = btm_of([("a", "p", 0), ("a", "p", 10)])
+        assert synchrony_score(btm, [0], 60) == 0.0
+
+    def test_non_member_comments_ignored(self):
+        # b's comment is near a's, but b is not in the group.
+        btm = btm_of([("a", "p", 0), ("b", "p", 5)])
+        assert synchrony_score(btm, [0], 60) == 0.0
+
+    def test_empty_group(self, tiny_btm):
+        assert synchrony_score(tiny_btm, [], 60) == 0.0
+
+    def test_bots_more_synchronized_than_humans(self, small_dataset):
+        """The §1.2 hypothesis, measured."""
+        ds = small_dataset
+        bots = ds.bot_user_ids("gpt2")
+        humans = [
+            ds.btm.user_names.id_of(f"user_{i}")
+            for i in range(60)
+            if f"user_{i}" in ds.btm.user_names
+        ]
+        assert synchrony_score(ds.btm, bots, 60) > 3 * synchrony_score(
+            ds.btm, humans, 60
+        )
+
+
+class TestResponseDelays:
+    def test_hand_worked(self):
+        btm = btm_of(
+            [("s", "p", 100), ("a", "p", 110), ("a", "p", 160), ("a", "q", 0)]
+        )
+        stats = response_delay_stats(btm, [btm.user_names.id_of("a")])
+        # a responds at +10 and +60 on p; a's comment on q *is* the first
+        # comment (delay 0, excluded).
+        assert stats.n_responses == 2
+        assert stats.median == pytest.approx(35.0)
+
+    def test_empty(self):
+        stats = response_delay_stats(btm_of([]), [0])
+        assert stats.n_responses == 0 and math.isnan(stats.median)
+
+    def test_describe(self, small_dataset):
+        bots = small_dataset.bot_user_ids("restream")
+        assert "responses" in response_delay_stats(
+            small_dataset.btm, bots
+        ).describe()
+
+    def test_reshare_bots_faster_than_humans(self, small_dataset):
+        ds = small_dataset
+        bots = ds.bot_user_ids("restream")
+        humans = [
+            ds.btm.user_names.id_of(f"user_{i}")
+            for i in range(60)
+            if f"user_{i}" in ds.btm.user_names
+        ]
+        bot_stats = response_delay_stats(ds.btm, bots)
+        human_stats = response_delay_stats(ds.btm, humans)
+        assert bot_stats.median < human_stats.median / 10
+
+
+class TestHourlyProfile:
+    def test_counts_sum_to_comments(self, small_dataset):
+        prof = hourly_profile(small_dataset.btm)
+        assert prof.counts.sum() == small_dataset.btm.n_comments
+
+    def test_flat_activity_has_high_flatness(self):
+        comments = [("a", f"p{i}", i * 3600 + 30) for i in range(48)]
+        prof = hourly_profile(btm_of(comments), [0])
+        assert prof.flatness > 0.95
+
+    def test_concentrated_activity_has_low_flatness(self):
+        comments = [("a", f"p{i}", i) for i in range(50)]  # all in hour 0
+        prof = hourly_profile(btm_of(comments), [0])
+        assert prof.flatness == 0.0
+        assert prof.peak_hour == 0
+
+    def test_empty_group(self, tiny_btm):
+        prof = hourly_profile(tiny_btm, [99] if False else [])
+        assert prof.flatness == 0.0
+
+    def test_group_subset(self, small_dataset):
+        bots = small_dataset.bot_user_ids("gpt2")
+        prof = hourly_profile(small_dataset.btm, bots)
+        assert prof.counts.sum() < small_dataset.btm.n_comments

@@ -1,0 +1,92 @@
+"""Tests for the naive direct-hypergraph detector."""
+
+import pytest
+
+from repro.baselines import NaiveTripletDetector
+from repro.graph import BipartiteTemporalMultigraph
+
+
+def btm_of(comments):
+    return BipartiteTemporalMultigraph.from_comments(comments)
+
+
+class TestNaiveDetector:
+    def test_exact_triplet_weights(self):
+        comments = [
+            (u, p, 0) for p in ("p1", "p2") for u in ("x", "y", "z")
+        ]
+        result = NaiveTripletDetector(min_weight=1).detect(btm_of(comments))
+        assert result.triplets == {(0, 1, 2): 2}
+
+    def test_min_weight_filters(self):
+        comments = [(u, "p1", 0) for u in ("x", "y", "z")]
+        result = NaiveTripletDetector(min_weight=2).detect(btm_of(comments))
+        assert result.triplets == {}
+
+    def test_work_counter(self):
+        # One page with 5 users: C(5,3) = 10 increments.
+        comments = [(u, "p", 0) for u in "abcde"]
+        result = NaiveTripletDetector(min_weight=1).detect(btm_of(comments))
+        assert result.triplet_increments == 10
+
+    def test_megathread_valve(self):
+        comments = [(u, "p", 0) for u in "abcdefgh"]
+        result = NaiveTripletDetector(
+            min_weight=1, max_page_degree=5
+        ).detect(btm_of(comments))
+        assert result.triplet_increments == 0
+        assert result.triplets == {}
+
+    def test_groups_pair_linked(self):
+        comments = (
+            [(u, p, 0) for p in ("p1", "p2") for u in ("a", "b", "c")]
+            + [(u, p, 0) for p in ("q1", "q2") for u in ("x", "y", "z")]
+        )
+        result = NaiveTripletDetector(min_weight=2).detect(btm_of(comments))
+        assert len(result.groups) == 2
+
+    def test_matches_pipeline_recall_oracle(self, small_dataset):
+        """Every high-weight triplet found by the pipeline is also found by
+        exhaustive enumeration (the pruning never invents triplets)."""
+        from repro.pipeline import CoordinationPipeline, PipelineConfig
+        from repro.projection import TimeWindow
+
+        res = CoordinationPipeline(
+            PipelineConfig(window=TimeWindow(0, 60), min_triangle_weight=15)
+        ).run(small_dataset.btm)
+        naive = NaiveTripletDetector(min_weight=1, max_page_degree=80).detect(
+            small_dataset.btm
+        )
+        m = res.triplet_metrics
+        assert m is not None
+        for i in range(m.n_triplets):
+            if m.w_xyz[i] == 0:
+                continue
+            trip = (
+                int(m.triangles.a[i]),
+                int(m.triangles.b[i]),
+                int(m.triangles.c[i]),
+            )
+            # The naive pass (with its valve) may skip megathreads; when it
+            # saw the triplet at all, the weights must agree.
+            if trip in naive.triplets:
+                assert naive.triplets[trip] >= m.w_xyz[i] - _valve_slack(
+                    small_dataset, trip
+                )
+
+
+def _valve_slack(ds, trip) -> int:
+    """Weight contributed by pages the naive valve skipped (size > 80)."""
+    import numpy as np
+
+    from repro.hypergraph import UserPageIncidence
+
+    inc = UserPageIncidence.from_btm(ds.btm)
+    big_pages = {
+        p for p, users in inc.users_per_page().items() if users.shape[0] > 80
+    }
+    x, y, z = trip
+    common = set(inc.pages_of(x).tolist()) & set(
+        inc.pages_of(y).tolist()
+    ) & set(inc.pages_of(z).tolist())
+    return len(common & big_pages)

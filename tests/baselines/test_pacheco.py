@@ -1,0 +1,86 @@
+"""Tests for the Pacheco-style co-share detector."""
+
+import pytest
+
+from repro.baselines import CoShareDetector
+from repro.datagen.records import CommentRecord
+
+
+def burst(page, authors, t0, subreddit="r/x", gap=5):
+    return [
+        CommentRecord(a, page, t0 + i * gap, subreddit)
+        for i, a in enumerate(authors)
+    ]
+
+
+class TestDetection:
+    def test_repeated_cosharers_detected(self):
+        recs = []
+        for p in range(4):
+            recs += burst(f"p{p}", ["a", "b", "c"], p * 10_000)
+        result = CoShareDetector(min_common_pages=3).detect(recs)
+        assert result.groups == [["a", "b", "c"]]
+
+    def test_single_cooccurrence_below_support_floor(self):
+        recs = burst("p0", ["a", "b"], 0)
+        result = CoShareDetector(min_common_pages=3).detect(recs)
+        assert result.groups == []
+
+    def test_slow_commenters_not_reshares(self):
+        recs = []
+        for p in range(5):
+            recs += [
+                CommentRecord("a", f"p{p}", p * 10_000, "r/x"),
+                CommentRecord("b", f"p{p}", p * 10_000 + 7200, "r/x"),
+            ]
+        result = CoShareDetector(min_common_pages=2).detect(recs)
+        assert result.groups == []
+
+    def test_community_restriction_blinds_detector(self):
+        recs = []
+        for p in range(4):
+            recs += burst(f"in{p}", ["a", "b", "c"], p * 10_000, "r/watched")
+            recs += burst(f"out{p}", ["x", "y", "z"], p * 10_000, "r/hidden")
+        watched_only = CoShareDetector(
+            communities=frozenset({"r/watched"}), min_common_pages=3
+        ).detect(recs)
+        assert watched_only.groups == [["a", "b", "c"]]
+        everything = CoShareDetector(min_common_pages=3).detect(recs)
+        assert len(everything.groups) == 2
+
+    def test_similarity_threshold(self):
+        # b co-shares with a on 3 of b's 30 pages: low cosine.
+        recs = []
+        for p in range(3):
+            recs += burst(f"p{p}", ["a", "b"], p * 10_000)
+        for p in range(30):
+            recs += [CommentRecord("b", f"solo{p}", 500_000 + p * 10_000, "r/x")]
+        strict = CoShareDetector(min_similarity=0.9, min_common_pages=3)
+        assert strict.detect(recs).groups == []
+        lax = CoShareDetector(min_similarity=0.1, min_common_pages=3)
+        assert lax.detect(recs).groups == [["a", "b"]]
+
+    def test_event_accounting(self):
+        recs = burst("p0", ["a", "b", "c"], 0)
+        result = CoShareDetector(min_common_pages=1).detect(recs)
+        assert result.n_share_events == 1
+        assert result.n_reshare_events == 2
+
+    def test_empty_input(self):
+        result = CoShareDetector().detect([])
+        assert result.groups == []
+
+
+class TestAgainstGroundTruth:
+    def test_misses_gpt_net_outside_hypothesis_set(self, small_dataset):
+        """The paper's §4.1 contrast: community-scoped baselines miss nets
+        outside the analyst's hypothesis set."""
+        detector = CoShareDetector(
+            communities=frozenset({"r/mlbstreams"}), min_common_pages=5
+        )
+        result = detector.detect(small_dataset.records)
+        found = {name for group in result.groups for name in group}
+        gpt_members = small_dataset.truth.botnets["gpt2"]
+        reshare_members = small_dataset.truth.botnets["restream"]
+        assert not (found & gpt_members)
+        assert found & reshare_members

@@ -1,0 +1,95 @@
+"""Shared fixtures: small seeded corpora and graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    BackgroundConfig,
+    GptStyleBotnetConfig,
+    RedditDatasetBuilder,
+    ReshareBotnetConfig,
+)
+from repro.graph import BipartiteTemporalMultigraph, EdgeList
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small corpus with both botnet types (session-cached; ~5k comments)."""
+    return (
+        RedditDatasetBuilder(seed=123)
+        .with_background(
+            BackgroundConfig(n_users=300, n_pages=400, n_comments=4000)
+        )
+        .with_gpt_style_botnet(
+            GptStyleBotnetConfig(n_bots=8, n_mixed_pages=60, n_self_pages=10)
+        )
+        .with_reshare_botnet(
+            ReshareBotnetConfig(n_core=5, n_fringe=3, n_trigger_pages=40)
+        )
+        .with_helpful_bots()
+        .build()
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_btm() -> BipartiteTemporalMultigraph:
+    """A hand-written BTM with known projection results.
+
+    Page p1: a@0, b@30, c@45, a@100   (window (0,60): ab, ac, bc pairs)
+    Page p2: a@10, b@200              (outside a 60 s window)
+    Page p3: b@0, c@59                (bc pair, boundary delay)
+    """
+    return BipartiteTemporalMultigraph.from_comments(
+        [
+            ("a", "p1", 0),
+            ("b", "p1", 30),
+            ("c", "p1", 45),
+            ("a", "p1", 100),
+            ("a", "p2", 10),
+            ("b", "p2", 200),
+            ("b", "p3", 0),
+            ("c", "p3", 59),
+        ]
+    )
+
+
+@pytest.fixture()
+def random_btm() -> BipartiteTemporalMultigraph:
+    """A random, deterministic BTM for oracle comparisons."""
+    rng = derive_rng(99, "tests.random_btm")
+    n = 1500
+    comments = [
+        (
+            int(rng.integers(0, 40)),
+            int(rng.integers(0, 80)),
+            int(rng.integers(0, 50_000)),
+        )
+        for _ in range(n)
+    ]
+    return BipartiteTemporalMultigraph.from_comments(comments)
+
+
+def random_edgelist(seed: int, n_vertices: int = 50, n_edges: int = 250) -> EdgeList:
+    """A random weighted edge list (helper, not a fixture)."""
+    rng = derive_rng(seed, "tests.random_edgelist")
+    src = rng.integers(0, n_vertices, n_edges)
+    dst = rng.integers(0, n_vertices, n_edges)
+    mask = src != dst
+    return EdgeList(
+        src[mask], dst[mask], rng.integers(1, 30, int(mask.sum()))
+    ).accumulate()
+
+
+@pytest.fixture()
+def triangle_edgelist() -> EdgeList:
+    """K4 plus a pendant: 4 triangles, known weights."""
+    #      0 --5-- 1
+    #      | \   / |        edges: 01=5 02=4 03=7 12=3 13=9 23=6, 3-4=1 pendant
+    return EdgeList(
+        [0, 0, 0, 1, 1, 2, 3],
+        [1, 2, 3, 2, 3, 3, 4],
+        [5, 4, 7, 3, 9, 6, 1],
+    )

@@ -1,0 +1,60 @@
+"""Tests for the human background generator."""
+
+import numpy as np
+
+from repro.datagen import BackgroundConfig, generate_background
+from repro.util.rng import SeedSequenceFactory
+
+
+def gen(seed=1, **kwargs):
+    cfg = BackgroundConfig(
+        n_users=100, n_pages=150, n_comments=2000, **kwargs
+    )
+    return generate_background(cfg, SeedSequenceFactory(seed)), cfg
+
+
+class TestBackground:
+    def test_count_matches_config(self):
+        recs, cfg = gen()
+        assert len(recs) == cfg.n_comments
+
+    def test_reproducible(self):
+        a, _ = gen(seed=5)
+        b, _ = gen(seed=5)
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a, _ = gen(seed=5)
+        b, _ = gen(seed=6)
+        assert a != b
+
+    def test_all_records_tagged_background(self):
+        recs, _ = gen()
+        assert all(r.source == "background" for r in recs)
+
+    def test_timestamps_within_span(self):
+        recs, cfg = gen()
+        assert all(0 <= r.created_utc < cfg.span_seconds for r in recs)
+
+    def test_page_popularity_heavy_tailed(self):
+        recs, _ = gen()
+        counts = {}
+        for r in recs:
+            counts[r.page] = counts.get(r.page, 0) + 1
+        top = sorted(counts.values(), reverse=True)
+        # Zipf: the head dominates — top 10% of pages carry > 40% of comments.
+        head = sum(top[: max(len(top) // 10, 1)])
+        assert head > 0.4 * len(recs)
+
+    def test_user_activity_heavy_tailed(self):
+        recs, cfg = gen()
+        counts = np.zeros(cfg.n_users)
+        for r in recs:
+            counts[int(r.author.split("_")[1])] += 1
+        assert counts.max() > 5 * max(np.median(counts), 1)
+
+    def test_author_and_page_naming(self):
+        recs, _ = gen()
+        assert recs[0].author.startswith("user_")
+        assert recs[0].page.startswith("t3_bg")
+        assert recs[0].subreddit.startswith("r/")

@@ -1,0 +1,193 @@
+"""Tests for the botnet generators (behavioural signatures)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    GptStyleBotnetConfig,
+    HelpfulBotConfig,
+    MiscBotnetConfig,
+    ReplyTriggerBotnetConfig,
+    ReshareBotnetConfig,
+    generate_gpt_style_botnet,
+    generate_helpful_bots,
+    generate_misc_botnets,
+    generate_reply_trigger_botnet,
+    generate_reshare_botnet,
+)
+from repro.util.rng import SeedSequenceFactory
+
+
+@pytest.fixture()
+def seeds():
+    return SeedSequenceFactory(77)
+
+
+HOST_PAGES = [(f"t3_h{i}", i * 1000, "r/host") for i in range(200)]
+
+
+class TestGptStyleBotnet:
+    def test_member_names_match_config(self, seeds):
+        cfg = GptStyleBotnetConfig(n_bots=5, n_mixed_pages=10, n_self_pages=2)
+        _, members = generate_gpt_style_botnet(cfg, seeds)
+        assert len(members) == 5
+        assert all(m.startswith("gpt2_bot_") for m in members)
+
+    def test_mixed_pages_have_multiple_authors(self, seeds):
+        cfg = GptStyleBotnetConfig(n_bots=6, n_mixed_pages=8, n_self_pages=0,
+                                   subset_low=3, subset_high=4)
+        recs, _ = generate_gpt_style_botnet(cfg, seeds)
+        by_page: dict[str, set] = {}
+        for r in recs:
+            by_page.setdefault(r.page, set()).add(r.author)
+        assert all(len(authors) >= 4 for authors in by_page.values())
+
+    def test_self_pages_single_author(self, seeds):
+        cfg = GptStyleBotnetConfig(n_bots=4, n_mixed_pages=0, n_self_pages=6)
+        recs, _ = generate_gpt_style_botnet(cfg, seeds)
+        by_page: dict[str, set] = {}
+        for r in recs:
+            by_page.setdefault(r.page, set()).add(r.author)
+        assert all(len(authors) == 1 for authors in by_page.values())
+
+    def test_reply_delays_within_window(self, seeds):
+        cfg = GptStyleBotnetConfig(n_bots=5, n_mixed_pages=10, n_self_pages=0)
+        recs, _ = generate_gpt_style_botnet(cfg, seeds)
+        by_page: dict[str, list[int]] = {}
+        for r in recs:
+            by_page.setdefault(r.page, []).append(r.created_utc)
+        for times in by_page.values():
+            assert max(times) - min(times) <= cfg.reply_delay_high
+
+    def test_own_subreddit(self, seeds):
+        recs, _ = generate_gpt_style_botnet(
+            GptStyleBotnetConfig(n_bots=3, n_mixed_pages=3, n_self_pages=1),
+            seeds,
+        )
+        assert {r.subreddit for r in recs} == {"r/SubSimulatorGPT2"}
+
+
+class TestReshareBotnet:
+    def test_core_participates_heavily(self, seeds):
+        cfg = ReshareBotnetConfig(n_core=5, n_fringe=3, n_trigger_pages=40)
+        recs, members = generate_reshare_botnet(cfg, seeds)
+        counts = {m: 0 for m in members}
+        for r in recs:
+            counts[r.author] += 1
+        core = [counts[m] for m in members[:5]]
+        fringe = [counts[m] for m in members[5:]]
+        assert min(core) > max(fringe)
+
+    def test_reshares_fast(self, seeds):
+        cfg = ReshareBotnetConfig(n_core=4, n_fringe=0, n_trigger_pages=10)
+        recs, _ = generate_reshare_botnet(cfg, seeds)
+        by_page: dict[str, list[int]] = {}
+        for r in recs:
+            by_page.setdefault(r.page, []).append(r.created_utc)
+        for times in by_page.values():
+            assert max(times) - min(times) <= cfg.reshare_delay_high
+
+    def test_custom_name_prefixes_accounts(self, seeds):
+        cfg = ReshareBotnetConfig(name="election", n_trigger_pages=5)
+        _, members = generate_reshare_botnet(cfg, seeds)
+        assert all(m.startswith("election_acct_") for m in members)
+
+
+class TestReplyTriggerBotnet:
+    def test_probability_ordering_reflected_in_activity(self, seeds):
+        cfg = ReplyTriggerBotnetConfig(trigger_rate=1.0)
+        recs, members = generate_reply_trigger_botnet(cfg, seeds, HOST_PAGES)
+        counts = {m: 0 for m in members}
+        for r in recs:
+            counts[r.author] += 1
+        assert counts[members[0]] > counts[members[1]] > counts[members[2]]
+
+    def test_comments_only_on_host_pages(self, seeds):
+        cfg = ReplyTriggerBotnetConfig(trigger_rate=0.7)
+        recs, _ = generate_reply_trigger_botnet(cfg, seeds, HOST_PAGES)
+        host_names = {p for p, _, _ in HOST_PAGES}
+        assert all(r.page in host_names for r in recs)
+
+    def test_probs_must_match_bot_count(self, seeds):
+        with pytest.raises(ValueError, match="one entry per bot"):
+            generate_reply_trigger_botnet(
+                ReplyTriggerBotnetConfig(n_bots=2),
+                seeds,
+                HOST_PAGES,
+            )
+
+
+class TestMiscBotnets:
+    def test_group_count_and_sizes(self, seeds):
+        cfg = MiscBotnetConfig(n_groups=5)
+        _, groups = generate_misc_botnets(cfg, seeds)
+        assert len(groups) == 5
+        for members in groups.values():
+            assert cfg.group_size_low <= len(members) <= cfg.group_size_high
+
+    def test_groups_are_disjoint(self, seeds):
+        _, groups = generate_misc_botnets(MiscBotnetConfig(n_groups=6), seeds)
+        all_members = [m for ms in groups.values() for m in ms]
+        assert len(all_members) == len(set(all_members))
+
+
+class TestHelpfulBots:
+    def test_automod_fraction(self, seeds):
+        cfg = HelpfulBotConfig(automod_page_fraction=0.5)
+        recs, names = generate_helpful_bots(cfg, seeds, HOST_PAGES, 1000)
+        automod_pages = {r.page for r in recs if r.author == "AutoModerator"}
+        assert 0.3 * len(HOST_PAGES) < len(automod_pages) < 0.7 * len(HOST_PAGES)
+        assert set(names) == {"AutoModerator", "[deleted]"}
+
+    def test_automod_comments_immediately(self, seeds):
+        cfg = HelpfulBotConfig()
+        recs, _ = generate_helpful_bots(cfg, seeds, HOST_PAGES, 1000)
+        first = {p: t for p, t, _ in HOST_PAGES}
+        for r in recs:
+            if r.author == "AutoModerator":
+                assert 0 <= r.created_utc - first[r.page] < 5
+
+    def test_deleted_volume_scales_with_background(self, seeds):
+        cfg = HelpfulBotConfig(deleted_comment_fraction=0.1)
+        recs, _ = generate_helpful_bots(cfg, seeds, HOST_PAGES, 2000)
+        n_deleted = sum(1 for r in recs if r.author == "[deleted]")
+        assert n_deleted == 200
+
+
+class TestEvasiveBotnet:
+    def test_jitter_spreads_delays(self, seeds):
+        from repro.datagen import EvasiveBotnetConfig
+        from repro.datagen.botnets import generate_evasive_botnet
+
+        cfg = EvasiveBotnetConfig(n_bots=6, n_trigger_pages=30, jitter_seconds=3600)
+        recs, members = generate_evasive_botnet(cfg, seeds)
+        by_page: dict[str, list[int]] = {}
+        for r in recs:
+            by_page.setdefault(r.page, []).append(r.created_utc)
+        spreads = [max(t) - min(t) for t in by_page.values() if len(t) > 1]
+        assert max(spreads) > 600          # delays really are spread out
+        assert all(s <= 3600 for s in spreads)
+
+    def test_decoys_only_with_host_pages(self, seeds):
+        from repro.datagen import EvasiveBotnetConfig
+        from repro.datagen.botnets import generate_evasive_botnet
+
+        cfg = EvasiveBotnetConfig(n_bots=3, n_trigger_pages=5, decoy_pages=4)
+        no_decoys, _ = generate_evasive_botnet(cfg, seeds)
+        assert all(r.page.startswith("t3_evasive") for r in no_decoys)
+        with_decoys, _ = generate_evasive_botnet(
+            cfg,
+            seeds.child("again"),
+            host_pages=[("t3_host0", 0, "r/h")],
+        )
+        decoy_count = sum(1 for r in with_decoys if r.page == "t3_host0")
+        assert decoy_count == 3 * 4         # n_bots × decoy_pages
+
+    def test_member_names(self, seeds):
+        from repro.datagen import EvasiveBotnetConfig
+        from repro.datagen.botnets import generate_evasive_botnet
+
+        _, members = generate_evasive_botnet(
+            EvasiveBotnetConfig(n_bots=4, n_trigger_pages=2), seeds
+        )
+        assert members == [f"evasive_acct_{i:02d}" for i in range(4)]

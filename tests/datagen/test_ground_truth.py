@@ -1,0 +1,67 @@
+"""Tests for ground-truth labels and detection scoring."""
+
+import pytest
+
+from repro.datagen import DetectionScore, GroundTruth, score_detection
+
+
+@pytest.fixture()
+def truth():
+    t = GroundTruth()
+    t.add("netA", ["a1", "a2", "a3", "a4"])
+    t.add("netB", ["b1", "b2"])
+    t.helpful = frozenset({"AutoModerator"})
+    return t
+
+
+class TestGroundTruth:
+    def test_label_of(self, truth):
+        assert truth.label_of("a1") == "netA"
+        assert truth.label_of("AutoModerator") == "helpful"
+        assert truth.label_of("random") is None
+
+    def test_all_bot_names_excludes_helpful(self, truth):
+        names = truth.all_bot_names()
+        assert "a1" in names and "b1" in names
+        assert "AutoModerator" not in names
+
+    def test_duplicate_registration_rejected(self, truth):
+        with pytest.raises(ValueError, match="already registered"):
+            truth.add("netA", ["x"])
+
+
+class TestScoring:
+    def test_perfect_detection(self, truth):
+        scores = score_detection(truth, [["a1", "a2", "a3", "a4"], ["b1", "b2"]])
+        assert scores["netA"].precision == 1.0
+        assert scores["netA"].recall == 1.0
+        assert scores["netA"].f1 == 1.0
+
+    def test_partial_overlap(self, truth):
+        scores = score_detection(truth, [["a1", "a2", "x", "y"]])
+        s = scores["netA"]
+        assert s.precision == 0.5
+        assert s.recall == 0.5
+        assert s.matched_component == 0
+
+    def test_best_component_chosen(self, truth):
+        scores = score_detection(truth, [["a1"], ["a1", "a2", "a3"]])
+        assert scores["netA"].matched_component == 1
+
+    def test_no_overlap_scores_zero(self, truth):
+        scores = score_detection(truth, [["z1", "z2"]])
+        s = scores["netB"]
+        assert s.matched_component is None
+        assert s.precision == 0.0 and s.recall == 0.0 and s.f1 == 0.0
+
+    def test_mapping_input(self, truth):
+        scores = score_detection(truth, {7: ["b1", "b2"]})
+        assert scores["netB"].matched_component == 7
+
+    def test_empty_components(self, truth):
+        scores = score_detection(truth, [])
+        assert all(s.matched_component is None for s in scores.values())
+
+    def test_f1_harmonic_mean(self):
+        s = DetectionScore("x", 0, precision=0.5, recall=1.0)
+        assert s.f1 == pytest.approx(2 * 0.5 * 1.0 / 1.5)

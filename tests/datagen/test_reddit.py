@@ -1,0 +1,78 @@
+"""Tests for the corpus builder."""
+
+import pytest
+
+from repro.datagen import (
+    BackgroundConfig,
+    GptStyleBotnetConfig,
+    RedditDatasetBuilder,
+)
+
+
+class TestBuilder:
+    def test_background_only(self):
+        ds = (
+            RedditDatasetBuilder(seed=1)
+            .with_background(BackgroundConfig(n_users=20, n_pages=30, n_comments=200))
+            .build()
+        )
+        assert ds.n_comments == 200
+        assert ds.truth.botnets == {}
+
+    def test_botnet_membership_registered(self, small_dataset):
+        assert "gpt2" in small_dataset.truth.botnets
+        assert "restream" in small_dataset.truth.botnets
+        assert small_dataset.truth.helpful == {"AutoModerator", "[deleted]"}
+
+    def test_records_time_sorted(self, small_dataset):
+        times = [r.created_utc for r in small_dataset.records]
+        assert times == sorted(times)
+
+    def test_btm_covers_all_records(self, small_dataset):
+        assert small_dataset.btm.n_comments == small_dataset.n_comments
+
+    def test_reproducible(self):
+        def build():
+            return (
+                RedditDatasetBuilder(seed=9)
+                .with_background(
+                    BackgroundConfig(n_users=20, n_pages=30, n_comments=150)
+                )
+                .with_gpt_style_botnet(
+                    GptStyleBotnetConfig(n_bots=4, n_mixed_pages=5, n_self_pages=1)
+                )
+                .build()
+            )
+
+        a, b = build(), build()
+        assert a.records == b.records
+
+    def test_bot_user_ids_resolve(self, small_dataset):
+        ids = small_dataset.bot_user_ids("gpt2")
+        assert len(ids) == len(small_dataset.truth.botnets["gpt2"])
+        names = {small_dataset.btm.user_name(i) for i in ids}
+        assert names == set(small_dataset.truth.botnets["gpt2"])
+
+    def test_component_names_mapping(self, small_dataset):
+        comps = [[0, 1], [2]]
+        names = small_dataset.component_names(comps)
+        assert names[0] == [
+            small_dataset.btm.user_name(0),
+            small_dataset.btm.user_name(1),
+        ]
+
+    def test_jan2020_preset_has_three_named_botnets(self):
+        builder = RedditDatasetBuilder.jan2020_like(scale=0.1)
+        assert builder.gpt_config is not None
+        assert builder.reshare_configs
+        assert builder.reply_config is not None
+        assert builder.misc_config is not None
+
+    def test_oct2016_preset_has_no_gpt(self):
+        builder = RedditDatasetBuilder.oct2016_like(scale=0.1)
+        assert builder.gpt_config is None
+        assert [c.name for c in builder.reshare_configs] == ["election", "amplifier"]
+
+    def test_scale_parameter(self):
+        small = RedditDatasetBuilder.jan2020_like(scale=0.5)
+        assert small.background.n_comments == 20_000

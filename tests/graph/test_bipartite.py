@@ -1,0 +1,110 @@
+"""Tests for the bipartite temporal multigraph."""
+
+import numpy as np
+import pytest
+
+from repro.graph import BipartiteTemporalMultigraph
+
+
+class TestConstruction:
+    def test_from_comments_interns_strings(self, tiny_btm):
+        assert tiny_btm.n_users == 3
+        assert tiny_btm.n_pages == 3
+        assert tiny_btm.n_comments == 8
+
+    def test_from_comments_integer_ids_pass_through(self):
+        btm = BipartiteTemporalMultigraph.from_comments([(4, 7, 100)])
+        assert btm.users.tolist() == [4]
+        assert btm.user_names is None
+
+    def test_multigraph_repeat_edges_kept(self):
+        btm = BipartiteTemporalMultigraph.from_comments(
+            [("a", "p", 1), ("a", "p", 2)]
+        )
+        assert btm.n_comments == 2
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BipartiteTemporalMultigraph.from_comments([(-1, 0, 0)])
+
+    def test_time_span(self, tiny_btm):
+        assert tiny_btm.time_span() == (0, 200)
+
+    def test_time_span_empty(self):
+        assert BipartiteTemporalMultigraph.from_comments([]).time_span() == (0, 0)
+
+    def test_id_space_uses_interner(self, tiny_btm):
+        assert tiny_btm.user_id_space == 3
+        assert tiny_btm.page_id_space == 3
+
+
+class TestViews:
+    def test_page_sorted_view_orders_by_page_then_time(self, tiny_btm):
+        users, pages, times, bounds = tiny_btm.page_sorted_view()
+        assert pages.tolist() == sorted(pages.tolist())
+        for i in range(bounds.shape[0] - 1):
+            run = times[bounds[i] : bounds[i + 1]]
+            assert (np.diff(run) >= 0).all()
+
+    def test_user_page_incidence_dedups(self, tiny_btm):
+        users, pages = tiny_btm.user_page_incidence()
+        # a commented twice on p1 — collapsed to one incidence.
+        assert len(users) == 7
+        pairs = set(zip(users.tolist(), pages.tolist()))
+        assert len(pairs) == 7
+
+    def test_pages_per_user(self, tiny_btm):
+        # a: p1, p2 -> 2; b: p1, p2, p3 -> 3; c: p1, p3 -> 2
+        assert tiny_btm.pages_per_user().tolist() == [2, 3, 2]
+
+    def test_comments_per_user(self, tiny_btm):
+        assert tiny_btm.comments_per_user().tolist() == [3, 3, 2]
+
+    def test_empty_btm_views(self):
+        btm = BipartiteTemporalMultigraph.from_comments([])
+        assert btm.user_page_incidence()[0].size == 0
+        assert btm.pages_per_user().size == 0
+
+
+class TestFiltering:
+    def test_without_users_removes_comments(self, tiny_btm):
+        a_id = tiny_btm.user_names.id_of("a")
+        out = tiny_btm.without_users([a_id])
+        assert out.n_comments == 5
+        assert a_id not in out.users
+
+    def test_without_users_shares_interner(self, tiny_btm):
+        out = tiny_btm.without_users([0])
+        assert out.user_names is tiny_btm.user_names
+
+    def test_without_users_empty_is_identity(self, tiny_btm):
+        assert tiny_btm.without_users([]) is tiny_btm
+
+    def test_restricted_to_users(self, tiny_btm):
+        b_id = tiny_btm.user_names.id_of("b")
+        out = tiny_btm.restricted_to_users([b_id])
+        assert set(out.users.tolist()) == {b_id}
+        assert out.n_comments == 3
+
+    def test_time_slice(self, tiny_btm):
+        out = tiny_btm.time_slice(0, 50)
+        assert out.n_comments == 5  # t in {0, 30, 45, 10, 0}
+
+    def test_time_slice_invalid(self, tiny_btm):
+        with pytest.raises(ValueError):
+            tiny_btm.time_slice(10, 5)
+
+
+class TestNames:
+    def test_user_name_lookup(self, tiny_btm):
+        assert tiny_btm.user_name(0) == "a"
+
+    def test_user_ids_of_skips_missing(self, tiny_btm):
+        assert tiny_btm.user_ids_of(["b", "nope"]) == [1]
+
+    def test_name_methods_require_interner(self):
+        btm = BipartiteTemporalMultigraph.from_comments([(0, 0, 0)])
+        with pytest.raises(ValueError, match="interner"):
+            btm.user_name(0)
+        with pytest.raises(ValueError, match="interner"):
+            btm.user_ids_of(["x"])

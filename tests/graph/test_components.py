@@ -1,0 +1,117 @@
+"""Tests for connected components (union-find, distributed, vs networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import EdgeList, UnionFind, connected_components
+from repro.graph.components import components_as_lists, distributed_components
+from repro.ygm import YgmWorld
+from tests.conftest import random_edgelist
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(3)
+        assert not uf.connected(0, 1)
+
+    def test_union_connects(self):
+        uf = UnionFind(3)
+        uf.union(0, 2)
+        assert uf.connected(0, 2) and not uf.connected(0, 1)
+
+    def test_transitive(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+
+    def test_union_idempotent(self):
+        uf = UnionFind(2)
+        r1 = uf.union(0, 1)
+        r2 = uf.union(0, 1)
+        assert r1 == r2
+
+    def test_component_labels_consistent(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(3, 4)
+        labels = uf.component_labels()
+        assert labels[0] == labels[1]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3] != labels[2]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+
+class TestConnectedComponents:
+    def test_singletons_for_isolated(self):
+        labels = connected_components(EdgeList([0], [1]), n_vertices=4)
+        assert labels[2] == 2 and labels[3] == 3
+
+    def test_matches_networkx_partition(self):
+        el = random_edgelist(17)
+        labels = connected_components(el)
+        g = el.to_networkx()
+        for comp in nx.connected_components(g):
+            comp = list(comp)
+            assert len({labels[v] for v in comp}) == 1
+        # distinct nx components get distinct labels
+        reps = [labels[next(iter(c))] for c in nx.connected_components(g)]
+        assert len(reps) == len(set(reps))
+
+    def test_components_as_lists_sorted_by_size(self):
+        el = EdgeList([0, 1, 5, 7], [1, 2, 6, 8])
+        comps = components_as_lists(el)
+        assert comps[0] == [0, 1, 2]
+        assert sorted(map(tuple, comps[1:])) == [(5, 6), (7, 8)]
+
+    def test_min_size_filters(self):
+        el = EdgeList([0, 5], [1, 6])
+        assert components_as_lists(el, min_size=3) == []
+
+    def test_empty_edges(self):
+        assert components_as_lists(EdgeList.empty()) == []
+
+
+class TestDistributedComponents:
+    def test_matches_unionfind_partition(self):
+        el = random_edgelist(23, n_vertices=30, n_edges=60)
+        serial = connected_components(el)
+        with YgmWorld(4) as world:
+            dist = distributed_components(el, world)
+        # Same partition: two vertices share a serial label iff they share
+        # a distributed label.
+        touched = sorted(dist)
+        for u in touched:
+            for v in touched:
+                assert (serial[u] == serial[v]) == (dist[u] == dist[v])
+
+    def test_labels_are_component_minima(self):
+        el = EdgeList([4, 5, 9], [5, 6, 8])
+        with YgmWorld(2) as world:
+            dist = distributed_components(el, world)
+        assert dist == {4: 4, 5: 4, 6: 4, 8: 8, 9: 8}
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_property_partition_equivalence(self, pairs):
+        el = EdgeList.from_pairs(pairs)
+        serial = connected_components(el)
+        with YgmWorld(3) as world:
+            dist = distributed_components(el, world)
+        for u in dist:
+            for v in dist:
+                assert (serial[u] == serial[v]) == (dist[u] == dist[v])

@@ -1,0 +1,90 @@
+"""Tests for CSR adjacency."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, EdgeList
+from tests.conftest import random_edgelist
+
+
+@pytest.fixture()
+def k4():
+    return CSRGraph.from_edgelist(
+        EdgeList([0, 0, 0, 1, 1, 2], [1, 2, 3, 2, 3, 3], [5, 4, 7, 3, 9, 6])
+    )
+
+
+class TestBuild:
+    def test_neighbors_sorted(self, k4):
+        assert k4.neighbors(0).tolist() == [1, 2, 3]
+        assert k4.neighbors(3).tolist() == [0, 1, 2]
+
+    def test_degrees(self, k4):
+        assert k4.degrees().tolist() == [3, 3, 3, 3]
+
+    def test_edge_weight_symmetric(self, k4):
+        assert k4.edge_weight(1, 3) == 9
+        assert k4.edge_weight(3, 1) == 9
+
+    def test_edge_weight_missing_is_none(self, k4):
+        assert CSRGraph.from_edgelist(EdgeList([0], [1])).edge_weight(0, 2) is None
+
+    def test_has_edge(self, k4):
+        assert k4.has_edge(0, 1) and not k4.has_edge(0, 0)
+
+    def test_n_edges(self, k4):
+        assert k4.n_edges == 6
+
+    def test_isolated_vertices_allowed(self):
+        g = CSRGraph.from_edgelist(EdgeList([0], [1]), n_vertices=5)
+        assert g.n_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_endpoint_exceeding_id_space_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            CSRGraph.from_edgelist(EdgeList([0], [9]), n_vertices=5)
+
+    def test_duplicates_accumulated(self):
+        g = CSRGraph.from_edgelist(EdgeList([0, 1], [1, 0], [2, 3]))
+        assert g.edge_weight(0, 1) == 5
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edgelist(EdgeList.empty())
+        assert g.n_vertices == 0 and g.n_edges == 0
+
+
+class TestRoundtrip:
+    def test_to_edgelist_roundtrip(self, k4):
+        el = k4.to_edgelist()
+        assert el.to_dict() == {
+            (0, 1): 5,
+            (0, 2): 4,
+            (0, 3): 7,
+            (1, 2): 3,
+            (1, 3): 9,
+            (2, 3): 6,
+        }
+
+    def test_random_roundtrip(self):
+        el = random_edgelist(5)
+        g = CSRGraph.from_edgelist(el)
+        assert g.to_edgelist().to_dict() == el.to_dict()
+
+    def test_to_networkx_matches(self, k4):
+        g = k4.to_networkx()
+        assert g.number_of_edges() == 6
+        assert g[1][3]["weight"] == 9
+
+    def test_subgraph_vertices(self, k4):
+        sub = k4.subgraph_vertices(np.array([0, 1, 2]))
+        assert sub.n_edges == 3
+        assert sub.degree(3) == 0
+        assert sub.edge_weight(0, 1) == 5
+
+    def test_indptr_validation(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CSRGraph(np.array([0]), np.array([]), np.array([]), 3)
+
+    def test_weight_length_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            CSRGraph(np.array([0, 1]), np.array([0]), np.array([]), 1)

@@ -1,0 +1,123 @@
+"""Tests for the struct-of-arrays edge list."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import EdgeList
+
+
+class TestConstruction:
+    def test_canonical_orientation(self):
+        el = EdgeList([5, 1], [2, 3])
+        assert el.src.tolist() == [2, 1]
+        assert el.dst.tolist() == [5, 3]
+
+    def test_default_unit_weights(self):
+        assert EdgeList([0], [1]).weight.tolist() == [1]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            EdgeList([1], [1])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeList([1], [2, 3])
+
+    def test_from_pairs(self):
+        el = EdgeList.from_pairs([(3, 1), (0, 2)])
+        assert el.n_edges == 2
+        assert el.src.tolist() == [1, 0]
+
+    def test_from_pairs_empty(self):
+        assert EdgeList.from_pairs([]).n_edges == 0
+
+    def test_from_weighted_dict(self):
+        el = EdgeList.from_weighted_dict({(0, 1): 5, (2, 3): 7})
+        assert el.to_dict() == {(0, 1): 5, (2, 3): 7}
+
+
+class TestProperties:
+    def test_max_vertex(self):
+        assert EdgeList([0], [9]).max_vertex == 9
+        assert EdgeList.empty().max_vertex == -1
+
+    def test_vertices_sorted_unique(self):
+        el = EdgeList([3, 3], [1, 2])
+        assert el.vertices().tolist() == [1, 2, 3]
+
+    def test_total_weight(self):
+        assert EdgeList([0, 0], [1, 1], [2, 3]).total_weight() == 5
+
+
+class TestTransforms:
+    def test_accumulate_sums_duplicates(self):
+        el = EdgeList([0, 1, 0], [1, 0, 1], [1, 2, 3])
+        acc = el.accumulate()
+        assert acc.n_edges == 1
+        assert acc.weight.tolist() == [6]
+
+    def test_accumulate_sorted_output(self):
+        acc = EdgeList([5, 0, 3], [6, 1, 4]).accumulate()
+        assert list(zip(acc.src.tolist(), acc.dst.tolist())) == [
+            (0, 1),
+            (3, 4),
+            (5, 6),
+        ]
+
+    def test_threshold(self):
+        el = EdgeList([0, 1, 2], [1, 2, 3], [1, 5, 10])
+        assert el.threshold(5).n_edges == 2
+        assert el.threshold(11).n_edges == 0
+
+    def test_concat(self):
+        a = EdgeList([0], [1])
+        b = EdgeList([2], [3])
+        assert a.concat(b).n_edges == 2
+
+    def test_concat_then_accumulate_merges(self):
+        a = EdgeList([0], [1], [2])
+        b = EdgeList([1], [0], [3])
+        assert a.concat(b).accumulate().weight.tolist() == [5]
+
+    def test_without_vertices(self):
+        el = EdgeList([0, 1, 2], [1, 2, 3])
+        pruned = el.without_vertices([1])
+        assert pruned.to_dict() == {(2, 3): 1}
+
+    def test_without_vertices_empty_drop(self):
+        el = EdgeList([0], [1])
+        assert el.without_vertices([]) is el
+
+
+class TestInterop:
+    def test_iteration(self):
+        assert list(EdgeList([0], [1], [7])) == [(0, 1, 7)]
+
+    def test_to_networkx_weights(self):
+        g = EdgeList([0, 0], [1, 1], [2, 3]).to_networkx()
+        assert g[0][1]["weight"] == 5
+
+    def test_equality_ignores_order_and_duplicates(self):
+        a = EdgeList([0, 1], [1, 2], [2, 1])
+        b = EdgeList([1, 1, 2], [0, 0, 1], [1, 1, 1])
+        assert a == b
+
+    def test_inequality(self):
+        assert EdgeList([0], [1]) != EdgeList([0], [2])
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            max_size=50,
+        )
+    )
+    def test_accumulate_matches_counter(self, pairs):
+        from collections import Counter
+
+        expected = Counter((min(p), max(p)) for p in pairs)
+        el = EdgeList.from_pairs(pairs).accumulate()
+        assert el.to_dict() == dict(expected)

@@ -1,0 +1,79 @@
+"""Tests for author pre-filters."""
+
+import pytest
+
+from repro.graph import AuthorFilter, BipartiteTemporalMultigraph
+from repro.graph.filters import DEFAULT_EXCLUDED_AUTHORS
+
+
+@pytest.fixture()
+def btm_with_bots():
+    return BipartiteTemporalMultigraph.from_comments(
+        [
+            ("alice", "p1", 0),
+            ("AutoModerator", "p1", 1),
+            ("[deleted]", "p1", 2),
+            ("helper_bot", "p2", 3),
+            ("bob", "p2", 4),
+        ]
+    )
+
+
+class TestMatching:
+    def test_default_names(self):
+        f = AuthorFilter()
+        assert f.matches("AutoModerator")
+        assert f.matches("[deleted]")
+        assert not f.matches("alice")
+
+    def test_none_filter_matches_nothing(self):
+        f = AuthorFilter.none()
+        assert not f.matches("AutoModerator")
+
+    def test_pattern_matching_case_insensitive(self):
+        f = AuthorFilter.with_default_patterns()
+        assert f.matches("helper_bot")
+        assert f.matches("Helper_BOT")
+        assert f.matches("bot_account")
+        assert not f.matches("botanical")  # no underscore separator
+
+    def test_extended_adds_names(self):
+        f = AuthorFilter().extended(["spammer9"])
+        assert f.matches("spammer9") and f.matches("AutoModerator")
+
+    def test_matching_names_subset(self):
+        f = AuthorFilter()
+        assert f.matching_names(["a", "[deleted]", "b"]) == ["[deleted]"]
+
+
+class TestApply:
+    def test_apply_removes_comments(self, btm_with_bots):
+        filtered, report = AuthorFilter().apply(btm_with_bots)
+        assert filtered.n_comments == 3
+        assert report.removed_comments == 2
+        assert set(report.removed_names) == {"AutoModerator", "[deleted]"}
+
+    def test_apply_with_patterns(self, btm_with_bots):
+        filtered, report = AuthorFilter.with_default_patterns().apply(
+            btm_with_bots
+        )
+        assert "helper_bot" in report.removed_names
+        assert filtered.n_comments == 2
+
+    def test_apply_without_interner_is_noop(self):
+        btm = BipartiteTemporalMultigraph.from_comments([(0, 0, 0)])
+        filtered, report = AuthorFilter().apply(btm)
+        assert filtered is btm
+        assert report.removed_comments == 0
+
+    def test_apply_no_matches_is_noop(self):
+        btm = BipartiteTemporalMultigraph.from_comments([("x", "p", 0)])
+        filtered, report = AuthorFilter().apply(btm)
+        assert filtered is btm
+
+    def test_report_str(self, btm_with_bots):
+        _, report = AuthorFilter().apply(btm_with_bots)
+        assert "removed 2 authors" in str(report)
+
+    def test_defaults_include_paper_exclusions(self):
+        assert {"AutoModerator", "[deleted]"} <= set(DEFAULT_EXCLUDED_AUTHORS)

@@ -1,0 +1,95 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    erdos_renyi,
+    planted_clique,
+    preferential_attachment,
+)
+from repro.tripoll import survey_triangles
+
+
+class TestErdosRenyi:
+    def test_p_one_is_complete(self):
+        g = erdos_renyi(8, 1.0, seed=1)
+        assert g.n_edges == 8 * 7 // 2
+
+    def test_p_zero_is_empty(self):
+        assert erdos_renyi(8, 0.0, seed=1).n_edges == 0
+
+    def test_deterministic(self):
+        a = erdos_renyi(30, 0.2, seed=5)
+        b = erdos_renyi(30, 0.2, seed=5)
+        assert a.to_dict() == b.to_dict()
+
+    def test_triangle_count_near_expectation(self):
+        n, p = 60, 0.25
+        g = erdos_renyi(n, p, seed=7)
+        expected = n * (n - 1) * (n - 2) / 6 * p**3
+        observed = survey_triangles(g).n_triangles
+        assert 0.5 * expected < observed < 1.6 * expected
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5)
+
+    def test_weights_in_range(self):
+        g = erdos_renyi(20, 0.5, seed=2, max_weight=4)
+        assert g.weight.min() >= 1 and g.weight.max() <= 4
+
+
+class TestPreferentialAttachment:
+    def test_heavy_tail(self):
+        g = preferential_attachment(300, 2, seed=4)
+        from repro.graph import CSRGraph
+
+        deg = CSRGraph.from_edgelist(g).degrees()
+        # A hub emerges: max degree far above the median.
+        assert deg.max() > 6 * np.median(deg[deg > 0])
+
+    def test_all_vertices_connected(self):
+        g = preferential_attachment(50, 2, seed=5)
+        assert g.vertices().shape[0] == 50
+
+    def test_deterministic(self):
+        a = preferential_attachment(40, 3, seed=6)
+        b = preferential_attachment(40, 3, seed=6)
+        assert a.to_dict() == b.to_dict()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(5, 0)
+        with pytest.raises(ValueError):
+            preferential_attachment(3, 3)
+
+    def test_contains_triangles(self):
+        g = preferential_attachment(60, 3, seed=7)
+        assert survey_triangles(g).n_triangles > 0
+
+
+class TestPlantedClique:
+    def test_clique_edges_present_and_heavy(self):
+        g, members = planted_clique(40, 6, seed=8, clique_weight=50)
+        lookup = g.to_dict()
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                assert lookup[(a, b)] == 50
+
+    def test_threshold_recovers_exactly_the_clique(self):
+        g, members = planted_clique(
+            50, 6, background_p=0.1, seed=9, clique_weight=30,
+            max_background_weight=5,
+        )
+        ts = survey_triangles(g, min_edge_weight=20)
+        assert ts.vertices().tolist() == members
+
+    def test_invalid_clique_size(self):
+        with pytest.raises(ValueError):
+            planted_clique(5, 6)
+
+    def test_deterministic(self):
+        g1, m1 = planted_clique(30, 5, seed=10)
+        g2, m2 = planted_clique(30, 5, seed=10)
+        assert m1 == m2 and g1.to_dict() == g2.to_dict()

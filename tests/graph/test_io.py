@@ -1,0 +1,81 @@
+"""Tests for dataset and graph I/O."""
+
+import pytest
+
+from repro.graph import BipartiteTemporalMultigraph, EdgeList
+from repro.graph.io import (
+    btm_from_ndjson,
+    load_btm_npz,
+    load_edgelist_npz,
+    read_comments_ndjson,
+    save_btm_npz,
+    save_edgelist_npz,
+    write_comments_ndjson,
+)
+
+
+class TestNdjson:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "c.ndjson"
+        records = [
+            {"author": "a", "link_id": "p1", "created_utc": 5},
+            {"author": "b", "link_id": "p2", "created_utc": 9},
+        ]
+        assert write_comments_ndjson(path, records) == 2
+        assert list(read_comments_ndjson(path)) == records
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.ndjson"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n')
+        assert len(list(read_comments_ndjson(path))) == 2
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "c.ndjson"
+        path.write_text('{"a": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=":2"):
+            list(read_comments_ndjson(path))
+
+    def test_btm_from_ndjson(self, tmp_path):
+        path = tmp_path / "c.ndjson"
+        write_comments_ndjson(
+            path,
+            [
+                {"author": "a", "link_id": "p", "created_utc": 1},
+                {"author": "b", "link_id": "p", "created_utc": 2},
+            ],
+        )
+        btm = btm_from_ndjson(path)
+        assert btm.n_users == 2 and btm.n_pages == 1
+
+    def test_pushshift_dict_loader_compatibility(self, tmp_path):
+        from repro.datagen.records import CommentRecord
+
+        rec = CommentRecord("a", "t3_x", 7, "r/test", "gpt2")
+        path = tmp_path / "c.ndjson"
+        write_comments_ndjson(path, [rec.to_pushshift_dict()])
+        btm = btm_from_ndjson(path)
+        assert btm.user_name(0) == "a"
+
+
+class TestNpz:
+    def test_btm_roundtrip_with_names(self, tmp_path, tiny_btm):
+        path = tmp_path / "btm.npz"
+        save_btm_npz(path, tiny_btm)
+        loaded = load_btm_npz(path)
+        assert loaded.n_comments == tiny_btm.n_comments
+        assert loaded.user_name(0) == tiny_btm.user_name(0)
+        assert loaded.times.tolist() == tiny_btm.times.tolist()
+
+    def test_btm_roundtrip_without_names(self, tmp_path):
+        btm = BipartiteTemporalMultigraph.from_comments([(0, 0, 5), (1, 0, 6)])
+        path = tmp_path / "btm.npz"
+        save_btm_npz(path, btm)
+        loaded = load_btm_npz(path)
+        assert loaded.user_names is None
+        assert loaded.users.tolist() == [0, 1]
+
+    def test_edgelist_roundtrip(self, tmp_path):
+        el = EdgeList([0, 2], [1, 3], [5, 7])
+        path = tmp_path / "el.npz"
+        save_edgelist_npz(path, el)
+        assert load_edgelist_npz(path).to_dict() == el.to_dict()

@@ -1,0 +1,55 @@
+"""Tests for degree ordering and edge orientation."""
+
+import numpy as np
+
+from repro.graph import EdgeList, degree_order, orient_edges
+from tests.conftest import random_edgelist
+
+
+class TestDegreeOrder:
+    def test_rank_is_permutation(self):
+        el = random_edgelist(31)
+        rank = degree_order(el)
+        assert sorted(rank.tolist()) == list(range(rank.shape[0]))
+
+    def test_lower_degree_gets_lower_rank(self):
+        # star: center 0 has degree 3, leaves degree 1
+        el = EdgeList([0, 0, 0], [1, 2, 3])
+        rank = degree_order(el)
+        assert rank[0] == 3  # highest rank (highest degree)
+
+    def test_ties_broken_by_id(self):
+        el = EdgeList([0, 2], [1, 3])  # all degree 1
+        rank = degree_order(el)
+        assert rank.tolist() == [0, 1, 2, 3]
+
+    def test_isolated_vertices_rank_lowest(self):
+        el = EdgeList([1], [2])
+        rank = degree_order(el, n_vertices=4)
+        assert rank[0] < rank[1] and rank[3] < rank[1]
+
+
+class TestOrientEdges:
+    def test_orientation_respects_rank(self):
+        el = random_edgelist(37)
+        rank = degree_order(el)
+        tail, head, _ = orient_edges(el, rank)
+        assert (rank[tail] < rank[head]).all()
+
+    def test_weights_preserved(self):
+        el = EdgeList([0, 0, 0], [1, 2, 3], [7, 8, 9])
+        rank = degree_order(el)
+        tail, head, wgt = orient_edges(el, rank)
+        got = {
+            (min(t, h), max(t, h)): w
+            for t, h, w in zip(tail.tolist(), head.tolist(), wgt.tolist())
+        }
+        assert got == el.to_dict()
+
+    def test_forward_degree_bounded(self):
+        # Degeneracy-style bound: forward degrees stay small on a skewed graph.
+        el = random_edgelist(41, n_vertices=100, n_edges=600)
+        rank = degree_order(el)
+        tail, _, _ = orient_edges(el, rank)
+        fdeg = np.bincount(tail, minlength=100)
+        assert fdeg.max() <= np.sqrt(2 * el.n_edges) + 2

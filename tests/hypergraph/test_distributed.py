@@ -1,0 +1,62 @@
+"""Tests for the distributed hypergraph validation."""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import UserPageIncidence, evaluate_triplets
+from repro.hypergraph.distributed import evaluate_triplets_distributed
+from repro.projection import TimeWindow, project
+from repro.tripoll import survey_triangles
+from repro.ygm import YgmWorld
+
+
+@pytest.fixture(scope="module")
+def case(small_dataset):
+    res = project(small_dataset.btm, TimeWindow(0, 60))
+    triangles = survey_triangles(res.ci.edges, min_edge_weight=15)
+    inc = UserPageIncidence.from_btm(small_dataset.btm)
+    serial = evaluate_triplets(inc, triangles)
+    return small_dataset.btm, triangles, serial
+
+
+class TestDistributedStep3:
+    def test_matches_serial(self, case):
+        btm, triangles, serial = case
+        with YgmWorld(4) as world:
+            dist = evaluate_triplets_distributed(btm, triangles, world)
+        assert np.array_equal(dist.w_xyz, serial.w_xyz)
+        assert np.array_equal(dist.p_sum, serial.p_sum)
+        assert np.allclose(dist.c_scores, serial.c_scores)
+
+    def test_rank_invariance(self, case):
+        btm, triangles, serial = case
+        for n_ranks in (1, 5):
+            with YgmWorld(n_ranks) as world:
+                dist = evaluate_triplets_distributed(btm, triangles, world)
+            assert np.array_equal(dist.w_xyz, serial.w_xyz)
+
+    def test_mp_backend(self, case):
+        btm, triangles, serial = case
+        with YgmWorld(2, backend="mp") as world:
+            dist = evaluate_triplets_distributed(btm, triangles, world)
+        assert np.array_equal(dist.w_xyz, serial.w_xyz)
+        assert np.allclose(dist.c_scores, serial.c_scores)
+
+    def test_empty_triangles(self, small_dataset):
+        from repro.tripoll import TriangleSet
+
+        with YgmWorld(2) as world:
+            dist = evaluate_triplets_distributed(
+                small_dataset.btm, TriangleSet.empty(), world
+            )
+        assert dist.n_triplets == 0
+
+    def test_random_corpus(self, random_btm):
+        res = project(random_btm, TimeWindow(0, 300))
+        triangles = survey_triangles(res.ci.edges)
+        inc = UserPageIncidence.from_btm(random_btm)
+        serial = evaluate_triplets(inc, triangles)
+        with YgmWorld(3) as world:
+            dist = evaluate_triplets_distributed(random_btm, triangles, world)
+        assert np.array_equal(dist.w_xyz, serial.w_xyz)
+        assert np.array_equal(dist.p_sum, serial.p_sum)

@@ -1,0 +1,75 @@
+"""Tests for triplet agglomeration into larger candidate groups."""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph.groups import agglomerate_groups
+from repro.hypergraph.triplets import TripletMetrics
+from repro.tripoll.survey import TriangleSet
+
+
+def metrics_of(triplets, w_xyz, c_scores):
+    """Build TripletMetrics from explicit triplet rows."""
+    arr = np.asarray(triplets, dtype=np.int64)
+    n = arr.shape[0]
+    ones = np.ones(n, dtype=np.int64)
+    ts = TriangleSet(
+        a=arr[:, 0], b=arr[:, 1], c=arr[:, 2],
+        w_ab=ones, w_ac=ones, w_bc=ones,
+    )
+    return TripletMetrics(
+        triangles=ts,
+        w_xyz=np.asarray(w_xyz, dtype=np.int64),
+        p_sum=np.full(n, 10, dtype=np.int64),
+        c_scores=np.asarray(c_scores, dtype=np.float64),
+    )
+
+
+class TestAgglomeration:
+    def test_pair_sharing_triplets_merge(self):
+        m = metrics_of([(1, 2, 3), (1, 2, 4)], [5, 5], [0.5, 0.5])
+        groups = agglomerate_groups(m)
+        assert len(groups) == 1
+        assert groups[0].members == (1, 2, 3, 4)
+        assert groups[0].n_triplets == 2
+
+    def test_single_shared_vertex_does_not_merge(self):
+        # Triplets sharing only author 1 stay separate (hub protection).
+        m = metrics_of([(1, 2, 3), (1, 4, 5)], [5, 5], [0.5, 0.5])
+        groups = agglomerate_groups(m)
+        assert len(groups) == 2
+
+    def test_transitive_merging(self):
+        m = metrics_of(
+            [(1, 2, 3), (2, 3, 4), (3, 4, 5)], [5, 5, 5], [0.5, 0.5, 0.5]
+        )
+        groups = agglomerate_groups(m)
+        assert len(groups) == 1
+        assert groups[0].members == (1, 2, 3, 4, 5)
+
+    def test_score_filters(self):
+        m = metrics_of([(1, 2, 3), (4, 5, 6)], [5, 1], [0.9, 0.1])
+        groups = agglomerate_groups(m, min_c_score=0.5)
+        assert len(groups) == 1
+        assert groups[0].members == (1, 2, 3)
+
+    def test_weight_filter(self):
+        m = metrics_of([(1, 2, 3)], [1], [0.9])
+        assert agglomerate_groups(m, min_w_xyz=2) == []
+
+    def test_empty_metrics(self):
+        m = metrics_of(np.zeros((0, 3)), [], [])
+        assert agglomerate_groups(m) == []
+
+    def test_groups_sorted_by_size(self):
+        m = metrics_of(
+            [(1, 2, 3), (1, 2, 4), (7, 8, 9)], [5, 5, 5], [0.5, 0.5, 0.9]
+        )
+        groups = agglomerate_groups(m)
+        assert [g.size for g in groups] == [4, 3]
+
+    def test_group_statistics(self):
+        m = metrics_of([(1, 2, 3), (1, 2, 4)], [3, 7], [0.4, 0.8])
+        g = agglomerate_groups(m)[0]
+        assert g.min_w_xyz == 3 and g.max_w_xyz == 7
+        assert g.mean_c_score == pytest.approx(0.6)

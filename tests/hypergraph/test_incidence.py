@@ -1,0 +1,63 @@
+"""Tests for the deduplicated user–page incidence."""
+
+import numpy as np
+import pytest
+
+from repro.graph import BipartiteTemporalMultigraph
+from repro.hypergraph import UserPageIncidence
+
+
+@pytest.fixture()
+def inc(tiny_btm):
+    return UserPageIncidence.from_btm(tiny_btm)
+
+
+class TestBuild:
+    def test_repeat_comments_collapse(self, inc, tiny_btm):
+        a = tiny_btm.user_names.id_of("a")
+        # a commented twice on p1 and once on p2 -> 2 distinct pages.
+        assert inc.page_count(a) == 2
+
+    def test_pages_sorted_per_user(self, inc):
+        for u in range(inc.n_users):
+            pages = inc.pages_of(u)
+            assert (np.diff(pages) > 0).all()
+
+    def test_page_counts_match_btm(self, inc, tiny_btm):
+        assert np.array_equal(inc.page_counts(), tiny_btm.pages_per_user())
+
+    def test_empty_btm(self):
+        btm = BipartiteTemporalMultigraph.from_comments([])
+        inc = UserPageIncidence.from_btm(btm)
+        assert inc.n_users == 0
+
+    def test_indptr_validation(self):
+        with pytest.raises(ValueError, match="indptr"):
+            UserPageIncidence(np.array([0]), np.array([]), 3)
+
+
+class TestQueries:
+    def test_pair_weight(self, inc, tiny_btm):
+        a = tiny_btm.user_names.id_of("a")
+        b = tiny_btm.user_names.id_of("b")
+        # a: {p1, p2}, b: {p1, p2, p3} -> 2 shared.
+        assert inc.pair_weight(a, b) == 2
+
+    def test_pair_weight_disjoint(self):
+        btm = BipartiteTemporalMultigraph.from_comments(
+            [("x", "p1", 0), ("y", "p2", 0)]
+        )
+        inc = UserPageIncidence.from_btm(btm)
+        assert inc.pair_weight(0, 1) == 0
+
+    def test_users_per_page_inverse(self, inc, tiny_btm):
+        upp = inc.users_per_page()
+        p1 = tiny_btm.page_names.id_of("p1")
+        assert upp[p1].tolist() == sorted(
+            tiny_btm.user_names.id_of(u) for u in ("a", "b", "c")
+        )
+
+    def test_users_per_page_covers_all_incidences(self, random_btm):
+        inc = UserPageIncidence.from_btm(random_btm)
+        total = sum(v.shape[0] for v in inc.users_per_page().values())
+        assert total == inc.page_ids.shape[0]

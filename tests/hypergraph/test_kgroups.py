@@ -1,0 +1,122 @@
+"""Tests for group-level (quorum) hypergraph metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import BipartiteTemporalMultigraph
+from repro.hypergraph import (
+    UserPageIncidence,
+    evaluate_group,
+    group_hyperedge_weight,
+    hyperedge_weight,
+)
+
+
+def inc_of(comments):
+    return UserPageIncidence.from_btm(
+        BipartiteTemporalMultigraph.from_comments(comments)
+    )
+
+
+@pytest.fixture()
+def inc():
+    # p1: all of a,b,c,d; p2: a,b,c; p3: a,b; p4: a.
+    comments = []
+    for i, users in enumerate((("a", "b", "c", "d"), ("a", "b", "c"), ("a", "b"), ("a",))):
+        for u in users:
+            comments.append((u, f"p{i}", 0))
+    return inc_of(comments)
+
+
+class TestGroupHyperedgeWeight:
+    def test_strict_quorum(self, inc):
+        assert group_hyperedge_weight(inc, [0, 1, 2, 3], quorum=4) == 1
+
+    def test_partial_quorums(self, inc):
+        g = [0, 1, 2, 3]
+        assert group_hyperedge_weight(inc, g, quorum=3) == 2
+        assert group_hyperedge_weight(inc, g, quorum=2) == 3
+        assert group_hyperedge_weight(inc, g, quorum=1) == 4
+
+    def test_triplet_quorum3_matches_hyperedge_weight(self, random_btm):
+        inc = UserPageIncidence.from_btm(random_btm)
+        for x, y, z in ((0, 1, 2), (3, 7, 9), (5, 6, 8)):
+            assert group_hyperedge_weight(inc, [x, y, z], quorum=3) == (
+                hyperedge_weight(inc, x, y, z)
+            )
+
+    def test_duplicate_members_deduplicated(self, inc):
+        assert group_hyperedge_weight(inc, [0, 0, 1], quorum=2) == (
+            group_hyperedge_weight(inc, [0, 1], quorum=2)
+        )
+
+    def test_invalid_quorum(self, inc):
+        with pytest.raises(ValueError):
+            group_hyperedge_weight(inc, [0, 1], quorum=3)
+        with pytest.raises(ValueError):
+            group_hyperedge_weight(inc, [0, 1], quorum=0)
+
+
+class TestEvaluateGroup:
+    def test_quorum_weights_monotone_decreasing(self, inc):
+        m = evaluate_group(inc, [0, 1, 2, 3])
+        assert list(m.quorum_weights) == sorted(
+            m.quorum_weights, reverse=True
+        )
+
+    def test_scores_in_unit_interval(self, inc):
+        m = evaluate_group(inc, [0, 1, 2, 3])
+        for quorum in range(1, m.size + 1):
+            assert 0.0 <= m.score(quorum) <= 1.0
+
+    def test_strict_weight_alias(self, inc):
+        m = evaluate_group(inc, [0, 1, 2, 3])
+        assert m.strict_weight == m.weight(4) == 1
+
+    def test_score_reduces_to_eq4_for_triplets(self, random_btm):
+        inc = UserPageIncidence.from_btm(random_btm)
+        p = inc.page_counts()
+        x, y, z = 1, 4, 7
+        m = evaluate_group(inc, [x, y, z])
+        w = hyperedge_weight(inc, x, y, z)
+        denom = int(p[x] + p[y] + p[z])
+        expected = 3 * w / denom if denom else 0.0
+        assert m.score(3) == pytest.approx(expected)
+
+    def test_participation_profile_clique_vs_subset(self):
+        # Clique-style: everyone on every page -> flat profile.
+        clique = inc_of([(u, p, 0) for p in "xyz" for u in "abcd"])
+        flat = evaluate_group(clique, [0, 1, 2, 3]).participation_profile()
+        assert flat == (1.0, 1.0, 1.0, 1.0)
+        # Subset-style: pairs rotate -> decaying profile.
+        subset = inc_of(
+            [("a", "p1", 0), ("b", "p1", 0), ("c", "p2", 0), ("d", "p2", 0),
+             ("a", "p3", 0), ("c", "p3", 0)]
+        )
+        decay = evaluate_group(subset, [0, 1, 2, 3]).participation_profile()
+        assert decay[0] == 1.0 and decay[-1] == 0.0
+
+    def test_empty_group_rejected(self, inc):
+        with pytest.raises(ValueError):
+            evaluate_group(inc, [])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        comments=st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 5), st.integers(0, 50)),
+            max_size=40,
+        ),
+        members=st.sets(st.integers(0, 6), min_size=1, max_size=5),
+    )
+    def test_property_scores_bounded(self, comments, members):
+        btm = BipartiteTemporalMultigraph.from_comments(
+            comments + [(6, 5, 0)]
+        )
+        inc = UserPageIncidence.from_btm(btm)
+        m = evaluate_group(inc, sorted(members))
+        for quorum in range(1, m.size + 1):
+            assert 0.0 <= m.score(quorum) <= 1.0
+            if quorum < m.size:
+                assert m.weight(quorum) >= m.weight(quorum + 1)

@@ -1,0 +1,163 @@
+"""Tests for triplet hyperedge weights and coordination scores (eqs. 2–4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import BipartiteTemporalMultigraph, EdgeList
+from repro.hypergraph import (
+    UserPageIncidence,
+    all_triplets_brute,
+    evaluate_triplets,
+    hyperedge_weight,
+)
+from repro.tripoll import survey_triangles
+
+
+def inc_of(comments):
+    return UserPageIncidence.from_btm(
+        BipartiteTemporalMultigraph.from_comments(comments)
+    )
+
+
+class TestHyperedgeWeight:
+    def test_counts_common_pages(self):
+        comments = [
+            (u, p, 0) for p in ("p1", "p2", "p3") for u in ("x", "y", "z")
+        ]
+        inc = inc_of(comments)
+        assert hyperedge_weight(inc, 0, 1, 2) == 3
+
+    def test_partial_overlap(self):
+        comments = [
+            ("x", "p1", 0),
+            ("y", "p1", 0),
+            ("z", "p1", 0),
+            ("x", "p2", 0),
+            ("y", "p2", 0),  # z missing on p2
+        ]
+        inc = inc_of(comments)
+        assert hyperedge_weight(inc, 0, 1, 2) == 1
+
+    def test_no_common_page_is_zero(self):
+        inc = inc_of([("x", "p1", 0), ("y", "p2", 0), ("z", "p3", 0)])
+        assert hyperedge_weight(inc, 0, 1, 2) == 0
+
+    def test_multiplicity_ignored(self):
+        comments = [("x", "p", 0), ("x", "p", 5), ("y", "p", 1), ("z", "p", 2)]
+        inc = inc_of(comments)
+        assert hyperedge_weight(inc, 0, 1, 2) == 1
+
+    def test_matches_brute_enumeration(self, random_btm):
+        inc = UserPageIncidence.from_btm(random_btm)
+        brute = all_triplets_brute(inc)
+        for (x, y, z), w in list(brute.items())[:200]:
+            assert hyperedge_weight(inc, x, y, z) == w
+
+
+class TestEvaluateTriplets:
+    def test_full_coordination_scores_one(self):
+        # Three users whose page sets are identical -> C = 1.
+        comments = [
+            (u, p, 0) for p in ("p1", "p2") for u in ("x", "y", "z")
+        ]
+        inc = inc_of(comments)
+        tri = survey_triangles(EdgeList([0, 0, 1], [1, 2, 2]))
+        m = evaluate_triplets(inc, tri)
+        assert m.c_scores.tolist() == [1.0]
+        assert m.w_xyz.tolist() == [2]
+        assert m.p_sum.tolist() == [6]
+
+    def test_empty_triangles(self, random_btm):
+        from repro.tripoll import TriangleSet
+
+        inc = UserPageIncidence.from_btm(random_btm)
+        m = evaluate_triplets(inc, TriangleSet.empty())
+        assert m.n_triplets == 0
+
+    def test_top_by_c_descending(self, random_btm):
+        from repro.projection import TimeWindow, project
+
+        inc = UserPageIncidence.from_btm(random_btm)
+        res = project(random_btm, TimeWindow(0, 500))
+        tri = survey_triangles(res.ci.edges)
+        m = evaluate_triplets(inc, tri)
+        order = m.top_by_c(10)
+        scores = m.c_scores[order]
+        assert (np.diff(scores) <= 1e-12).all()
+
+    def test_top_by_weight_descending(self, random_btm):
+        from repro.projection import TimeWindow, project
+
+        inc = UserPageIncidence.from_btm(random_btm)
+        res = project(random_btm, TimeWindow(0, 500))
+        m = evaluate_triplets(inc, survey_triangles(res.ci.edges))
+        order = m.top_by_weight(10)
+        assert (np.diff(m.w_xyz[order]) <= 0).all()
+
+    def test_filter_mask(self, random_btm):
+        from repro.projection import TimeWindow, project
+
+        inc = UserPageIncidence.from_btm(random_btm)
+        res = project(random_btm, TimeWindow(0, 500))
+        m = evaluate_triplets(inc, survey_triangles(res.ci.edges))
+        kept = m.filter_mask(m.w_xyz >= 3)
+        assert (kept.w_xyz >= 3).all()
+        assert kept.triangles.n_triangles == kept.n_triplets
+
+
+class TestPaperBounds:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        comments=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 5), st.integers(0, 100)),
+            max_size=50,
+        ),
+        triplet=st.tuples(
+            st.integers(0, 7), st.integers(0, 7), st.integers(0, 7)
+        ).filter(lambda t: len(set(t)) == 3),
+    )
+    def test_property_c_in_unit_interval(self, comments, triplet):
+        """Paper §2.1.3: C(x,y,z) ∈ [0, 1] for every triplet."""
+        btm = BipartiteTemporalMultigraph.from_comments(
+            comments + [(7, 5, 0)]  # ensure id space covers the triplet
+        )
+        inc = UserPageIncidence.from_btm(btm)
+        x, y, z = triplet
+        w = hyperedge_weight(inc, x, y, z)
+        p = inc.page_counts()
+        denom = int(p[x] + p[y] + p[z])
+        if denom:
+            c = 3 * w / denom
+            assert 0.0 <= c <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        comments=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 5), st.integers(0, 100)),
+            max_size=50,
+        )
+    )
+    def test_property_w_bounded_by_min_page_count(self, comments):
+        """Paper §2.1.3: w_xyz ≤ min(p_x, p_y, p_z)."""
+        btm = BipartiteTemporalMultigraph.from_comments(comments)
+        inc = UserPageIncidence.from_btm(btm)
+        p = inc.page_counts()
+        brute = all_triplets_brute(inc)
+        for (x, y, z), w in brute.items():
+            assert w <= min(p[x], p[y], p[z])
+
+
+class TestBruteEnumeration:
+    def test_min_weight_filter(self, random_btm):
+        inc = UserPageIncidence.from_btm(random_btm)
+        all_trips = all_triplets_brute(inc, min_weight=1)
+        strong = all_triplets_brute(inc, min_weight=3)
+        assert set(strong) <= set(all_trips)
+        assert all(w >= 3 for w in strong.values())
+
+    def test_keys_canonical(self, random_btm):
+        inc = UserPageIncidence.from_btm(random_btm)
+        for x, y, z in all_triplets_brute(inc):
+            assert x < y < z

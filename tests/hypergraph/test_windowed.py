@@ -1,0 +1,147 @@
+"""Tests for time-windowed hyperedges (the §4.3 extension).
+
+The central theorem: for matching windows, the windowed hyperedge weight
+is bounded by the minimum triangle weight — the provable bound the paper
+says its un-windowed Step 3 lacks (§4.2).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import BipartiteTemporalMultigraph
+from repro.hypergraph import WindowedTripletEvaluator, evaluate_triplets
+from repro.hypergraph.incidence import UserPageIncidence
+from repro.projection import TimeWindow, project
+from repro.tripoll import survey_triangles
+
+
+def btm_of(comments):
+    return BipartiteTemporalMultigraph.from_comments(comments)
+
+
+class TestWindowedWeight:
+    def test_in_window_triple_counts(self):
+        ev = WindowedTripletEvaluator(
+            btm_of([("x", "p", 0), ("y", "p", 30), ("z", "p", 50)])
+        )
+        assert ev.windowed_weight(0, 1, 2, TimeWindow(0, 60)) == 1
+
+    def test_pairwise_spread_exceeding_delta2_excluded(self):
+        # x-y and y-z are within 60s, but x-z spans 100s.
+        ev = WindowedTripletEvaluator(
+            btm_of([("x", "p", 0), ("y", "p", 50), ("z", "p", 100)])
+        )
+        assert ev.windowed_weight(0, 1, 2, TimeWindow(0, 60)) == 0
+        assert ev.windowed_weight(0, 1, 2, TimeWindow(0, 100)) == 1
+
+    def test_multiple_comments_any_combination(self):
+        # z's first comment is far, but a later one closes the triple.
+        ev = WindowedTripletEvaluator(
+            btm_of(
+                [
+                    ("x", "p", 1000),
+                    ("y", "p", 1030),
+                    ("z", "p", 0),
+                    ("z", "p", 1050),
+                ]
+            )
+        )
+        assert ev.windowed_weight(0, 1, 2, TimeWindow(0, 60)) == 1
+
+    def test_counts_pages_not_events(self):
+        comments = []
+        for p in ("p1", "p2"):
+            comments += [("x", p, 0), ("x", p, 5), ("y", p, 10), ("z", p, 20)]
+        ev = WindowedTripletEvaluator(btm_of(comments))
+        assert ev.windowed_weight(0, 1, 2, TimeWindow(0, 60)) == 2
+
+    def test_delta1_minimum_separation(self):
+        # All three at the same second: excluded once δ1 > 0.
+        ev = WindowedTripletEvaluator(
+            btm_of([("x", "p", 100), ("y", "p", 100), ("z", "p", 100)])
+        )
+        assert ev.windowed_weight(0, 1, 2, TimeWindow(0, 60)) == 1
+        assert ev.windowed_weight(0, 1, 2, TimeWindow(1, 60)) == 0
+
+    def test_delta1_positive_satisfiable(self):
+        ev = WindowedTripletEvaluator(
+            btm_of([("x", "p", 0), ("y", "p", 20), ("z", "p", 45)])
+        )
+        # pairwise delays 20, 25, 45 — all in [10, 60].
+        assert ev.windowed_weight(0, 1, 2, TimeWindow(10, 60)) == 1
+        # but not all in [30, 60].
+        assert ev.windowed_weight(0, 1, 2, TimeWindow(30, 60)) == 0
+
+    def test_missing_user_is_zero(self):
+        ev = WindowedTripletEvaluator(btm_of([("x", "p", 0)]))
+        assert ev.windowed_weight(0, 5, 6, TimeWindow(0, 60)) == 0
+
+    def test_windowed_never_exceeds_unwindowed(self, random_btm):
+        ev = WindowedTripletEvaluator(random_btm)
+        inc = UserPageIncidence.from_btm(random_btm)
+        res = project(random_btm, TimeWindow(0, 300))
+        tri = survey_triangles(res.ci.edges)
+        metrics = evaluate_triplets(inc, tri)
+        windowed = ev.evaluate(tri, TimeWindow(0, 300))
+        assert (windowed <= metrics.w_xyz).all()
+
+
+class TestTheBound:
+    """w^Δ_xyz <= min{w'} — the §4.3 provable bound."""
+
+    def test_bound_on_random_corpus(self, random_btm):
+        window = TimeWindow(0, 200)
+        res = project(random_btm, window)
+        tri = survey_triangles(res.ci.edges)
+        ev = WindowedTripletEvaluator(random_btm)
+        windowed = ev.evaluate(tri, window)
+        assert (windowed <= tri.min_weights()).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        comments=st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 4), st.integers(0, 300)),
+            max_size=40,
+        ),
+        delta2=st.integers(1, 200),
+    )
+    def test_property_bound(self, comments, delta2):
+        btm = btm_of(comments)
+        window = TimeWindow(0, delta2)
+        res = project(btm, window)
+        tri = survey_triangles(res.ci.edges)
+        if tri.n_triangles == 0:
+            return
+        ev = WindowedTripletEvaluator(btm)
+        windowed = ev.evaluate(tri, window)
+        assert (windowed <= tri.min_weights()).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        comments=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 3), st.integers(0, 200)),
+            max_size=30,
+        ),
+        delta1=st.integers(1, 30),
+        width=st.integers(1, 150),
+    )
+    def test_property_bound_nonzero_delta1(self, comments, delta1, width):
+        btm = btm_of(comments)
+        window = TimeWindow(delta1, delta1 + width)
+        res = project(btm, window)
+        tri = survey_triangles(res.ci.edges)
+        if tri.n_triangles == 0:
+            return
+        ev = WindowedTripletEvaluator(btm)
+        windowed = ev.evaluate(tri, window)
+        assert (windowed <= tri.min_weights()).all()
+
+    def test_monotone_in_window_width(self, random_btm):
+        ev = WindowedTripletEvaluator(random_btm)
+        res = project(random_btm, TimeWindow(0, 600))
+        tri = survey_triangles(res.ci.edges)
+        narrow = ev.evaluate(tri, TimeWindow(0, 60))
+        wide = ev.evaluate(tri, TimeWindow(0, 600))
+        assert (narrow <= wide).all()

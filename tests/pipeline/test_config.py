@@ -1,0 +1,40 @@
+"""Tests for pipeline configuration."""
+
+from repro.graph import AuthorFilter
+from repro.pipeline import PipelineConfig
+from repro.projection import TimeWindow
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = PipelineConfig()
+        assert cfg.window == TimeWindow(0, 60)
+        assert cfg.min_triangle_weight == 10
+        assert cfg.compute_hypergraph is True
+
+    def test_describe_mentions_window_and_cutoff(self):
+        cfg = PipelineConfig(
+            window=TimeWindow(0, 3600), min_triangle_weight=25
+        )
+        text = cfg.describe()
+        assert "(0s, 3600s)" in text and "cutoff=25" in text
+
+    def test_describe_mentions_buckets(self):
+        cfg = PipelineConfig(time_bucket_width=60)
+        assert "buckets=60s" in cfg.describe()
+
+    def test_describe_filter_state(self):
+        assert "filter=on" in PipelineConfig().describe()
+        assert (
+            "filter=off"
+            in PipelineConfig(author_filter=AuthorFilter.none()).describe()
+        )
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        cfg = PipelineConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.min_triangle_weight = 5  # type: ignore[misc]

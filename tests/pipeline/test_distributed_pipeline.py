@@ -1,0 +1,65 @@
+"""Tests for the distributed end-to-end pipeline path."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import CoordinationPipeline, PipelineConfig
+from repro.projection import TimeWindow
+from repro.ygm import YgmWorld
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PipelineConfig(window=TimeWindow(0, 60), min_triangle_weight=10)
+
+
+class TestRunDistributed:
+    def test_matches_serial_run(self, small_dataset, config):
+        pipe = CoordinationPipeline(config)
+        serial = pipe.run(small_dataset.btm)
+        with YgmWorld(3) as world:
+            dist = pipe.run_distributed(small_dataset.btm, world)
+        assert dist.ci.edges.to_dict() == serial.ci.edges.to_dict()
+        assert np.array_equal(dist.ci.page_counts, serial.ci.page_counts)
+        assert dist.triangles.as_tuples() == serial.triangles.as_tuples()
+        assert [c.members for c in dist.components] == [
+            c.members for c in serial.components
+        ]
+
+    def test_scores_match_serial(self, small_dataset, config):
+        pipe = CoordinationPipeline(config)
+        serial = pipe.run(small_dataset.btm)
+        with YgmWorld(2) as world:
+            dist = pipe.run_distributed(small_dataset.btm, world)
+        # Same canonical triangle order ⇒ directly comparable arrays.
+        s = serial.triangles.sorted_canonical()
+        assert np.array_equal(dist.triangles.a, s.a)
+        assert np.allclose(
+            np.sort(dist.t_scores), np.sort(serial.t_scores)
+        )
+        assert np.array_equal(
+            np.sort(dist.triplet_metrics.w_xyz),
+            np.sort(serial.triplet_metrics.w_xyz),
+        )
+
+    def test_mp_backend(self, small_dataset, config):
+        pipe = CoordinationPipeline(config)
+        serial = pipe.run(small_dataset.btm)
+        with YgmWorld(2, backend="mp") as world:
+            dist = pipe.run_distributed(small_dataset.btm, world)
+        assert dist.ci.edges.to_dict() == serial.ci.edges.to_dict()
+        assert dist.triangles.as_tuples() == serial.triangles.as_tuples()
+
+    def test_filter_applied(self, small_dataset, config):
+        with YgmWorld(2) as world:
+            dist = CoordinationPipeline(config).run_distributed(
+                small_dataset.btm, world
+            )
+        assert "AutoModerator" in dist.filter_report.removed_names
+
+    def test_stats_report_ranks(self, small_dataset, config):
+        with YgmWorld(4) as world:
+            dist = CoordinationPipeline(config).run_distributed(
+                small_dataset.btm, world
+            )
+        assert dist.stats["ranks"] == 4

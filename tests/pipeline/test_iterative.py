@@ -1,0 +1,79 @@
+"""Tests for the §2.4 refinement loop."""
+
+import pytest
+
+from repro.pipeline import CoordinationPipeline, IterativeRefiner, PipelineConfig
+from repro.projection import TimeWindow
+
+
+def config():
+    return PipelineConfig(
+        window=TimeWindow(0, 60),
+        min_triangle_weight=15,
+        compute_hypergraph=False,
+    )
+
+
+class TestRefiner:
+    def test_stops_when_nothing_ruled_out(self, small_dataset):
+        refiner = IterativeRefiner(
+            configs=[config()], adjudicator=lambda res: [], max_rounds=5
+        )
+        rounds = refiner.run(small_dataset.btm)
+        assert len(rounds) == 1
+        assert rounds[0].ruled_out == ()
+
+    def test_ruled_out_authors_absent_next_round(self, small_dataset):
+        first = CoordinationPipeline(config()).run(small_dataset.btm)
+        target = first.components[0].members
+
+        calls = []
+
+        def adjudicate(res):
+            calls.append(res)
+            return target if len(calls) == 1 else []
+
+        refiner = IterativeRefiner([config()], adjudicate, max_rounds=3)
+        rounds = refiner.run(small_dataset.btm)
+        assert len(rounds) == 2
+        second_members = {
+            v for c in rounds[1].result.components for v in c.members
+        }
+        assert not (set(target) & second_members)
+
+    def test_max_rounds_respected(self, small_dataset):
+        refiner = IterativeRefiner(
+            configs=[config()],
+            adjudicator=lambda res: [0],  # always rules someone out
+            max_rounds=2,
+        )
+        rounds = refiner.run(small_dataset.btm)
+        assert len(rounds) == 2
+
+    def test_per_round_configs(self, small_dataset):
+        configs = [
+            config(),
+            PipelineConfig(
+                window=TimeWindow(0, 120),
+                min_triangle_weight=15,
+                compute_hypergraph=False,
+            ),
+        ]
+        seen_windows = []
+
+        def adjudicate(res):
+            seen_windows.append(res.config.window)
+            return [0] if len(seen_windows) == 1 else []
+
+        IterativeRefiner(configs, adjudicate, max_rounds=3).run(
+            small_dataset.btm
+        )
+        assert seen_windows == [TimeWindow(0, 60), TimeWindow(0, 120)]
+
+    def test_requires_configs(self):
+        with pytest.raises(ValueError, match="PipelineConfig"):
+            IterativeRefiner([], lambda res: [])
+
+    def test_requires_positive_rounds(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            IterativeRefiner([config()], lambda res: [], max_rounds=0)

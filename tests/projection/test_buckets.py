@@ -1,0 +1,76 @@
+"""Tests for the time-bucketed projection (the paper's memory workaround)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import BipartiteTemporalMultigraph
+from repro.projection import TimeWindow, project, project_bucketed
+
+
+class TestExactMerge:
+    def test_equals_direct_projection(self, random_btm):
+        window = TimeWindow(0, 600)
+        direct = project(random_btm, window)
+        bucketed = project_bucketed(random_btm, window, bucket_width=60)
+        assert bucketed.ci.edges.to_dict() == direct.ci.edges.to_dict()
+        assert np.array_equal(bucketed.ci.page_counts, direct.ci.page_counts)
+
+    def test_boundary_delay_not_double_counted(self):
+        # Delay exactly 60 lies in both (0,60) and (60,120) buckets.
+        btm = BipartiteTemporalMultigraph.from_comments(
+            [("x", "p", 0), ("y", "p", 60)]
+        )
+        result = project_bucketed(btm, TimeWindow(0, 120), bucket_width=60)
+        assert result.ci.edges.to_dict() == {(0, 1): 1}
+
+    def test_stats_report_buckets(self, random_btm):
+        result = project_bucketed(random_btm, TimeWindow(0, 300), bucket_width=100)
+        assert result.stats["buckets"] == 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        comments=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 3), st.integers(0, 300)),
+            max_size=30,
+        ),
+        width=st.integers(1, 120),
+    )
+    def test_property_exact_merge_equals_direct(self, comments, width):
+        btm = BipartiteTemporalMultigraph.from_comments(comments)
+        window = TimeWindow(0, 240)
+        direct = project(btm, window)
+        bucketed = project_bucketed(btm, window, bucket_width=width)
+        assert bucketed.ci.edges.to_dict() == direct.ci.edges.to_dict()
+        assert np.array_equal(bucketed.ci.page_counts, direct.ci.page_counts)
+
+
+class TestSumMerge:
+    def test_sum_merge_overcounts_multibucket_pages(self):
+        # x,y co-comment on one page at delays 30 and 90: direct weight is
+        # 1 (one page), naive sum-merge counts the page in two buckets.
+        btm = BipartiteTemporalMultigraph.from_comments(
+            [("x", "p", 0), ("y", "p", 30), ("y", "p", 90)]
+        )
+        window = TimeWindow(0, 120)
+        direct = project(btm, window)
+        naive = project_bucketed(btm, window, bucket_width=60, merge="sum")
+        assert direct.ci.edges.to_dict() == {(0, 1): 1}
+        assert naive.ci.edges.to_dict() == {(0, 1): 2}
+
+    def test_sum_merge_always_at_least_exact(self, random_btm):
+        window = TimeWindow(0, 600)
+        exact = project_bucketed(random_btm, window, bucket_width=60)
+        naive = project_bucketed(
+            random_btm, window, bucket_width=60, merge="sum"
+        )
+        exact_w = exact.ci.edges.to_dict()
+        for pair, w in naive.ci.edges.to_dict().items():
+            assert w >= exact_w.get(pair, 0)
+
+    def test_invalid_merge_mode(self, random_btm):
+        with pytest.raises(ValueError, match="merge"):
+            project_bucketed(
+                random_btm, TimeWindow(0, 60), bucket_width=30, merge="avg"
+            )

@@ -1,0 +1,85 @@
+"""Tests for the common interaction graph wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.graph import EdgeList
+from repro.projection import CommonInteractionGraph, TimeWindow, project
+
+
+@pytest.fixture()
+def ci():
+    edges = EdgeList([0, 0, 1, 2], [1, 2, 2, 3], [10, 4, 8, 2])
+    return CommonInteractionGraph(
+        edges=edges,
+        page_counts=np.array([12, 10, 9, 2]),
+        window=TimeWindow(0, 60),
+    )
+
+
+class TestBasics:
+    def test_counts(self, ci):
+        assert ci.n_edges == 4
+        assert ci.n_authors == 4
+        assert ci.id_space == 4
+        assert ci.max_weight() == 10
+
+    def test_page_counts_too_short_rejected(self):
+        with pytest.raises(ValueError, match="page_counts"):
+            CommonInteractionGraph(
+                edges=EdgeList([0], [5]),
+                page_counts=np.array([1, 1]),
+                window=TimeWindow(0, 60),
+            )
+
+    def test_threshold_keeps_page_counts(self, ci):
+        thr = ci.threshold(8)
+        assert thr.n_edges == 2
+        assert np.array_equal(thr.page_counts, ci.page_counts)
+
+    def test_without_authors(self, ci):
+        out = ci.without_authors([2])
+        assert out.edges.to_dict() == {(0, 1): 10}
+
+    def test_components(self, ci):
+        assert ci.threshold(8).components(min_size=2) == [[0, 1, 2]]
+
+    def test_to_csr_covers_id_space(self, ci):
+        csr = ci.to_csr()
+        assert csr.n_vertices == 4
+        assert csr.edge_weight(0, 1) == 10
+
+
+class TestTriangleScore:
+    def test_matches_formula(self, ci):
+        # triangle (0,1,2): weights 10, 4, 8 -> min 4; P' sum 31.
+        assert ci.triangle_score(0, 1, 2) == pytest.approx(3 * 4 / 31)
+
+    def test_non_triangle_rejected(self, ci):
+        with pytest.raises(ValueError, match="not a triangle"):
+            ci.triangle_score(0, 1, 3)
+
+    def test_score_in_unit_interval_on_projection_output(self, random_btm):
+        result = project(random_btm, TimeWindow(0, 400))
+        ci = result.ci
+        from repro.tripoll import survey_triangles, t_scores
+
+        tri = survey_triangles(ci.edges)
+        scores = t_scores(tri, ci.page_counts)
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+
+class TestNames:
+    def test_author_name_fallback(self, ci):
+        assert ci.author_name(2) == "user2"
+
+    def test_author_name_with_interner(self):
+        from repro.util.ids import Interner
+
+        ci = CommonInteractionGraph(
+            edges=EdgeList([0], [1]),
+            page_counts=np.array([1, 1]),
+            window=TimeWindow(0, 60),
+            user_names=Interner(["alice", "bob"]),
+        )
+        assert ci.author_name(1) == "bob"

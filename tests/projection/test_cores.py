@@ -1,0 +1,101 @@
+"""Tests for k-core decomposition of the CI graph (vs networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import EdgeList
+from repro.projection import core_numbers, k_core_groups, k_core_subgraph
+from tests.conftest import random_edgelist
+
+
+class TestCoreNumbers:
+    def test_triangle_plus_pendant(self):
+        el = EdgeList([0, 0, 1, 0], [1, 2, 2, 3])
+        assert core_numbers(el).tolist() == [2, 2, 2, 1]
+
+    def test_clique_core_is_size_minus_one(self):
+        pairs = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        el = EdgeList.from_pairs(pairs)
+        assert (core_numbers(el) == 4).all()
+
+    def test_path_is_1_core(self):
+        el = EdgeList([0, 1, 2], [1, 2, 3])
+        assert core_numbers(el).tolist() == [1, 1, 1, 1]
+
+    def test_isolated_vertices_zero(self):
+        el = EdgeList([0], [1])
+        assert core_numbers(el, n_vertices=4).tolist() == [1, 1, 0, 0]
+
+    def test_empty_graph(self):
+        assert core_numbers(EdgeList.empty(), n_vertices=3).tolist() == [0, 0, 0]
+
+    def test_matches_networkx(self):
+        el = random_edgelist(71, n_vertices=60, n_edges=300)
+        ours = core_numbers(el)
+        theirs = nx.core_number(el.to_networkx())
+        for v, k in theirs.items():
+            assert ours[v] == k
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 14), st.integers(0, 14)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_property_matches_networkx(self, pairs):
+        el = EdgeList.from_pairs(pairs)
+        ours = core_numbers(el)
+        theirs = nx.core_number(el.to_networkx())
+        for v, k in theirs.items():
+            assert ours[v] == k
+
+    def test_weight_threshold_applied_first(self):
+        el = EdgeList([0, 0, 1], [1, 2, 2], [10, 1, 10])
+        # Without threshold: a triangle (all cores 2).
+        assert core_numbers(el).max() == 2
+        # Dropping the light 0-2 edge leaves a path.
+        assert core_numbers(el, min_edge_weight=5).max() == 1
+
+
+class TestKCoreGroups:
+    def test_groups_have_min_size(self):
+        pairs = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        el = EdgeList.from_pairs(pairs + [(0, 9), (9, 8)])
+        groups = k_core_groups(el, k=3)
+        assert groups == [[0, 1, 2, 3, 4]]
+
+    def test_subgraph_degrees_at_least_k(self):
+        el = random_edgelist(72, n_vertices=50, n_edges=250)
+        sub = k_core_subgraph(el, k=3)
+        if sub.n_edges:
+            from repro.graph import CSRGraph
+
+            csr = CSRGraph.from_edgelist(sub)
+            degrees = csr.degrees()
+            active = np.unique(np.concatenate((sub.src, sub.dst)))
+            assert (degrees[active] >= 3).all()
+
+    def test_higher_k_nested(self):
+        el = random_edgelist(73, n_vertices=50, n_edges=300)
+        g2 = {v for g in k_core_groups(el, 2) for v in g}
+        g3 = {v for g in k_core_groups(el, 3) for v in g}
+        assert g3 <= g2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            k_core_groups(EdgeList.empty(), k=0)
+
+    def test_matches_networkx_k_core(self):
+        el = random_edgelist(74, n_vertices=40, n_edges=200)
+        ours = k_core_subgraph(el, k=3)
+        theirs = nx.k_core(el.to_networkx(), k=3)
+        assert ours.to_dict().keys() == {
+            (min(u, v), max(u, v)) for u, v in theirs.edges()
+        }

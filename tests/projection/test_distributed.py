@@ -1,0 +1,48 @@
+"""Tests for the distributed projection (YGM runtime)."""
+
+import numpy as np
+import pytest
+
+from repro.projection import TimeWindow, project, project_distributed
+from repro.ygm import YgmWorld
+
+
+class TestDistributedProjection:
+    def test_matches_serial_on_random_btm(self, random_btm):
+        window = TimeWindow(0, 120)
+        serial = project(random_btm, window)
+        with YgmWorld(4) as world:
+            dist = project_distributed(random_btm, window, world)
+        assert dist.ci.edges.to_dict() == serial.ci.edges.to_dict()
+        assert np.array_equal(dist.ci.page_counts, serial.ci.page_counts)
+
+    def test_matches_serial_on_tiny(self, tiny_btm):
+        window = TimeWindow(0, 60)
+        serial = project(tiny_btm, window)
+        with YgmWorld(2) as world:
+            dist = project_distributed(tiny_btm, window, world)
+        assert dist.ci.edges.to_dict() == serial.ci.edges.to_dict()
+
+    def test_rank_count_does_not_change_result(self, tiny_btm):
+        window = TimeWindow(0, 60)
+        results = []
+        for n_ranks in (1, 2, 5):
+            with YgmWorld(n_ranks) as world:
+                results.append(
+                    project_distributed(tiny_btm, window, world).ci.edges.to_dict()
+                )
+        assert results[0] == results[1] == results[2]
+
+    def test_mp_backend_equivalence(self, tiny_btm):
+        window = TimeWindow(0, 60)
+        serial = project(tiny_btm, window)
+        with YgmWorld(2, backend="mp") as world:
+            dist = project_distributed(tiny_btm, window, world)
+        assert dist.ci.edges.to_dict() == serial.ci.edges.to_dict()
+        assert np.array_equal(dist.ci.page_counts, serial.ci.page_counts)
+
+    def test_stats_report_ranks(self, tiny_btm):
+        with YgmWorld(3) as world:
+            dist = project_distributed(tiny_btm, TimeWindow(0, 60), world)
+        assert dist.stats["ranks"] == 3
+        assert dist.stats["pages_visited"] == 3

@@ -1,0 +1,96 @@
+"""Tests for the incremental projector (vs full reprojection)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.projection import TimeWindow, project
+from repro.projection.incremental import IncrementalProjector
+
+
+def assert_matches_full(proj: IncrementalProjector) -> None:
+    """Incremental CI graph must equal projecting the ingested corpus."""
+    full = project(proj.to_btm(), proj.window)
+    inc = proj.ci_graph()
+    assert inc.edges.to_dict() == full.ci.edges.to_dict()
+    assert np.array_equal(inc.page_counts, full.ci.page_counts)
+
+
+class TestIncrementalProjector:
+    def test_single_batch_matches_full(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        proj.add_comments(
+            [("a", "p", 0), ("b", "p", 30), ("a", "q", 5), ("c", "q", 50)]
+        )
+        assert_matches_full(proj)
+
+    def test_appending_to_existing_page(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        proj.add_comments([("a", "p", 0), ("b", "p", 30)])
+        before = proj.ci_graph().edges.to_dict()
+        assert before == {(0, 1): 1}
+        proj.add_comments([("c", "p", 45)])
+        assert_matches_full(proj)
+        after = proj.ci_graph().edges.to_dict()
+        assert len(after) == 3
+
+    def test_out_of_order_arrival(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        proj.add_comments([("a", "p", 100)])
+        proj.add_comments([("b", "p", 70)])   # earlier than a's comment
+        assert proj.ci_graph().edges.to_dict() == {(0, 1): 1}
+        assert_matches_full(proj)
+
+    def test_only_touched_pages_recomputed(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        proj.add_comments([("a", "p", 0), ("b", "p", 10)])
+        n = proj.add_comments([("x", "q", 0), ("y", "q", 5)])
+        assert n == 1  # only page q recomputed
+
+    def test_remove_page(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        proj.add_comments([("a", "p", 0), ("b", "p", 10), ("a", "q", 0), ("b", "q", 3)])
+        assert proj.remove_page("p")
+        assert proj.ci_graph().edges.to_dict() == {(0, 1): 1}
+        assert not proj.remove_page("never")
+
+    def test_counters(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        proj.add_comments([("a", "p", 0), ("b", "p", 1), ("a", "q", 2)])
+        assert proj.n_pages == 2 and proj.n_comments == 3
+
+    def test_empty_projector(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        assert proj.ci_graph().n_edges == 0
+
+    def test_incremental_day_by_day_matches_full(self, small_dataset):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        records = small_dataset.records
+        chunk = max(len(records) // 5, 1)
+        for start in range(0, len(records), chunk):
+            proj.add_comments(
+                r.as_triple() for r in records[start : start + chunk]
+            )
+        assert_matches_full(proj)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batches=st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(0, 5), st.integers(0, 3), st.integers(0, 200)
+                ),
+                max_size=12,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_property_matches_full_after_any_update_sequence(self, batches):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        for batch in batches:
+            proj.add_comments(
+                (f"u{u}", f"p{p}", t) for u, p, t in batch
+            )
+        assert_matches_full(proj)

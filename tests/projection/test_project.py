@@ -1,0 +1,166 @@
+"""Tests for Algorithm 1: the vectorized engine against the verbatim oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import BipartiteTemporalMultigraph
+from repro.projection import TimeWindow, project, project_reference
+
+
+def btm_of(comments):
+    return BipartiteTemporalMultigraph.from_comments(comments)
+
+
+class TestHandWorkedExamples:
+    def test_tiny_btm_window_60(self, tiny_btm):
+        result = project(tiny_btm, TimeWindow(0, 60))
+        # p1: a@0,b@30,c@45 all within 60s pairwise (a@100 only pairs with
+        # c@45 at delay 55 and b@30 at delay 70>60 — note delay measured
+        # forward, so (c@45, a@100) = 55 ok). p3: b@0,c@59 -> bc.
+        a, b, c = 0, 1, 2
+        assert result.ci.edges.to_dict() == {
+            (a, b): 1,
+            (a, c): 1,
+            (b, c): 2,
+        }
+
+    def test_page_counts_tiny(self, tiny_btm):
+        result = project(tiny_btm, TimeWindow(0, 60))
+        # P': a from p1; b from p1, p3; c from p1, p3.
+        assert result.ci.page_counts.tolist() == [1, 2, 2]
+
+    def test_boundary_delays_inclusive(self):
+        result = project(
+            btm_of([("x", "p", 0), ("y", "p", 60)]), TimeWindow(0, 60)
+        )
+        assert result.ci.edges.n_edges == 1
+
+    def test_delay_above_delta2_excluded(self):
+        result = project(
+            btm_of([("x", "p", 0), ("y", "p", 61)]), TimeWindow(0, 60)
+        )
+        assert result.ci.edges.n_edges == 0
+
+    def test_delta1_lower_bound_exclusive_below(self):
+        btm = btm_of([("x", "p", 0), ("y", "p", 5)])
+        assert project(btm, TimeWindow(10, 60)).ci.edges.n_edges == 0
+        assert project(btm, TimeWindow(5, 60)).ci.edges.n_edges == 1
+
+    def test_same_author_pairs_excluded(self):
+        result = project(
+            btm_of([("x", "p", 0), ("x", "p", 10)]), TimeWindow(0, 60)
+        )
+        assert result.ci.edges.n_edges == 0
+
+    def test_simultaneous_comments_pair(self):
+        result = project(
+            btm_of([("x", "p", 7), ("y", "p", 7)]), TimeWindow(0, 60)
+        )
+        assert result.ci.edges.to_dict() == {(0, 1): 1}
+
+    def test_one_page_counts_once_per_pair(self):
+        # Many in-window co-occurrences on one page still weigh 1.
+        comments = [("x", "p", t) for t in (0, 10, 20)] + [
+            ("y", "p", t) for t in (5, 15, 25)
+        ]
+        result = project(btm_of(comments), TimeWindow(0, 60))
+        assert result.ci.edges.to_dict() == {(0, 1): 1}
+
+    def test_weight_counts_distinct_pages(self):
+        comments = []
+        for p in range(5):
+            comments += [("x", f"p{p}", 0), ("y", f"p{p}", 30)]
+        result = project(btm_of(comments), TimeWindow(0, 60))
+        assert result.ci.edges.to_dict() == {(0, 1): 5}
+
+    def test_empty_btm(self):
+        result = project(btm_of([]), TimeWindow(0, 60))
+        assert result.ci.edges.n_edges == 0
+        assert result.ci.page_counts.size == 0
+
+    def test_cross_page_never_pairs(self):
+        result = project(
+            btm_of([("x", "p1", 0), ("y", "p2", 0)]), TimeWindow(0, 60)
+        )
+        assert result.ci.edges.n_edges == 0
+
+
+class TestAgainstReference:
+    def test_random_btm_equivalence(self, random_btm):
+        for window in (TimeWindow(0, 60), TimeWindow(0, 600), TimeWindow(30, 300)):
+            vec = project(random_btm, window)
+            ref = project_reference(random_btm, window)
+            assert vec.ci.edges.to_dict() == ref.ci.edges.to_dict()
+            assert np.array_equal(vec.ci.page_counts, ref.ci.page_counts)
+            assert (
+                vec.stats["pair_observations"] == ref.stats["pair_observations"]
+            )
+
+    def test_small_pair_batch_equivalence(self, random_btm):
+        window = TimeWindow(0, 300)
+        baseline = project(random_btm, window)
+        tiny_batches = project(random_btm, window, pair_batch=7)
+        assert tiny_batches.ci.edges.to_dict() == baseline.ci.edges.to_dict()
+        assert np.array_equal(
+            tiny_batches.ci.page_counts, baseline.ci.page_counts
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        comments=st.lists(
+            st.tuples(
+                st.integers(0, 6),  # author
+                st.integers(0, 4),  # page
+                st.integers(0, 400),  # time
+            ),
+            max_size=40,
+        ),
+        delta1=st.integers(0, 50),
+        width=st.integers(1, 200),
+    )
+    def test_property_matches_reference(self, comments, delta1, width):
+        btm = btm_of(comments)
+        window = TimeWindow(delta1, delta1 + width)
+        vec = project(btm, window)
+        ref = project_reference(btm, window)
+        assert vec.ci.edges.to_dict() == ref.ci.edges.to_dict()
+        assert np.array_equal(vec.ci.page_counts, ref.ci.page_counts)
+
+
+class TestInvariants:
+    def test_weight_bounded_by_page_counts(self, random_btm):
+        result = project(random_btm, TimeWindow(0, 500))
+        ci = result.ci
+        for s, d, w in ci.edges:
+            assert w <= min(ci.page_counts[s], ci.page_counts[d])
+
+    def test_monotone_in_delta2(self, random_btm):
+        """Wider window ⇒ every pair weight is >= (paper §3 size claim)."""
+        narrow = project(random_btm, TimeWindow(0, 60)).ci.edges.to_dict()
+        wide = project(random_btm, TimeWindow(0, 3600)).ci.edges.to_dict()
+        assert sum(narrow.values()) <= sum(wide.values())
+        for pair, w in narrow.items():
+            assert wide.get(pair, 0) >= w
+
+    def test_pprime_bounded_by_pages_per_user(self, random_btm):
+        result = project(random_btm, TimeWindow(0, 500))
+        assert (result.ci.page_counts <= random_btm.pages_per_user()).all()
+
+    def test_keep_triples_returns_consistent_counts(self, random_btm):
+        result = project(random_btm, TimeWindow(0, 120), keep_triples=True)
+        pg, a, b = result.triples
+        assert pg.shape == a.shape == b.shape
+        assert (a < b).all()
+        # Triples reduce back to the edge weights.
+        from collections import Counter
+
+        pair_counts = Counter(zip(a.tolist(), b.tolist()))
+        assert dict(pair_counts) == result.ci.edges.to_dict()
+
+    def test_stats_populated(self, random_btm):
+        result = project(random_btm, TimeWindow(0, 60))
+        assert result.stats["comments_scanned"] == random_btm.n_comments
+        assert result.stats["ci_edges"] == result.ci.edges.n_edges
+        assert result.timings.total > 0

@@ -1,0 +1,80 @@
+"""Tests for the out-of-core streaming projection."""
+
+import numpy as np
+import pytest
+
+from repro.graph.io import write_comments_ndjson
+from repro.projection import TimeWindow, project, project_streaming
+from repro.projection.streaming import iter_ndjson_comments
+
+
+class TestStreamingProjection:
+    def test_matches_in_memory_on_random(self, random_btm, tmp_path):
+        # Feed the same comments as (author, page, time) string triples.
+        triples = [
+            (f"u{u}", f"p{p}", int(t))
+            for u, p, t in zip(random_btm.users, random_btm.pages, random_btm.times)
+        ]
+        streamed = project_streaming(triples, TimeWindow(0, 120), tmp_path, 4)
+        # Rebuild an equivalent in-memory BTM with the same interning order.
+        from repro.graph import BipartiteTemporalMultigraph
+
+        btm = BipartiteTemporalMultigraph.from_comments(triples)
+        direct = project(btm, TimeWindow(0, 120))
+        assert streamed.ci.edges.to_dict() == direct.ci.edges.to_dict()
+        assert np.array_equal(streamed.ci.page_counts, direct.ci.page_counts)
+
+    def test_matches_on_dataset(self, small_dataset, tmp_path):
+        triples = [r.as_triple() for r in small_dataset.records]
+        streamed = project_streaming(triples, TimeWindow(0, 60), tmp_path, 6)
+        direct = project(small_dataset.btm, TimeWindow(0, 60))
+        assert streamed.ci.edges.to_dict() == direct.ci.edges.to_dict()
+        assert np.array_equal(streamed.ci.page_counts, direct.ci.page_counts)
+
+    def test_partition_count_invariance(self, small_dataset, tmp_path):
+        triples = [r.as_triple() for r in small_dataset.records]
+        results = [
+            project_streaming(
+                triples, TimeWindow(0, 60), tmp_path / str(n), n
+            ).ci.edges.to_dict()
+            for n in (1, 3, 7)
+        ]
+        assert results[0] == results[1] == results[2]
+
+    def test_spill_files_cleaned_up(self, tmp_path):
+        project_streaming(
+            [("a", "p", 0), ("b", "p", 5)], TimeWindow(0, 60), tmp_path, 3
+        )
+        assert not list(tmp_path.glob("part_*.bin"))
+
+    def test_keep_spill(self, tmp_path):
+        project_streaming(
+            [("a", "p", 0)], TimeWindow(0, 60), tmp_path, 2, keep_spill=True
+        )
+        assert len(list(tmp_path.glob("part_*.bin"))) == 2
+
+    def test_empty_stream(self, tmp_path):
+        result = project_streaming([], TimeWindow(0, 60), tmp_path, 2)
+        assert result.ci.n_edges == 0
+        assert result.stats["comments_scanned"] == 0
+
+    def test_invalid_partitions(self, tmp_path):
+        with pytest.raises(ValueError):
+            project_streaming([], TimeWindow(0, 60), tmp_path, 0)
+
+    def test_interner_names_preserved(self, tmp_path):
+        result = project_streaming(
+            [("alice", "p", 0), ("bob", "p", 30)], TimeWindow(0, 60), tmp_path, 2
+        )
+        assert result.ci.author_name(0) == "alice"
+
+    def test_ndjson_iterator_end_to_end(self, small_dataset, tmp_path):
+        path = tmp_path / "corpus.ndjson"
+        write_comments_ndjson(
+            path, (r.to_pushshift_dict() for r in small_dataset.records)
+        )
+        streamed = project_streaming(
+            iter_ndjson_comments(path), TimeWindow(0, 60), tmp_path / "spill", 4
+        )
+        direct = project(small_dataset.btm, TimeWindow(0, 60))
+        assert streamed.ci.edges.to_dict() == direct.ci.edges.to_dict()

@@ -1,0 +1,66 @@
+"""Tests for the temporal window."""
+
+import pytest
+
+from repro.projection import TimeWindow
+
+
+class TestValidation:
+    def test_valid_window(self):
+        w = TimeWindow(0, 60)
+        assert w.delta1 == 0 and w.delta2 == 60
+
+    def test_negative_delta1_rejected(self):
+        with pytest.raises(ValueError, match="delta1"):
+            TimeWindow(-1, 60)
+
+    def test_delta2_must_exceed_delta1(self):
+        with pytest.raises(ValueError, match="exceed"):
+            TimeWindow(10, 10)
+        with pytest.raises(ValueError):
+            TimeWindow(10, 5)
+
+    def test_width(self):
+        assert TimeWindow(10, 70).width == 60
+
+    def test_str(self):
+        assert str(TimeWindow(0, 3600)) == "(0s, 3600s)"
+
+    def test_ordering(self):
+        assert TimeWindow(0, 60) < TimeWindow(0, 120)
+
+
+class TestContains:
+    def test_closed_interval(self):
+        w = TimeWindow(5, 10)
+        assert w.contains(5) and w.contains(10)
+        assert not w.contains(4) and not w.contains(11)
+
+
+class TestBuckets:
+    def test_even_split(self):
+        bs = TimeWindow(0, 180).buckets(60)
+        assert [(b.delta1, b.delta2) for b in bs] == [(0, 60), (60, 120), (120, 180)]
+
+    def test_ragged_tail(self):
+        bs = TimeWindow(0, 100).buckets(60)
+        assert [(b.delta1, b.delta2) for b in bs] == [(0, 60), (60, 100)]
+
+    def test_single_bucket_when_wider_than_window(self):
+        bs = TimeWindow(0, 50).buckets(100)
+        assert bs == [TimeWindow(0, 50)]
+
+    def test_nonzero_delta1(self):
+        bs = TimeWindow(30, 90).buckets(30)
+        assert [(b.delta1, b.delta2) for b in bs] == [(30, 60), (60, 90)]
+
+    def test_buckets_cover_window_exactly(self):
+        w = TimeWindow(7, 193)
+        bs = w.buckets(17)
+        assert bs[0].delta1 == w.delta1 and bs[-1].delta2 == w.delta2
+        for prev, cur in zip(bs, bs[1:]):
+            assert prev.delta2 == cur.delta1
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            TimeWindow(0, 60).buckets(0)

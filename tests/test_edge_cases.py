@@ -1,0 +1,149 @@
+"""Cross-cutting edge cases and defensive-behaviour tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import BipartiteTemporalMultigraph, CSRGraph, EdgeList
+from repro.projection import (
+    TimeWindow,
+    project,
+    project_bucketed,
+    project_reference,
+)
+from repro.tripoll import survey_triangles
+
+
+def btm_of(comments):
+    return BipartiteTemporalMultigraph.from_comments(comments)
+
+
+class TestDegenerateCorpora:
+    def test_single_comment(self):
+        result = project(btm_of([("a", "p", 5)]), TimeWindow(0, 60))
+        assert result.ci.n_edges == 0
+        assert result.ci.page_counts.tolist() == [0]
+
+    def test_all_comments_same_instant(self):
+        comments = [(f"u{i}", "p", 1000) for i in range(6)]
+        result = project(btm_of(comments), TimeWindow(0, 60))
+        # Every pair co-occurs: C(6,2) = 15 edges, weight 1.
+        assert result.ci.n_edges == 15
+        assert (result.ci.edges.weight == 1).all()
+
+    def test_all_same_instant_with_delta1_positive(self):
+        comments = [(f"u{i}", "p", 1000) for i in range(6)]
+        result = project(btm_of(comments), TimeWindow(1, 60))
+        assert result.ci.n_edges == 0
+
+    def test_one_author_many_pages(self):
+        comments = [("solo", f"p{i}", i * 10) for i in range(50)]
+        result = project(btm_of(comments), TimeWindow(0, 60))
+        assert result.ci.n_edges == 0
+
+    def test_mega_page_matches_reference(self):
+        # A single page with dense traffic (the megathread case).
+        rng = np.random.default_rng(5)
+        comments = [
+            (int(rng.integers(0, 12)), 0, int(rng.integers(0, 500)))
+            for _ in range(200)
+        ]
+        btm = btm_of(comments)
+        window = TimeWindow(0, 45)
+        assert (
+            project(btm, window).ci.edges.to_dict()
+            == project_reference(btm, window).ci.edges.to_dict()
+        )
+
+    def test_huge_timestamps_no_overflow(self):
+        # Epoch seconds circa 2100 — the stride encoding must not overflow.
+        base = 4_102_444_800
+        comments = [("a", "p", base), ("b", "p", base + 30)]
+        result = project(btm_of(comments), TimeWindow(0, 60))
+        assert result.ci.edges.to_dict() == {(0, 1): 1}
+
+    def test_window_wider_than_corpus_span(self):
+        comments = [("a", "p", 0), ("b", "p", 10)]
+        result = project(btm_of(comments), TimeWindow(0, 10**9))
+        assert result.ci.n_edges == 1
+
+    def test_bucketed_with_nonzero_delta1(self):
+        rng = np.random.default_rng(9)
+        comments = [
+            (int(rng.integers(0, 8)), int(rng.integers(0, 5)), int(rng.integers(0, 400)))
+            for _ in range(120)
+        ]
+        btm = btm_of(comments)
+        window = TimeWindow(30, 240)
+        direct = project(btm, window)
+        bucketed = project_bucketed(btm, window, bucket_width=70)
+        assert bucketed.ci.edges.to_dict() == direct.ci.edges.to_dict()
+        assert np.array_equal(bucketed.ci.page_counts, direct.ci.page_counts)
+
+
+class TestGraphEdgeCases:
+    def test_csr_subgraph_empty_selection(self):
+        g = CSRGraph.from_edgelist(EdgeList([0], [1]))
+        sub = g.subgraph_vertices(np.array([], dtype=np.int64))
+        assert sub.n_edges == 0 and sub.n_vertices == g.n_vertices
+
+    def test_two_vertex_graph_has_no_triangles(self):
+        assert survey_triangles(EdgeList([0], [1])).n_triangles == 0
+
+    def test_star_graph_has_no_triangles(self):
+        el = EdgeList([0] * 20, list(range(1, 21)))
+        assert survey_triangles(el).n_triangles == 0
+
+    def test_survey_duplicate_edges_accumulated_first(self):
+        # Duplicate edges must not create duplicate triangles.
+        el = EdgeList([0, 0, 0, 1], [1, 1, 2, 2], [1, 1, 1, 1])
+        ts = survey_triangles(el)
+        assert ts.n_triangles == 1
+        assert ts.w_ab.tolist() == [2]  # the duplicate edge summed
+
+    def test_empty_summary_renders(self):
+        from repro.pipeline import CoordinationPipeline, PipelineConfig
+
+        result = CoordinationPipeline(
+            PipelineConfig(window=TimeWindow(0, 60))
+        ).run(btm_of([("a", "p", 0)]))
+        assert "0 components" in result.summary() or "components" in result.summary()
+        assert result.components == []
+
+
+class TestUnicodeAndOddNames:
+    def test_unicode_author_names(self):
+        comments = [("ユーザー", "p", 0), ("مستخدم", "p", 30)]
+        result = project(btm_of(comments), TimeWindow(0, 60))
+        assert result.ci.n_edges == 1
+        assert result.ci.author_name(0) == "ユーザー"
+
+    def test_names_with_quotes_export_safely(self, tmp_path):
+        from repro.analysis.export import component_to_dot
+        from repro.pipeline import CoordinationPipeline, PipelineConfig
+
+        comments = []
+        authors = ['evil"name', "normal", "third'one"]
+        for p in range(5):
+            for i, a in enumerate(authors):
+                comments.append((a, f"p{p}", p * 1000 + i * 10))
+        result = CoordinationPipeline(
+            PipelineConfig(window=TimeWindow(0, 60), min_triangle_weight=3,
+                           compute_hypergraph=False)
+        ).run(btm_of(comments))
+        assert result.components
+        dot = component_to_dot(result, result.components[0])
+        assert '\\"' in dot  # the quote survived, escaped
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        names=st.lists(
+            st.text(min_size=1, max_size=10), min_size=2, max_size=5, unique=True
+        )
+    )
+    def test_property_arbitrary_names_roundtrip(self, names):
+        comments = [(name, "p", i * 10) for i, name in enumerate(names)]
+        btm = btm_of(comments)
+        for i, name in enumerate(names):
+            assert btm.user_name(i) == name

@@ -1,0 +1,118 @@
+"""Tests for streaming survey aggregators (vs full materialization)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import EdgeList
+from repro.tripoll import survey_triangles, t_scores
+from repro.tripoll.aggregate import (
+    ComponentAggregator,
+    CountAggregator,
+    MinWeightHistogram,
+    TopKByMinWeight,
+    TScoreHistogram,
+    run_survey,
+)
+from tests.conftest import random_edgelist
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_edgelist(123, n_vertices=80, n_edges=500)
+
+
+@pytest.fixture(scope="module")
+def full(graph):
+    return survey_triangles(graph)
+
+
+class TestAggregators:
+    def test_count_matches_full(self, graph, full):
+        (count,) = run_survey(graph, [CountAggregator()])
+        assert count == full.n_triangles
+
+    def test_count_batch_invariant(self, graph, full):
+        (count,) = run_survey(graph, [CountAggregator()], wedge_batch=5)
+        assert count == full.n_triangles
+
+    def test_min_weight_histogram(self, graph, full):
+        edges = np.arange(0, 40, 2)
+        (hist,) = run_survey(
+            graph, [MinWeightHistogram(edges)], wedge_batch=7
+        )
+        expected, _ = np.histogram(full.min_weights(), bins=edges.astype(float))
+        assert np.array_equal(hist, expected)
+
+    def test_histogram_needs_two_edges(self):
+        with pytest.raises(ValueError):
+            MinWeightHistogram([1])
+
+    def test_topk_matches_full_sort(self, graph, full):
+        (top,) = run_survey(graph, [TopKByMinWeight(5)], wedge_batch=9)
+        minw = np.sort(full.min_weights())[::-1][:5]
+        assert [w for w, _row in top] == minw.tolist()
+
+    def test_topk_rows_are_real_triangles(self, graph, full):
+        (top,) = run_survey(graph, [TopKByMinWeight(3)])
+        tuples = full.as_tuples()
+        for _w, (a, b, c, *_weights) in top:
+            assert (a, b, c) in tuples
+
+    def test_topk_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKByMinWeight(0)
+
+    def test_tscore_histogram(self, graph, full):
+        page_counts = np.full(80, 50, dtype=np.int64)
+        (hist,) = run_survey(
+            graph, [TScoreHistogram(page_counts, bins=10)], wedge_batch=11
+        )
+        expected, _ = np.histogram(
+            t_scores(full, page_counts), bins=np.linspace(0, 1, 11)
+        )
+        assert np.array_equal(hist, expected)
+
+    def test_component_aggregator_matches_triangle_components(self, graph, full):
+        (comps,) = run_survey(
+            graph, [ComponentAggregator(80)], wedge_batch=13
+        )
+        streamed = {frozenset(c) for c in comps}
+        # Oracle: union triangle corners from the materialized set.
+        from repro.graph.components import UnionFind
+
+        uf = UnionFind(80)
+        touched = set()
+        for a, b, c, *_w in full:
+            uf.union(a, b)
+            uf.union(b, c)
+            touched.update((a, b, c))
+        by_root: dict[int, set] = {}
+        for v in touched:
+            by_root.setdefault(uf.find(v), set()).add(v)
+        assert streamed == {frozenset(s) for s in by_root.values()}
+
+    def test_multiple_aggregators_one_pass(self, graph, full):
+        count, top = run_survey(
+            graph, [CountAggregator(), TopKByMinWeight(2)]
+        )
+        assert count == full.n_triangles
+        assert len(top) == 2
+
+    def test_min_edge_weight_threshold(self, graph):
+        (count,) = run_survey(
+            graph, [CountAggregator()], min_edge_weight=12
+        )
+        assert count == survey_triangles(graph, min_edge_weight=12).n_triangles
+
+    def test_collect_false_returns_empty_set(self, graph, full):
+        out = survey_triangles(graph, collect=False)
+        assert out.n_triangles == 0  # batches were streamed, not retained
+
+    def test_extreme_triangle_discovery(self, small_dataset):
+        """The §3.1.4 workflow: find the heaviest triangle by survey."""
+        from repro.projection import TimeWindow, project
+
+        ci = project(small_dataset.btm, TimeWindow(0, 60)).ci
+        (top,) = run_survey(ci.edges, [TopKByMinWeight(1)], min_edge_weight=5)
+        full = survey_triangles(ci.edges, min_edge_weight=5)
+        assert top[0][0] == int(full.min_weights().max())

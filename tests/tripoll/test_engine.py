@@ -1,0 +1,54 @@
+"""Tests for the distributed triangle survey."""
+
+import numpy as np
+
+from repro.tripoll import survey_triangles, survey_triangles_distributed
+from repro.ygm import YgmWorld
+from tests.conftest import random_edgelist
+
+
+class TestDistributedSurvey:
+    def test_matches_serial_random_graph(self):
+        el = random_edgelist(50, n_vertices=40, n_edges=200)
+        serial = survey_triangles(el).sorted_canonical()
+        with YgmWorld(4) as world:
+            dist = survey_triangles_distributed(el, world).sorted_canonical()
+        assert dist.as_tuples() == serial.as_tuples()
+        assert np.array_equal(dist.w_ab, serial.w_ab)
+        assert np.array_equal(dist.w_ac, serial.w_ac)
+        assert np.array_equal(dist.w_bc, serial.w_bc)
+
+    def test_threshold_matches_serial(self):
+        el = random_edgelist(51, n_vertices=40, n_edges=200)
+        serial = survey_triangles(el, min_edge_weight=12).sorted_canonical()
+        with YgmWorld(3) as world:
+            dist = survey_triangles_distributed(
+                el, world, min_edge_weight=12
+            ).sorted_canonical()
+        assert dist.as_tuples() == serial.as_tuples()
+
+    def test_empty_graph(self):
+        from repro.graph import EdgeList
+
+        with YgmWorld(2) as world:
+            assert (
+                survey_triangles_distributed(EdgeList.empty(), world).n_triangles
+                == 0
+            )
+
+    def test_rank_count_invariance(self):
+        el = random_edgelist(52, n_vertices=25, n_edges=100)
+        outs = []
+        for n_ranks in (1, 3):
+            with YgmWorld(n_ranks) as world:
+                outs.append(
+                    survey_triangles_distributed(el, world).as_tuples()
+                )
+        assert outs[0] == outs[1]
+
+    def test_mp_backend(self):
+        el = random_edgelist(53, n_vertices=20, n_edges=60)
+        serial = survey_triangles(el)
+        with YgmWorld(2, backend="mp") as world:
+            dist = survey_triangles_distributed(el, world)
+        assert dist.as_tuples() == serial.as_tuples()

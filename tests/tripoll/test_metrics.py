@@ -1,0 +1,64 @@
+"""Tests for Step 2 metrics (eq. 7 and bounds)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import BipartiteTemporalMultigraph, EdgeList
+from repro.projection import TimeWindow, project
+from repro.tripoll import min_edge_weights, survey_triangles, t_scores
+
+
+class TestTScores:
+    def test_formula_hand_check(self):
+        el = EdgeList([0, 0, 1], [1, 2, 2], [4, 6, 8])
+        ts = survey_triangles(el)
+        scores = t_scores(ts, np.array([10, 5, 9]))
+        assert scores[0] == pytest.approx(3 * 4 / 24)
+
+    def test_zero_denominator_scores_zero(self):
+        el = EdgeList([0, 0, 1], [1, 2, 2])
+        ts = survey_triangles(el)
+        assert t_scores(ts, np.zeros(3, dtype=np.int64))[0] == 0.0
+
+    def test_min_edge_weights_delegates(self):
+        el = EdgeList([0, 0, 1], [1, 2, 2], [4, 6, 8])
+        ts = survey_triangles(el)
+        assert min_edge_weights(ts).tolist() == [4]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        comments=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 6), st.integers(0, 500)),
+            max_size=60,
+        ),
+        width=st.integers(1, 300),
+    )
+    def test_property_t_in_unit_interval_on_projection(self, comments, width):
+        """Paper §2.2.1: T ∈ [0, 1] for every triangle of any projection."""
+        btm = BipartiteTemporalMultigraph.from_comments(comments)
+        result = project(btm, TimeWindow(0, width))
+        tri = survey_triangles(result.ci.edges)
+        scores = t_scores(tri, result.ci.page_counts)
+        assert (scores >= 0.0).all()
+        assert (scores <= 1.0).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        comments=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 6), st.integers(0, 500)),
+            max_size=60,
+        )
+    )
+    def test_property_min_weight_bounded_by_min_pprime(self, comments):
+        """w' ≤ P' pairwise ⇒ min triangle weight ≤ min P' (paper's bound)."""
+        btm = BipartiteTemporalMultigraph.from_comments(comments)
+        result = project(btm, TimeWindow(0, 120))
+        tri = survey_triangles(result.ci.edges)
+        pc = result.ci.page_counts
+        if tri.n_triangles:
+            min_pprime = np.minimum(
+                np.minimum(pc[tri.a], pc[tri.b]), pc[tri.c]
+            )
+            assert (tri.min_weights() <= min_pprime).all()

@@ -1,0 +1,170 @@
+"""Tests for the vectorized triangle survey against brute force and networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import EdgeList
+from repro.tripoll import TriangleSet, survey_triangles, triangles_brute
+from tests.conftest import random_edgelist
+
+
+class TestHandWorkedExamples:
+    def test_single_triangle(self):
+        el = EdgeList([0, 0, 1], [1, 2, 2], [5, 4, 3])
+        ts = survey_triangles(el)
+        assert ts.as_tuples() == {(0, 1, 2)}
+        assert ts.w_ab.tolist() == [5]
+        assert ts.w_ac.tolist() == [4]
+        assert ts.w_bc.tolist() == [3]
+
+    def test_k4_has_four_triangles(self, triangle_edgelist):
+        ts = survey_triangles(triangle_edgelist)
+        assert ts.as_tuples() == {
+            (0, 1, 2),
+            (0, 1, 3),
+            (0, 2, 3),
+            (1, 2, 3),
+        }
+
+    def test_weights_aligned_to_ids(self, triangle_edgelist):
+        ts = survey_triangles(triangle_edgelist).sorted_canonical()
+        # triangle (0,1,3): w01=5, w03=7, w13=9
+        idx = ts.as_tuples()
+        row = [
+            i
+            for i in range(ts.n_triangles)
+            if (ts.a[i], ts.b[i], ts.c[i]) == (0, 1, 3)
+        ][0]
+        assert (ts.w_ab[row], ts.w_ac[row], ts.w_bc[row]) == (5, 7, 9)
+
+    def test_no_triangles_in_tree(self):
+        el = EdgeList([0, 0, 0], [1, 2, 3])
+        assert survey_triangles(el).n_triangles == 0
+
+    def test_empty_graph(self):
+        assert survey_triangles(EdgeList.empty()).n_triangles == 0
+
+    def test_pendant_not_in_triangle(self, triangle_edgelist):
+        ts = survey_triangles(triangle_edgelist)
+        assert 4 not in ts.vertices()
+
+
+class TestThreshold:
+    def test_pre_threshold_removes_light_edges(self, triangle_edgelist):
+        # edge 12 has weight 3; cutting at 4 destroys triangles through it.
+        ts = survey_triangles(triangle_edgelist, min_edge_weight=4)
+        assert (0, 1, 2) not in ts.as_tuples()
+        assert (0, 1, 3) in ts.as_tuples()
+
+    def test_all_min_weights_above_cutoff(self):
+        el = random_edgelist(3)
+        ts = survey_triangles(el, min_edge_weight=10)
+        if ts.n_triangles:
+            assert (ts.min_weights() >= 10).all()
+
+    def test_threshold_equals_posthoc_filter(self):
+        el = random_edgelist(9)
+        pre = survey_triangles(el, min_edge_weight=8).sorted_canonical()
+        post = survey_triangles(el).filter_min_weight(8).sorted_canonical()
+        assert pre.as_tuples() == post.as_tuples()
+        assert np.array_equal(pre.min_weights(), post.min_weights())
+
+
+class TestAgainstOracles:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_matches_brute_force(self, seed):
+        el = random_edgelist(seed, n_vertices=40, n_edges=220)
+        fast = survey_triangles(el).sorted_canonical()
+        brute = triangles_brute(el).sorted_canonical()
+        assert fast.as_tuples() == brute.as_tuples()
+        assert np.array_equal(fast.w_ab, brute.w_ab)
+        assert np.array_equal(fast.w_ac, brute.w_ac)
+        assert np.array_equal(fast.w_bc, brute.w_bc)
+
+    def test_count_matches_networkx(self):
+        el = random_edgelist(77, n_vertices=80, n_edges=500)
+        nx_count = sum(nx.triangles(el.to_networkx()).values()) // 3
+        assert survey_triangles(el).n_triangles == nx_count
+
+    def test_small_wedge_batch_equivalence(self):
+        el = random_edgelist(88)
+        big = survey_triangles(el).sorted_canonical()
+        small = survey_triangles(el, wedge_batch=3).sorted_canonical()
+        assert big.as_tuples() == small.as_tuples()
+        assert np.array_equal(big.min_weights(), small.min_weights())
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            max_size=40,
+        )
+    )
+    def test_property_matches_brute(self, pairs):
+        el = EdgeList.from_pairs(pairs).accumulate()
+        fast = survey_triangles(el)
+        brute = triangles_brute(el)
+        assert fast.as_tuples() == brute.as_tuples()
+
+
+class TestSurveyCallback:
+    def test_callback_sees_every_triangle(self, triangle_edgelist):
+        seen: list[tuple] = []
+        survey_triangles(
+            triangle_edgelist,
+            wedge_batch=2,
+            survey_callback=lambda ts: seen.extend(ts.as_tuples()),
+        )
+        assert set(seen) == {(0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3)}
+
+
+class TestTriangleSet:
+    def test_from_raw_canonicalizes(self):
+        ts = TriangleSet.from_raw(
+            x=np.array([5]),
+            y=np.array([1]),
+            z=np.array([3]),
+            w_xy=np.array([10]),  # edge 5-1
+            w_xz=np.array([20]),  # edge 5-3
+            w_yz=np.array([30]),  # edge 1-3
+        )
+        assert (ts.a[0], ts.b[0], ts.c[0]) == (1, 3, 5)
+        assert ts.w_ab[0] == 30  # 1-3
+        assert ts.w_ac[0] == 10  # 1-5
+        assert ts.w_bc[0] == 20  # 3-5
+
+    def test_min_max_weights(self):
+        ts = TriangleSet.from_raw(
+            np.array([0]),
+            np.array([1]),
+            np.array([2]),
+            np.array([5]),
+            np.array([2]),
+            np.array([9]),
+        )
+        assert ts.min_weights().tolist() == [2]
+        assert ts.max_weights().tolist() == [9]
+
+    def test_iteration(self):
+        el = EdgeList([0, 0, 1], [1, 2, 2], [5, 4, 3])
+        rows = list(survey_triangles(el))
+        assert rows == [(0, 1, 2, 5, 4, 3)]
+
+    def test_field_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            TriangleSet(
+                np.zeros(2, np.int64),
+                np.zeros(1, np.int64),
+                np.zeros(2, np.int64),
+                np.zeros(2, np.int64),
+                np.zeros(2, np.int64),
+                np.zeros(2, np.int64),
+            )
+
+    def test_vertices_of_empty(self):
+        assert TriangleSet.empty().vertices().size == 0

@@ -1,0 +1,87 @@
+"""Tests for repro.util.ids.Interner."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.ids import Interner
+
+
+class TestIntern:
+    def test_first_key_gets_zero(self):
+        assert Interner().intern("a") == 0
+
+    def test_ids_are_dense_and_sequential(self):
+        it = Interner()
+        assert [it.intern(k) for k in "abc"] == [0, 1, 2]
+
+    def test_repeat_key_returns_same_id(self):
+        it = Interner()
+        first = it.intern("x")
+        it.intern("y")
+        assert it.intern("x") == first
+
+    def test_constructor_seeds_keys_in_order(self):
+        it = Interner(["p", "q"])
+        assert it.id_of("p") == 0 and it.id_of("q") == 1
+
+    def test_intern_all_returns_int64_array(self):
+        ids = Interner().intern_all(["a", "b", "a"])
+        assert ids.dtype == np.int64
+        assert ids.tolist() == [0, 1, 0]
+
+    def test_non_string_keys_supported(self):
+        it = Interner()
+        assert it.intern((1, 2)) == 0
+        assert it.intern((1, 2)) == 0
+
+
+class TestLookup:
+    def test_key_of_inverts_intern(self):
+        it = Interner()
+        ident = it.intern("hello")
+        assert it.key_of(ident) == "hello"
+
+    def test_keys_of_batch(self):
+        it = Interner(["a", "b", "c"])
+        assert it.keys_of([2, 0]) == ["c", "a"]
+
+    def test_id_of_missing_raises(self):
+        with pytest.raises(KeyError):
+            Interner().id_of("nope")
+
+    def test_get_returns_default_for_missing(self):
+        assert Interner().get("nope") is None
+        assert Interner().get("nope", -1) == -1
+
+    def test_contains(self):
+        it = Interner(["a"])
+        assert "a" in it and "b" not in it
+
+    def test_len_and_iteration_order(self):
+        it = Interner(["z", "y"])
+        assert len(it) == 2
+        assert list(it) == ["z", "y"]
+
+    def test_freeze_keys_snapshot(self):
+        it = Interner(["a"])
+        snap = it.freeze_keys()
+        it.intern("b")
+        assert snap == ("a",)
+
+
+class TestProperties:
+    @given(st.lists(st.text(max_size=8)))
+    def test_roundtrip_all_keys(self, keys):
+        it = Interner()
+        ids = [it.intern(k) for k in keys]
+        for k, i in zip(keys, ids):
+            assert it.key_of(i) == k
+            assert it.id_of(k) == it.intern(k)
+
+    @given(st.lists(st.integers(), unique=True))
+    def test_unique_keys_get_unique_dense_ids(self, keys):
+        it = Interner()
+        ids = [it.intern(k) for k in keys]
+        assert sorted(ids) == list(range(len(keys)))

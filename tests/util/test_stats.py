@@ -1,0 +1,106 @@
+"""Tests for correlation and 2-D histogram helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.stats import (
+    binned_log_counts,
+    fraction_above_diagonal,
+    pearson,
+    spearman,
+)
+
+
+class TestCorrelations:
+    def test_perfect_positive_pearson(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative_pearson(self):
+        x = np.arange(10.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_spearman_monotone_nonlinear_is_one(self):
+        x = np.arange(1.0, 11.0)
+        assert spearman(x, x**3) == pytest.approx(1.0)
+
+    def test_degenerate_constant_returns_nan(self):
+        assert math.isnan(pearson(np.ones(5), np.arange(5.0)))
+        assert math.isnan(spearman(np.arange(5.0), np.zeros(5)))
+
+    def test_too_few_points_returns_nan(self):
+        assert math.isnan(pearson(np.array([1.0]), np.array([2.0])))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pearson(np.zeros(3), np.zeros(4))
+
+
+class TestHist2D:
+    def test_counts_sum_to_points(self):
+        x = np.random.default_rng(0).random(100)
+        y = np.random.default_rng(1).random(100)
+        h = binned_log_counts(x, y, bins=10)
+        assert h.n_points == 100
+
+    def test_fixed_ranges_respected(self):
+        h = binned_log_counts(
+            np.array([0.5]), np.array([0.5]), bins=4, x_range=(0, 1), y_range=(0, 1)
+        )
+        assert h.x_edges[0] == 0 and h.x_edges[-1] == 1
+        assert h.counts[2, 2] == 1
+
+    def test_empty_bins_are_neg_inf_in_log(self):
+        h = binned_log_counts(np.array([0.0]), np.array([0.0]), bins=4)
+        log = h.log_counts
+        assert np.isneginf(log).sum() == 15
+        assert h.occupied_bins == 1
+
+    def test_render_produces_grid(self):
+        h = binned_log_counts(np.arange(10.0), np.arange(10.0), bins=8)
+        art = h.render()
+        assert art.count("\n") >= 4
+        assert "|" in art
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            binned_log_counts(np.zeros(2), np.zeros(3))
+
+
+class TestFractionAboveDiagonal:
+    def test_all_above(self):
+        assert fraction_above_diagonal(np.zeros(4), np.ones(4)) == 1.0
+
+    def test_on_diagonal_not_counted(self):
+        assert fraction_above_diagonal(np.ones(4), np.ones(4)) == 0.0
+
+    def test_mixed(self):
+        x = np.array([0.0, 0.0, 1.0, 1.0])
+        y = np.array([1.0, 1.0, 0.0, 0.0])
+        assert fraction_above_diagonal(x, y) == 0.5
+
+    def test_empty_returns_nan(self):
+        assert math.isnan(fraction_above_diagonal(np.array([]), np.array([])))
+
+
+class TestHist2DRows:
+    def test_rows_cover_counts(self):
+        h = binned_log_counts(np.arange(10.0), np.arange(10.0), bins=5)
+        rows = h.to_rows()
+        assert sum(r["count"] for r in rows) == 10
+        assert all(r["count"] > 0 for r in rows)
+
+    def test_include_empty(self):
+        h = binned_log_counts(np.array([0.0]), np.array([0.0]), bins=3)
+        assert len(h.to_rows(include_empty=True)) == 9
+        assert len(h.to_rows()) == 1
+
+    def test_centers_inside_edges(self):
+        h = binned_log_counts(
+            np.array([0.1, 0.9]), np.array([0.1, 0.9]), bins=4,
+            x_range=(0, 1), y_range=(0, 1),
+        )
+        for r in h.to_rows(include_empty=True):
+            assert 0.0 < r["x"] < 1.0 and 0.0 < r["y"] < 1.0

@@ -1,0 +1,60 @@
+"""Tests for wall-clock instrumentation."""
+
+from repro.util.timers import StageTimings, Timer
+
+
+class TestTimer:
+    def test_records_nonnegative_elapsed(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+
+class TestStageTimings:
+    def test_stage_context_accumulates(self):
+        st = StageTimings()
+        with st.stage("a"):
+            pass
+        with st.stage("a"):
+            pass
+        assert st.stages["a"] >= 0.0
+        assert list(st.stages) == ["a"]
+
+    def test_record_adds(self):
+        st = StageTimings()
+        st.record("x", 1.0)
+        st.record("x", 0.5)
+        assert st.stages["x"] == 1.5
+
+    def test_total_sums_stages(self):
+        st = StageTimings()
+        st.record("a", 1.0)
+        st.record("b", 2.0)
+        assert st.total == 3.0
+
+    def test_merge(self):
+        a = StageTimings()
+        a.record("x", 1.0)
+        b = StageTimings()
+        b.record("x", 2.0)
+        b.record("y", 3.0)
+        a.merge(b)
+        assert a.stages == {"x": 3.0, "y": 3.0}
+
+    def test_format_empty(self):
+        assert "no stages" in StageTimings().format()
+
+    def test_format_lists_total(self):
+        st = StageTimings()
+        st.record("alpha", 1.0)
+        out = st.format()
+        assert "alpha" in out and "TOTAL" in out
+
+    def test_stage_records_on_exception(self):
+        st = StageTimings()
+        try:
+            with st.stage("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert "boom" in st.stages

@@ -1,0 +1,68 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_int_array,
+    check_nonnegative,
+    check_positive,
+    check_same_length,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestCheckIntArray:
+    def test_int_list_coerced(self):
+        out = check_int_array([1, 2, 3], "a")
+        assert out.dtype == np.int64
+
+    def test_whole_floats_accepted(self):
+        out = check_int_array(np.array([1.0, 2.0]), "a")
+        assert out.tolist() == [1, 2]
+
+    def test_fractional_floats_rejected(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            check_int_array(np.array([1.5]), "a")
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_int_array(np.zeros((2, 2)), "a")
+
+    def test_string_dtype_rejected(self):
+        with pytest.raises(ValueError, match="integer-valued"):
+            check_int_array(np.array(["x"]), "a")
+
+    def test_empty_accepted(self):
+        assert check_int_array([], "a").shape == (0,)
+
+
+class TestLengthAndSign:
+    def test_same_length_returns_it(self):
+        assert check_same_length(("a", np.zeros(3)), ("b", np.zeros(3))) == 3
+
+    def test_mismatch_names_in_error(self):
+        with pytest.raises(ValueError, match="a=2.*b=3"):
+            check_same_length(("a", np.zeros(2)), ("b", np.zeros(3)))
+
+    def test_no_arrays_returns_zero(self):
+        assert check_same_length() == 0
+
+    def test_nonnegative(self):
+        check_nonnegative(0, "x")
+        with pytest.raises(ValueError):
+            check_nonnegative(-1, "x")
+
+    def test_positive(self):
+        check_positive(1, "x")
+        with pytest.raises(ValueError):
+            check_positive(0, "x")

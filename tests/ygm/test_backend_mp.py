@@ -1,0 +1,66 @@
+"""Tests for the multiprocessing backend.
+
+Kept small (worker startup costs dominate on a 1-core box); the heavy
+semantic coverage lives in the serial-backend tests and the cross-backend
+equivalence checks here and in the integration suite.
+"""
+
+import pytest
+
+from repro.ygm import DistCounter, DistMap, YgmWorld
+from repro.ygm.backend_mp import MultiprocessingBackend
+
+
+@pytest.fixture(scope="module")
+def mp_world():
+    world = YgmWorld(2, backend="mp")
+    yield world
+    world.shutdown()
+
+
+class TestMultiprocessingBackend:
+    def test_map_reduce_matches_serial(self, mp_world):
+        items = [(i % 7, 1) for i in range(60)]
+
+        def run(world):
+            m = DistMap(world)
+            for k, v in items:
+                m.async_reduce(k, v, "ygm.op.add")
+            world.barrier()
+            out = m.to_dict()
+            m.release()
+            return out
+
+        with YgmWorld(2) as serial_world:
+            expected = run(serial_world)
+        assert run(mp_world) == expected
+
+    def test_counter_topk(self, mp_world):
+        c = DistCounter(mp_world)
+        c.async_add_batch([("a", 5), ("b", 2), ("a", 1), ("c", 9)])
+        assert c.top_k(2) == [("c", 9), ("a", 6)]
+        c.release()
+
+    def test_nested_sends_quiesce(self, mp_world):
+        from repro.graph.components import distributed_components
+        from repro.graph.edgelist import EdgeList
+
+        labels = distributed_components(
+            EdgeList([0, 1, 5], [1, 2, 6]), mp_world
+        )
+        assert labels == {0: 0, 1: 0, 2: 0, 5: 5, 6: 5}
+
+    def test_shutdown_idempotent(self):
+        be = MultiprocessingBackend(1)
+        be.shutdown()
+        be.shutdown()
+
+    def test_send_after_shutdown_raises(self):
+        be = MultiprocessingBackend(1)
+        be.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            be.send(0, "x", "ygm.map.insert", ("k", 1))
+
+    def test_exec_error_propagates(self, mp_world):
+        with pytest.raises(RuntimeError, match="exec failed"):
+            mp_world.run_on_rank(0, "ygm.container.local_size", "no-such-cid")

@@ -1,0 +1,119 @@
+"""Tests for the serial backend and its quiescence semantics."""
+
+import pytest
+
+from repro.ygm.backend import SerialBackend
+from repro.ygm.handlers import ygm_handler
+
+
+@ygm_handler("tests.backend.append")
+def _append(ctx, state, payload):
+    state.append((ctx.rank, payload))
+
+
+@ygm_handler("tests.backend.forward")
+def _forward(ctx, state, payload):
+    """Append locally, then forward payload-1 to the next rank until 0."""
+    state.append(payload)
+    if payload > 0:
+        ctx.send(
+            (ctx.rank + 1) % ctx.n_ranks,
+            "chain",
+            "tests.backend.forward",
+            payload - 1,
+        )
+
+
+@ygm_handler("tests.backend.read_state")
+def _read_state(ctx, payload):
+    return list(ctx.local_state(payload))
+
+
+class TestSerialBackend:
+    def test_create_and_send(self):
+        be = SerialBackend(2)
+        be.create_state("box", "ygm.state.list")
+        be.send(1, "box", "tests.backend.append", "hello")
+        be.run_until_quiescent()
+        assert be.run_on_rank(1, "tests.backend.read_state", "box") == [
+            (1, "hello")
+        ]
+        assert be.run_on_rank(0, "tests.backend.read_state", "box") == []
+
+    def test_nested_sends_drain_before_quiescence(self):
+        be = SerialBackend(3)
+        be.create_state("chain", "ygm.state.list")
+        be.send(0, "chain", "tests.backend.forward", 7)
+        be.run_until_quiescent()
+        total = sum(
+            len(be.run_on_rank(r, "tests.backend.read_state", "chain"))
+            for r in range(3)
+        )
+        assert total == 8  # payloads 7..0
+
+    def test_messages_delivered_counter(self):
+        be = SerialBackend(2)
+        be.create_state("box", "ygm.state.list")
+        for i in range(5):
+            be.send(i % 2, "box", "tests.backend.append", i)
+        be.run_until_quiescent()
+        assert be.messages_delivered == 5
+
+    def test_determinism_across_runs(self):
+        def run():
+            be = SerialBackend(3)
+            be.create_state("chain", "ygm.state.list")
+            for i in range(4):
+                be.send(i % 3, "chain", "tests.backend.forward", i)
+            be.run_until_quiescent()
+            return [
+                be.run_on_rank(r, "tests.backend.read_state", "chain")
+                for r in range(3)
+            ]
+
+        assert run() == run()
+
+    def test_duplicate_container_rejected(self):
+        be = SerialBackend(1)
+        be.create_state("x", "ygm.state.dict")
+        with pytest.raises(ValueError, match="already exists"):
+            be.create_state("x", "ygm.state.dict")
+
+    def test_destroy_then_send_raises(self):
+        be = SerialBackend(1)
+        be.create_state("x", "ygm.state.list")
+        be.destroy_state("x")
+        be.send(0, "x", "tests.backend.append", 1)
+        with pytest.raises(KeyError, match="no such container"):
+            be.run_until_quiescent()
+
+    def test_rank_out_of_range(self):
+        be = SerialBackend(2)
+        with pytest.raises(IndexError):
+            be.send(2, "x", "tests.backend.append", 1)
+        with pytest.raises(IndexError):
+            be.run_on_rank(5, "tests.backend.read_state", "x")
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            SerialBackend(0)
+
+    def test_run_until_quiescent_idempotent_when_empty(self):
+        be = SerialBackend(2)
+        be.run_until_quiescent()
+        be.run_until_quiescent()
+        assert be.messages_delivered == 0
+
+
+class TestHandlerCounts:
+    def test_per_handler_profile(self):
+        be = SerialBackend(2)
+        # The forward handler routes its nested sends to "chain".
+        be.create_state("chain", "ygm.state.list")
+        for i in range(3):
+            be.send(i % 2, "chain", "tests.backend.append", i)
+        be.send(0, "chain", "tests.backend.forward", 2)
+        be.run_until_quiescent()
+        counts = be.handler_counts()
+        assert counts["tests.backend.append"] == 3
+        assert counts["tests.backend.forward"] == 3  # payloads 2, 1, 0

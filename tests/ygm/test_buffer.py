@@ -1,0 +1,107 @@
+"""Tests for the message-aggregation send buffer."""
+
+import pytest
+
+from repro.ygm import DistCounter, DistMap, YgmWorld
+from repro.ygm.buffer import SendBuffer
+
+
+@pytest.fixture()
+def world():
+    with YgmWorld(3) as w:
+        yield w
+
+
+class TestSendBuffer:
+    def test_messages_delivered_after_flush(self, world):
+        counter = DistCounter(world)
+        buf = SendBuffer(world)
+        for i in range(10):
+            buf.send(
+                counter.owner("k"), counter.container_id,
+                "ygm.counter.add", ("k", 1),
+            )
+        buf.flush()
+        assert counter.count_of("k") == 10
+
+    def test_context_manager_flushes(self, world):
+        counter = DistCounter(world)
+        with SendBuffer(world) as buf:
+            buf.send(
+                counter.owner("k"), counter.container_id,
+                "ygm.counter.add", ("k", 5),
+            )
+        assert counter.count_of("k") == 5
+
+    def test_auto_flush_at_threshold(self, world):
+        counter = DistCounter(world)
+        buf = SendBuffer(world, flush_threshold=4)
+        target = counter.owner("k")
+        for _ in range(4):
+            buf.send(target, counter.container_id, "ygm.counter.add", ("k", 1))
+        # Threshold reached: delivered without an explicit flush.
+        assert counter.count_of("k") == 4
+        assert buf.batches_sent == 1
+
+    def test_aggregation_reduces_wire_messages(self, world):
+        counter = DistCounter(world)
+        before = world.messages_delivered
+        with SendBuffer(world, flush_threshold=1000) as buf:
+            for i in range(300):
+                buf.send(
+                    counter.owner(i), counter.container_id,
+                    "ygm.counter.add", (i, 1),
+                )
+        world.barrier()
+        wire = world.messages_delivered - before
+        # At most one batch per rank (3 ranks), not 300 messages.
+        assert buf.messages_buffered == 300
+        assert buf.batches_sent <= world.n_ranks
+        assert wire <= world.n_ranks
+        assert counter.total() == 300
+
+    def test_mixed_containers_in_one_batch(self, world):
+        counter = DistCounter(world)
+        dmap = DistMap(world)
+        with SendBuffer(world) as buf:
+            rank = counter.owner("x")
+            buf.send(rank, counter.container_id, "ygm.counter.add", ("x", 2))
+            # Address the map entry owned by the same rank so both land in
+            # one batch.
+            key = next(k for k in range(100) if dmap.owner(k) == rank)
+            buf.send(rank, dmap.container_id, "ygm.map.insert", (key, "v"))
+        world.barrier()
+        assert counter.count_of("x") == 2
+        assert dmap.lookup(key) == "v"
+
+    def test_handler_counts(self, world):
+        counter = DistCounter(world)
+        buf = SendBuffer(world)
+        for i in range(7):
+            buf.send(
+                counter.owner(i), counter.container_id,
+                "ygm.counter.add", (i, 1),
+            )
+        assert buf.handler_counts() == {"ygm.counter.add": 7}
+
+    def test_invalid_threshold(self, world):
+        with pytest.raises(ValueError):
+            SendBuffer(world, flush_threshold=0)
+
+    def test_flush_idempotent(self, world):
+        buf = SendBuffer(world)
+        buf.flush()
+        buf.flush()
+        assert buf.batches_sent == 0
+
+    def test_mp_backend(self):
+        with YgmWorld(2, backend="mp") as world:
+            counter = DistCounter(world)
+            with SendBuffer(world) as buf:
+                for i in range(50):
+                    buf.send(
+                        counter.owner(i % 4), counter.container_id,
+                        "ygm.counter.add", (i % 4, 1),
+                    )
+            world.barrier()
+            assert counter.total() == 50

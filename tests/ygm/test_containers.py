@@ -1,0 +1,338 @@
+"""Tests for the distributed containers (serial backend)."""
+
+import numpy as np
+import pytest
+
+from repro.ygm import (
+    DistArray,
+    DistBag,
+    DistCounter,
+    DistMap,
+    DistSet,
+    YgmWorld,
+)
+from repro.ygm.handlers import ygm_handler
+
+
+@pytest.fixture()
+def world():
+    with YgmWorld(3) as w:
+        yield w
+
+
+# ---------------------------------------------------------------------------
+# DistMap
+# ---------------------------------------------------------------------------
+
+
+@ygm_handler("tests.containers.visit_record")
+def _visit_record(ctx, state, key, value, sink_cid):
+    ctx.local_state(sink_cid).append((key, value))
+
+
+@ygm_handler("tests.containers.visit_increment")
+def _visit_increment(ctx, state, key, value, amount):
+    state[key] = (value or 0) + amount
+
+
+@ygm_handler("tests.containers.forall_collect")
+def _forall_collect(ctx, state, key, value, sink_cid):
+    ctx.local_state(sink_cid).append(key)
+
+
+class TestDistMap:
+    def test_insert_and_lookup(self, world):
+        m = DistMap(world)
+        m.async_insert("k", 42)
+        assert m.lookup("k") == 42
+
+    def test_lookup_missing_returns_default(self, world):
+        m = DistMap(world)
+        assert m.lookup("missing", default="d") == "d"
+
+    def test_insert_overwrites(self, world):
+        m = DistMap(world)
+        m.async_insert("k", 1)
+        world.barrier()
+        m.async_insert("k", 2)
+        assert m.lookup("k") == 2
+
+    def test_insert_if_missing(self, world):
+        m = DistMap(world)
+        m.async_insert("k", 1)
+        world.barrier()
+        m.async_insert_if_missing("k", 99)
+        m.async_insert_if_missing("fresh", 7)
+        assert m.lookup("k") == 1
+        assert m.lookup("fresh") == 7
+
+    def test_erase(self, world):
+        m = DistMap(world)
+        m.async_insert("k", 1)
+        world.barrier()
+        m.async_erase("k")
+        m.async_erase("never-there")
+        assert m.lookup("k") is None
+
+    def test_reduce_add(self, world):
+        m = DistMap(world)
+        for _ in range(4):
+            m.async_reduce("k", 2, "ygm.op.add")
+        assert m.lookup("k") == 8
+
+    def test_reduce_max(self, world):
+        m = DistMap(world)
+        for v in (3, 9, 1):
+            m.async_reduce("k", v, "ygm.op.max")
+        assert m.lookup("k") == 9
+
+    def test_reduce_batch_matches_singles(self, world):
+        items = [(f"k{i % 5}", i) for i in range(20)]
+        a, b = DistMap(world), DistMap(world)
+        for k, v in items:
+            a.async_reduce(k, v, "ygm.op.add")
+        b.async_reduce_batch(items, "ygm.op.add")
+        world.barrier()
+        assert a.to_dict() == b.to_dict()
+
+    def test_visit_sees_value_and_none(self, world):
+        m = DistMap(world)
+        sink = DistBag(world)
+        m.async_insert("k", 5)
+        world.barrier()
+        m.async_visit("k", "tests.containers.visit_record", sink.container_id)
+        m.async_visit("nope", "tests.containers.visit_record", sink.container_id)
+        world.barrier()
+        assert sorted(sink.gather()) == [("k", 5), ("nope", None)]
+
+    def test_visit_can_mutate(self, world):
+        m = DistMap(world)
+        m.async_visit("c", "tests.containers.visit_increment", 3)
+        m.async_visit("c", "tests.containers.visit_increment", 4)
+        assert m.lookup("c") == 7
+
+    def test_visit_or_create_inserts_default(self, world):
+        m = DistMap(world)
+        sink = DistBag(world)
+        m.async_visit_or_create(
+            "x", 100, "tests.containers.visit_record", sink.container_id
+        )
+        world.barrier()
+        assert sink.gather() == [("x", 100)]
+        assert m.lookup("x") == 100
+
+    def test_lookup_many(self, world):
+        m = DistMap(world)
+        for i in range(10):
+            m.async_insert(i, i * i)
+        world.barrier()
+        got = m.lookup_many([2, 5, 77])
+        assert got == {2: 4, 5: 25}
+
+    def test_for_all_visits_every_entry(self, world):
+        m = DistMap(world)
+        sink = DistBag(world)
+        for i in range(9):
+            m.async_insert(i, None)
+        world.barrier()
+        m.for_all("tests.containers.forall_collect", sink.container_id)
+        assert sorted(sink.gather()) == list(range(9))
+
+    def test_size_and_clear(self, world):
+        m = DistMap(world)
+        for i in range(7):
+            m.async_insert(i, i)
+        assert m.size() == 7
+        m.clear()
+        assert m.size() == 0
+
+    def test_to_dict_gathers_all_shards(self, world):
+        m = DistMap(world)
+        expected = {i: i + 1 for i in range(20)}
+        for k, v in expected.items():
+            m.async_insert(k, v)
+        assert m.to_dict() == expected
+
+
+# ---------------------------------------------------------------------------
+# DistBag
+# ---------------------------------------------------------------------------
+
+
+@ygm_handler("tests.containers.bag_double")
+def _bag_double(ctx, item):
+    return item * 2
+
+
+@ygm_handler("tests.containers.bag_route")
+def _bag_route(ctx, item, counter_cid):
+    ctx.send(0, counter_cid, "ygm.counter.add", (item % 2, 1))
+
+
+class TestDistBag:
+    def test_round_robin_insert_spreads(self, world):
+        bag = DistBag(world)
+        for i in range(9):
+            bag.async_insert(i)
+        assert bag.local_sizes() == [3, 3, 3]
+
+    def test_insert_batch_preserves_count(self, world):
+        bag = DistBag(world)
+        bag.async_insert_batch(range(100))
+        assert bag.size() == 100
+
+    def test_gather_returns_all_items(self, world):
+        bag = DistBag(world)
+        bag.async_insert_batch(range(20))
+        assert sorted(bag.gather()) == list(range(20))
+
+    def test_map_gather(self, world):
+        bag = DistBag(world)
+        bag.async_insert_batch([1, 2, 3])
+        assert sorted(bag.map_gather("tests.containers.bag_double")) == [2, 4, 6]
+
+    def test_for_all_with_nested_sends(self, world):
+        bag = DistBag(world)
+        counter = DistCounter(world)
+        bag.async_insert_batch(range(10))
+        world.barrier()
+        bag.for_all("tests.containers.bag_route", counter.container_id)
+        counts = counter.to_dict()
+        assert counts == {0: 5, 1: 5}
+
+
+# ---------------------------------------------------------------------------
+# DistSet
+# ---------------------------------------------------------------------------
+
+
+class TestDistSet:
+    def test_insert_deduplicates(self, world):
+        s = DistSet(world)
+        s.async_insert_batch(["a", "b", "a", "a"])
+        assert s.size() == 2
+
+    def test_contains(self, world):
+        s = DistSet(world)
+        s.async_insert("x")
+        assert s.contains("x") and not s.contains("y")
+
+    def test_contains_many(self, world):
+        s = DistSet(world)
+        s.async_insert_batch(range(10))
+        assert s.contains_many([3, 5, 99]) == {3, 5}
+
+    def test_erase(self, world):
+        s = DistSet(world)
+        s.async_insert("x")
+        world.barrier()
+        s.async_erase("x")
+        s.async_erase("never")
+        assert not s.contains("x")
+
+    def test_to_set(self, world):
+        s = DistSet(world)
+        s.async_insert_batch("hello")
+        assert s.to_set() == set("hello")
+
+
+# ---------------------------------------------------------------------------
+# DistCounter
+# ---------------------------------------------------------------------------
+
+
+class TestDistCounter:
+    def test_add_accumulates(self, world):
+        c = DistCounter(world)
+        c.async_add("k")
+        c.async_add("k", 4)
+        assert c.count_of("k") == 5
+
+    def test_count_of_missing_is_zero(self, world):
+        assert DistCounter(world).count_of("zzz") == 0
+
+    def test_total(self, world):
+        c = DistCounter(world)
+        c.async_add_batch([(i, i) for i in range(5)])
+        assert c.total() == 0 + 1 + 2 + 3 + 4
+
+    def test_top_k_global_order(self, world):
+        c = DistCounter(world)
+        c.async_add_batch([(f"k{i}", i) for i in range(20)])
+        top = c.top_k(3)
+        assert top == [("k19", 19), ("k18", 18), ("k17", 17)]
+
+    def test_top_k_larger_than_population(self, world):
+        c = DistCounter(world)
+        c.async_add("only", 2)
+        assert c.top_k(10) == [("only", 2)]
+
+
+# ---------------------------------------------------------------------------
+# DistArray
+# ---------------------------------------------------------------------------
+
+
+class TestDistArray:
+    def test_set_and_gather(self, world):
+        arr = DistArray(world, 10, dtype="int64")
+        arr.async_set(3, 7)
+        assert arr.gather().tolist() == [0, 0, 0, 7, 0, 0, 0, 0, 0, 0]
+
+    def test_add_accumulates(self, world):
+        arr = DistArray(world, 4, dtype="int64")
+        arr.async_add(1, 5)
+        arr.async_add(1, 6)
+        assert arr.gather()[1] == 11
+
+    def test_add_batch_with_repeats(self, world):
+        arr = DistArray(world, 6, dtype="int64")
+        arr.async_add_batch([0, 0, 5, 5, 5], [1, 1, 2, 2, 2])
+        out = arr.gather()
+        assert out[0] == 2 and out[5] == 6
+
+    def test_add_batch_length_mismatch(self, world):
+        arr = DistArray(world, 4)
+        with pytest.raises(ValueError):
+            arr.async_add_batch([0], [1, 2])
+
+    def test_float_dtype(self, world):
+        arr = DistArray(world, 3, dtype="float64")
+        arr.async_add(2, 0.5)
+        assert arr.gather()[2] == pytest.approx(0.5)
+
+    def test_size(self, world):
+        assert DistArray(world, 12).size() == 12
+
+    def test_negative_length_rejected(self, world):
+        with pytest.raises(ValueError):
+            DistArray(world, -1)
+
+    def test_empty_batch_is_noop(self, world):
+        arr = DistArray(world, 3, dtype="int64")
+        arr.async_add_batch([], [])
+        assert arr.gather().tolist() == [0, 0, 0]
+
+
+class TestDistMapInsertBatch:
+    def test_batch_matches_singles(self, world):
+        items = [(i % 6, i) for i in range(24)]
+        a, b = DistMap(world), DistMap(world)
+        for k, v in items:
+            a.async_insert(k, v)
+            world.barrier()
+        b.async_insert_batch(items)
+        world.barrier()
+        assert a.to_dict() == b.to_dict()
+
+    def test_later_entry_wins_within_batch(self, world):
+        m = DistMap(world)
+        m.async_insert_batch([("k", 1), ("k", 2)])
+        assert m.lookup("k") == 2
+
+    def test_one_message_per_rank(self, world):
+        m = DistMap(world)
+        before = world.messages_delivered
+        m.async_insert_batch([(i, i) for i in range(60)])
+        world.barrier()
+        assert world.messages_delivered - before <= world.n_ranks

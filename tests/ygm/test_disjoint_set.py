@@ -1,0 +1,114 @@
+"""Tests for the distributed disjoint set (vs union-find and networkx)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import EdgeList, connected_components
+from repro.ygm import YgmWorld
+from repro.ygm.containers.disjoint_set import DistDisjointSet
+from tests.conftest import random_edgelist
+
+
+@pytest.fixture()
+def world():
+    with YgmWorld(3) as w:
+        yield w
+
+
+class TestDistDisjointSet:
+    def test_singletons(self, world):
+        dset = DistDisjointSet(world)
+        dset.async_make(5)
+        world.barrier()
+        assert dset.find(5) == 5
+
+    def test_simple_union(self, world):
+        dset = DistDisjointSet(world)
+        dset.async_union(4, 9)
+        world.barrier()
+        assert dset.find(4) == dset.find(9) == 4
+
+    def test_chain_union_root_is_minimum(self, world):
+        dset = DistDisjointSet(world)
+        for a, b in ((9, 8), (8, 7), (7, 3), (3, 5)):
+            dset.async_union(a, b)
+        world.barrier()
+        roots = dset.find_many([3, 5, 7, 8, 9])
+        assert set(roots.values()) == {3}
+
+    def test_separate_components(self, world):
+        dset = DistDisjointSet(world)
+        dset.async_union(1, 2)
+        dset.async_union(10, 11)
+        world.barrier()
+        assert dset.find(1) != dset.find(10)
+
+    def test_components_gather(self, world):
+        dset = DistDisjointSet(world)
+        dset.async_union(1, 2)
+        dset.async_union(2, 3)
+        dset.async_make(42)
+        world.barrier()
+        comps = dset.components()
+        assert comps[1] == comps[2] == comps[3] == 1
+        assert comps[42] == 42
+
+    def test_matches_unionfind_on_random_graph(self, world):
+        el = random_edgelist(61, n_vertices=40, n_edges=120)
+        dset = DistDisjointSet(world)
+        for s, d in zip(el.src, el.dst):
+            dset.async_union(int(s), int(d))
+        world.barrier()
+        mine = dset.components()
+        serial = connected_components(el)
+        for u in mine:
+            for v in mine:
+                assert (mine[u] == mine[v]) == (serial[u] == serial[v])
+
+    def test_matches_networkx(self, world):
+        el = random_edgelist(62, n_vertices=30, n_edges=80)
+        dset = DistDisjointSet(world)
+        for s, d in zip(el.src, el.dst):
+            dset.async_union(int(s), int(d))
+        world.barrier()
+        mine = dset.components()
+        for comp in nx.connected_components(el.to_networkx()):
+            roots = {mine[v] for v in comp}
+            assert len(roots) == 1
+            assert roots == {min(comp)}  # representative is the minimum
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_property_partition_matches_unionfind(self, pairs):
+        from repro.graph.components import UnionFind
+
+        uf = UnionFind(16)
+        with YgmWorld(3) as world:
+            dset = DistDisjointSet(world)
+            for a, b in pairs:
+                uf.union(a, b)
+                if a != b:
+                    dset.async_union(a, b)
+                else:
+                    dset.async_make(a)
+            world.barrier()
+            mine = dset.components()
+        for u in mine:
+            for v in mine:
+                assert (mine[u] == mine[v]) == (uf.find(u) == uf.find(v))
+
+    def test_mp_backend(self):
+        with YgmWorld(2, backend="mp") as world:
+            dset = DistDisjointSet(world)
+            dset.async_union(1, 2)
+            dset.async_union(2, 9)
+            world.barrier()
+            assert dset.find_many([1, 2, 9]) == {1: 1, 2: 1, 9: 1}

@@ -1,0 +1,87 @@
+"""Failure-injection tests: errors must surface, never wedge the world."""
+
+import pytest
+
+from repro.ygm import DistMap, YgmWorld
+from repro.ygm.handlers import ygm_handler
+
+
+@ygm_handler("tests.fail.explode")
+def _explode(ctx, state, payload):
+    raise RuntimeError(f"boom-{payload}")
+
+
+@ygm_handler("tests.fail.explode_nested")
+def _explode_nested(ctx, state, payload):
+    # Issue a nested message first, then fail: the nested message must
+    # still be delivered (failure of one handler is not failure of the
+    # fabric).
+    cid, good_key = payload
+    ctx.send(0, cid, "ygm.map.insert", (good_key, "survived"))
+    raise ValueError("after nested send")
+
+
+class TestSerialFailures:
+    def test_handler_exception_propagates(self):
+        with YgmWorld(2) as world:
+            m = DistMap(world)
+            world.async_send(0, m.container_id, "tests.fail.explode", 1)
+            with pytest.raises(RuntimeError, match="boom-1"):
+                world.barrier()
+
+    def test_world_usable_after_failure(self):
+        with YgmWorld(2) as world:
+            m = DistMap(world)
+            world.async_send(0, m.container_id, "tests.fail.explode", 2)
+            with pytest.raises(RuntimeError):
+                world.barrier()
+            m.async_insert("k", 1)
+            assert m.lookup("k") == 1
+
+
+class TestMpFailures:
+    def test_handler_exception_raised_at_barrier(self):
+        with YgmWorld(2, backend="mp") as world:
+            m = DistMap(world)
+            world.async_send(0, m.container_id, "tests.fail.explode", 3)
+            with pytest.raises(RuntimeError, match="boom-3"):
+                world.barrier()
+
+    def test_worker_survives_handler_failure(self):
+        with YgmWorld(2, backend="mp") as world:
+            m = DistMap(world)
+            world.async_send(0, m.container_id, "tests.fail.explode", 4)
+            with pytest.raises(RuntimeError):
+                world.barrier()
+            # The worker is still alive and processing.
+            m.async_insert("after", 9)
+            assert m.lookup("after") == 9
+
+    def test_nested_sends_before_failure_delivered(self):
+        with YgmWorld(2, backend="mp") as world:
+            m = DistMap(world)
+            world.async_send(
+                1,
+                m.container_id,
+                "tests.fail.explode_nested",
+                (m.container_id, "good"),
+            )
+            with pytest.raises(RuntimeError, match="after nested send"):
+                world.barrier()
+            assert m.lookup("good") == "survived"
+
+    def test_killed_worker_detected(self):
+        world = YgmWorld(2, backend="mp")
+        try:
+            backend = world.backend
+            backend._workers[1].terminate()
+            backend._workers[1].join()
+            m = DistMap(world)  # create_state needs both workers
+            pytest.fail("expected worker-death detection")
+        except RuntimeError as exc:
+            assert "died" in str(exc)
+        finally:
+            backend._alive = False  # skip orderly shutdown of the dead world
+            for w in world.backend._workers:
+                if w.is_alive():
+                    w.terminate()

@@ -1,0 +1,56 @@
+"""Tests for the handler registry."""
+
+import pytest
+
+from repro.ygm.handlers import (
+    handler_ref,
+    registered_handlers,
+    resolve_handler,
+    ygm_handler,
+)
+
+
+@ygm_handler("tests.handlers.sample")
+def _sample(ctx, state, payload):
+    state["seen"] = payload
+
+
+def _module_level(ctx, state, payload):
+    pass
+
+
+class TestRegistry:
+    def test_registered_resolves_by_name(self):
+        assert resolve_handler("tests.handlers.sample") is _sample
+
+    def test_handler_ref_of_registered_fn_is_name(self):
+        assert handler_ref(_sample) == "tests.handlers.sample"
+
+    def test_handler_ref_of_name_roundtrips(self):
+        assert handler_ref("tests.handlers.sample") == "tests.handlers.sample"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            resolve_handler("tests.handlers.nope")
+        with pytest.raises(KeyError):
+            handler_ref("tests.handlers.nope")
+
+    def test_unregistered_function_passes_through(self):
+        assert handler_ref(_module_level) is _module_level
+        assert resolve_handler(_module_level) is _module_level
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @ygm_handler("tests.handlers.sample")
+            def other(ctx, state, payload):
+                pass
+
+    def test_registered_handlers_lists_names(self):
+        assert "tests.handlers.sample" in registered_handlers()
+
+    def test_library_ops_registered_on_import(self):
+        import repro.ygm  # noqa: F401
+
+        names = registered_handlers()
+        assert "ygm.op.add" in names and "ygm.map.insert" in names

@@ -1,0 +1,84 @@
+"""Tests for owner functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ygm.partition import BlockPartitioner, HashPartitioner
+
+
+class TestHashPartitioner:
+    def test_owner_in_range(self):
+        p = HashPartitioner(7)
+        assert all(0 <= p.owner(k) < 7 for k in range(200))
+
+    def test_deterministic_across_instances(self):
+        a, b = HashPartitioner(5), HashPartitioner(5)
+        assert [a.owner(i) for i in range(50)] == [b.owner(i) for i in range(50)]
+
+    def test_string_keys(self):
+        p = HashPartitioner(4)
+        assert 0 <= p.owner("alice") < 4
+        assert p.owner("alice") == HashPartitioner(4).owner("alice")
+
+    def test_tuple_keys(self):
+        p = HashPartitioner(4)
+        assert p.owner((3, 9)) == p.owner((3, 9))
+        # order matters for tuples
+        spread = {p.owner((i, j)) for i in range(6) for j in range(6)}
+        assert len(spread) > 1
+
+    def test_owner_array_matches_scalar(self):
+        p = HashPartitioner(6)
+        keys = np.arange(100, dtype=np.int64)
+        vec = p.owner_array(keys)
+        assert vec.tolist() == [p.owner(int(k)) for k in keys]
+
+    def test_owner_array_rejects_floats(self):
+        with pytest.raises(TypeError):
+            HashPartitioner(2).owner_array(np.array([1.5]))
+
+    def test_reasonable_balance(self):
+        p = HashPartitioner(4)
+        counts = np.bincount(p.owner_array(np.arange(4000)), minlength=4)
+        assert counts.min() > 800  # each rank gets a fair share
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_any_int_key_valid(self, key):
+        assert 0 <= HashPartitioner(3).owner(key) < 3
+
+
+class TestBlockPartitioner:
+    def test_local_ranges_cover_space(self):
+        p = BlockPartitioner(3, 10)
+        spans = [p.local_range(r) for r in range(3)]
+        covered = [i for start, stop in spans for i in range(start, stop)]
+        assert covered == list(range(10))
+
+    def test_owner_matches_local_range(self):
+        p = BlockPartitioner(4, 22)
+        for r in range(4):
+            start, stop = p.local_range(r)
+            for i in range(start, stop):
+                assert p.owner(i) == r
+
+    def test_out_of_range_raises(self):
+        p = BlockPartitioner(2, 5)
+        with pytest.raises(IndexError):
+            p.owner(5)
+        with pytest.raises(IndexError):
+            p.owner_array(np.array([-1]))
+
+    def test_more_ranks_than_items(self):
+        p = BlockPartitioner(8, 3)
+        assert [p.owner(i) for i in range(3)] == [0, 1, 2]
+
+    def test_owner_array_matches_scalar(self):
+        p = BlockPartitioner(3, 17)
+        idx = np.arange(17)
+        assert p.owner_array(idx).tolist() == [p.owner(int(i)) for i in idx]

@@ -1,0 +1,68 @@
+"""Tests for the YgmWorld facade."""
+
+import pytest
+
+from repro.ygm import DistMap, YgmWorld, ygm_world
+from repro.ygm.handlers import ygm_handler
+
+
+@ygm_handler("tests.world.rank_squared")
+def _rank_squared(ctx, payload):
+    return ctx.rank**2
+
+
+class TestWorld:
+    def test_n_ranks(self):
+        with YgmWorld(5) as w:
+            assert w.n_ranks == 5
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            YgmWorld(2, backend="quantum")
+
+    def test_run_on_all_ordered_by_rank(self):
+        with YgmWorld(4) as w:
+            assert w.run_on_all("tests.world.rank_squared") == [0, 1, 4, 9]
+
+    def test_run_on_rank(self):
+        with YgmWorld(4) as w:
+            assert w.run_on_rank(3, "tests.world.rank_squared") == 9
+
+    def test_all_reduce(self):
+        with YgmWorld(4) as w:
+            total = w.all_reduce("tests.world.rank_squared", lambda a, b: a + b)
+            assert total == 0 + 1 + 4 + 9
+
+    def test_container_ids_unique(self):
+        with YgmWorld(2) as w:
+            a = DistMap(w)
+            b = DistMap(w)
+            assert a.container_id != b.container_id
+
+    def test_container_ids_unique_across_worlds(self):
+        with YgmWorld(2) as w1, YgmWorld(2) as w2:
+            assert DistMap(w1).container_id != DistMap(w2).container_id
+
+    def test_release_container_idempotent(self):
+        with YgmWorld(2) as w:
+            m = DistMap(w)
+            m.release()
+            m.release()
+
+    def test_context_manager_helper(self):
+        with ygm_world(3) as w:
+            assert w.n_ranks == 3
+
+    def test_shutdown_releases_containers(self):
+        w = YgmWorld(2)
+        DistMap(w)
+        w.shutdown()
+        assert not w._container_ids
+
+    def test_messages_delivered_increases(self):
+        with YgmWorld(2) as w:
+            m = DistMap(w)
+            before = w.messages_delivered
+            m.async_insert("k", 1)
+            w.barrier()
+            assert w.messages_delivered > before
