@@ -1,6 +1,6 @@
 """Command-line interface — the analyst front door.
 
-Four subcommands cover the workflow the paper describes:
+Five subcommands cover the workflow the paper describes:
 
 - ``generate`` — synthesize a ground-truth corpus to Pushshift-format
   ndjson (plus a truth JSON for scoring);
@@ -9,7 +9,10 @@ Four subcommands cover the workflow the paper describes:
 - ``detect`` — run the three-step framework over an ndjson corpus and
   report components, optionally exporting DOT renders;
 - ``figures`` — regenerate the paper's metric-relationship figures
-  (C vs T, w_xyz vs min w') for a corpus and window.
+  (C vs T, w_xyz vs min w') for a corpus and window;
+- ``verify`` — run a seeded corpus through every projection and triangle
+  engine, diff the outputs against the reference oracle, and check the
+  paper's invariants (the engine-parity guarantee, made executable).
 
 Installed as ``repro-botnets`` (see ``pyproject.toml``); also runnable as
 ``python -m repro.cli``.
@@ -95,6 +98,28 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--delta1", type=int, default=0)
     fig.add_argument("--delta2", type=int, default=60)
     fig.add_argument("--cutoff", type=int, default=10)
+
+    ver = sub.add_parser(
+        "verify",
+        help="differential engine-parity run + invariant checks "
+        "on a seeded corpus",
+    )
+    ver.add_argument("--seed", type=int, default=0,
+                     help="seed for the generated corpus")
+    ver.add_argument("--preset", choices=["jan2020", "oct2016"],
+                     default="oct2016")
+    ver.add_argument("--scale", type=float, default=0.05,
+                     help="background size multiplier (keep small: the "
+                     "reference oracle is quadratic per page)")
+    ver.add_argument("--delta1", type=int, default=0)
+    ver.add_argument("--delta2", type=int, default=60)
+    ver.add_argument("--cutoff", type=int, default=5,
+                     help="minimum triangle edge weight")
+    ver.add_argument("--bucket-width", type=int, default=None,
+                     help="bucket width for the bucketed engine "
+                     "(default: window/3)")
+    ver.add_argument("--no-shrink", action="store_true",
+                     help="skip counterexample shrinking on divergence")
 
     return parser
 
@@ -223,6 +248,54 @@ def _cmd_figures(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace, out) -> int:
+    from repro.projection import project
+    from repro.tripoll import survey_triangles, t_scores
+    from repro.verify import (
+        InvariantViolation,
+        check_projection_invariants,
+        check_window_monotonicity,
+        run_parity,
+    )
+
+    builder = (
+        RedditDatasetBuilder.jan2020_like(seed=args.seed, scale=args.scale)
+        if args.preset == "jan2020"
+        else RedditDatasetBuilder.oct2016_like(seed=args.seed, scale=args.scale)
+    )
+    btm = builder.build().btm
+    comments = list(
+        zip(btm.users.tolist(), btm.pages.tolist(), btm.times.tolist())
+    )
+    window = TimeWindow(args.delta1, args.delta2)
+    report = run_parity(
+        comments,
+        window,
+        min_edge_weight=args.cutoff,
+        bucket_width=args.bucket_width,
+        shrink=not args.no_shrink,
+    )
+    print(report.describe(), file=out)
+
+    proj = project(btm, window)
+    triangles = survey_triangles(proj.ci.edges, min_edge_weight=args.cutoff)
+    try:
+        ran = check_projection_invariants(
+            proj.ci,
+            triangles=triangles,
+            t_values=t_scores(triangles, proj.ci.page_counts),
+        )
+        check_window_monotonicity(
+            btm, window, TimeWindow(window.delta1, window.delta2 * 2)
+        )
+        ran.append("window_monotonicity")
+        print(f"invariants ok: {', '.join(ran)}", file=out)
+    except InvariantViolation as exc:
+        print(f"INVARIANT VIOLATED: {exc}", file=out)
+        return 1
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -232,6 +305,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "recommend": _cmd_recommend,
         "detect": _cmd_detect,
         "figures": _cmd_figures,
+        "verify": _cmd_verify,
     }
     return handlers[args.command](args, out)
 

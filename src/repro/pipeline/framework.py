@@ -74,11 +74,15 @@ class CoordinationPipeline:
             ci_thr = ci.threshold(cfg.min_triangle_weight)
 
         with timings.stage("step2.survey"):
+            # Survey the already-thresholded graph: thresholding once keeps
+            # the surveyed triangles and the reported ``ci_thresholded``
+            # artifact structurally inseparable, and sorted_canonical makes
+            # the output element-for-element comparable with
+            # :meth:`run_distributed` (and any other engine).
             triangles = survey_triangles(
-                ci.edges,
-                min_edge_weight=cfg.min_triangle_weight,
+                ci_thr.edges,
                 wedge_batch=cfg.wedge_batch,
-            )
+            ).sorted_canonical()
             t_vals = compute_t_scores(triangles, ci.page_counts)
 
         with timings.stage("step2.components"):
@@ -143,7 +147,7 @@ class CoordinationPipeline:
 
         with timings.stage("step2.survey[distributed]"):
             triangles = survey_triangles_distributed(
-                ci.edges, world, min_edge_weight=cfg.min_triangle_weight
+                ci_thr.edges, world
             ).sorted_canonical()
             t_vals = compute_t_scores(triangles, ci.page_counts)
 

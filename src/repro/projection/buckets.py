@@ -16,6 +16,12 @@ over-counts such pages.  This module implements both:
   intervals is the full window, and triples are deduplicated);
 - ``merge="sum"`` — the naive weight sum, kept for the ablation that
   quantifies the over-count.
+
+Buckets *partition* the window's integer delay space
+(:meth:`~repro.projection.window.TimeWindow.buckets` makes intervals past
+the first half-open), so a pair at a boundary delay is observed by exactly
+one bucket: ``pair_observations`` adds up exactly and the ``merge="sum"``
+over-count is purely the documented multi-bucket page effect.
 """
 
 from __future__ import annotations

@@ -11,7 +11,9 @@ Two engines:
   index range ``searchsorted(key, key_i + δ1) .. searchsorted(key,
   key_i + δ2)`` where ``key = page_run * STRIDE + rebased_time`` encodes
   page and time into one monotone int64 (the stride is wide enough that a
-  window can never bleed into the next page's run).  Pair explosion is
+  window can never bleed into the next page's run, and the encoding is
+  guarded against int64 wraparound — see :func:`_window_bounds` and
+  :mod:`repro.util.keys`).  Pair explosion is
   bounded by processing rows in batches of at most ``pair_batch``
   candidate pairs (the memory-vs-window trade-off of paper §2.2/§3).
 
@@ -31,6 +33,7 @@ from repro.graph.edgelist import EdgeList
 from repro.projection.ci_graph import CommonInteractionGraph
 from repro.projection.window import TimeWindow
 from repro.util.grouping import group_boundaries, unique_pair_weights
+from repro.util.keys import INT64_MAX, encode_strided, strided_key_fits
 from repro.util.timers import StageTimings
 
 __all__ = [
@@ -150,6 +153,60 @@ def _dedup_triples(
     return pg[keep], a[keep], b[keep]
 
 
+def _window_bounds(
+    pages: np.ndarray, times: np.ndarray, window: TimeWindow
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row candidate index ranges ``[lo, hi)`` of in-window mates.
+
+    The single home of the windowed two-pointer: input arrays must be
+    sorted by ``(page, time)``; row *i*'s window mates are the contiguous
+    range ``lo[i]:hi[i]`` (which still contains *i* itself when
+    ``delta1 == 0`` — callers mask it out).
+
+    Times are rebased per page run, so the key stride is the largest
+    *within-page* time span (not the corpus span), and the combined
+    ``run * stride + time`` key is guarded against int64 overflow: when
+    even the rebased key space would wrap (e.g. nanosecond timestamps over
+    many pages), the bounds are computed per run with plain searchsorted
+    instead of wrapping silently.
+    """
+    n = times.shape[0]
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    bounds = group_boundaries(pages)
+    run_sizes = np.diff(bounds)
+    n_runs = run_sizes.shape[0]
+    run_index = np.repeat(np.arange(n_runs, dtype=np.int64), run_sizes)
+    tb = times - times[bounds[:-1]][run_index]
+    # Python-int stride: the guard below must see the true product.
+    stride = int(tb.max()) + window.delta2 + 2
+    if stride > INT64_MAX:
+        raise OverflowError(
+            "per-page time span + delta2 exceeds int64; the window is "
+            "unrepresentable at this time resolution"
+        )
+    if strided_key_fits(n_runs, stride):
+        key = encode_strided(run_index, stride, tb)
+        lo = np.searchsorted(key, key + window.delta1, side="left")
+        hi = np.searchsorted(key, key + window.delta2, side="right")
+        return lo, hi
+    # Guarded fallback: per-run searchsorted on the rebased times.  Slower
+    # (one Python iteration per page) but exact for any int64 input.
+    lo = np.empty(n, dtype=np.int64)
+    hi = np.empty(n, dtype=np.int64)
+    for r in range(n_runs):
+        start, stop = int(bounds[r]), int(bounds[r + 1])
+        ts = tb[start:stop]
+        lo[start:stop] = start + np.searchsorted(
+            ts, ts + window.delta1, side="left"
+        )
+        hi[start:stop] = start + np.searchsorted(
+            ts, ts + window.delta2, side="right"
+        )
+    return lo, hi
+
+
 def _windowed_pair_batches(
     users: np.ndarray,
     pages: np.ndarray,
@@ -166,16 +223,7 @@ def _windowed_pair_batches(
     n = users.shape[0]
     if n == 0:
         return
-    bounds = group_boundaries(pages)
-    run_sizes = np.diff(bounds)
-    run_index = np.repeat(
-        np.arange(run_sizes.shape[0], dtype=np.int64), run_sizes
-    )
-    tb = times - times.min()
-    stride = np.int64(int(tb.max()) + window.delta2 + 2)
-    key = run_index * stride + tb
-    lo = np.searchsorted(key, key + window.delta1, side="left")
-    hi = np.searchsorted(key, key + window.delta2, side="right")
+    lo, hi = _window_bounds(pages, times, window)
     counts = hi - lo
     # Comment i itself sits inside its own window iff delta1 == 0; the
     # row/col mask below removes it, so counts here are upper bounds only.
@@ -296,19 +344,9 @@ def estimate_pair_volume(
     and same-author pairs, hence "upper bound".
     """
     users, pages, times, _bounds = btm.page_sorted_view()
-    n = users.shape[0]
-    if n == 0:
+    if users.shape[0] == 0:
         return 0
-    bounds = group_boundaries(pages)
-    run_sizes = np.diff(bounds)
-    run_index = np.repeat(
-        np.arange(run_sizes.shape[0], dtype=np.int64), run_sizes
-    )
-    tb = times - times.min()
-    stride = np.int64(int(tb.max()) + window.delta2 + 2)
-    key = run_index * stride + tb
-    lo = np.searchsorted(key, key + window.delta1, side="left")
-    hi = np.searchsorted(key, key + window.delta2, side="right")
+    lo, hi = _window_bounds(pages, times, window)
     return int((hi - lo).sum())
 
 

@@ -18,7 +18,10 @@ __all__ = ["TimeWindow"]
 class TimeWindow:
     """A closed delay interval ``[delta1, delta2]`` in seconds.
 
-    Invariant (from the paper): ``delta2 > delta1 >= 0``.
+    Invariant: ``delta2 >= delta1 >= 0``.  The paper's windows are always
+    strictly wider (``delta2 > delta1``); the degenerate ``delta1 ==
+    delta2`` form selects a single exact delay and exists so bucket
+    partitions can carry a one-delay remainder.
 
     Examples
     --------
@@ -26,7 +29,7 @@ class TimeWindow:
     >>> w.contains(0), w.contains(60), w.contains(61)
     (True, True, False)
     >>> [str(b) for b in TimeWindow(0, 180).buckets(60)]
-    ['(0s, 60s)', '(60s, 120s)', '(120s, 180s)']
+    ['(0s, 60s)', '(61s, 120s)', '(121s, 180s)']
     """
 
     delta1: int
@@ -35,9 +38,9 @@ class TimeWindow:
     def __post_init__(self) -> None:
         if self.delta1 < 0:
             raise ValueError(f"delta1 must be >= 0, got {self.delta1}")
-        if self.delta2 <= self.delta1:
+        if self.delta2 < self.delta1:
             raise ValueError(
-                f"delta2 ({self.delta2}) must exceed delta1 ({self.delta1})"
+                f"delta2 ({self.delta2}) must be >= delta1 ({self.delta1})"
             )
 
     @property
@@ -49,23 +52,33 @@ class TimeWindow:
         """Whether a delay *dt* falls inside the window."""
         return self.delta1 <= dt <= self.delta2
 
+    def covers(self, other: "TimeWindow") -> bool:
+        """Whether every delay of *other* also falls inside this window."""
+        return self.delta1 <= other.delta1 and other.delta2 <= self.delta2
+
     def buckets(self, width: int) -> list["TimeWindow"]:
-        """Split into consecutive sub-windows of at most *width* seconds.
+        """Partition into consecutive sub-windows spanning ≤ *width* seconds.
 
         This is the paper's memory workaround: project each narrow bucket
-        separately, then merge (``{(0,60s), (60s,120s), …, (59min,1hr)}``).
-        Buckets partition the *delay value space*: consecutive buckets
-        share a boundary point, and the exact-merge in
-        :mod:`repro.projection.buckets` deduplicates per-page pairs so a
-        boundary delay counted by two buckets is not double counted.
+        separately, then merge.  The paper writes the buckets as
+        ``{(0,60s), (60s,120s), …, (59min,1hr)}`` — closed intervals
+        sharing boundary points — but windows are *inclusive*, so a delay
+        of exactly 60 s would be observed by both of the first two
+        buckets.  The exact merge deduplicates the ``(page, x, y)``
+        triples either way, yet the shared boundary silently double-counts
+        ``pair_observations`` and inflates the naive ``merge="sum"``
+        ablation beyond the documented page effect.  Buckets after the
+        first therefore start one delay tick past the previous bucket's
+        end: the buckets **partition** the integer delay space of the
+        window, and every delay is observed by exactly one bucket.
         """
         if width <= 0:
             raise ValueError(f"bucket width must be > 0, got {width}")
-        out: list[TimeWindow] = []
-        lo = self.delta1
+        out = [TimeWindow(self.delta1, min(self.delta1 + width, self.delta2))]
+        lo = out[0].delta2
         while lo < self.delta2:
             hi = min(lo + width, self.delta2)
-            out.append(TimeWindow(lo, hi))
+            out.append(TimeWindow(lo + 1, hi))
             lo = hi
         return out
 

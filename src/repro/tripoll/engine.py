@@ -24,7 +24,11 @@ import numpy as np
 
 from repro.graph.edgelist import EdgeList
 from repro.graph.ordering import degree_order
-from repro.tripoll.survey import TriangleSet
+from repro.tripoll.survey import (
+    TriangleSet,
+    _compact_id_space,
+    _restore_id_space,
+)
 from repro.ygm.containers.bag import DistBag
 from repro.ygm.containers.map import DistMap
 from repro.ygm.handlers import ygm_handler
@@ -102,6 +106,10 @@ def survey_triangles_distributed(
         acc = acc.threshold(min_edge_weight)
     if acc.n_edges == 0:
         return TriangleSet.empty()
+    # Same huge-id guard as the single-process engine: degree_order (and
+    # the serial engine's edge keys) are sized by max_vertex, so sparse
+    # graphs over raw platform ids are relabelled to a dense space first.
+    acc, id_values = _compact_id_space(acc)
     n = acc.max_vertex + 1
     rank = degree_order(acc, n)
 
@@ -138,7 +146,7 @@ def survey_triangles_distributed(
     if not rows:
         return TriangleSet.empty()
     arr = np.asarray(rows, dtype=np.int64)
-    return TriangleSet.from_raw(
+    out = TriangleSet.from_raw(
         x=arr[:, 0],
         y=arr[:, 1],
         z=arr[:, 2],
@@ -146,3 +154,4 @@ def survey_triangles_distributed(
         w_xz=arr[:, 4],
         w_yz=arr[:, 5],
     )
+    return _restore_id_space(out, id_values)

@@ -12,7 +12,10 @@ Algorithm (the standard degree-ordered edge-iterator, as in TriPoll):
    sorted int64 keys ``tail * n + head``; a wedge survives iff its
    ``(v, w)`` key is present (binary search).  The matched edge index
    also yields ``w'_{vw}``, so all three edge weights arrive with the
-   triangle — TriPoll's "metadata survey".
+   triangle — TriPoll's "metadata survey".  When ``n²`` would overflow
+   int64 (sparse graphs over huge raw ids) the endpoints are first
+   relabelled onto a dense id space (:func:`_compact_id_space`) instead
+   of letting the key wrap.
 
 Memory is bounded by ``wedge_batch``: vertices are processed in groups
 whose total wedge count stays under the budget.
@@ -27,6 +30,7 @@ import numpy as np
 
 from repro.graph.edgelist import EdgeList
 from repro.graph.ordering import degree_order
+from repro.util.keys import compress_ids, strided_key_fits
 
 __all__ = ["TriangleSet", "survey_triangles", "triangles_brute"]
 
@@ -214,6 +218,7 @@ def survey_triangles(
         acc = acc.threshold(min_edge_weight)
     if acc.n_edges == 0:
         return TriangleSet.empty()
+    acc, id_values = _compact_id_space(acc)
     n = acc.max_vertex + 1
     rank = degree_order(acc, n)
 
@@ -276,13 +281,51 @@ def survey_triangles(
 
     if not parts:
         return TriangleSet.empty()
-    return TriangleSet(
+    out = TriangleSet(
         a=np.concatenate([p.a for p in parts]),
         b=np.concatenate([p.b for p in parts]),
         c=np.concatenate([p.c for p in parts]),
         w_ab=np.concatenate([p.w_ab for p in parts]),
         w_ac=np.concatenate([p.w_ac for p in parts]),
         w_bc=np.concatenate([p.w_bc for p in parts]),
+    )
+    return _restore_id_space(out, id_values)
+
+
+def _compact_id_space(acc: EdgeList) -> tuple[EdgeList, np.ndarray | None]:
+    """Relabel endpoints when ``max_vertex² `` would overflow the int64 keys.
+
+    The closing-edge join encodes oriented edges as ``tail * n + head``;
+    for sparse graphs with huge vertex ids (raw hashes, platform ids) that
+    product wraps.  Relabelling onto the dense id space of the endpoints
+    actually present keeps ``n`` bounded by ``2 * n_edges``, where the
+    product always fits.  Returns the (possibly relabelled) edge list and
+    the value table to restore original ids, or ``None`` when no
+    relabelling was needed.
+    """
+    n = acc.max_vertex + 1
+    if strided_key_fits(n, n):
+        return acc, None
+    id_values, src_c, dst_c = compress_ids(acc.src, acc.dst)
+    compact = EdgeList.__new__(EdgeList)
+    compact.src, compact.dst, compact.weight = src_c, dst_c, acc.weight
+    return compact, id_values
+
+
+def _restore_id_space(
+    triangles: TriangleSet, id_values: np.ndarray | None
+) -> TriangleSet:
+    """Map compacted vertex ids back to the originals (order-preserving,
+    so the canonical ``a < b < c`` form is unchanged)."""
+    if id_values is None:
+        return triangles
+    return TriangleSet(
+        a=id_values[triangles.a],
+        b=id_values[triangles.b],
+        c=id_values[triangles.c],
+        w_ab=triangles.w_ab,
+        w_ac=triangles.w_ac,
+        w_bc=triangles.w_bc,
     )
 
 

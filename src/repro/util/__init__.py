@@ -15,6 +15,8 @@ This package contains the pieces every other subsystem leans on:
   "no optimization without measuring" discipline from the HPC guides).
 - :mod:`repro.util.validation` — argument-checking helpers with consistent
   error messages.
+- :mod:`repro.util.keys` — overflow-safe composite int64 keys for the
+  projection and triangle-survey kernels.
 """
 
 from repro.util.ids import Interner
@@ -24,12 +26,24 @@ from repro.util.grouping import (
     run_lengths,
     counts_from_sorted,
 )
+from repro.util.keys import (
+    INT64_MAX,
+    compress_ids,
+    decode_strided,
+    encode_strided,
+    strided_key_fits,
+)
 from repro.util.rng import SeedSequenceFactory, derive_rng
 from repro.util.timers import Timer, StageTimings
 from repro.util.stats import pearson, spearman, binned_log_counts
 
 __all__ = [
     "Interner",
+    "INT64_MAX",
+    "compress_ids",
+    "decode_strided",
+    "encode_strided",
+    "strided_key_fits",
     "group_boundaries",
     "group_slices",
     "run_lengths",

@@ -1,0 +1,48 @@
+"""Correctness subsystem: differential parity + runtime invariants.
+
+The repo's correctness story rests on multiple engines that must agree
+*exactly* (four projection engines, two triangle engines, serial and
+distributed).  This package makes that guarantee executable:
+
+- :mod:`repro.verify.parity` — run one corpus through every engine,
+  structurally diff the outputs against the reference oracle, and shrink
+  any divergence to a minimal counterexample;
+- :mod:`repro.verify.invariants` — the paper's checkable properties
+  (score bounds, ``min(w') <= min(P')``, symmetric dedup, window
+  monotonicity) as reusable assertions.
+
+Both are callable from tests and from the ``repro-botnets verify`` CLI
+subcommand.
+"""
+
+from repro.verify.invariants import (
+    InvariantViolation,
+    check_edge_canonical_form,
+    check_edge_weight_bounds,
+    check_projection_invariants,
+    check_triangle_weight_bound,
+    check_unit_interval,
+    check_window_monotonicity,
+)
+from repro.verify.parity import (
+    ParityReport,
+    default_projection_engines,
+    default_triangle_engines,
+    run_parity,
+    shrink_comments,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "check_edge_canonical_form",
+    "check_edge_weight_bounds",
+    "check_projection_invariants",
+    "check_triangle_weight_bound",
+    "check_unit_interval",
+    "check_window_monotonicity",
+    "ParityReport",
+    "default_projection_engines",
+    "default_triangle_engines",
+    "run_parity",
+    "shrink_comments",
+]

@@ -1,0 +1,190 @@
+"""Runtime-checkable invariants of the paper's pipeline.
+
+Every property the paper states (or that the engines' contracts imply) and
+that can be checked mechanically on real output, packaged as reusable
+assertions.  Each ``check_*`` raises :class:`InvariantViolation` with a
+specific message on failure and returns ``None`` on success, so they can
+be called from unit tests, from property tests, and from the ``repro-
+botnets verify`` CLI subcommand alike.
+
+Checked properties:
+
+- eq. 4/7: ``C`` and ``T`` scores lie in ``[0, 1]``;
+- the argument following eq. 7: ``min(w') <= min(P')`` per triangle
+  (each page contributing to an edge weight also contributes to both
+  endpoints' page ledgers);
+- symmetric dedup: the CI edge list is canonical (``src < dst``), free of
+  duplicates, and strictly positive;
+- monotonicity: widening the window can only grow edge weights and page
+  counts (a window that covers another observes a superset of pairs).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.projection.window import TimeWindow
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.graph.bipartite import BipartiteTemporalMultigraph
+    from repro.projection.ci_graph import CommonInteractionGraph
+    from repro.tripoll.survey import TriangleSet
+
+__all__ = [
+    "InvariantViolation",
+    "check_unit_interval",
+    "check_edge_canonical_form",
+    "check_edge_weight_bounds",
+    "check_triangle_weight_bound",
+    "check_window_monotonicity",
+    "check_projection_invariants",
+]
+
+
+class InvariantViolation(AssertionError):
+    """A checkable property of the paper's pipeline does not hold."""
+
+
+def check_unit_interval(name: str, values: np.ndarray) -> None:
+    """Scores *values* (eq. 4's ``C`` or eq. 7's ``T``) must lie in [0, 1]."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return
+    if not np.all(np.isfinite(values)):
+        raise InvariantViolation(f"{name} contains non-finite scores")
+    lo, hi = float(values.min()), float(values.max())
+    if lo < 0.0 or hi > 1.0:
+        raise InvariantViolation(
+            f"{name} outside [0, 1]: min={lo}, max={hi}"
+        )
+
+
+def check_edge_canonical_form(edges: EdgeList) -> None:
+    """The CI edge list must be symmetric-deduplicated.
+
+    Canonical orientation ``src < dst``, no duplicate pairs after
+    accumulation, and strictly positive weights (an edge exists iff at
+    least one page produced it).
+    """
+    if edges.n_edges == 0:
+        return
+    if np.any(edges.src >= edges.dst):
+        raise InvariantViolation(
+            "edge list not in canonical src < dst orientation"
+        )
+    acc = edges.accumulate()
+    if acc.n_edges != edges.n_edges:
+        raise InvariantViolation(
+            f"edge list contains {edges.n_edges - acc.n_edges} duplicate "
+            "pair(s); symmetric dedup failed"
+        )
+    if np.any(edges.weight <= 0):
+        raise InvariantViolation("edge weights must be strictly positive")
+
+
+def check_edge_weight_bounds(ci: "CommonInteractionGraph") -> None:
+    """``w'_xy <= min(P'_x, P'_y)`` for every edge (eq. 5 vs eq. 6).
+
+    Each page counted by ``w'_xy`` creates a projection edge at both *x*
+    and *y*, so it is also counted by both ``P'`` entries.
+    """
+    edges = ci.edges
+    if edges.n_edges == 0:
+        return
+    cap = np.minimum(
+        ci.page_counts[edges.src], ci.page_counts[edges.dst]
+    )
+    bad = np.flatnonzero(edges.weight > cap)
+    if bad.size:
+        i = int(bad[0])
+        raise InvariantViolation(
+            f"edge ({int(edges.src[i])}, {int(edges.dst[i])}) has w'="
+            f"{int(edges.weight[i])} > min(P') = {int(cap[i])} "
+            f"({bad.size} violating edge(s))"
+        )
+
+
+def check_triangle_weight_bound(
+    triangles: "TriangleSet", page_counts: np.ndarray
+) -> None:
+    """``min(w') <= min(P')`` per triangle — the bound that puts T in [0,1]."""
+    if triangles.n_triangles == 0:
+        return
+    page_counts = np.asarray(page_counts, dtype=np.int64)
+    min_p = np.minimum(
+        np.minimum(page_counts[triangles.a], page_counts[triangles.b]),
+        page_counts[triangles.c],
+    )
+    bad = np.flatnonzero(triangles.min_weights() > min_p)
+    if bad.size:
+        i = int(bad[0])
+        raise InvariantViolation(
+            f"triangle ({int(triangles.a[i])}, {int(triangles.b[i])}, "
+            f"{int(triangles.c[i])}) has min w' = "
+            f"{int(triangles.min_weights()[i])} > min P' = {int(min_p[i])}"
+        )
+
+
+def check_window_monotonicity(
+    btm: "BipartiteTemporalMultigraph",
+    inner: TimeWindow,
+    outer: TimeWindow,
+    engine=None,
+) -> None:
+    """Widening the window must not lose weight.
+
+    For ``outer.covers(inner)``, every pair observed inside *inner* is
+    also observed inside *outer*, so each edge weight and page count under
+    *outer* is at least its value under *inner*.
+    """
+    from repro.projection.project import project
+
+    if not outer.covers(inner):
+        raise ValueError(f"{outer} does not cover {inner}")
+    engine = engine if engine is not None else project
+    narrow = engine(btm, inner)
+    wide = engine(btm, outer)
+    wide_edges = wide.ci.edges.to_dict()
+    for pair, w in narrow.ci.edges.to_dict().items():
+        if wide_edges.get(pair, 0) < w:
+            raise InvariantViolation(
+                f"edge {pair} lost weight when widening {inner} to {outer}: "
+                f"{w} -> {wide_edges.get(pair, 0)}"
+            )
+    if np.any(wide.ci.page_counts < narrow.ci.page_counts):
+        user = int(
+            np.flatnonzero(wide.ci.page_counts < narrow.ci.page_counts)[0]
+        )
+        raise InvariantViolation(
+            f"P'_{user} shrank when widening {inner} to {outer}"
+        )
+
+
+def check_projection_invariants(
+    ci: "CommonInteractionGraph",
+    triangles: "TriangleSet" = None,
+    t_values: np.ndarray | None = None,
+    c_values: np.ndarray | None = None,
+) -> list[str]:
+    """Run every applicable check; return the names of the checks that ran.
+
+    Raises :class:`InvariantViolation` on the first failure.
+    """
+    ran = []
+    check_edge_canonical_form(ci.edges)
+    ran.append("edge_canonical_form")
+    check_edge_weight_bounds(ci)
+    ran.append("edge_weight_bounds")
+    if triangles is not None:
+        check_triangle_weight_bound(triangles, ci.page_counts)
+        ran.append("triangle_weight_bound")
+    if t_values is not None:
+        check_unit_interval("T scores", t_values)
+        ran.append("t_scores_unit_interval")
+    if c_values is not None:
+        check_unit_interval("C scores", c_values)
+        ran.append("c_scores_unit_interval")
+    return ran

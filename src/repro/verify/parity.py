@@ -1,0 +1,368 @@
+"""Differential parity harness across every engine of the pipeline.
+
+The paper's results are reproducible only if the four projection engines
+(``project_reference``, ``project``, ``project_bucketed``,
+``project_distributed``) and both triangle engines (brute-force vs.
+surveyed, serial vs. distributed) agree *exactly*.  This module runs one
+comment corpus through all of them, structurally diffs the outputs
+against the reference oracle, and — on divergence — shrinks the corpus to
+a minimal counterexample by delta-debugging the comment list.
+
+The harness is engine-agnostic: the default registries can be overridden
+with arbitrary callables, which is how the tests prove the harness *can*
+catch a deliberately broken engine (and how a future engine gets wired
+into the same oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteTemporalMultigraph
+from repro.graph.edgelist import EdgeList
+from repro.projection.buckets import project_bucketed
+from repro.projection.distributed import project_distributed
+from repro.projection.project import (
+    ProjectionResult,
+    project,
+    project_reference,
+)
+from repro.projection.window import TimeWindow
+from repro.tripoll.engine import survey_triangles_distributed
+from repro.tripoll.survey import TriangleSet, survey_triangles, triangles_brute
+from repro.ygm.world import YgmWorld
+
+__all__ = [
+    "ParityReport",
+    "run_parity",
+    "default_projection_engines",
+    "default_triangle_engines",
+    "shrink_comments",
+]
+
+Comment = tuple  # (author, page, created_utc)
+ProjectionEngine = Callable[[BipartiteTemporalMultigraph, TimeWindow], ProjectionResult]
+TriangleEngine = Callable[[EdgeList, int], TriangleSet]
+
+_DIFF_LIMIT = 4  # listed per-item mismatches before eliding
+
+
+@dataclass
+class ParityReport:
+    """Outcome of one differential run.
+
+    ``divergences`` is empty iff every engine agreed with its oracle;
+    otherwise ``counterexample`` (when shrinking was requested) holds a
+    minimal comment list that still reproduces at least one divergence.
+    """
+
+    window: TimeWindow
+    min_edge_weight: int
+    n_comments: int
+    projection_engines: list[str]
+    triangle_engines: list[str]
+    n_edges: int = 0
+    n_triangles: int = 0
+    divergences: list[str] = field(default_factory=list)
+    counterexample: list[Comment] | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether all engines agreed exactly."""
+        return not self.divergences
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"parity run: {self.n_comments:,} comments, window "
+            f"{self.window}, cutoff {self.min_edge_weight}",
+            f"  projection engines: {', '.join(self.projection_engines)}",
+            f"  triangle engines:   {', '.join(self.triangle_engines)}",
+            f"  reference output:   {self.n_edges:,} CI edges, "
+            f"{self.n_triangles:,} triangles",
+        ]
+        if self.ok:
+            lines.append("  PARITY OK — all engines agree exactly")
+        else:
+            lines.append(f"  PARITY FAILED — {len(self.divergences)} divergence(s):")
+            lines += [f"    - {d}" for d in self.divergences]
+            if self.counterexample is not None:
+                lines.append(
+                    f"  minimal counterexample ({len(self.counterexample)} "
+                    "comment(s)):"
+                )
+                lines += [f"    {c!r}" for c in self.counterexample[:20]]
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Engine registries
+# ---------------------------------------------------------------------------
+
+
+def default_projection_engines(
+    bucket_width: int | None = None, n_ranks: int = 2
+) -> dict[str, ProjectionEngine]:
+    """All four projection engines; the first entry is the oracle."""
+
+    def _bucketed(btm, window):
+        bw = bucket_width
+        if bw is None:
+            bw = max(1, window.width // 3)
+        return project_bucketed(btm, window, bucket_width=bw)
+
+    def _distributed(btm, window):
+        with YgmWorld(n_ranks) as world:
+            return project_distributed(btm, window, world)
+
+    return {
+        "reference": project_reference,
+        "vectorized": project,
+        "bucketed": _bucketed,
+        "distributed": _distributed,
+    }
+
+
+def default_triangle_engines(n_ranks: int = 2) -> dict[str, TriangleEngine]:
+    """Both triangle engines plus the brute oracle (first entry)."""
+
+    def _brute(edges, min_w):
+        acc = edges.accumulate()
+        if min_w > 0:
+            acc = acc.threshold(min_w)
+        return triangles_brute(acc)
+
+    def _surveyed(edges, min_w):
+        return survey_triangles(edges, min_edge_weight=min_w)
+
+    def _distributed(edges, min_w):
+        with YgmWorld(n_ranks) as world:
+            return survey_triangles_distributed(
+                edges, world, min_edge_weight=min_w
+            )
+
+    return {
+        "brute": _brute,
+        "surveyed": _surveyed,
+        "distributed": _distributed,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Structural diffs
+# ---------------------------------------------------------------------------
+
+
+def _elide(items: list) -> str:
+    shown = ", ".join(str(i) for i in items[:_DIFF_LIMIT])
+    if len(items) > _DIFF_LIMIT:
+        shown += f", … ({len(items)} total)"
+    return shown
+
+
+def _diff_projection(
+    name: str, ref: ProjectionResult, got: ProjectionResult
+) -> list[str]:
+    """Structural diff of *got* against the reference projection."""
+    msgs: list[str] = []
+    ref_edges = ref.ci.edges.to_dict()
+    got_edges = got.ci.edges.to_dict()
+    if got_edges != ref_edges:
+        missing = sorted(set(ref_edges) - set(got_edges))
+        extra = sorted(set(got_edges) - set(ref_edges))
+        wrong = sorted(
+            p
+            for p in set(ref_edges) & set(got_edges)
+            if ref_edges[p] != got_edges[p]
+        )
+        if missing:
+            msgs.append(f"projection[{name}]: missing edges {_elide(missing)}")
+        if extra:
+            msgs.append(f"projection[{name}]: extra edges {_elide(extra)}")
+        if wrong:
+            detail = [
+                f"{p}: {got_edges[p]} != {ref_edges[p]}" for p in wrong
+            ]
+            msgs.append(f"projection[{name}]: wrong weights {_elide(detail)}")
+    if not np.array_equal(ref.ci.page_counts, got.ci.page_counts):
+        if ref.ci.page_counts.shape != got.ci.page_counts.shape:
+            msgs.append(
+                f"projection[{name}]: P' ledger shape "
+                f"{got.ci.page_counts.shape} != {ref.ci.page_counts.shape}"
+            )
+        else:
+            bad = np.flatnonzero(ref.ci.page_counts != got.ci.page_counts)
+            detail = [
+                f"P'_{int(u)}: {int(got.ci.page_counts[u])} != "
+                f"{int(ref.ci.page_counts[u])}"
+                for u in bad[:_DIFF_LIMIT]
+            ]
+            msgs.append(
+                f"projection[{name}]: page counts differ — {_elide(detail)}"
+            )
+    return msgs
+
+
+def _diff_triangles(name: str, ref: TriangleSet, got: TriangleSet) -> list[str]:
+    """Element-for-element diff of canonically sorted triangle sets."""
+    if ref.n_triangles != got.n_triangles:
+        return [
+            f"triangles[{name}]: {got.n_triangles} triangles != "
+            f"{ref.n_triangles} (reference)"
+        ]
+    for fld in ("a", "b", "c", "w_ab", "w_ac", "w_bc"):
+        rv, gv = getattr(ref, fld), getattr(got, fld)
+        if not np.array_equal(rv, gv):
+            i = int(np.flatnonzero(rv != gv)[0])
+            return [
+                f"triangles[{name}]: field {fld} differs at canonical "
+                f"index {i}: {int(gv[i])} != {int(rv[i])}"
+            ]
+    return []
+
+
+def _diff_once(
+    comments: Sequence[Comment],
+    window: TimeWindow,
+    min_edge_weight: int,
+    projection_engines: dict[str, ProjectionEngine],
+    triangle_engines: dict[str, TriangleEngine],
+) -> tuple[list[str], int, int]:
+    """One full differential pass; returns (divergences, n_edges, n_triangles)."""
+    btm = BipartiteTemporalMultigraph.from_comments(list(comments))
+    names = list(projection_engines)
+    ref_name = names[0]
+    ref = projection_engines[ref_name](btm, window)
+    msgs: list[str] = []
+    for name in names[1:]:
+        msgs += _diff_projection(
+            name, ref, projection_engines[name](btm, window)
+        )
+
+    tri_names = list(triangle_engines)
+    tri_ref = triangle_engines[tri_names[0]](
+        ref.ci.edges, min_edge_weight
+    ).sorted_canonical()
+    for name in tri_names[1:]:
+        got = triangle_engines[name](
+            ref.ci.edges, min_edge_weight
+        ).sorted_canonical()
+        msgs += _diff_triangles(name, tri_ref, got)
+    return msgs, ref.ci.edges.n_edges, tri_ref.n_triangles
+
+
+# ---------------------------------------------------------------------------
+# Counterexample shrinking
+# ---------------------------------------------------------------------------
+
+
+def shrink_comments(
+    comments: Sequence[Comment],
+    still_fails: Callable[[list[Comment]], bool],
+) -> list[Comment]:
+    """Delta-debug *comments* to a minimal list where *still_fails* holds.
+
+    Classic ddmin-style bisection: repeatedly try deleting chunks (halving
+    the chunk size on each sweep) and keep any deletion that preserves the
+    failure; stops when no single comment can be removed.  The result is
+    1-minimal, not globally minimal — enough to read off the hazard.
+    """
+    current = list(comments)
+    if not still_fails(current):
+        raise ValueError("initial comment list does not fail the predicate")
+    chunk = max(1, len(current) // 2)
+    while True:
+        reduced = False
+        i = 0
+        while i < len(current):
+            candidate = current[:i] + current[i + chunk :]
+            if candidate and still_fails(candidate):
+                current = candidate
+                reduced = True
+            else:
+                i += chunk
+        if chunk == 1:
+            if not reduced:
+                return current
+        else:
+            chunk = max(1, chunk // 2)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def run_parity(
+    comments: Sequence[Comment],
+    window: TimeWindow,
+    min_edge_weight: int = 0,
+    *,
+    bucket_width: int | None = None,
+    n_ranks: int = 2,
+    projection_engines: dict[str, ProjectionEngine] | None = None,
+    triangle_engines: dict[str, TriangleEngine] | None = None,
+    shrink: bool = True,
+) -> ParityReport:
+    """Run every engine on one corpus and diff the outputs exactly.
+
+    Parameters
+    ----------
+    comments:
+        ``(author, page, created_utc)`` triples (strings or dense ids).
+    window:
+        The projection window ``(δ1, δ2)``.
+    min_edge_weight:
+        Triangle-survey cutoff applied by both triangle engines.
+    bucket_width:
+        Bucket width for the bucketed engine (default: a third of the
+        window so the merge is exercised over ≥ 3 buckets).
+    n_ranks:
+        Logical world size for the distributed engines (serial backend).
+    projection_engines / triangle_engines:
+        Override the registries; the **first** entry of each dict is
+        treated as the oracle the rest are diffed against.
+    shrink:
+        On divergence, delta-debug the comment list down to a minimal
+        counterexample (re-runs all engines per candidate — affordable
+        because counterexample corpora are small by construction).
+
+    Examples
+    --------
+    >>> report = run_parity(
+    ...     [("a", "p", 0), ("b", "p", 30), ("c", "p", 45)],
+    ...     TimeWindow(0, 60),
+    ... )
+    >>> report.ok
+    True
+    """
+    proj = projection_engines or default_projection_engines(
+        bucket_width=bucket_width, n_ranks=n_ranks
+    )
+    tri = triangle_engines or default_triangle_engines(n_ranks=n_ranks)
+    comments = list(comments)
+    divergences, n_edges, n_triangles = _diff_once(
+        comments, window, min_edge_weight, proj, tri
+    )
+    counterexample = None
+    if divergences and shrink and comments:
+        counterexample = shrink_comments(
+            comments,
+            lambda cand: bool(
+                _diff_once(cand, window, min_edge_weight, proj, tri)[0]
+            ),
+        )
+    return ParityReport(
+        window=window,
+        min_edge_weight=min_edge_weight,
+        n_comments=len(comments),
+        projection_engines=list(proj),
+        triangle_engines=list(tri),
+        n_edges=n_edges,
+        n_triangles=n_triangles,
+        divergences=divergences,
+        counterexample=counterexample,
+    )

@@ -83,6 +83,44 @@ class TestRun:
         assert r1.ci.edges.to_dict() == r2.ci.edges.to_dict()
         assert r1.triangles.as_tuples() == r2.triangles.as_tuples()
 
+    def test_triangles_canonically_sorted(self, result):
+        # run() canonicalizes, so output is element-for-element comparable
+        # with run_distributed() and with any other engine.
+        t = result.triangles
+        order = np.lexsort((t.c, t.b, t.a))
+        assert np.array_equal(order, np.arange(t.n_triangles))
+
+    def test_triangles_derive_from_thresholded_artifact(self, result):
+        # Regression: run() used to re-threshold ci.edges for the survey,
+        # which could diverge from the reported ci_thresholded artifact.
+        from repro.tripoll import survey_triangles
+
+        from_artifact = survey_triangles(
+            result.ci_thresholded.edges
+        ).sorted_canonical()
+        assert from_artifact.as_tuples() == result.triangles.as_tuples()
+        assert np.array_equal(from_artifact.w_ab, result.triangles.w_ab)
+
+    def test_distributed_run_element_for_element(self, small_dataset):
+        from repro.ygm import YgmWorld
+
+        cfg = PipelineConfig(
+            window=TimeWindow(0, 60),
+            min_triangle_weight=10,
+            compute_hypergraph=False,
+        )
+        serial = CoordinationPipeline(cfg).run(small_dataset.btm)
+        with YgmWorld(2) as world:
+            dist = CoordinationPipeline(cfg).run_distributed(
+                small_dataset.btm, world
+            )
+        for field in ("a", "b", "c", "w_ab", "w_ac", "w_bc"):
+            assert np.array_equal(
+                getattr(serial.triangles, field),
+                getattr(dist.triangles, field),
+            ), field
+        assert np.array_equal(serial.t_scores, dist.t_scores)
+
     def test_filter_off_keeps_automod(self, small_dataset):
         pipe = CoordinationPipeline(
             PipelineConfig(

@@ -25,6 +25,18 @@ class TestExactMerge:
         result = project_bucketed(btm, TimeWindow(0, 120), bucket_width=60)
         assert result.ci.edges.to_dict() == {(0, 1): 1}
 
+    def test_pair_observations_add_up_exactly(self, random_btm):
+        # Buckets partition the delay space, so each in-window pair is
+        # observed by exactly one bucket: per-bucket observation counts
+        # sum to the direct projection's count.
+        window = TimeWindow(0, 600)
+        direct = project(random_btm, window)
+        bucketed = project_bucketed(random_btm, window, bucket_width=60)
+        assert (
+            bucketed.stats["pair_observations"]
+            == direct.stats["pair_observations"]
+        )
+
     def test_stats_report_buckets(self, random_btm):
         result = project_bucketed(random_btm, TimeWindow(0, 300), bucket_width=100)
         assert result.stats["buckets"] == 3
@@ -58,6 +70,19 @@ class TestSumMerge:
         naive = project_bucketed(btm, window, bucket_width=60, merge="sum")
         assert direct.ci.edges.to_dict() == {(0, 1): 1}
         assert naive.ci.edges.to_dict() == {(0, 1): 2}
+
+    def test_boundary_delay_counted_once_even_under_sum(self):
+        # Regression: with closed bucket intervals the pair at delay
+        # exactly 60 fell in both (0,60) and (60,120), so even the naive
+        # sum-merge double counted it.  Half-open buckets assign it to
+        # (0,60) only.
+        btm = BipartiteTemporalMultigraph.from_comments(
+            [("x", "p", 0), ("y", "p", 60)]
+        )
+        naive = project_bucketed(
+            btm, TimeWindow(0, 120), bucket_width=60, merge="sum"
+        )
+        assert naive.ci.edges.to_dict() == {(0, 1): 1}
 
     def test_sum_merge_always_at_least_exact(self, random_btm):
         window = TimeWindow(0, 600)

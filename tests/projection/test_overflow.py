@@ -1,0 +1,142 @@
+"""Key-overflow hazards in the projection kernels (real-world timestamps).
+
+The production engine encodes ``(page_run, time)`` into one int64.  The
+seed encoding (global time rebase, unguarded multiply) silently wraps on
+nanosecond Unix timestamps once the corpus spans enough pages — dropping
+in-window pairs without any error.  These tests pin the guarded behavior:
+the vectorized engine must match the quadratic reference oracle on inputs
+where the unguarded key space provably exceeds int64.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.bipartite import BipartiteTemporalMultigraph
+from repro.projection import TimeWindow, estimate_pair_volume, project
+from repro.projection.project import _window_bounds, project_reference
+from repro.util.keys import INT64_MAX
+
+NS_EPOCH = 1_700_000_000_000_000_000  # plausible ns Unix timestamp
+
+
+def ns_scale_btm(n_pages=400, seed=3):
+    """Comments at ns resolution spread over ~a year: the unguarded
+    ``n_runs * (global_span + delta2 + 2)`` key space exceeds int64."""
+    rng = np.random.default_rng(seed)
+    year_ns = 3 * 10**16
+    comments = []
+    for p in range(n_pages):
+        t0 = NS_EPOCH + int(rng.integers(0, year_ns))
+        for _ in range(3):
+            comments.append(
+                (int(rng.integers(0, 40)), p, t0 + int(rng.integers(0, 200)))
+            )
+    return BipartiteTemporalMultigraph.from_comments(comments)
+
+
+class TestNsTimestamps:
+    def test_unguarded_encoding_would_overflow(self):
+        # Precondition: this corpus genuinely breaks the seed encoding.
+        btm = ns_scale_btm()
+        window = TimeWindow(0, 100)
+        span = int(btm.times.max() - btm.times.min())
+        old_key_space = btm.n_pages * (span + window.delta2 + 2)
+        assert old_key_space > INT64_MAX
+
+    def test_matches_reference_oracle(self):
+        btm = ns_scale_btm()
+        window = TimeWindow(0, 100)
+        ref = project_reference(btm, window)
+        got = project(btm, window)
+        assert got.ci.edges.to_dict() == ref.ci.edges.to_dict()
+        assert np.array_equal(got.ci.page_counts, ref.ci.page_counts)
+        assert got.ci.edges.n_edges > 0  # the corpus is not trivially empty
+
+    def test_estimate_pair_volume_guarded(self):
+        btm = ns_scale_btm()
+        window = TimeWindow(0, 100)
+        estimate = estimate_pair_volume(btm, window)
+        # The estimate counts each comment's own self-window hit (δ1 = 0),
+        # so it is at least n_comments and bounds the raw pair count.
+        assert estimate >= btm.n_comments
+
+
+class TestPerRunFallback:
+    def test_huge_within_page_span_uses_exact_fallback(self):
+        # Within-page spans so large that even the per-run-rebased stride
+        # overflows: the kernel must fall through to the per-run
+        # searchsorted path, not wrap.
+        comments = [
+            (0, 0, 0),
+            (1, 0, 50),
+            (2, 0, 6 * 10**18),
+            (0, 1, 10),
+            (2, 1, 40),
+            (1, 1, 6 * 10**18),
+        ]
+        btm = BipartiteTemporalMultigraph.from_comments(comments)
+        window = TimeWindow(0, 60)
+        ref = project_reference(btm, window)
+        got = project(btm, window)
+        assert got.ci.edges.to_dict() == ref.ci.edges.to_dict() == {
+            (0, 1): 1,
+            (0, 2): 1,
+        }
+        # Per row: its own self hit (δ1 = 0) plus one true in-window mate
+        # on each page's first pair.
+        assert estimate_pair_volume(btm, window) == 8
+
+    def test_unrepresentable_window_raises(self):
+        # span + delta2 itself beyond int64: no silent answer exists.
+        comments = [(0, 0, 0), (1, 0, INT64_MAX - 10)]
+        btm = BipartiteTemporalMultigraph.from_comments(comments)
+        with pytest.raises(OverflowError, match="unrepresentable"):
+            project(btm, TimeWindow(0, 100))
+
+
+class TestWindowBoundsHelper:
+    """The shared kernel behind _windowed_pair_batches and estimate_pair_volume."""
+
+    def test_global_shift_does_not_change_bounds(self):
+        rng = np.random.default_rng(11)
+        pages = np.sort(rng.integers(0, 20, 300))
+        times = rng.integers(0, 10_000, 300)
+        order = np.lexsort((times, pages))
+        pages, times = pages[order], times[order]
+        window = TimeWindow(5, 90)
+        lo_fast, hi_fast = _window_bounds(pages, times, window)
+        # Times are rebased per page run, so a ns-epoch shift is invisible.
+        lo_ns, hi_ns = _window_bounds(pages, times + np.int64(NS_EPOCH), window)
+        assert np.array_equal(lo_fast, lo_ns)
+        assert np.array_equal(hi_fast, hi_ns)
+
+    def test_fallback_path_matches_brute_force(self):
+        # Four runs whose spans (~4.6e18) push even the per-run-rebased key
+        # space past int64, forcing the per-run searchsorted fallback.
+        rng = np.random.default_rng(13)
+        pages_l, times_l = [], []
+        for p in range(4):
+            cluster = sorted(int(t) for t in rng.integers(0, 500, 8))
+            run_times = cluster + [4 * 10**18 + p]
+            pages_l += [p] * len(run_times)
+            times_l += run_times
+        pages = np.asarray(pages_l, dtype=np.int64)
+        times = np.asarray(times_l, dtype=np.int64)
+        window = TimeWindow(0, 60)
+        span = int(max(times_l))
+        assert 4 * (span + window.delta2 + 2) > INT64_MAX  # fallback taken
+        lo, hi = _window_bounds(pages, times, window)
+        for i in range(pages.shape[0]):
+            mates = [
+                j
+                for j in range(pages.shape[0])
+                if pages[j] == pages[i]
+                and window.delta1 <= times[j] - times[i] <= window.delta2
+            ]
+            assert list(range(int(lo[i]), int(hi[i]))) == mates
+
+    def test_empty_input(self):
+        lo, hi = _window_bounds(
+            np.empty(0, np.int64), np.empty(0, np.int64), TimeWindow(0, 60)
+        )
+        assert lo.shape == (0,) and hi.shape == (0,)

@@ -14,11 +14,16 @@ class TestValidation:
         with pytest.raises(ValueError, match="delta1"):
             TimeWindow(-1, 60)
 
-    def test_delta2_must_exceed_delta1(self):
-        with pytest.raises(ValueError, match="exceed"):
-            TimeWindow(10, 10)
-        with pytest.raises(ValueError):
+    def test_delta2_must_not_precede_delta1(self):
+        with pytest.raises(ValueError, match="delta1"):
             TimeWindow(10, 5)
+
+    def test_degenerate_single_delay_window(self):
+        w = TimeWindow(10, 10)
+        assert w.width == 0
+        assert w.contains(10)
+        assert not w.contains(9) and not w.contains(11)
+        assert w.buckets(60) == [w]
 
     def test_width(self):
         assert TimeWindow(10, 70).width == 60
@@ -40,11 +45,11 @@ class TestContains:
 class TestBuckets:
     def test_even_split(self):
         bs = TimeWindow(0, 180).buckets(60)
-        assert [(b.delta1, b.delta2) for b in bs] == [(0, 60), (60, 120), (120, 180)]
+        assert [(b.delta1, b.delta2) for b in bs] == [(0, 60), (61, 120), (121, 180)]
 
     def test_ragged_tail(self):
         bs = TimeWindow(0, 100).buckets(60)
-        assert [(b.delta1, b.delta2) for b in bs] == [(0, 60), (60, 100)]
+        assert [(b.delta1, b.delta2) for b in bs] == [(0, 60), (61, 100)]
 
     def test_single_bucket_when_wider_than_window(self):
         bs = TimeWindow(0, 50).buckets(100)
@@ -52,14 +57,19 @@ class TestBuckets:
 
     def test_nonzero_delta1(self):
         bs = TimeWindow(30, 90).buckets(30)
-        assert [(b.delta1, b.delta2) for b in bs] == [(30, 60), (60, 90)]
+        assert [(b.delta1, b.delta2) for b in bs] == [(30, 60), (61, 90)]
 
-    def test_buckets_cover_window_exactly(self):
+    def test_buckets_partition_delay_space(self):
+        # Every integer delay of the window falls in exactly one bucket.
         w = TimeWindow(7, 193)
         bs = w.buckets(17)
         assert bs[0].delta1 == w.delta1 and bs[-1].delta2 == w.delta2
-        for prev, cur in zip(bs, bs[1:]):
-            assert prev.delta2 == cur.delta1
+        for dt in range(w.delta1, w.delta2 + 1):
+            assert sum(b.contains(dt) for b in bs) == 1
+
+    def test_one_delay_remainder_bucket(self):
+        bs = TimeWindow(0, 2).buckets(1)
+        assert [(b.delta1, b.delta2) for b in bs] == [(0, 1), (2, 2)]
 
     def test_invalid_width(self):
         with pytest.raises(ValueError):

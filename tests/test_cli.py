@@ -156,6 +156,26 @@ class TestDetect:
         assert "buckets=60s" in out.getvalue()
 
 
+class TestVerify:
+    def test_parity_smoke(self):
+        # Tier-1 smoke test: all four projection engines and all three
+        # triangle engines agree exactly on a generated corpus.
+        out = io.StringIO()
+        code = main(
+            ["verify", "--seed", "3", "--scale", "0.04"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "PARITY OK" in text
+        assert "invariants ok" in text
+
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.seed == 0 and args.preset == "oct2016"
+        assert args.delta1 == 0 and args.delta2 == 60
+
+
 class TestFigures:
     def test_renders_both_families(self, corpus):
         ndjson, _ = corpus

@@ -2,6 +2,7 @@
 
 import numpy as np
 
+from repro.graph import EdgeList
 from repro.tripoll import survey_triangles, survey_triangles_distributed
 from repro.ygm import YgmWorld
 from tests.conftest import random_edgelist
@@ -52,3 +53,13 @@ class TestDistributedSurvey:
         with YgmWorld(2, backend="mp") as world:
             dist = survey_triangles_distributed(el, world)
         assert dist.as_tuples() == serial.as_tuples()
+
+
+class TestHugeVertexIds:
+    def test_distributed_survey_with_huge_ids(self):
+        big = 4_000_000_000  # big**2 > 2**63 - 1
+        el = EdgeList([0, 0, big], [big, big + 1, big + 1], [5, 4, 3])
+        with YgmWorld(2) as world:
+            ts = survey_triangles_distributed(el, world)
+        assert ts.as_tuples() == {(0, big, big + 1)}
+        assert ts.min_weights().tolist() == [3]

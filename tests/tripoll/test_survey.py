@@ -168,3 +168,33 @@ class TestTriangleSet:
 
     def test_vertices_of_empty(self):
         assert TriangleSet.empty().vertices().size == 0
+
+
+class TestHugeVertexIds:
+    """Sparse graphs over huge raw ids must not wrap the n*n edge keys."""
+
+    def test_single_triangle_with_huge_ids(self):
+        big = 4_000_000_000  # big**2 > 2**63 - 1
+        el = EdgeList([0, 0, big], [big, big + 1, big + 1], [5, 4, 3])
+        ts = survey_triangles(el)
+        assert ts.as_tuples() == {(0, big, big + 1)}
+        assert ts.min_weights().tolist() == [3]
+
+    def test_matches_brute_after_id_offset(self):
+        offset = 5_000_000_000
+        el = random_edgelist(7, n_vertices=30, n_edges=150)
+        shifted = EdgeList(el.src + offset, el.dst + offset, el.weight)
+        surveyed = survey_triangles(shifted).sorted_canonical()
+        brute = triangles_brute(shifted).sorted_canonical()
+        assert surveyed.as_tuples() == brute.as_tuples()
+        assert np.array_equal(surveyed.w_ab, brute.w_ab)
+        assert np.array_equal(surveyed.w_ac, brute.w_ac)
+        assert np.array_equal(surveyed.w_bc, brute.w_bc)
+        # Shifting ids must not change the triangle structure.
+        plain = survey_triangles(el).sorted_canonical()
+        assert np.array_equal(surveyed.a - offset, plain.a)
+
+    def test_min_edge_weight_still_applies(self):
+        big = 4_000_000_000
+        el = EdgeList([0, 0, big], [big, big + 1, big + 1], [5, 4, 3])
+        assert survey_triangles(el, min_edge_weight=4).n_triangles == 0

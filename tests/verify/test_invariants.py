@@ -1,0 +1,131 @@
+"""Tests for the runtime invariant checks."""
+
+import numpy as np
+import pytest
+
+from repro.graph import BipartiteTemporalMultigraph, EdgeList
+from repro.projection import TimeWindow, project
+from repro.projection.ci_graph import CommonInteractionGraph
+from repro.tripoll import survey_triangles, t_scores
+from repro.tripoll.survey import TriangleSet
+from repro.verify import (
+    InvariantViolation,
+    check_edge_canonical_form,
+    check_edge_weight_bounds,
+    check_projection_invariants,
+    check_triangle_weight_bound,
+    check_unit_interval,
+    check_window_monotonicity,
+)
+
+
+@pytest.fixture(scope="module")
+def projection(small_dataset):
+    return project(small_dataset.btm, TimeWindow(0, 60))
+
+
+class TestOnGenuineOutput:
+    def test_full_pipeline_output_passes(self, projection):
+        triangles = survey_triangles(projection.ci.edges, min_edge_weight=5)
+        ran = check_projection_invariants(
+            projection.ci,
+            triangles=triangles,
+            t_values=t_scores(triangles, projection.ci.page_counts),
+        )
+        assert "edge_canonical_form" in ran
+        assert "triangle_weight_bound" in ran
+        assert "t_scores_unit_interval" in ran
+
+    def test_window_monotonicity_holds(self, tiny_btm):
+        check_window_monotonicity(
+            tiny_btm, TimeWindow(0, 30), TimeWindow(0, 120)
+        )
+
+
+class TestUnitInterval:
+    def test_accepts_bounds_inclusive(self):
+        check_unit_interval("T", np.array([0.0, 0.5, 1.0]))
+        check_unit_interval("T", np.array([]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvariantViolation, match="outside"):
+            check_unit_interval("T", np.array([0.2, 1.001]))
+        with pytest.raises(InvariantViolation, match="outside"):
+            check_unit_interval("C", np.array([-0.01]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvariantViolation, match="non-finite"):
+            check_unit_interval("T", np.array([np.nan]))
+
+
+class TestEdgeCanonicalForm:
+    def test_accepts_canonical(self):
+        check_edge_canonical_form(EdgeList([0, 1], [2, 3], [1, 5]))
+        check_edge_canonical_form(EdgeList.empty())
+
+    def test_rejects_duplicates(self):
+        el = EdgeList([0, 0], [1, 1], [1, 1])  # same pair twice
+        with pytest.raises(InvariantViolation, match="duplicate"):
+            check_edge_canonical_form(el)
+
+    def test_rejects_reversed_orientation(self):
+        el = EdgeList.__new__(EdgeList)
+        el.src = np.array([2])
+        el.dst = np.array([1])
+        el.weight = np.array([1])
+        with pytest.raises(InvariantViolation, match="canonical"):
+            check_edge_canonical_form(el)
+
+    def test_rejects_nonpositive_weight(self):
+        el = EdgeList([0], [1], [0])
+        with pytest.raises(InvariantViolation, match="positive"):
+            check_edge_canonical_form(el)
+
+
+def _ci(edges, page_counts, window=TimeWindow(0, 60)):
+    return CommonInteractionGraph(
+        edges=edges,
+        page_counts=np.asarray(page_counts, dtype=np.int64),
+        window=window,
+    )
+
+
+class TestWeightBounds:
+    def test_edge_weight_within_ledger(self):
+        check_edge_weight_bounds(_ci(EdgeList([0], [1], [2]), [2, 3]))
+
+    def test_edge_weight_exceeding_ledger_rejected(self):
+        with pytest.raises(InvariantViolation, match="min\\(P'\\)"):
+            check_edge_weight_bounds(_ci(EdgeList([0], [1], [5]), [2, 3]))
+
+    def test_triangle_bound(self):
+        ts = TriangleSet(
+            a=np.array([0]), b=np.array([1]), c=np.array([2]),
+            w_ab=np.array([2]), w_ac=np.array([2]), w_bc=np.array([2]),
+        )
+        check_triangle_weight_bound(ts, np.array([2, 2, 2]))
+        with pytest.raises(InvariantViolation, match="min P'"):
+            check_triangle_weight_bound(ts, np.array([2, 1, 2]))
+
+
+class TestWindowMonotonicity:
+    def test_rejects_non_covering_windows(self, tiny_btm):
+        with pytest.raises(ValueError, match="cover"):
+            check_window_monotonicity(
+                tiny_btm, TimeWindow(0, 120), TimeWindow(0, 60)
+            )
+
+    def test_detects_weight_loss(self, tiny_btm):
+        def shrinking_engine(btm, window):
+            # Pathological: wider window projected as a narrower one.
+            if window.delta2 > 60:
+                return project(btm, TimeWindow(window.delta1, 30))
+            return project(btm, window)
+
+        with pytest.raises(InvariantViolation, match="lost weight|shrank"):
+            check_window_monotonicity(
+                tiny_btm,
+                TimeWindow(0, 60),
+                TimeWindow(0, 120),
+                engine=shrinking_engine,
+            )
