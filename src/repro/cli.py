@@ -12,7 +12,13 @@ Five subcommands cover the workflow the paper describes:
   (C vs T, w_xyz vs min w') for a corpus and window;
 - ``verify`` — run a seeded corpus through every projection and triangle
   engine, diff the outputs against the reference oracle, and check the
-  paper's invariants (the engine-parity guarantee, made executable).
+  paper's invariants (the engine-parity guarantee, made executable);
+  ``verify --chaos`` instead injects a seeded fault into a distributed
+  run and checks the fail-typed → checkpoint-resume → exact-parity
+  contract.
+
+``detect`` and ``figures`` accept ``--skip-malformed`` (plus
+``--quarantine``) to survive corrupt lines in real-world dumps.
 
 Installed as ``repro-botnets`` (see ``pyproject.toml``); also runnable as
 ``python -m repro.cli``.
@@ -90,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write a full markdown analysis report to PATH")
     det.add_argument("--top", type=int, default=15,
                      help="components to list")
+    det.add_argument("--skip-malformed", action="store_true",
+                     help="skip (and count) malformed ndjson lines instead "
+                     "of aborting")
+    det.add_argument("--quarantine", metavar="PATH",
+                     help="with --skip-malformed, copy rejected lines to "
+                     "this sidecar file")
 
     fig = sub.add_parser(
         "figures", help="regenerate the metric-relationship figures"
@@ -98,6 +110,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--delta1", type=int, default=0)
     fig.add_argument("--delta2", type=int, default=60)
     fig.add_argument("--cutoff", type=int, default=10)
+    fig.add_argument("--skip-malformed", action="store_true",
+                     help="skip (and count) malformed ndjson lines instead "
+                     "of aborting")
+    fig.add_argument("--quarantine", metavar="PATH",
+                     help="with --skip-malformed, copy rejected lines to "
+                     "this sidecar file")
 
     ver = sub.add_parser(
         "verify",
@@ -120,6 +138,19 @@ def build_parser() -> argparse.ArgumentParser:
                      "(default: window/3)")
     ver.add_argument("--no-shrink", action="store_true",
                      help="skip counterexample shrinking on divergence")
+    ver.add_argument("--chaos", action="store_true",
+                     help="fault-injected parity instead: draw a seeded "
+                     "fault plan, run the distributed pipeline under it, "
+                     "require a typed failure, resume from the checkpoint, "
+                     "and diff against the serial oracle")
+    ver.add_argument("--chaos-backend", choices=["mp", "serial"],
+                     default="mp",
+                     help="world backend for --chaos (mp = real worker "
+                     "processes)")
+    ver.add_argument("--chaos-ranks", type=int, default=2,
+                     help="world size for --chaos")
+    ver.add_argument("--chaos-deadline", type=float, default=30.0,
+                     help="barrier/exec liveness deadline (s) for --chaos")
 
     return parser
 
@@ -185,8 +216,32 @@ def _load_truth(path: str) -> GroundTruth:
     return truth
 
 
+def _load_btm(args: argparse.Namespace, out):
+    """Load the input corpus, honoring the lenient-ingestion flags."""
+    from repro.graph.io import IngestStats
+
+    if not getattr(args, "skip_malformed", False):
+        return btm_from_ndjson(args.input)
+    stats = IngestStats()
+    btm = btm_from_ndjson(
+        args.input, errors="skip", quarantine=args.quarantine, stats=stats
+    )
+    if stats.malformed:
+        where = (
+            f" (quarantined to {stats.quarantined_to})"
+            if stats.quarantined_to
+            else ""
+        )
+        print(
+            f"skipped {stats.malformed:,} malformed record(s) of "
+            f"{stats.total_lines:,}{where}",
+            file=out,
+        )
+    return btm
+
+
 def _cmd_detect(args: argparse.Namespace, out) -> int:
-    btm = btm_from_ndjson(args.input)
+    btm = _load_btm(args, out)
     config = PipelineConfig(
         window=TimeWindow(args.delta1, args.delta2),
         min_triangle_weight=args.cutoff,
@@ -229,7 +284,7 @@ def _cmd_detect(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace, out) -> int:
-    btm = btm_from_ndjson(args.input)
+    btm = _load_btm(args, out)
     config = PipelineConfig(
         window=TimeWindow(args.delta1, args.delta2),
         min_triangle_weight=args.cutoff,
@@ -268,6 +323,22 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
         zip(btm.users.tolist(), btm.pages.tolist(), btm.times.tolist())
     )
     window = TimeWindow(args.delta1, args.delta2)
+
+    if args.chaos:
+        from repro.verify import run_chaos
+
+        chaos_report = run_chaos(
+            comments,
+            window,
+            seed=args.seed,
+            min_triangle_weight=args.cutoff,
+            n_ranks=args.chaos_ranks,
+            backend=args.chaos_backend,
+            barrier_deadline=args.chaos_deadline,
+        )
+        print(chaos_report.describe(), file=out)
+        return 0 if chaos_report.ok else 1
+
     report = run_parity(
         comments,
         window,

@@ -13,6 +13,7 @@ Two formats:
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -23,6 +24,7 @@ from repro.graph.edgelist import EdgeList
 from repro.util.ids import Interner
 
 __all__ = [
+    "IngestStats",
     "write_comments_ndjson",
     "read_comments_ndjson",
     "btm_from_ndjson",
@@ -31,6 +33,36 @@ __all__ = [
     "save_edgelist_npz",
     "load_edgelist_npz",
 ]
+
+
+@dataclass
+class IngestStats:
+    """Accounting for one lenient ndjson read (``errors="skip"``).
+
+    Pass an instance to :func:`read_comments_ndjson` /
+    :func:`btm_from_ndjson`; it is filled in as the file streams.
+
+    Attributes
+    ----------
+    total_lines:
+        Non-blank lines seen.
+    malformed:
+        Lines dropped: unparseable JSON, or (via :func:`btm_from_ndjson`)
+        records missing a required field / carrying a non-integer
+        timestamp.
+    quarantined_to:
+        Path the dropped lines were copied to, when quarantining was
+        requested.
+    """
+
+    total_lines: int = 0
+    malformed: int = 0
+    quarantined_to: str | None = None
+
+    @property
+    def kept(self) -> int:
+        """Lines that survived."""
+        return self.total_lines - self.malformed
 
 
 def write_comments_ndjson(
@@ -46,33 +78,121 @@ def write_comments_ndjson(
     return count
 
 
-def read_comments_ndjson(path: str | Path) -> Iterator[dict]:
-    """Stream comment dicts from an ndjson file (blank lines skipped)."""
-    with open(path, "r", encoding="utf-8") as fh:
-        for line_no, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                yield json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{path}:{line_no}: malformed JSON record"
-                ) from exc
+def read_comments_ndjson(
+    path: str | Path,
+    errors: str = "raise",
+    *,
+    quarantine: str | Path | None = None,
+    stats: IngestStats | None = None,
+) -> Iterator[dict]:
+    """Stream comment dicts from an ndjson file (blank lines skipped).
+
+    Parameters
+    ----------
+    errors:
+        ``"raise"`` (default) aborts on the first unparseable line with a
+        :class:`ValueError` naming it.  ``"skip"`` drops the line, counts
+        it in *stats*, and keeps streaming — one corrupt record in a
+        multi-GB Pushshift dump should cost one record, not the run.
+    quarantine:
+        With ``errors="skip"``, also copy every dropped raw line to this
+        sidecar file (created lazily, truncated per read) so the damage
+        can be inspected or repaired offline.  An already-open writable
+        file object is also accepted (written to, not closed) so callers
+        layering their own rejects can share one sidecar.
+    stats:
+        Optional :class:`IngestStats` filled in while streaming.
+    """
+    if errors not in ("raise", "skip"):
+        raise ValueError(f"errors must be 'raise' or 'skip', got {errors!r}")
+    stats = stats if stats is not None else IngestStats()
+    qfh = quarantine if hasattr(quarantine, "write") else None
+    owns_qfh = False
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                stats.total_lines += 1
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError as exc:
+                    if errors == "raise":
+                        raise ValueError(
+                            f"{path}:{line_no}: malformed JSON record"
+                        ) from exc
+                    stats.malformed += 1
+                    if quarantine is not None:
+                        if qfh is None:
+                            qfh = open(quarantine, "w", encoding="utf-8")
+                            owns_qfh = True
+                        stats.quarantined_to = getattr(
+                            qfh, "name", stats.quarantined_to
+                        )
+                        qfh.write(line)
+                        qfh.write("\n")
+    finally:
+        if qfh is not None and owns_qfh:
+            qfh.close()
 
 
-def btm_from_ndjson(path: str | Path) -> BipartiteTemporalMultigraph:
+def btm_from_ndjson(
+    path: str | Path,
+    errors: str = "raise",
+    *,
+    quarantine: str | Path | None = None,
+    stats: IngestStats | None = None,
+) -> BipartiteTemporalMultigraph:
     """Load a BTM from Pushshift-style ndjson comment records.
 
     Each record needs ``author``, ``link_id`` (the page at the root of the
     comment tree — paper §2.1.1 treats every comment as an interaction with
-    that root page), and ``created_utc``.
+    that root page), and ``created_utc``.  With ``errors="skip"``, records
+    that fail to parse *or* lack a required field / carry a non-integer
+    timestamp are dropped and counted (and optionally quarantined) instead
+    of aborting the load — see :func:`read_comments_ndjson`.
     """
-    triples = (
-        (rec["author"], rec["link_id"], int(rec["created_utc"]))
-        for rec in read_comments_ndjson(path)
-    )
-    return BipartiteTemporalMultigraph.from_comments(triples)
+    # One shared sidecar for both reject kinds (parse-level and
+    # field-level), opened lazily on the first reject of either kind.
+    qfh = None
+
+    def sidecar():
+        nonlocal qfh
+        if qfh is None and quarantine is not None:
+            qfh = open(quarantine, "w", encoding="utf-8")
+            if stats is not None:
+                stats.quarantined_to = str(quarantine)
+        return qfh
+
+    class _LazySidecar:
+        def write(self, text: str) -> None:
+            sidecar().write(text)
+
+    def triples() -> Iterator[tuple]:
+        reader_quarantine = _LazySidecar() if quarantine is not None else None
+        for rec in read_comments_ndjson(
+            path, errors, quarantine=reader_quarantine, stats=stats
+        ):
+            try:
+                yield (rec["author"], rec["link_id"], int(rec["created_utc"]))
+            except (KeyError, TypeError, ValueError) as exc:
+                if errors == "raise":
+                    raise ValueError(
+                        f"{path}: record missing/invalid field: {exc!r}"
+                    ) from exc
+                if stats is not None:
+                    stats.malformed += 1
+                fh = sidecar()
+                if fh is not None:
+                    fh.write(json.dumps(rec, separators=(",", ":")))
+                    fh.write("\n")
+
+    try:
+        return BipartiteTemporalMultigraph.from_comments(triples())
+    finally:
+        if qfh is not None:
+            qfh.close()
 
 
 def save_btm_npz(path: str | Path, btm: BipartiteTemporalMultigraph) -> None:

@@ -16,6 +16,7 @@ every intermediate artifact the paper's figures are drawn from.
 authors out, reproject, repeat.
 """
 
+from repro.pipeline.checkpoint import CheckpointMismatchError, PipelineCheckpoint
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.framework import CoordinationPipeline
 from repro.pipeline.results import PipelineResult, ComponentReport
@@ -25,6 +26,8 @@ from repro.pipeline.sweep import SweepPoint, detection_curve, run_sweep
 __all__ = [
     "PipelineConfig",
     "CoordinationPipeline",
+    "PipelineCheckpoint",
+    "CheckpointMismatchError",
     "PipelineResult",
     "ComponentReport",
     "IterativeRefiner",

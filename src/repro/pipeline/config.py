@@ -38,6 +38,21 @@ class PipelineConfig:
     time_bucket_width:
         When set, Step 1 runs the paper's bucketed projection with this
         sub-window width instead of one direct pass.
+    max_stage_retries:
+        Distributed-run resilience: how many times a stage that failed
+        with a typed runtime error (worker death, barrier timeout,
+        handler error) is retried on a *fresh* backend before the run
+        gives up.  0 (default) fails fast.  Retries require a
+        ``world_factory`` and a checkpoint directory (so a retried stage
+        is the only work at risk) — see
+        :meth:`~repro.pipeline.framework.CoordinationPipeline.run_distributed`.
+    retry_backoff:
+        Base seconds slept before retry attempt *k* (doubling per
+        attempt): ``retry_backoff * 2**k``.
+    barrier_deadline:
+        Optional liveness deadline (seconds) applied to worlds the
+        pipeline constructs itself via ``world_factory`` fallbacks; also a
+        documented hint for callers building their own worlds.
     """
 
     window: TimeWindow = field(default_factory=lambda: TimeWindow(0, 60))
@@ -48,6 +63,9 @@ class PipelineConfig:
     wedge_batch: int = 4_000_000
     compute_hypergraph: bool = True
     time_bucket_width: int | None = None
+    max_stage_retries: int = 0
+    retry_backoff: float = 0.1
+    barrier_deadline: float | None = None
 
     def describe(self) -> str:
         """One-line summary for reports."""

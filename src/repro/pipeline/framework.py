@@ -9,14 +9,28 @@
    components of the pruned graph as candidate networks.
 3. **Validate** — compute ``w_xyz`` and ``C(x, y, z)`` on the hypergraph
    incidence for every surviving triangle.
+
+Both entry points optionally checkpoint the expensive artifacts (CI graph,
+thresholded edges, triangle survey) to a directory after each stage and can
+``resume_from=`` such a directory, re-running only the stages that had not
+completed — so a mid-run worker death costs one stage, not the run.
+:meth:`CoordinationPipeline.run_distributed` additionally supports a
+bounded, backed-off retry policy over the distributed stages: given a
+``world_factory`` and a checkpoint directory, a stage that fails with a
+typed YGM runtime error is re-attempted on a *fresh* backend
+(``config.max_stage_retries`` times) instead of aborting the run.
 """
 
 from __future__ import annotations
+
+import time
+from typing import Callable
 
 from repro.graph.bipartite import BipartiteTemporalMultigraph
 from repro.graph.csr import CSRGraph
 from repro.hypergraph.incidence import UserPageIncidence
 from repro.hypergraph.triplets import evaluate_triplets
+from repro.pipeline.checkpoint import PipelineCheckpoint
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.results import ComponentReport, PipelineResult
 from repro.projection.buckets import project_bucketed
@@ -27,6 +41,7 @@ from repro.tripoll.engine import survey_triangles_distributed
 from repro.tripoll.metrics import t_scores as compute_t_scores
 from repro.tripoll.survey import survey_triangles
 from repro.util.timers import StageTimings
+from repro.ygm.errors import YgmError
 
 __all__ = ["CoordinationPipeline"]
 
@@ -49,76 +64,117 @@ class CoordinationPipeline:
     def __init__(self, config: PipelineConfig | None = None) -> None:
         self.config = config if config is not None else PipelineConfig()
 
-    def run(self, btm: BipartiteTemporalMultigraph) -> PipelineResult:
-        """Execute Steps 1–3 on *btm* and return the full result bundle."""
+    # -- checkpoint plumbing -------------------------------------------------
+    def _open_checkpoint(
+        self, checkpoint_dir: str | None, resume_from: str | None
+    ) -> PipelineCheckpoint | None:
+        """Open (and validate) the checkpoint for this invocation.
+
+        ``resume_from`` loads an existing manifest (raising
+        :class:`~repro.pipeline.checkpoint.CheckpointMismatchError` on a
+        config mismatch) and continues writing into the same directory;
+        ``checkpoint_dir`` starts a fresh manifest (any stale stage flags
+        are cleared).
+        """
+        if resume_from is not None:
+            cp = PipelineCheckpoint(resume_from)
+            cp.resume(self.config)
+            return cp
+        if checkpoint_dir is not None:
+            cp = PipelineCheckpoint(checkpoint_dir)
+            cp.begin(self.config)
+            return cp
+        return None
+
+    def run(
+        self,
+        btm: BipartiteTemporalMultigraph,
+        *,
+        checkpoint_dir: str | None = None,
+        resume_from: str | None = None,
+    ) -> PipelineResult:
+        """Execute Steps 1–3 on *btm* and return the full result bundle.
+
+        Parameters
+        ----------
+        btm:
+            The input bipartite temporal multigraph.
+        checkpoint_dir:
+            When set, persist each expensive stage artifact here as it
+            completes (starting a fresh manifest).
+        resume_from:
+            A directory previously populated by ``checkpoint_dir=``; stages
+            whose artifacts are present are loaded instead of recomputed
+            (and any remaining stages keep checkpointing into it).
+        """
         cfg = self.config
+        cp = self._open_checkpoint(checkpoint_dir, resume_from)
         timings = StageTimings()
+        resumed: list[str] = []
 
         with timings.stage("step0.filter"):
             filtered, filter_report = cfg.author_filter.apply(btm)
 
-        with timings.stage("step1.project"):
-            if cfg.time_bucket_width is not None:
-                proj = project_bucketed(
-                    filtered,
-                    cfg.window,
-                    bucket_width=cfg.time_bucket_width,
-                    pair_batch=cfg.pair_batch,
-                )
-            else:
-                proj = project(filtered, cfg.window, pair_batch=cfg.pair_batch)
-        ci = proj.ci
-        timings.merge(proj.timings)
+        if cp is not None and cp.has("ci"):
+            with timings.stage("step1.project[resumed]"):
+                ci = cp.load_ci()
+            proj_stats = cp.load_stats()
+            resumed.append("step1.project")
+        else:
+            with timings.stage("step1.project"):
+                if cfg.time_bucket_width is not None:
+                    proj = project_bucketed(
+                        filtered,
+                        cfg.window,
+                        bucket_width=cfg.time_bucket_width,
+                        pair_batch=cfg.pair_batch,
+                    )
+                else:
+                    proj = project(filtered, cfg.window, pair_batch=cfg.pair_batch)
+            ci = proj.ci
+            timings.merge(proj.timings)
+            proj_stats = dict(proj.stats)
+            if cp is not None:
+                cp.save_ci(ci)
+                cp.save_stats(proj_stats)
 
-        with timings.stage("step2.threshold"):
-            ci_thr = ci.threshold(cfg.min_triangle_weight)
+        ci_thr = self._threshold_stage(ci, cp, timings, resumed)
 
-        with timings.stage("step2.survey"):
-            # Survey the already-thresholded graph: thresholding once keeps
-            # the surveyed triangles and the reported ``ci_thresholded``
-            # artifact structurally inseparable, and sorted_canonical makes
-            # the output element-for-element comparable with
-            # :meth:`run_distributed` (and any other engine).
-            triangles = survey_triangles(
-                ci_thr.edges,
-                wedge_batch=cfg.wedge_batch,
-            ).sorted_canonical()
-            t_vals = compute_t_scores(triangles, ci.page_counts)
+        if cp is not None and cp.has("triangles"):
+            with timings.stage("step2.survey[resumed]"):
+                triangles, t_vals = cp.load_triangles()
+            resumed.append("step2.survey")
+        else:
+            with timings.stage("step2.survey"):
+                # Survey the already-thresholded graph: thresholding once
+                # keeps the surveyed triangles and the reported
+                # ``ci_thresholded`` artifact structurally inseparable, and
+                # sorted_canonical makes the output element-for-element
+                # comparable with :meth:`run_distributed` (and any other
+                # engine).
+                triangles = survey_triangles(
+                    ci_thr.edges,
+                    wedge_batch=cfg.wedge_batch,
+                ).sorted_canonical()
+                t_vals = compute_t_scores(triangles, ci.page_counts)
+            if cp is not None:
+                cp.save_triangles(triangles, t_vals)
 
-        with timings.stage("step2.components"):
-            components = self._component_reports(ci_thr)
-
-        triplet_metrics = None
-        if cfg.compute_hypergraph:
-            with timings.stage("step3.hypergraph"):
-                inc = UserPageIncidence.from_btm(filtered)
-                triplet_metrics = evaluate_triplets(inc, triangles)
-
-        stats = dict(proj.stats)
-        stats.update(
-            {
-                "triangles": triangles.n_triangles,
-                "thresholded_edges": ci_thr.n_edges,
-                "components": len(components),
-            }
-        )
-        return PipelineResult(
-            config=cfg,
-            filter_report=filter_report,
-            ci=ci,
-            ci_thresholded=ci_thr,
-            triangles=triangles,
-            t_scores=t_vals,
-            triplet_metrics=triplet_metrics,
-            components=components,
-            stats=stats,
-            timings=timings,
+        return self._finish(
+            cfg, filter_report, ci, ci_thr, triangles, t_vals,
+            filtered, proj_stats, timings, resumed, stage_retries=0,
         )
 
     def run_distributed(
-        self, btm: BipartiteTemporalMultigraph, world
+        self,
+        btm: BipartiteTemporalMultigraph,
+        world=None,
+        *,
+        world_factory: Callable[[int], object] | None = None,
+        checkpoint_dir: str | None = None,
+        resume_from: str | None = None,
     ) -> PipelineResult:
-        """Execute all three steps on the YGM runtime of *world*.
+        """Execute all three steps on the YGM runtime.
 
         Step 1 scatters pages across ranks
         (:func:`~repro.projection.distributed.project_distributed`); Step 2
@@ -131,41 +187,166 @@ class CoordinationPipeline:
         compute nodes" (§2.4).  Results equal :meth:`run` exactly
         (asserted in tests on both backends); bucketed projection is a
         single-process memory workaround and is ignored here.
+
+        Parameters
+        ----------
+        world:
+            A caller-owned :class:`~repro.ygm.YgmWorld` (the caller shuts
+            it down).  Mutually exclusive with ``world_factory``.
+        world_factory:
+            ``factory(attempt) -> YgmWorld`` — called with ``0`` for the
+            initial world and ``k`` for the *k*-th retry.  Worlds it
+            produces are owned (and shut down) by the pipeline.  Required
+            for the retry policy: with ``config.max_stage_retries > 0``
+            *and* a checkpoint directory, a distributed stage failing with
+            a typed YGM error (:class:`~repro.ygm.errors.WorkerDiedError`,
+            :class:`~repro.ygm.errors.BarrierTimeoutError`,
+            :class:`~repro.ygm.errors.HandlerError`) is re-attempted on a
+            fresh backend after ``retry_backoff * 2**k`` seconds.
+        checkpoint_dir / resume_from:
+            As in :meth:`run`.
         """
         cfg = self.config
+        if (world is None) == (world_factory is None):
+            raise ValueError(
+                "pass exactly one of `world` or `world_factory`"
+            )
+        cp = self._open_checkpoint(checkpoint_dir, resume_from)
         timings = StageTimings()
+        resumed: list[str] = []
+        owns_world = world_factory is not None
+        current = world if world is not None else world_factory(0)
+        retry_allowed = (
+            owns_world and cp is not None and cfg.max_stage_retries > 0
+        )
+        retries_used = 0
 
-        with timings.stage("step0.filter"):
-            filtered, filter_report = cfg.author_filter.apply(btm)
+        def attempt(stage: str, fn):
+            """Run ``fn(world)``, retrying on typed YGM failures."""
+            nonlocal current, retries_used
+            n_attempts = cfg.max_stage_retries + 1 if retry_allowed else 1
+            for k in range(n_attempts):
+                try:
+                    return fn(current)
+                except YgmError:
+                    if k + 1 >= n_attempts:
+                        raise
+                    # The failed world may hold dead workers or undrained
+                    # queues: tear it down (best effort, bounded) and back
+                    # off before the fresh attempt.
+                    _safe_shutdown(current)
+                    retries_used += 1
+                    time.sleep(cfg.retry_backoff * (2**k))
+                    current = world_factory(k + 1)
 
-        with timings.stage("step1.project[distributed]"):
-            proj = project_distributed(filtered, cfg.window, world)
-        ci = proj.ci
+        try:
+            with timings.stage("step0.filter"):
+                filtered, filter_report = cfg.author_filter.apply(btm)
 
+            if cp is not None and cp.has("ci"):
+                with timings.stage("step1.project[resumed]"):
+                    ci = cp.load_ci()
+                proj_stats = cp.load_stats()
+                resumed.append("step1.project")
+            else:
+                with timings.stage("step1.project[distributed]"):
+                    proj = attempt(
+                        "step1.project",
+                        lambda w: project_distributed(filtered, cfg.window, w),
+                    )
+                ci = proj.ci
+                proj_stats = dict(proj.stats)
+                if cp is not None:
+                    cp.save_ci(ci)
+                    cp.save_stats(proj_stats)
+
+            ci_thr = self._threshold_stage(ci, cp, timings, resumed)
+
+            if cp is not None and cp.has("triangles"):
+                with timings.stage("step2.survey[resumed]"):
+                    triangles, t_vals = cp.load_triangles()
+                resumed.append("step2.survey")
+            else:
+                with timings.stage("step2.survey[distributed]"):
+                    triangles = attempt(
+                        "step2.survey",
+                        lambda w: survey_triangles_distributed(
+                            ci_thr.edges, w
+                        ).sorted_canonical(),
+                    )
+                    t_vals = compute_t_scores(triangles, ci.page_counts)
+                if cp is not None:
+                    cp.save_triangles(triangles, t_vals)
+
+            return self._finish(
+                cfg, filter_report, ci, ci_thr, triangles, t_vals,
+                filtered, proj_stats, timings, resumed,
+                stage_retries=retries_used,
+                distributed_world=current,
+                attempt=attempt,
+            )
+        finally:
+            if owns_world:
+                _safe_shutdown(current)
+
+    # -- shared tail: components, hypergraph, result assembly ----------------
+    def _threshold_stage(
+        self,
+        ci: CommonInteractionGraph,
+        cp: PipelineCheckpoint | None,
+        timings: StageTimings,
+        resumed: list[str],
+    ) -> CommonInteractionGraph:
+        if cp is not None and cp.has("ci_thr"):
+            with timings.stage("step2.threshold[resumed]"):
+                ci_thr = cp.load_thresholded(ci)
+            resumed.append("step2.threshold")
+            return ci_thr
         with timings.stage("step2.threshold"):
-            ci_thr = ci.threshold(cfg.min_triangle_weight)
+            ci_thr = ci.threshold(self.config.min_triangle_weight)
+        if cp is not None:
+            cp.save_thresholded(ci_thr)
+        return ci_thr
 
-        with timings.stage("step2.survey[distributed]"):
-            triangles = survey_triangles_distributed(
-                ci_thr.edges, world
-            ).sorted_canonical()
-            t_vals = compute_t_scores(triangles, ci.page_counts)
-
+    def _finish(
+        self,
+        cfg: PipelineConfig,
+        filter_report,
+        ci: CommonInteractionGraph,
+        ci_thr: CommonInteractionGraph,
+        triangles,
+        t_vals,
+        filtered: BipartiteTemporalMultigraph,
+        proj_stats: dict,
+        timings: StageTimings,
+        resumed: list[str],
+        stage_retries: int,
+        distributed_world=None,
+        attempt=None,
+    ) -> PipelineResult:
         with timings.stage("step2.components"):
             components = self._component_reports(ci_thr)
 
         triplet_metrics = None
         if cfg.compute_hypergraph:
-            with timings.stage("step3.hypergraph[distributed]"):
-                from repro.hypergraph.distributed import (
-                    evaluate_triplets_distributed,
-                )
+            if distributed_world is not None:
+                with timings.stage("step3.hypergraph[distributed]"):
+                    from repro.hypergraph.distributed import (
+                        evaluate_triplets_distributed,
+                    )
 
-                triplet_metrics = evaluate_triplets_distributed(
-                    filtered, triangles, world
-                )
+                    triplet_metrics = attempt(
+                        "step3.hypergraph",
+                        lambda w: evaluate_triplets_distributed(
+                            filtered, triangles, w
+                        ),
+                    )
+            else:
+                with timings.stage("step3.hypergraph"):
+                    inc = UserPageIncidence.from_btm(filtered)
+                    triplet_metrics = evaluate_triplets(inc, triangles)
 
-        stats = dict(proj.stats)
+        stats = dict(proj_stats)
         stats.update(
             {
                 "triangles": triangles.n_triangles,
@@ -173,6 +354,8 @@ class CoordinationPipeline:
                 "components": len(components),
             }
         )
+        if stage_retries:
+            stats["stage_retries"] = stage_retries
         return PipelineResult(
             config=cfg,
             filter_report=filter_report,
@@ -184,6 +367,8 @@ class CoordinationPipeline:
             components=components,
             stats=stats,
             timings=timings,
+            resumed_stages=tuple(resumed),
+            stage_retries=stage_retries,
         )
 
     # -- component analysis -------------------------------------------------------
@@ -218,6 +403,14 @@ class CoordinationPipeline:
             density=density,
             max_clique_lower_bound=_greedy_clique(csr, members),
         )
+
+
+def _safe_shutdown(world) -> None:
+    """Shut a (possibly already failed) world down without raising."""
+    try:
+        world.shutdown()
+    except Exception:  # pragma: no cover - shutdown is already best-effort
+        pass
 
 
 def _greedy_clique(csr: CSRGraph, members: list[int]) -> int:

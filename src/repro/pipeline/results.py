@@ -78,6 +78,12 @@ class PipelineResult:
         Candidate networks (components of the thresholded CI graph).
     timings:
         Wall-clock per stage.
+    resumed_stages:
+        Stage artifacts loaded from a checkpoint instead of recomputed
+        (empty for an uninterrupted run).
+    stage_retries:
+        Distributed stage attempts that failed and were retried on a
+        fresh backend (0 for a clean run).
     """
 
     config: PipelineConfig
@@ -90,6 +96,8 @@ class PipelineResult:
     components: list[ComponentReport]
     stats: dict[str, int] = field(default_factory=dict)
     timings: StageTimings = field(default_factory=StageTimings)
+    resumed_stages: tuple[str, ...] = ()
+    stage_retries: int = 0
 
     # -- conveniences -----------------------------------------------------------
     @property
@@ -114,6 +122,12 @@ class PipelineResult:
             f"{'…' if len(self.components) > 8 else ''})",
             f"  triangles: {self.n_triangles}",
         ]
+        if self.resumed_stages:
+            lines.append(
+                f"  resumed from checkpoint: {', '.join(self.resumed_stages)}"
+            )
+        if self.stage_retries:
+            lines.append(f"  stage retries: {self.stage_retries}")
         if self.triplet_metrics is not None and self.n_triangles:
             lines.append(
                 "  hypergraph: w_xyz in "

@@ -9,11 +9,17 @@ distributed).  This package makes that guarantee executable:
   any divergence to a minimal counterexample;
 - :mod:`repro.verify.invariants` — the paper's checkable properties
   (score bounds, ``min(w') <= min(P')``, symmetric dedup, window
-  monotonicity) as reusable assertions.
+  monotonicity) as reusable assertions;
+- :mod:`repro.verify.chaos` — fault-injected parity: a seeded
+  :class:`~repro.ygm.faults.FaultPlan` is unleashed on a distributed run,
+  which must fail typed (or complete), then resume from its checkpoint to
+  results identical to the serial oracle.
 
-Both are callable from tests and from the ``repro-botnets verify`` CLI
-subcommand.
+All are callable from tests and from the ``repro-botnets verify`` CLI
+subcommand (``--chaos`` for the fault-injected mode).
 """
+
+from repro.verify.chaos import ChaosReport, diff_results, run_chaos
 
 from repro.verify.invariants import (
     InvariantViolation,
@@ -33,6 +39,9 @@ from repro.verify.parity import (
 )
 
 __all__ = [
+    "ChaosReport",
+    "diff_results",
+    "run_chaos",
     "InvariantViolation",
     "check_edge_canonical_form",
     "check_edge_weight_bounds",

@@ -1,0 +1,194 @@
+"""Chaos parity: inject a fault into a distributed run, demand typed
+failure, then demand exact recovery.
+
+The contract under test is the whole fault-tolerance story end to end:
+
+1. a pipeline run on a fault-injected YGM world must either **complete**
+   (the fault never fired, or was a benign delay) or **fail typed** — one
+   of the :mod:`repro.ygm.errors` classes, never a hang and never a bare
+   exception;
+2. re-invoking the same run with ``resume_from=`` on a *clean* world must
+   then produce results **element-for-element identical** to an
+   uninterrupted serial-oracle run — checkpointed stages must not leak any
+   trace of the failed attempt.
+
+``run_chaos`` executes that script for one seeded
+:class:`~repro.ygm.faults.FaultPlan` and reports what happened; the
+``repro-botnets verify --chaos --seed N`` CLI mode and the failure-matrix
+tests drive it.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteTemporalMultigraph
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.framework import CoordinationPipeline
+from repro.pipeline.results import PipelineResult
+from repro.projection.window import TimeWindow
+from repro.ygm.errors import YgmError
+from repro.ygm.faults import FaultPlan
+from repro.ygm.world import YgmWorld
+
+__all__ = ["ChaosReport", "run_chaos", "diff_results"]
+
+_DIFF_LIMIT = 4
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one fault-injected parity run."""
+
+    seed: int
+    plan: str
+    backend: str
+    n_ranks: int
+    #: ``"completed"`` (fault never bit), ``"failed-typed"`` (a
+    #: :class:`~repro.ygm.errors.YgmError` subclass), or
+    #: ``"failed-untyped"`` (contract violation).
+    first_attempt: str = "completed"
+    error: str | None = None
+    resumed: bool = False
+    divergences: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Typed-or-clean failure AND exact post-recovery parity."""
+        return self.first_attempt != "failed-untyped" and not self.divergences
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"chaos run: seed {self.seed}, plan [{self.plan}], "
+            f"{self.n_ranks} ranks ({self.backend} backend)",
+            f"  first attempt: {self.first_attempt}"
+            + (f" — {self.error}" if self.error else ""),
+        ]
+        if self.resumed:
+            lines.append("  resumed from checkpoint on a clean world")
+        if self.ok:
+            lines.append("  CHAOS PARITY OK — recovery matches the serial oracle exactly")
+        else:
+            lines.append(
+                f"  CHAOS PARITY FAILED — {len(self.divergences)} divergence(s):"
+            )
+            lines += [f"    - {d}" for d in self.divergences]
+        return "\n".join(lines)
+
+
+def diff_results(ref: PipelineResult, got: PipelineResult) -> list[str]:
+    """Element-for-element diff of two pipeline results (empty = equal)."""
+    msgs: list[str] = []
+    if ref.ci.edges.to_dict() != got.ci.edges.to_dict():
+        msgs.append("CI edge lists differ")
+    if not np.array_equal(ref.ci.page_counts, got.ci.page_counts):
+        msgs.append("P' ledgers differ")
+    if ref.triangles.n_triangles != got.triangles.n_triangles:
+        msgs.append(
+            f"triangle counts differ: {got.triangles.n_triangles} != "
+            f"{ref.triangles.n_triangles}"
+        )
+    else:
+        for fld in ("a", "b", "c", "w_ab", "w_ac", "w_bc"):
+            rv, gv = getattr(ref.triangles, fld), getattr(got.triangles, fld)
+            if not np.array_equal(rv, gv):
+                msgs.append(f"triangle field {fld} differs")
+        if not np.allclose(ref.t_scores, got.t_scores):
+            msgs.append("T scores differ")
+    if [c.members for c in ref.components] != [c.members for c in got.components]:
+        msgs.append("component memberships differ")
+    if (ref.triplet_metrics is None) != (got.triplet_metrics is None):
+        msgs.append("hypergraph metrics present in only one result")
+    elif ref.triplet_metrics is not None:
+        if not np.array_equal(
+            ref.triplet_metrics.w_xyz, got.triplet_metrics.w_xyz
+        ) or not np.allclose(
+            ref.triplet_metrics.c_scores, got.triplet_metrics.c_scores
+        ):
+            msgs.append("hypergraph metrics differ")
+    return msgs[:_DIFF_LIMIT]
+
+
+def run_chaos(
+    comments: Sequence[tuple],
+    window: TimeWindow,
+    *,
+    seed: int = 0,
+    min_triangle_weight: int = 5,
+    n_ranks: int = 2,
+    backend: str = "mp",
+    barrier_deadline: float = 30.0,
+    checkpoint_dir: str | None = None,
+    fault_plan: FaultPlan | None = None,
+) -> ChaosReport:
+    """One seeded chaos scenario over *comments* (see module docstring).
+
+    Parameters
+    ----------
+    comments:
+        ``(author, page, created_utc)`` triples.
+    seed:
+        Drives :meth:`FaultPlan.seeded` (ignored when *fault_plan* is
+        given explicitly).
+    backend:
+        ``"mp"`` injects into real worker processes; ``"serial"`` uses the
+        deterministic simulated faults (fast enough for CI loops).
+    barrier_deadline:
+        Liveness deadline armed on the faulted world, so even a hang fault
+        resolves typed instead of stalling the harness.
+    checkpoint_dir:
+        Where stage artifacts land (a temp dir by default).
+    """
+    plan = (
+        fault_plan
+        if fault_plan is not None
+        else FaultPlan.seeded(seed, n_ranks)
+    )
+    btm = BipartiteTemporalMultigraph.from_comments(list(comments))
+    cfg = PipelineConfig(
+        window=window, min_triangle_weight=min_triangle_weight
+    )
+    pipe = CoordinationPipeline(cfg)
+    oracle = pipe.run(btm)
+
+    report = ChaosReport(
+        seed=seed, plan=plan.describe(), backend=backend, n_ranks=n_ranks
+    )
+    cp_dir = checkpoint_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+
+    faulted = YgmWorld(
+        n_ranks,
+        backend=backend,
+        fault_plan=plan,
+        barrier_deadline=barrier_deadline,
+        exec_deadline=barrier_deadline,
+    )
+    first: PipelineResult | None = None
+    try:
+        first = pipe.run_distributed(btm, faulted, checkpoint_dir=cp_dir)
+    except YgmError as exc:
+        report.first_attempt = "failed-typed"
+        report.error = f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # contract violation: untyped escape
+        report.first_attempt = "failed-untyped"
+        report.error = f"{type(exc).__name__}: {exc}"
+        return report
+    finally:
+        faulted.shutdown()
+
+    if first is None:
+        # Recovery: clean world, resume from whatever stages completed.
+        with YgmWorld(
+            n_ranks, backend=backend, barrier_deadline=barrier_deadline
+        ) as clean:
+            recovered = pipe.run_distributed(btm, clean, resume_from=cp_dir)
+        report.resumed = True
+        report.divergences = diff_results(oracle, recovered)
+    else:
+        report.divergences = diff_results(oracle, first)
+    return report

@@ -32,6 +32,14 @@ visit-until-quiescent semantics — not wall-clock speedup (see DESIGN.md §2).
 
 from repro.ygm.world import YgmWorld, ygm_world
 from repro.ygm.handlers import ygm_handler, resolve_handler
+from repro.ygm.errors import (
+    BarrierTimeoutError,
+    ExecTimeoutError,
+    HandlerError,
+    WorkerDiedError,
+    YgmError,
+)
+from repro.ygm.faults import FaultPlan, FaultSpec, InjectedFault
 from repro.ygm import reductions  # noqa: F401 — registers the named ygm.op.* handlers
 from repro.ygm.partition import HashPartitioner, BlockPartitioner
 from repro.ygm.buffer import SendBuffer
@@ -49,6 +57,14 @@ __all__ = [
     "ygm_world",
     "ygm_handler",
     "resolve_handler",
+    "YgmError",
+    "HandlerError",
+    "WorkerDiedError",
+    "BarrierTimeoutError",
+    "ExecTimeoutError",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "HashPartitioner",
     "BlockPartitioner",
     "SendBuffer",

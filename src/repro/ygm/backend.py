@@ -108,9 +108,16 @@ class Backend:
 
 
 class SerialBackend(Backend):
-    """Deterministic single-process backend with round-robin mailboxes."""
+    """Deterministic single-process backend with round-robin mailboxes.
 
-    def __init__(self, n_ranks: int) -> None:
+    Accepts a :class:`~repro.ygm.faults.FaultPlan` like the multiprocessing
+    backend does; kinds that have no single-process equivalent (``crash``,
+    ``hang``) are simulated by raising the same typed error the driver
+    would see from a real worker, so pipeline retry/resume policy can be
+    exercised deterministically without forking.
+    """
+
+    def __init__(self, n_ranks: int, *, fault_plan=None) -> None:
         if n_ranks <= 0:
             raise ValueError(f"n_ranks must be positive, got {n_ranks}")
         self.n_ranks = int(n_ranks)
@@ -121,6 +128,13 @@ class SerialBackend(Backend):
         # Per-handler delivery counts: the communication profile of a run
         # (which algorithms send what), keyed by registered handler name.
         self._handler_counts: dict[str, int] = {}
+        self._injectors = None
+        if fault_plan is not None and fault_plan:
+            from repro.ygm.faults import FaultInjector
+
+            self._injectors = [
+                FaultInjector(fault_plan, rank) for rank in range(self.n_ranks)
+            ]
 
     # -- container state ----------------------------------------------------
     def create_state(self, container_id: str, factory_ref: Any, args: tuple = ()) -> None:
@@ -157,6 +171,8 @@ class SerialBackend(Backend):
                 return
 
     def _dispatch(self, rank: int, container_id: str, handler_ref: Any, payload: Any) -> None:
+        if self._injectors is not None:
+            self._apply_fault(rank)
         try:
             states_view = {
                 cid: per_rank[rank] for cid, per_rank in self._states.items()
@@ -171,6 +187,40 @@ class SerialBackend(Backend):
             handler_ref, "__ygm_name__", repr(handler_ref)
         )
         self._handler_counts[key] = self._handler_counts.get(key, 0) + 1
+
+    def _apply_fault(self, rank: int) -> None:
+        """Manifest the fault due at this rank's next message, if any.
+
+        ``delay`` sleeps for real (plans are tiny); ``raise`` surfaces as
+        the same :class:`HandlerError` the multiprocessing backend's error
+        queue would report; ``crash``/``hang`` raise the typed error a
+        real dead/stalled worker would produce on the driver.
+        """
+        import time
+
+        from repro.ygm.errors import (
+            BarrierTimeoutError,
+            HandlerError,
+            WorkerDiedError,
+        )
+
+        fault = self._injectors[rank].next_fault()
+        if fault is None:
+            return
+        if fault.kind == "delay":
+            time.sleep(fault.seconds)
+        elif fault.kind == "raise":
+            raise HandlerError(
+                rank, f"InjectedFault: injected fault: {fault.describe()}", 1
+            )
+        elif fault.kind == "crash":
+            raise WorkerDiedError(
+                rank, -9, sum(len(b) for b in self._mailboxes) + 1, "barrier"
+            )
+        elif fault.kind == "hang":
+            raise BarrierTimeoutError(
+                0.0, sum(len(b) for b in self._mailboxes) + 1, "barrier"
+            )
 
     # -- synchronous execution ----------------------------------------------
     def run_on_rank(self, rank: int, fn_ref: Any, payload: Any = None) -> Any:

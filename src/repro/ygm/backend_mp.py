@@ -12,6 +12,18 @@ already incremented the counter).  The counter therefore reaches zero only
 when no message is queued or executing — the classic credit-based
 termination-detection argument.
 
+Failure is a first-class behaviour, not an accident: every blocking wait in
+the driver (quiescence poll, exec-result wait, error drain) doubles as a
+liveness check, so a worker killed mid-message raises a typed
+:class:`~repro.ygm.errors.WorkerDiedError` instead of spinning forever on a
+counter no survivor will ever decrement.  Optional deadlines bound the
+barrier and exec waits (:class:`~repro.ygm.errors.BarrierTimeoutError` /
+:class:`~repro.ygm.errors.ExecTimeoutError`), and :meth:`shutdown`
+escalates join → terminate → kill concurrently across ranks with queue
+teardown, so even a wedged world is torn down in bounded time without
+leaking children.  A :class:`~repro.ygm.faults.FaultPlan` can be injected
+at construction to rehearse all of the above deterministically.
+
 Constraints inherited from pickling (the same constraints mpi4py imposes on
 object communication): handler references must be registered names or
 module-level functions, and payloads must be picklable.  Every handler in
@@ -22,10 +34,21 @@ on this backend; the cross-backend equivalence tests exercise exactly that.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import queue as queue_mod
+import signal
 import time
 from typing import Any
 
 from repro.ygm.backend import Backend, HandlerContext
+from repro.ygm.errors import (
+    BarrierTimeoutError,
+    ExecTimeoutError,
+    HandlerError,
+    WorkerDiedError,
+    YgmError,
+)
+from repro.ygm.faults import HANG_SECONDS, FaultInjector, FaultPlan, InjectedFault
 from repro.ygm.handlers import handler_ref as _wire, resolve_handler
 
 __all__ = ["MultiprocessingBackend"]
@@ -37,6 +60,22 @@ _MSG = "msg"
 _EXEC = "exec"
 
 
+def _apply_fault(fault) -> None:
+    """Manifest a fault spec inside a worker (see :mod:`repro.ygm.faults`)."""
+    if fault.kind == "crash":
+        # Die the way an OOM kill does: no cleanup, no decrement, no
+        # goodbye.  The driver's liveness check must pick up the pieces.
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif fault.kind == "hang":
+        # Stall *inside* the message: outstanding stays incremented, so
+        # only a barrier deadline (or shutdown escalation) resolves this.
+        time.sleep(HANG_SECONDS)
+    elif fault.kind == "delay":
+        time.sleep(fault.seconds)
+    elif fault.kind == "raise":
+        raise InjectedFault(f"injected fault: {fault.describe()}")
+
+
 def _worker_main(
     rank: int,
     n_ranks: int,
@@ -45,6 +84,7 @@ def _worker_main(
     result_queue,
     error_queue,
     error_count,
+    fault_plan,
 ) -> None:
     """Worker process entry point: drain this rank's queue until STOP.
 
@@ -53,6 +93,9 @@ def _worker_main(
     failing message cannot silently wedge or tear down the world.
     """
     states: dict[str, Any] = {}
+    injector = (
+        FaultInjector(fault_plan, rank) if fault_plan is not None else None
+    )
 
     def nested_send(target_rank: int, container_id: str, href: Any, payload: Any) -> None:
         with outstanding.get_lock():
@@ -75,10 +118,13 @@ def _worker_main(
             elif kind == _MSG:
                 _, container_id, href, payload = item
                 try:
+                    fault = injector.next_fault() if injector else None
+                    if fault is not None:
+                        _apply_fault(fault)
                     resolve_handler(href)(ctx, states[container_id], payload)
                 except Exception as exc:
                     # Count first, then enqueue: the driver reads the
-                    # counter and *blocks* on the queue for exactly that
+                    # counter and waits on the queue for exactly that
                     # many reports, so no error can be missed to queue
                     # visibility lag.
                     with error_count.get_lock():
@@ -98,15 +144,52 @@ def _worker_main(
 
 
 class MultiprocessingBackend(Backend):
-    """Process-parallel backend (see module docstring)."""
+    """Process-parallel backend (see module docstring).
+
+    Parameters
+    ----------
+    n_ranks:
+        Worker process count.
+    start_method:
+        ``multiprocessing`` start method (default ``"fork"``).
+    barrier_deadline:
+        Seconds a single :meth:`run_until_quiescent` may block before
+        raising :class:`BarrierTimeoutError`.  ``None`` (default) waits
+        forever — dead workers are still detected via liveness polling;
+        the deadline exists to catch *hangs*, where everyone is alive but
+        nobody finishes.
+    exec_deadline:
+        Same, for the :meth:`run_on_rank`/:meth:`run_on_all` result wait
+        (:class:`ExecTimeoutError`).
+    join_deadline:
+        Seconds :meth:`shutdown` grants all workers *collectively* to exit
+        on their own before escalating to terminate, then kill.
+    fault_plan:
+        Optional :class:`~repro.ygm.faults.FaultPlan` shipped to every
+        worker for deterministic failure rehearsal.
+    """
 
     #: Seconds between quiescence polls; short because barriers are frequent.
     _POLL = 0.0005
+    #: Seconds between liveness re-checks while blocked on a queue.
+    _QUEUE_POLL = 0.05
 
-    def __init__(self, n_ranks: int, start_method: str = "fork") -> None:
+    def __init__(
+        self,
+        n_ranks: int,
+        start_method: str = "fork",
+        *,
+        barrier_deadline: float | None = None,
+        exec_deadline: float | None = None,
+        join_deadline: float = 5.0,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         if n_ranks <= 0:
             raise ValueError(f"n_ranks must be positive, got {n_ranks}")
         self.n_ranks = int(n_ranks)
+        self.barrier_deadline = barrier_deadline
+        self.exec_deadline = exec_deadline
+        self.join_deadline = float(join_deadline)
         self._ctx = mp.get_context(start_method)
         self._queues = [self._ctx.Queue() for _ in range(self.n_ranks)]
         self._outstanding = self._ctx.Value("q", 0)
@@ -126,6 +209,7 @@ class MultiprocessingBackend(Backend):
                     self._result_queue,
                     self._error_queue,
                     self._error_count,
+                    fault_plan if fault_plan else None,
                 ),
                 daemon=True,
             )
@@ -164,13 +248,26 @@ class MultiprocessingBackend(Backend):
     def run_until_quiescent(self) -> None:
         # Credit-based quiescence: zero outstanding ⇒ nothing queued or
         # executing anywhere (see module docstring for the argument).
+        deadline = (
+            time.monotonic() + self.barrier_deadline
+            if self.barrier_deadline is not None
+            else None
+        )
         while True:
             with self._outstanding.get_lock():
                 if self._outstanding.value == 0:
                     self._raise_pending_errors()
                     return
-            self._check_workers()
+            self._check_workers(phase="barrier")
+            if deadline is not None and time.monotonic() > deadline:
+                raise BarrierTimeoutError(
+                    self.barrier_deadline, self._in_flight(), phase="barrier"
+                )
             time.sleep(self._POLL)
+
+    def _in_flight(self) -> int:
+        with self._outstanding.get_lock():
+            return int(self._outstanding.value)
 
     def _raise_pending_errors(self) -> None:
         """Surface handler exceptions reported by workers."""
@@ -180,19 +277,28 @@ class MultiprocessingBackend(Backend):
         if n_errors == 0:
             return
         # The counter was incremented before each enqueue, so exactly
-        # n_errors reports are (or will be) in the queue — block for them.
-        errors = [self._error_queue.get() for _ in range(n_errors)]
+        # n_errors reports are (or will be) in the queue — wait for them,
+        # but keep checking liveness: a rank that died after counting but
+        # before enqueueing would otherwise wedge this drain forever.
+        errors = []
+        while len(errors) < n_errors:
+            try:
+                errors.append(self._error_queue.get(timeout=self._QUEUE_POLL))
+            except queue_mod.Empty:
+                self._check_liveness(phase="error-drain")
         rank, detail = errors[0]
-        more = f" (+{len(errors) - 1} more)" if len(errors) > 1 else ""
-        raise RuntimeError(f"handler failed on rank {rank}: {detail}{more}")
+        raise HandlerError(rank, detail, n_errors=len(errors))
 
-    def _check_workers(self) -> None:
-        self._raise_pending_errors()
+    def _check_liveness(self, phase: str) -> None:
         for rank, w in enumerate(self._workers):
             if not w.is_alive():
-                raise RuntimeError(
-                    f"ygm worker rank {rank} died (exitcode {w.exitcode})"
+                raise WorkerDiedError(
+                    rank, w.exitcode, self._in_flight(), phase
                 )
+
+    def _check_workers(self, phase: str = "barrier") -> None:
+        self._raise_pending_errors()
+        self._check_liveness(phase)
 
     # -- synchronous execution ----------------------------------------------
     def run_on_rank(self, rank: int, fn_ref: Any, payload: Any = None) -> Any:
@@ -209,12 +315,26 @@ class MultiprocessingBackend(Backend):
             if not 0 <= rank < self.n_ranks:
                 raise IndexError(f"rank {rank} out of range (size {self.n_ranks})")
             self._enqueue(rank, (_EXEC, _wire(fn_ref), payload))
+        deadline = (
+            time.monotonic() + self.exec_deadline
+            if self.exec_deadline is not None
+            else None
+        )
         results: dict[int, Any] = {}
         while len(results) < len(ranks):
-            self._check_workers()
-            rank, ok, value = self._result_queue.get()
+            self._check_workers(phase="exec")
+            if deadline is not None and time.monotonic() > deadline:
+                raise ExecTimeoutError(
+                    self.exec_deadline, len(ranks) - len(results)
+                )
+            try:
+                rank, ok, value = self._result_queue.get(
+                    timeout=self._QUEUE_POLL
+                )
+            except queue_mod.Empty:
+                continue
             if not ok:
-                raise RuntimeError(f"exec failed on rank {rank}: {value}")
+                raise YgmError(f"exec failed on rank {rank}: {value}")
             results[rank] = value
         return results
 
@@ -223,15 +343,57 @@ class MultiprocessingBackend(Backend):
         return self._sent
 
     def shutdown(self) -> None:
+        """Tear the world down in bounded time, never raising, never leaking.
+
+        Escalation ladder, applied to all ranks *concurrently* (a crashed
+        run must not pay ``join_deadline`` once per rank):
+
+        1. post STOP to every queue (best effort — a full or broken queue
+           is skipped, terminate will handle its owner);
+        2. poll-join all workers under one shared ``join_deadline``;
+        3. ``terminate()`` (SIGTERM) survivors, grant a short grace;
+        4. ``kill()`` (SIGKILL) anything *still* alive — a handler stuck
+           in native code ignores SIGTERM;
+        5. close all queues and cancel their feeder joins so the driver
+           process can exit even with undelivered buffered data.
+        """
         if not self._alive:
             return
         self._alive = False
-        for rank in range(self.n_ranks):
-            self._queues[rank].put((_STOP,))
+        for q in self._queues:
+            try:
+                q.put_nowait((_STOP,))
+            except Exception:  # full/broken queue: escalation handles it
+                pass
+        self._join_all(self.join_deadline)
         for w in self._workers:
-            w.join(timeout=5)
-            if w.is_alive():  # pragma: no cover - defensive
+            if w.is_alive():
                 w.terminate()
+        self._join_all(1.0)
+        for w in self._workers:
+            if w.is_alive():  # pragma: no cover - needs SIGTERM-immune worker
+                try:
+                    w.kill()
+                except Exception:
+                    pass
+        self._join_all(1.0)
+        for q in [*self._queues, self._result_queue, self._error_queue]:
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    def _join_all(self, deadline: float) -> None:
+        """Wait up to *deadline* seconds total for every worker to exit."""
+        limit = time.monotonic() + deadline
+        while any(w.is_alive() for w in self._workers):
+            if time.monotonic() > limit:
+                return
+            time.sleep(0.01)
+        # Reap exit statuses now that everyone is down.
+        for w in self._workers:
+            w.join(timeout=0)
 
     def __del__(self) -> None:  # pragma: no cover - best effort cleanup
         try:

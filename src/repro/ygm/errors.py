@@ -1,0 +1,95 @@
+"""Typed failure taxonomy of the YGM runtime.
+
+Every way a distributed run can die maps to exactly one exception class, so
+drivers can write policy (retry, resume, abort) against *types* instead of
+string-matching messages (see ``docs/fault_model.md`` for the full matrix):
+
+- :class:`HandlerError` — a message handler raised; the fabric survived and
+  the error is reported at the next barrier.  Retryable at stage level.
+- :class:`WorkerDiedError` — a worker process exited (crash, OOM kill,
+  SIGKILL) while messages were in flight.  The backend is dead; retry needs
+  a *fresh* backend.
+- :class:`BarrierTimeoutError` — a quiescence wait exceeded its deadline
+  with all workers still alive (livelock, hung handler, starved queue).
+- :class:`ExecTimeoutError` — the synchronous-execution variant of the
+  above (``run_on_rank`` / ``run_on_all`` result wait).
+
+All classes subclass :class:`YgmError` (itself a ``RuntimeError``, so
+pre-existing ``except RuntimeError`` call sites keep working unchanged).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "YgmError",
+    "HandlerError",
+    "WorkerDiedError",
+    "BarrierTimeoutError",
+    "ExecTimeoutError",
+]
+
+
+class YgmError(RuntimeError):
+    """Base class for every failure the YGM runtime reports."""
+
+
+class HandlerError(YgmError):
+    """A message handler raised; the world itself is still serviceable."""
+
+    def __init__(self, rank: int, detail: str, n_errors: int = 1) -> None:
+        self.rank = int(rank)
+        self.detail = detail
+        self.n_errors = int(n_errors)
+        more = f" (+{n_errors - 1} more)" if n_errors > 1 else ""
+        super().__init__(f"handler failed on rank {rank}: {detail}{more}")
+
+
+class WorkerDiedError(YgmError):
+    """A worker process died with messages (possibly) still in flight.
+
+    Attributes
+    ----------
+    rank:
+        The first dead rank detected.
+    exitcode:
+        Its ``Process.exitcode`` (negative = killed by that signal).
+    in_flight:
+        Outstanding-message counter at detection time — how much work was
+        unaccounted for when the worker vanished.
+    phase:
+        What the driver was blocked on (``"barrier"``, ``"exec"``,
+        ``"error-drain"``).
+    """
+
+    def __init__(
+        self, rank: int, exitcode: int | None, in_flight: int, phase: str
+    ) -> None:
+        self.rank = int(rank)
+        self.exitcode = exitcode
+        self.in_flight = int(in_flight)
+        self.phase = phase
+        super().__init__(
+            f"ygm worker rank {rank} died (exitcode {exitcode}) during "
+            f"{phase} with {in_flight} message(s) in flight"
+        )
+
+
+class BarrierTimeoutError(YgmError):
+    """A quiescence wait exceeded its deadline with workers still alive."""
+
+    def __init__(self, deadline: float, in_flight: int, phase: str = "barrier") -> None:
+        self.deadline = float(deadline)
+        self.in_flight = int(in_flight)
+        self.phase = phase
+        super().__init__(
+            f"ygm {phase} did not quiesce within {deadline:g}s deadline "
+            f"({in_flight} message(s) still in flight)"
+        )
+
+
+class ExecTimeoutError(BarrierTimeoutError):
+    """A synchronous ``run_on_rank``/``run_on_all`` wait exceeded its deadline."""
+
+    def __init__(self, deadline: float, waiting_on: int) -> None:
+        self.waiting_on = int(waiting_on)
+        super().__init__(deadline, waiting_on, phase="exec")

@@ -1,0 +1,175 @@
+"""Deterministic, seeded fault injection for the YGM backends.
+
+A :class:`FaultPlan` is a picklable description of *when and how* ranks
+misbehave, expressed against the only clock every backend shares: the
+per-rank count of delivered ``_MSG`` messages.  Backends accept a plan at
+construction and consult a :class:`FaultInjector` before dispatching each
+message, so a given (program, plan) pair replays the same failure on every
+run — the property the failure-matrix tests and the chaos parity mode rely
+on.
+
+Fault kinds (``FaultSpec.kind``):
+
+``"crash"``
+    The rank dies hard at its Nth message.  On the multiprocessing backend
+    the worker SIGKILLs itself (no cleanup, counters left dangling —
+    exactly what an OOM kill looks like); the serial backend simulates the
+    observable driver-side outcome by raising
+    :class:`~repro.ygm.errors.WorkerDiedError`.
+``"hang"``
+    The rank stalls inside message N without completing it.  On the
+    multiprocessing backend the worker sleeps without decrementing the
+    outstanding counter, so the barrier deadline fires; the serial backend
+    raises :class:`~repro.ygm.errors.BarrierTimeoutError` directly.
+``"delay"``
+    The rank sleeps ``seconds`` before handling message N, then proceeds
+    normally (slow-network emulation; results must be unaffected).
+``"raise"``
+    The handler for message N raises :class:`InjectedFault`, exercising
+    the existing handler-error path (reported at the next barrier).
+
+Plans can be written explicitly or drawn from a seed with
+:meth:`FaultPlan.seeded`, which is how ``repro-botnets verify --chaos``
+turns one integer into a repeatable failure scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.rng import derive_rng
+
+__all__ = ["FaultSpec", "FaultPlan", "FaultInjector", "InjectedFault", "FAULT_KINDS"]
+
+FAULT_KINDS = ("crash", "hang", "delay", "raise")
+
+#: How long a "hang" sleeps on the multiprocessing backend.  Long enough
+#: that any realistic barrier deadline fires first, short enough that a
+#: leaked worker cannot outlive a test session by much; shutdown escalation
+#: terminates the sleeper long before this elapses.
+HANG_SECONDS = 600.0
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a ``"raise"`` fault in place of running the real handler."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: *rank* misbehaves as *kind* at its Nth delivered message.
+
+    ``at_message`` counts from 1 in per-rank delivery order; ``seconds``
+    applies to ``"delay"`` only.
+    """
+
+    kind: str
+    rank: int
+    at_message: int
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.at_message < 1:
+            raise ValueError(
+                f"at_message counts from 1, got {self.at_message}"
+            )
+
+    def describe(self) -> str:
+        """Compact rendering, e.g. ``crash@rank1/msg5``."""
+        extra = f" for {self.seconds:g}s" if self.kind == "delay" else ""
+        return f"{self.kind}@rank{self.rank}/msg{self.at_message}{extra}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, picklable set of :class:`FaultSpec` entries."""
+
+    faults: tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan (inject nothing)."""
+        return cls(())
+
+    @classmethod
+    def single(
+        cls, kind: str, rank: int, at_message: int, seconds: float = 0.0
+    ) -> "FaultPlan":
+        """A plan with exactly one fault."""
+        return cls((FaultSpec(kind, rank, at_message, seconds),))
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_ranks: int,
+        *,
+        kinds: tuple[str, ...] = ("crash", "raise", "delay"),
+        max_message: int = 40,
+    ) -> "FaultPlan":
+        """Draw one repeatable fault from *seed*.
+
+        The same ``(seed, n_ranks)`` always yields the same plan.  ``hang``
+        is excluded by default because it only resolves under a configured
+        barrier deadline; chaos callers that set one can opt back in.
+
+        Examples
+        --------
+        >>> FaultPlan.seeded(7, 2) == FaultPlan.seeded(7, 2)
+        True
+        """
+        rng = derive_rng(seed, "ygm.faults.plan")
+        kind = kinds[int(rng.integers(0, len(kinds)))]
+        rank = int(rng.integers(0, n_ranks))
+        at_message = int(rng.integers(1, max_message + 1))
+        seconds = round(float(rng.uniform(0.01, 0.1)), 3) if kind == "delay" else 0.0
+        return cls.single(kind, rank, at_message, seconds)
+
+    def for_rank(self, rank: int) -> tuple[FaultSpec, ...]:
+        """The faults scheduled on *rank*, in delivery order."""
+        return tuple(
+            sorted(
+                (f for f in self.faults if f.rank == rank),
+                key=lambda f: f.at_message,
+            )
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable plan summary."""
+        if not self.faults:
+            return "no faults"
+        return ", ".join(f.describe() for f in self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+
+@dataclass
+class FaultInjector:
+    """Per-rank runtime cursor over a plan (lives inside one backend rank).
+
+    Backends call :meth:`next_fault` once per delivered message; the
+    injector returns the :class:`FaultSpec` due at that delivery count (or
+    ``None``) and advances its clock.  How each kind manifests is the
+    backend's business — see the module docstring.
+    """
+
+    plan: FaultPlan
+    rank: int
+    delivered: int = 0
+    _pending: list[FaultSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._pending = list(self.plan.for_rank(self.rank))
+
+    def next_fault(self) -> FaultSpec | None:
+        """Advance the message clock; return the fault due now, if any."""
+        self.delivered += 1
+        if self._pending and self._pending[0].at_message == self.delivered:
+            return self._pending.pop(0)
+        return None

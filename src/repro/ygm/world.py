@@ -42,6 +42,13 @@ class YgmWorld:
         ``"serial"`` (default; deterministic, in-process) or ``"mp"``
         (forked worker processes).  An already constructed
         :class:`~repro.ygm.backend.Backend` may also be passed.
+    fault_plan:
+        Optional :class:`~repro.ygm.faults.FaultPlan` for deterministic
+        failure injection (both string backends accept it).
+    barrier_deadline / exec_deadline:
+        Liveness deadlines in seconds, forwarded to the ``"mp"`` backend
+        (ignored by ``"serial"``, which cannot hang).  See
+        :mod:`repro.ygm.errors` for the exceptions they arm.
 
     Examples
     --------
@@ -56,15 +63,28 @@ class YgmWorld:
     >>> world.shutdown()
     """
 
-    def __init__(self, n_ranks: int = 4, backend: str | Backend = "serial") -> None:
+    def __init__(
+        self,
+        n_ranks: int = 4,
+        backend: str | Backend = "serial",
+        *,
+        fault_plan=None,
+        barrier_deadline: float | None = None,
+        exec_deadline: float | None = None,
+    ) -> None:
         if isinstance(backend, Backend):
             self._backend = backend
         elif backend == "serial":
-            self._backend = SerialBackend(n_ranks)
+            self._backend = SerialBackend(n_ranks, fault_plan=fault_plan)
         elif backend == "mp":
             from repro.ygm.backend_mp import MultiprocessingBackend
 
-            self._backend = MultiprocessingBackend(n_ranks)
+            self._backend = MultiprocessingBackend(
+                n_ranks,
+                fault_plan=fault_plan,
+                barrier_deadline=barrier_deadline,
+                exec_deadline=exec_deadline,
+            )
         else:
             raise ValueError(
                 f"unknown backend {backend!r}; expected 'serial' or 'mp'"
@@ -135,10 +155,20 @@ class YgmWorld:
 
     # -- lifecycle ----------------------------------------------------------------
     def shutdown(self) -> None:
-        """Release all containers and stop backend workers (idempotent)."""
-        for container_id in list(self._container_ids):
-            self.release_container(container_id)
-        self._backend.shutdown()
+        """Release all containers and stop backend workers (idempotent).
+
+        Teardown is best-effort: on a world whose backend already failed
+        (dead worker, timed-out barrier), container release would only
+        re-raise the original fault, so it is skipped and the backend is
+        shut down regardless — a failed run must never leak processes.
+        """
+        try:
+            for container_id in list(self._container_ids):
+                self.release_container(container_id)
+        except Exception:
+            self._container_ids.clear()
+        finally:
+            self._backend.shutdown()
 
     def __enter__(self) -> "YgmWorld":
         return self
@@ -154,9 +184,11 @@ class YgmWorld:
 
 
 @contextmanager
-def ygm_world(n_ranks: int = 4, backend: str | Backend = "serial") -> Iterator[YgmWorld]:
+def ygm_world(
+    n_ranks: int = 4, backend: str | Backend = "serial", **kwargs: Any
+) -> Iterator[YgmWorld]:
     """Context manager constructing and tearing down a :class:`YgmWorld`."""
-    world = YgmWorld(n_ranks=n_ranks, backend=backend)
+    world = YgmWorld(n_ranks=n_ranks, backend=backend, **kwargs)
     try:
         yield world
     finally:

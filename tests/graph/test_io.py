@@ -4,6 +4,7 @@ import pytest
 
 from repro.graph import BipartiteTemporalMultigraph, EdgeList
 from repro.graph.io import (
+    IngestStats,
     btm_from_ndjson,
     load_btm_npz,
     load_edgelist_npz,
@@ -55,6 +56,113 @@ class TestNdjson:
         write_comments_ndjson(path, [rec.to_pushshift_dict()])
         btm = btm_from_ndjson(path)
         assert btm.user_name(0) == "a"
+
+
+class TestLenientIngestion:
+    GOOD = '{"author": "a", "link_id": "p", "created_utc": 1}'
+    ALSO_GOOD = '{"author": "b", "link_id": "p", "created_utc": 2}'
+
+    def test_invalid_errors_mode_rejected(self, tmp_path):
+        path = tmp_path / "c.ndjson"
+        path.write_text(self.GOOD + "\n")
+        with pytest.raises(ValueError, match="errors must be"):
+            list(read_comments_ndjson(path, errors="ignore"))
+
+    def test_skip_mode_drops_and_counts(self, tmp_path):
+        path = tmp_path / "c.ndjson"
+        path.write_text(f"{self.GOOD}\nnot json\n\n{self.ALSO_GOOD}\n{{broken\n")
+        stats = IngestStats()
+        records = list(read_comments_ndjson(path, errors="skip", stats=stats))
+        assert len(records) == 2
+        assert stats.total_lines == 4  # blank line not counted
+        assert stats.malformed == 2
+        assert stats.kept == 2
+        assert stats.quarantined_to is None
+
+    def test_skip_mode_quarantines_raw_lines(self, tmp_path):
+        path = tmp_path / "c.ndjson"
+        path.write_text(f"{self.GOOD}\nnot json\n{{broken\n")
+        sidecar = tmp_path / "rejects.ndjson"
+        stats = IngestStats()
+        list(
+            read_comments_ndjson(
+                path, errors="skip", quarantine=sidecar, stats=stats
+            )
+        )
+        assert stats.quarantined_to == str(sidecar)
+        assert sidecar.read_text().splitlines() == ["not json", "{broken"]
+
+    def test_clean_read_leaves_no_sidecar(self, tmp_path):
+        path = tmp_path / "c.ndjson"
+        path.write_text(self.GOOD + "\n")
+        sidecar = tmp_path / "rejects.ndjson"
+        list(read_comments_ndjson(path, errors="skip", quarantine=sidecar))
+        assert not sidecar.exists()  # opened lazily, only on first reject
+
+    def test_btm_raise_mode_aborts_on_missing_field(self, tmp_path):
+        path = tmp_path / "c.ndjson"
+        path.write_text(f'{self.GOOD}\n{{"author": "x", "created_utc": 3}}\n')
+        with pytest.raises(ValueError, match="missing/invalid field"):
+            btm_from_ndjson(path)
+
+    def test_btm_skip_mode_handles_both_reject_kinds(self, tmp_path):
+        """Parse-level and field-level rejects share one count and sidecar."""
+        path = tmp_path / "c.ndjson"
+        path.write_text(
+            "\n".join(
+                [
+                    self.GOOD,
+                    "not json",  # parse-level reject
+                    '{"author": "x", "created_utc": 3}',  # no link_id
+                    '{"author": "y", "link_id": "p", "created_utc": "noon"}',
+                    self.ALSO_GOOD,
+                ]
+            )
+            + "\n"
+        )
+        sidecar = tmp_path / "rejects.ndjson"
+        stats = IngestStats()
+        btm = btm_from_ndjson(
+            path, errors="skip", quarantine=sidecar, stats=stats
+        )
+        assert btm.n_comments == 2
+        assert btm.n_users == 2
+        assert stats.total_lines == 5
+        assert stats.malformed == 3
+        assert stats.kept == 2
+        assert stats.quarantined_to == str(sidecar)
+        rejects = sidecar.read_text().splitlines()
+        assert len(rejects) == 3
+        assert rejects[0] == "not json"
+        assert '"author":"x"' in rejects[1].replace(" ", "")
+
+    def test_btm_skip_mode_without_stats_or_quarantine(self, tmp_path):
+        path = tmp_path / "c.ndjson"
+        path.write_text(f"{self.GOOD}\nnot json\n{self.ALSO_GOOD}\n")
+        btm = btm_from_ndjson(path, errors="skip")
+        assert btm.n_comments == 2
+
+    def test_btm_skip_matches_clean_load(self, tmp_path):
+        """Corruption must cost exactly the corrupt records, nothing else."""
+        clean = tmp_path / "clean.ndjson"
+        dirty = tmp_path / "dirty.ndjson"
+        rows = [
+            {"author": f"u{i % 7}", "link_id": f"p{i % 5}", "created_utc": i}
+            for i in range(40)
+        ]
+        write_comments_ndjson(clean, rows)
+        with open(dirty, "w", encoding="utf-8") as fh:
+            for i, row in enumerate(rows):
+                import json
+
+                fh.write(json.dumps(row) + "\n")
+                if i % 10 == 3:
+                    fh.write("garbage line\n")
+        ref = btm_from_ndjson(clean)
+        got = btm_from_ndjson(dirty, errors="skip")
+        assert got.n_comments == ref.n_comments
+        assert got.users.tolist() == ref.users.tolist()
+        assert got.times.tolist() == ref.times.tolist()
 
 
 class TestNpz:

@@ -1,0 +1,206 @@
+"""Checkpoint/resume and the distributed retry policy."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    CheckpointMismatchError,
+    CoordinationPipeline,
+    PipelineCheckpoint,
+    PipelineConfig,
+)
+from repro.projection import TimeWindow
+from repro.ygm import FaultPlan, WorkerDiedError, YgmWorld
+
+
+def _config(**kwargs) -> PipelineConfig:
+    return PipelineConfig(
+        window=TimeWindow(0, 60), min_triangle_weight=5, **kwargs
+    )
+
+
+def assert_results_equal(ref, got):
+    """Element-for-element equality of everything the paper reports."""
+    assert got.ci.edges.to_dict() == ref.ci.edges.to_dict()
+    assert np.array_equal(got.ci.page_counts, ref.ci.page_counts)
+    assert got.ci_thresholded.edges.to_dict() == ref.ci_thresholded.edges.to_dict()
+    for fld in ("a", "b", "c", "w_ab", "w_ac", "w_bc"):
+        assert np.array_equal(
+            getattr(got.triangles, fld), getattr(ref.triangles, fld)
+        ), fld
+    assert np.allclose(got.t_scores, ref.t_scores)
+    assert [c.members for c in got.components] == [
+        c.members for c in ref.components
+    ]
+    assert [c.member_names for c in got.components] == [
+        c.member_names for c in ref.components
+    ]
+    if ref.triplet_metrics is not None:
+        assert np.array_equal(
+            got.triplet_metrics.w_xyz, ref.triplet_metrics.w_xyz
+        )
+        assert np.allclose(
+            got.triplet_metrics.c_scores, ref.triplet_metrics.c_scores
+        )
+    assert got.stats["triangles"] == ref.stats["triangles"]
+    assert got.stats["thresholded_edges"] == ref.stats["thresholded_edges"]
+
+
+class TestCheckpointResume:
+    def test_checkpointed_run_equals_plain_run(self, small_dataset, tmp_path):
+        pipe = CoordinationPipeline(_config())
+        ref = pipe.run(small_dataset.btm)
+        got = pipe.run(small_dataset.btm, checkpoint_dir=str(tmp_path))
+        assert_results_equal(ref, got)
+        assert got.resumed_stages == ()
+        cp = PipelineCheckpoint(tmp_path)
+        cp.resume(pipe.config)
+        assert cp.completed_stages() == ("ci", "ci_thr", "triangles")
+
+    def test_resume_skips_stages_and_matches_exactly(
+        self, small_dataset, tmp_path
+    ):
+        pipe = CoordinationPipeline(_config())
+        ref = pipe.run(small_dataset.btm)
+        pipe.run(small_dataset.btm, checkpoint_dir=str(tmp_path))
+        resumed = pipe.run(small_dataset.btm, resume_from=str(tmp_path))
+        assert resumed.resumed_stages == (
+            "step1.project",
+            "step2.threshold",
+            "step2.survey",
+        )
+        assert_results_equal(ref, resumed)
+
+    def test_partial_checkpoint_recomputes_missing_stages(
+        self, small_dataset, tmp_path
+    ):
+        pipe = CoordinationPipeline(_config())
+        ref = pipe.run(small_dataset.btm, checkpoint_dir=str(tmp_path))
+        # Simulate a run that died after Step 1: drop the later artifacts.
+        (tmp_path / "triangles.npz").unlink()
+        (tmp_path / "ci_thr.npz").unlink()
+        resumed = pipe.run(small_dataset.btm, resume_from=str(tmp_path))
+        assert resumed.resumed_stages == ("step1.project",)
+        assert_results_equal(ref, resumed)
+
+    def test_resume_under_different_config_refuses(
+        self, small_dataset, tmp_path
+    ):
+        CoordinationPipeline(_config()).run(
+            small_dataset.btm, checkpoint_dir=str(tmp_path)
+        )
+        other = CoordinationPipeline(
+            PipelineConfig(window=TimeWindow(0, 120), min_triangle_weight=5)
+        )
+        with pytest.raises(CheckpointMismatchError, match="different config"):
+            other.run(small_dataset.btm, resume_from=str(tmp_path))
+
+    def test_resume_from_empty_dir_refuses(self, small_dataset, tmp_path):
+        with pytest.raises(CheckpointMismatchError, match="no checkpoint"):
+            CoordinationPipeline(_config()).run(
+                small_dataset.btm, resume_from=str(tmp_path)
+            )
+
+    def test_fresh_checkpoint_dir_clears_stale_manifest(
+        self, small_dataset, tmp_path
+    ):
+        pipe = CoordinationPipeline(_config())
+        pipe.run(small_dataset.btm, checkpoint_dir=str(tmp_path))
+        # A fresh (non-resume) run into the same dir must not trust the old
+        # stage flags.
+        got = pipe.run(small_dataset.btm, checkpoint_dir=str(tmp_path))
+        assert got.resumed_stages == ()
+
+
+@pytest.mark.faults
+class TestDistributedRetry:
+    def test_worker_death_costs_one_stage_not_the_run(
+        self, small_dataset, tmp_path
+    ):
+        """Crash rank 1 on the first attempt; the retry (fresh backend)
+        must complete with results identical to the serial run."""
+        pipe = CoordinationPipeline(_config(max_stage_retries=2,
+                                            retry_backoff=0.01))
+        ref = CoordinationPipeline(_config()).run(small_dataset.btm)
+        made = []
+
+        def factory(attempt):
+            plan = (
+                FaultPlan.single("crash", rank=1, at_message=4)
+                if attempt == 0
+                else None
+            )
+            world = YgmWorld(2, backend="mp", fault_plan=plan,
+                             barrier_deadline=60.0)
+            made.append(world)
+            return world
+
+        got = pipe.run_distributed(
+            small_dataset.btm,
+            world_factory=factory,
+            checkpoint_dir=str(tmp_path),
+        )
+        assert got.stage_retries == 1
+        assert got.stats["stage_retries"] == 1
+        assert len(made) == 2
+        assert_results_equal(ref, got)
+        # Every pipeline-owned world was torn down, dead or alive.
+        for world in made:
+            assert all(not w.is_alive() for w in world.backend._workers)
+
+    def test_retries_exhausted_reraises_typed(self, small_dataset, tmp_path):
+        pipe = CoordinationPipeline(_config(max_stage_retries=1,
+                                            retry_backoff=0.01))
+
+        def always_faulty(attempt):
+            # Serial backend with a simulated crash: fast and deterministic.
+            return YgmWorld(
+                2, fault_plan=FaultPlan.single("crash", rank=0, at_message=2)
+            )
+
+        with pytest.raises(WorkerDiedError):
+            pipe.run_distributed(
+                small_dataset.btm,
+                world_factory=always_faulty,
+                checkpoint_dir=str(tmp_path),
+            )
+
+    def test_no_retry_without_checkpoint(self, small_dataset):
+        """The retry policy only arms when stage inputs are checkpointed."""
+        pipe = CoordinationPipeline(_config(max_stage_retries=3,
+                                            retry_backoff=0.01))
+        calls = []
+
+        def factory(attempt):
+            calls.append(attempt)
+            return YgmWorld(
+                2, fault_plan=FaultPlan.single("crash", rank=0, at_message=2)
+            )
+
+        with pytest.raises(WorkerDiedError):
+            pipe.run_distributed(small_dataset.btm, world_factory=factory)
+        assert calls == [0]
+
+    def test_world_and_factory_are_mutually_exclusive(self, small_dataset):
+        pipe = CoordinationPipeline(_config())
+        with pytest.raises(ValueError, match="exactly one"):
+            pipe.run_distributed(small_dataset.btm)
+        with YgmWorld(2) as world:
+            with pytest.raises(ValueError, match="exactly one"):
+                pipe.run_distributed(
+                    small_dataset.btm, world, world_factory=lambda k: world
+                )
+
+    def test_distributed_resume_after_serial_checkpoint(
+        self, small_dataset, tmp_path
+    ):
+        """Checkpoints are engine-agnostic: a serial run's artifacts resume
+        under the distributed entry point and vice versa."""
+        pipe = CoordinationPipeline(_config())
+        ref = pipe.run(small_dataset.btm, checkpoint_dir=str(tmp_path))
+        with YgmWorld(2) as world:
+            got = pipe.run_distributed(
+                small_dataset.btm, world, resume_from=str(tmp_path)
+            )
+        assert "step1.project" in got.resumed_stages
+        assert_results_equal(ref, got)

@@ -134,6 +134,42 @@ class TestDetect:
         )
         assert "removed 0 authors" in out.getvalue()
 
+    def test_skip_malformed_flag(self, corpus, tmp_path):
+        ndjson, _ = corpus
+        dirty = tmp_path / "dirty.ndjson"
+        dirty.write_text(ndjson.read_text() + "not json\n{broken\n")
+        sidecar = tmp_path / "rejects.ndjson"
+        out = io.StringIO()
+        code = main(
+            [
+                "detect",
+                "--input",
+                str(dirty),
+                "--skip-malformed",
+                "--quarantine",
+                str(sidecar),
+                "--cutoff",
+                "10",
+                "--no-hypergraph",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "skipped 2 malformed record(s)" in text
+        assert str(sidecar) in text
+        assert len(sidecar.read_text().splitlines()) == 2
+
+    def test_malformed_aborts_without_flag(self, corpus, tmp_path):
+        ndjson, _ = corpus
+        dirty = tmp_path / "dirty.ndjson"
+        dirty.write_text(ndjson.read_text() + "not json\n")
+        with pytest.raises(ValueError, match="malformed JSON"):
+            main(
+                ["detect", "--input", str(dirty), "--no-hypergraph"],
+                out=io.StringIO(),
+            )
+
     def test_bucketed_projection_flag(self, corpus):
         ndjson, _ = corpus
         out = io.StringIO()
@@ -169,6 +205,27 @@ class TestVerify:
         text = out.getvalue()
         assert "PARITY OK" in text
         assert "invariants ok" in text
+
+    @pytest.mark.faults
+    def test_chaos_mode(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "verify",
+                "--chaos",
+                "--seed",
+                "3",
+                "--scale",
+                "0.03",
+                "--chaos-backend",
+                "serial",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "chaos run: seed 3" in text
+        assert "CHAOS PARITY OK" in text
 
     def test_verify_defaults(self):
         args = build_parser().parse_args(["verify"])
