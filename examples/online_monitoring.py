@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Online monitoring — watching a botnet enter and leave the live window.
+
+The batch pipeline answers "who coordinated in this dump?".  The online
+service (:mod:`repro.serve`) answers the monitoring question: "who is
+coordinating *right now*?".  This example makes the difference visible:
+
+1. A quiet background month is generated, and a GPT-2-style generation
+   net (paper §3.1.1) is planted in one concentrated burst in the
+   *middle* of it.
+2. The whole corpus is replayed through a
+   :class:`~repro.serve.DetectionService` in event-time order, with a
+   sliding window driven by the stream's own watermark.
+3. After every tick the current top-k triplets are inspected.  The
+   planted bots are absent while the window covers only background,
+   dominate the leaderboard while their burst is inside the window, and
+   disappear again once the window slides past — detection that tracks
+   *current* behaviour, which a whole-month batch run cannot show.
+
+Along the way the service metrics demonstrate the incremental claim:
+per-tick update cost tracks the dirty set, and the final state equals a
+from-scratch batch run over the live window (the serve exactness
+contract).
+
+Run:  python examples/online_monitoring.py
+"""
+
+from repro.datagen import (
+    BackgroundConfig,
+    GptStyleBotnetConfig,
+    RedditDatasetBuilder,
+)
+from repro.graph import AuthorFilter
+from repro.pipeline import PipelineConfig
+from repro.projection import TimeWindow
+from repro.serve import DetectionService
+
+DAY = 86_400
+HORIZON = 3 * DAY          # the live window: three days
+BURST_DAY = 14             # the botnet acts on day 14
+
+
+def build_stream():
+    """A month of background with a one-burst GPT-2-style net planted."""
+    dataset = (
+        RedditDatasetBuilder(seed=42)
+        .with_background(
+            BackgroundConfig(n_users=900, n_pages=1_500, n_comments=18_000)
+        )
+        .with_gpt_style_botnet(
+            GptStyleBotnetConfig(
+                n_bots=10,
+                n_mixed_pages=60,
+                n_self_pages=10,
+                span_seconds=DAY,          # concentrated: one day of action
+            )
+        )
+        .build()
+    )
+    bots = sorted(dataset.truth.botnets["gpt2"])
+    events = []
+    for rec in dataset.records:
+        a, p, t = rec.as_triple()
+        if a in bots:
+            t = BURST_DAY * DAY + t      # shift the burst to mid-month
+        events.append((a, p, t))
+    events.sort(key=lambda e: e[2])      # event-time replay
+    return events, set(bots)
+
+
+def main() -> None:
+    print("generating a month with a day-14 botnet burst…")
+    events, bots = build_stream()
+    print(f"  {len(events):,} events, {len(bots)} planted bots\n")
+
+    service = DetectionService(
+        PipelineConfig(
+            window=TimeWindow(0, 60),
+            min_triangle_weight=10,
+            min_component_size=3,
+            author_filter=AuthorFilter(),
+        ),
+        window_horizon=HORIZON,
+        batch_size=512,
+    )
+
+    timeline: list[tuple[int, int, float]] = []
+
+    def on_tick(svc, report) -> None:
+        wm = svc.watermark.watermark or 0
+        rows = svc.engine.top_k_triplets(5)
+        bot_rows = sum(1 for r in rows if set(r["authors"]) <= bots)
+        best_t = rows[0]["t"] if rows else 0.0
+        timeline.append((wm // DAY, bot_rows, best_t))
+
+    service.run_events(events, on_tick=on_tick)
+
+    print("watermark day → planted-bot triplets in the live top-5:")
+    seen_days = {}
+    for day, bot_rows, best_t in timeline:
+        seen_days[day] = (bot_rows, best_t)
+    for day in sorted(seen_days):
+        bot_rows, best_t = seen_days[day]
+        bar = "#" * bot_rows + "." * (5 - bot_rows)
+        print(f"  day {day:>2}  [{bar}]  best T = {best_t:.3f}")
+
+    in_burst = [r for d, r, _t in timeline if BURST_DAY <= d < BURST_DAY + 3]
+    after = [r for d, r, _t in timeline if d >= BURST_DAY + 4]
+    print(
+        f"\nwhile the burst is in-window: top-5 holds up to "
+        f"{max(in_burst or [0])} planted-bot triplets;"
+    )
+    print(
+        f"once the window slides past:  {max(after or [0])} remain "
+        "(the net has left the live window)."
+    )
+
+    status = service.status()
+    print(
+        f"\nfinal live window: {status['live_comments']:,} comments, "
+        f"{status['triangles']:,} triangles"
+    )
+    print("\nservice metrics:")
+    print(service.metrics.format())
+
+
+if __name__ == "__main__":
+    main()

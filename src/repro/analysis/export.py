@@ -13,7 +13,12 @@ from typing import Sequence
 
 from repro.pipeline.results import ComponentReport, PipelineResult
 
-__all__ = ["component_to_dot", "result_to_dot", "write_component_csv"]
+__all__ = [
+    "component_to_dot",
+    "result_to_dot",
+    "top_triplets_rows",
+    "write_component_csv",
+]
 
 
 def _quote(name: str) -> str:
@@ -106,3 +111,45 @@ def write_component_csv(
                         )
                         rows += 1
     return rows
+
+
+def top_triplets_rows(
+    result: PipelineResult, k: int, by: str = "t"
+) -> list[dict]:
+    """The *k* highest-scoring triplets of a run, as name-keyed rows.
+
+    Produces exactly the row shape (and ordering: descending score,
+    lexicographic author-triple tie-break) that
+    :meth:`repro.serve.engine.DetectionEngine.top_k_triplets` returns
+    live, so batch reports and online monitoring output are directly
+    comparable.  ``by`` ranks by ``"t"`` (eq. 7), ``"c"`` (eq. 4,
+    requires the run to have computed the hypergraph step), or
+    ``"min_weight"``.
+    """
+    if by not in ("t", "c", "min_weight"):
+        raise ValueError(f"unknown ranking {by!r} (use t, c, min_weight)")
+    tm = result.triplet_metrics
+    if by == "c" and tm is None:
+        raise ValueError("ranking by C requires compute_hypergraph=True")
+    t = result.triangles
+    name = result.ci.author_name
+    rows = []
+    for i in range(t.n_triangles):
+        weights = (int(t.w_ab[i]), int(t.w_ac[i]), int(t.w_bc[i]))
+        rows.append(
+            {
+                "authors": tuple(
+                    sorted(
+                        str(name(int(x))) for x in (t.a[i], t.b[i], t.c[i])
+                    )
+                ),
+                "min_weight": min(weights),
+                "weights": tuple(sorted(weights)),
+                "t": float(result.t_scores[i]),
+                "w_xyz": int(tm.w_xyz[i]) if tm is not None else 0,
+                "p_sum": int(tm.p_sum[i]) if tm is not None else 0,
+                "c": float(tm.c_scores[i]) if tm is not None else 0.0,
+            }
+        )
+    rows.sort(key=lambda r: (-r[by], r["authors"]))
+    return rows[: max(int(k), 0)]

@@ -1,6 +1,6 @@
 """Command-line interface — the analyst front door.
 
-Five subcommands cover the workflow the paper describes:
+Six subcommands cover the workflow the paper describes:
 
 - ``generate`` — synthesize a ground-truth corpus to Pushshift-format
   ndjson (plus a truth JSON for scoring);
@@ -15,7 +15,13 @@ Five subcommands cover the workflow the paper describes:
   paper's invariants (the engine-parity guarantee, made executable);
   ``verify --chaos`` instead injects a seeded fault into a distributed
   run and checks the fail-typed → checkpoint-resume → exact-parity
-  contract.
+  contract; ``verify --online`` drives a seeded append/advance
+  interleaving through the online engine and diffs every query surface
+  against from-scratch batch runs;
+- ``serve`` — tail an ndjson stream (file or ``-`` for stdin) through
+  the online detection service: sliding-window eviction at the
+  watermark, incremental re-scoring, periodic top-k and metrics output,
+  clean shutdown on EOF or SIGINT.
 
 ``detect`` and ``figures`` accept ``--skip-malformed`` (plus
 ``--quarantine``) to survive corrupt lines in real-world dumps.
@@ -151,6 +157,51 @@ def build_parser() -> argparse.ArgumentParser:
                      help="world size for --chaos")
     ver.add_argument("--chaos-deadline", type=float, default=30.0,
                      help="barrier/exec liveness deadline (s) for --chaos")
+    ver.add_argument("--online", action="store_true",
+                     help="online parity instead: stream the corpus "
+                     "through the serve engine under a seeded "
+                     "append/advance interleaving and diff every query "
+                     "surface against from-scratch batch runs")
+    ver.add_argument("--steps", type=int, default=60,
+                     help="interleaved steps for --online")
+    ver.add_argument("--check-every", type=int, default=10,
+                     help="oracle-diff frequency (steps) for --online")
+
+    srv = sub.add_parser(
+        "serve",
+        help="online detection service over an ndjson stream",
+    )
+    srv.add_argument("--input", required=True,
+                     help="ndjson stream (path, or - for stdin)")
+    srv.add_argument("--delta1", type=int, default=0)
+    srv.add_argument("--delta2", type=int, default=60)
+    srv.add_argument("--cutoff", type=int, default=25,
+                     help="minimum triangle edge weight")
+    srv.add_argument("--horizon", type=int, default=86_400,
+                     help="sliding-window width in seconds")
+    srv.add_argument("--lateness", type=int, default=0,
+                     help="allowed out-of-order lateness in seconds")
+    srv.add_argument("--batch-size", type=int, default=512,
+                     help="events per engine micro-batch")
+    srv.add_argument("--queue-capacity", type=int, default=65_536)
+    srv.add_argument("--queue-policy",
+                     choices=["reject", "drop-oldest", "drop-newest"],
+                     default="reject")
+    srv.add_argument("--top", type=int, default=10,
+                     help="triplets per periodic report")
+    srv.add_argument("--rank-by", choices=["t", "c", "min_weight"],
+                     default="t",
+                     help="triplet ranking for the periodic report")
+    srv.add_argument("--metrics-every", type=int, default=50,
+                     help="ticks between periodic reports (0 = final only)")
+    srv.add_argument("--max-events", type=int, default=None,
+                     help="stop after this many events (default: stream end)")
+    srv.add_argument("--no-filter", action="store_true",
+                     help="keep AutoModerator/[deleted]")
+    srv.add_argument("--no-hypergraph", action="store_true",
+                     help="skip Step 3 validation scores")
+    srv.add_argument("--status-json", metavar="PATH",
+                     help="write the final status() snapshot as JSON")
 
     return parser
 
@@ -324,6 +375,30 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
     )
     window = TimeWindow(args.delta1, args.delta2)
 
+    if args.online:
+        from repro.verify import run_online_parity
+
+        named_comments = [
+            (
+                str(btm.user_names.key_of(u)),
+                str(btm.page_names.key_of(p)),
+                t,
+            )
+            for u, p, t in comments
+        ]
+        online_report = run_online_parity(
+            named_comments,
+            PipelineConfig(
+                window=window,
+                min_triangle_weight=args.cutoff,
+            ),
+            n_steps=args.steps,
+            seed=args.seed,
+            check_every=args.check_every,
+        )
+        print(online_report.describe(), file=out)
+        return 0 if online_report.ok else 1
+
     if args.chaos:
         from repro.verify import run_chaos
 
@@ -367,6 +442,88 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    from contextlib import nullcontext
+
+    from repro.serve import DetectionService
+
+    config = PipelineConfig(
+        window=TimeWindow(args.delta1, args.delta2),
+        min_triangle_weight=args.cutoff,
+        author_filter=AuthorFilter.none() if args.no_filter else AuthorFilter(),
+        compute_hypergraph=not args.no_hypergraph,
+    )
+    service = DetectionService(
+        config,
+        window_horizon=args.horizon,
+        allowed_lateness=args.lateness,
+        batch_size=args.batch_size,
+        queue_capacity=args.queue_capacity,
+        queue_policy=args.queue_policy,
+    )
+
+    def report_top(header: str) -> None:
+        print(header, file=out)
+        rows = service.engine.top_k_triplets(args.top, by=args.rank_by)
+        if not rows:
+            print("  (no triplets above the cutoff)", file=out)
+        for row in rows:
+            x, y, z = row["authors"]
+            print(
+                f"  {x} / {y} / {z}  "
+                f"min_w'={row['min_weight']} T={row['t']:.4f} "
+                f"w_xyz={row['w_xyz']} C={row['c']:.4f}",
+                file=out,
+            )
+
+    def on_tick(svc, report) -> None:
+        ticks = svc.metrics.counter("service.ticks").value
+        if args.metrics_every and ticks % args.metrics_every == 0:
+            status = svc.status()
+            print(
+                f"[tick {ticks}] live={status['live_comments']:,} "
+                f"pages={status['live_pages']:,} "
+                f"edges={status['thresholded_edges']:,} "
+                f"triangles={status['triangles']:,} "
+                f"watermark={status['watermark']} "
+                f"queue={status['queue_depth']}",
+                file=out,
+            )
+            report_top(f"[tick {ticks}] top {args.top} by {args.rank_by}:")
+
+    source = (
+        nullcontext(sys.stdin)
+        if args.input == "-"
+        else open(args.input, "r", encoding="utf-8")
+    )
+    with source as lines:
+        consumed = service.run_ndjson(
+            lines, on_tick=on_tick, max_events=args.max_events
+        )
+
+    status = service.status()
+    interrupted = service.metrics.counter("service.interrupted").value
+    why = "interrupt" if interrupted else "end of stream"
+    print(f"\nshutdown ({why}): {consumed:,} events consumed", file=out)
+    print(
+        f"final state: live={status['live_comments']:,} "
+        f"pages={status['live_pages']:,} "
+        f"edges={status['thresholded_edges']:,} "
+        f"triangles={status['triangles']:,} "
+        f"malformed={status['ingest_malformed']:,}",
+        file=out,
+    )
+    report_top(f"final top {args.top} by {args.rank_by}:")
+    print("", file=out)
+    print(service.metrics.format(), file=out)
+    if args.status_json:
+        Path(args.status_json).write_text(
+            json.dumps(status, indent=2, default=str), encoding="utf-8"
+        )
+        print(f"wrote status snapshot to {args.status_json}", file=out)
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -377,6 +534,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "detect": _cmd_detect,
         "figures": _cmd_figures,
         "verify": _cmd_verify,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args, out)
 

@@ -43,7 +43,7 @@ from repro.tripoll.survey import survey_triangles
 from repro.util.timers import StageTimings
 from repro.ygm.errors import YgmError
 
-__all__ = ["CoordinationPipeline"]
+__all__ = ["CoordinationPipeline", "component_reports"]
 
 
 class CoordinationPipeline:
@@ -375,34 +375,47 @@ class CoordinationPipeline:
     def _component_reports(
         self, ci_thr: CommonInteractionGraph
     ) -> list[ComponentReport]:
-        comps = ci_thr.components(min_size=self.config.min_component_size)
-        if not comps:
-            return []
-        csr = ci_thr.to_csr()
-        return [self._describe_component(ci_thr, csr, comp) for comp in comps]
+        return component_reports(ci_thr, self.config.min_component_size)
 
-    @staticmethod
-    def _describe_component(
-        ci: CommonInteractionGraph, csr: CSRGraph, members: list[int]
-    ) -> ComponentReport:
-        member_set = set(members)
-        weights: list[int] = []
-        for v in members:
-            for nbr, w in zip(csr.neighbors(v), csr.neighbor_weights(v)):
-                if int(nbr) in member_set and int(nbr) > v:
-                    weights.append(int(w))
-        n = len(members)
-        n_edges = len(weights)
-        density = 2.0 * n_edges / (n * (n - 1)) if n > 1 else 0.0
-        return ComponentReport(
-            members=tuple(members),
-            member_names=tuple(ci.author_name(v) for v in members),
-            n_edges=n_edges,
-            weight_min=min(weights) if weights else 0,
-            weight_max=max(weights) if weights else 0,
-            density=density,
-            max_clique_lower_bound=_greedy_clique(csr, members),
-        )
+
+def component_reports(
+    ci_thr: CommonInteractionGraph, min_component_size: int
+) -> list[ComponentReport]:
+    """Describe every component of a thresholded CI graph.
+
+    Shared by the batch pipeline and the online service's
+    :meth:`repro.serve.DetectionEngine.snapshot`, so both produce
+    identical :class:`~repro.pipeline.results.ComponentReport` rows for
+    the same graph.
+    """
+    comps = ci_thr.components(min_size=min_component_size)
+    if not comps:
+        return []
+    csr = ci_thr.to_csr()
+    return [_describe_component(ci_thr, csr, comp) for comp in comps]
+
+
+def _describe_component(
+    ci: CommonInteractionGraph, csr: CSRGraph, members: list[int]
+) -> ComponentReport:
+    member_set = set(members)
+    weights: list[int] = []
+    for v in members:
+        for nbr, w in zip(csr.neighbors(v), csr.neighbor_weights(v)):
+            if int(nbr) in member_set and int(nbr) > v:
+                weights.append(int(w))
+    n = len(members)
+    n_edges = len(weights)
+    density = 2.0 * n_edges / (n * (n - 1)) if n > 1 else 0.0
+    return ComponentReport(
+        members=tuple(members),
+        member_names=tuple(ci.author_name(v) for v in members),
+        n_edges=n_edges,
+        weight_min=min(weights) if weights else 0,
+        weight_max=max(weights) if weights else 0,
+        density=density,
+        max_clique_lower_bound=_greedy_clique(csr, members),
+    )
 
 
 def _safe_shutdown(world) -> None:

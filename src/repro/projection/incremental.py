@@ -12,9 +12,18 @@ old contribution.  The reduced CI graph is then rebuilt from the triple
 store — exact, not approximate: equality with a from-scratch projection
 over the concatenated corpus is asserted in tests after every update
 pattern (appends, page-local edits, out-of-order arrivals).
+
+For long-lived deployments (see :mod:`repro.serve`) the projector also
+supports **time-based eviction** (:meth:`evict_before` drops comments
+older than a cutoff and reprojects the affected pages) and **id-space
+compaction** (:meth:`compact` rebuilds the interners over the live
+corpus so steady-state memory tracks the live window, not everything
+ever ingested).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -28,7 +37,66 @@ from repro.projection.project import (
 from repro.projection.window import TimeWindow
 from repro.util.ids import Interner
 
-__all__ = ["IncrementalProjector"]
+__all__ = ["CompactionReport", "EvictionReport", "IncrementalProjector"]
+
+
+@dataclass(frozen=True)
+class EvictionReport:
+    """What one :meth:`IncrementalProjector.evict_before` call removed.
+
+    Attributes
+    ----------
+    cutoff:
+        Comments with ``created_utc < cutoff`` were dropped.
+    evicted:
+        One ``(user_id, page_id)`` per evicted comment (multiplicity
+        preserved — a user's three old comments on a page yield three
+        entries), so callers tracking per-user live incidence can
+        decrement exactly.
+    touched_pages:
+        Pages that lost at least one comment (reprojected or removed).
+    removed_pages:
+        The subset of ``touched_pages`` left with no comments at all.
+    """
+
+    cutoff: int
+    evicted: tuple[tuple[int, int], ...]
+    touched_pages: frozenset[int]
+    removed_pages: frozenset[int]
+
+    @property
+    def n_evicted(self) -> int:
+        """Number of comments dropped."""
+        return len(self.evicted)
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """Outcome of one :meth:`IncrementalProjector.compact` call.
+
+    ``user_map`` / ``page_map`` translate old ids to new ids (``-1`` for
+    ids whose owner no longer appears in any live comment).  Both maps
+    are **monotone** on surviving ids — relative order is preserved — so
+    canonical orientations (``a < b``) and sorted iteration orders remain
+    valid after remapping.
+    """
+
+    users_before: int
+    users_after: int
+    pages_before: int
+    pages_after: int
+    user_map: np.ndarray
+    page_map: np.ndarray
+
+    @property
+    def reclaimed_users(self) -> int:
+        """Interner rows dropped from the user id space."""
+        return self.users_before - self.users_after
+
+    @property
+    def reclaimed_pages(self) -> int:
+        """Interner rows dropped from the page id space."""
+        return self.pages_before - self.pages_after
 
 
 class IncrementalProjector:
@@ -45,9 +113,11 @@ class IncrementalProjector:
     --------
     >>> proj = IncrementalProjector(TimeWindow(0, 60))
     >>> proj.add_comments([("a", "p", 0), ("b", "p", 30)])
+    1
     >>> proj.ci_graph().edges.to_dict()
     {(0, 1): 1}
     >>> proj.add_comments([("c", "p", 45)])      # page p is re-projected
+    1
     >>> sorted(proj.ci_graph().edges.to_dict())
     [(0, 1), (0, 2), (1, 2)]
     """
@@ -90,6 +160,93 @@ class IncrementalProjector:
         self._dirty = True
         return True
 
+    def evict_before(self, cutoff: int) -> EvictionReport:
+        """Drop every comment with ``created_utc < cutoff`` (sliding window).
+
+        Pages that lose comments are reprojected from their surviving
+        rows (the same per-page machinery appends use); pages left empty
+        are removed outright.  The interners are *not* shrunk here —
+        that is :meth:`compact`'s job — so ids stay stable across
+        evictions.
+        """
+        cutoff = int(cutoff)
+        evicted: list[tuple[int, int]] = []
+        touched: set[int] = set()
+        removed: set[int] = set()
+        for pid in self.pages_with_comments_before(cutoff):
+            rows = self._comments[pid]
+            keep = [(u, t) for u, t in rows if t >= cutoff]
+            evicted.extend((u, pid) for u, t in rows if t < cutoff)
+            touched.add(pid)
+            if keep:
+                self._comments[pid] = keep
+                self._reproject_page(pid)
+            else:
+                del self._comments[pid]
+                self._triples.pop(pid, None)
+                removed.add(pid)
+        if touched:
+            self._dirty = True
+        return EvictionReport(
+            cutoff=cutoff,
+            evicted=tuple(evicted),
+            touched_pages=frozenset(touched),
+            removed_pages=frozenset(removed),
+        )
+
+    def compact(self) -> CompactionReport:
+        """Rebuild both interners over the live corpus only.
+
+        Under sustained append/evict churn the interners (and the id
+        spaces every dense array is sized by, e.g. ``P'``) grow with the
+        *total* number of users and pages ever seen, not the live window
+        — the classic slow leak of a long-running service.  Compaction
+        remaps every surviving id onto a dense ``0..n-1`` space in old-id
+        order (a monotone map: relative order, and hence every canonical
+        ``a < b`` orientation, is preserved) and drops dead rows.
+
+        Callers holding id-keyed state of their own must remap it with
+        the returned :class:`CompactionReport` maps (or rebuild from the
+        projector, as :class:`repro.serve.DetectionEngine` does).
+        """
+        users_before = len(self.user_names)
+        pages_before = len(self.page_names)
+
+        live_pids = sorted(self._comments)
+        live_uids: set[int] = set()
+        for rows in self._comments.values():
+            live_uids.update(u for u, _t in rows)
+
+        user_map = np.full(users_before, -1, dtype=np.int64)
+        for new, old in enumerate(sorted(live_uids)):
+            user_map[old] = new
+        page_map = np.full(pages_before, -1, dtype=np.int64)
+        for new, old in enumerate(live_pids):
+            page_map[old] = new
+
+        self.user_names = Interner(
+            self.user_names.key_of(old) for old in sorted(live_uids)
+        )
+        self.page_names = Interner(
+            self.page_names.key_of(old) for old in live_pids
+        )
+        self._comments = {
+            int(page_map[pid]): [(int(user_map[u]), t) for u, t in rows]
+            for pid, rows in self._comments.items()
+        }
+        self._triples = {
+            int(page_map[pid]): (user_map[a], user_map[b])
+            for pid, (a, b) in self._triples.items()
+        }
+        return CompactionReport(
+            users_before=users_before,
+            users_after=len(self.user_names),
+            pages_before=pages_before,
+            pages_after=len(self.page_names),
+            user_map=user_map,
+            page_map=page_map,
+        )
+
     def _reproject_page(self, pid: int) -> None:
         rows = self._comments[pid]
         rows.sort(key=lambda r: r[1])
@@ -113,6 +270,25 @@ class IncrementalProjector:
             self._triples.pop(pid, None)
 
     # -- reads ----------------------------------------------------------------------
+    def pages_with_comments_before(self, cutoff: int) -> list[int]:
+        """Page ids holding at least one comment older than *cutoff*.
+
+        This is the eviction candidate set — callers snapshotting
+        per-page state before an :meth:`evict_before` (to diff against
+        the post-eviction state) ask for it first.
+        """
+        cutoff = int(cutoff)
+        return [
+            pid
+            for pid, rows in self._comments.items()
+            if any(t < cutoff for _u, t in rows)
+        ]
+
+    def triples_of(self, pid: int) -> tuple[np.ndarray, np.ndarray] | None:
+        """Current distinct ``(lo, hi)`` user-pair arrays of one page id
+        (``None`` when the page produced no in-window pair)."""
+        return self._triples.get(pid)
+
     def ci_graph(self) -> CommonInteractionGraph:
         """The current common interaction graph (rebuilt from triples)."""
         if self._triples:
@@ -151,6 +327,28 @@ class IncrementalProjector:
             self.user_names,
             self.page_names,
         )
+
+    def memory_stats(self) -> dict[str, int]:
+        """Live-vs-interned accounting for leak detection.
+
+        ``interned_users - live_users`` (and the page analogue) is the
+        churn debt compaction would reclaim; the regression tests assert
+        it stays bounded under long append/evict cycles when compaction
+        runs.
+        """
+        live_uids: set[int] = set()
+        for rows in self._comments.values():
+            live_uids.update(u for u, _t in rows)
+        return {
+            "interned_users": len(self.user_names),
+            "live_users": len(live_uids),
+            "interned_pages": len(self.page_names),
+            "live_pages": len(self._comments),
+            "comments": self.n_comments,
+            "triple_rows": sum(
+                a.shape[0] for a, _b in self._triples.values()
+            ),
+        }
 
     @property
     def n_pages(self) -> int:

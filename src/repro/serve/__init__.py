@@ -1,0 +1,49 @@
+"""Online detection service — the paper's pipeline as a living system.
+
+The batch pipeline (:mod:`repro.pipeline`) answers "who coordinated in
+this dump?".  This package answers the monitoring question the paper's
+future-work section gestures at: "who is coordinating *right now*?" —
+a long-lived service that ingests a comment stream, maintains the
+thresholded common-interaction graph over a sliding window, re-scores
+only the triangles an update actually dirtied, and answers top-k /
+per-user / component queries at any moment.
+
+Layers (each usable on its own):
+
+- :mod:`repro.serve.ingest` — bounded event queue with backpressure,
+  watermark tracking, lenient ndjson streaming;
+- :mod:`repro.serve.engine` — :class:`DetectionEngine`, the stateful
+  core with the **exactness contract**: every answer equals a
+  from-scratch batch run over the live window (enforced by
+  :func:`repro.verify.online.run_online_parity`);
+- :mod:`repro.serve.service` — :class:`DetectionService`, the event
+  loop composing the two, driven by ``repro-botnets serve``;
+- :mod:`repro.serve.metrics` — :class:`ServiceMetrics` counters,
+  gauges, and latency histograms surfaced through ``status()``.
+"""
+
+from repro.serve.engine import BatchReport, DetectionEngine
+from repro.serve.ingest import (
+    Event,
+    EventQueue,
+    WatermarkTracker,
+    iter_ndjson_events,
+    parse_comment_event,
+)
+from repro.serve.metrics import Counter, Gauge, Histogram, ServiceMetrics
+from repro.serve.service import DetectionService
+
+__all__ = [
+    "BatchReport",
+    "Counter",
+    "DetectionEngine",
+    "DetectionService",
+    "Event",
+    "EventQueue",
+    "Gauge",
+    "Histogram",
+    "ServiceMetrics",
+    "WatermarkTracker",
+    "iter_ndjson_events",
+    "parse_comment_event",
+]

@@ -1,0 +1,793 @@
+"""The stateful online detection engine (sliding window, dirty-set rescoring).
+
+:class:`DetectionEngine` keeps the paper's three-step pipeline *alive*
+over a sliding window of comments instead of re-running it per batch:
+
+- **Step 1 stays per-page incremental** — appends and time-based
+  evictions route through
+  :class:`~repro.projection.incremental.IncrementalProjector`, which
+  reprojects only the touched pages.  The engine folds each touched
+  page's before/after ``(x, y)`` pair sets into running ``w'`` edge
+  weights and the ``P'`` ledger, so the common interaction graph is
+  never rebuilt from scratch.
+- **Steps 2–3 become dirty-set maintenance** — the pairs whose ``w'``
+  actually changed in a batch (the *dirty edges*) are the only places
+  the thresholded graph, and therefore its triangle set, can change.
+  Triangles incident to a dirty edge are removed/added/re-weighted via
+  common-neighbor closure on the thresholded adjacency; scores
+  (``T`` of eq. 7, ``w_xyz``/``C`` of eqs. 2–4) are recomputed only for
+  triangles touching a dirty edge or a *dirty user* (one whose ``P'``
+  or live page set changed).  Per-batch cost is proportional to the
+  dirty set, not to the live graph.
+
+**Exactness contract.**  After *any* interleaving of appends,
+out-of-order arrivals, and evictions, every query answer equals a
+from-scratch :class:`~repro.pipeline.framework.CoordinationPipeline`
+run over exactly the live (admitted, unevicted) comments.  The
+contract is enforced by :func:`repro.verify.online.run_online_parity`
+and the randomized property tests; nothing here is approximate.
+
+Admission mirrors the watermark semantics of
+:class:`~repro.serve.ingest.WatermarkTracker`: once
+:meth:`DetectionEngine.advance` has moved the eviction cutoff, an
+arriving comment older than the cutoff is dropped (counted as late) —
+its window has already been evicted and answered for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.filters import FilterReport
+from repro.hypergraph.triplets import TripletMetrics
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.framework import component_reports
+from repro.pipeline.results import PipelineResult
+from repro.projection.incremental import IncrementalProjector
+from repro.serve.metrics import ServiceMetrics
+from repro.tripoll.survey import TriangleSet
+
+__all__ = ["BatchReport", "DetectionEngine"]
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """What one engine update (ingest batch and/or window advance) did.
+
+    The dirty-set sizes are the engine's own incrementality evidence:
+    the serve benchmark asserts per-batch update cost tracks
+    ``dirty_edges`` / ``rescored_triangles``, not the live graph size.
+    """
+
+    n_appended: int
+    n_filtered: int
+    n_late_dropped: int
+    n_evicted: int
+    touched_pages: int
+    dirty_edges: int
+    dirty_users: int
+    triangles_added: int
+    triangles_removed: int
+    rescored_triangles: int
+
+    @property
+    def idle(self) -> bool:
+        """Whether the update changed nothing at all."""
+        return self.touched_pages == 0 and self.n_late_dropped == 0
+
+
+class _TriScore:
+    """Mutable per-triangle record: the three ``w'`` weights + scores."""
+
+    __slots__ = ("w_ab", "w_ac", "w_bc", "t", "w_xyz", "p_sum", "c")
+
+    def __init__(self, w_ab: int, w_ac: int, w_bc: int) -> None:
+        self.w_ab = w_ab
+        self.w_ac = w_ac
+        self.w_bc = w_bc
+        self.t = 0.0
+        self.w_xyz = 0
+        self.p_sum = 0
+        self.c = 0.0
+
+
+class DetectionEngine:
+    """Maintains live detection state and answers queries over it.
+
+    Parameters
+    ----------
+    config:
+        The same :class:`~repro.pipeline.config.PipelineConfig` a batch
+        run would use — window, cutoff, author filter, component floor,
+        ``compute_hypergraph`` — so the oracle for any engine state is
+        simply ``CoordinationPipeline(config).run(live_corpus)``.
+    metrics:
+        Optional shared :class:`~repro.serve.metrics.ServiceMetrics`
+        registry (one is created when omitted).
+    auto_compact:
+        When true (default), the projector's interners are compacted —
+        and the engine rebuilt from the compacted state — whenever the
+        interned id space exceeds ``compact_ratio`` × the live
+        population, keeping steady-state memory proportional to the live
+        window under churn.
+    compact_ratio / compact_min:
+        Compaction triggers when ``interned > max(compact_min,
+        compact_ratio * live)`` for users or pages.
+
+    Examples
+    --------
+    >>> from repro.projection import TimeWindow
+    >>> eng = DetectionEngine(PipelineConfig(
+    ...     window=TimeWindow(0, 60), min_triangle_weight=1,
+    ...     min_component_size=2, compute_hypergraph=True))
+    >>> _ = eng.ingest([("a", "p", 0), ("b", "p", 10), ("c", "p", 20)])
+    >>> eng.top_k_triplets(1)[0]["authors"]
+    ('a', 'b', 'c')
+    >>> _ = eng.advance(1_000)              # slide the window past p
+    >>> eng.n_live_comments, eng.top_k_triplets(1)
+    (0, [])
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        *,
+        metrics: ServiceMetrics | None = None,
+        auto_compact: bool = True,
+        compact_ratio: float = 4.0,
+        compact_min: int = 1024,
+    ) -> None:
+        self.config = config if config is not None else PipelineConfig()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.auto_compact = bool(auto_compact)
+        self.compact_ratio = float(compact_ratio)
+        self.compact_min = int(compact_min)
+        self.proj = IncrementalProjector(
+            self.config.window, pair_batch=self.config.pair_batch
+        )
+        self.evict_cutoff: int | None = None
+        # Running CI state: accumulated edge weights w' and the P' ledger
+        # (nonzero entries only), both keyed by dense user ids.
+        self._ci: dict[tuple[int, int], int] = {}
+        self._pprime: dict[int, int] = {}
+        # Live incidence: user id -> {page id: live comment count}.
+        self._user_pages: dict[int, dict[int, int]] = {}
+        # Thresholded adjacency and the triangle store over it.
+        self._adj: dict[int, dict[int, int]] = {}
+        self._tris: dict[tuple[int, int, int], _TriScore] = {}
+        self._tri_by_user: dict[int, set[tuple[int, int, int]]] = {}
+        # Author-filter bookkeeping (decision cache + report data).
+        self._filter_cache: dict[str, bool] = {}
+        self._filtered_names: dict[str, None] = {}
+        self._filtered_comments = 0
+
+    # -- updates ---------------------------------------------------------------
+    def ingest(self, events) -> BatchReport:
+        """Apply one micro-batch of ``(author, page, created_utc)`` events.
+
+        Events by filtered authors and events older than the current
+        eviction cutoff (late beyond the watermark) are dropped and
+        counted; everything else becomes part of the live corpus.
+        """
+        accepted: list[tuple] = []
+        n_filtered = 0
+        n_late = 0
+        for author, page, created in events:
+            created = int(created)
+            if self._is_filtered(author):
+                n_filtered += 1
+                continue
+            if self.evict_cutoff is not None and created < self.evict_cutoff:
+                n_late += 1
+                continue
+            accepted.append((author, page, created))
+        self._filtered_comments += n_filtered
+        report = self._apply(accepted, None, n_filtered, n_late)
+        self._maybe_compact()
+        return report
+
+    def advance(self, cutoff: int) -> BatchReport:
+        """Advance the sliding window: evict comments older than *cutoff*.
+
+        The cutoff is clamped to be monotone (a stale watermark never
+        un-evicts) and becomes the admission floor for future arrivals.
+        """
+        cutoff = int(cutoff)
+        if self.evict_cutoff is not None:
+            cutoff = max(cutoff, self.evict_cutoff)
+        self.evict_cutoff = cutoff
+        report = self._apply([], cutoff, 0, 0)
+        self._maybe_compact()
+        return report
+
+    def _is_filtered(self, author) -> bool:
+        if not isinstance(author, str):
+            return False
+        verdict = self._filter_cache.get(author)
+        if verdict is None:
+            verdict = self.config.author_filter.matches(author)
+            self._filter_cache[author] = verdict
+            if verdict:
+                self._filtered_names[author] = None
+        return verdict
+
+    # -- the dirty-set update ---------------------------------------------------
+    def _apply(
+        self,
+        appends: list[tuple],
+        cutoff: int | None,
+        n_filtered: int,
+        n_late: int,
+    ) -> BatchReport:
+        with self.metrics.time("engine.update"):
+            proj = self.proj
+            # Snapshot the pre-batch pair sets of every page this update
+            # can touch (append targets now; eviction candidates after
+            # the append, which cannot un-age an existing comment).
+            old_pairs: dict[int, set[tuple[int, int]]] = {}
+            for _a, page, _t in appends:
+                pid = proj.page_names.intern(page)
+                if pid not in old_pairs:
+                    old_pairs[pid] = self._pairs_of(pid)
+            if appends:
+                proj.add_comments(appends)
+            n_evicted = 0
+            evicted_rows: tuple[tuple[int, int], ...] = ()
+            if cutoff is not None:
+                for pid in proj.pages_with_comments_before(cutoff):
+                    if pid not in old_pairs:
+                        old_pairs[pid] = self._pairs_of(pid)
+                ev = proj.evict_before(cutoff)
+                n_evicted = ev.n_evicted
+                evicted_rows = ev.evicted
+
+            # Net w' / P' deltas over the touched pages.
+            edge_delta: dict[tuple[int, int], int] = {}
+            pprime_delta: dict[int, int] = {}
+            for pid, old in old_pairs.items():
+                new = self._pairs_of(pid)
+                if new == old:
+                    continue
+                old_users: set[int] = set()
+                new_users: set[int] = set()
+                for pair in old - new:
+                    edge_delta[pair] = edge_delta.get(pair, 0) - 1
+                for pair in new - old:
+                    edge_delta[pair] = edge_delta.get(pair, 0) + 1
+                for a, b in old:
+                    old_users.add(a)
+                    old_users.add(b)
+                for a, b in new:
+                    new_users.add(a)
+                    new_users.add(b)
+                for u in old_users - new_users:
+                    pprime_delta[u] = pprime_delta.get(u, 0) - 1
+                for u in new_users - old_users:
+                    pprime_delta[u] = pprime_delta.get(u, 0) + 1
+
+            dirty_users: set[int] = set()
+            for u, delta in pprime_delta.items():
+                if delta == 0:
+                    continue
+                new_val = self._pprime.get(u, 0) + delta
+                if new_val:
+                    self._pprime[u] = new_val
+                else:
+                    self._pprime.pop(u, None)
+                dirty_users.add(u)
+
+            # Live incidence maintenance (feeds p_x and w_xyz); a user
+            # whose distinct-page set changed is dirty for C/T rescoring.
+            for author, page, _t in appends:
+                uid = proj.user_names.id_of(author)
+                pid = proj.page_names.id_of(page)
+                pages = self._user_pages.setdefault(uid, {})
+                pages[pid] = pages.get(pid, 0) + 1
+                if pages[pid] == 1:
+                    dirty_users.add(uid)
+            for uid, pid in evicted_rows:
+                pages = self._user_pages[uid]
+                pages[pid] -= 1
+                if pages[pid] == 0:
+                    del pages[pid]
+                    dirty_users.add(uid)
+                    if not pages:
+                        del self._user_pages[uid]
+
+            # Thresholded-graph and triangle maintenance on dirty edges.
+            self._fold_edge_deltas(edge_delta)
+            dirty_edges = [
+                pair for pair, delta in sorted(edge_delta.items()) if delta
+            ]
+            added, removed, rescore = self._update_triangles(dirty_edges)
+            for key in self._tris:
+                if key in rescore:
+                    continue
+                if (
+                    key[0] in dirty_users
+                    or key[1] in dirty_users
+                    or key[2] in dirty_users
+                ):
+                    rescore.add(key)
+            self._rescore(rescore)
+
+        m = self.metrics
+        m.counter("engine.batches").inc()
+        m.counter("engine.events_ingested").inc(len(appends))
+        m.counter("engine.events_filtered").inc(n_filtered)
+        m.counter("engine.events_late_dropped").inc(n_late)
+        m.counter("engine.comments_evicted").inc(n_evicted)
+        m.counter("engine.dirty_edges").inc(len(dirty_edges))
+        m.counter("engine.dirty_users").inc(len(dirty_users))
+        m.counter("engine.triangles_added").inc(added)
+        m.counter("engine.triangles_removed").inc(removed)
+        m.counter("engine.rescored_triangles").inc(len(rescore))
+        m.gauge("engine.last_dirty_edges").set(len(dirty_edges))
+        m.gauge("engine.last_rescored_triangles").set(len(rescore))
+        m.gauge("engine.live_comments").set(self.n_live_comments)
+        m.gauge("engine.live_pages").set(self.proj.n_pages)
+        m.gauge("engine.ci_edges").set(len(self._ci))
+        m.gauge("engine.thresholded_edges").set(
+            sum(len(nbrs) for nbrs in self._adj.values()) // 2
+        )
+        m.gauge("engine.triangles").set(len(self._tris))
+        if self.evict_cutoff is not None:
+            m.gauge("engine.evict_cutoff").set(self.evict_cutoff)
+        return BatchReport(
+            n_appended=len(appends),
+            n_filtered=n_filtered,
+            n_late_dropped=n_late,
+            n_evicted=n_evicted,
+            touched_pages=len(old_pairs),
+            dirty_edges=len(dirty_edges),
+            dirty_users=len(dirty_users),
+            triangles_added=added,
+            triangles_removed=removed,
+            rescored_triangles=len(rescore),
+        )
+
+    def _pairs_of(self, pid: int) -> set[tuple[int, int]]:
+        triples = self.proj.triples_of(pid)
+        if triples is None:
+            return set()
+        a, b = triples
+        return set(zip(a.tolist(), b.tolist()))
+
+    def _update_triangles(
+        self, dirty_edges: list[tuple[int, int]]
+    ) -> tuple[int, int, set[tuple[int, int, int]]]:
+        """Fold dirty-edge deltas into ``w'``, the thresholded adjacency,
+        and the triangle store; returns (added, removed, keys to rescore).
+        """
+        cutoff = self.config.min_triangle_weight
+        adj = self._adj
+        added = removed = 0
+        rescore: set[tuple[int, int, int]] = set()
+        for u, v in dirty_edges:
+            new_w = self._ci.get((u, v), 0)
+            was_above = v in adj.get(u, ())
+            if new_w >= cutoff:
+                if was_above:
+                    adj[u][v] = new_w
+                    adj[v][u] = new_w
+                    for key in self._tris_with_edge(u, v):
+                        self._set_tri_weight(key, u, v, new_w)
+                        rescore.add(key)
+                else:
+                    nbrs_u = adj.setdefault(u, {})
+                    nbrs_v = adj.setdefault(v, {})
+                    common = nbrs_u.keys() & nbrs_v.keys()
+                    nbrs_u[v] = new_w
+                    nbrs_v[u] = new_w
+                    for w in common:
+                        key = tuple(sorted((u, v, w)))
+                        if key in self._tris:
+                            # Another dirty edge of the same new triangle
+                            # already closed it this batch.
+                            self._set_tri_weight(key, u, v, new_w)
+                            rescore.add(key)
+                            continue
+                        tri = _TriScore(0, 0, 0)
+                        self._tris[key] = tri
+                        self._set_tri_weight(key, u, v, new_w)
+                        self._set_tri_weight(key, u, w, nbrs_u[w])
+                        self._set_tri_weight(key, v, w, nbrs_v[w])
+                        for vertex in key:
+                            self._tri_by_user.setdefault(vertex, set()).add(key)
+                        rescore.add(key)
+                        added += 1
+            elif was_above:
+                del adj[u][v]
+                del adj[v][u]
+                if not adj[u]:
+                    del adj[u]
+                if not adj[v]:
+                    del adj[v]
+                for key in self._tris_with_edge(u, v):
+                    del self._tris[key]
+                    rescore.discard(key)
+                    for vertex in key:
+                        owners = self._tri_by_user[vertex]
+                        owners.discard(key)
+                        if not owners:
+                            del self._tri_by_user[vertex]
+                    removed += 1
+        return added, removed, rescore
+
+    def _tris_with_edge(self, u: int, v: int) -> list[tuple[int, int, int]]:
+        a = self._tri_by_user.get(u)
+        b = self._tri_by_user.get(v)
+        if not a or not b:
+            return []
+        return list(a & b)
+
+    def _set_tri_weight(
+        self, key: tuple[int, int, int], u: int, v: int, w: int
+    ) -> None:
+        tri = self._tris[key]
+        lo, hi = (u, v) if u < v else (v, u)
+        a, b, c = key
+        if (lo, hi) == (a, b):
+            tri.w_ab = w
+        elif (lo, hi) == (a, c):
+            tri.w_ac = w
+        else:
+            tri.w_bc = w
+
+    def _rescore(self, keys: set[tuple[int, int, int]]) -> None:
+        pprime = self._pprime
+        user_pages = self._user_pages
+        hyper = self.config.compute_hypergraph
+        for key in keys:
+            tri = self._tris.get(key)
+            if tri is None:
+                continue
+            a, b, c = key
+            min_w = min(tri.w_ab, tri.w_ac, tri.w_bc)
+            denom = pprime.get(a, 0) + pprime.get(b, 0) + pprime.get(c, 0)
+            tri.t = 3.0 * min_w / denom if denom > 0 else 0.0
+            if hyper:
+                pa = user_pages.get(a, {})
+                pb = user_pages.get(b, {})
+                pc = user_pages.get(c, {})
+                sets = sorted((pa, pb, pc), key=len)
+                small = sets[0].keys() & sets[1].keys()
+                tri.w_xyz = (
+                    len(small & sets[2].keys()) if small else 0
+                )
+                tri.p_sum = len(pa) + len(pb) + len(pc)
+                tri.c = (
+                    3.0 * tri.w_xyz / tri.p_sum if tri.p_sum > 0 else 0.0
+                )
+
+    # -- edge-weight bookkeeping (kept next to the diff that feeds it) ---------
+    def _fold_edge_deltas(self, edge_delta: dict[tuple[int, int], int]) -> None:
+        for pair, delta in edge_delta.items():
+            if not delta:
+                continue
+            new_w = self._ci.get(pair, 0) + delta
+            if new_w:
+                self._ci[pair] = new_w
+            else:
+                self._ci.pop(pair, None)
+
+    # -- compaction -------------------------------------------------------------
+    def _maybe_compact(self) -> None:
+        if not self.auto_compact:
+            return
+        stats = self.proj.memory_stats()
+        bloated = stats["interned_users"] > max(
+            self.compact_min, self.compact_ratio * stats["live_users"]
+        ) or stats["interned_pages"] > max(
+            self.compact_min, self.compact_ratio * stats["live_pages"]
+        )
+        if bloated:
+            self.compact()
+
+    def compact(self) -> None:
+        """Compact the projector id spaces and rebuild engine state.
+
+        Compaction remaps every dense id, so the engine's id-keyed
+        stores are rebuilt from the (already compacted, still exact)
+        projector state: CI edges and ``P'`` from the triple store, the
+        incidence from the live comments, and the triangle store from a
+        fresh closure over the thresholded adjacency.  Amortized cost is
+        bounded because compaction only fires after ~``compact_ratio``×
+        growth; queries before and after are identical (asserted in
+        tests).
+        """
+        with self.metrics.time("engine.compact"):
+            self.proj.compact()
+            self._rebuild_from_projector()
+        self.metrics.counter("engine.compactions").inc()
+
+    def _rebuild_from_projector(self) -> None:
+        ci = self.proj.ci_graph()
+        self._ci = ci.edges.to_dict()
+        self._pprime = {
+            i: int(c) for i, c in enumerate(ci.page_counts) if c
+        }
+        btm = self.proj.to_btm()
+        self._user_pages = {}
+        for uid, pid in zip(btm.users.tolist(), btm.pages.tolist()):
+            pages = self._user_pages.setdefault(uid, {})
+            pages[pid] = pages.get(pid, 0) + 1
+        cutoff = self.config.min_triangle_weight
+        self._adj = {}
+        for (u, v), w in self._ci.items():
+            if w >= cutoff:
+                self._adj.setdefault(u, {})[v] = w
+                self._adj.setdefault(v, {})[u] = w
+        self._tris = {}
+        self._tri_by_user = {}
+        rescore: set[tuple[int, int, int]] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if v <= u:
+                    continue
+                for w in nbrs.keys() & self._adj[v].keys():
+                    if w <= v:
+                        continue
+                    key = (u, v, w)
+                    tri = _TriScore(
+                        self._adj[u][v], self._adj[u][w], self._adj[v][w]
+                    )
+                    self._tris[key] = tri
+                    for vertex in key:
+                        self._tri_by_user.setdefault(vertex, set()).add(key)
+                    rescore.add(key)
+        self._rescore(rescore)
+
+    # -- queries ----------------------------------------------------------------
+    def top_k_triplets(self, k: int, by: str = "t") -> list[dict]:
+        """The *k* highest-scoring live triplets as name-keyed rows.
+
+        ``by`` ranks by ``"t"`` (eq. 7), ``"c"`` (eq. 4, requires
+        ``compute_hypergraph``), or ``"min_weight"``.  Rows are sorted by
+        descending score with the lexicographic author triple as the
+        deterministic tie-break, and carry every per-triplet metric, so
+        the result is directly comparable with a batch run's (see
+        :func:`repro.analysis.export.top_triplets_rows`).
+        """
+        with self.metrics.time("engine.query"):
+            rows = self._triplet_rows()
+            key = self._rank_key(by)
+            rows.sort(key=lambda r: (-r[key], r["authors"]))
+            return rows[: max(int(k), 0)]
+
+    def _rank_key(self, by: str) -> str:
+        if by == "t":
+            return "t"
+        if by == "min_weight":
+            return "min_weight"
+        if by == "c":
+            if not self.config.compute_hypergraph:
+                raise ValueError(
+                    "ranking by C requires compute_hypergraph=True"
+                )
+            return "c"
+        raise ValueError(f"unknown ranking {by!r} (use t, c, min_weight)")
+
+    def _triplet_rows(self) -> list[dict]:
+        name_of = self.proj.user_names.key_of
+        rows = []
+        for (a, b, c), tri in self._tris.items():
+            names = tuple(sorted((str(name_of(a)), str(name_of(b)), str(name_of(c)))))
+            rows.append(
+                {
+                    "authors": names,
+                    "min_weight": min(tri.w_ab, tri.w_ac, tri.w_bc),
+                    "weights": tuple(sorted((tri.w_ab, tri.w_ac, tri.w_bc))),
+                    "t": tri.t,
+                    "w_xyz": tri.w_xyz,
+                    "p_sum": tri.p_sum,
+                    "c": tri.c,
+                }
+            )
+        return rows
+
+    def user_score(self, author: str) -> dict:
+        """Live per-author summary: ``P'``, page count, degree, best scores.
+
+        Returns a row with ``present=False`` (zeros elsewhere) for
+        authors not currently in the live window — a monitoring query
+        must not throw on unknown names.
+        """
+        with self.metrics.time("engine.query"):
+            uid = self.proj.user_names.get(author)
+            if uid is None or uid not in self._user_pages:
+                return {
+                    "author": author,
+                    "present": False,
+                    "p_prime": 0,
+                    "pages": 0,
+                    "degree": 0,
+                    "n_triplets": 0,
+                    "best_t": 0.0,
+                    "best_c": 0.0,
+                }
+            tris = self._tri_by_user.get(uid, set())
+            return {
+                "author": author,
+                "present": True,
+                "p_prime": self._pprime.get(uid, 0),
+                "pages": len(self._user_pages.get(uid, {})),
+                "degree": len(self._adj.get(uid, {})),
+                "n_triplets": len(tris),
+                "best_t": max((self._tris[k].t for k in tris), default=0.0),
+                "best_c": max((self._tris[k].c for k in tris), default=0.0),
+            }
+
+    def component_of(self, author: str) -> list[str]:
+        """Sorted member names of *author*'s thresholded-graph component.
+
+        Empty when the author is absent or isolated at the current
+        cutoff (no ``min_component_size`` floor is applied here — this
+        is the investigative "who is this account coordinating with"
+        query).
+        """
+        with self.metrics.time("engine.query"):
+            uid = self.proj.user_names.get(author)
+            if uid is None or uid not in self._adj:
+                return []
+            seen = {uid}
+            frontier = [uid]
+            while frontier:
+                nxt = []
+                for u in frontier:
+                    for v in self._adj.get(u, ()):
+                        if v not in seen:
+                            seen.add(v)
+                            nxt.append(v)
+                frontier = nxt
+            name_of = self.proj.user_names.key_of
+            return sorted(str(name_of(u)) for u in seen)
+
+    def components(self) -> list[list[str]]:
+        """All candidate networks (components ≥ ``min_component_size``),
+        each as a sorted name list, largest first."""
+        with self.metrics.time("engine.query"):
+            seen: set[int] = set()
+            out: list[list[str]] = []
+            name_of = self.proj.user_names.key_of
+            for start in sorted(self._adj):
+                if start in seen:
+                    continue
+                comp = {start}
+                frontier = [start]
+                while frontier:
+                    nxt = []
+                    for u in frontier:
+                        for v in self._adj.get(u, ()):
+                            if v not in comp:
+                                comp.add(v)
+                                nxt.append(v)
+                    frontier = nxt
+                seen |= comp
+                if len(comp) >= self.config.min_component_size:
+                    out.append(sorted(str(name_of(u)) for u in comp))
+            out.sort(key=lambda names: (-len(names), names))
+            return out
+
+    def snapshot(self) -> PipelineResult:
+        """Export the live state as a batch-compatible
+        :class:`~repro.pipeline.results.PipelineResult`.
+
+        Every artifact (CI graph, thresholded view, canonical triangle
+        set, ``T``/``w_xyz``/``C`` arrays, component reports) is
+        assembled from the engine's incremental stores, so downstream
+        consumers — DOT export, markdown reports, the component census —
+        work on live state unchanged.
+        """
+        with self.metrics.time("engine.snapshot"):
+            ci = self.proj.ci_graph()
+            ci_thr = ci.threshold(self.config.min_triangle_weight)
+            keys = sorted(self._tris)
+            if keys:
+                arr = np.asarray(keys, dtype=np.int64)
+                tris = [self._tris[k] for k in keys]
+                triangles = TriangleSet(
+                    a=arr[:, 0],
+                    b=arr[:, 1],
+                    c=arr[:, 2],
+                    w_ab=np.asarray([t.w_ab for t in tris], dtype=np.int64),
+                    w_ac=np.asarray([t.w_ac for t in tris], dtype=np.int64),
+                    w_bc=np.asarray([t.w_bc for t in tris], dtype=np.int64),
+                )
+                t_vals = np.asarray([t.t for t in tris], dtype=np.float64)
+                w_xyz = np.asarray([t.w_xyz for t in tris], dtype=np.int64)
+                p_sum = np.asarray([t.p_sum for t in tris], dtype=np.int64)
+                c_vals = np.asarray([t.c for t in tris], dtype=np.float64)
+            else:
+                triangles = TriangleSet.empty()
+                t_vals = np.empty(0, dtype=np.float64)
+                w_xyz = np.empty(0, dtype=np.int64)
+                p_sum = np.empty(0, dtype=np.int64)
+                c_vals = np.empty(0, dtype=np.float64)
+            triplet_metrics = (
+                TripletMetrics(
+                    triangles=triangles,
+                    w_xyz=w_xyz,
+                    p_sum=p_sum,
+                    c_scores=c_vals,
+                )
+                if self.config.compute_hypergraph
+                else None
+            )
+            components = component_reports(
+                ci_thr, self.config.min_component_size
+            )
+            stats = {
+                "pages": self.proj.n_pages,
+                "comments": self.proj.n_comments,
+                "triangles": triangles.n_triangles,
+                "thresholded_edges": ci_thr.n_edges,
+                "components": len(components),
+            }
+            return PipelineResult(
+                config=self.config,
+                filter_report=FilterReport(
+                    removed_names=tuple(self._filtered_names),
+                    removed_user_ids=(),
+                    removed_comments=self._filtered_comments,
+                ),
+                ci=ci,
+                ci_thresholded=ci_thr,
+                triangles=triangles,
+                t_scores=t_vals,
+                triplet_metrics=triplet_metrics,
+                components=components,
+                stats=stats,
+                timings=self.metrics.timings,
+            )
+
+    def status(self) -> dict:
+        """Service-level state summary plus the full metrics snapshot."""
+        stats = self.proj.memory_stats()
+        return {
+            "live_comments": self.n_live_comments,
+            "live_pages": stats["live_pages"],
+            "live_users": stats["live_users"],
+            "interned_users": stats["interned_users"],
+            "interned_pages": stats["interned_pages"],
+            "evict_cutoff": self.evict_cutoff,
+            "ci_edges": len(self._ci),
+            "thresholded_edges": sum(
+                len(nbrs) for nbrs in self._adj.values()
+            ) // 2,
+            "triangles": len(self._tris),
+            "filtered_comments": self._filtered_comments,
+            "metrics": self.metrics.to_dict(),
+        }
+
+    # -- small accessors ---------------------------------------------------------
+    @property
+    def n_live_comments(self) -> int:
+        """Comments currently inside the live window."""
+        return self.proj.n_comments
+
+    @property
+    def n_triangles(self) -> int:
+        """Triangles currently above the cutoff."""
+        return len(self._tris)
+
+    def ci_edges(self) -> dict[tuple[str, str], int]:
+        """Current ``w'`` weights keyed by sorted author-name pairs."""
+        name_of = self.proj.user_names.key_of
+        out: dict[tuple[str, str], int] = {}
+        for (u, v), w in self._ci.items():
+            a, b = str(name_of(u)), str(name_of(v))
+            out[(a, b) if a <= b else (b, a)] = w
+        return out
+
+    def page_counts(self) -> dict[str, int]:
+        """Nonzero ``P'`` entries keyed by author name."""
+        name_of = self.proj.user_names.key_of
+        return {str(name_of(u)): c for u, c in self._pprime.items()}
+
+    def live_authors(self) -> list[str]:
+        """Sorted names of authors with at least one live comment."""
+        name_of = self.proj.user_names.key_of
+        return sorted(str(name_of(u)) for u in self._user_pages)

@@ -1,0 +1,250 @@
+"""Service observability: counters, gauges, and latency histograms.
+
+A long-lived detection service cannot be profiled after the fact the way
+a batch run can (:class:`~repro.util.timers.StageTimings` holds a bounded
+ledger of named stage durations); it needs *standing* instruments that
+stay O(1) in memory over an unbounded run.  :class:`ServiceMetrics` is a
+small registry in that idiom:
+
+- :class:`Counter` — monotone event counts (events ingested, dropped,
+  triangles rescored, …);
+- :class:`Gauge` — point-in-time levels (live comments, CI edges,
+  watermark, queue depth);
+- :class:`Histogram` — fixed log-spaced buckets for latency
+  distributions, with percentile estimates (p50/p99) read from the
+  bucket boundaries so memory never grows with the observation count.
+
+``ServiceMetrics.time(name)`` is the bridge back to the
+``StageTimings`` style: a context manager that observes the elapsed
+seconds into the named histogram *and* accumulates them into an embedded
+``StageTimings`` ledger, so one instrumentation point feeds both the
+service dashboard and the familiar per-stage totals.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.util.timers import StageTimings
+
+__all__ = ["Counter", "Gauge", "Histogram", "ServiceMetrics"]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be >= 0) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time level (settable both ways)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        """Replace the current level."""
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket latency histogram with percentile estimates.
+
+    Buckets are log-spaced powers of ``base`` starting at ``least``
+    (default: 1 µs … ~137 s over 54 buckets at base 2^(1/2)), plus an
+    overflow bucket.  An observation lands in the first bucket whose
+    upper bound is >= the value; percentiles report that upper bound, so
+    estimates err high by at most one bucket width (≤ 41 % at the
+    default base) and the structure is O(buckets) forever.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        least: float = 1e-6,
+        base: float = 2.0 ** 0.5,
+        n_buckets: int = 54,
+    ) -> None:
+        self.name = name
+        self.bounds = [least * base**i for i in range(n_buckets)]
+        self.counts = [0] * (n_buckets + 1)  # +1 = overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (seconds, bytes, … — any nonnegative)."""
+        value = float(value)
+        if value < 0:
+            raise ValueError(f"histogram {self.name}: negative observation")
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.bounds[mid] >= value:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def percentile(self, q: float) -> float:
+        """Upper-bound estimate of the *q*-quantile (``0 < q <= 1``)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max  # pragma: no cover - unreachable (seen ends at count)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """``{count, mean, p50, p99, min, max}`` for dashboards."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class ServiceMetrics:
+    """A named registry of counters, gauges, and histograms.
+
+    Instruments are created on first access (so call sites never
+    pre-declare) and live for the registry's lifetime.  One registry
+    belongs to one :class:`~repro.serve.service.DetectionService` /
+    :class:`~repro.serve.engine.DetectionEngine` pair and is surfaced
+    through their ``status()``.
+
+    Examples
+    --------
+    >>> m = ServiceMetrics()
+    >>> m.counter("events").inc(3)
+    >>> m.gauge("queue_depth").set(7)
+    >>> with m.time("update"):
+    ...     pass
+    >>> d = m.to_dict()
+    >>> d["counters"]["events"], d["gauges"]["queue_depth"]
+    (3, 7)
+    >>> d["histograms"]["update"]["count"]
+    1
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self.timings = StageTimings()
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under *name* (created on first use)."""
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under *name* (created on first use)."""
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under *name* (created on first use)."""
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name)
+        return inst
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Time a block into histogram *name* and the stage ledger."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.histogram(name).observe(elapsed)
+            self.timings.record(name, elapsed)
+
+    def to_dict(self) -> dict:
+        """Plain-data snapshot (JSON-serializable) of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def format(self) -> str:
+        """Fixed-width dashboard rendering (counters, gauges, latencies)."""
+        lines: list[str] = []
+        if self._counters:
+            width = max(len(n) for n in self._counters)
+            lines.append("counters:")
+            lines += [
+                f"  {n:<{width}}  {c.value:>12,}"
+                for n, c in sorted(self._counters.items())
+            ]
+        if self._gauges:
+            width = max(len(n) for n in self._gauges)
+            lines.append("gauges:")
+            lines += [
+                f"  {n:<{width}}  {g.value:>12,}"
+                for n, g in sorted(self._gauges.items())
+            ]
+        if self._histograms:
+            width = max(len(n) for n in self._histograms)
+            lines.append("latencies:")
+            for n, h in sorted(self._histograms.items()):
+                s = h.summary()
+                lines.append(
+                    f"  {n:<{width}}  n={s['count']:<8,} "
+                    f"mean={s['mean'] * 1e3:8.3f}ms "
+                    f"p50={s['p50'] * 1e3:8.3f}ms "
+                    f"p99={s['p99'] * 1e3:8.3f}ms"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,209 @@
+"""The long-lived detection service: queue → micro-batch → engine → window.
+
+:class:`DetectionService` composes the ingestion frontend
+(:class:`~repro.serve.ingest.EventQueue`,
+:class:`~repro.serve.ingest.WatermarkTracker`) with the
+:class:`~repro.serve.engine.DetectionEngine` into the event loop the
+``repro-botnets serve`` CLI runs:
+
+1. **submit** — producers offer events into the bounded queue; a
+   ``False`` return is backpressure (or a shed event under a drop
+   policy).  Timestamps feed the watermark even when the event itself
+   is shed, so progress tracking survives load shedding.
+2. **tick** — drain one micro-batch, ingest it into the engine, advance
+   the engine's sliding window to the watermark-derived eviction
+   cutoff, and update service gauges.  Query methods proxy to the
+   engine between ticks.
+
+The loop helpers (:meth:`run_events`, :meth:`run_ndjson`) drive
+submit/tick to stream exhaustion and treat ``KeyboardInterrupt`` as a
+clean shutdown request: the queue is drained, a final tick runs, and
+the loop returns normally — so a SIGINT'd ``serve`` process still
+prints its final report and exits 0.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable
+
+from repro.graph.io import IngestStats
+from repro.pipeline.config import PipelineConfig
+from repro.serve.engine import BatchReport, DetectionEngine
+from repro.serve.ingest import Event, EventQueue, WatermarkTracker, iter_ndjson_events
+from repro.serve.metrics import ServiceMetrics
+
+__all__ = ["DetectionService"]
+
+
+class DetectionService:
+    """Owns the queue, watermark, engine, and metrics of one deployment.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration the engine (and hence its batch oracle)
+        uses.
+    window_horizon:
+        Width of the live window in seconds: comments older than
+        ``watermark - window_horizon`` are evicted.
+    allowed_lateness:
+        Watermark slack for out-of-order arrivals (seconds).
+    batch_size:
+        Maximum events drained per :meth:`tick` (the micro-batch).
+    queue_capacity / queue_policy:
+        Bounded-queue parameters (see :class:`~repro.serve.ingest.EventQueue`).
+
+    Examples
+    --------
+    >>> from repro.projection import TimeWindow
+    >>> svc = DetectionService(
+    ...     PipelineConfig(window=TimeWindow(0, 60), min_triangle_weight=1,
+    ...                    min_component_size=2),
+    ...     window_horizon=100)
+    >>> for t in (0, 10, 20):
+    ...     _ = svc.submit(("u%d" % t, "p", t))
+    >>> _ = svc.tick()
+    >>> svc.engine.n_triangles
+    1
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        *,
+        window_horizon: int = 86_400,
+        allowed_lateness: int = 0,
+        batch_size: int = 512,
+        queue_capacity: int = 65_536,
+        queue_policy: str = "reject",
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.engine = DetectionEngine(config, metrics=self.metrics)
+        self.queue = EventQueue(queue_capacity, queue_policy)
+        self.watermark = WatermarkTracker(window_horizon, allowed_lateness)
+        self.batch_size = int(batch_size)
+        self.ingest_stats = IngestStats()
+
+    # -- the event loop ---------------------------------------------------------
+    def submit(self, event: Event) -> bool:
+        """Offer one event; ``False`` = backpressure / shed (see queue policy).
+
+        The timestamp always feeds the watermark — a shed event still
+        proves time has advanced.
+        """
+        self.watermark.observe(event[2])
+        admitted = self.queue.offer(event)
+        if not admitted and self.queue.policy == "reject":
+            self.metrics.counter("service.backpressure").inc()
+        return admitted
+
+    def tick(self) -> BatchReport:
+        """Drain one micro-batch into the engine and slide the window."""
+        with self.metrics.time("service.tick"):
+            batch = self.queue.drain(self.batch_size)
+            report = self.engine.ingest(batch)
+            cutoff = self.watermark.evict_cutoff
+            if cutoff is not None and (
+                self.engine.evict_cutoff is None
+                or cutoff > self.engine.evict_cutoff
+            ):
+                adv = self.engine.advance(cutoff)
+                report = _merge_reports(report, adv)
+        m = self.metrics
+        m.counter("service.ticks").inc()
+        m.gauge("service.queue_depth").set(self.queue.depth)
+        m.gauge("service.queue_dropped").set(self.queue.dropped)
+        if self.watermark.watermark is not None:
+            m.gauge("service.watermark").set(self.watermark.watermark)
+        return report
+
+    def drain_all(self) -> int:
+        """Tick until the queue is empty; returns ticks run (shutdown path)."""
+        ticks = 0
+        while self.queue.depth:
+            self.tick()
+            ticks += 1
+        return ticks
+
+    def run_events(
+        self,
+        events: Iterable[Event],
+        *,
+        on_tick=None,
+        max_events: int | None = None,
+    ) -> int:
+        """Feed an event iterable to exhaustion; returns events consumed.
+
+        Ticks whenever the batch threshold is buffered or backpressure
+        fires, then drains the tail.  ``on_tick(service, report)`` is
+        invoked after every tick (the CLI hangs its periodic metrics /
+        top-k output here).  ``KeyboardInterrupt`` (SIGINT) triggers a
+        clean drain-and-return instead of a traceback.
+        """
+        consumed = 0
+        try:
+            for event in events:
+                if max_events is not None and consumed >= max_events:
+                    break
+                consumed += 1
+                while not self.submit(event):
+                    report = self.tick()
+                    if on_tick is not None:
+                        on_tick(self, report)
+                if self.queue.depth >= self.batch_size:
+                    report = self.tick()
+                    if on_tick is not None:
+                        on_tick(self, report)
+        except KeyboardInterrupt:
+            self.metrics.counter("service.interrupted").inc()
+        while self.queue.depth:
+            report = self.tick()
+            if on_tick is not None:
+                on_tick(self, report)
+        return consumed
+
+    def run_ndjson(
+        self,
+        lines: Iterable[str] | IO[str],
+        *,
+        on_tick=None,
+        max_events: int | None = None,
+    ) -> int:
+        """:meth:`run_events` over lenient ndjson lines (file, pipe, stdin)."""
+        return self.run_events(
+            iter_ndjson_events(lines, self.ingest_stats),
+            on_tick=on_tick,
+            max_events=max_events,
+        )
+
+    # -- queries (proxied to the engine between ticks) ---------------------------
+    def status(self) -> dict:
+        """Engine status plus frontend state (queue, watermark, ingest)."""
+        status = self.engine.status()
+        status.update(
+            queue_depth=self.queue.depth,
+            queue_capacity=self.queue.capacity,
+            queue_dropped=self.queue.dropped,
+            queue_offered=self.queue.offered,
+            watermark=self.watermark.watermark,
+            ingest_lines=self.ingest_stats.total_lines,
+            ingest_malformed=self.ingest_stats.malformed,
+        )
+        return status
+
+
+def _merge_reports(a: BatchReport, b: BatchReport) -> BatchReport:
+    """Combine the ingest and advance halves of one tick."""
+    return BatchReport(
+        n_appended=a.n_appended + b.n_appended,
+        n_filtered=a.n_filtered + b.n_filtered,
+        n_late_dropped=a.n_late_dropped + b.n_late_dropped,
+        n_evicted=a.n_evicted + b.n_evicted,
+        touched_pages=a.touched_pages + b.touched_pages,
+        dirty_edges=a.dirty_edges + b.dirty_edges,
+        dirty_users=a.dirty_users + b.dirty_users,
+        triangles_added=a.triangles_added + b.triangles_added,
+        triangles_removed=a.triangles_removed + b.triangles_removed,
+        rescored_triangles=a.rescored_triangles + b.rescored_triangles,
+    )

@@ -13,13 +13,20 @@ distributed).  This package makes that guarantee executable:
 - :mod:`repro.verify.chaos` — fault-injected parity: a seeded
   :class:`~repro.ygm.faults.FaultPlan` is unleashed on a distributed run,
   which must fail typed (or complete), then resume from its checkpoint to
-  results identical to the serial oracle.
+  results identical to the serial oracle;
+- :mod:`repro.verify.online` — streaming parity: a seeded interleaving
+  of appends, out-of-order arrivals, and window advances is driven
+  through the :class:`~repro.serve.engine.DetectionEngine`, whose every
+  queryable surface must exactly match a from-scratch batch run over the
+  live window at each checkpoint.
 
 All are callable from tests and from the ``repro-botnets verify`` CLI
-subcommand (``--chaos`` for the fault-injected mode).
+subcommand (``--chaos`` for the fault-injected mode, ``--online`` for
+the streaming mode).
 """
 
 from repro.verify.chaos import ChaosReport, diff_results, run_chaos
+from repro.verify.online import OnlineParityReport, run_online_parity
 
 from repro.verify.invariants import (
     InvariantViolation,
@@ -49,6 +56,8 @@ __all__ = [
     "check_triangle_weight_bound",
     "check_unit_interval",
     "check_window_monotonicity",
+    "OnlineParityReport",
+    "run_online_parity",
     "ParityReport",
     "default_projection_engines",
     "default_triangle_engines",

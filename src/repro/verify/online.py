@@ -1,0 +1,295 @@
+"""Online-vs-batch parity: the serve engine's exactness contract, executable.
+
+The :class:`~repro.serve.engine.DetectionEngine` promises that after
+*any* interleaving of appends, out-of-order arrivals, and window
+advances, every query answer equals a from-scratch
+:class:`~repro.pipeline.framework.CoordinationPipeline` run over exactly
+the live (admitted, unevicted) comments.  :func:`run_online_parity`
+makes that promise executable in the :mod:`repro.verify.parity` idiom:
+
+1. A seeded RNG scrambles a comment corpus into an *arrival order*
+   (event time + bounded random delay — genuine out-of-order delivery),
+   then chops it into random micro-batches.
+2. Each step either ingests a batch or advances the watermark-derived
+   eviction cutoff; the harness maintains its own live-corpus list
+   under the engine's exact admission rule (late events are dropped by
+   both sides, so the oracle input is always well-defined).
+3. At checkpoints (and always at the end), every queryable surface —
+   CI edge weights, the nonzero ``P'`` ledger, per-triplet
+   ``weights/T/w_xyz/p_sum/C``, and the candidate components — is
+   diffed **by author name** against a fresh batch run.  Name-keying is
+   what makes the diff order-independent: the engine interns ids in
+   arrival order, the oracle in corpus order.
+
+Any mismatch becomes a human-readable divergence in the returned
+:class:`OnlineParityReport`; float scores are compared bit-exactly
+(``==``), because the engine replays the very same IEEE operations the
+batch kernels perform.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.graph.bipartite import BipartiteTemporalMultigraph
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.framework import CoordinationPipeline
+from repro.pipeline.results import PipelineResult
+from repro.serve.engine import DetectionEngine
+
+__all__ = ["OnlineParityReport", "run_online_parity"]
+
+Comment = tuple  # (author, page, created_utc)
+
+_DIFF_LIMIT = 4  # listed per-item mismatches before eliding
+
+
+@dataclass
+class OnlineParityReport:
+    """Outcome of one online-vs-batch differential run."""
+
+    n_comments: int
+    n_steps: int
+    n_checks: int
+    seed: int
+    n_ingested: int = 0
+    n_advances: int = 0
+    n_late_dropped: int = 0
+    max_triangles: int = 0
+    divergences: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the engine matched the batch oracle at every check."""
+        return not self.divergences
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"online parity run: {self.n_comments:,} comments over "
+            f"{self.n_steps} steps (seed {self.seed})",
+            f"  ingest batches: {self.n_ingested}, window advances: "
+            f"{self.n_advances}, late drops: {self.n_late_dropped}",
+            f"  oracle checks: {self.n_checks}, peak triangles: "
+            f"{self.max_triangles:,}",
+        ]
+        if self.ok:
+            lines.append(
+                "  ONLINE PARITY OK — engine matches batch oracle at every "
+                "check"
+            )
+        else:
+            lines.append(
+                f"  ONLINE PARITY FAILED — {len(self.divergences)} "
+                "divergence(s):"
+            )
+            lines += [f"    - {d}" for d in self.divergences]
+        return "\n".join(lines)
+
+
+def _oracle_views(result: PipelineResult):
+    """Name-keyed views of a batch run (edges, P', triplets, components)."""
+    name = result.ci.author_name
+    edges = {}
+    for (u, v), w in result.ci.edges.to_dict().items():
+        a, b = str(name(u)), str(name(v))
+        edges[(a, b) if a <= b else (b, a)] = w
+    pprime = {
+        str(name(i)): int(c)
+        for i, c in enumerate(result.ci.page_counts)
+        if c
+    }
+    tris = {}
+    tm = result.triplet_metrics
+    t = result.triangles
+    for i in range(t.n_triangles):
+        names = tuple(
+            sorted(str(name(int(x))) for x in (t.a[i], t.b[i], t.c[i]))
+        )
+        weights = tuple(
+            sorted(int(w) for w in (t.w_ab[i], t.w_ac[i], t.w_bc[i]))
+        )
+        row = {
+            "weights": weights,
+            "t": float(result.t_scores[i]),
+        }
+        if tm is not None:
+            row["w_xyz"] = int(tm.w_xyz[i])
+            row["p_sum"] = int(tm.p_sum[i])
+            row["c"] = float(tm.c_scores[i])
+        tris[names] = row
+    comps = {frozenset(c.member_names) for c in result.components}
+    return edges, pprime, tris, comps
+
+
+def _engine_views(engine: DetectionEngine):
+    """The same four views read from the live engine."""
+    tris = {}
+    hyper = engine.config.compute_hypergraph
+    for r in engine.top_k_triplets(1 << 62):
+        row = {"weights": r["weights"], "t": r["t"]}
+        if hyper:
+            row["w_xyz"] = r["w_xyz"]
+            row["p_sum"] = r["p_sum"]
+            row["c"] = r["c"]
+        tris[r["authors"]] = row
+    comps = {frozenset(c) for c in engine.components()}
+    return engine.ci_edges(), engine.page_counts(), tris, comps
+
+
+def _diff_dicts(kind: str, oracle: dict, engine: dict, out: list[str]) -> None:
+    mismatched = [
+        k
+        for k in oracle.keys() | engine.keys()
+        if oracle.get(k) != engine.get(k)
+    ]
+    if not mismatched:
+        return
+    shown = sorted(mismatched, key=repr)[:_DIFF_LIMIT]
+    details = "; ".join(
+        f"{k!r}: oracle={oracle.get(k)!r} engine={engine.get(k)!r}"
+        for k in shown
+    )
+    more = len(mismatched) - len(shown)
+    suffix = f" (+{more} more)" if more > 0 else ""
+    out.append(f"{kind}: {len(mismatched)} mismatch(es) — {details}{suffix}")
+
+
+def _check(
+    step: str,
+    config: PipelineConfig,
+    live: Sequence[Comment],
+    engine: DetectionEngine,
+    out: list[str],
+) -> None:
+    result = CoordinationPipeline(config).run(
+        BipartiteTemporalMultigraph.from_comments(list(live))
+    )
+    o_edges, o_pp, o_tris, o_comps = _oracle_views(result)
+    e_edges, e_pp, e_tris, e_comps = _engine_views(engine)
+    pre = len(out)
+    _diff_dicts(f"{step}: CI edges", o_edges, e_edges, out)
+    _diff_dicts(f"{step}: P' ledger", o_pp, e_pp, out)
+    _diff_dicts(f"{step}: triplets", o_tris, e_tris, out)
+    if o_comps != e_comps:
+        out.append(
+            f"{step}: components — oracle-only="
+            f"{[sorted(c) for c in list(o_comps - e_comps)[:_DIFF_LIMIT]]} "
+            f"engine-only="
+            f"{[sorted(c) for c in list(e_comps - o_comps)[:_DIFF_LIMIT]]}"
+        )
+    expected = len(live) - result.filter_report.removed_comments
+    if len(out) == pre and engine.n_live_comments != expected:
+        out.append(
+            f"{step}: live-comment count — oracle={expected} "
+            f"engine={engine.n_live_comments}"
+        )
+
+
+def run_online_parity(
+    comments: Sequence[Comment],
+    config: PipelineConfig | None = None,
+    *,
+    n_steps: int = 60,
+    seed: int = 0,
+    max_delay: int | None = None,
+    horizon: int | None = None,
+    check_every: int = 10,
+    compact_min: int = 64,
+) -> OnlineParityReport:
+    """Drive a seeded append/advance interleaving and diff against batch runs.
+
+    Parameters
+    ----------
+    comments:
+        The corpus to stream, as ``(author, page, created_utc)`` tuples.
+    config:
+        Pipeline configuration shared by engine and oracle (defaults to
+        :class:`~repro.pipeline.config.PipelineConfig`'s defaults).
+    n_steps:
+        Number of interleaved steps (~75 % ingest batches, ~25 % window
+        advances, RNG-chosen).
+    seed:
+        RNG seed controlling arrival delays, batch boundaries, and the
+        ingest/advance interleaving — reruns reproduce exactly.
+    max_delay:
+        Maximum random arrival delay in seconds (default: one tenth of
+        the corpus time span) — the out-of-order severity knob.
+    horizon:
+        Sliding-window width driving the advance cutoffs (default: half
+        the corpus time span, so evictions genuinely happen).
+    check_every:
+        Run the (expensive) full-surface oracle diff every this many
+        steps; a final check always runs after the last step.
+    compact_min:
+        Engine compaction floor — kept small so long runs also exercise
+        compaction-under-churn.
+    """
+    config = config if config is not None else PipelineConfig()
+    rng = random.Random(seed)
+    # Normalize keys to strings so engine and oracle intern identical
+    # names (the oracle's BTM falls back to synthetic "user<id>" labels
+    # for raw integer authors, which would defeat the name-keyed diff).
+    comments = [(str(a), str(p), int(t)) for a, p, t in comments]
+    if comments:
+        t_lo = min(t for _a, _p, t in comments)
+        t_hi = max(t for _a, _p, t in comments)
+        span = max(t_hi - t_lo, 1)
+    else:
+        t_lo = t_hi = 0
+        span = 1
+    if max_delay is None:
+        max_delay = max(span // 10, 1)
+    if horizon is None:
+        horizon = max(span // 2, 1)
+
+    # Arrival order: event time plus a bounded random delay.
+    arrivals = sorted(
+        comments, key=lambda c: (c[2] + rng.randrange(0, max_delay + 1), rng.random())
+    )
+    engine = DetectionEngine(config, compact_min=compact_min)
+    report = OnlineParityReport(
+        n_comments=len(comments),
+        n_steps=n_steps,
+        n_checks=0,
+        seed=seed,
+    )
+    live: list[Comment] = []
+    cursor = 0
+    max_seen = t_lo
+
+    for step in range(n_steps):
+        remaining = len(arrivals) - cursor
+        steps_left = n_steps - step
+        if remaining and (rng.random() < 0.75 or steps_left * 2 >= remaining):
+            # Ingest a batch sized to roughly exhaust the stream in time.
+            target = max(1, remaining // max(1, steps_left - steps_left // 4))
+            size = rng.randrange(1, 2 * target + 1)
+            batch = arrivals[cursor : cursor + size]
+            cursor += len(batch)
+            cut = engine.evict_cutoff
+            admitted = [c for c in batch if cut is None or c[2] >= cut]
+            report.n_late_dropped += len(batch) - len(admitted)
+            engine.ingest(batch)
+            live.extend(admitted)
+            max_seen = max([max_seen] + [c[2] for c in batch])
+            report.n_ingested += 1
+        else:
+            cutoff = max_seen - horizon + rng.randrange(0, max(horizon // 4, 1))
+            engine.advance(cutoff)
+            cut = engine.evict_cutoff
+            live = [c for c in live if c[2] >= cut]
+            report.n_advances += 1
+        report.max_triangles = max(report.max_triangles, engine.n_triangles)
+        if (step + 1) % check_every == 0:
+            _check(
+                f"step {step + 1}", config, live, engine, report.divergences
+            )
+            report.n_checks += 1
+
+    if report.n_checks == 0 or n_steps % check_every != 0:
+        _check("final", config, live, engine, report.divergences)
+        report.n_checks += 1
+    return report

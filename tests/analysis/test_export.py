@@ -5,6 +5,7 @@ import pytest
 from repro.analysis.export import (
     component_to_dot,
     result_to_dot,
+    top_triplets_rows,
     write_component_csv,
 )
 from repro.pipeline import CoordinationPipeline, PipelineConfig
@@ -66,3 +67,37 @@ class TestCsv:
         path = tmp_path / "one.csv"
         rows = write_component_csv(result, path, components=[0])
         assert rows == result.components[0].n_edges
+
+
+class TestTopTripletsRows:
+    def test_rows_sorted_and_shaped(self, result):
+        rows = top_triplets_rows(result, k=5, by="t")
+        assert len(rows) == min(5, result.n_triangles)
+        scores = [r["t"] for r in rows]
+        assert scores == sorted(scores, reverse=True)
+        for r in rows:
+            assert r["authors"] == tuple(sorted(r["authors"]))
+            assert r["min_weight"] == min(r["weights"])
+
+    def test_by_c_requires_hypergraph(self, result):
+        with pytest.raises(ValueError):
+            top_triplets_rows(result, k=3, by="c")
+        with pytest.raises(ValueError):
+            top_triplets_rows(result, k=3, by="volume")
+
+    def test_matches_live_engine_rows(self, small_dataset):
+        """Batch export rows must equal the serve engine's live top-k —
+        the two report formats are interchangeable by construction."""
+        from repro.serve import DetectionEngine
+
+        config = PipelineConfig(
+            window=TimeWindow(0, 60),
+            min_triangle_weight=15,
+            compute_hypergraph=True,
+        )
+        batch = CoordinationPipeline(config).run(small_dataset.btm)
+        engine = DetectionEngine(config)
+        engine.ingest(r.as_triple() for r in small_dataset.records)
+        for by in ("t", "c", "min_weight"):
+            assert top_triplets_rows(batch, 10, by) == \
+                engine.top_k_triplets(10, by)

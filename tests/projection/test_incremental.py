@@ -94,3 +94,181 @@ class TestIncrementalProjector:
                 (f"u{u}", f"p{p}", t) for u, p, t in batch
             )
         assert_matches_full(proj)
+
+
+def assert_pprime_matches_full(proj: IncrementalProjector) -> None:
+    """The P' ledger must equal a from-scratch projection's page counts."""
+    full = project(proj.to_btm(), proj.window)
+    assert np.array_equal(proj.ci_graph().page_counts, full.ci.page_counts)
+
+
+class TestEviction:
+    def test_evict_before_drops_old_comments(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        proj.add_comments([("a", "p", 0), ("b", "p", 30), ("c", "p", 500)])
+        report = proj.evict_before(100)
+        assert report.n_evicted == 2
+        assert proj.n_comments == 1
+        assert proj.ci_graph().n_edges == 0
+        assert_matches_full(proj)
+
+    def test_evicted_rows_preserve_multiplicity(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        proj.add_comments([("a", "p", 0), ("a", "p", 10), ("a", "p", 999)])
+        report = proj.evict_before(100)
+        assert sorted(report.evicted) == [(0, 0), (0, 0)]
+
+    def test_empty_page_is_removed(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        proj.add_comments([("a", "p", 0), ("b", "q", 200)])
+        report = proj.evict_before(100)
+        assert report.removed_pages == frozenset({proj.page_names.id_of("p")})
+        assert proj.n_pages == 1
+
+    def test_noop_eviction(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        proj.add_comments([("a", "p", 50), ("b", "p", 60)])
+        report = proj.evict_before(10)
+        assert report.n_evicted == 0 and report.touched_pages == frozenset()
+        assert_matches_full(proj)
+
+    def test_candidate_set_matches_eviction(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        proj.add_comments([("a", "p", 0), ("b", "q", 200), ("c", "r", 40)])
+        candidates = set(proj.pages_with_comments_before(100))
+        report = proj.evict_before(100)
+        assert report.touched_pages == frozenset(candidates)
+
+
+class TestRemovePageAndChurnParity:
+    """Satellite: remove_page x out-of-order arrivals x the P' ledger,
+
+    with full-projection parity asserted after *each* mutation."""
+
+    def test_remove_page_updates_pprime(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        proj.add_comments(
+            [("a", "p", 0), ("b", "p", 10), ("a", "q", 0), ("b", "q", 3)]
+        )
+        assert proj.remove_page("p")
+        assert_pprime_matches_full(proj)
+        assert proj.ci_graph().page_counts.tolist()[:2] == [1, 1]
+
+    def test_interleaved_mutations_stay_exact(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        proj.add_comments([("a", "p", 100), ("b", "p", 130)])
+        assert_matches_full(proj); assert_pprime_matches_full(proj)
+        proj.add_comments([("c", "p", 90), ("a", "q", 300)])  # out of order
+        assert_matches_full(proj); assert_pprime_matches_full(proj)
+        proj.evict_before(95)
+        assert_matches_full(proj); assert_pprime_matches_full(proj)
+        proj.add_comments([("b", "q", 290)])  # older than q's newest
+        assert_matches_full(proj); assert_pprime_matches_full(proj)
+        assert proj.remove_page("p")
+        assert_matches_full(proj); assert_pprime_matches_full(proj)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        steps=st.lists(
+            st.one_of(
+                st.lists(
+                    st.tuples(
+                        st.integers(0, 5),
+                        st.integers(0, 3),
+                        st.integers(0, 300),
+                    ),
+                    min_size=1,
+                    max_size=8,
+                ),
+                st.integers(0, 300),      # evict_before cutoff
+                st.sampled_from(["p0", "p1", "p2", "p3"]),  # remove_page
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_property_any_mutation_sequence_matches_full(self, steps):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        for step in steps:
+            if isinstance(step, list):
+                proj.add_comments(
+                    (f"u{u}", f"p{p}", t) for u, p, t in step
+                )
+            elif isinstance(step, int):
+                proj.evict_before(step)
+            else:
+                proj.remove_page(step)
+            assert_matches_full(proj)
+            assert_pprime_matches_full(proj)
+
+
+class TestCompaction:
+    def test_compact_preserves_graph(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        proj.add_comments(
+            [("a", "p", 0), ("b", "p", 10), ("c", "q", 500), ("d", "q", 510)]
+        )
+        proj.evict_before(100)          # a, b, p die
+        before = {
+            tuple(sorted((proj.user_names.key_of(u), proj.user_names.key_of(v))))
+            : w
+            for (u, v), w in proj.ci_graph().edges.to_dict().items()
+        }
+        report = proj.compact()
+        assert report.reclaimed_users == 2 and report.reclaimed_pages == 1
+        after = {
+            tuple(sorted((proj.user_names.key_of(u), proj.user_names.key_of(v))))
+            : w
+            for (u, v), w in proj.ci_graph().edges.to_dict().items()
+        }
+        assert before == after
+        assert_matches_full(proj)
+
+    def test_maps_are_monotone(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        proj.add_comments(
+            [(f"u{i}", f"p{i % 3}", 1000 * (i % 2)) for i in range(9)]
+        )
+        proj.evict_before(500)
+        report = proj.compact()
+        for mapping in (report.user_map, report.page_map):
+            survivors = mapping[mapping >= 0]
+            assert np.array_equal(survivors, np.sort(survivors))
+
+    def test_memory_stats_account_churn_debt(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        proj.add_comments([("a", "p", 0), ("b", "p", 10)])
+        proj.evict_before(100)
+        stats = proj.memory_stats()
+        assert stats["interned_users"] == 2 and stats["live_users"] == 0
+        proj.compact()
+        stats = proj.memory_stats()
+        assert stats["interned_users"] == 0 and stats["interned_pages"] == 0
+
+
+@pytest.mark.slow
+class TestSteadyStateMemory:
+    """Satellite regression: interner growth under sustained churn must be
+    reclaimed by compaction, keeping steady-state memory ~ the live window."""
+
+    def test_churn_with_compaction_stays_bounded(self):
+        proj = IncrementalProjector(TimeWindow(0, 60))
+        horizon = 1_000
+        peak_live = 0
+        for epoch in range(40):
+            base = epoch * 500
+            proj.add_comments(
+                (f"u{epoch}_{i}", f"p{epoch}_{i % 5}", base + i)
+                for i in range(50)
+            )
+            proj.evict_before(base - horizon)
+            stats = proj.memory_stats()
+            peak_live = max(peak_live, stats["live_users"])
+            if stats["interned_users"] > 4 * max(stats["live_users"], 32):
+                proj.compact()
+        # 40 epochs x 50 distinct users ingested; without compaction the
+        # interner would hold all 2000. With it, it tracks the live set.
+        stats = proj.memory_stats()
+        assert stats["interned_users"] <= 4 * max(stats["live_users"], 32)
+        assert stats["interned_users"] <= 600 < 40 * 50
+        assert_matches_full(proj)

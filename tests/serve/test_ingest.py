@@ -1,0 +1,113 @@
+"""Tests for the ingestion frontend (queue, watermark, ndjson streaming)."""
+
+import pytest
+
+from repro.graph.io import IngestStats
+from repro.serve.ingest import (
+    EventQueue,
+    WatermarkTracker,
+    iter_ndjson_events,
+    parse_comment_event,
+)
+
+pytestmark = pytest.mark.serve
+
+
+class TestEventQueue:
+    def test_fifo_drain(self):
+        q = EventQueue(capacity=10)
+        for t in range(5):
+            assert q.offer(("u", "p", t))
+        assert [e[2] for e in q.drain(3)] == [0, 1, 2]
+        assert q.depth == 2
+
+    def test_reject_backpressure(self):
+        q = EventQueue(capacity=2, policy="reject")
+        assert q.offer(("u", "p", 1)) and q.offer(("u", "p", 2))
+        assert not q.offer(("u", "p", 3))
+        assert q.depth == 2 and q.dropped == 1 and q.is_full
+
+    def test_drop_oldest_sheds_head(self):
+        q = EventQueue(capacity=2, policy="drop-oldest")
+        for t in (1, 2, 3):
+            assert q.offer(("u", "p", t))
+        assert [e[2] for e in q.drain(10)] == [2, 3]
+
+    def test_drop_newest_sheds_offer(self):
+        q = EventQueue(capacity=2, policy="drop-newest")
+        q.offer(("u", "p", 1))
+        q.offer(("u", "p", 2))
+        assert not q.offer(("u", "p", 3))
+        assert [e[2] for e in q.drain(10)] == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventQueue(0)
+        with pytest.raises(ValueError):
+            EventQueue(1, policy="explode")
+
+
+class TestWatermarkTracker:
+    def test_watermark_trails_max_by_lateness(self):
+        wm = WatermarkTracker(window_horizon=100, allowed_lateness=10)
+        wm.observe(500)
+        assert wm.watermark == 490 and wm.evict_cutoff == 390
+
+    def test_monotone_under_out_of_order(self):
+        wm = WatermarkTracker(window_horizon=100)
+        wm.observe(500)
+        wm.observe(300)
+        assert wm.watermark == 500
+
+    def test_admissibility(self):
+        wm = WatermarkTracker(window_horizon=100)
+        assert wm.is_admissible(0)          # no observations yet
+        wm.observe(500)
+        assert not wm.is_admissible(399)
+        assert wm.is_admissible(400)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WatermarkTracker(0)
+        with pytest.raises(ValueError):
+            WatermarkTracker(10, allowed_lateness=-1)
+
+
+class TestNdjsonStreaming:
+    def test_parse_valid_record(self):
+        rec = {"author": "a", "link_id": "t3_x", "created_utc": "7"}
+        assert parse_comment_event(rec) == ("a", "t3_x", 7)
+
+    @pytest.mark.parametrize(
+        "rec",
+        [
+            {"author": "a", "link_id": "x"},                  # missing time
+            {"author": "a", "created_utc": 1},                # missing page
+            {"author": "a", "link_id": "x", "created_utc": "nan"},
+            {"author": "a", "link_id": "x", "created_utc": None},
+        ],
+    )
+    def test_parse_malformed_returns_none(self, rec):
+        assert parse_comment_event(rec) is None
+
+    def test_iter_skips_malformed_and_counts(self):
+        lines = [
+            '{"author": "a", "link_id": "p", "created_utc": 1}',
+            "not json",
+            "",
+            '{"author": "b", "created_utc": 2}',
+            '{"author": "c", "link_id": "p", "created_utc": 3}',
+        ]
+        stats = IngestStats()
+        events = list(iter_ndjson_events(lines, stats))
+        assert [e[0] for e in events] == ["a", "c"]
+        assert stats.total_lines == 4 and stats.malformed == 2
+
+    def test_iter_works_on_file_handle(self, tmp_path):
+        path = tmp_path / "stream.ndjson"
+        path.write_text(
+            '{"author": "a", "link_id": "p", "created_utc": 1}\n',
+            encoding="utf-8",
+        )
+        with open(path, encoding="utf-8") as fh:
+            assert list(iter_ndjson_events(fh)) == [("a", "p", 1)]

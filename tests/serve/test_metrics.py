@@ -1,0 +1,100 @@
+"""Tests for the service metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.serve.metrics import Counter, Gauge, Histogram, ServiceMetrics
+
+pytestmark = pytest.mark.serve
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_replaces(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(1)
+        assert g.value == 1
+
+
+class TestHistogram:
+    def test_summary_over_known_values(self):
+        h = Histogram("lat")
+        for v in (0.001, 0.002, 0.004, 0.008):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["min"] == 0.001 and s["max"] == 0.008
+        assert s["mean"] == pytest.approx(0.00375)
+
+    def test_percentile_errs_high_by_at_most_one_bucket(self):
+        h = Histogram("lat")
+        for _ in range(100):
+            h.observe(0.010)
+        p99 = h.percentile(0.99)
+        assert 0.010 <= p99 <= 0.010 * h.bounds[1] / h.bounds[0]
+
+    def test_percentile_ordering(self):
+        h = Histogram("lat")
+        for i in range(1, 101):
+            h.observe(i / 1000)
+        assert h.percentile(0.5) <= h.percentile(0.99)
+
+    def test_overflow_bucket(self):
+        h = Histogram("lat", least=1e-3, n_buckets=4)
+        h.observe(10_000.0)
+        assert h.percentile(1.0) == 10_000.0
+        assert h.count == 1
+
+    def test_empty_and_validation(self):
+        h = Histogram("lat")
+        assert h.percentile(0.99) == 0.0 and h.mean == 0.0
+        with pytest.raises(ValueError):
+            h.observe(-1.0)
+        with pytest.raises(ValueError):
+            h.percentile(0.0)
+
+
+class TestServiceMetrics:
+    def test_instruments_created_on_first_access(self):
+        m = ServiceMetrics()
+        m.counter("a").inc()
+        assert m.counter("a").value == 1      # same instance
+        assert m.to_dict()["counters"] == {"a": 1}
+
+    def test_time_feeds_histogram_and_stage_ledger(self):
+        m = ServiceMetrics()
+        with m.time("stage"):
+            pass
+        assert m.histogram("stage").count == 1
+        assert "stage" in m.timings.stages
+
+    def test_time_records_on_exception(self):
+        m = ServiceMetrics()
+        with pytest.raises(RuntimeError):
+            with m.time("boom"):
+                raise RuntimeError("x")
+        assert m.histogram("boom").count == 1
+
+    def test_format_renders_all_sections(self):
+        m = ServiceMetrics()
+        m.counter("events").inc(2)
+        m.gauge("depth").set(1)
+        with m.time("tick"):
+            pass
+        text = m.format()
+        assert "counters:" in text and "gauges:" in text
+        assert "latencies:" in text and "tick" in text
+
+    def test_format_empty(self):
+        assert "no metrics" in ServiceMetrics().format()

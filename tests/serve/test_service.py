@@ -1,0 +1,128 @@
+"""Tests for the DetectionService event loop (queue + watermark + engine)."""
+
+import pytest
+
+from repro.graph.filters import AuthorFilter
+from repro.pipeline import PipelineConfig
+from repro.projection import TimeWindow
+from repro.serve import DetectionService
+
+pytestmark = pytest.mark.serve
+
+
+def make_service(**overrides) -> DetectionService:
+    kwargs = dict(
+        window_horizon=1_000,
+        batch_size=8,
+        queue_capacity=32,
+    )
+    kwargs.update(overrides)
+    return DetectionService(
+        PipelineConfig(
+            window=TimeWindow(0, 60),
+            min_triangle_weight=1,
+            min_component_size=2,
+            author_filter=AuthorFilter.none(),
+        ),
+        **kwargs,
+    )
+
+
+class TestSubmitAndTick:
+    def test_submit_then_tick_reaches_engine(self):
+        svc = make_service()
+        for name, t in (("a", 0), ("b", 10), ("c", 20)):
+            assert svc.submit((name, "p", t))
+        report = svc.tick()
+        assert report.n_appended == 3
+        assert svc.engine.n_triangles == 1
+
+    def test_window_advances_with_watermark(self):
+        svc = make_service(window_horizon=100)
+        svc.submit(("a", "p", 0))
+        svc.tick()
+        svc.submit(("z", "q", 5_000))      # watermark jumps far ahead
+        report = svc.tick()
+        assert report.n_evicted == 1
+        assert svc.engine.evict_cutoff == 4_900
+        assert svc.engine.n_live_comments == 1
+
+    def test_shed_event_still_advances_watermark(self):
+        svc = make_service(queue_capacity=1, window_horizon=100)
+        svc.submit(("a", "p", 0))
+        assert not svc.submit(("b", "p", 9_000))   # rejected but observed
+        assert svc.watermark.watermark == 9_000
+        svc.tick()
+        assert svc.engine.n_live_comments == 0     # 'a' evicted at tick
+
+    def test_backpressure_counted(self):
+        svc = make_service(queue_capacity=2)
+        for t in range(5):
+            svc.submit(("u", "p", t))
+        assert svc.metrics.counter("service.backpressure").value == 3
+
+    def test_drain_all_empties_queue(self):
+        svc = make_service(batch_size=2)
+        for t in range(7):
+            svc.submit((f"u{t}", "p", t))
+        ticks = svc.drain_all()
+        assert ticks >= 4 and svc.queue.depth == 0
+        assert svc.engine.n_live_comments == 7
+
+
+class TestRunLoops:
+    def test_run_events_consumes_everything(self):
+        svc = make_service(batch_size=4)
+        events = [(f"u{i % 5}", f"p{i % 2}", i) for i in range(30)]
+        seen = []
+        consumed = svc.run_events(events, on_tick=lambda s, r: seen.append(r))
+        assert consumed == 30
+        assert svc.queue.depth == 0
+        assert svc.engine.n_live_comments == 30
+        assert seen                                  # on_tick fired
+
+    def test_run_events_respects_max_events(self):
+        svc = make_service()
+        consumed = svc.run_events(
+            ((f"u{i}", "p", i) for i in range(100)), max_events=10
+        )
+        assert consumed == 10 and svc.engine.n_live_comments == 10
+
+    def test_run_events_under_backpressure(self):
+        svc = make_service(queue_capacity=4, batch_size=4)
+        consumed = svc.run_events([(f"u{i}", "p", i) for i in range(40)])
+        assert consumed == 40
+        assert svc.engine.n_live_comments == 40      # nothing lost
+        assert svc.queue.dropped == 0                # reject + retry, not shed
+
+    def test_run_ndjson_skips_malformed(self):
+        svc = make_service()
+        lines = [
+            '{"author": "a", "link_id": "p", "created_utc": 1}',
+            "garbage",
+            '{"author": "b", "link_id": "p", "created_utc": 2}',
+        ]
+        consumed = svc.run_ndjson(lines)
+        assert consumed == 2
+        assert svc.ingest_stats.malformed == 1
+
+    def test_keyboard_interrupt_drains_cleanly(self):
+        svc = make_service(batch_size=100)
+
+        def stream():
+            yield ("a", "p", 0)
+            yield ("b", "p", 10)
+            raise KeyboardInterrupt
+
+        svc.run_events(stream())
+        assert svc.metrics.counter("service.interrupted").value == 1
+        assert svc.queue.depth == 0                  # tail was drained
+        assert svc.engine.n_live_comments == 2
+
+    def test_status_merges_frontend_and_engine(self):
+        svc = make_service()
+        svc.submit(("a", "p", 7))
+        status = svc.status()
+        assert status["queue_depth"] == 1
+        assert status["watermark"] == 7
+        assert status["live_comments"] == 0          # not ticked yet

@@ -40,6 +40,11 @@ MODULES = [
     "repro.datagen.background",
     "repro.datagen.ground_truth",
     "repro.baselines.pacheco",
+    "repro.projection.incremental",
+    "repro.serve.engine",
+    "repro.serve.ingest",
+    "repro.serve.metrics",
+    "repro.serve.service",
 ]
 
 
