@@ -1,0 +1,184 @@
+"""Kernel layer vs pre-refactor loop equivalents — the bench trajectory.
+
+Before the kernel extraction, every engine carried its own copy of the
+window-bounds / pair-merge / triangle / hyperedge loops; the reference
+twins in :mod:`repro.kernels` *are* those loops, frozen.  This bench
+times each vectorized kernel against its twin on the same inputs and
+emits a machine-readable ``BENCH_kernels.json`` next to the text
+reports, so the speedup trajectory of the kernel layer is tracked
+release over release rather than asserted once.
+
+Scale knob: set ``BENCH_KERNELS_SCALE=tiny`` (CI smoke) to shrink the
+inputs ~100× — same code paths, seconds instead of minutes.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.ordering import degree_order
+from repro.kernels import (
+    cooccur_pairs,
+    cooccur_pairs_reference,
+    hyperedge_count,
+    hyperedge_count_reference,
+    merge_triples,
+    pair_ledger,
+    pair_ledger_reference,
+    pair_weights,
+    pair_weights_reference,
+    triangle_enum,
+    triangle_enum_reference,
+    window_bounds,
+    window_bounds_reference,
+)
+from repro.projection.window import TimeWindow
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+TINY = os.environ.get("BENCH_KERNELS_SCALE", "").lower() == "tiny"
+N_ROWS = 400 if TINY else 40_000
+N_USERS = 40 if TINY else 2_000
+N_PAGES = 20 if TINY else 1_000
+N_VERTICES = 30 if TINY else 300
+N_EDGES = 80 if TINY else 4_000
+N_TRIPLETS = 50 if TINY else 5_000
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def _corpus(rng):
+    users = rng.integers(0, N_USERS, N_ROWS)
+    pages = rng.integers(0, N_PAGES, N_ROWS)
+    times = rng.integers(0, 86_400, N_ROWS)
+    order = np.lexsort((times, pages))
+    return users[order], pages[order], times[order]
+
+
+def test_bench_kernels(report_sink):
+    rng = np.random.default_rng(7)
+    window = TimeWindow(0, 60)
+    users, pages, times = _corpus(rng)
+    rows = []
+
+    # window_bounds — the shared two-pointer behind every projection.
+    (lo, hi), fast_s = _timed(lambda: window_bounds(pages, times, window))
+    (lo_r, hi_r), ref_s = _timed(
+        lambda: window_bounds_reference(pages, times, window)
+    )
+    assert np.array_equal(lo, lo_r) and np.array_equal(hi, hi_r)
+    rows.append(("window_bounds", fast_s, ref_s))
+
+    # cooccur_pairs — batched pair materialization vs per-page loops.
+    def _fast_pairs():
+        parts = [
+            (pg, a, b)
+            for pg, a, b, _raw in cooccur_pairs(
+                users, pages, times, window, 1_000_000
+            )
+        ]
+        return merge_triples(parts)
+
+    (pg, a, b), fast_s = _timed(_fast_pairs)
+    (pg_r, a_r, b_r, _), ref_s = _timed(
+        lambda: cooccur_pairs_reference(users, pages, times, window)
+    )
+    assert np.array_equal(pg, pg_r)
+    rows.append(("cooccur_pairs", fast_s, ref_s))
+
+    # pair_weights + pair_ledger — the eq. 5/6 reductions.
+    _, fast_s = _timed(lambda: pair_weights(a, b))
+    _, ref_s = _timed(lambda: pair_weights_reference(a, b))
+    rows.append(("pair_weights", fast_s, ref_s))
+    _, fast_s = _timed(lambda: pair_ledger(pg, a, b, N_USERS))
+    _, ref_s = _timed(lambda: pair_ledger_reference(pg, a, b, N_USERS))
+    rows.append(("pair_ledger", fast_s, ref_s))
+
+    # triangle_enum — degree-ordered wedge closure vs the triple loop.
+    src = rng.integers(0, N_VERTICES, N_EDGES)
+    dst = rng.integers(0, N_VERTICES, N_EDGES)
+    keep = src != dst
+    acc = EdgeList(src[keep], dst[keep]).accumulate()
+    rank = degree_order(acc, N_VERTICES)
+
+    def _fast_triangles():
+        return sum(
+            batch[0].shape[0]
+            for batch in triangle_enum(
+                acc.src, acc.dst, acc.weight, rank, N_VERTICES
+            )
+        )
+
+    n_fast, fast_s = _timed(_fast_triangles)
+    ref_tri, ref_s = _timed(
+        lambda: triangle_enum_reference(acc.src, acc.dst, acc.weight)
+    )
+    assert n_fast == ref_tri[0].shape[0]
+    rows.append(("triangle_enum", fast_s, ref_s))
+
+    # hyperedge_count — vectorized membership vs per-triplet intersection.
+    indptr_l = [0]
+    page_rows = []
+    for _u in range(N_USERS):
+        ps = np.unique(rng.integers(0, N_PAGES, 8))
+        page_rows.append(ps)
+        indptr_l.append(indptr_l[-1] + ps.shape[0])
+    indptr = np.asarray(indptr_l, dtype=np.int64)
+    page_ids = np.concatenate(page_rows).astype(np.int64)
+    trips = np.sort(rng.integers(0, N_USERS, (N_TRIPLETS, 3)), axis=1)
+    ta, tb, tc = trips[:, 0], trips[:, 1], trips[:, 2]
+    w_fast, fast_s = _timed(
+        lambda: hyperedge_count(indptr, page_ids, ta, tb, tc)
+    )
+    w_ref, ref_s = _timed(
+        lambda: hyperedge_count_reference(indptr, page_ids, ta, tb, tc)
+    )
+    assert np.array_equal(w_fast, w_ref)
+    rows.append(("hyperedge_count", fast_s, ref_s))
+
+    # -- report ------------------------------------------------------------
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "scale": "tiny" if TINY else "full",
+        "n_rows": N_ROWS,
+        "kernels": {
+            name: {
+                "kernel_seconds": round(fast_s, 6),
+                "reference_seconds": round(ref_s, 6),
+                "speedup": round(ref_s / max(fast_s, 1e-9), 2),
+            }
+            for name, fast_s, ref_s in rows
+        },
+    }
+    (RESULTS_DIR / "BENCH_kernels.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    lines = [
+        f"Kernel vs pre-refactor loop ({payload['scale']} scale, "
+        f"{N_ROWS:,} rows)"
+    ]
+    for name, fast_s, ref_s in rows:
+        lines.append(
+            f"{name:16s} kernel {fast_s * 1e3:9.2f} ms   "
+            f"loop {ref_s * 1e3:9.2f} ms   "
+            f"speedup {ref_s / max(fast_s, 1e-9):8.1f}x"
+        )
+    report_sink("kernels", "\n".join(lines))
+
+    # The point of the layer: vectorized kernels must actually beat the
+    # loops they replaced (pinned so a regression that de-vectorizes a
+    # kernel fails loudly).  At tiny smoke scale timings are noise, so
+    # the smoke run only checks the code paths and the JSON contract.
+    if not TINY:
+        for name, fast_s, ref_s in rows:
+            if name in ("cooccur_pairs", "triangle_enum", "hyperedge_count"):
+                assert fast_s < ref_s, f"{name}: kernel slower than loop twin"

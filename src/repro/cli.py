@@ -11,8 +11,10 @@ Six subcommands cover the workflow the paper describes:
 - ``figures`` — regenerate the paper's metric-relationship figures
   (C vs T, w_xyz vs min w') for a corpus and window;
 - ``verify`` — run a seeded corpus through every projection and triangle
-  engine, diff the outputs against the reference oracle, and check the
-  paper's invariants (the engine-parity guarantee, made executable);
+  engine — all thin wrappers over the shared :mod:`repro.kernels` layer
+  (see ``docs/architecture.md``) — diff the outputs against the
+  reference oracle, and check the paper's invariants (the engine-parity
+  guarantee, made executable);
   ``verify --chaos`` instead injects a seeded fault into a distributed
   run and checks the fail-typed → checkpoint-resume → exact-parity
   contract; ``verify --online`` drives a seeded append/advance

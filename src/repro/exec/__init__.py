@@ -1,0 +1,34 @@
+"""Execution-plan layer: one plan, two executors.
+
+Engines declare *what* runs — a :class:`~repro.exec.plan.Plan` of kernel
+stages with declared shard keys — and pick *where* it runs by choosing a
+:class:`~repro.exec.executors.SerialExecutor` (in-process) or
+:class:`~repro.exec.executors.YgmExecutor` (across YGM ranks).  The
+canonical plans for the paper's three steps live in
+:mod:`repro.exec.plans`.
+"""
+
+from repro.exec.executors import SerialExecutor, YgmExecutor
+from repro.exec.plan import KernelStage, Plan, resolve_kernel
+from repro.exec.plans import (
+    PROJECTION_PLAN,
+    SURVEY_PLAN,
+    VALIDATION_PLAN,
+    page_aligned_shards,
+    position_range_shards,
+    triplet_range_shards,
+)
+
+__all__ = [
+    "KernelStage",
+    "Plan",
+    "resolve_kernel",
+    "SerialExecutor",
+    "YgmExecutor",
+    "PROJECTION_PLAN",
+    "SURVEY_PLAN",
+    "VALIDATION_PLAN",
+    "page_aligned_shards",
+    "position_range_shards",
+    "triplet_range_shards",
+]

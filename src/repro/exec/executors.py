@@ -1,0 +1,84 @@
+"""Executors: run one :class:`~repro.exec.plan.Plan` locally or over YGM.
+
+Both executors honor the same contract — map every shard through the
+plan's map kernel, order the partials by shard index, then run the
+optional reduce kernel driver-side — so an engine written against
+``executor.run(plan, shards, context)`` is backend-agnostic by
+construction.  That symmetry is what the cross-engine parity harness
+leans on: serial vs distributed runs differ only in *where* map shards
+execute, never in *what* executes.
+
+:class:`YgmExecutor` scatters ``(index, shard)`` items into a
+:class:`~repro.ygm.containers.bag.DistBag` and maps them with
+``DistBag.map_gather``, which ships the kernel reference and context
+once per rank (not once per shard).  The map function travels as a plain
+module-level callable — pickled by reference and re-imported on the
+worker — so it resolves even on worker processes forked before
+:mod:`repro.exec` was first imported.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.exec.plan import Plan, resolve_kernel
+
+__all__ = ["SerialExecutor", "YgmExecutor"]
+
+
+def _map_item(ctx, item, kernel_ref: str, context) -> tuple[int, Any]:
+    """Per-item map shim run on whichever rank holds the bag item.
+
+    ``item`` is ``(index, shard)``; the index rides along so the driver
+    can restore shard order after the unordered gather.
+    """
+    index, shard = item
+    return index, resolve_kernel(kernel_ref)(shard, context)
+
+
+def _finish(plan: Plan, partials: list[Any], context) -> Any:
+    if plan.reduce_stage is None:
+        return partials
+    return plan.reduce_stage.resolve()(partials, context)
+
+
+class SerialExecutor:
+    """Run a plan in-process, one shard at a time, in shard order."""
+
+    def run(self, plan: Plan, shards: Sequence[Any], context: Any = None) -> Any:
+        """Map every shard through the plan, then reduce driver-side."""
+        kernel = plan.map_stage.resolve()
+        partials = [kernel(shard, context) for shard in shards]
+        return _finish(plan, partials, context)
+
+
+class YgmExecutor:
+    """Run a plan's map stage across the ranks of a YGM world.
+
+    The world is borrowed, not owned: the caller controls its lifetime
+    (and its backend/fault plan), so one world can execute many plans —
+    the pipeline's distributed path runs projection, survey, and
+    validation plans through a single world.
+    """
+
+    def __init__(self, world) -> None:
+        self.world = world
+
+    def run(self, plan: Plan, shards: Sequence[Any], context: Any = None) -> Any:
+        """Scatter shards over ranks, map remotely, reduce driver-side."""
+        from repro.ygm.containers.bag import DistBag
+
+        bag = DistBag(self.world)
+        try:
+            # One message per shard (not one batch per rank): keeps the
+            # per-rank delivery stream fine-grained, so fault plans keyed
+            # on message counts retain a realistic injection surface.
+            for item in enumerate(shards):
+                bag.async_insert(item)
+            self.world.barrier()
+            gathered = bag.map_gather(_map_item, plan.map_stage.kernel, context)
+        finally:
+            bag.release()
+        gathered.sort(key=lambda pair: pair[0])
+        partials = [partial for _index, partial in gathered]
+        return _finish(plan, partials, context)

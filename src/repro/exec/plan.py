@@ -1,0 +1,103 @@
+"""Execution plans: declarative kernel-stage pipelines.
+
+A :class:`Plan` names a map stage (run once per shard) and an optional
+reduce stage (run once, driver-side, over the gathered partials), each a
+:class:`KernelStage` referencing its kernel by a stable ``module:attr``
+string.  String references — not callables — are the load-bearing
+choice: they make a plan picklable, so the *same* plan object runs
+in-process through :class:`~repro.exec.executors.SerialExecutor` or
+across YGM ranks (including forked worker processes) through
+:class:`~repro.exec.executors.YgmExecutor` without translation.
+
+Calling convention (enforced by the executors):
+
+- map kernel: ``fn(shard, context) -> partial``
+- reduce kernel: ``fn(partials, context) -> result`` where ``partials``
+  is ordered by shard index regardless of executor or rank interleaving.
+
+``shard_key`` documents the partitioning dimension a stage's shards are
+cut along (``"page"``, ``"wedge_range"``, ``"triplet_range"``, …); the
+executors carry it into diagnostics so a mis-sharded plan is visible.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["KernelStage", "Plan", "resolve_kernel"]
+
+
+def resolve_kernel(ref: str) -> Callable:
+    """Resolve a ``"module:attr"`` kernel reference to the callable."""
+    module_name, _, attr = ref.partition(":")
+    if not module_name or not attr:
+        raise ValueError(
+            f"kernel reference must look like 'module:attr', got {ref!r}"
+        )
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attr)
+    except AttributeError as exc:
+        raise ValueError(
+            f"kernel reference {ref!r} names no attribute of {module_name}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class KernelStage:
+    """One stage of a plan: a named kernel plus its shard dimension."""
+
+    name: str
+    kernel: str  # "module:attr" reference, resolved lazily per executor/rank
+    shard_key: str | None = None
+
+    def __post_init__(self) -> None:
+        if ":" not in self.kernel:
+            raise ValueError(
+                f"stage {self.name!r}: kernel must be a 'module:attr' "
+                f"reference, got {self.kernel!r}"
+            )
+
+    def resolve(self) -> Callable:
+        """The stage's kernel callable."""
+        return resolve_kernel(self.kernel)
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A named map(+reduce) pipeline over kernel stages.
+
+    Examples
+    --------
+    >>> plan = Plan(
+    ...     name="demo",
+    ...     map_stage=KernelStage(
+    ...         "square", "repro.exec.plans:_demo_square", shard_key="item"
+    ...     ),
+    ...     reduce_stage=KernelStage("sum", "repro.exec.plans:_demo_sum"),
+    ... )
+    >>> from repro.exec import SerialExecutor
+    >>> SerialExecutor().run(plan, [1, 2, 3])
+    14
+    """
+
+    name: str
+    map_stage: KernelStage
+    reduce_stage: KernelStage | None = None
+
+    @property
+    def stages(self) -> tuple[KernelStage, ...]:
+        """All stages in execution order."""
+        if self.reduce_stage is None:
+            return (self.map_stage,)
+        return (self.map_stage, self.reduce_stage)
+
+    def describe(self) -> str:
+        """One-line summary for logs and diagnostics."""
+        parts = [
+            f"{s.name}[{s.shard_key or 'global'}]={s.kernel}"
+            for s in self.stages
+        ]
+        return f"plan {self.name}: " + " -> ".join(parts)

@@ -2,18 +2,16 @@
 
 Paper §2.4: "the distributed containers of YGM can accelerate this
 process by dividing up authors to be checked among several compute
-nodes."  The decomposition here is the canonical YGM chain-visit:
-
-1. every author's sorted distinct-page slice is inserted into a
-   :class:`~repro.ygm.DistMap` keyed by author id;
-2. for each candidate triplet ``(x, y, z)``, a visit at ``owner(x)``
-   forwards ``pages(x)`` to ``owner(y)``, which intersects with
-   ``pages(y)`` and forwards the (now no larger) running intersection to
-   ``owner(z)``, which finishes the count and deposits
-   ``(triplet, w_xyz, p_sum)`` into a result bag;
-3. the driver gathers the bag and assembles a
-   :class:`~repro.hypergraph.triplets.TripletMetrics` aligned to the
-   input triangles.
+nodes."  This engine runs the same
+:data:`repro.exec.plans.VALIDATION_PLAN` as the serial evaluator, on a
+:class:`~repro.exec.YgmExecutor`: the CSR user–page incidence is
+broadcast once per rank as the plan context, candidate triplets are cut
+into contiguous ranges (:func:`repro.exec.plans.triplet_range_shards`),
+and each rank counts its ranges' hyperedge weights with the vectorized
+:func:`repro.kernels.hyperedge_count` kernel.  The driver concatenates
+the per-range weights in shard order and assembles a
+:class:`~repro.hypergraph.triplets.TripletMetrics` aligned to the input
+triangles.
 
 Results equal :func:`repro.hypergraph.triplets.evaluate_triplets` exactly
 (tests assert it on both backends).
@@ -23,72 +21,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.exec.executors import YgmExecutor
+from repro.exec.plans import VALIDATION_PLAN, triplet_range_shards
 from repro.graph.bipartite import BipartiteTemporalMultigraph
 from repro.hypergraph.incidence import UserPageIncidence
 from repro.hypergraph.triplets import TripletMetrics
+from repro.kernels import normalized_scores
 from repro.tripoll.survey import TriangleSet
-from repro.ygm.containers.bag import DistBag
-from repro.ygm.containers.map import DistMap
-from repro.ygm.handlers import ygm_handler
-from repro.ygm.partition import HashPartitioner
 from repro.ygm.world import YgmWorld
 
 __all__ = ["evaluate_triplets_distributed"]
 
-
-@ygm_handler("repro.hg.start")
-def _h_start(ctx, state: dict, payload) -> None:
-    """Visit at owner(x): launch the intersection chain."""
-    triplet_id, x, y, z, cid, bag_cid = payload
-    pages_x, px = state.get(x, ((), 0))
-    part = HashPartitioner(ctx.n_ranks)
-    ctx.send(
-        part.owner(y),
-        cid,
-        "repro.hg.intersect",
-        (triplet_id, y, z, tuple(pages_x), px, cid, bag_cid),
-    )
-
-
-@ygm_handler("repro.hg.intersect")
-def _h_intersect(ctx, state: dict, payload) -> None:
-    """Visit at owner(y): intersect the running set, forward to owner(z)."""
-    triplet_id, y, z, running, p_acc, cid, bag_cid = payload
-    pages_y, py = state.get(y, ((), 0))
-    running = _intersect_sorted(running, pages_y)
-    part = HashPartitioner(ctx.n_ranks)
-    ctx.send(
-        part.owner(z),
-        cid,
-        "repro.hg.finish",
-        (triplet_id, z, tuple(running), p_acc + py, bag_cid),
-    )
-
-
-@ygm_handler("repro.hg.finish")
-def _h_finish(ctx, state: dict, payload) -> None:
-    """Visit at owner(z): final intersection, deposit the result."""
-    triplet_id, z, running, p_acc, bag_cid = payload
-    pages_z, pz = state.get(z, ((), 0))
-    w = len(_intersect_sorted(running, pages_z))
-    ctx.local_state(bag_cid).append((triplet_id, w, p_acc + pz))
-
-
-def _intersect_sorted(a, b) -> list:
-    """Intersection of two sorted unique sequences (merge walk)."""
-    out: list = []
-    i = j = 0
-    na, nb = len(a), len(b)
-    while i < na and j < nb:
-        if a[i] == b[j]:
-            out.append(a[i])
-            i += 1
-            j += 1
-        elif a[i] < b[j]:
-            i += 1
-        else:
-            j += 1
-    return out
+# Shards per rank: >1 so uneven slice sizes still balance.
+_SHARDS_PER_RANK = 4
 
 
 def evaluate_triplets_distributed(
@@ -114,34 +59,13 @@ def evaluate_triplets_distributed(
     """
     inc = UserPageIncidence.from_btm(btm)
 
-    pages_map = DistMap(world)
-    result_bag = DistBag(world)
-    # Distribute only the authors the triplets touch.
-    for user in triangles.vertices():
-        user = int(user)
-        pages = inc.pages_of(user)
-        pages_map.async_insert(user, (tuple(pages.tolist()), int(pages.shape[0])))
-    world.barrier()
+    shards = triplet_range_shards(
+        triangles.a, triangles.b, triangles.c, world.n_ranks * _SHARDS_PER_RANK
+    )
+    context = {"indptr": inc.indptr, "page_ids": inc.page_ids}
+    w = YgmExecutor(world).run(VALIDATION_PLAN, shards, context)
 
-    cid = pages_map.container_id
-    bag_cid = result_bag.container_id
-    for i in range(triangles.n_triangles):
-        x, y, z = int(triangles.a[i]), int(triangles.b[i]), int(triangles.c[i])
-        world.async_send(
-            pages_map.owner(x), cid, "repro.hg.start", (i, x, y, z, cid, bag_cid)
-        )
-    world.barrier()
-
-    rows = result_bag.gather()
-    pages_map.release()
-    result_bag.release()
-
-    n = triangles.n_triangles
-    w = np.zeros(n, dtype=np.int64)
-    p_sum = np.zeros(n, dtype=np.int64)
-    for triplet_id, weight, psum in rows:
-        w[triplet_id] = weight
-        p_sum[triplet_id] = psum
-    with np.errstate(divide="ignore", invalid="ignore"):
-        c = np.where(p_sum > 0, 3.0 * w / p_sum, 0.0)
+    p = inc.page_counts()
+    p_sum = (p[triangles.a] + p[triangles.b] + p[triangles.c]).astype(np.int64)
+    c = normalized_scores(w, p_sum)
     return TripletMetrics(triangles=triangles, w_xyz=w, p_sum=p_sum, c_scores=c)

@@ -1,12 +1,15 @@
 """Triplet hyperedge weights and coordination scores (eqs. 2–4).
 
-``hyperedge_weight`` intersects three users' sorted page slices;
-``evaluate_triplets`` does it for every triangle surviving Step 2 and
-packages the paper's Step 3 output: ``w_xyz``, ``p_x + p_y + p_z``, and
-``C(x, y, z)``.  ``all_triplets_brute`` enumerates *every* triplet with a
-nonzero hyperedge weight directly from the incidence — the exponential
-direct approach the paper's pruning avoids, kept as the recall oracle and
-as the naive baseline.
+Thin orchestration over the kernel layer: ``hyperedge_weight`` wraps
+:func:`repro.kernels.intersect3_sorted` for one triplet;
+``evaluate_triplets`` runs :data:`repro.exec.plans.VALIDATION_PLAN` on a
+:class:`~repro.exec.SerialExecutor`, evaluating *every* triangle
+surviving Step 2 in one vectorized :func:`repro.kernels.hyperedge_count`
+pass, and packages the paper's Step 3 output: ``w_xyz``,
+``p_x + p_y + p_z``, and ``C(x, y, z)``.  ``all_triplets_brute``
+enumerates *every* triplet with a nonzero hyperedge weight directly from
+the incidence — the exponential direct approach the paper's pruning
+avoids, kept as the recall oracle and as the naive baseline.
 """
 
 from __future__ import annotations
@@ -16,7 +19,14 @@ from itertools import combinations
 
 import numpy as np
 
+from repro.exec.executors import SerialExecutor
+from repro.exec.plans import VALIDATION_PLAN, triplet_range_shards
 from repro.hypergraph.incidence import UserPageIncidence
+from repro.kernels import (
+    hyperedge_count_reference,
+    intersect3_sorted,
+    normalized_scores,
+)
 from repro.tripoll.survey import TriangleSet
 
 __all__ = [
@@ -33,13 +43,11 @@ def hyperedge_weight(inc: UserPageIncidence, x: int, y: int, z: int) -> int:
     Intersects the two smallest slices first — the cheap algorithmic win
     the optimization guide prescribes (compute less before computing fast).
     """
-    slices = sorted(
-        (inc.pages_of(x), inc.pages_of(y), inc.pages_of(z)), key=len
+    return int(
+        intersect3_sorted(
+            inc.pages_of(x), inc.pages_of(y), inc.pages_of(z)
+        ).shape[0]
     )
-    first = np.intersect1d(slices[0], slices[1], assume_unique=True)
-    if first.shape[0] == 0:
-        return 0
-    return int(np.intersect1d(first, slices[2], assume_unique=True).shape[0])
 
 
 @dataclass
@@ -108,16 +116,12 @@ def evaluate_triplets(
     >>> m.w_xyz.tolist(), m.c_scores.tolist()
     ([2], [1.0])
     """
-    n = triangles.n_triangles
-    w = np.zeros(n, dtype=np.int64)
-    for i in range(n):
-        w[i] = hyperedge_weight(
-            inc, int(triangles.a[i]), int(triangles.b[i]), int(triangles.c[i])
-        )
+    shards = triplet_range_shards(triangles.a, triangles.b, triangles.c, 1)
+    context = {"indptr": inc.indptr, "page_ids": inc.page_ids}
+    w = SerialExecutor().run(VALIDATION_PLAN, shards, context)
     p = inc.page_counts()
     p_sum = (p[triangles.a] + p[triangles.b] + p[triangles.c]).astype(np.int64)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        c = np.where(p_sum > 0, 3.0 * w / p_sum, 0.0)
+    c = normalized_scores(w, p_sum)
     return TripletMetrics(triangles=triangles, w_xyz=w, p_sum=p_sum, c_scores=c)
 
 
@@ -130,12 +134,21 @@ def all_triplets_brute(
     avoid — O(Σ |users(p)|³) — usable only at oracle scale.  Returns
     ``{(x, y, z): w_xyz}`` with ``x < y < z``.
     """
-    weights: dict[tuple[int, int, int], int] = {}
+    candidates: set[tuple[int, int, int]] = set()
     for _page, users in inc.users_per_page().items():
         if users.shape[0] < 3:
             continue
-        for trip in combinations(users.tolist(), 3):
-            weights[trip] = weights.get(trip, 0) + 1
-    if min_weight > 1:
-        weights = {k: v for k, v in weights.items() if v >= min_weight}
-    return weights
+        candidates.update(combinations(users.tolist(), 3))
+    if not candidates:
+        return {}
+    trips = sorted(candidates)
+    arr = np.asarray(trips, dtype=np.int64)
+    # The counting itself goes through the kernel's reference twin.
+    w = hyperedge_count_reference(
+        inc.indptr, inc.page_ids, arr[:, 0], arr[:, 1], arr[:, 2]
+    )
+    return {
+        trip: int(wi)
+        for trip, wi in zip(trips, w.tolist())
+        if wi >= min_weight
+    }

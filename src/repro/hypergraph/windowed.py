@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.bipartite import BipartiteTemporalMultigraph
+from repro.kernels import intersect3_sorted
 from repro.projection.window import TimeWindow
 from repro.tripoll.survey import TriangleSet
 
@@ -80,11 +81,7 @@ class WindowedTripletEvaluator:
         pz = self._pages_of.get(z)
         if px is None or py is None or pz is None:
             return np.empty(0, dtype=np.int64)
-        slices = sorted((px, py, pz), key=len)
-        first = np.intersect1d(slices[0], slices[1], assume_unique=True)
-        if first.shape[0] == 0:
-            return first
-        return np.intersect1d(first, slices[2], assume_unique=True)
+        return intersect3_sorted(px, py, pz)
 
     def windowed_weight(
         self, x: int, y: int, z: int, window: TimeWindow

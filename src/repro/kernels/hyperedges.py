@@ -1,0 +1,144 @@
+"""Hyperedge-weight kernels over the user–page incidence (eq. 2).
+
+``w_xyz`` counts the pages all three authors of a triplet comment on.
+The incidence arrives CSR-style (``indptr`` + per-user sorted distinct
+``page_ids``); :func:`hyperedge_count` evaluates *every* candidate
+triplet in one vectorized pass instead of the per-triangle Python loop
+the serial evaluator used to carry:
+
+1. per triplet, pick the author with the smallest page slice (the probe
+   set — the same smallest-first trick the scalar path used);
+2. flatten all probe pages with the repeat/arange idiom;
+3. membership-test each probe page against the other two authors' slices
+   via one ``searchsorted`` each into the *global* sorted
+   ``user * stride + page`` key array (the incidence is already sorted
+   by user then page, so no re-sort is needed);
+4. segment-sum the surviving probes back per triplet.
+
+The strided key is guarded by :func:`repro.util.keys.strided_key_fits`;
+when ``n_users * stride`` would wrap int64, the kernel falls back to the
+per-triplet sorted-intersection reference path instead of wrapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.keys import strided_key_fits
+
+__all__ = [
+    "hyperedge_count",
+    "hyperedge_count_reference",
+    "intersect3_sorted",
+]
+
+
+def intersect3_sorted(
+    px: np.ndarray, py: np.ndarray, pz: np.ndarray
+) -> np.ndarray:
+    """Sorted intersection of three sorted unique id arrays.
+
+    Intersects the two smallest first — the cheap algorithmic win the
+    optimization guide prescribes (compute less before computing fast).
+    """
+    slices = sorted((px, py, pz), key=len)
+    first = np.intersect1d(slices[0], slices[1], assume_unique=True)
+    if first.shape[0] == 0:
+        return first
+    return np.intersect1d(first, slices[2], assume_unique=True)
+
+
+def hyperedge_count(
+    indptr: np.ndarray,
+    page_ids: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+) -> np.ndarray:
+    """``w_xyz`` (eq. 2) for every triplet ``(a[i], b[i], c[i])`` at once.
+
+    ``indptr`` / ``page_ids`` are the CSR incidence (per-user sorted
+    distinct pages); the result is an int64 array aligned to the triplet
+    arrays.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    page_ids = np.asarray(page_ids, dtype=np.int64)
+    n_trip = a.shape[0]
+    if n_trip == 0:
+        return np.empty(0, dtype=np.int64)
+    n_users = indptr.shape[0] - 1
+    stride = int(page_ids.max()) + 1 if page_ids.shape[0] else 1
+    if not strided_key_fits(max(n_users, 1), stride):
+        return hyperedge_count_reference(indptr, page_ids, a, b, c)
+    # Global sorted membership keys: incidence rows are sorted by user,
+    # then page, so user * stride + page is already ascending.
+    keys = (
+        np.repeat(np.arange(n_users, dtype=np.int64), np.diff(indptr)) * stride
+        + page_ids
+    )
+
+    trips = np.stack(
+        [
+            np.asarray(a, dtype=np.int64),
+            np.asarray(b, dtype=np.int64),
+            np.asarray(c, dtype=np.int64),
+        ],
+        axis=1,
+    )
+    sizes = indptr[trips + 1] - indptr[trips]
+    # Probe with each triplet's smallest slice; test the other two.
+    probe_col = np.argmin(sizes, axis=1)
+    rows = np.arange(n_trip)
+    probe_user = trips[rows, probe_col]
+    others = np.stack(
+        [
+            trips[rows, (probe_col + 1) % 3],
+            trips[rows, (probe_col + 2) % 3],
+        ],
+        axis=1,
+    )
+
+    probe_sizes = sizes[rows, probe_col]
+    total = int(probe_sizes.sum())
+    if total == 0:
+        return np.zeros(n_trip, dtype=np.int64)
+    trip_of = np.repeat(rows, probe_sizes)
+    starts = indptr[probe_user]
+    offsets = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(np.concatenate(([0], np.cumsum(probe_sizes)))[:-1], probe_sizes)
+    )
+    probe_pages = page_ids[starts[trip_of] + offsets]
+
+    hit = np.ones(total, dtype=bool)
+    for k in (0, 1):
+        want = others[trip_of, k] * stride + probe_pages
+        pos = np.searchsorted(keys, want)
+        pos = np.minimum(pos, keys.shape[0] - 1)
+        hit &= keys[pos] == want
+    w = np.zeros(n_trip, dtype=np.int64)
+    np.add.at(w, trip_of[hit], 1)
+    return w
+
+
+def hyperedge_count_reference(
+    indptr: np.ndarray,
+    page_ids: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+) -> np.ndarray:
+    """Per-triplet sorted-intersection twin of :func:`hyperedge_count`."""
+    indptr = np.asarray(indptr, dtype=np.int64)
+    page_ids = np.asarray(page_ids, dtype=np.int64)
+
+    def pages_of(user: int) -> np.ndarray:
+        return page_ids[indptr[user] : indptr[user + 1]]
+
+    n_trip = a.shape[0]
+    w = np.zeros(n_trip, dtype=np.int64)
+    for i in range(n_trip):
+        w[i] = intersect3_sorted(
+            pages_of(int(a[i])), pages_of(int(b[i])), pages_of(int(c[i]))
+        ).shape[0]
+    return w

@@ -1,0 +1,141 @@
+"""Co-occurring author-pair kernels (Algorithm 1's inner loop).
+
+:func:`cooccur_pairs` turns ``(page, time)``-sorted comment arrays into
+the distinct per-page author pairs ``(page, min(x,y), max(x,y))`` whose
+delay lies in the window — the quantity every projection variant reduces
+from.  :func:`cooccur_pairs_reference` is the paper's per-page double
+loop (the former body of ``project_reference``), kept as the
+obviously-correct twin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.windows import window_bounds, window_deltas
+from repro.util.grouping import group_boundaries
+
+__all__ = [
+    "dedup_triples",
+    "cooccur_pairs",
+    "cooccur_pairs_reference",
+    "merge_triples",
+]
+
+
+def dedup_triples(
+    pg: np.ndarray, a: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deduplicate ``(page, a, b)`` triples (a < b assumed), sorted output."""
+    if pg.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    order = np.lexsort((b, a, pg))
+    pg, a, b = pg[order], a[order], b[order]
+    keep = np.empty(pg.shape[0], dtype=bool)
+    keep[0] = True
+    keep[1:] = (pg[1:] != pg[:-1]) | (a[1:] != a[:-1]) | (b[1:] != b[:-1])
+    return pg[keep], a[keep], b[keep]
+
+
+def merge_triples(
+    parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Union triple batches (possibly overlapping) into one sorted dedup set."""
+    if not parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    pg = np.concatenate([t[0] for t in parts])
+    a = np.concatenate([t[1] for t in parts])
+    b = np.concatenate([t[2] for t in parts])
+    return dedup_triples(pg, a, b)
+
+
+def cooccur_pairs(
+    users: np.ndarray,
+    pages: np.ndarray,
+    times: np.ndarray,
+    window,
+    pair_batch: int,
+):
+    """Yield deduplicated ``(page, lo, hi)`` triple batches plus raw counts.
+
+    Input arrays must be sorted by ``(page, time)``.  Yields tuples
+    ``(pg, a, b, n_raw_pairs)``; batches may repeat triples across batch
+    boundaries (the caller deduplicates globally, e.g. with
+    :func:`merge_triples`).
+    """
+    n = users.shape[0]
+    if n == 0:
+        return
+    lo, hi = window_bounds(pages, times, window)
+    counts = hi - lo
+    # Comment i itself sits inside its own window iff delta1 == 0; the
+    # row/col mask below removes it, so counts here are upper bounds only.
+    cum = np.concatenate(([0], np.cumsum(counts)))
+    start_row = 0
+    while start_row < n:
+        # Grow the row range until the candidate-pair budget is hit.
+        stop_row = int(
+            np.searchsorted(cum, cum[start_row] + max(pair_batch, 1), side="left")
+        )
+        stop_row = max(stop_row, start_row + 1)
+        stop_row = min(stop_row, n)
+        batch_counts = counts[start_row:stop_row]
+        batch_total = int(cum[stop_row] - cum[start_row])
+        if batch_total == 0:
+            start_row = stop_row
+            continue
+        rows = np.repeat(
+            np.arange(start_row, stop_row, dtype=np.int64), batch_counts
+        )
+        offsets = (
+            np.arange(batch_total, dtype=np.int64)
+            - np.repeat(cum[start_row:stop_row] - cum[start_row], batch_counts)
+        )
+        cols = lo[rows] + offsets
+        mask = (cols != rows) & (users[rows] != users[cols])
+        ux = users[rows[mask]]
+        uy = users[cols[mask]]
+        pgc = pages[rows[mask]]
+        a = np.minimum(ux, uy)
+        b = np.maximum(ux, uy)
+        yield (*dedup_triples(pgc, a, b), int(mask.sum()))
+        start_row = stop_row
+
+
+def cooccur_pairs_reference(
+    users: np.ndarray,
+    pages: np.ndarray,
+    times: np.ndarray,
+    window,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Per-page double-loop twin of :func:`cooccur_pairs` (Algorithm 1).
+
+    Same input contract (sorted by ``(page, time)``); returns the fully
+    deduplicated sorted triples plus the raw in-window pair count in one
+    shot instead of batches.
+    """
+    delta1, delta2 = window_deltas(window)
+    triples: set[tuple[int, int, int]] = set()
+    raw = 0
+    bounds = group_boundaries(pages)
+    for r in range(bounds.shape[0] - 1):
+        start, stop = int(bounds[r]), int(bounds[r + 1])
+        page = int(pages[start])
+        for i in range(start, stop):
+            for j in range(start, stop):
+                if j == i:
+                    continue
+                dt = int(times[j]) - int(times[i])
+                if dt < 0:
+                    continue
+                x, y = int(users[i]), int(users[j])
+                if delta1 <= dt <= delta2 and x != y:
+                    triples.add((page, min(x, y), max(x, y)))
+                    raw += 1
+    if not triples:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy(), raw
+    arr = np.asarray(sorted(triples), dtype=np.int64)
+    return arr[:, 0], arr[:, 1], arr[:, 2], raw

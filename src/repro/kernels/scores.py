@@ -1,0 +1,56 @@
+"""Score normalization kernels: ``T`` (eq. 7) and ``C`` (eq. 4).
+
+Both paper scores share one shape — ``3 · numerator / denominator`` with
+a zero-denominator guard — so both normalize here:
+
+- ``T(x, y, z) = 3 · min(w') / (P'_x + P'_y + P'_z)`` passes the minimum
+  triangle edge weight and the ``P'`` ledger sum;
+- ``C(x, y, z) = 3 · w_xyz / (p_x + p_y + p_z)`` passes the hyperedge
+  weight and the page-count sum.
+
+:func:`normalized_score_scalar` is the Python-float twin the online
+engine's dirty-set rescoring uses; it performs the *same* IEEE-double
+operations in the same order (multiply by 3, then divide), so online and
+batch scores are bit-for-bit identical by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "normalized_scores",
+    "normalized_scores_reference",
+    "normalized_score_scalar",
+]
+
+
+def normalized_scores(numer: np.ndarray, denom: np.ndarray) -> np.ndarray:
+    """``3 · numer / denom`` per element, 0.0 where ``denom <= 0``.
+
+    Returns float64 regardless of input dtypes; both inputs are exact in
+    float64 at the scales the pipeline produces (< 2⁵³).
+    """
+    numer = np.asarray(numer)
+    denom = np.asarray(denom)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(denom > 0, 3.0 * numer / denom, 0.0)
+
+
+def normalized_scores_reference(
+    numer: np.ndarray, denom: np.ndarray
+) -> np.ndarray:
+    """Element-loop twin of :func:`normalized_scores`."""
+    out = np.zeros(np.asarray(numer).shape[0], dtype=np.float64)
+    for i, (nu, de) in enumerate(zip(numer, denom)):
+        out[i] = normalized_score_scalar(nu, de)
+    return out
+
+
+def normalized_score_scalar(numer, denom) -> float:
+    """Scalar ``3 · numer / denom`` with the same op order as the array
+    kernel (multiply first, then divide) — bit-identical to
+    :func:`normalized_scores` on the same values."""
+    numer = float(numer)
+    denom = float(denom)
+    return 3.0 * numer / denom if denom > 0 else 0.0

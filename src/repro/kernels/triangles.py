@@ -1,0 +1,224 @@
+"""CSR min-weight triangle enumeration kernels (Step 2's inner machinery).
+
+The degree-ordered edge-iterator from TriPoll, decomposed into pure-array
+pieces so the serial and distributed surveys share them:
+
+- :func:`forward_adjacency` orients edges low → high rank and lays the
+  forward neighbors out as rank-sorted CSR slices with a sorted key table
+  for the closing-edge hash join;
+- :func:`wedge_counts` prices each adjacency position's wedge work so
+  callers can cut position ranges to a memory (or shard) budget;
+- :func:`close_wedges` generates and closes the wedges of one position
+  range, returning raw ``(x, y, z, w_xy, w_xz, w_yz)`` arrays;
+- :func:`triangle_enum` composes the three into a batched generator —
+  the one-stop kernel the serial survey wraps.
+
+All functions take and return plain arrays; canonicalization to
+``TriangleSet`` (and the huge-id compaction guard) stays with the caller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "forward_adjacency",
+    "wedge_counts",
+    "close_wedges",
+    "triangle_enum",
+    "triangle_enum_reference",
+]
+
+RawTriangles = tuple[
+    np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray
+]
+
+
+def _empty_raw() -> RawTriangles:
+    e = np.empty(0, dtype=np.int64)
+    return e, e.copy(), e.copy(), e.copy(), e.copy(), e.copy()
+
+
+def forward_adjacency(
+    src: np.ndarray,
+    dst: np.ndarray,
+    wgt: np.ndarray,
+    rank: np.ndarray,
+    n: int,
+) -> dict:
+    """Degree-ordered forward adjacency plus the closing-edge key table.
+
+    Orients every edge from lower to higher ``rank``, sorts positions by
+    ``(tail, rank(head))`` (so the wedges of a tail come out oriented),
+    and builds the sorted ``tail * n + head`` key table used to test
+    closing edges by binary search.  ``n`` must satisfy
+    ``strided_key_fits(n, n)`` — callers compact huge id spaces first.
+
+    Returns a dict of arrays: ``tail``, ``head``, ``wgt`` (per oriented
+    adjacency position), ``fptr`` (CSR offsets per vertex),
+    ``sorted_keys`` / ``sorted_wgt`` (the join table), and ``n``.
+    """
+    forward = rank[src] < rank[dst]
+    tail = np.where(forward, src, dst).astype(np.int64)
+    head = np.where(forward, dst, src).astype(np.int64)
+
+    order = np.lexsort((rank[head], tail))
+    tail, head, wgt = tail[order], head[order], wgt[order]
+
+    edge_key = tail * np.int64(n) + head
+    key_order = np.argsort(edge_key)
+    sorted_keys = edge_key[key_order]
+    sorted_wgt = wgt[key_order]
+
+    fdeg = np.bincount(tail, minlength=n)
+    fptr = np.concatenate(([0], np.cumsum(fdeg)))
+    return {
+        "tail": tail,
+        "head": head,
+        "wgt": wgt,
+        "fptr": fptr,
+        "sorted_keys": sorted_keys,
+        "sorted_wgt": sorted_wgt,
+        "n": int(n),
+    }
+
+
+def wedge_counts(adj: dict) -> tuple[np.ndarray, np.ndarray]:
+    """Wedges per adjacency position and their exclusive prefix sum.
+
+    Position *p* of tail *u* pairs with every later position in *u*'s
+    slice; ``counts[p]`` is that pair count and ``cum`` its cumulative
+    sum (``cum[-1]`` = total wedges), which callers ``searchsorted`` to
+    cut batches/shards of bounded wedge work.
+    """
+    tail, fptr = adj["tail"], adj["fptr"]
+    m = tail.shape[0]
+    slice_end = fptr[tail + 1]
+    counts = slice_end - np.arange(m, dtype=np.int64) - 1
+    cum = np.concatenate(([0], np.cumsum(counts)))
+    return counts, cum
+
+
+def close_wedges(
+    start_pos: int,
+    stop_pos: int,
+    counts: np.ndarray,
+    cum: np.ndarray,
+    adj: dict,
+) -> RawTriangles:
+    """Generate and close the wedges of adjacency positions in a range.
+
+    Position *p* (holding neighbor ``v = head[p]`` of tail ``u``) pairs
+    with every later position *q* in the same slice (``w = head[q]``);
+    the candidate triangle ``(u, v, w)`` survives iff the oriented edge
+    ``(v, w)`` exists in the sorted key table.  Returns raw
+    ``(x, y, z, w_xy, w_xz, w_yz)`` arrays (uncanonicalized).
+    """
+    head, wgt = adj["head"], adj["wgt"]
+    sorted_keys, sorted_wgt = adj["sorted_keys"], adj["sorted_wgt"]
+    n = adj["n"]
+    batch_counts = counts[start_pos:stop_pos]
+    total = int(cum[stop_pos] - cum[start_pos])
+    if total == 0:
+        return _empty_raw()
+    rows = np.repeat(np.arange(start_pos, stop_pos, dtype=np.int64), batch_counts)
+    offsets = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(cum[start_pos:stop_pos] - cum[start_pos], batch_counts)
+    )
+    cols = rows + 1 + offsets
+
+    u_rep = adj["tail"][rows]
+    v = head[rows]
+    w = head[cols]
+    w_uv = wgt[rows]
+    w_uw = wgt[cols]
+
+    close_key = v * np.int64(n) + w
+    pos = np.searchsorted(sorted_keys, close_key)
+    pos = np.minimum(pos, sorted_keys.shape[0] - 1)
+    hit = sorted_keys[pos] == close_key
+    if not np.any(hit):
+        return _empty_raw()
+    return (
+        u_rep[hit],
+        v[hit],
+        w[hit],
+        w_uv[hit],
+        w_uw[hit],
+        sorted_wgt[pos[hit]],
+    )
+
+
+def triangle_enum(
+    src: np.ndarray,
+    dst: np.ndarray,
+    wgt: np.ndarray,
+    rank: np.ndarray,
+    n: int,
+    wedge_batch: int = 4_000_000,
+):
+    """Yield every triangle of the graph as raw array batches.
+
+    Input edges must be accumulated (no duplicate pairs) with dense
+    endpoint ids (``strided_key_fits(n, n)``); ``rank`` is a total vertex
+    order (normally :func:`repro.graph.ordering.degree_order`).  Peak
+    memory is bounded by ``wedge_batch`` candidate wedges.
+    """
+    if src.shape[0] == 0:
+        return
+    adj = forward_adjacency(src, dst, wgt, rank, n)
+    counts, cum = wedge_counts(adj)
+    m = adj["tail"].shape[0]
+    start_pos = 0
+    while start_pos < m:
+        stop_pos = int(
+            np.searchsorted(cum, cum[start_pos] + max(wedge_batch, 1), side="left")
+        )
+        stop_pos = max(stop_pos, start_pos + 1)
+        stop_pos = min(stop_pos, m)
+        batch = close_wedges(start_pos, stop_pos, counts, cum, adj)
+        if batch[0].shape[0]:
+            yield batch
+        start_pos = stop_pos
+
+
+def triangle_enum_reference(
+    src: np.ndarray, dst: np.ndarray, wgt: np.ndarray
+) -> RawTriangles:
+    """O(n³) twin of :func:`triangle_enum` (adjacency-set triple loop).
+
+    Input edges must be accumulated; returns canonically ordered raw
+    arrays (``x < y < z`` per triangle, triangles sorted).
+    """
+    lookup: dict[tuple[int, int], int] = {}
+    adj: dict[int, set[int]] = {}
+    for u, v, w in zip(src.tolist(), dst.tolist(), wgt.tolist()):
+        lo, hi = (u, v) if u < v else (v, u)
+        lookup[(lo, hi)] = w
+        adj.setdefault(lo, set()).add(hi)
+        adj.setdefault(hi, set()).add(lo)
+    verts = sorted(adj)
+    rows = []
+    for ai in range(len(verts)):
+        for bi in range(ai + 1, len(verts)):
+            a, b = verts[ai], verts[bi]
+            if b not in adj[a]:
+                continue
+            for ci in range(bi + 1, len(verts)):
+                c = verts[ci]
+                if c in adj[a] and c in adj[b]:
+                    rows.append(
+                        (a, b, c, lookup[(a, b)], lookup[(a, c)], lookup[(b, c)])
+                    )
+    if not rows:
+        return _empty_raw()
+    arr = np.asarray(rows, dtype=np.int64)
+    return (
+        arr[:, 0],
+        arr[:, 1],
+        arr[:, 2],
+        arr[:, 3],
+        arr[:, 4],
+        arr[:, 5],
+    )

@@ -1,0 +1,113 @@
+"""The windowed two-pointer kernel (formerly ``project._window_bounds``).
+
+The single home of window semantics for the whole repo: every engine that
+asks "which comments fall inside ``[t + δ1, t + δ2]`` of comment *i* on
+the same page" routes through :func:`window_bounds`.  Promoted out of
+``repro/projection/project.py`` so the projection variants, the exec
+plans, and the online engine all share one auditable primitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.grouping import group_boundaries
+from repro.util.keys import INT64_MAX, encode_strided, strided_key_fits
+
+__all__ = ["window_bounds", "window_bounds_reference", "window_deltas"]
+
+
+def window_deltas(window) -> tuple[int, int]:
+    """Normalize a duck-typed window to ``(delta1, delta2)`` Python ints.
+
+    Accepts anything with ``delta1`` / ``delta2`` attributes (e.g.
+    :class:`repro.projection.window.TimeWindow`) or a two-tuple.
+    """
+    try:
+        return int(window.delta1), int(window.delta2)
+    except AttributeError:
+        d1, d2 = window
+        return int(d1), int(d2)
+
+
+def window_bounds(
+    pages: np.ndarray, times: np.ndarray, window
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row candidate index ranges ``[lo, hi)`` of in-window mates.
+
+    The single home of the windowed two-pointer: input arrays must be
+    sorted by ``(page, time)``; row *i*'s window mates are the contiguous
+    range ``lo[i]:hi[i]`` (which still contains *i* itself when
+    ``delta1 == 0`` — callers mask it out).
+
+    Times are rebased per page run, so the key stride is the largest
+    *within-page* time span (not the corpus span), and the combined
+    ``run * stride + time`` key is guarded against int64 overflow: when
+    even the rebased key space would wrap (e.g. nanosecond timestamps over
+    many pages), the bounds are computed per run with plain searchsorted
+    instead of wrapping silently.
+    """
+    delta1, delta2 = window_deltas(window)
+    n = times.shape[0]
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    bounds = group_boundaries(pages)
+    run_sizes = np.diff(bounds)
+    n_runs = run_sizes.shape[0]
+    run_index = np.repeat(np.arange(n_runs, dtype=np.int64), run_sizes)
+    tb = times - times[bounds[:-1]][run_index]
+    # Python-int stride: the guard below must see the true product.
+    stride = int(tb.max()) + delta2 + 2
+    if stride > INT64_MAX:
+        raise OverflowError(
+            "per-page time span + delta2 exceeds int64; the window is "
+            "unrepresentable at this time resolution"
+        )
+    if strided_key_fits(n_runs, stride):
+        key = encode_strided(run_index, stride, tb)
+        lo = np.searchsorted(key, key + delta1, side="left")
+        hi = np.searchsorted(key, key + delta2, side="right")
+        return lo, hi
+    # Guarded fallback: per-run searchsorted on the rebased times.  Slower
+    # (one Python iteration per page) but exact for any int64 input.
+    lo = np.empty(n, dtype=np.int64)
+    hi = np.empty(n, dtype=np.int64)
+    for r in range(n_runs):
+        start, stop = int(bounds[r]), int(bounds[r + 1])
+        ts = tb[start:stop]
+        lo[start:stop] = start + np.searchsorted(ts, ts + delta1, side="left")
+        hi[start:stop] = start + np.searchsorted(ts, ts + delta2, side="right")
+    return lo, hi
+
+
+def window_bounds_reference(
+    pages: np.ndarray, times: np.ndarray, window
+) -> tuple[np.ndarray, np.ndarray]:
+    """O(n²) twin of :func:`window_bounds`: scan every row pair directly.
+
+    Input arrays must be sorted by ``(page, time)``, as for the kernel.
+    Because rows are sorted, the in-window mates of row *i* (same page,
+    delay in ``[δ1, δ2]``) form a contiguous range; this twin finds it by
+    linear scan instead of key-encoded binary search.
+    """
+    delta1, delta2 = window_deltas(window)
+    n = times.shape[0]
+    lo = np.empty(n, dtype=np.int64)
+    hi = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        run_start = i
+        while run_start > 0 and pages[run_start - 1] == pages[i]:
+            run_start -= 1
+        run_stop = i
+        while run_stop < n and pages[run_stop] == pages[i]:
+            run_stop += 1
+        first = run_start
+        while first < run_stop and times[first] - times[i] < delta1:
+            first += 1
+        last = first
+        while last < run_stop and times[last] - times[i] <= delta2:
+            last += 1
+        lo[i] = first
+        hi[i] = last
+    return lo, hi

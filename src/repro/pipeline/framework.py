@@ -19,6 +19,12 @@ bounded, backed-off retry policy over the distributed stages: given a
 ``world_factory`` and a checkpoint directory, a stage that fails with a
 typed YGM runtime error is re-attempted on a *fresh* backend
 (``config.max_stage_retries`` times) instead of aborting the run.
+
+Every stage engine — serial or distributed — is thin orchestration over
+the shared :mod:`repro.kernels` layer, dispatched through the execution
+plans in :mod:`repro.exec.plans`.  The serial and distributed paths run
+the *same* plan on different executors, so their results are
+bit-identical by construction (see ``docs/architecture.md``).
 """
 
 from __future__ import annotations

@@ -31,9 +31,9 @@ import numpy as np
 from repro.graph.bipartite import BipartiteTemporalMultigraph
 from repro.graph.edgelist import EdgeList
 from repro.projection.ci_graph import CommonInteractionGraph
+from repro.kernels import merge_triples
 from repro.projection.project import (
     ProjectionResult,
-    _dedup_triples,
     project,
     reduce_triples_to_ci,
 )
@@ -84,13 +84,7 @@ def project_bucketed(
             parts.append(sub.triples)
             pair_observations += sub.stats["pair_observations"]
         with timings.stage("merge"):
-            if parts:
-                pg = np.concatenate([t[0] for t in parts])
-                a = np.concatenate([t[1] for t in parts])
-                b = np.concatenate([t[2] for t in parts])
-                pg, a, b = _dedup_triples(pg, a, b)
-            else:
-                pg = a = b = np.empty(0, dtype=np.int64)
+            pg, a, b = merge_triples(parts)
             ci = reduce_triples_to_ci(
                 pg, a, b, btm.user_id_space, window, btm.user_names
             )

@@ -1,77 +1,43 @@
 """Distributed projection on the YGM runtime (how the paper runs Step 1).
 
-Pages are scattered across ranks in a :class:`~repro.ygm.DistBag`; each
-rank runs the same vectorized windowed-pair kernel on its local pages and
-merges pair weights into a :class:`~repro.ygm.DistMap` keyed by the author
-pair, with the ``P'`` ledger accumulated in a second map.  Because every
-page is processed whole on exactly one rank, per-page deduplication is
-rank-local and the cross-rank reduction is a plain sum — the same
-decomposition the paper uses ("dividing up authors to be checked among
-several compute nodes", §2.4; projection is page-parallel by Algorithm 1's
-outer loop).
+This engine executes the *same* :data:`repro.exec.plans.PROJECTION_PLAN`
+the serial engine runs, just on a :class:`~repro.exec.YgmExecutor`: the
+(page, time)-sorted corpus is cut into page-aligned shards
+(:func:`repro.exec.plans.page_aligned_shards`), each rank maps the
+windowed-pair kernel over its share, and the driver reduces the gathered
+shard triples into ``C`` and ``P'`` — the paper's decomposition
+("dividing up authors to be checked among several compute nodes", §2.4;
+projection is page-parallel by Algorithm 1's outer loop).
 
-Results are bit-identical to :func:`repro.projection.project.project`
-(enforced by tests on both backends).
+Because every page is wholly contained in one shard, per-shard
+deduplication is exact and the reduce is the plain triple union every
+other variant uses.  Results are bit-identical to
+:func:`repro.projection.project.project` (enforced by tests on both
+backends).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.exec.executors import YgmExecutor
+from repro.exec.plans import PROJECTION_PLAN, page_aligned_shards
 from repro.graph.bipartite import BipartiteTemporalMultigraph
-from repro.graph.edgelist import EdgeList
-from repro.projection.ci_graph import CommonInteractionGraph
-from repro.projection.project import ProjectionResult, _windowed_pair_batches
+from repro.projection.project import ProjectionResult, ci_from_reduction
 from repro.projection.window import TimeWindow
-from repro.ygm.containers.bag import DistBag
-from repro.ygm.containers.counter import DistCounter
-from repro.ygm.handlers import ygm_handler
 from repro.ygm.world import YgmWorld
 
 __all__ = ["project_distributed"]
 
-
-@ygm_handler("repro.projection.page_kernel")
-def _h_page_kernel(ctx, item, window_tuple, edge_cid, pprime_cid) -> None:
-    """Per-page projection: runs at the rank holding the page record.
-
-    ``item`` is ``(page_id, users, times)`` with times sorted ascending.
-    Emits weight increments into the pair-weight counter and page counts
-    into the ``P'`` counter via nested batched sends.
-    """
-    page_id, users, times = item
-    window = TimeWindow(*window_tuple)
-    pages = np.full(users.shape[0], page_id, dtype=np.int64)
-    pair_keys: set[tuple[int, int]] = set()
-    for pg, a, b, _raw in _windowed_pair_batches(
-        users, pages, times, window, pair_batch=1_000_000
-    ):
-        pair_keys.update(zip(a.tolist(), b.tolist()))
-    if not pair_keys:
-        return
-    # One page ⇒ every distinct pair contributes weight exactly 1, and
-    # every participating author's P' grows by exactly 1.
-    _counter_send(ctx, edge_cid, [(pair, 1) for pair in pair_keys])
-    authors = {a for a, _ in pair_keys} | {b for _, b in pair_keys}
-    _counter_send(ctx, pprime_cid, [(author, 1) for author in authors])
-
-
-def _counter_send(ctx, cid: str, items: list) -> None:
-    """Batch counter increments per destination rank (nested sends)."""
-    from repro.ygm.partition import HashPartitioner
-
-    part = HashPartitioner(ctx.n_ranks)
-    per_rank: dict[int, list] = {}
-    for key, amount in items:
-        per_rank.setdefault(part.owner(key), []).append((key, amount))
-    for rank, batch in per_rank.items():
-        ctx.send(rank, cid, "ygm.counter.add_batch", batch)
+# Shards per rank: >1 so uneven page sizes still balance across ranks.
+_SHARDS_PER_RANK = 4
 
 
 def project_distributed(
     btm: BipartiteTemporalMultigraph,
     window: TimeWindow,
     world: YgmWorld,
+    pair_batch: int = 1_000_000,
 ) -> ProjectionResult:
     """Run Step 1 across the ranks of *world*.
 
@@ -86,54 +52,27 @@ def project_distributed(
     >>> result.ci.edges.to_dict()
     {(0, 1): 1}
     """
-    users, pages, times, bounds = btm.page_sorted_view()
+    users, pages, times, _bounds = btm.page_sorted_view()
 
-    page_bag = DistBag(world)
-    edge_counter = DistCounter(world)
-    pprime_counter = DistCounter(world)
-
-    records = []
-    for i in range(bounds.shape[0] - 1):
-        start, stop = int(bounds[i]), int(bounds[i + 1])
-        records.append(
-            (int(pages[start]), users[start:stop].copy(), times[start:stop].copy())
-        )
-    page_bag.async_insert_batch(records)
-    world.barrier()
-
-    page_bag.for_all(
-        "repro.projection.page_kernel",
-        (window.delta1, window.delta2),
-        edge_counter.container_id,
-        pprime_counter.container_id,
+    shards = page_aligned_shards(
+        users, pages, times, world.n_ranks * _SHARDS_PER_RANK
     )
+    context = {
+        "delta1": window.delta1,
+        "delta2": window.delta2,
+        "pair_batch": int(pair_batch),
+        "n_users": btm.user_id_space,
+    }
+    red = YgmExecutor(world).run(PROJECTION_PLAN, shards, context)
 
-    weights = edge_counter.to_dict()
-    pprime = pprime_counter.to_dict()
-
-    page_bag.release()
-    edge_counter.release()
-    pprime_counter.release()
-
-    n_users = btm.user_id_space
-    page_counts = np.zeros(n_users, dtype=np.int64)
-    for author, count in pprime.items():
-        page_counts[author] = count
-    edges = EdgeList.from_weighted_dict(
-        {(int(a), int(b)): int(w) for (a, b), w in weights.items()}
-    ).accumulate()
-    ci = CommonInteractionGraph(
-        edges=edges,
-        page_counts=page_counts,
-        window=window,
-        user_names=btm.user_names,
-    )
+    ci = ci_from_reduction(red, window, btm.user_names)
     return ProjectionResult(
         ci=ci,
         stats={
             "comments_scanned": btm.n_comments,
-            "pages_visited": len(records),
-            "ci_edges": edges.n_edges,
+            "pages_visited": int(np.unique(pages).shape[0]),
+            "pair_observations": red["pair_observations"],
+            "ci_edges": ci.edges.n_edges,
             "ranks": world.n_ranks,
         },
     )

@@ -28,12 +28,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.bipartite import BipartiteTemporalMultigraph
+from repro.kernels import cooccur_pairs, merge_triples
 from repro.projection.ci_graph import CommonInteractionGraph
-from repro.projection.project import (
-    _dedup_triples,
-    _windowed_pair_batches,
-    reduce_triples_to_ci,
-)
+from repro.projection.project import reduce_triples_to_ci
 from repro.projection.window import TimeWindow
 from repro.util.ids import Interner
 
@@ -122,15 +119,26 @@ class IncrementalProjector:
     [(0, 1), (0, 2), (1, 2)]
     """
 
-    def __init__(self, window: TimeWindow, pair_batch: int = 4_000_000) -> None:
+    def __init__(
+        self,
+        window: TimeWindow,
+        pair_batch: int = 4_000_000,
+        user_names: Interner | None = None,
+        page_names: Interner | None = None,
+    ) -> None:
         self.window = window
         self.pair_batch = int(pair_batch)
-        self.user_names = Interner()
-        self.page_names = Interner()
+        # Preassigned interners let a caller that already owns a global id
+        # space (e.g. the out-of-core wrapper's pass-1 interner) feed
+        # dense ids directly via ingest_dense.
+        self.user_names = user_names if user_names is not None else Interner()
+        self.page_names = page_names if page_names is not None else Interner()
         # Raw comments per page id (the page-local recompute input).
         self._comments: dict[int, list[tuple[int, int]]] = {}
         # Current distinct (page, a, b) triples per page id.
         self._triples: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # Raw in-window pair observations per page id (size accounting).
+        self._raw_pairs: dict[int, int] = {}
         self._dirty = False
 
     # -- updates ----------------------------------------------------------------
@@ -149,6 +157,42 @@ class IncrementalProjector:
             self._dirty = True
         return len(touched)
 
+    def ingest_dense(
+        self, users: np.ndarray, pages: np.ndarray, times: np.ndarray
+    ) -> int:
+        """Ingest rows whose ids are *already dense* in this projector's
+        id spaces (e.g. re-read from a spill file written against the
+        same interners).  Returns the number of pages recomputed."""
+        touched: set[int] = set()
+        for uid, pid, t in zip(
+            users.tolist(), pages.tolist(), times.tolist()
+        ):
+            self._comments.setdefault(pid, []).append((uid, t))
+            touched.add(pid)
+        for pid in touched:
+            self._reproject_page(pid)
+        if touched:
+            self._dirty = True
+        return len(touched)
+
+    def release_comments(self, pids) -> int:
+        """Drop the raw comment rows of *pids*, keeping their triples.
+
+        For pages guaranteed to receive no further comments (e.g. the
+        page-disjoint partitions of the out-of-core wrapper), the raw
+        rows are only needed for future recomputation — releasing them
+        caps memory at the triple store.  A later append to a released
+        page recomputes from the surviving (partial) rows and is the
+        caller's bug, not this method's.  Returns rows dropped.
+        """
+        dropped = 0
+        for pid in pids:
+            rows = self._comments.get(pid)
+            if rows:
+                dropped += len(rows)
+                self._comments[pid] = []
+        return dropped
+
     def remove_page(self, page) -> bool:
         """Drop a page entirely (e.g. deleted thread); returns whether it
         existed."""
@@ -157,6 +201,7 @@ class IncrementalProjector:
             return False
         del self._comments[pid]
         self._triples.pop(pid, None)
+        self._raw_pairs.pop(pid, None)
         self._dirty = True
         return True
 
@@ -184,6 +229,7 @@ class IncrementalProjector:
             else:
                 del self._comments[pid]
                 self._triples.pop(pid, None)
+                self._raw_pairs.pop(pid, None)
                 removed.add(pid)
         if touched:
             self._dirty = True
@@ -238,6 +284,11 @@ class IncrementalProjector:
             int(page_map[pid]): (user_map[a], user_map[b])
             for pid, (a, b) in self._triples.items()
         }
+        self._raw_pairs = {
+            int(page_map[pid]): raw
+            for pid, raw in self._raw_pairs.items()
+            if page_map[pid] >= 0
+        }
         return CompactionReport(
             users_before=users_before,
             users_after=len(self.user_names),
@@ -253,21 +304,20 @@ class IncrementalProjector:
         users = np.asarray([u for u, _t in rows], dtype=np.int64)
         times = np.asarray([t for _u, t in rows], dtype=np.int64)
         pages = np.full(users.shape[0], pid, dtype=np.int64)
-        parts_a: list[np.ndarray] = []
-        parts_b: list[np.ndarray] = []
-        for _pg, a, b, _raw in _windowed_pair_batches(
+        parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        raw = 0
+        for pg, a, b, n_raw in cooccur_pairs(
             users, pages, times, self.window, self.pair_batch
         ):
-            parts_a.append(a)
-            parts_b.append(b)
-        if parts_a:
-            pg = np.full(sum(a.shape[0] for a in parts_a), pid, dtype=np.int64)
-            _pg, a, b = _dedup_triples(
-                pg, np.concatenate(parts_a), np.concatenate(parts_b)
-            )
+            parts.append((pg, a, b))
+            raw += n_raw
+        if parts:
+            _pg, a, b = merge_triples(parts)
             self._triples[pid] = (a, b)
+            self._raw_pairs[pid] = raw
         else:
             self._triples.pop(pid, None)
+            self._raw_pairs.pop(pid, None)
 
     # -- reads ----------------------------------------------------------------------
     def pages_with_comments_before(self, cutoff: int) -> list[int]:
@@ -283,6 +333,12 @@ class IncrementalProjector:
             for pid, rows in self._comments.items()
             if any(t < cutoff for _u, t in rows)
         ]
+
+    def raw_pair_observations(self) -> int:
+        """Total raw in-window pair observations across live pages —
+        the same count :func:`repro.projection.project.project` reports
+        as ``stats["pair_observations"]``."""
+        return sum(self._raw_pairs.values())
 
     def triples_of(self, pid: int) -> tuple[np.ndarray, np.ndarray] | None:
         """Current distinct ``(lo, hi)`` user-pair arrays of one page id

@@ -1,39 +1,48 @@
 """Algorithm 1 — projecting B to the common interaction graph C.
 
-Two engines:
+Two engines, both thin orchestration over :mod:`repro.kernels`:
 
-- :func:`project_reference` transcribes the paper's Algorithm 1 verbatim
-  (dict-of-lists, per-page double loop, ``S_I``/``S_P'`` sets).  It is
-  O(Σ k_p²) in Python and exists as the correctness oracle.
-- :func:`project` is the production engine.  It sorts all comments by
-  ``(page, time)`` once, then finds every in-window pair with a *global*
-  vectorized two-pointer: comment *i*'s window mates are the contiguous
-  index range ``searchsorted(key, key_i + δ1) .. searchsorted(key,
-  key_i + δ2)`` where ``key = page_run * STRIDE + rebased_time`` encodes
-  page and time into one monotone int64 (the stride is wide enough that a
-  window can never bleed into the next page's run, and the encoding is
-  guarded against int64 wraparound — see :func:`_window_bounds` and
-  :mod:`repro.util.keys`).  Pair explosion is
-  bounded by processing rows in batches of at most ``pair_batch``
-  candidate pairs (the memory-vs-window trade-off of paper §2.2/§3).
+- :func:`project_reference` runs the paper's Algorithm 1 through the
+  kernel layer's *reference twins* (:func:`repro.kernels.cooccur_pairs_reference`
+  is the verbatim per-page double loop, formerly this module's own body).
+  It is O(Σ k_p²) in Python and exists as the correctness oracle.
+- :func:`project` is the production engine: it sorts comments by
+  ``(page, time)`` once and executes :data:`repro.exec.plans.PROJECTION_PLAN`
+  on a :class:`~repro.exec.SerialExecutor` — the windowed two-pointer
+  (:func:`repro.kernels.window_bounds`, formerly a private helper of
+  this module), batched pair materialization
+  (:func:`repro.kernels.cooccur_pairs`, bounded by ``pair_batch``
+  candidate pairs, the memory-vs-window trade-off of paper §2.2/§3), and
+  the eq. 5/6 reductions (:func:`repro.kernels.pair_weights`,
+  :func:`repro.kernels.pair_ledger`) all live in the kernel layer.  The
+  distributed engine runs the *same plan* on a
+  :class:`~repro.exec.YgmExecutor` (see
+  :mod:`repro.projection.distributed`).
 
 Both return the same :class:`ProjectionResult`; equality is enforced by
-unit and property tests.
+unit and property tests plus the cross-engine parity harness.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.exec.executors import SerialExecutor
+from repro.exec.plans import PROJECTION_PLAN
 from repro.graph.bipartite import BipartiteTemporalMultigraph
 from repro.graph.edgelist import EdgeList
+from repro.kernels import (
+    cooccur_pairs_reference,
+    pair_ledger,
+    pair_ledger_reference,
+    pair_weights,
+    pair_weights_reference,
+    window_bounds,
+)
 from repro.projection.ci_graph import CommonInteractionGraph
 from repro.projection.window import TimeWindow
-from repro.util.grouping import group_boundaries, unique_pair_weights
-from repro.util.keys import INT64_MAX, encode_strided, strided_key_fits
 from repro.util.timers import StageTimings
 
 __all__ = [
@@ -41,6 +50,7 @@ __all__ = [
     "project_reference",
     "ProjectionResult",
     "estimate_pair_volume",
+    "ci_from_reduction",
 ]
 
 
@@ -70,53 +80,50 @@ class ProjectionResult:
     timings: StageTimings = field(default_factory=StageTimings)
 
 
+def _edges_from_arrays(
+    ua: np.ndarray, ub: np.ndarray, w: np.ndarray
+) -> EdgeList:
+    """Wrap already-canonical (sorted, distinct) pair arrays as an EdgeList."""
+    edges = EdgeList.__new__(EdgeList)
+    edges.src, edges.dst, edges.weight = ua, ub, w
+    return edges
+
+
+def ci_from_reduction(
+    reduction: dict,
+    window: TimeWindow,
+    user_names=None,
+) -> CommonInteractionGraph:
+    """Wrap a :func:`repro.exec.plans.project_reduce` output into ``C``."""
+    return CommonInteractionGraph(
+        edges=_edges_from_arrays(
+            reduction["ua"], reduction["ub"], reduction["w"]
+        ),
+        page_counts=reduction["page_counts"],
+        window=window,
+        user_names=user_names,
+    )
+
+
 # ---------------------------------------------------------------------------
-# Reference engine (Algorithm 1, verbatim)
+# Reference engine (Algorithm 1, via the kernel reference twins)
 # ---------------------------------------------------------------------------
 
 
 def project_reference(
     btm: BipartiteTemporalMultigraph, window: TimeWindow
 ) -> ProjectionResult:
-    """Line-by-line Algorithm 1: the slow, obviously correct oracle."""
-    by_page: dict[int, list[tuple[int, int]]] = defaultdict(list)
-    for u, p, t in zip(btm.users, btm.pages, btm.times):
-        by_page[int(p)].append((int(t), int(u)))
-
-    weights: dict[tuple[int, int], int] = defaultdict(int)
-    page_counts: dict[int, int] = defaultdict(int)
-    pair_observations = 0
-    for page, comments in by_page.items():
-        comments.sort()
-        s_i: set[tuple[int, int]] = set()
-        k = len(comments)
-        for i in range(k):
-            tx, x = comments[i]
-            for j in range(k):
-                if j == i:
-                    continue
-                ty, y = comments[j]
-                if ty < tx:
-                    continue
-                if window.delta1 <= ty - tx <= window.delta2 and x != y:
-                    s_i.add((min(x, y), max(x, y)))
-                    pair_observations += 1
-        s_pprime: set[int] = set()
-        for x, y in s_i:
-            s_pprime.add(x)
-            s_pprime.add(y)
-            weights[(x, y)] += 1
-        for x in s_pprime:
-            page_counts[x] += 1
-
+    """Algorithm 1 through the slow, obviously correct kernel twins."""
+    users, pages, times, _bounds = btm.page_sorted_view()
+    pg, a, b, pair_observations = cooccur_pairs_reference(
+        users, pages, times, window
+    )
     n_users = btm.user_id_space
-    pc = np.zeros(n_users, dtype=np.int64)
-    for user, count in page_counts.items():
-        pc[user] = count
-    edges = EdgeList.from_weighted_dict(dict(weights))
+    ua, ub, w = pair_weights_reference(a, b)
+    page_counts = pair_ledger_reference(pg, a, b, n_users)
     ci = CommonInteractionGraph(
-        edges=edges.accumulate(),
-        page_counts=pc,
+        edges=_edges_from_arrays(ua, ub, w),
+        page_counts=page_counts,
         window=window,
         user_names=btm.user_names,
     )
@@ -124,11 +131,11 @@ def project_reference(
         ci=ci,
         stats={
             "comments_scanned": btm.n_comments,
-            "pages_visited": len(by_page),
+            "pages_visited": int(np.unique(pages).shape[0]),
             "pair_observations": pair_observations,
             # Each unit of weight is one distinct (page, pair) observation.
-            "distinct_page_pairs": int(sum(weights.values())),
-            "ci_edges": edges.accumulate().n_edges,
+            "distinct_page_pairs": int(pg.shape[0]),
+            "ci_edges": ci.edges.n_edges,
         },
     )
 
@@ -136,127 +143,6 @@ def project_reference(
 # ---------------------------------------------------------------------------
 # Vectorized production engine
 # ---------------------------------------------------------------------------
-
-
-def _dedup_triples(
-    pg: np.ndarray, a: np.ndarray, b: np.ndarray
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Deduplicate ``(page, a, b)`` triples (a < b assumed), sorted output."""
-    if pg.shape[0] == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty.copy(), empty.copy()
-    order = np.lexsort((b, a, pg))
-    pg, a, b = pg[order], a[order], b[order]
-    keep = np.empty(pg.shape[0], dtype=bool)
-    keep[0] = True
-    keep[1:] = (pg[1:] != pg[:-1]) | (a[1:] != a[:-1]) | (b[1:] != b[:-1])
-    return pg[keep], a[keep], b[keep]
-
-
-def _window_bounds(
-    pages: np.ndarray, times: np.ndarray, window: TimeWindow
-) -> tuple[np.ndarray, np.ndarray]:
-    """Per-row candidate index ranges ``[lo, hi)`` of in-window mates.
-
-    The single home of the windowed two-pointer: input arrays must be
-    sorted by ``(page, time)``; row *i*'s window mates are the contiguous
-    range ``lo[i]:hi[i]`` (which still contains *i* itself when
-    ``delta1 == 0`` — callers mask it out).
-
-    Times are rebased per page run, so the key stride is the largest
-    *within-page* time span (not the corpus span), and the combined
-    ``run * stride + time`` key is guarded against int64 overflow: when
-    even the rebased key space would wrap (e.g. nanosecond timestamps over
-    many pages), the bounds are computed per run with plain searchsorted
-    instead of wrapping silently.
-    """
-    n = times.shape[0]
-    if n == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty.copy()
-    bounds = group_boundaries(pages)
-    run_sizes = np.diff(bounds)
-    n_runs = run_sizes.shape[0]
-    run_index = np.repeat(np.arange(n_runs, dtype=np.int64), run_sizes)
-    tb = times - times[bounds[:-1]][run_index]
-    # Python-int stride: the guard below must see the true product.
-    stride = int(tb.max()) + window.delta2 + 2
-    if stride > INT64_MAX:
-        raise OverflowError(
-            "per-page time span + delta2 exceeds int64; the window is "
-            "unrepresentable at this time resolution"
-        )
-    if strided_key_fits(n_runs, stride):
-        key = encode_strided(run_index, stride, tb)
-        lo = np.searchsorted(key, key + window.delta1, side="left")
-        hi = np.searchsorted(key, key + window.delta2, side="right")
-        return lo, hi
-    # Guarded fallback: per-run searchsorted on the rebased times.  Slower
-    # (one Python iteration per page) but exact for any int64 input.
-    lo = np.empty(n, dtype=np.int64)
-    hi = np.empty(n, dtype=np.int64)
-    for r in range(n_runs):
-        start, stop = int(bounds[r]), int(bounds[r + 1])
-        ts = tb[start:stop]
-        lo[start:stop] = start + np.searchsorted(
-            ts, ts + window.delta1, side="left"
-        )
-        hi[start:stop] = start + np.searchsorted(
-            ts, ts + window.delta2, side="right"
-        )
-    return lo, hi
-
-
-def _windowed_pair_batches(
-    users: np.ndarray,
-    pages: np.ndarray,
-    times: np.ndarray,
-    window: TimeWindow,
-    pair_batch: int,
-):
-    """Yield deduplicated ``(page, lo, hi)`` triple batches plus raw counts.
-
-    Input arrays must be sorted by ``(page, time)``.  Yields tuples
-    ``(pg, a, b, n_raw_pairs)``; batches may repeat triples across batch
-    boundaries (the caller deduplicates globally).
-    """
-    n = users.shape[0]
-    if n == 0:
-        return
-    lo, hi = _window_bounds(pages, times, window)
-    counts = hi - lo
-    # Comment i itself sits inside its own window iff delta1 == 0; the
-    # row/col mask below removes it, so counts here are upper bounds only.
-    cum = np.concatenate(([0], np.cumsum(counts)))
-    start_row = 0
-    while start_row < n:
-        # Grow the row range until the candidate-pair budget is hit.
-        stop_row = int(
-            np.searchsorted(cum, cum[start_row] + max(pair_batch, 1), side="left")
-        )
-        stop_row = max(stop_row, start_row + 1)
-        stop_row = min(stop_row, n)
-        batch_counts = counts[start_row:stop_row]
-        batch_total = int(cum[stop_row] - cum[start_row])
-        if batch_total == 0:
-            start_row = stop_row
-            continue
-        rows = np.repeat(
-            np.arange(start_row, stop_row, dtype=np.int64), batch_counts
-        )
-        offsets = (
-            np.arange(batch_total, dtype=np.int64)
-            - np.repeat(cum[start_row:stop_row] - cum[start_row], batch_counts)
-        )
-        cols = lo[rows] + offsets
-        mask = (cols != rows) & (users[rows] != users[cols])
-        ux = users[rows[mask]]
-        uy = users[cols[mask]]
-        pgc = pages[rows[mask]]
-        a = np.minimum(ux, uy)
-        b = np.maximum(ux, uy)
-        yield (*_dedup_triples(pgc, a, b), int(mask.sum()))
-        start_row = stop_row
 
 
 def project(
@@ -294,41 +180,32 @@ def project(
     with timings.stage("sort"):
         users, pages, times, _bounds = btm.page_sorted_view()
 
-    triple_parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-    pair_observations = 0
-    with timings.stage("windowed_pairs"):
-        for pg, a, b, raw in _windowed_pair_batches(
-            users, pages, times, window, pair_batch
-        ):
-            triple_parts.append((pg, a, b))
-            pair_observations += raw
-
-    with timings.stage("dedup"):
-        if triple_parts:
-            pg = np.concatenate([t[0] for t in triple_parts])
-            a = np.concatenate([t[1] for t in triple_parts])
-            b = np.concatenate([t[2] for t in triple_parts])
-            pg, a, b = _dedup_triples(pg, a, b)
-        else:
-            pg = a = b = np.empty(0, dtype=np.int64)
-
     n_users = btm.user_id_space
-    with timings.stage("reduce"):
-        ci = reduce_triples_to_ci(pg, a, b, n_users, window, btm.user_names)
+    context = {
+        "delta1": window.delta1,
+        "delta2": window.delta2,
+        "pair_batch": int(pair_batch),
+        "n_users": n_users,
+    }
+    shards = [(users, pages, times)] if users.shape[0] else []
+    with timings.stage("plan"):
+        red = SerialExecutor().run(PROJECTION_PLAN, shards, context)
 
-    result = ProjectionResult(
+    with timings.stage("wrap"):
+        ci = ci_from_reduction(red, window, btm.user_names)
+
+    return ProjectionResult(
         ci=ci,
-        triples=(pg, a, b) if keep_triples else None,
+        triples=(red["pg"], red["a"], red["b"]) if keep_triples else None,
         stats={
             "comments_scanned": btm.n_comments,
             "pages_visited": int(np.unique(pages).shape[0]),
-            "pair_observations": pair_observations,
-            "distinct_page_pairs": int(pg.shape[0]),
+            "pair_observations": red["pair_observations"],
+            "distinct_page_pairs": int(red["pg"].shape[0]),
             "ci_edges": ci.edges.n_edges,
         },
         timings=timings,
     )
-    return result
 
 
 def estimate_pair_volume(
@@ -336,17 +213,18 @@ def estimate_pair_volume(
 ) -> int:
     """Upper bound on the candidate pairs Algorithm 1 materializes.
 
-    Runs only the two searchsorted passes of the windowed two-pointer —
-    no pair arrays are built — so a caller can predict the memory and
-    compute cost of a window *before* committing to the projection (the
-    parameter-selection question the paper leaves open, §3.2.3/§4.3).
-    The count includes each comment's self-window hit when ``δ1 = 0``
-    and same-author pairs, hence "upper bound".
+    Runs only the two searchsorted passes of the windowed two-pointer
+    (:func:`repro.kernels.window_bounds`) — no pair arrays are built — so
+    a caller can predict the memory and compute cost of a window *before*
+    committing to the projection (the parameter-selection question the
+    paper leaves open, §3.2.3/§4.3).  The count includes each comment's
+    self-window hit when ``δ1 = 0`` and same-author pairs, hence "upper
+    bound".
     """
     users, pages, times, _bounds = btm.page_sorted_view()
     if users.shape[0] == 0:
         return 0
-    lo, hi = _window_bounds(pages, times, window)
+    lo, hi = window_bounds(pages, times, window)
     return int((hi - lo).sum())
 
 
@@ -361,20 +239,16 @@ def reduce_triples_to_ci(
     """Fold distinct ``(page, x, y)`` observations into ``C`` and ``P'``.
 
     Each triple is one page where the pair co-interacted inside the
-    window, so ``w'_{xy}`` is the triple count per pair (eq. 5) and
-    ``P'_x`` is the number of distinct pages over triples touching *x*
-    (eq. 6).
+    window, so ``w'_{xy}`` is the triple count per pair (eq. 5, via
+    :func:`repro.kernels.pair_weights`) and ``P'_x`` is the number of
+    distinct pages over triples touching *x* (eq. 6, via
+    :func:`repro.kernels.pair_ledger`).
     """
-    ua, ub, w = unique_pair_weights(a, b)
-    edges = EdgeList.__new__(EdgeList)
-    edges.src, edges.dst, edges.weight = ua, ub, w
-
-    page_counts = np.zeros(n_users, dtype=np.int64)
-    if pg.shape[0]:
-        pu = np.concatenate((pg, pg))
-        uu = np.concatenate((a, b))
-        dp, du, _ = unique_pair_weights(pu, uu)
-        np.add.at(page_counts, du, 1)
+    ua, ub, w = pair_weights(a, b)
+    page_counts = pair_ledger(pg, a, b, n_users)
     return CommonInteractionGraph(
-        edges=edges, page_counts=page_counts, window=window, user_names=user_names
+        edges=_edges_from_arrays(ua, ub, w),
+        page_counts=page_counts,
+        window=window,
+        user_names=user_names,
     )

@@ -4,19 +4,25 @@ The paper processes months of 138 M comments by distributing over
 compute nodes; the single-host analogue is external partitioning.
 Algorithm 1's outer loop is *page-parallel*, so the corpus can be split
 by page hash into spill partitions, each projected independently, and
-the results summed — the same decomposition
+the results reduced — the same decomposition
 :func:`repro.projection.distributed.project_distributed` uses across
 ranks, here across disk-backed partitions:
 
 1. **Pass 1** stream the ndjson once, interning author names into one
    global id space and appending ``(user, page, time)`` rows to
    ``n_partitions`` spill files by page hash;
-2. **Pass 2** load one partition at a time, project it, accumulate CI
-   edges and the ``P'`` ledger (partitions are page-disjoint, so weights
-   and page counts are simply additive).
+2. **Pass 2** feed one partition at a time into an
+   :class:`~repro.projection.incremental.IncrementalProjector` sharing
+   the pass-1 interners (:meth:`~IncrementalProjector.ingest_dense`),
+   then :meth:`~IncrementalProjector.release_comments` the partition's
+   raw rows — partitions are page-disjoint, so released pages never
+   need recomputation and peak memory stays at one partition plus the
+   projector's triple store.
 
-Peak memory is one partition plus the accumulated CI graph; equality
-with the in-memory engine is asserted in tests.
+The final CI graph is the projector's
+(:meth:`~IncrementalProjector.ci_graph` reduces the triple store through
+the same :mod:`repro.kernels` reductions every other engine uses);
+equality with the in-memory engine is asserted in tests.
 """
 
 from __future__ import annotations
@@ -27,10 +33,8 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from repro.graph.bipartite import BipartiteTemporalMultigraph
-from repro.graph.edgelist import EdgeList
-from repro.projection.ci_graph import CommonInteractionGraph
-from repro.projection.project import ProjectionResult, project
+from repro.projection.incremental import IncrementalProjector
+from repro.projection.project import ProjectionResult
 from repro.projection.window import TimeWindow
 from repro.util.ids import Interner
 from repro.util.timers import StageTimings
@@ -119,10 +123,12 @@ def project_streaming(
             comments, spill_dir, n_partitions
         )
 
-    n_users = len(user_names)
-    merged_edges = EdgeList.empty()
-    page_counts = np.zeros(n_users, dtype=np.int64)
-    pair_observations = 0
+    proj = IncrementalProjector(
+        window,
+        pair_batch=pair_batch,
+        user_names=user_names,
+        page_names=page_names,
+    )
     pages_visited = 0
     try:
         for path in paths:
@@ -130,35 +136,25 @@ def project_streaming(
                 users, pages, times = _load_partition(path)
                 if users.shape[0] == 0:
                     continue
-                btm = BipartiteTemporalMultigraph(users, pages, times)
-                sub = project(btm, window, pair_batch=pair_batch)
-                # Partitions are page-disjoint: weights and P' are additive.
-                local_pc = sub.ci.page_counts
-                page_counts[: local_pc.shape[0]] += local_pc
-                merged_edges = merged_edges.concat(sub.ci.edges)
-                pair_observations += sub.stats["pair_observations"]
-                pages_visited += sub.stats["pages_visited"]
+                pages_visited += proj.ingest_dense(users, pages, times)
+                # Partitions are page-disjoint: rows of a finished
+                # partition are never needed again, only its triples.
+                proj.release_comments(np.unique(pages).tolist())
     finally:
         if not keep_spill:
             for path in paths:
                 path.unlink(missing_ok=True)
 
     with timings.stage("merge"):
-        merged_edges = merged_edges.accumulate()
+        ci = proj.ci_graph()
 
-    ci = CommonInteractionGraph(
-        edges=merged_edges,
-        page_counts=page_counts,
-        window=window,
-        user_names=user_names,
-    )
     return ProjectionResult(
         ci=ci,
         stats={
             "comments_scanned": n_rows,
             "pages_visited": pages_visited,
-            "pair_observations": pair_observations,
-            "ci_edges": merged_edges.n_edges,
+            "pair_observations": proj.raw_pair_observations(),
+            "ci_edges": ci.edges.n_edges,
             "partitions": n_partitions,
         },
         timings=timings,

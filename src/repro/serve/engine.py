@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.graph.filters import FilterReport
 from repro.hypergraph.triplets import TripletMetrics
+from repro.kernels import normalized_score_scalar
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.framework import component_reports
 from repro.pipeline.results import PipelineResult
@@ -447,7 +448,9 @@ class DetectionEngine:
             a, b, c = key
             min_w = min(tri.w_ab, tri.w_ac, tri.w_bc)
             denom = pprime.get(a, 0) + pprime.get(b, 0) + pprime.get(c, 0)
-            tri.t = 3.0 * min_w / denom if denom > 0 else 0.0
+            # Same kernel as the batch path, so online and batch scores
+            # are bit-for-bit identical by construction.
+            tri.t = normalized_score_scalar(min_w, denom)
             if hyper:
                 pa = user_pages.get(a, {})
                 pb = user_pages.get(b, {})
@@ -458,9 +461,7 @@ class DetectionEngine:
                     len(small & sets[2].keys()) if small else 0
                 )
                 tri.p_sum = len(pa) + len(pb) + len(pc)
-                tri.c = (
-                    3.0 * tri.w_xyz / tri.p_sum if tri.p_sum > 0 else 0.0
-                )
+                tri.c = normalized_score_scalar(tri.w_xyz, tri.p_sum)
 
     # -- edge-weight bookkeeping (kept next to the diff that feeds it) ---------
     def _fold_edge_deltas(self, edge_delta: dict[tuple[int, int], int]) -> None:

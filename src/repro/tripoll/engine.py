@@ -1,85 +1,44 @@
 """Distributed triangle survey on the YGM runtime (TriPoll's pattern).
 
-Decomposition (after Steil et al.):
+Runs the same kernels as the serial survey through
+:data:`repro.exec.plans.SURVEY_PLAN` on a
+:class:`~repro.exec.YgmExecutor`:
 
-1. The degree-ordered forward adjacency of every vertex is inserted into a
-   :class:`~repro.ygm.DistMap` keyed by vertex id, each slice sorted by
-   neighbor *rank* so wedge pairs come out oriented low → high rank.
-2. Each rank sweeps its local adjacency entries; for every wedge
-   ``(u; v, w)`` (a pair of forward neighbors of *u* with
-   ``rank(v) < rank(w)``) it ships a *closing-edge query* to the rank that
-   owns ``v``'s adjacency.
-3. The owner scans ``v``'s slice for ``w``; on a hit the complete triangle
-   — with all three edge weights, the metadata survey — is appended to
-   that rank's shard of a result :class:`~repro.ygm.DistBag`.
+1. the driver builds the degree-ordered forward adjacency and its wedge
+   prices once (:func:`repro.kernels.forward_adjacency` /
+   :func:`repro.kernels.wedge_counts`) and broadcasts them to every rank
+   as the plan context — the replicated closing-edge join table of
+   TriPoll's metadata survey;
+2. wedge *position ranges* are sharded across ranks
+   (:func:`repro.exec.plans.position_range_shards`), each rank closing
+   its wedges against the broadcast key table
+   (:func:`repro.kernels.close_wedges`);
+3. the driver concatenates the raw triangle batches in shard order and
+   canonicalizes into a :class:`~repro.tripoll.survey.TriangleSet`.
 
-The driver gathers the bag into a :class:`~repro.tripoll.survey.TriangleSet`
-identical (after canonical sorting) to the single-process engine's output;
+Output equals the single-process engine's exactly — same kernels, same
+shard-ordered concatenation — with the same huge-id compaction guard;
 the equivalence is asserted in tests on both backends.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.exec.executors import YgmExecutor
+from repro.exec.plans import SURVEY_PLAN, position_range_shards
 from repro.graph.edgelist import EdgeList
 from repro.graph.ordering import degree_order
+from repro.kernels import forward_adjacency, wedge_counts
 from repro.tripoll.survey import (
     TriangleSet,
     _compact_id_space,
     _restore_id_space,
 )
-from repro.ygm.containers.bag import DistBag
-from repro.ygm.containers.map import DistMap
-from repro.ygm.handlers import ygm_handler
-from repro.ygm.partition import HashPartitioner
 from repro.ygm.world import YgmWorld
 
 __all__ = ["survey_triangles_distributed"]
 
-
-@ygm_handler("repro.tripoll.close")
-def _h_close_wedge(ctx, state: dict, payload) -> None:
-    """Closing-edge check at the owner of v's adjacency slice."""
-    u, v, w, w_uv, w_uw, bag_cid = payload
-    entry = state.get(v)
-    if entry is None:
-        return
-    heads, weights = entry
-    try:
-        pos = heads.index(w)
-    except ValueError:
-        return
-    ctx.local_state(bag_cid).append((u, v, w, w_uv, w_uw, weights[pos]))
-
-
-@ygm_handler("repro.tripoll.sweep")
-def _h_sweep(ctx, payload) -> int:
-    """Exec fn: emit wedge queries for every locally owned adjacency entry.
-
-    Slices are rank-sorted, so pairing index ``i < j`` orients each wedge
-    ``(v, w)`` with ``rank(v) < rank(w)`` — the closing edge, if present,
-    is stored under tail ``v``.
-    """
-    adj_cid, bag_cid = payload
-    state = ctx.local_state(adj_cid)
-    part = HashPartitioner(ctx.n_ranks)
-    n_wedges = 0
-    for u, (heads, weights) in list(state.items()):
-        k = len(heads)
-        for i in range(k - 1):
-            v = heads[i]
-            w_uv = weights[i]
-            owner_v = part.owner(v)
-            for j in range(i + 1, k):
-                ctx.send(
-                    owner_v,
-                    adj_cid,
-                    "repro.tripoll.close",
-                    (u, v, heads[j], w_uv, weights[j], bag_cid),
-                )
-                n_wedges += 1
-    return n_wedges
+# Shards per rank: >1 so skewed wedge distributions still balance.
+_SHARDS_PER_RANK = 4
 
 
 def survey_triangles_distributed(
@@ -106,52 +65,22 @@ def survey_triangles_distributed(
         acc = acc.threshold(min_edge_weight)
     if acc.n_edges == 0:
         return TriangleSet.empty()
-    # Same huge-id guard as the single-process engine: degree_order (and
-    # the serial engine's edge keys) are sized by max_vertex, so sparse
-    # graphs over raw platform ids are relabelled to a dense space first.
+    # Same huge-id guard as the single-process engine: the join keys are
+    # sized by max_vertex, so sparse graphs over raw platform ids are
+    # relabelled to a dense space first.
     acc, id_values = _compact_id_space(acc)
     n = acc.max_vertex + 1
     rank = degree_order(acc, n)
 
-    src, dst, wgt = acc.src, acc.dst, acc.weight
-    forward = rank[src] < rank[dst]
-    tail = np.where(forward, src, dst).astype(np.int64)
-    head = np.where(forward, dst, src).astype(np.int64)
+    adj = forward_adjacency(acc.src, acc.dst, acc.weight, rank, n)
+    counts, cum = wedge_counts(adj)
+    total_wedges = int(cum[-1])
+    n_shards = world.n_ranks * _SHARDS_PER_RANK
+    wedge_batch = max(1, -(-total_wedges // n_shards))
+    shards = position_range_shards(counts, cum, wedge_batch)
 
-    # Per-vertex forward slices, each sorted by neighbor rank.
-    order = np.lexsort((rank[head], tail))
-    tail_s, head_s, wgt_s = tail[order], head[order], wgt[order]
-    boundaries = np.flatnonzero(
-        np.concatenate(([True], tail_s[1:] != tail_s[:-1], [True]))
+    raw = YgmExecutor(world).run(
+        SURVEY_PLAN, shards, {"adj": adj, "counts": counts, "cum": cum}
     )
-
-    adj_map = DistMap(world)
-    result_bag = DistBag(world)
-    for i in range(boundaries.shape[0] - 1):
-        start, stop = int(boundaries[i]), int(boundaries[i + 1])
-        adj_map.async_insert(
-            int(tail_s[start]),
-            (head_s[start:stop].tolist(), wgt_s[start:stop].tolist()),
-        )
-    world.barrier()
-
-    world.run_on_all(
-        "repro.tripoll.sweep", (adj_map.container_id, result_bag.container_id)
-    )
-    world.barrier()
-
-    rows = result_bag.gather()
-    adj_map.release()
-    result_bag.release()
-    if not rows:
-        return TriangleSet.empty()
-    arr = np.asarray(rows, dtype=np.int64)
-    out = TriangleSet.from_raw(
-        x=arr[:, 0],
-        y=arr[:, 1],
-        z=arr[:, 2],
-        w_xy=arr[:, 3],
-        w_xz=arr[:, 4],
-        w_yz=arr[:, 5],
-    )
+    out = TriangleSet.from_raw(*raw)
     return _restore_id_space(out, id_values)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import normalized_scores
 from repro.tripoll.survey import TriangleSet
 
 __all__ = ["min_edge_weights", "t_scores"]
@@ -46,8 +47,5 @@ def t_scores(triangles: TriangleSet, page_counts: np.ndarray) -> np.ndarray:
         page_counts[triangles.a]
         + page_counts[triangles.b]
         + page_counts[triangles.c]
-    ).astype(np.float64)
-    numer = 3.0 * triangles.min_weights().astype(np.float64)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        scores = np.where(denom > 0, numer / denom, 0.0)
-    return scores
+    )
+    return normalized_scores(triangles.min_weights(), denom)

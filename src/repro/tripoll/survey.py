@@ -1,24 +1,18 @@
-"""Vectorized triangle surveying with per-edge metadata.
+"""Triangle surveying with per-edge metadata (thin kernel orchestration).
 
-Algorithm (the standard degree-ordered edge-iterator, as in TriPoll):
+The degree-ordered edge-iterator itself — forward adjacency, wedge
+pricing, and the closing-edge hash join — lives in
+:mod:`repro.kernels.triangles`; this module owns what the kernels do
+not: canonicalization into :class:`TriangleSet`, the huge-id compaction
+guard (when ``n²`` would overflow the int64 join keys, endpoints are
+relabelled onto a dense id space via :func:`_compact_id_space` instead
+of letting the key wrap), the ``min_edge_weight`` pre-threshold, and
+TriPoll's streaming survey API (``survey_callback`` / ``collect``).
 
-1. Rank vertices by (degree, id); orient every edge low → high rank.
-   Forward degrees are then O(√m), bounding wedge work by O(m^1.5).
-2. For every vertex *u*, generate all ordered pairs ``(v, w)`` of forward
-   neighbors with ``rank(v) < rank(w)`` — the *wedges* — with the same
-   repeat/arange flattening used by the projection kernel (no Python
-   loops over vertices).
-3. Close wedges with a hash join: oriented edges are encoded as the
-   sorted int64 keys ``tail * n + head``; a wedge survives iff its
-   ``(v, w)`` key is present (binary search).  The matched edge index
-   also yields ``w'_{vw}``, so all three edge weights arrive with the
-   triangle — TriPoll's "metadata survey".  When ``n²`` would overflow
-   int64 (sparse graphs over huge raw ids) the endpoints are first
-   relabelled onto a dense id space (:func:`_compact_id_space`) instead
-   of letting the key wrap.
-
-Memory is bounded by ``wedge_batch``: vertices are processed in groups
-whose total wedge count stays under the budget.
+Memory is bounded by ``wedge_batch``: :func:`repro.kernels.triangle_enum`
+yields raw triangle batches whose generating wedge count stays under the
+budget.  The distributed engine (:mod:`repro.tripoll.engine`) runs the
+same kernels through :data:`repro.exec.plans.SURVEY_PLAN`.
 """
 
 from __future__ import annotations
@@ -30,6 +24,7 @@ import numpy as np
 
 from repro.graph.edgelist import EdgeList
 from repro.graph.ordering import degree_order
+from repro.kernels import triangle_enum, triangle_enum_reference
 from repro.util.keys import compress_ids, strided_key_fits
 
 __all__ = ["TriangleSet", "survey_triangles", "triangles_brute"]
@@ -222,62 +217,15 @@ def survey_triangles(
     n = acc.max_vertex + 1
     rank = degree_order(acc, n)
 
-    src, dst, wgt = acc.src, acc.dst, acc.weight
-    forward = rank[src] < rank[dst]
-    tail = np.where(forward, src, dst).astype(np.int64)
-    head = np.where(forward, dst, src).astype(np.int64)
-
-    # Forward adjacency sorted by (tail, rank(head)) so wedge pairs (v, w)
-    # come out with rank(v) < rank(w) — matching the closing edge's
-    # orientation by construction.
-    order = np.lexsort((rank[head], tail))
-    tail, head, wgt = tail[order], head[order], wgt[order]
-
-    # Sorted key table for the closing-edge hash join.
-    edge_key = tail * np.int64(n) + head
-    key_order = np.argsort(edge_key)
-    sorted_keys = edge_key[key_order]
-    sorted_wgt = wgt[key_order]
-
-    # Per-tail adjacency slices.
-    fdeg = np.bincount(tail, minlength=n)
-    fptr = np.concatenate(([0], np.cumsum(fdeg)))
-
-    # A wedge is an adjacency position paired with every *later* position
-    # in the same tail's slice (the slice is rank-sorted, so the pair
-    # (v, w) automatically has rank(v) < rank(w)).  Wedges per position:
-    m = tail.shape[0]
-    u_of_pos = tail  # tail array is already expanded per position
-    slice_end = fptr[u_of_pos + 1]
-    counts = slice_end - np.arange(m, dtype=np.int64) - 1
-    cum = np.concatenate(([0], np.cumsum(counts)))
-
     parts: list[TriangleSet] = []
-    start_pos = 0
-    while start_pos < m:
-        stop_pos = int(
-            np.searchsorted(cum, cum[start_pos] + max(wedge_batch, 1), side="left")
-        )
-        stop_pos = max(stop_pos, start_pos + 1)
-        stop_pos = min(stop_pos, m)
-        batch = _close_wedges(
-            start_pos,
-            stop_pos,
-            counts,
-            cum,
-            u_of_pos,
-            head,
-            wgt,
-            sorted_keys,
-            sorted_wgt,
-            n,
-        )
-        if batch.n_triangles:
-            if survey_callback is not None:
-                survey_callback(batch)
-            if collect:
-                parts.append(batch)
-        start_pos = stop_pos
+    for raw in triangle_enum(
+        acc.src, acc.dst, acc.weight, rank, n, wedge_batch=wedge_batch
+    ):
+        batch = TriangleSet.from_raw(*raw)
+        if survey_callback is not None:
+            survey_callback(batch)
+        if collect:
+            parts.append(batch)
 
     if not parts:
         return TriangleSet.empty()
@@ -329,94 +277,11 @@ def _restore_id_space(
     )
 
 
-def _close_wedges(
-    start_pos: int,
-    stop_pos: int,
-    counts: np.ndarray,
-    cum: np.ndarray,
-    u_of_pos: np.ndarray,
-    head: np.ndarray,
-    wgt: np.ndarray,
-    sorted_keys: np.ndarray,
-    sorted_wgt: np.ndarray,
-    n: int,
-) -> TriangleSet:
-    """Generate and close the wedges of adjacency positions in a range.
-
-    Position *p* (holding neighbor ``v = head[p]`` of tail ``u``) pairs
-    with every later position *q* in the same slice (``w = head[q]``);
-    the candidate triangle is ``(u, v, w)`` pending the ``(v, w)`` edge
-    lookup.
-    """
-    batch_counts = counts[start_pos:stop_pos]
-    total = int(cum[stop_pos] - cum[start_pos])
-    if total == 0:
-        return TriangleSet.empty()
-    rows = np.repeat(np.arange(start_pos, stop_pos, dtype=np.int64), batch_counts)
-    offsets = (
-        np.arange(total, dtype=np.int64)
-        - np.repeat(cum[start_pos:stop_pos] - cum[start_pos], batch_counts)
-    )
-    cols = rows + 1 + offsets
-
-    u_rep = u_of_pos[rows]
-    v = head[rows]
-    w = head[cols]
-    w_uv = wgt[rows]
-    w_uw = wgt[cols]
-
-    close_key = v * np.int64(n) + w
-    pos = np.searchsorted(sorted_keys, close_key)
-    pos = np.minimum(pos, sorted_keys.shape[0] - 1)
-    hit = sorted_keys[pos] == close_key
-    if not np.any(hit):
-        return TriangleSet.empty()
-    return TriangleSet.from_raw(
-        x=u_rep[hit],
-        y=v[hit],
-        z=w[hit],
-        w_xy=w_uv[hit],
-        w_xz=w_uw[hit],
-        w_yz=sorted_wgt[pos[hit]],
-    )
-
-
 def triangles_brute(edges: EdgeList) -> TriangleSet:
-    """O(n³) reference enumeration (tests only)."""
+    """O(n³) reference enumeration via the kernel's reference twin (tests)."""
     acc = edges.accumulate()
-    lookup = acc.to_dict()
-    adj: dict[int, set[int]] = {}
-    for (u, v), _w in lookup.items():
-        adj.setdefault(u, set()).add(v)
-        adj.setdefault(v, set()).add(u)
-    verts = sorted(adj)
-    rows = []
-    for ai in range(len(verts)):
-        for bi in range(ai + 1, len(verts)):
-            a, b = verts[ai], verts[bi]
-            if b not in adj[a]:
-                continue
-            for ci in range(bi + 1, len(verts)):
-                c = verts[ci]
-                if c in adj[a] and c in adj[b]:
-                    rows.append(
-                        (
-                            a,
-                            b,
-                            c,
-                            lookup[(a, b)],
-                            lookup[(a, c)],
-                            lookup[(b, c)],
-                        )
-                    )
-    if not rows:
-        return TriangleSet.empty()
-    arr = np.asarray(rows, dtype=np.int64)
-    return TriangleSet(
-        a=arr[:, 0],
-        b=arr[:, 1],
-        c=arr[:, 2],
-        w_ab=arr[:, 3],
-        w_ac=arr[:, 4],
-        w_bc=arr[:, 5],
+    x, y, z, w_xy, w_xz, w_yz = triangle_enum_reference(
+        acc.src, acc.dst, acc.weight
     )
+    # The reference twin already emits canonical a < b < c order.
+    return TriangleSet(a=x, b=y, c=z, w_ab=w_xy, w_ac=w_xz, w_bc=w_yz)

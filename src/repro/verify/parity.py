@@ -1,12 +1,16 @@
 """Differential parity harness across every engine of the pipeline.
 
-The paper's results are reproducible only if the four projection engines
+The paper's results are reproducible only if the six projection engines
 (``project_reference``, ``project``, ``project_bucketed``,
-``project_distributed``) and both triangle engines (brute-force vs.
-surveyed, serial vs. distributed) agree *exactly*.  This module runs one
-comment corpus through all of them, structurally diffs the outputs
-against the reference oracle, and — on divergence — shrinks the corpus to
-a minimal counterexample by delta-debugging the comment list.
+``project_distributed``, ``project_streaming``, and the incremental
+projector) and both triangle engines (brute-force vs. surveyed, serial
+vs. distributed) agree *exactly*.  All of them are thin orchestration
+over the same :mod:`repro.kernels` layer — serial and distributed paths
+literally run the same :mod:`repro.exec` plan — so exact agreement is by
+construction, and this harness is what makes the claim executable: it
+runs one comment corpus through every engine, structurally diffs the
+outputs against the reference oracle, and — on divergence — shrinks the
+corpus to a minimal counterexample by delta-debugging the comment list.
 
 The harness is engine-agnostic: the default registries can be overridden
 with arbitrary callables, which is how the tests prove the harness *can*
@@ -16,6 +20,7 @@ into the same oracle).
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -25,11 +30,13 @@ from repro.graph.bipartite import BipartiteTemporalMultigraph
 from repro.graph.edgelist import EdgeList
 from repro.projection.buckets import project_bucketed
 from repro.projection.distributed import project_distributed
+from repro.projection.incremental import IncrementalProjector
 from repro.projection.project import (
     ProjectionResult,
     project,
     project_reference,
 )
+from repro.projection.streaming import project_streaming
 from repro.projection.window import TimeWindow
 from repro.tripoll.engine import survey_triangles_distributed
 from repro.tripoll.survey import TriangleSet, survey_triangles, triangles_brute
@@ -103,10 +110,52 @@ class ParityReport:
 # ---------------------------------------------------------------------------
 
 
+def _dense_rows(btm: BipartiteTemporalMultigraph):
+    """The corpus as ``(user_id, page_id, time)`` int triples, row order."""
+    return zip(btm.users.tolist(), btm.pages.tolist(), btm.times.tolist())
+
+
+def _into_btm_id_space(
+    result: ProjectionResult, btm: BipartiteTemporalMultigraph
+) -> ProjectionResult:
+    """Translate a projection computed in a private id space back into
+    *btm*'s id space.
+
+    The streaming/incremental engines intern their input keys themselves;
+    feeding them :func:`_dense_rows` makes each private interner's *key*
+    the original btm id, so ``interner.key_of`` is the inverse map.  The
+    remap is injective, hence edge multiplicities and ``P'`` entries
+    carry over unchanged.
+    """
+    ci = result.ci
+    uid_of = np.asarray(
+        [int(ci.user_names.key_of(i)) for i in range(ci.page_counts.shape[0])],
+        dtype=np.int64,
+    )
+    if uid_of.shape[0]:
+        edges = EdgeList(
+            uid_of[ci.edges.src], uid_of[ci.edges.dst], ci.edges.weight
+        )
+        page_counts = np.zeros(btm.user_id_space, dtype=np.int64)
+        page_counts[uid_of] = ci.page_counts
+    else:
+        edges = ci.edges
+        page_counts = np.zeros(btm.user_id_space, dtype=np.int64)
+    remapped = type(ci)(
+        edges=edges,
+        page_counts=page_counts,
+        window=ci.window,
+        user_names=btm.user_names,
+    )
+    return ProjectionResult(
+        ci=remapped, stats=result.stats, timings=result.timings
+    )
+
+
 def default_projection_engines(
     bucket_width: int | None = None, n_ranks: int = 2
 ) -> dict[str, ProjectionEngine]:
-    """All four projection engines; the first entry is the oracle."""
+    """All six projection engines; the first entry is the oracle."""
 
     def _bucketed(btm, window):
         bw = bucket_width
@@ -118,11 +167,29 @@ def default_projection_engines(
         with YgmWorld(n_ranks) as world:
             return project_distributed(btm, window, world)
 
+    def _streaming(btm, window):
+        with tempfile.TemporaryDirectory() as spill:
+            got = project_streaming(
+                _dense_rows(btm), window, spill, n_partitions=4
+            )
+        return _into_btm_id_space(got, btm)
+
+    def _incremental(btm, window):
+        proj = IncrementalProjector(window)
+        proj.add_comments(_dense_rows(btm))
+        got = ProjectionResult(
+            ci=proj.ci_graph(),
+            stats={"pair_observations": proj.raw_pair_observations()},
+        )
+        return _into_btm_id_space(got, btm)
+
     return {
         "reference": project_reference,
         "vectorized": project,
         "bucketed": _bucketed,
         "distributed": _distributed,
+        "streaming": _streaming,
+        "incremental": _incremental,
     }
 
 

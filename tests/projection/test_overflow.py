@@ -12,8 +12,9 @@ import numpy as np
 import pytest
 
 from repro.graph.bipartite import BipartiteTemporalMultigraph
+from repro.kernels import window_bounds
 from repro.projection import TimeWindow, estimate_pair_volume, project
-from repro.projection.project import _window_bounds, project_reference
+from repro.projection.project import project_reference
 from repro.util.keys import INT64_MAX
 
 NS_EPOCH = 1_700_000_000_000_000_000  # plausible ns Unix timestamp
@@ -95,7 +96,7 @@ class TestPerRunFallback:
 
 
 class TestWindowBoundsHelper:
-    """The shared kernel behind _windowed_pair_batches and estimate_pair_volume."""
+    """The shared kernel behind cooccur_pairs and estimate_pair_volume."""
 
     def test_global_shift_does_not_change_bounds(self):
         rng = np.random.default_rng(11)
@@ -104,9 +105,9 @@ class TestWindowBoundsHelper:
         order = np.lexsort((times, pages))
         pages, times = pages[order], times[order]
         window = TimeWindow(5, 90)
-        lo_fast, hi_fast = _window_bounds(pages, times, window)
+        lo_fast, hi_fast = window_bounds(pages, times, window)
         # Times are rebased per page run, so a ns-epoch shift is invisible.
-        lo_ns, hi_ns = _window_bounds(pages, times + np.int64(NS_EPOCH), window)
+        lo_ns, hi_ns = window_bounds(pages, times + np.int64(NS_EPOCH), window)
         assert np.array_equal(lo_fast, lo_ns)
         assert np.array_equal(hi_fast, hi_ns)
 
@@ -125,7 +126,7 @@ class TestWindowBoundsHelper:
         window = TimeWindow(0, 60)
         span = int(max(times_l))
         assert 4 * (span + window.delta2 + 2) > INT64_MAX  # fallback taken
-        lo, hi = _window_bounds(pages, times, window)
+        lo, hi = window_bounds(pages, times, window)
         for i in range(pages.shape[0]):
             mates = [
                 j
@@ -136,7 +137,7 @@ class TestWindowBoundsHelper:
             assert list(range(int(lo[i]), int(hi[i]))) == mates
 
     def test_empty_input(self):
-        lo, hi = _window_bounds(
+        lo, hi = window_bounds(
             np.empty(0, np.int64), np.empty(0, np.int64), TimeWindow(0, 60)
         )
         assert lo.shape == (0,) and hi.shape == (0,)
