@@ -15,6 +15,8 @@ import pytest
 
 from repro.datagen import RedditDatasetBuilder
 
+from benchmarks._figures import atomic_write_text
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
@@ -38,7 +40,7 @@ def report_sink():
 
     def write(name: str, text: str) -> None:
         path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(text.rstrip() + "\n", encoding="utf-8")
+        atomic_write_text(path, text.rstrip() + "\n")
         print(f"\n=== {name} ===\n{text}")
 
     return write

@@ -11,7 +11,6 @@
    speedup).
 """
 
-import numpy as np
 import pytest
 
 from repro.graph import AuthorFilter

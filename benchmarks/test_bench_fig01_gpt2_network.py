@@ -12,7 +12,6 @@ Paper findings this bench reproduces in shape:
   text or subreddit.
 """
 
-import pytest
 
 from repro.analysis import census_components, format_table
 from repro.datagen import score_detection
@@ -40,7 +39,7 @@ def test_bench_fig01_gpt2_network(benchmark, jan2020, report_sink):
 
     lines = [
         "Figure 1 — GPT-2 generation network (window (0s,60s), cutoff 25)",
-        f"paper: one of 39 components; edge weights 25-33, sparse component",
+        "paper: one of 39 components; edge weights 25-33, sparse component",
         f"measured: one of {len(census)} components; "
         f"edge weights {gpt.report.weight_min}-{gpt.report.weight_max}; "
         f"density {gpt.report.density:.2f}",

@@ -9,7 +9,6 @@ reproduced in shape:
 - the same whole-network sweep finds it — no community nomination needed.
 """
 
-import pytest
 
 from repro.analysis import census_components
 from repro.datagen import score_detection

@@ -19,6 +19,7 @@ from pathlib import Path
 
 import numpy as np
 
+from benchmarks._figures import atomic_write_text
 from repro.graph.edgelist import EdgeList
 from repro.graph.ordering import degree_order
 from repro.kernels import (
@@ -158,8 +159,8 @@ def test_bench_kernels(report_sink):
             for name, fast_s, ref_s in rows
         },
     }
-    (RESULTS_DIR / "BENCH_kernels.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    atomic_write_text(
+        RESULTS_DIR / "BENCH_kernels.json", json.dumps(payload, indent=2) + "\n"
     )
 
     lines = [

@@ -1,0 +1,186 @@
+"""Shared-memory parallel executor scaling curve — the multi-core bench.
+
+Runs each of the three canonical plans (projection, survey, validation)
+on a ``SerialExecutor`` and on ``ParallelExecutor`` pools of 1/2/4/8
+workers, over the **same** pre-built shard lists, and emits a
+machine-readable ``BENCH_parallel.json`` (median of repeated runs, plus
+the host ``cpu_count`` so the regression gate can tell "no cores" from
+"lost scaling").  Every parallel run is also asserted bit-identical to
+the serial reduction, so the bench doubles as a parity check at scale.
+
+Scale knob: set ``BENCH_PARALLEL_SCALE=tiny`` (CI smoke) to shrink the
+inputs ~60× — same code paths, seconds instead of minutes.  The ≥2.5×
+speedup floor at 4 workers applies only at full scale on a host with at
+least 4 cores; a tiny or core-starved run checks code paths and the
+JSON contract.
+"""
+
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+
+from benchmarks._figures import atomic_write_text
+from benchmarks.conftest import RESULTS_DIR
+from repro.exec import (
+    PROJECTION_PLAN,
+    SURVEY_PLAN,
+    VALIDATION_PLAN,
+    ParallelExecutor,
+    SerialExecutor,
+    page_aligned_shards,
+    position_range_shards,
+    triplet_range_shards,
+)
+from repro.graph.edgelist import EdgeList
+from repro.graph.ordering import degree_order
+from repro.kernels import forward_adjacency, wedge_counts
+
+TINY = os.environ.get("BENCH_PARALLEL_SCALE", "").lower() == "tiny"
+N_ROWS = 2_000 if TINY else 120_000
+N_USERS = 60 if TINY else 2_500
+N_PAGES = 30 if TINY else 400
+N_TRIPLETS = 400 if TINY else 60_000
+REPEATS = 2 if TINY else 3
+WORKER_COUNTS = (1, 2, 4, 8)
+# Fixed shard count divisible by every worker count, so all pool sizes
+# run the identical shard list and only parallelism varies.
+N_SHARDS = 16
+
+
+def _median_seconds(fn, repeats=REPEATS):
+    samples = []
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        samples.append(time.perf_counter() - t0)
+    return out, statistics.median(samples)
+
+
+def _equal(a, b) -> bool:
+    if isinstance(a, dict):
+        return set(a) == set(b) and all(_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (tuple, list)):
+        return len(a) == len(b) and all(_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, np.ndarray):
+        return bool(np.array_equal(a, b))
+    return a == b
+
+
+def _build_inputs():
+    """One corpus, shared by all three plans (shards built once)."""
+    rng = np.random.default_rng(11)
+    users = rng.integers(0, N_USERS, N_ROWS)
+    pages = rng.integers(0, N_PAGES, N_ROWS)
+    times = rng.integers(0, 7_200, N_ROWS)
+    order = np.lexsort((times, pages))
+    users, pages, times = users[order], pages[order], times[order]
+
+    proj_ctx = {
+        "delta1": 0,
+        "delta2": 60,
+        "pair_batch": 2_000_000,
+        "n_users": N_USERS,
+    }
+    proj_shards = page_aligned_shards(users, pages, times, N_SHARDS)
+
+    red = SerialExecutor().run(PROJECTION_PLAN, proj_shards, proj_ctx)
+    acc = EdgeList(red["ua"], red["ub"], red["w"]).accumulate()
+    n = acc.max_vertex + 1
+    rank = degree_order(acc, n)
+    adj = forward_adjacency(acc.src, acc.dst, acc.weight, rank, n)
+    counts, cum = wedge_counts(adj)
+    wedge_batch = max(1, -(-int(cum[-1]) // N_SHARDS))
+    survey_ctx = {"adj": adj, "counts": counts, "cum": cum}
+    survey_shards = position_range_shards(counts, cum, wedge_batch)
+
+    trips = np.sort(rng.integers(0, N_USERS, (N_TRIPLETS, 3)), axis=1)
+    indptr_l = [0]
+    page_rows = []
+    for _u in range(N_USERS):
+        ps = np.unique(rng.integers(0, N_PAGES, 12))
+        page_rows.append(ps)
+        indptr_l.append(indptr_l[-1] + ps.shape[0])
+    valid_ctx = {
+        "indptr": np.asarray(indptr_l, dtype=np.int64),
+        "page_ids": np.concatenate(page_rows).astype(np.int64),
+    }
+    valid_shards = triplet_range_shards(
+        trips[:, 0], trips[:, 1], trips[:, 2], N_SHARDS
+    )
+
+    return {
+        "projection": (PROJECTION_PLAN, proj_shards, proj_ctx),
+        "survey": (SURVEY_PLAN, survey_shards, survey_ctx),
+        "validation": (VALIDATION_PLAN, valid_shards, valid_ctx),
+    }
+
+
+def test_bench_parallel(report_sink):
+    cpu_count = os.cpu_count() or 1
+    plans = _build_inputs()
+    results = {}
+    lines = [
+        f"Parallel executor scaling ({'tiny' if TINY else 'full'} scale, "
+        f"{N_ROWS:,} rows, {N_SHARDS} shards, cpu_count={cpu_count})"
+    ]
+
+    for plan_name, (plan, shards, ctx) in plans.items():
+        serial_out, serial_s = _median_seconds(
+            lambda: SerialExecutor().run(plan, shards, ctx)
+        )
+        entry = {
+            "serial_seconds": round(serial_s, 6),
+            "n_shards": len(shards),
+            "workers": {},
+        }
+        lines.append(
+            f"{plan_name:11s} serial {serial_s * 1e3:9.2f} ms "
+            f"({len(shards)} shards)"
+        )
+        for w in WORKER_COUNTS:
+            with ParallelExecutor(w) as ex:
+                ex.worker_pids()  # spawn outside the timed region
+                out, par_s = _median_seconds(lambda: ex.run(plan, shards, ctx))
+            assert _equal(serial_out, out), (
+                f"{plan_name}: parallel({w}) diverged from serial"
+            )
+            speedup = serial_s / max(par_s, 1e-9)
+            entry["workers"][str(w)] = {
+                "seconds": round(par_s, 6),
+                "speedup": round(speedup, 3),
+            }
+            lines.append(
+                f"{'':11s} {w} worker(s) {par_s * 1e3:9.2f} ms   "
+                f"speedup {speedup:6.2f}x"
+            )
+        results[plan_name] = entry
+
+    payload = {
+        "scale": "tiny" if TINY else "full",
+        "n_rows": N_ROWS,
+        "n_shards": N_SHARDS,
+        "cpu_count": cpu_count,
+        "worker_counts": list(WORKER_COUNTS),
+        "plans": results,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    atomic_write_text(
+        RESULTS_DIR / "BENCH_parallel.json",
+        json.dumps(payload, indent=2) + "\n",
+    )
+    report_sink("parallel", "\n".join(lines))
+
+    # The point of the executor: real multi-core scaling on the heavy
+    # plan.  Timings at tiny scale (or on a core-starved host) are
+    # dominated by pool overhead, so the floor applies only where the
+    # hardware can express it; parity and the JSON contract are checked
+    # everywhere.
+    if not TINY and cpu_count >= 4:
+        four = results["projection"]["workers"]["4"]["speedup"]
+        assert four >= 2.5, (
+            f"projection plan: 4-worker speedup {four:.2f}x < 2.5x"
+        )

@@ -93,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="minimum triangle edge weight")
     det.add_argument("--buckets", type=int, default=None,
                      help="time-bucket width for the low-memory projection")
+    det.add_argument("--executor", choices=["serial", "parallel"],
+                     default="serial",
+                     help="plan executor: serial (in-process) or parallel "
+                     "(shared-memory worker pool; bit-identical results)")
+    det.add_argument("--workers", type=int, default=0,
+                     help="worker-pool size for --executor parallel "
+                     "(0 = cpu count)")
     det.add_argument("--no-filter", action="store_true",
                      help="keep AutoModerator/[deleted] (ablation)")
     det.add_argument("--no-hypergraph", action="store_true",
@@ -144,6 +151,14 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--bucket-width", type=int, default=None,
                      help="bucket width for the bucketed engine "
                      "(default: window/3)")
+    ver.add_argument("--executor", choices=["serial", "parallel"],
+                     default="serial",
+                     help="plan executor for the invariant-check "
+                     "projection (the parity sweep always includes the "
+                     "parallel backend)")
+    ver.add_argument("--workers", type=int, default=2,
+                     help="worker-pool size for the parallel engines in "
+                     "the sweep (and --executor parallel)")
     ver.add_argument("--no-shrink", action="store_true",
                      help="skip counterexample shrinking on divergence")
     ver.add_argument("--chaos", action="store_true",
@@ -301,6 +316,8 @@ def _cmd_detect(args: argparse.Namespace, out) -> int:
         author_filter=AuthorFilter.none() if args.no_filter else AuthorFilter(),
         compute_hypergraph=not args.no_hypergraph,
         time_bucket_width=args.buckets,
+        executor=args.executor,
+        n_workers=args.workers,
     )
     result = CoordinationPipeline(config).run(btm)
     print(result.summary(), file=out)
@@ -421,11 +438,18 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
         window,
         min_edge_weight=args.cutoff,
         bucket_width=args.bucket_width,
+        parallel_workers=max(1, args.workers),
         shrink=not args.no_shrink,
     )
     print(report.describe(), file=out)
 
-    proj = project(btm, window)
+    if args.executor == "parallel":
+        from repro.exec import ParallelExecutor
+
+        with ParallelExecutor(args.workers or None) as ex:
+            proj = project(btm, window, executor=ex)
+    else:
+        proj = project(btm, window)
     triangles = survey_triangles(proj.ci.edges, min_edge_weight=args.cutoff)
     try:
         ran = check_projection_invariants(

@@ -1,14 +1,17 @@
-"""Execution-plan layer: one plan, two executors.
+"""Execution-plan layer: one plan, three executors.
 
 Engines declare *what* runs — a :class:`~repro.exec.plan.Plan` of kernel
 stages with declared shard keys — and pick *where* it runs by choosing a
-:class:`~repro.exec.executors.SerialExecutor` (in-process) or
+:class:`~repro.exec.executors.SerialExecutor` (in-process), a
+:class:`~repro.exec.parallel.ParallelExecutor` (persistent worker pool
+over shared-memory inputs), or a
 :class:`~repro.exec.executors.YgmExecutor` (across YGM ranks).  The
 canonical plans for the paper's three steps live in
 :mod:`repro.exec.plans`.
 """
 
 from repro.exec.executors import SerialExecutor, YgmExecutor
+from repro.exec.parallel import ParallelExecutor
 from repro.exec.plan import KernelStage, Plan, resolve_kernel
 from repro.exec.plans import (
     PROJECTION_PLAN,
@@ -18,13 +21,17 @@ from repro.exec.plans import (
     position_range_shards,
     triplet_range_shards,
 )
+from repro.exec.shm import ShmArena, live_segment_names
 
 __all__ = [
     "KernelStage",
     "Plan",
     "resolve_kernel",
     "SerialExecutor",
+    "ParallelExecutor",
     "YgmExecutor",
+    "ShmArena",
+    "live_segment_names",
     "PROJECTION_PLAN",
     "SURVEY_PLAN",
     "VALIDATION_PLAN",

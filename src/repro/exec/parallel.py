@@ -1,0 +1,329 @@
+"""Shared-memory parallel executor: one plan, many cores, zero copies.
+
+:class:`ParallelExecutor` is the third executor of the plan layer.  Like
+:class:`~repro.exec.executors.SerialExecutor` it maps every shard through
+the plan's kernel and reduces driver-side in shard order, so results are
+bit-identical by construction; unlike it, shards run on a **persistent
+pool of worker processes** that stays warm across plans — the pipeline
+runs projection, survey, and validation through one pool.
+
+Data movement is the design center:
+
+- Inputs travel through :class:`~repro.exec.shm.ShmArena`: every shard
+  and context array is published once into ``/dev/shm`` and dispatched
+  as a tiny :class:`~repro.exec.shm.ShmRef`; workers map the segments
+  read-only-in-spirit (no copy) and resolve the same ``"module:attr"``
+  kernel refs every executor uses.
+- Outputs are pickled *inside the worker* before its segment maps are
+  released (a :class:`multiprocessing.Queue` pickles lazily on a feeder
+  thread, which would race the unmap), then gathered and re-ordered by
+  shard index on the driver.
+
+Failure semantics reuse the YGM taxonomy end to end
+(:mod:`repro.ygm.errors`): a kernel that raises surfaces as
+:class:`~repro.ygm.errors.HandlerError`; a worker that dies is detected
+by liveness polling and raised as
+:class:`~repro.ygm.errors.WorkerDiedError`; a configured ``deadline``
+turns a hang into :class:`~repro.ygm.errors.BarrierTimeoutError`.  A
+:class:`~repro.ygm.faults.FaultPlan` may be injected at construction —
+faults fire at **shard dispatch** (the per-worker delivered-task count is
+the message clock), so the failure-matrix rehearsals from the YGM
+runtime apply unchanged.  After any typed failure the pool is torn down
+with the same bounded escalation ladder the YGM backend uses (STOP →
+join deadline → terminate → kill, queues closed) and is respawned
+lazily on the next ``run``; shutdown leaks neither children nor
+``/dev/shm`` segments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue as queue_mod
+import signal
+import time
+from typing import Any, Sequence
+
+from repro.exec.plan import Plan, resolve_kernel
+from repro.exec.shm import (
+    SegmentCache,
+    ShmArena,
+    disown_resource_tracking,
+    materialize,
+)
+from repro.ygm.errors import (
+    BarrierTimeoutError,
+    HandlerError,
+    WorkerDiedError,
+)
+from repro.ygm.faults import HANG_SECONDS, FaultInjector, FaultPlan
+
+__all__ = ["ParallelExecutor"]
+
+_STOP = None
+
+
+def _run_task(kernel_ref: str, shard, context, cache: SegmentCache) -> bytes:
+    """Materialize one task's inputs, run the kernel, pickle the result.
+
+    Pickling happens *here*, before the caller releases the segment
+    cache, so the returned bytes never reference shared memory.
+    """
+    shard = materialize(shard, cache)
+    context = materialize(context, cache)
+    return pickle.dumps(resolve_kernel(kernel_ref)(shard, context))
+
+
+def _pool_worker(rank: int, task_queue, result_queue, fault_plan) -> None:
+    """Worker loop: drain dispatched shards until STOP.
+
+    Kernel exceptions are reported, not fatal: the worker stays alive for
+    the next job (mirroring the YGM handler-error contract).  Faults from
+    an injected plan manifest exactly as on the YGM multiprocessing
+    backend: ``crash`` SIGKILLs the process, ``hang`` stalls inside the
+    task, ``delay`` sleeps then proceeds, ``raise`` reports a typed
+    handler failure.
+    """
+    disown_resource_tracking()
+    injector = (
+        FaultInjector(fault_plan, rank) if fault_plan is not None else None
+    )
+    while True:
+        item = task_queue.get()
+        if item is _STOP:
+            return
+        job_id, index, kernel_ref, shard, context = item
+        fault = injector.next_fault() if injector is not None else None
+        if fault is not None:
+            if fault.kind == "crash":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif fault.kind == "hang":
+                time.sleep(HANG_SECONDS)
+            elif fault.kind == "delay":
+                time.sleep(fault.seconds)
+            elif fault.kind == "raise":
+                result_queue.put(
+                    (rank, job_id, index, False,
+                     f"injected fault: {fault.describe()}")
+                )
+                continue
+        cache = SegmentCache()
+        try:
+            payload = _run_task(kernel_ref, shard, context, cache)
+        except Exception as exc:
+            result_queue.put(
+                (rank, job_id, index, False, f"{kernel_ref}: {exc!r}")
+            )
+            continue
+        finally:
+            del shard, context  # drop segment views before releasing maps
+            cache.close()
+        result_queue.put((rank, job_id, index, True, payload))
+
+
+class ParallelExecutor:
+    """Run plans across a persistent pool of worker processes.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size; ``None`` uses ``os.cpu_count()``.
+    fault_plan:
+        Optional :class:`~repro.ygm.faults.FaultPlan`; the per-worker
+        delivered-shard count is the message clock.
+    deadline:
+        Seconds one ``run`` may wait on outstanding shards before raising
+        :class:`~repro.ygm.errors.BarrierTimeoutError`.  ``None`` waits
+        forever — dead workers are still detected by liveness polling;
+        the deadline exists to catch hangs.
+    start_method:
+        ``multiprocessing`` start method (default ``"fork"``, matching
+        the YGM backend).
+
+    Examples
+    --------
+    >>> from repro.exec import PROJECTION_PLAN  # doctest: +SKIP
+    >>> with ParallelExecutor(4) as ex:  # doctest: +SKIP
+    ...     red = ex.run(PROJECTION_PLAN, shards, context)
+    """
+
+    #: Seconds between result-queue polls (each poll re-checks liveness).
+    _QUEUE_POLL = 0.05
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        *,
+        fault_plan: FaultPlan | None = None,
+        deadline: float | None = None,
+        start_method: str = "fork",
+        join_deadline: float = 5.0,
+    ) -> None:
+        self.n_workers = max(1, int(n_workers or os.cpu_count() or 1))
+        self.deadline = deadline
+        self.join_deadline = float(join_deadline)
+        self._fault_plan = fault_plan if fault_plan else None
+        self._ctx = mp.get_context(start_method)
+        self._workers: list = []
+        self._task_queues: list = []
+        self._result_queue = None
+        self._job_id = 0
+
+    # -- pool lifecycle -----------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether a worker pool is currently running."""
+        return bool(self._workers) and all(w.is_alive() for w in self._workers)
+
+    def worker_pids(self) -> tuple[int, ...]:
+        """PIDs of the live pool (spawning it if needed); for diagnostics."""
+        self._ensure_pool()
+        return tuple(w.pid for w in self._workers)
+
+    def _ensure_pool(self) -> None:
+        if self._workers:
+            return
+        self._task_queues = [self._ctx.Queue() for _ in range(self.n_workers)]
+        self._result_queue = self._ctx.Queue()
+        self._workers = [
+            self._ctx.Process(
+                target=_pool_worker,
+                args=(rank, self._task_queues[rank], self._result_queue,
+                      self._fault_plan),
+                daemon=True,
+            )
+            for rank in range(self.n_workers)
+        ]
+        for w in self._workers:
+            w.start()
+
+    def shutdown(self) -> None:
+        """Tear the pool down in bounded time, never raising, never leaking.
+
+        Same escalation ladder as the YGM multiprocessing backend: STOP to
+        every queue → shared join deadline → terminate → kill → close
+        queues.  Idempotent; ``run`` respawns a fresh pool afterwards.
+        """
+        if not self._workers:
+            return
+        workers, self._workers = self._workers, []
+        for q in self._task_queues:
+            try:
+                q.put_nowait(_STOP)
+            except Exception:  # full/broken queue: escalation handles it
+                pass
+        self._join_all(workers, self.join_deadline)
+        for w in workers:
+            if w.is_alive():
+                w.terminate()
+        self._join_all(workers, 1.0)
+        for w in workers:
+            if w.is_alive():  # pragma: no cover - needs SIGTERM-immune worker
+                try:
+                    w.kill()
+                except Exception:
+                    pass
+        self._join_all(workers, 1.0)
+        queues = [*self._task_queues, self._result_queue]
+        self._task_queues = []
+        self._result_queue = None
+        for q in queues:
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    close = shutdown
+
+    @staticmethod
+    def _join_all(workers, deadline: float) -> None:
+        limit = time.monotonic() + deadline
+        while any(w.is_alive() for w in workers):
+            if time.monotonic() > limit:
+                return
+            time.sleep(0.01)
+        for w in workers:
+            w.join(timeout=0)
+
+    def __enter__(self) -> "ParallelExecutor":
+        self._ensure_pool()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover - best effort
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    # -- execution ----------------------------------------------------------
+    def run(self, plan: Plan, shards: Sequence[Any], context: Any = None) -> Any:
+        """Map shards over the pool, reduce driver-side in shard order.
+
+        Shard *i* is dispatched to worker ``i % n_workers`` (deterministic
+        round-robin, so fault plans keyed on per-rank delivery counts
+        replay exactly).  Inputs ride through a per-run
+        :class:`~repro.exec.shm.ShmArena`; the reduce stage sees the
+        original context object, exactly as under ``SerialExecutor``.
+        """
+        shards = list(shards)
+        if not shards:
+            partials: list[Any] = []
+        else:
+            self._ensure_pool()
+            self._job_id += 1
+            with ShmArena() as arena:
+                context_refs = arena.share(context)
+                for index, shard in enumerate(shards):
+                    self._task_queues[index % self.n_workers].put(
+                        (self._job_id, index, plan.map_stage.kernel,
+                         arena.share(shard), context_refs)
+                    )
+                partials = self._gather(len(shards))
+        if plan.reduce_stage is None:
+            return partials
+        return plan.reduce_stage.resolve()(partials, context)
+
+    def _gather(self, n_shards: int) -> list[Any]:
+        """Collect one result per dispatched shard, typed-failing fast."""
+        results: list[Any] = [None] * n_shards
+        pending = n_shards
+        limit = (
+            time.monotonic() + self.deadline
+            if self.deadline is not None
+            else None
+        )
+        while pending:
+            if limit is not None and time.monotonic() > limit:
+                self.shutdown()
+                raise BarrierTimeoutError(self.deadline, pending, phase="gather")
+            try:
+                rank, job_id, index, ok, value = self._result_queue.get(
+                    timeout=self._QUEUE_POLL
+                )
+            except queue_mod.Empty:
+                self._check_liveness(pending)
+                continue
+            if job_id != self._job_id:  # stale result from an aborted job
+                continue
+            if not ok:
+                # The worker survives a kernel failure (YGM handler-error
+                # contract), so the pool stays up: late results of this
+                # aborted job are skipped by the stale-job-id guard above,
+                # and a worker that trips over the closed arena reports —
+                # not dies.  Only death and timeout tear the pool down.
+                raise HandlerError(rank, value)
+            results[index] = pickle.loads(value)
+            pending -= 1
+        return results
+
+    def _check_liveness(self, pending: int) -> None:
+        for rank, w in enumerate(self._workers):
+            if not w.is_alive():
+                exitcode = w.exitcode
+                self.shutdown()
+                raise WorkerDiedError(rank, exitcode, pending, phase="gather")

@@ -98,9 +98,19 @@ class TripletMetrics:
 
 
 def evaluate_triplets(
-    inc: UserPageIncidence, triangles: TriangleSet
+    inc: UserPageIncidence,
+    triangles: TriangleSet,
+    *,
+    executor=None,
+    n_shards: int | None = None,
 ) -> TripletMetrics:
     """Compute eqs. 2–4 for every surveyed triangle.
+
+    *executor* runs :data:`~repro.exec.plans.VALIDATION_PLAN` (defaults
+    to an in-process :class:`~repro.exec.SerialExecutor`); *n_shards*
+    cuts the triplet list into that many range shards (defaults to the
+    executor's ``n_workers``, 1 for serial).  The count concatenation is
+    shard-ordered, so every executor returns identical metrics.
 
     Examples
     --------
@@ -116,9 +126,15 @@ def evaluate_triplets(
     >>> m.w_xyz.tolist(), m.c_scores.tolist()
     ([2], [1.0])
     """
-    shards = triplet_range_shards(triangles.a, triangles.b, triangles.c, 1)
+    if executor is None:
+        executor = SerialExecutor()
+    if n_shards is None:
+        n_shards = getattr(executor, "n_workers", 1)
+    shards = triplet_range_shards(
+        triangles.a, triangles.b, triangles.c, max(1, n_shards)
+    )
     context = {"indptr": inc.indptr, "page_ids": inc.page_ids}
-    w = SerialExecutor().run(VALIDATION_PLAN, shards, context)
+    w = executor.run(VALIDATION_PLAN, shards, context)
     p = inc.page_counts()
     p_sum = (p[triangles.a] + p[triangles.b] + p[triangles.c]).astype(np.int64)
     c = normalized_scores(w, p_sum)

@@ -53,6 +53,16 @@ class PipelineConfig:
         Optional liveness deadline (seconds) applied to worlds the
         pipeline constructs itself via ``world_factory`` fallbacks; also a
         documented hint for callers building their own worlds.
+    executor:
+        Plan executor for the in-process pipeline: ``"serial"`` (default)
+        runs shards on the calling thread; ``"parallel"`` runs all three
+        plans through one persistent
+        :class:`~repro.exec.ParallelExecutor` worker pool (results are
+        bit-identical either way).  Ignored by
+        :meth:`~repro.pipeline.framework.CoordinationPipeline.run_distributed`,
+        which always uses the YGM backend.
+    n_workers:
+        Pool size for ``executor="parallel"``; 0 means ``os.cpu_count()``.
     """
 
     window: TimeWindow = field(default_factory=lambda: TimeWindow(0, 60))
@@ -66,6 +76,8 @@ class PipelineConfig:
     max_stage_retries: int = 0
     retry_backoff: float = 0.1
     barrier_deadline: float | None = None
+    executor: str = "serial"
+    n_workers: int = 0
 
     def describe(self) -> str:
         """One-line summary for reports."""
@@ -74,7 +86,13 @@ class PipelineConfig:
             if self.time_bucket_width
             else ""
         )
+        ex = (
+            f", executor=parallel({self.n_workers or 'auto'})"
+            if self.executor == "parallel"
+            else ""
+        )
         return (
             f"window={self.window}, cutoff={self.min_triangle_weight}"
-            f"{bucket}, filter={'on' if self.author_filter.exact_names else 'off'}"
+            f"{bucket}{ex}, "
+            f"filter={'on' if self.author_filter.exact_names else 'off'}"
         )

@@ -32,6 +32,7 @@ from __future__ import annotations
 import time
 from typing import Callable
 
+from repro.exec.parallel import ParallelExecutor
 from repro.graph.bipartite import BipartiteTemporalMultigraph
 from repro.graph.csr import CSRGraph
 from repro.hypergraph.incidence import UserPageIncidence
@@ -43,7 +44,10 @@ from repro.projection.buckets import project_bucketed
 from repro.projection.ci_graph import CommonInteractionGraph
 from repro.projection.distributed import project_distributed
 from repro.projection.project import project
-from repro.tripoll.engine import survey_triangles_distributed
+from repro.tripoll.engine import (
+    survey_triangles_distributed,
+    survey_triangles_plan,
+)
 from repro.tripoll.metrics import t_scores as compute_t_scores
 from repro.tripoll.survey import survey_triangles
 from repro.util.timers import StageTimings
@@ -69,6 +73,18 @@ class CoordinationPipeline:
 
     def __init__(self, config: PipelineConfig | None = None) -> None:
         self.config = config if config is not None else PipelineConfig()
+
+    def _plan_executor(self) -> ParallelExecutor | None:
+        """Build the configured plan executor (``None`` means serial)."""
+        cfg = self.config
+        if cfg.executor == "serial":
+            return None
+        if cfg.executor == "parallel":
+            return ParallelExecutor(cfg.n_workers or None)
+        raise ValueError(
+            f"unknown executor {cfg.executor!r} (expected 'serial' or "
+            "'parallel')"
+        )
 
     # -- checkpoint plumbing -------------------------------------------------
     def _open_checkpoint(
@@ -117,59 +133,80 @@ class CoordinationPipeline:
         cp = self._open_checkpoint(checkpoint_dir, resume_from)
         timings = StageTimings()
         resumed: list[str] = []
+        # One pool serves all three plans when executor="parallel"; the
+        # bucketed projection is a single-process memory workaround and
+        # stays serial.
+        plan_executor = self._plan_executor()
 
-        with timings.stage("step0.filter"):
-            filtered, filter_report = cfg.author_filter.apply(btm)
+        try:
+            with timings.stage("step0.filter"):
+                filtered, filter_report = cfg.author_filter.apply(btm)
 
-        if cp is not None and cp.has("ci"):
-            with timings.stage("step1.project[resumed]"):
-                ci = cp.load_ci()
-            proj_stats = cp.load_stats()
-            resumed.append("step1.project")
-        else:
-            with timings.stage("step1.project"):
-                if cfg.time_bucket_width is not None:
-                    proj = project_bucketed(
-                        filtered,
-                        cfg.window,
-                        bucket_width=cfg.time_bucket_width,
-                        pair_batch=cfg.pair_batch,
-                    )
-                else:
-                    proj = project(filtered, cfg.window, pair_batch=cfg.pair_batch)
-            ci = proj.ci
-            timings.merge(proj.timings)
-            proj_stats = dict(proj.stats)
-            if cp is not None:
-                cp.save_ci(ci)
-                cp.save_stats(proj_stats)
+            if cp is not None and cp.has("ci"):
+                with timings.stage("step1.project[resumed]"):
+                    ci = cp.load_ci()
+                proj_stats = cp.load_stats()
+                resumed.append("step1.project")
+            else:
+                with timings.stage("step1.project"):
+                    if cfg.time_bucket_width is not None:
+                        proj = project_bucketed(
+                            filtered,
+                            cfg.window,
+                            bucket_width=cfg.time_bucket_width,
+                            pair_batch=cfg.pair_batch,
+                        )
+                    else:
+                        proj = project(
+                            filtered,
+                            cfg.window,
+                            pair_batch=cfg.pair_batch,
+                            executor=plan_executor,
+                        )
+                ci = proj.ci
+                timings.merge(proj.timings)
+                proj_stats = dict(proj.stats)
+                if cp is not None:
+                    cp.save_ci(ci)
+                    cp.save_stats(proj_stats)
 
-        ci_thr = self._threshold_stage(ci, cp, timings, resumed)
+            ci_thr = self._threshold_stage(ci, cp, timings, resumed)
 
-        if cp is not None and cp.has("triangles"):
-            with timings.stage("step2.survey[resumed]"):
-                triangles, t_vals = cp.load_triangles()
-            resumed.append("step2.survey")
-        else:
-            with timings.stage("step2.survey"):
-                # Survey the already-thresholded graph: thresholding once
-                # keeps the surveyed triangles and the reported
-                # ``ci_thresholded`` artifact structurally inseparable, and
-                # sorted_canonical makes the output element-for-element
-                # comparable with :meth:`run_distributed` (and any other
-                # engine).
-                triangles = survey_triangles(
-                    ci_thr.edges,
-                    wedge_batch=cfg.wedge_batch,
-                ).sorted_canonical()
-                t_vals = compute_t_scores(triangles, ci.page_counts)
-            if cp is not None:
-                cp.save_triangles(triangles, t_vals)
+            if cp is not None and cp.has("triangles"):
+                with timings.stage("step2.survey[resumed]"):
+                    triangles, t_vals = cp.load_triangles()
+                resumed.append("step2.survey")
+            else:
+                with timings.stage("step2.survey"):
+                    # Survey the already-thresholded graph: thresholding once
+                    # keeps the surveyed triangles and the reported
+                    # ``ci_thresholded`` artifact structurally inseparable, and
+                    # sorted_canonical makes the output element-for-element
+                    # comparable with :meth:`run_distributed` (and any other
+                    # engine).
+                    if plan_executor is not None:
+                        triangles = survey_triangles_plan(
+                            ci_thr.edges,
+                            plan_executor,
+                            4 * plan_executor.n_workers,
+                        ).sorted_canonical()
+                    else:
+                        triangles = survey_triangles(
+                            ci_thr.edges,
+                            wedge_batch=cfg.wedge_batch,
+                        ).sorted_canonical()
+                    t_vals = compute_t_scores(triangles, ci.page_counts)
+                if cp is not None:
+                    cp.save_triangles(triangles, t_vals)
 
-        return self._finish(
-            cfg, filter_report, ci, ci_thr, triangles, t_vals,
-            filtered, proj_stats, timings, resumed, stage_retries=0,
-        )
+            return self._finish(
+                cfg, filter_report, ci, ci_thr, triangles, t_vals,
+                filtered, proj_stats, timings, resumed, stage_retries=0,
+                plan_executor=plan_executor,
+            )
+        finally:
+            if plan_executor is not None:
+                plan_executor.close()
 
     def run_distributed(
         self,
@@ -329,6 +366,7 @@ class CoordinationPipeline:
         stage_retries: int,
         distributed_world=None,
         attempt=None,
+        plan_executor=None,
     ) -> PipelineResult:
         with timings.stage("step2.components"):
             components = self._component_reports(ci_thr)
@@ -350,7 +388,9 @@ class CoordinationPipeline:
             else:
                 with timings.stage("step3.hypergraph"):
                     inc = UserPageIncidence.from_btm(filtered)
-                    triplet_metrics = evaluate_triplets(inc, triangles)
+                    triplet_metrics = evaluate_triplets(
+                        inc, triangles, executor=plan_executor
+                    )
 
         stats = dict(proj_stats)
         stats.update(

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exec.executors import SerialExecutor
-from repro.exec.plans import PROJECTION_PLAN
+from repro.exec.plans import PROJECTION_PLAN, page_aligned_shards
 from repro.graph.bipartite import BipartiteTemporalMultigraph
 from repro.graph.edgelist import EdgeList
 from repro.kernels import (
@@ -150,6 +150,9 @@ def project(
     window: TimeWindow,
     pair_batch: int = 4_000_000,
     keep_triples: bool = False,
+    *,
+    executor=None,
+    n_shards: int | None = None,
 ) -> ProjectionResult:
     """Vectorized Algorithm 1 (see module docstring).
 
@@ -166,6 +169,15 @@ def project(
     keep_triples:
         Retain the distinct ``(page, x, y)`` observations in the result
         (needed by the exact bucket merge and some ablations).
+    executor:
+        Plan executor to run :data:`~repro.exec.plans.PROJECTION_PLAN`
+        on; defaults to an in-process
+        :class:`~repro.exec.SerialExecutor`.  Pass a
+        :class:`~repro.exec.ParallelExecutor` for multi-core projection —
+        page-aligned sharding keeps the reduction bit-identical.
+    n_shards:
+        Number of page-aligned shards to cut the comment stream into;
+        defaults to the executor's ``n_workers`` (1 for serial).
 
     Examples
     --------
@@ -187,9 +199,18 @@ def project(
         "pair_batch": int(pair_batch),
         "n_users": n_users,
     }
-    shards = [(users, pages, times)] if users.shape[0] else []
+    if executor is None:
+        executor = SerialExecutor()
+    if n_shards is None:
+        n_shards = getattr(executor, "n_workers", 1)
+    if users.shape[0] == 0:
+        shards = []
+    elif n_shards <= 1:
+        shards = [(users, pages, times)]
+    else:
+        shards = page_aligned_shards(users, pages, times, n_shards)
     with timings.stage("plan"):
-        red = SerialExecutor().run(PROJECTION_PLAN, shards, context)
+        red = executor.run(PROJECTION_PLAN, shards, context)
 
     with timings.stage("wrap"):
         ci = ci_from_reduction(red, window, btm.user_names)

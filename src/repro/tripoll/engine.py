@@ -35,10 +35,52 @@ from repro.tripoll.survey import (
 )
 from repro.ygm.world import YgmWorld
 
-__all__ = ["survey_triangles_distributed"]
+__all__ = ["survey_triangles_distributed", "survey_triangles_plan"]
 
 # Shards per rank: >1 so skewed wedge distributions still balance.
 _SHARDS_PER_RANK = 4
+
+
+def survey_triangles_plan(
+    edges: EdgeList,
+    executor,
+    n_shards: int,
+    min_edge_weight: int = 0,
+) -> TriangleSet:
+    """Enumerate all triangles of *edges* on an arbitrary plan executor.
+
+    The executor-generic core of the surveyed engine: builds the
+    adjacency and wedge prices once, cuts the wedge positions into
+    *n_shards* ranges, and runs :data:`~repro.exec.plans.SURVEY_PLAN`
+    through *executor* (serial, parallel, or YGM — same kernels, same
+    shard-ordered concatenation, so output is identical on every
+    backend).  Semantics match
+    :func:`repro.tripoll.survey.survey_triangles`, including the
+    ``min_edge_weight`` pre-threshold.
+    """
+    acc = edges.accumulate()
+    if min_edge_weight > 0:
+        acc = acc.threshold(min_edge_weight)
+    if acc.n_edges == 0:
+        return TriangleSet.empty()
+    # Same huge-id guard as the single-process engine: the join keys are
+    # sized by max_vertex, so sparse graphs over raw platform ids are
+    # relabelled to a dense space first.
+    acc, id_values = _compact_id_space(acc)
+    n = acc.max_vertex + 1
+    rank = degree_order(acc, n)
+
+    adj = forward_adjacency(acc.src, acc.dst, acc.weight, rank, n)
+    counts, cum = wedge_counts(adj)
+    total_wedges = int(cum[-1])
+    wedge_batch = max(1, -(-total_wedges // max(1, n_shards)))
+    shards = position_range_shards(counts, cum, wedge_batch)
+
+    raw = executor.run(
+        SURVEY_PLAN, shards, {"adj": adj, "counts": counts, "cum": cum}
+    )
+    out = TriangleSet.from_raw(*raw)
+    return _restore_id_space(out, id_values)
 
 
 def survey_triangles_distributed(
@@ -60,27 +102,9 @@ def survey_triangles_distributed(
     >>> ts.as_tuples()
     {(0, 1, 2)}
     """
-    acc = edges.accumulate()
-    if min_edge_weight > 0:
-        acc = acc.threshold(min_edge_weight)
-    if acc.n_edges == 0:
-        return TriangleSet.empty()
-    # Same huge-id guard as the single-process engine: the join keys are
-    # sized by max_vertex, so sparse graphs over raw platform ids are
-    # relabelled to a dense space first.
-    acc, id_values = _compact_id_space(acc)
-    n = acc.max_vertex + 1
-    rank = degree_order(acc, n)
-
-    adj = forward_adjacency(acc.src, acc.dst, acc.weight, rank, n)
-    counts, cum = wedge_counts(adj)
-    total_wedges = int(cum[-1])
-    n_shards = world.n_ranks * _SHARDS_PER_RANK
-    wedge_batch = max(1, -(-total_wedges // n_shards))
-    shards = position_range_shards(counts, cum, wedge_batch)
-
-    raw = YgmExecutor(world).run(
-        SURVEY_PLAN, shards, {"adj": adj, "counts": counts, "cum": cum}
+    return survey_triangles_plan(
+        edges,
+        YgmExecutor(world),
+        world.n_ranks * _SHARDS_PER_RANK,
+        min_edge_weight,
     )
-    out = TriangleSet.from_raw(*raw)
-    return _restore_id_space(out, id_values)

@@ -14,6 +14,10 @@ distributed).  This package makes that guarantee executable:
   :class:`~repro.ygm.faults.FaultPlan` is unleashed on a distributed run,
   which must fail typed (or complete), then resume from its checkpoint to
   results identical to the serial oracle;
+- :mod:`repro.verify.bench_gate` — the CI benchmark-regression gate:
+  fresh ``BENCH_*.json`` results compared against committed baselines
+  with a tolerance-plus-noise-floor policy, failing on slowdown
+  (``python -m repro.verify.bench_gate``);
 - :mod:`repro.verify.online` — streaming parity: a seeded interleaving
   of appends, out-of-order arrivals, and window advances is driven
   through the :class:`~repro.serve.engine.DetectionEngine`, whose every
@@ -45,7 +49,23 @@ from repro.verify.parity import (
     shrink_comments,
 )
 
+_BENCH_GATE_EXPORTS = ("GateCheck", "GateReport", "run_gate")
+
+
+def __getattr__(name: str):
+    # Lazy so `python -m repro.verify.bench_gate` does not trigger the
+    # runpy found-in-sys.modules double-import warning.
+    if name in _BENCH_GATE_EXPORTS:
+        from repro.verify import bench_gate
+
+        return getattr(bench_gate, name)
+    raise AttributeError(name)
+
+
 __all__ = [
+    "GateCheck",
+    "GateReport",
+    "run_gate",
     "ChaosReport",
     "diff_results",
     "run_chaos",

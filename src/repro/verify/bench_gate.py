@@ -1,0 +1,344 @@
+"""Benchmark-regression gate: fresh bench results vs committed baselines.
+
+The bench suite emits machine-readable ``BENCH_*.json`` files
+(``benchmarks/results/``); this module compares a fresh run against the
+committed baselines (``benchmarks/baselines/``) and fails on slowdown,
+so a perf win landed in one PR cannot silently rot in the next.
+
+Comparison policy (per check, slowdown-only — a faster fresh run always
+passes):
+
+- **Seconds** are compared with a relative tolerance *and* an absolute
+  noise floor: a fresh timing fails only when it exceeds
+  ``baseline * (1 + tolerance) + noise_floor``.  The floor keeps
+  millisecond-scale tiny-run jitter from flaking the gate while a real
+  regression (a de-vectorized kernel, a serialized pool) still trips it.
+- **Speedup ratios** (kernel vs reference twin, parallel vs serial) are
+  dimensionless and transfer across machines better than seconds; they
+  are compared only when the baseline's slow side is above the noise
+  floor (otherwise the ratio itself is noise) and, for worker-scaling
+  entries, only when the fresh host has at least that many cores and the
+  baseline actually scaled (speedup ≥ 1) — a 1-core baseline records
+  overhead, not scaling, and gating on it would be meaningless.
+
+A baseline file whose fresh counterpart is missing fails the gate (the
+bench did not run); a fresh file that does not parse fails with a
+pointer at the atomic-write contract (``benchmarks/_figures.py``), since
+a truncated ``BENCH_*.json`` means a writer bypassed it.
+
+Run as ``python -m repro.verify.bench_gate``; ``--update`` refreshes the
+baselines from the fresh results instead of comparing (the documented
+way to accept an intentional perf change — see ``docs/benchmarking.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "GateCheck",
+    "GateReport",
+    "TruncatedResultError",
+    "run_gate",
+    "main",
+]
+
+DEFAULT_TOLERANCE = 0.30
+DEFAULT_NOISE_FLOOR = 0.01  # seconds
+
+
+class TruncatedResultError(RuntimeError):
+    """A ``BENCH_*.json`` failed to parse (e.g. truncated by a kill)."""
+
+    def __init__(self, path: Path, cause: Exception) -> None:
+        super().__init__(
+            f"{path} is not valid JSON ({cause}). Bench result files are "
+            "written atomically (tmp + rename, see "
+            "benchmarks/_figures.py:atomic_write_text); a truncated file "
+            "means a writer bypassed that helper or the file was edited. "
+            "Re-run the bench to regenerate it."
+        )
+        self.path = path
+
+
+@dataclass
+class GateCheck:
+    """One baseline-vs-fresh comparison."""
+
+    name: str
+    kind: str  # "seconds" | "speedup"
+    baseline: float
+    fresh: float
+    ok: bool
+    note: str = ""
+
+    def describe(self) -> str:
+        """One aligned report line: verdict, name, baseline vs fresh."""
+        mark = "ok  " if self.ok else "FAIL"
+        unit = "s" if self.kind == "seconds" else "x"
+        line = (
+            f"{mark} {self.name:42s} baseline {self.baseline:10.4f}{unit}  "
+            f"fresh {self.fresh:10.4f}{unit}"
+        )
+        return line + (f"  ({self.note})" if self.note else "")
+
+
+@dataclass
+class GateReport:
+    """Outcome of one gate run."""
+
+    tolerance: float
+    noise_floor: float
+    checks: list[GateCheck] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[GateCheck]:
+        return [c for c in self.checks if not c.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.errors
+
+    def describe(self) -> str:
+        """Human-readable gate report: checks, skips, errors, verdict."""
+        lines = [
+            f"bench gate: tolerance ±{self.tolerance:.0%}, noise floor "
+            f"{self.noise_floor}s — {len(self.checks)} check(s), "
+            f"{len(self.skipped)} skipped"
+        ]
+        lines += [f"  {c.describe()}" for c in self.checks]
+        lines += [f"  skip {s}" for s in self.skipped]
+        lines += [f"  ERROR {e}" for e in self.errors]
+        lines.append(
+            "  GATE OK — no benchmark regressions"
+            if self.ok
+            else f"  GATE FAILED — {len(self.failures)} regression(s), "
+            f"{len(self.errors)} error(s)"
+        )
+        return "\n".join(lines)
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise TruncatedResultError(path, exc) from exc
+
+
+class _Comparator:
+    """Shared helpers binding one report's policy knobs."""
+
+    def __init__(self, report: GateReport) -> None:
+        self.report = report
+
+    def seconds(self, name: str, baseline: float, fresh: float) -> None:
+        limit = baseline * (1.0 + self.report.tolerance) + self.report.noise_floor
+        self.report.checks.append(
+            GateCheck(name, "seconds", baseline, fresh, fresh <= limit)
+        )
+
+    def speedup(
+        self, name: str, baseline: float, fresh: float, slow_side: float
+    ) -> None:
+        if slow_side < self.report.noise_floor:
+            self.report.skipped.append(
+                f"{name}: baseline timing below noise floor"
+            )
+            return
+        floor = baseline * (1.0 - self.report.tolerance)
+        self.report.checks.append(
+            GateCheck(name, "speedup", baseline, fresh, fresh >= floor)
+        )
+
+
+def _compare_kernels(base: dict, fresh: dict, rep: GateReport) -> None:
+    cmp = _Comparator(rep)
+    if base.get("scale") != fresh.get("scale"):
+        rep.errors.append(
+            f"BENCH_kernels: scale mismatch (baseline {base.get('scale')!r} "
+            f"vs fresh {fresh.get('scale')!r}) — rerun at baseline scale"
+        )
+        return
+    for name, b in base.get("kernels", {}).items():
+        f = fresh.get("kernels", {}).get(name)
+        if f is None:
+            rep.errors.append(f"kernels[{name}]: missing from fresh results")
+            continue
+        cmp.seconds(
+            f"kernels[{name}].kernel_seconds",
+            float(b["kernel_seconds"]),
+            float(f["kernel_seconds"]),
+        )
+        cmp.speedup(
+            f"kernels[{name}].speedup",
+            float(b["speedup"]),
+            float(f["speedup"]),
+            slow_side=float(b["reference_seconds"]),
+        )
+
+
+def _compare_parallel(base: dict, fresh: dict, rep: GateReport) -> None:
+    cmp = _Comparator(rep)
+    if base.get("scale") != fresh.get("scale"):
+        rep.errors.append(
+            f"BENCH_parallel: scale mismatch (baseline {base.get('scale')!r} "
+            f"vs fresh {fresh.get('scale')!r}) — rerun at baseline scale"
+        )
+        return
+    fresh_cpus = int(fresh.get("cpu_count", 1))
+    for plan, b in base.get("plans", {}).items():
+        f = fresh.get("plans", {}).get(plan)
+        if f is None:
+            rep.errors.append(f"plans[{plan}]: missing from fresh results")
+            continue
+        cmp.seconds(
+            f"plans[{plan}].serial_seconds",
+            float(b["serial_seconds"]),
+            float(f["serial_seconds"]),
+        )
+        for w, bw in b.get("workers", {}).items():
+            fw = f.get("workers", {}).get(w)
+            if fw is None:
+                rep.errors.append(
+                    f"plans[{plan}].workers[{w}]: missing from fresh results"
+                )
+                continue
+            if int(w) > fresh_cpus:
+                rep.skipped.append(
+                    f"plans[{plan}].workers[{w}]: fresh host has only "
+                    f"{fresh_cpus} core(s)"
+                )
+                continue
+            if float(bw["speedup"]) < 1.0:
+                rep.skipped.append(
+                    f"plans[{plan}].workers[{w}]: baseline did not scale "
+                    f"(speedup {bw['speedup']}x) — nothing to regress"
+                )
+                continue
+            cmp.speedup(
+                f"plans[{plan}].workers[{w}].speedup",
+                float(bw["speedup"]),
+                float(fw["speedup"]),
+                slow_side=float(b["serial_seconds"]),
+            )
+
+
+_COMPARATORS = {
+    "BENCH_kernels.json": _compare_kernels,
+    "BENCH_parallel.json": _compare_parallel,
+}
+
+
+def run_gate(
+    baseline_dir: str | Path,
+    results_dir: str | Path,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    noise_floor: float = DEFAULT_NOISE_FLOOR,
+) -> GateReport:
+    """Compare every committed baseline against its fresh counterpart.
+
+    Examples
+    --------
+    >>> import tempfile, json, pathlib
+    >>> d = pathlib.Path(tempfile.mkdtemp())
+    >>> (d / "base").mkdir(); (d / "res").mkdir()
+    >>> payload = {"scale": "tiny", "kernels": {"k": {
+    ...     "kernel_seconds": 1.0, "reference_seconds": 5.0, "speedup": 5.0}}}
+    >>> _ = (d / "base" / "BENCH_kernels.json").write_text(json.dumps(payload))
+    >>> _ = (d / "res" / "BENCH_kernels.json").write_text(json.dumps(payload))
+    >>> run_gate(d / "base", d / "res").ok
+    True
+    """
+    baseline_dir = Path(baseline_dir)
+    results_dir = Path(results_dir)
+    rep = GateReport(tolerance=tolerance, noise_floor=noise_floor)
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        rep.errors.append(f"no BENCH_*.json baselines under {baseline_dir}")
+        return rep
+    for base_path in baselines:
+        compare = _COMPARATORS.get(base_path.name)
+        if compare is None:
+            rep.skipped.append(f"{base_path.name}: no comparator registered")
+            continue
+        fresh_path = results_dir / base_path.name
+        if not fresh_path.exists():
+            rep.errors.append(
+                f"{base_path.name}: fresh result missing under {results_dir} "
+                "(bench did not run?)"
+            )
+            continue
+        try:
+            compare(_load(base_path), _load(fresh_path), rep)
+        except TruncatedResultError as exc:
+            rep.errors.append(str(exc))
+    return rep
+
+
+def update_baselines(
+    baseline_dir: str | Path, results_dir: str | Path
+) -> list[str]:
+    """Copy fresh results over the committed baselines; returns the names."""
+    baseline_dir = Path(baseline_dir)
+    results_dir = Path(results_dir)
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    updated = []
+    for name in sorted(_COMPARATORS):
+        fresh_path = results_dir / name
+        if not fresh_path.exists():
+            continue
+        _load(fresh_path)  # refuse to bless a truncated file
+        shutil.copyfile(fresh_path, baseline_dir / name)
+        updated.append(name)
+    return updated
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; exit 0 iff the gate passes."""
+    repo_root = Path(__file__).resolve().parents[3]
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.bench_gate",
+        description="Compare fresh BENCH_*.json results against committed "
+        "baselines; fail on slowdown.",
+    )
+    parser.add_argument(
+        "--baseline-dir", default=str(repo_root / "benchmarks" / "baselines")
+    )
+    parser.add_argument(
+        "--results-dir", default=str(repo_root / "benchmarks" / "results")
+    )
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument(
+        "--noise-floor", type=float, default=DEFAULT_NOISE_FLOOR
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="refresh the baselines from the fresh results instead of "
+        "comparing",
+    )
+    args = parser.parse_args(argv)
+    if args.update:
+        updated = update_baselines(args.baseline_dir, args.results_dir)
+        print(f"updated {len(updated)} baseline(s): {', '.join(updated)}")
+        return 0
+    report = run_gate(
+        args.baseline_dir,
+        args.results_dir,
+        tolerance=args.tolerance,
+        noise_floor=args.noise_floor,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,10 +1,11 @@
 """Differential parity harness across every engine of the pipeline.
 
-The paper's results are reproducible only if the six projection engines
-(``project_reference``, ``project``, ``project_bucketed``,
-``project_distributed``, ``project_streaming``, and the incremental
-projector) and both triangle engines (brute-force vs. surveyed, serial
-vs. distributed) agree *exactly*.  All of them are thin orchestration
+The paper's results are reproducible only if the seven projection
+engines (``project_reference``, ``project``, ``project_bucketed``,
+``project_distributed``, the shared-memory parallel path,
+``project_streaming``, and the incremental projector) and all triangle
+engines (brute-force vs. surveyed, serial vs. distributed vs. parallel)
+agree *exactly*.  All of them are thin orchestration
 over the same :mod:`repro.kernels` layer — serial and distributed paths
 literally run the same :mod:`repro.exec` plan — so exact agreement is by
 construction, and this harness is what makes the claim executable: it
@@ -26,6 +27,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.exec.parallel import ParallelExecutor
 from repro.graph.bipartite import BipartiteTemporalMultigraph
 from repro.graph.edgelist import EdgeList
 from repro.projection.buckets import project_bucketed
@@ -38,7 +40,10 @@ from repro.projection.project import (
 )
 from repro.projection.streaming import project_streaming
 from repro.projection.window import TimeWindow
-from repro.tripoll.engine import survey_triangles_distributed
+from repro.tripoll.engine import (
+    survey_triangles_distributed,
+    survey_triangles_plan,
+)
 from repro.tripoll.survey import TriangleSet, survey_triangles, triangles_brute
 from repro.ygm.world import YgmWorld
 
@@ -153,9 +158,11 @@ def _into_btm_id_space(
 
 
 def default_projection_engines(
-    bucket_width: int | None = None, n_ranks: int = 2
+    bucket_width: int | None = None,
+    n_ranks: int = 2,
+    parallel_workers: int = 2,
 ) -> dict[str, ProjectionEngine]:
-    """All six projection engines; the first entry is the oracle."""
+    """All seven projection engines; the first entry is the oracle."""
 
     def _bucketed(btm, window):
         bw = bucket_width
@@ -166,6 +173,12 @@ def default_projection_engines(
     def _distributed(btm, window):
         with YgmWorld(n_ranks) as world:
             return project_distributed(btm, window, world)
+
+    def _parallel(btm, window):
+        with ParallelExecutor(parallel_workers) as ex:
+            return project(
+                btm, window, executor=ex, n_shards=2 * parallel_workers
+            )
 
     def _streaming(btm, window):
         with tempfile.TemporaryDirectory() as spill:
@@ -188,13 +201,16 @@ def default_projection_engines(
         "vectorized": project,
         "bucketed": _bucketed,
         "distributed": _distributed,
+        "parallel": _parallel,
         "streaming": _streaming,
         "incremental": _incremental,
     }
 
 
-def default_triangle_engines(n_ranks: int = 2) -> dict[str, TriangleEngine]:
-    """Both triangle engines plus the brute oracle (first entry)."""
+def default_triangle_engines(
+    n_ranks: int = 2, parallel_workers: int = 2
+) -> dict[str, TriangleEngine]:
+    """The triangle engines plus the brute oracle (first entry)."""
 
     def _brute(edges, min_w):
         acc = edges.accumulate()
@@ -211,10 +227,17 @@ def default_triangle_engines(n_ranks: int = 2) -> dict[str, TriangleEngine]:
                 edges, world, min_edge_weight=min_w
             )
 
+    def _parallel(edges, min_w):
+        with ParallelExecutor(parallel_workers) as ex:
+            return survey_triangles_plan(
+                edges, ex, 2 * parallel_workers, min_edge_weight=min_w
+            )
+
     return {
         "brute": _brute,
         "surveyed": _surveyed,
         "distributed": _distributed,
+        "parallel": _parallel,
     }
 
 
@@ -370,6 +393,7 @@ def run_parity(
     *,
     bucket_width: int | None = None,
     n_ranks: int = 2,
+    parallel_workers: int = 2,
     projection_engines: dict[str, ProjectionEngine] | None = None,
     triangle_engines: dict[str, TriangleEngine] | None = None,
     shrink: bool = True,
@@ -389,6 +413,8 @@ def run_parity(
         window so the merge is exercised over ≥ 3 buckets).
     n_ranks:
         Logical world size for the distributed engines (serial backend).
+    parallel_workers:
+        Worker-pool size for the shared-memory parallel engines.
     projection_engines / triangle_engines:
         Override the registries; the **first** entry of each dict is
         treated as the oracle the rest are diffed against.
@@ -407,9 +433,13 @@ def run_parity(
     True
     """
     proj = projection_engines or default_projection_engines(
-        bucket_width=bucket_width, n_ranks=n_ranks
+        bucket_width=bucket_width,
+        n_ranks=n_ranks,
+        parallel_workers=parallel_workers,
     )
-    tri = triangle_engines or default_triangle_engines(n_ranks=n_ranks)
+    tri = triangle_engines or default_triangle_engines(
+        n_ranks=n_ranks, parallel_workers=parallel_workers
+    )
     comments = list(comments)
     divergences, n_edges, n_triangles = _diff_once(
         comments, window, min_edge_weight, proj, tri

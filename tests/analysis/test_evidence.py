@@ -1,6 +1,5 @@
 """Tests for coordination evidence extraction."""
 
-import pytest
 
 from repro.analysis.evidence import coordination_evidence
 from repro.graph import BipartiteTemporalMultigraph

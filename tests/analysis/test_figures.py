@@ -1,6 +1,5 @@
 """Tests for the hexbin figure computations."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import score_figure, weight_figure

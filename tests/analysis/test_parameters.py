@@ -1,6 +1,5 @@
 """Tests for window-parameter selection and cost prediction."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import delay_profile, recommend_windows

@@ -1,6 +1,5 @@
 """Tests for the naive direct-hypergraph detector."""
 
-import pytest
 
 from repro.baselines import NaiveTripletDetector
 from repro.graph import BipartiteTemporalMultigraph
@@ -77,7 +76,6 @@ class TestNaiveDetector:
 
 def _valve_slack(ds, trip) -> int:
     """Weight contributed by pages the naive valve skipped (size > 80)."""
-    import numpy as np
 
     from repro.hypergraph import UserPageIncidence
 

@@ -1,6 +1,5 @@
 """Tests for the Pacheco-style co-share detector."""
 
-import pytest
 
 from repro.baselines import CoShareDetector
 from repro.datagen.records import CommentRecord

@@ -1,6 +1,5 @@
 """Tests for the botnet generators (behavioural signatures)."""
 
-import numpy as np
 import pytest
 
 from repro.datagen import (

@@ -1,6 +1,5 @@
 """Tests for the corpus builder."""
 
-import pytest
 
 from repro.datagen import (
     BackgroundConfig,

@@ -1,0 +1,1 @@
+"""Tests for the executor layer: shared-memory arena and parallel pool."""

@@ -1,0 +1,238 @@
+"""Tests for the shared-memory parallel executor: parity, pool lifecycle,
+leak accounting, and the typed fault taxonomy."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    PROJECTION_PLAN,
+    SURVEY_PLAN,
+    VALIDATION_PLAN,
+    ParallelExecutor,
+    SerialExecutor,
+    live_segment_names,
+    page_aligned_shards,
+    position_range_shards,
+    triplet_range_shards,
+)
+from repro.graph.edgelist import EdgeList
+from repro.graph.ordering import degree_order
+from repro.kernels import forward_adjacency, wedge_counts
+from repro.ygm.errors import (
+    BarrierTimeoutError,
+    HandlerError,
+    WorkerDiedError,
+)
+from repro.ygm.faults import FaultPlan
+
+N_USERS = 40
+N_PAGES = 15
+
+
+def _equal(a, b) -> bool:
+    if isinstance(a, dict):
+        return set(a) == set(b) and all(_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (tuple, list)):
+        return len(a) == len(b) and all(_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, np.ndarray):
+        return bool(np.array_equal(a, b))
+    return a == b
+
+
+@pytest.fixture(scope="module")
+def plan_inputs():
+    """One small corpus shaped into shards for all three plans."""
+    rng = np.random.default_rng(23)
+    n_rows = 600
+    users = rng.integers(0, N_USERS, n_rows)
+    pages = rng.integers(0, N_PAGES, n_rows)
+    times = rng.integers(0, 600, n_rows)
+    order = np.lexsort((times, pages))
+    users, pages, times = users[order], pages[order], times[order]
+
+    proj_ctx = {
+        "delta1": 0,
+        "delta2": 60,
+        "pair_batch": 100_000,
+        "n_users": N_USERS,
+    }
+    proj_shards = page_aligned_shards(users, pages, times, 5)
+
+    red = SerialExecutor().run(PROJECTION_PLAN, proj_shards, proj_ctx)
+    acc = EdgeList(red["ua"], red["ub"], red["w"]).accumulate()
+    n = acc.max_vertex + 1
+    rank = degree_order(acc, n)
+    adj = forward_adjacency(acc.src, acc.dst, acc.weight, rank, n)
+    counts, cum = wedge_counts(adj)
+    survey_ctx = {"adj": adj, "counts": counts, "cum": cum}
+    survey_shards = position_range_shards(
+        counts, cum, max(1, int(cum[-1]) // 5)
+    )
+
+    trips = np.sort(rng.integers(0, N_USERS, (120, 3)), axis=1)
+    indptr_l = [0]
+    page_rows = []
+    for _u in range(N_USERS):
+        ps = np.unique(rng.integers(0, N_PAGES, 6))
+        page_rows.append(ps)
+        indptr_l.append(indptr_l[-1] + ps.shape[0])
+    valid_ctx = {
+        "indptr": np.asarray(indptr_l, dtype=np.int64),
+        "page_ids": np.concatenate(page_rows).astype(np.int64),
+    }
+    valid_shards = triplet_range_shards(
+        trips[:, 0], trips[:, 1], trips[:, 2], 5
+    )
+
+    return {
+        "projection": (PROJECTION_PLAN, proj_shards, proj_ctx),
+        "survey": (SURVEY_PLAN, survey_shards, survey_ctx),
+        "validation": (VALIDATION_PLAN, valid_shards, valid_ctx),
+    }
+
+
+class TestParity:
+    @pytest.mark.parametrize("plan_name", ["projection", "survey", "validation"])
+    def test_bit_identical_to_serial(self, plan_inputs, plan_name):
+        plan, shards, ctx = plan_inputs[plan_name]
+        serial = SerialExecutor().run(plan, shards, ctx)
+        with ParallelExecutor(2) as ex:
+            par = ex.run(plan, shards, ctx)
+        assert _equal(serial, par)
+
+    def test_uneven_shards_keep_order(self, plan_inputs):
+        # 5 shards over 3 workers: ranks get 2/2/1 shards, and the gather
+        # must still reduce in shard-index order.
+        plan, shards, ctx = plan_inputs["projection"]
+        assert len(shards) == 5
+        serial = SerialExecutor().run(plan, shards, ctx)
+        with ParallelExecutor(3) as ex:
+            par = ex.run(plan, shards, ctx)
+        assert _equal(serial, par)
+
+    def test_empty_shard_list(self, plan_inputs):
+        plan, _, ctx = plan_inputs["projection"]
+        serial = SerialExecutor().run(plan, [], ctx)
+        with ParallelExecutor(2) as ex:
+            par = ex.run(plan, [], ctx)
+        assert _equal(serial, par)
+
+
+class TestPoolLifecycle:
+    def test_pool_reused_across_plans(self, plan_inputs):
+        with ParallelExecutor(2) as ex:
+            first = None
+            for plan_name in ("projection", "survey", "validation"):
+                plan, shards, ctx = plan_inputs[plan_name]
+                ex.run(plan, shards, ctx)
+                pids = ex.worker_pids()
+                if first is None:
+                    first = pids
+                assert pids == first, "pool respawned between plans"
+
+    def test_shutdown_leaks_nothing(self, plan_inputs):
+        plan, shards, ctx = plan_inputs["projection"]
+        ex = ParallelExecutor(2)
+        ex.run(plan, shards, ctx)
+        pids = ex.worker_pids()
+        assert len(pids) == 2
+        ex.shutdown()
+        assert not ex.alive
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+        assert live_segment_names() == ()
+        ex.shutdown()  # idempotent
+
+    def test_pool_respawns_after_shutdown(self, plan_inputs):
+        plan, shards, ctx = plan_inputs["projection"]
+        serial = SerialExecutor().run(plan, shards, ctx)
+        ex = ParallelExecutor(2)
+        try:
+            ex.run(plan, shards, ctx)
+            old = ex.worker_pids()
+            ex.shutdown()
+            again = ex.run(plan, shards, ctx)
+            assert _equal(serial, again)
+            assert ex.worker_pids() != old
+        finally:
+            ex.shutdown()
+
+
+@pytest.mark.faults
+class TestFaults:
+    def test_crashed_worker_raises_typed_not_hangs(self, plan_inputs):
+        plan, shards, ctx = plan_inputs["projection"]
+        ex = ParallelExecutor(
+            2,
+            fault_plan=FaultPlan.single("crash", rank=0, at_message=1),
+            join_deadline=0.5,
+        )
+        try:
+            with pytest.raises(WorkerDiedError) as exc_info:
+                ex.run(plan, shards, ctx)
+            assert exc_info.value.rank == 0
+            assert live_segment_names() == ()
+        finally:
+            ex.shutdown()
+
+    def test_raising_kernel_surfaces_handler_error(self, plan_inputs):
+        plan, shards, ctx = plan_inputs["projection"]
+        ex = ParallelExecutor(
+            2,
+            fault_plan=FaultPlan.single("raise", rank=1, at_message=1),
+            join_deadline=0.5,
+        )
+        try:
+            with pytest.raises(HandlerError) as exc_info:
+                ex.run(plan, shards, ctx)
+            assert exc_info.value.rank == 1
+        finally:
+            ex.shutdown()
+
+    def test_hang_bounded_by_deadline(self, plan_inputs):
+        plan, shards, ctx = plan_inputs["projection"]
+        ex = ParallelExecutor(
+            2,
+            fault_plan=FaultPlan.single("hang", rank=0, at_message=1),
+            deadline=0.5,
+            join_deadline=0.5,
+        )
+        try:
+            with pytest.raises(BarrierTimeoutError):
+                ex.run(plan, shards, ctx)
+        finally:
+            ex.shutdown()
+        assert live_segment_names() == ()
+
+    def test_delay_fault_changes_nothing(self, plan_inputs):
+        plan, shards, ctx = plan_inputs["projection"]
+        serial = SerialExecutor().run(plan, shards, ctx)
+        with ParallelExecutor(
+            2,
+            fault_plan=FaultPlan.single(
+                "delay", rank=0, at_message=1, seconds=0.05
+            ),
+        ) as ex:
+            assert _equal(serial, ex.run(plan, shards, ctx))
+
+    def test_executor_usable_after_failure(self, plan_inputs):
+        # A raise fault leaves the worker alive with its delivery count
+        # advanced past the fault, so the same pool must serve the next
+        # run correctly.  (A crash fault would replay on the respawned
+        # worker: delivery counts are per worker *process*.)
+        plan, shards, ctx = plan_inputs["projection"]
+        serial = SerialExecutor().run(plan, shards, ctx)
+        ex = ParallelExecutor(
+            2,
+            fault_plan=FaultPlan.single("raise", rank=0, at_message=1),
+            join_deadline=0.5,
+        )
+        try:
+            with pytest.raises(HandlerError):
+                ex.run(plan, shards, ctx)
+            assert _equal(serial, ex.run(plan, shards, ctx))
+        finally:
+            ex.shutdown()

@@ -1,0 +1,118 @@
+"""Tests for the shared-memory arena: publish/attach, refcounts, unlink."""
+
+import numpy as np
+import pytest
+
+from repro.exec.shm import (
+    SegmentCache,
+    ShmArena,
+    ShmRef,
+    live_segment_names,
+    materialize,
+)
+
+
+class TestPublishRoundtrip:
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.arange(10, dtype=np.int64),
+            np.linspace(0.0, 1.0, 7, dtype=np.float32),
+            np.zeros((3, 4), dtype=np.uint32),
+            np.array([], dtype=np.int64),
+            np.array([True, False, True]),
+        ],
+        ids=["int64", "float32", "2d", "empty", "bool"],
+    )
+    def test_attach_sees_identical_array(self, array):
+        cache = SegmentCache()
+        with ShmArena() as arena:
+            ref = arena.publish(array)
+            assert isinstance(ref, ShmRef)
+            got = materialize(ref, cache)
+            assert got.shape == array.shape
+            assert got.dtype == array.dtype
+            assert np.array_equal(got, array)
+            cache.close()
+
+    def test_attached_view_is_zero_copy(self):
+        # Same segment, not a pickled copy: a write through one mapping
+        # is visible through a second attach.
+        src = np.arange(8, dtype=np.int64)
+        c1, c2 = SegmentCache(), SegmentCache()
+        with ShmArena() as arena:
+            ref = arena.publish(src)
+            a = materialize(ref, c1)
+            b = materialize(ref, c2)
+            a[0] = 99
+            assert b[0] == 99
+            del a, b
+            c1.close()
+            c2.close()
+
+
+class TestRefcounting:
+    def test_same_object_shares_one_segment(self):
+        arr = np.arange(5)
+        with ShmArena() as arena:
+            r1 = arena.publish(arr)
+            r2 = arena.publish(arr)
+            assert r1 == r2
+            assert arena.n_segments == 1
+
+    def test_release_unlinks_at_zero(self):
+        arr = np.arange(5)
+        arena = ShmArena()
+        ref = arena.publish(arr)
+        arena.publish(arr)  # refcount -> 2
+        arena.release(ref)
+        assert arena.n_segments == 1
+        arena.release(ref)
+        assert arena.n_segments == 0
+        assert live_segment_names() == ()
+        arena.release(ref)  # releasing a gone ref is a no-op
+        arena.close()
+
+    def test_share_recurses_and_materialize_inverts(self):
+        obj = {
+            "shards": [
+                (np.arange(4), np.arange(4) * 2),
+                (np.arange(3), np.arange(3) * 3),
+            ],
+            "scalar": 7,
+            "nested": {"w": np.ones(2)},
+        }
+        cache = SegmentCache()
+        with ShmArena() as arena:
+            shared = arena.share(obj)
+            assert isinstance(shared["shards"][0][0], ShmRef)
+            assert shared["scalar"] == 7
+            back = materialize(shared, cache)
+            assert np.array_equal(back["shards"][1][1], obj["shards"][1][1])
+            assert np.array_equal(back["nested"]["w"], obj["nested"]["w"])
+            cache.close()
+
+
+class TestLifecycle:
+    def test_close_unlinks_everything_and_is_idempotent(self):
+        arena = ShmArena()
+        arena.publish(np.arange(3))
+        arena.publish(np.arange(4))
+        assert arena.n_segments == 2
+        arena.close()
+        assert arena.n_segments == 0
+        assert live_segment_names() == ()
+        arena.close()  # second close is a no-op
+
+    def test_context_manager_unlinks_on_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with ShmArena() as arena:
+                arena.publish(np.arange(6))
+                raise RuntimeError("boom")
+        assert live_segment_names() == ()
+
+    def test_publish_after_close_raises(self):
+        arena = ShmArena()
+        arena.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            arena.publish(np.arange(2))

@@ -1,7 +1,6 @@
 """Tests for connected components (union-find, distributed, vs networkx)."""
 
 import networkx as nx
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

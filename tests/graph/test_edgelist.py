@@ -1,6 +1,5 @@
 """Tests for the struct-of-arrays edge list."""
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

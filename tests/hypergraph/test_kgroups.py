@@ -1,6 +1,5 @@
 """Tests for group-level (quorum) hypergraph metrics."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

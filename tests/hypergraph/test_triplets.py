@@ -1,7 +1,6 @@
 """Tests for triplet hyperedge weights and coordination scores (eqs. 2–4)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,8 +5,6 @@ is bounded by the minimum triangle weight — the provable bound the paper
 says its un-windowed Step 3 lacks (§4.2).
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -56,6 +56,7 @@ class TestCrossBackendParity:
             "vectorized",
             "bucketed",
             "distributed",
+            "parallel",
             "streaming",
             "incremental",
         }
@@ -63,4 +64,5 @@ class TestCrossBackendParity:
             "brute",
             "surveyed",
             "distributed",
+            "parallel",
         }

@@ -1,7 +1,6 @@
 """Tests for the distributed projection (YGM runtime)."""
 
 import numpy as np
-import pytest
 
 from repro.projection import TimeWindow, project, project_distributed
 from repro.ygm import YgmWorld

@@ -1,7 +1,6 @@
 """Tests for Algorithm 1: the vectorized engine against the verbatim oracle."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Cross-cutting edge cases and defensive-behaviour tests."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

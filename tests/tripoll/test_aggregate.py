@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.graph import EdgeList
 from repro.tripoll import survey_triangles, t_scores
 from repro.tripoll.aggregate import (
     ComponentAggregator,

@@ -32,7 +32,6 @@ class TestHandWorkedExamples:
     def test_weights_aligned_to_ids(self, triangle_edgelist):
         ts = survey_triangles(triangle_edgelist).sorted_canonical()
         # triangle (0,1,3): w01=5, w03=7, w13=9
-        idx = ts.as_tuples()
         row = [
             i
             for i in range(ts.n_triangles)

@@ -1,0 +1,257 @@
+"""The benchmark-regression gate: policy, skips, and failure modes."""
+
+import json
+
+import pytest
+
+from repro.verify.bench_gate import (
+    TruncatedResultError,
+    main,
+    run_gate,
+    update_baselines,
+)
+
+KERNELS = {
+    "scale": "tiny",
+    "n_rows": 400,
+    "kernels": {
+        "cooccur_pairs": {
+            "kernel_seconds": 0.05,
+            "reference_seconds": 2.0,
+            "speedup": 40.0,
+        },
+        "window_bounds": {
+            # Below the 0.01s noise floor on the slow side: the speedup
+            # ratio is noise and must be skipped, the seconds still gated.
+            "kernel_seconds": 0.0002,
+            "reference_seconds": 0.005,
+            "speedup": 25.0,
+        },
+    },
+}
+
+PARALLEL = {
+    "scale": "tiny",
+    "n_rows": 2_000,
+    "n_shards": 16,
+    "cpu_count": 8,
+    "worker_counts": [1, 2, 4],
+    "plans": {
+        "projection": {
+            "serial_seconds": 1.0,
+            "n_shards": 16,
+            "workers": {
+                "1": {"seconds": 1.1, "speedup": 0.9},
+                "2": {"seconds": 0.55, "speedup": 1.8},
+                "4": {"seconds": 0.3, "speedup": 3.3},
+            },
+        }
+    },
+}
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    base = tmp_path / "baselines"
+    res = tmp_path / "results"
+    base.mkdir()
+    res.mkdir()
+    return base, res
+
+
+def _write(d, name, payload):
+    (d / name).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def _deep(payload):
+    return json.loads(json.dumps(payload))
+
+
+class TestGatePolicy:
+    def test_identical_results_pass(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_kernels.json", KERNELS)
+        _write(res, "BENCH_kernels.json", KERNELS)
+        _write(base, "BENCH_parallel.json", PARALLEL)
+        _write(res, "BENCH_parallel.json", PARALLEL)
+        report = run_gate(base, res)
+        assert report.ok, report.describe()
+        assert "GATE OK" in report.describe()
+
+    def test_seconds_regression_fails(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_kernels.json", KERNELS)
+        fresh = _deep(KERNELS)
+        # 3x slowdown: far outside tolerance + noise floor.
+        fresh["kernels"]["cooccur_pairs"]["kernel_seconds"] = 0.15
+        _write(res, "BENCH_kernels.json", fresh)
+        report = run_gate(base, res)
+        assert not report.ok
+        assert any(
+            "cooccur_pairs" in c.name and c.kind == "seconds"
+            for c in report.failures
+        )
+
+    def test_seconds_within_tolerance_pass(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_kernels.json", KERNELS)
+        fresh = _deep(KERNELS)
+        fresh["kernels"]["cooccur_pairs"]["kernel_seconds"] = 0.06  # +20%
+        _write(res, "BENCH_kernels.json", fresh)
+        assert run_gate(base, res).ok
+
+    def test_noise_floor_absorbs_tiny_jitter(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_kernels.json", KERNELS)
+        fresh = _deep(KERNELS)
+        # 10x relative but only +1.8ms absolute: under the floor.
+        fresh["kernels"]["window_bounds"]["kernel_seconds"] = 0.002
+        _write(res, "BENCH_kernels.json", fresh)
+        assert run_gate(base, res).ok
+
+    def test_speedup_regression_fails(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_kernels.json", KERNELS)
+        fresh = _deep(KERNELS)
+        fresh["kernels"]["cooccur_pairs"]["speedup"] = 10.0  # was 40x
+        _write(res, "BENCH_kernels.json", fresh)
+        report = run_gate(base, res)
+        assert any(
+            "cooccur_pairs" in c.name and c.kind == "speedup"
+            for c in report.failures
+        )
+
+    def test_speedup_below_noise_floor_skipped(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_kernels.json", KERNELS)
+        fresh = _deep(KERNELS)
+        fresh["kernels"]["window_bounds"]["speedup"] = 1.0  # was 25x
+        _write(res, "BENCH_kernels.json", fresh)
+        report = run_gate(base, res)
+        assert report.ok
+        assert any("window_bounds" in s for s in report.skipped)
+
+    def test_faster_fresh_run_always_passes(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_parallel.json", PARALLEL)
+        fresh = _deep(PARALLEL)
+        fresh["plans"]["projection"]["serial_seconds"] = 0.4
+        fresh["plans"]["projection"]["workers"]["4"]["speedup"] = 8.0
+        _write(res, "BENCH_parallel.json", fresh)
+        assert run_gate(base, res).ok
+
+
+class TestParallelScalingPolicy:
+    def test_lost_scaling_fails(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_parallel.json", PARALLEL)
+        fresh = _deep(PARALLEL)
+        fresh["plans"]["projection"]["workers"]["4"]["speedup"] = 1.1
+        _write(res, "BENCH_parallel.json", fresh)
+        report = run_gate(base, res)
+        assert any("workers[4]" in c.name for c in report.failures)
+
+    def test_core_starved_host_skips_scaling(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_parallel.json", PARALLEL)
+        fresh = _deep(PARALLEL)
+        fresh["cpu_count"] = 1
+        fresh["plans"]["projection"]["workers"]["4"]["speedup"] = 0.1
+        fresh["plans"]["projection"]["workers"]["2"]["speedup"] = 0.1
+        _write(res, "BENCH_parallel.json", fresh)
+        report = run_gate(base, res)
+        assert report.ok
+        assert any("only 1 core" in s for s in report.skipped)
+
+    def test_unscaled_baseline_entry_never_gates(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_parallel.json", PARALLEL)
+        fresh = _deep(PARALLEL)
+        fresh["plans"]["projection"]["workers"]["1"]["speedup"] = 0.01
+        _write(res, "BENCH_parallel.json", fresh)
+        report = run_gate(base, res)
+        assert report.ok
+        assert any("did not scale" in s for s in report.skipped)
+
+
+class TestGateErrors:
+    def test_missing_fresh_file_is_an_error(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_kernels.json", KERNELS)
+        report = run_gate(base, res)
+        assert not report.ok
+        assert any("did not run" in e for e in report.errors)
+
+    def test_truncated_fresh_file_names_the_atomic_contract(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_kernels.json", KERNELS)
+        (res / "BENCH_kernels.json").write_text(
+            '{"scale": "tiny", "kernels": {"coo', encoding="utf-8"
+        )
+        report = run_gate(base, res)
+        assert not report.ok
+        assert any("atomic" in e for e in report.errors)
+
+    def test_scale_mismatch_is_an_error(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_kernels.json", KERNELS)
+        fresh = _deep(KERNELS)
+        fresh["scale"] = "full"
+        _write(res, "BENCH_kernels.json", fresh)
+        report = run_gate(base, res)
+        assert not report.ok
+        assert any("scale mismatch" in e for e in report.errors)
+
+    def test_empty_baseline_dir_is_an_error(self, dirs):
+        base, res = dirs
+        assert not run_gate(base, res).ok
+
+    def test_unknown_baseline_file_is_skipped(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_kernels.json", KERNELS)
+        _write(res, "BENCH_kernels.json", KERNELS)
+        _write(base, "BENCH_mystery.json", {"scale": "tiny"})
+        report = run_gate(base, res)
+        assert report.ok
+        assert any("no comparator" in s for s in report.skipped)
+
+
+class TestUpdateAndCli:
+    def test_update_copies_fresh_over_baselines(self, dirs):
+        base, res = dirs
+        fresh = _deep(KERNELS)
+        fresh["kernels"]["cooccur_pairs"]["kernel_seconds"] = 0.01
+        _write(res, "BENCH_kernels.json", fresh)
+        updated = update_baselines(base, res)
+        assert updated == ["BENCH_kernels.json"]
+        blessed = json.loads(
+            (base / "BENCH_kernels.json").read_text(encoding="utf-8")
+        )
+        assert blessed["kernels"]["cooccur_pairs"]["kernel_seconds"] == 0.01
+
+    def test_update_refuses_truncated_results(self, dirs):
+        base, res = dirs
+        (res / "BENCH_kernels.json").write_text("{nope", encoding="utf-8")
+        with pytest.raises(TruncatedResultError):
+            update_baselines(base, res)
+
+    def test_main_exit_codes(self, dirs, capsys):
+        base, res = dirs
+        _write(base, "BENCH_kernels.json", KERNELS)
+        _write(res, "BENCH_kernels.json", KERNELS)
+        argv = ["--baseline-dir", str(base), "--results-dir", str(res)]
+        assert main(argv) == 0
+        fresh = _deep(KERNELS)
+        fresh["kernels"]["cooccur_pairs"]["kernel_seconds"] = 9.0
+        _write(res, "BENCH_kernels.json", fresh)
+        assert main(argv) == 1
+        assert "GATE FAILED" in capsys.readouterr().out
+
+    def test_main_update_flag(self, dirs, capsys):
+        base, res = dirs
+        _write(res, "BENCH_kernels.json", KERNELS)
+        argv = [
+            "--baseline-dir", str(base), "--results-dir", str(res), "--update"
+        ]
+        assert main(argv) == 0
+        assert (base / "BENCH_kernels.json").exists()

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import BipartiteTemporalMultigraph, EdgeList
+from repro.graph import EdgeList
 from repro.projection import TimeWindow, project
 from repro.projection.ci_graph import CommonInteractionGraph
 from repro.tripoll import survey_triangles, t_scores

@@ -1,6 +1,5 @@
 """Tests for the distributed containers (serial backend)."""
 
-import numpy as np
 import pytest
 
 from repro.ygm import (

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph import EdgeList, connected_components
+from repro.graph import connected_components
 from repro.ygm import YgmWorld
 from repro.ygm.containers.disjoint_set import DistDisjointSet
 from tests.conftest import random_edgelist

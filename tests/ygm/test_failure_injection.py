@@ -76,7 +76,7 @@ class TestMpFailures:
             backend = world.backend
             backend._workers[1].terminate()
             backend._workers[1].join()
-            m = DistMap(world)  # create_state needs both workers
+            DistMap(world)  # create_state needs both workers
             pytest.fail("expected worker-death detection")
         except RuntimeError as exc:
             assert "died" in str(exc)
