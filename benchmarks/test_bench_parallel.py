@@ -1,18 +1,38 @@
 """Shared-memory parallel executor scaling curve — the multi-core bench.
 
-Runs each of the three canonical plans (projection, survey, validation)
-on a ``SerialExecutor`` and on ``ParallelExecutor`` pools of 1/2/4/8
-workers, over the **same** pre-built shard lists, and emits a
-machine-readable ``BENCH_parallel.json`` (median of repeated runs, plus
+Feeds all three canonical plans (projection, survey, validation) from
+**one datagen corpus** — the January-2020-like synthetic Reddit month at
+``scale=25`` (~1.1 M comments, ~60 k users) — instead of uniform random
+arrays, so shard skew, hot pages, and hub users look like the real
+pipeline's.  Each plan runs on a ``SerialExecutor`` and on
+``ParallelExecutor`` pools over the **same** pre-built shard lists, and
+the bench emits a machine-readable JSON (median of repeated runs, plus
 the host ``cpu_count`` so the regression gate can tell "no cores" from
 "lost scaling").  Every parallel run is also asserted bit-identical to
 the serial reduction, so the bench doubles as a parity check at scale.
 
-Scale knob: set ``BENCH_PARALLEL_SCALE=tiny`` (CI smoke) to shrink the
-inputs ~60× — same code paths, seconds instead of minutes.  The ≥2.5×
-speedup floor at 4 workers applies only at full scale on a host with at
-least 4 cores; a tiny or core-starved run checks code paths and the
-JSON contract.
+Knobs:
+
+- ``BENCH_PARALLEL_SCALE=tiny`` shrinks the corpus ~500× (CI smoke —
+  same code paths, seconds instead of minutes) and writes
+  ``BENCH_parallel_smoke.json``; the full run writes
+  ``BENCH_parallel.json``.  The two are separate baselines: the smoke
+  file is required by the gate on every CI run, the full file is
+  compared only when a full fresh run exists (see
+  ``docs/benchmarking.md``).
+- ``BENCH_PARALLEL_WORKERS=1,2`` overrides the pool sizes; the default
+  is ``1/2/4/8`` filtered to the host's core count, so a core-starved
+  host records only what it can actually express (the gate skips worker
+  counts above the fresh host's cores).
+
+Shard counts come from :func:`repro.exec.plans.adaptive_shard_count`
+sized for the *largest* pool, and every pool size runs that same shard
+list — so the curve varies only parallelism, never the work split.
+
+Scaling floors: at full scale the projection plan must hold
+``speedup ≥ 0.8 × n_workers`` for the single-worker pool (the dispatch
+overhead budget — shm dispatch must stay within 20% of serial) and
+``≥ 2.5×`` at 4 workers on a host with at least 4 cores.
 """
 
 import json
@@ -24,30 +44,56 @@ import numpy as np
 
 from benchmarks._figures import atomic_write_text
 from benchmarks.conftest import RESULTS_DIR
+from repro.datagen import RedditDatasetBuilder
 from repro.exec import (
     PROJECTION_PLAN,
     SURVEY_PLAN,
     VALIDATION_PLAN,
     ParallelExecutor,
     SerialExecutor,
+    adaptive_shard_count,
     page_aligned_shards,
     position_range_shards,
     triplet_range_shards,
 )
+from repro.exec.plans import (
+    PROJECTION_ROWS_PER_SECOND,
+    SURVEY_WEDGES_PER_SECOND,
+    VALIDATION_TRIPLETS_PER_SECOND,
+)
 from repro.graph.edgelist import EdgeList
 from repro.graph.ordering import degree_order
+from repro.hypergraph import UserPageIncidence
 from repro.kernels import forward_adjacency, wedge_counts
 
 TINY = os.environ.get("BENCH_PARALLEL_SCALE", "").lower() == "tiny"
-N_ROWS = 2_000 if TINY else 120_000
-N_USERS = 60 if TINY else 2_500
-N_PAGES = 30 if TINY else 400
-N_TRIPLETS = 400 if TINY else 60_000
-REPEATS = 2 if TINY else 3
-WORKER_COUNTS = (1, 2, 4, 8)
-# Fixed shard count divisible by every worker count, so all pool sizes
-# run the identical shard list and only parallelism varies.
-N_SHARDS = 16
+# Corpus scale multiplies the background of the jan-2020-like preset:
+# 25× ≈ 1.1 M comments; the tiny smoke corpus is ~2 k background
+# comments plus the (fixed-size) injected botnets.
+CORPUS_SCALE = 0.05 if TINY else 25.0
+# Delay window for the projection plan.  (0, 2) keeps the full-scale
+# candidate-pair volume ~3e7 (~2 min serial — minutes, not hours); the
+# tiny corpus is sparse enough to use the paper's 60 s window.
+WINDOW_DELTA2 = 60 if TINY else 2
+# CI edges below this weight are dropped before the survey — full scale
+# needs the coordination-ish threshold or the wedge count explodes
+# (weight ≥ 2 cuts ~21 M raw edges to ~160 k / ~1.8 M wedges).
+MIN_CI_WEIGHT = 0 if TINY else 2
+N_TRIPLETS = 2_000 if TINY else 500_000
+PAIR_BATCH = 8_000_000
+REPEATS = 2
+
+
+def _worker_counts() -> tuple[int, ...]:
+    """Pool sizes to bench: env override, else 1/2/4/8 capped at cores."""
+    env = os.environ.get("BENCH_PARALLEL_WORKERS", "").strip()
+    if env:
+        return tuple(int(tok) for tok in env.split(",") if tok.strip())
+    cpus = os.cpu_count() or 1
+    return tuple(w for w in (1, 2, 4, 8) if w <= cpus) or (1,)
+
+
+WORKER_COUNTS = _worker_counts()
 
 
 def _median_seconds(fn, repeats=REPEATS):
@@ -70,62 +116,78 @@ def _equal(a, b) -> bool:
     return a == b
 
 
+def _shards_for(n_items: int, items_per_second: float) -> int:
+    """Adaptive shard count sized for the largest benched pool."""
+    return adaptive_shard_count(
+        n_items, max(WORKER_COUNTS), items_per_second
+    )
+
+
 def _build_inputs():
-    """One corpus, shared by all three plans (shards built once)."""
-    rng = np.random.default_rng(11)
-    users = rng.integers(0, N_USERS, N_ROWS)
-    pages = rng.integers(0, N_PAGES, N_ROWS)
-    times = rng.integers(0, 7_200, N_ROWS)
-    order = np.lexsort((times, pages))
-    users, pages, times = users[order], pages[order], times[order]
+    """One datagen corpus feeding all three plans (shards built once)."""
+    ds = RedditDatasetBuilder.jan2020_like(seed=2020, scale=CORPUS_SCALE).build()
+    btm = ds.btm
+    users, pages, times, _bounds = btm.page_sorted_view()
 
     proj_ctx = {
         "delta1": 0,
-        "delta2": 60,
-        "pair_batch": 2_000_000,
-        "n_users": N_USERS,
+        "delta2": WINDOW_DELTA2,
+        "pair_batch": PAIR_BATCH,
+        "n_users": btm.user_id_space,
     }
-    proj_shards = page_aligned_shards(users, pages, times, N_SHARDS)
+    n_proj = _shards_for(users.shape[0], PROJECTION_ROWS_PER_SECOND)
+    if n_proj <= 1:
+        proj_shards = [(users, pages, times)]
+    else:
+        proj_shards = page_aligned_shards(users, pages, times, n_proj)
 
+    # Survey input: the CI graph the projection actually produces,
+    # thresholded so full-scale wedge volume stays benchable.
     red = SerialExecutor().run(PROJECTION_PLAN, proj_shards, proj_ctx)
     acc = EdgeList(red["ua"], red["ub"], red["w"]).accumulate()
+    if MIN_CI_WEIGHT > 0:
+        acc = acc.threshold(MIN_CI_WEIGHT)
     n = acc.max_vertex + 1
     rank = degree_order(acc, n)
     adj = forward_adjacency(acc.src, acc.dst, acc.weight, rank, n)
     counts, cum = wedge_counts(adj)
-    wedge_batch = max(1, -(-int(cum[-1]) // N_SHARDS))
+    total_wedges = int(cum[-1])
+    n_survey = _shards_for(total_wedges, SURVEY_WEDGES_PER_SECOND)
+    wedge_batch = max(1, -(-total_wedges // n_survey))
     survey_ctx = {"adj": adj, "counts": counts, "cum": cum}
     survey_shards = position_range_shards(counts, cum, wedge_batch)
 
-    trips = np.sort(rng.integers(0, N_USERS, (N_TRIPLETS, 3)), axis=1)
-    indptr_l = [0]
-    page_rows = []
-    for _u in range(N_USERS):
-        ps = np.unique(rng.integers(0, N_PAGES, 12))
-        page_rows.append(ps)
-        indptr_l.append(indptr_l[-1] + ps.shape[0])
-    valid_ctx = {
-        "indptr": np.asarray(indptr_l, dtype=np.int64),
-        "page_ids": np.concatenate(page_rows).astype(np.int64),
-    }
+    # Validation input: the real user→page incidence of the corpus,
+    # probed by random sorted triplets over its user space (the survey's
+    # own triangle yield varies too much with scale to size a bench on).
+    inc = UserPageIncidence.from_btm(btm)
+    rng = np.random.default_rng(11)
+    trips = np.sort(
+        rng.integers(0, btm.user_id_space, (N_TRIPLETS, 3)), axis=1
+    )
+    valid_ctx = {"indptr": inc.indptr, "page_ids": inc.page_ids}
     valid_shards = triplet_range_shards(
-        trips[:, 0], trips[:, 1], trips[:, 2], N_SHARDS
+        trips[:, 0],
+        trips[:, 1],
+        trips[:, 2],
+        _shards_for(N_TRIPLETS, VALIDATION_TRIPLETS_PER_SECOND),
     )
 
     return {
         "projection": (PROJECTION_PLAN, proj_shards, proj_ctx),
         "survey": (SURVEY_PLAN, survey_shards, survey_ctx),
         "validation": (VALIDATION_PLAN, valid_shards, valid_ctx),
-    }
+    }, btm.n_comments
 
 
 def test_bench_parallel(report_sink):
     cpu_count = os.cpu_count() or 1
-    plans = _build_inputs()
+    plans, n_comments = _build_inputs()
     results = {}
     lines = [
         f"Parallel executor scaling ({'tiny' if TINY else 'full'} scale, "
-        f"{N_ROWS:,} rows, {N_SHARDS} shards, cpu_count={cpu_count})"
+        f"{n_comments:,} comments, workers {WORKER_COUNTS}, "
+        f"cpu_count={cpu_count})"
     ]
 
     for plan_name, (plan, shards, ctx) in plans.items():
@@ -161,25 +223,32 @@ def test_bench_parallel(report_sink):
 
     payload = {
         "scale": "tiny" if TINY else "full",
-        "n_rows": N_ROWS,
-        "n_shards": N_SHARDS,
+        "n_rows": n_comments,
         "cpu_count": cpu_count,
         "worker_counts": list(WORKER_COUNTS),
         "plans": results,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
+    name = "BENCH_parallel_smoke.json" if TINY else "BENCH_parallel.json"
     atomic_write_text(
-        RESULTS_DIR / "BENCH_parallel.json",
-        json.dumps(payload, indent=2) + "\n",
+        RESULTS_DIR / name, json.dumps(payload, indent=2) + "\n"
     )
     report_sink("parallel", "\n".join(lines))
 
-    # The point of the executor: real multi-core scaling on the heavy
-    # plan.  Timings at tiny scale (or on a core-starved host) are
-    # dominated by pool overhead, so the floor applies only where the
-    # hardware can express it; parity and the JSON contract are checked
+    # The point of the executor: the batched shm data path must not eat
+    # the cores' work.  At full scale a 1-worker pool must stay within
+    # 20% of serial (speedup ≥ 0.8 — all dispatch overhead), and with
+    # real parallelism available the heavy plan must actually scale.
+    # Tiny timings are dominated by pool fixed costs, so the floors
+    # apply only at full scale; parity and the JSON contract are checked
     # everywhere.
-    if not TINY and cpu_count >= 4:
+    if not TINY and 1 in WORKER_COUNTS:
+        one = results["projection"]["workers"]["1"]["speedup"]
+        assert one >= 0.8, (
+            f"projection plan: 1-worker speedup {one:.2f}x < 0.8x — "
+            "dispatch overhead regressed"
+        )
+    if not TINY and cpu_count >= 4 and 4 in WORKER_COUNTS:
         four = results["projection"]["workers"]["4"]["speedup"]
         assert four >= 2.5, (
             f"projection plan: 4-worker speedup {four:.2f}x < 2.5x"

@@ -10,18 +10,19 @@ canonical plans for the paper's three steps live in
 :mod:`repro.exec.plans`.
 """
 
-from repro.exec.executors import SerialExecutor, YgmExecutor
+from repro.exec.executors import SerialExecutor, YgmExecutor, finish_reduce
 from repro.exec.parallel import ParallelExecutor
 from repro.exec.plan import KernelStage, Plan, resolve_kernel
 from repro.exec.plans import (
     PROJECTION_PLAN,
     SURVEY_PLAN,
     VALIDATION_PLAN,
+    adaptive_shard_count,
     page_aligned_shards,
     position_range_shards,
     triplet_range_shards,
 )
-from repro.exec.shm import ShmArena, live_segment_names
+from repro.exec.shm import ShmArena, leaked_shm_files, live_segment_names
 
 __all__ = [
     "KernelStage",
@@ -30,11 +31,14 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "YgmExecutor",
+    "finish_reduce",
     "ShmArena",
     "live_segment_names",
+    "leaked_shm_files",
     "PROJECTION_PLAN",
     "SURVEY_PLAN",
     "VALIDATION_PLAN",
+    "adaptive_shard_count",
     "page_aligned_shards",
     "position_range_shards",
     "triplet_range_shards",

@@ -23,7 +23,7 @@ from typing import Any, Sequence
 
 from repro.exec.plan import Plan, resolve_kernel
 
-__all__ = ["SerialExecutor", "YgmExecutor"]
+__all__ = ["SerialExecutor", "YgmExecutor", "finish_reduce"]
 
 
 def _map_item(ctx, item, kernel_ref: str, context) -> tuple[int, Any]:
@@ -36,7 +36,15 @@ def _map_item(ctx, item, kernel_ref: str, context) -> tuple[int, Any]:
     return index, resolve_kernel(kernel_ref)(shard, context)
 
 
-def _finish(plan: Plan, partials: list[Any], context) -> Any:
+def finish_reduce(plan: Plan, partials: list[Any], context) -> Any:
+    """The shared gather/reduce tail every executor ends a run with.
+
+    ``partials`` must already be ordered by shard index; the reduce
+    kernel sees the caller's original context object.  Centralizing this
+    is what makes "bit-identical across executors" true by construction:
+    backends may differ in where map shards run, never in how the
+    partials are folded.
+    """
     if plan.reduce_stage is None:
         return partials
     return plan.reduce_stage.resolve()(partials, context)
@@ -49,7 +57,7 @@ class SerialExecutor:
         """Map every shard through the plan, then reduce driver-side."""
         kernel = plan.map_stage.resolve()
         partials = [kernel(shard, context) for shard in shards]
-        return _finish(plan, partials, context)
+        return finish_reduce(plan, partials, context)
 
 
 class YgmExecutor:
@@ -81,4 +89,4 @@ class YgmExecutor:
             bag.release()
         gathered.sort(key=lambda pair: pair[0])
         partials = [partial for _index, partial in gathered]
-        return _finish(plan, partials, context)
+        return finish_reduce(plan, partials, context)

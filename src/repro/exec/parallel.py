@@ -7,17 +7,24 @@ bit-identical by construction; unlike it, shards run on a **persistent
 pool of worker processes** that stays warm across plans — the pipeline
 runs projection, survey, and validation through one pool.
 
-Data movement is the design center:
+Data movement is the design center, in both directions:
 
 - Inputs travel through :class:`~repro.exec.shm.ShmArena`: every shard
   and context array is published once into ``/dev/shm`` and dispatched
   as a tiny :class:`~repro.exec.shm.ShmRef`; workers map the segments
-  read-only-in-spirit (no copy) and resolve the same ``"module:attr"``
-  kernel refs every executor uses.
-- Outputs are pickled *inside the worker* before its segment maps are
-  released (a :class:`multiprocessing.Queue` pickles lazily on a feeder
-  thread, which would race the unmap), then gathered and re-ordered by
-  shard index on the driver.
+  read-only-in-spirit (no copy).
+- Dispatch is **batched**: each worker receives *one* queue item per
+  job carrying its whole ``(index, shard_refs)`` task list, so queue
+  traffic is per-worker, not per-shard, and the worker resolves the
+  plan's ``"module:attr"`` kernel ref and materializes the shared
+  context once per job instead of once per shard.
+- Outputs travel through shared memory too: workers publish result
+  arrays into per-worker output segments
+  (:class:`~repro.exec.shm.OutputWriter`) and send back only tiny ref
+  descriptors; the driver claims each result as it arrives
+  (:func:`~repro.exec.shm.claim_output` — copy out, unlink), overlapping
+  its copies with the workers' remaining compute.  Nothing large is ever
+  pickled through a pipe.
 
 Failure semantics reuse the YGM taxonomy end to end
 (:mod:`repro.ygm.errors`): a kernel that raises surfaces as
@@ -25,32 +32,46 @@ Failure semantics reuse the YGM taxonomy end to end
 by liveness polling and raised as
 :class:`~repro.ygm.errors.WorkerDiedError`; a configured ``deadline``
 turns a hang into :class:`~repro.ygm.errors.BarrierTimeoutError`.  A
-:class:`~repro.ygm.faults.FaultPlan` may be injected at construction —
-faults fire at **shard dispatch** (the per-worker delivered-task count is
-the message clock), so the failure-matrix rehearsals from the YGM
-runtime apply unchanged.  After any typed failure the pool is torn down
-with the same bounded escalation ladder the YGM backend uses (STOP →
-join deadline → terminate → kill, queues closed) and is respawned
-lazily on the next ``run``; shutdown leaks neither children nor
-``/dev/shm`` segments.
+:class:`~repro.ygm.faults.FaultPlan` may be injected at construction.
+Although a whole batch arrives as one queue item, the injector's clock
+still ticks **once per task** inside the batch, so fault plans keyed on
+per-rank delivered-message counts replay exactly as they did under
+per-shard dispatch (and as they do on the YGM backend).
+
+Pool lifecycle is defensive about the failure residue of earlier runs:
+``run`` respawns the pool when *any* worker has died since the last run
+(an OOM-killed worker must not quietly swallow its round-robin share of
+the next job), and a job aborted by a typed failure is flushed — a
+shared job-generation cell makes workers skip leftover tasks of dead
+jobs without ever touching their (already unlinked) input arena, and the
+driver discards stale published outputs the moment it sees them.  After
+any typed failure requiring teardown, the same bounded escalation ladder
+as the YGM backend applies (STOP → join deadline → terminate → kill,
+queues closed) followed by a sweep of orphaned output segments; shutdown
+leaks neither children nor ``/dev/shm`` segments.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
-import pickle
 import queue as queue_mod
 import signal
 import time
 from typing import Any, Sequence
 
+from repro.exec.executors import finish_reduce
 from repro.exec.plan import Plan, resolve_kernel
 from repro.exec.shm import (
+    OutputWriter,
     SegmentCache,
     ShmArena,
+    claim_output,
     disown_resource_tracking,
+    discard_output,
     materialize,
+    output_prefix,
+    sweep_segments,
 )
 from repro.ygm.errors import (
     BarrierTimeoutError,
@@ -63,63 +84,74 @@ __all__ = ["ParallelExecutor"]
 
 _STOP = None
 
-
-def _run_task(kernel_ref: str, shard, context, cache: SegmentCache) -> bytes:
-    """Materialize one task's inputs, run the kernel, pickle the result.
-
-    Pickling happens *here*, before the caller releases the segment
-    cache, so the returned bytes never reference shared memory.
-    """
-    shard = materialize(shard, cache)
-    context = materialize(context, cache)
-    return pickle.dumps(resolve_kernel(kernel_ref)(shard, context))
+#: Job-generation value meaning "no job is live" (workers skip tasks).
+_NO_JOB = 0
 
 
-def _pool_worker(rank: int, task_queue, result_queue, fault_plan) -> None:
-    """Worker loop: drain dispatched shards until STOP.
+def _pool_worker(
+    rank: int, task_queue, result_queue, fault_plan, live_job, out_prefix
+) -> None:
+    """Worker loop: drain batched jobs until STOP.
 
-    Kernel exceptions are reported, not fatal: the worker stays alive for
-    the next job (mirroring the YGM handler-error contract).  Faults from
-    an injected plan manifest exactly as on the YGM multiprocessing
-    backend: ``crash`` SIGKILLs the process, ``hang`` stalls inside the
-    task, ``delay`` sleeps then proceeds, ``raise`` reports a typed
-    handler failure.
+    One queue item carries one job's whole task list for this worker.
+    The kernel ref is resolved and the context materialized once per
+    batch; the fault injector ticks once per *task* so message-count
+    fault plans are batching-invariant.  Kernel exceptions are reported,
+    not fatal: the worker stays alive for the next job (mirroring the
+    YGM handler-error contract).  Tasks whose job is no longer the live
+    one (the driver aborted it) are skipped without attaching to the
+    input arena — its segments are already unlinked.
     """
     disown_resource_tracking()
     injector = (
         FaultInjector(fault_plan, rank) if fault_plan is not None else None
     )
+    writer = OutputWriter(out_prefix)
     while True:
         item = task_queue.get()
         if item is _STOP:
             return
-        job_id, index, kernel_ref, shard, context = item
-        fault = injector.next_fault() if injector is not None else None
-        if fault is not None:
-            if fault.kind == "crash":
-                os.kill(os.getpid(), signal.SIGKILL)
-            elif fault.kind == "hang":
-                time.sleep(HANG_SECONDS)
-            elif fault.kind == "delay":
-                time.sleep(fault.seconds)
-            elif fault.kind == "raise":
-                result_queue.put(
-                    (rank, job_id, index, False,
-                     f"injected fault: {fault.describe()}")
-                )
-                continue
+        job_id, kernel_ref, context_refs, tasks = item
+        kernel = None
+        context = None
+        have_context = False
         cache = SegmentCache()
         try:
-            payload = _run_task(kernel_ref, shard, context, cache)
-        except Exception as exc:
-            result_queue.put(
-                (rank, job_id, index, False, f"{kernel_ref}: {exc!r}")
-            )
-            continue
+            for index, shard_refs in tasks:
+                fault = injector.next_fault() if injector is not None else None
+                if fault is not None:
+                    if fault.kind == "crash":
+                        os.kill(os.getpid(), signal.SIGKILL)
+                    elif fault.kind == "hang":
+                        time.sleep(HANG_SECONDS)
+                    elif fault.kind == "delay":
+                        time.sleep(fault.seconds)
+                    elif fault.kind == "raise":
+                        result_queue.put(
+                            (rank, job_id, index, False,
+                             f"injected fault: {fault.describe()}")
+                        )
+                        continue
+                if job_id != live_job.value:  # aborted job: flush, don't churn
+                    continue
+                try:
+                    if kernel is None:
+                        kernel = resolve_kernel(kernel_ref)
+                    if not have_context:
+                        context = materialize(context_refs, cache)
+                        have_context = True
+                    shard = materialize(shard_refs, cache)
+                    payload = writer.share(kernel(shard, context))
+                    del shard
+                except Exception as exc:
+                    result_queue.put(
+                        (rank, job_id, index, False, f"{kernel_ref}: {exc!r}")
+                    )
+                    continue
+                result_queue.put((rank, job_id, index, True, payload))
         finally:
-            del shard, context  # drop segment views before releasing maps
+            del context
             cache.close()
-        result_queue.put((rank, job_id, index, True, payload))
 
 
 class ParallelExecutor:
@@ -131,7 +163,8 @@ class ParallelExecutor:
         Pool size; ``None`` uses ``os.cpu_count()``.
     fault_plan:
         Optional :class:`~repro.ygm.faults.FaultPlan`; the per-worker
-        delivered-shard count is the message clock.
+        delivered-*task* count is the message clock (batching does not
+        coarsen it).
     deadline:
         Seconds one ``run`` may wait on outstanding shards before raising
         :class:`~repro.ygm.errors.BarrierTimeoutError`.  ``None`` waits
@@ -168,12 +201,14 @@ class ParallelExecutor:
         self._workers: list = []
         self._task_queues: list = []
         self._result_queue = None
+        self._live_job = None
         self._job_id = 0
+        self._out_prefix = output_prefix()
 
     # -- pool lifecycle -----------------------------------------------------
     @property
     def alive(self) -> bool:
-        """Whether a worker pool is currently running."""
+        """Whether a worker pool is currently running, all workers live."""
         return bool(self._workers) and all(w.is_alive() for w in self._workers)
 
     def worker_pids(self) -> tuple[int, ...]:
@@ -183,14 +218,23 @@ class ParallelExecutor:
 
     def _ensure_pool(self) -> None:
         if self._workers:
-            return
+            if self.alive:
+                return
+            # A quietly-dead worker (e.g. OOM-killed between runs) would
+            # swallow its round-robin share of the next job forever with
+            # no deadline set; reap the remnant pool and start fresh.
+            self.shutdown()
         self._task_queues = [self._ctx.Queue() for _ in range(self.n_workers)]
         self._result_queue = self._ctx.Queue()
+        # Plain shared int64, no lock: single writer (the driver), and
+        # readers only compare against a value they were handed — a stale
+        # read merely delays a flush by one task.
+        self._live_job = self._ctx.Value("q", _NO_JOB, lock=False)
         self._workers = [
             self._ctx.Process(
                 target=_pool_worker,
                 args=(rank, self._task_queues[rank], self._result_queue,
-                      self._fault_plan),
+                      self._fault_plan, self._live_job, self._out_prefix),
                 daemon=True,
             )
             for rank in range(self.n_workers)
@@ -203,10 +247,13 @@ class ParallelExecutor:
 
         Same escalation ladder as the YGM multiprocessing backend: STOP to
         every queue → shared join deadline → terminate → kill → close
-        queues.  Idempotent; ``run`` respawns a fresh pool afterwards.
+        queues — then sweep any output segments the dead workers left
+        unclaimed.  Idempotent; ``run`` respawns a fresh pool afterwards.
         """
         if not self._workers:
             return
+        if self._live_job is not None:
+            self._live_job.value = _NO_JOB
         workers, self._workers = self._workers, []
         for q in self._task_queues:
             try:
@@ -228,12 +275,17 @@ class ParallelExecutor:
         queues = [*self._task_queues, self._result_queue]
         self._task_queues = []
         self._result_queue = None
+        self._live_job = None
         for q in queues:
             try:
                 q.close()
                 q.cancel_join_thread()
             except Exception:  # pragma: no cover - defensive
                 pass
+        # Workers are gone: anything still under this driver's output
+        # prefix was published but never claimed (aborted job, crash
+        # between publish and report) and has no owner left.
+        sweep_segments(self._out_prefix)
 
     close = shutdown
 
@@ -264,11 +316,12 @@ class ParallelExecutor:
     def run(self, plan: Plan, shards: Sequence[Any], context: Any = None) -> Any:
         """Map shards over the pool, reduce driver-side in shard order.
 
-        Shard *i* is dispatched to worker ``i % n_workers`` (deterministic
-        round-robin, so fault plans keyed on per-rank delivery counts
-        replay exactly).  Inputs ride through a per-run
-        :class:`~repro.exec.shm.ShmArena`; the reduce stage sees the
-        original context object, exactly as under ``SerialExecutor``.
+        Shard *i* belongs to worker ``i % n_workers`` (deterministic
+        round-robin); each worker receives its whole task list as one
+        batched queue item.  Inputs ride through a per-run
+        :class:`~repro.exec.shm.ShmArena`, outputs come back through
+        per-worker output segments; the reduce stage sees the original
+        context object, exactly as under ``SerialExecutor``.
         """
         shards = list(shards)
         if not shards:
@@ -276,20 +329,38 @@ class ParallelExecutor:
         else:
             self._ensure_pool()
             self._job_id += 1
-            with ShmArena() as arena:
-                context_refs = arena.share(context)
-                for index, shard in enumerate(shards):
-                    self._task_queues[index % self.n_workers].put(
-                        (self._job_id, index, plan.map_stage.kernel,
-                         arena.share(shard), context_refs)
-                    )
-                partials = self._gather(len(shards))
-        if plan.reduce_stage is None:
-            return partials
-        return plan.reduce_stage.resolve()(partials, context)
+            self._live_job.value = self._job_id
+            try:
+                with ShmArena() as arena:
+                    context_refs = arena.share(context)
+                    kernel_ref = plan.map_stage.kernel
+                    batches: list[list] = [[] for _ in range(self.n_workers)]
+                    for index, shard in enumerate(shards):
+                        batches[index % self.n_workers].append(
+                            (index, arena.share(shard))
+                        )
+                    for rank, tasks in enumerate(batches):
+                        if tasks:
+                            self._task_queues[rank].put(
+                                (self._job_id, kernel_ref, context_refs, tasks)
+                            )
+                    partials = self._gather(len(shards))
+            except BaseException:
+                # Flush the aborted job: workers skip its leftover tasks
+                # (never attaching to the now-unlinked arena) instead of
+                # churning through attach failures.
+                if self._live_job is not None:
+                    self._live_job.value = _NO_JOB
+                raise
+        return finish_reduce(plan, partials, context)
 
     def _gather(self, n_shards: int) -> list[Any]:
-        """Collect one result per dispatched shard, typed-failing fast."""
+        """Collect one result per dispatched shard, typed-failing fast.
+
+        Results are claimed (copied out of shared memory, segments
+        unlinked) as they arrive, so driver-side copies overlap worker
+        compute and no segment outlives its consumption.
+        """
         results: list[Any] = [None] * n_shards
         pending = n_shards
         limit = (
@@ -309,15 +380,17 @@ class ParallelExecutor:
                 self._check_liveness(pending)
                 continue
             if job_id != self._job_id:  # stale result from an aborted job
+                if ok:
+                    discard_output(value)
                 continue
             if not ok:
                 # The worker survives a kernel failure (YGM handler-error
-                # contract), so the pool stays up: late results of this
-                # aborted job are skipped by the stale-job-id guard above,
-                # and a worker that trips over the closed arena reports —
-                # not dies.  Only death and timeout tear the pool down.
+                # contract), so the pool stays up: leftover tasks of this
+                # aborted job are flushed via the live-job cell, stale
+                # results it already published are discarded above.  Only
+                # death and timeout tear the pool down.
                 raise HandlerError(rank, value)
-            results[index] = pickle.loads(value)
+            results[index] = claim_output(value)
             pending -= 1
         return results
 

@@ -21,7 +21,10 @@ arrays and ints), so every plan runs unchanged on
 :class:`~repro.exec.executors.YgmExecutor`.  The shard builders
 (:func:`page_aligned_shards`, :func:`position_range_shards`,
 :func:`triplet_range_shards`) are driver-side helpers producing the
-matching shard lists.
+matching shard lists; :func:`adaptive_shard_count` sizes those lists so
+each shard carries roughly :data:`SHARD_TARGET_SECONDS` of serial work —
+big enough that per-shard dispatch overhead is noise, small enough that
+a pool still load-balances.
 """
 
 from __future__ import annotations
@@ -42,6 +45,11 @@ __all__ = [
     "PROJECTION_PLAN",
     "SURVEY_PLAN",
     "VALIDATION_PLAN",
+    "SHARD_TARGET_SECONDS",
+    "PROJECTION_ROWS_PER_SECOND",
+    "SURVEY_WEDGES_PER_SECOND",
+    "VALIDATION_TRIPLETS_PER_SECOND",
+    "adaptive_shard_count",
     "project_shard",
     "project_reduce",
     "survey_shard",
@@ -52,6 +60,58 @@ __all__ = [
     "position_range_shards",
     "triplet_range_shards",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Adaptive shard sizing
+# ---------------------------------------------------------------------------
+
+#: Serial work one shard should carry.  Big enough that batched dispatch,
+#: arena publishing, and the per-shard result message are amortized into
+#: the noise (each costs well under a millisecond); small enough that a
+#: pool gets several shards per worker to balance skew.
+SHARD_TARGET_SECONDS = 0.1
+
+#: Measured single-core throughputs of the three map kernels (dev host,
+#: bench-scale inputs).  Order of magnitude is what matters: a 3×-off
+#: estimate yields 30 ms or 300 ms shards, both of which still amortize
+#: dispatch overhead and still load-balance.
+PROJECTION_ROWS_PER_SECOND = 400_000
+SURVEY_WEDGES_PER_SECOND = 2_500_000
+VALIDATION_TRIPLETS_PER_SECOND = 750_000
+
+
+def adaptive_shard_count(
+    n_items: int,
+    n_workers: int,
+    items_per_second: float,
+    *,
+    target_seconds: float = SHARD_TARGET_SECONDS,
+    max_shards_per_worker: int = 32,
+) -> int:
+    """Shard count sizing each shard to ~``target_seconds`` of work.
+
+    At least one shard per worker (an idle worker helps nobody), at most
+    ``max_shards_per_worker`` per worker (beyond that, finer shards buy
+    no balance but keep paying per-shard cost).  A serial executor
+    (``n_workers <= 1``) always gets a single shard: splitting work that
+    runs in-process only adds partial-merge overhead.
+
+    Examples
+    --------
+    >>> adaptive_shard_count(1_000_000, 4, 500_000)
+    20
+    >>> adaptive_shard_count(1_000, 4, 500_000)  # tiny input: 1/worker
+    4
+    >>> adaptive_shard_count(1_000_000, 1, 500_000)  # serial: one shard
+    1
+    """
+    n_workers = max(1, int(n_workers))
+    if n_workers == 1 or n_items <= 0:
+        return 1
+    per_shard = max(1, int(items_per_second * target_seconds))
+    by_cost = -(-int(n_items) // per_shard)
+    return max(n_workers, min(by_cost, max_shards_per_worker * n_workers))
 
 
 # ---------------------------------------------------------------------------

@@ -24,16 +24,29 @@ Ownership rules, enforced here so executors cannot leak ``/dev/shm``:
   :meth:`SegmentCache.close` releases the maps (tolerating still-exported
   buffers — the segment memory is reclaimed when the last map closes).
 
+The **output** path inverts the roles: a worker writes its kernel
+results into fresh segments through an :class:`OutputWriter` (explicit,
+sweepable names — the worker never unlinks), and the driver takes
+ownership on receipt with :func:`claim_output` (copy out, unlink
+immediately).  A worker that dies between publish and claim leaves
+orphans; :func:`sweep_segments` removes everything under a name prefix,
+which is why output names embed the driver pid.
+
 ``live_segment_names()`` exposes the registry for leak accounting in
 tests: after every executor shutdown it must be empty.
+``leaked_shm_files()`` is the cross-process complement: it lists what is
+actually left under ``/dev/shm``, so CI can assert a whole bench run
+leaked nothing.
 """
 
 from __future__ import annotations
 
 import atexit
+import os
 import threading
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
 
 import numpy as np
 
@@ -41,10 +54,25 @@ __all__ = [
     "ShmRef",
     "ShmArena",
     "SegmentCache",
+    "OutputWriter",
     "materialize",
+    "claim_output",
+    "discard_output",
+    "sweep_segments",
+    "output_prefix",
     "live_segment_names",
+    "leaked_shm_files",
     "disown_resource_tracking",
 ]
+
+#: Where POSIX shared memory surfaces as files (Linux).  Sweep and leak
+#: audits are no-ops on platforms without it.
+_SHM_DIR = Path("/dev/shm")
+
+#: Name prefix of executor *output* segments: ``rbo<driver-pid>x...``.
+#: The driver pid scopes sweeps to one executor's driver process, so
+#: concurrent test sessions cannot unlink each other's segments.
+_OUT_PREFIX = "rbo"
 
 
 def disown_resource_tracking() -> None:
@@ -286,3 +314,184 @@ def materialize(obj, cache: SegmentCache):
     if isinstance(obj, list):
         return [materialize(v, cache) for v in obj]
     return obj
+
+
+# ---------------------------------------------------------------------------
+# Output path: worker-published result segments, driver-claimed
+# ---------------------------------------------------------------------------
+
+
+def output_prefix(driver_pid: int | None = None) -> str:
+    """Segment-name prefix under which one driver's outputs live.
+
+    Every output segment a worker creates on behalf of driver *pid*
+    starts with this prefix, so :func:`sweep_segments` can reclaim the
+    orphans of a crashed worker without knowing how many it published.
+    """
+    pid = os.getpid() if driver_pid is None else int(driver_pid)
+    return f"{_OUT_PREFIX}{pid}x"
+
+
+class OutputWriter:
+    """Worker-side publisher of kernel results into named segments.
+
+    Each published array gets a fresh segment named
+    ``<prefix><worker-pid>x<seq>`` — unique across pool respawns (a
+    respawned worker has a new pid, so it can never collide with an
+    orphan of its dead predecessor).  The writer closes its mapping
+    before returning: the worker keeps nothing attached, and ownership
+    passes to whichever driver claims the ref.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> w = OutputWriter(output_prefix())
+    >>> ref = w.publish(np.arange(3)[::-1])  # non-contiguous is fine
+    >>> claim_output(ref)
+    array([2, 1, 0])
+    """
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = f"{prefix}{os.getpid()}x"
+        self._seq = 0
+
+    def publish(self, array: np.ndarray) -> ShmRef:
+        """Copy *array* into a fresh named segment; return its ref.
+
+        Non-contiguous inputs are copied through ``ascontiguousarray``,
+        so the materialized view always reproduces the original values.
+        """
+        arr = np.ascontiguousarray(array)
+        name = f"{self.prefix}{self._seq}"
+        self._seq += 1
+        try:
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, arr.nbytes)
+            )
+        except FileExistsError:
+            # An orphan of a dead predecessor that recycled our pid (or a
+            # second writer in one process).  The name contract makes the
+            # stale segment ours to reclaim.
+            if _SHM_DIR.is_dir():
+                (_SHM_DIR / name).unlink(missing_ok=True)
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, arr.nbytes)
+            )
+        try:
+            if arr.nbytes:
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                del view
+        finally:
+            shm.close()
+        return ShmRef(name, tuple(arr.shape), arr.dtype.str)
+
+    def share(self, obj):
+        """Deep-swap every ndarray in *obj* for a published ref."""
+        if isinstance(obj, np.ndarray):
+            return self.publish(obj)
+        if isinstance(obj, dict):
+            return {k: self.share(v) for k, v in obj.items()}
+        if isinstance(obj, tuple):
+            return tuple(self.share(v) for v in obj)
+        if isinstance(obj, list):
+            return [self.share(v) for v in obj]
+        return obj
+
+
+def claim_output(obj):
+    """Driver-side inverse of :meth:`OutputWriter.share`: copy + unlink.
+
+    Every ref is resolved into a private in-process copy and its segment
+    unlinked immediately — after a claim, the result owns its memory and
+    ``/dev/shm`` holds nothing for it.
+    """
+    if isinstance(obj, ShmRef):
+        shm = shared_memory.SharedMemory(name=obj.name)
+        try:
+            arr = np.empty(obj.shape, dtype=np.dtype(obj.dtype))
+            if arr.nbytes:
+                view = np.ndarray(obj.shape, dtype=arr.dtype, buffer=shm.buf)
+                arr[...] = view
+                del view
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already swept
+                pass
+        return arr
+    if isinstance(obj, dict):
+        return {k: claim_output(v) for k, v in obj.items()}
+    if isinstance(obj, tuple):
+        return tuple(claim_output(v) for v in obj)
+    if isinstance(obj, list):
+        return [claim_output(v) for v in obj]
+    return obj
+
+
+def discard_output(obj) -> None:
+    """Unlink every output segment in *obj* without materializing it.
+
+    For stale results of an aborted job: the data is unwanted, only the
+    segments must go.  Missing segments (already swept) are fine.
+    """
+    if isinstance(obj, ShmRef):
+        if _SHM_DIR.is_dir():
+            (_SHM_DIR / obj.name).unlink(missing_ok=True)
+        else:  # pragma: no cover - non-Linux fallback
+            try:
+                shm = shared_memory.SharedMemory(name=obj.name)
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+    elif isinstance(obj, dict):
+        for v in obj.values():
+            discard_output(v)
+    elif isinstance(obj, (tuple, list)):
+        for v in obj:
+            discard_output(v)
+
+
+def sweep_segments(prefix: str) -> tuple[str, ...]:
+    """Unlink every ``/dev/shm`` segment whose name starts with *prefix*.
+
+    The crash backstop of the output path: a worker killed between
+    publishing and the driver's claim leaves orphans that nothing holds
+    a ref to; the driver sweeps its own prefix after tearing the pool
+    down.  Returns the names removed (for diagnostics and tests).
+    """
+    if not _SHM_DIR.is_dir():  # pragma: no cover - non-Linux
+        return ()
+    removed = []
+    for path in _SHM_DIR.glob(f"{prefix}*"):
+        try:
+            path.unlink()
+            removed.append(path.name)
+        except OSError:  # pragma: no cover - raced by another unlink
+            pass
+    return tuple(sorted(removed))
+
+
+def leaked_shm_files(
+    prefixes: tuple[str, ...] = (_OUT_PREFIX, "psm_")
+) -> tuple[str, ...]:
+    """Segment files still present under ``/dev/shm`` (cross-process audit).
+
+    Unlike :func:`live_segment_names` (this process's open arenas), this
+    inspects the filesystem, so it sees leaks from *any* process —
+    including dead workers.  CI asserts it is empty after the bench
+    jobs; the default prefixes cover executor outputs (``rbo``) and
+    stdlib-named arena segments (``psm_``), which assumes no unrelated
+    shared-memory user on the host.
+    """
+    if not _SHM_DIR.is_dir():  # pragma: no cover - non-Linux
+        return ()
+    return tuple(
+        sorted(
+            p.name
+            for p in _SHM_DIR.iterdir()
+            if p.name.startswith(tuple(prefixes))
+        )
+    )

@@ -20,7 +20,12 @@ from itertools import combinations
 import numpy as np
 
 from repro.exec.executors import SerialExecutor
-from repro.exec.plans import VALIDATION_PLAN, triplet_range_shards
+from repro.exec.plans import (
+    VALIDATION_PLAN,
+    VALIDATION_TRIPLETS_PER_SECOND,
+    adaptive_shard_count,
+    triplet_range_shards,
+)
 from repro.hypergraph.incidence import UserPageIncidence
 from repro.kernels import (
     hyperedge_count_reference,
@@ -108,9 +113,10 @@ def evaluate_triplets(
 
     *executor* runs :data:`~repro.exec.plans.VALIDATION_PLAN` (defaults
     to an in-process :class:`~repro.exec.SerialExecutor`); *n_shards*
-    cuts the triplet list into that many range shards (defaults to the
-    executor's ``n_workers``, 1 for serial).  The count concatenation is
-    shard-ordered, so every executor returns identical metrics.
+    cuts the triplet list into that many range shards (defaults to
+    adaptive sizing — ~100 ms of work per shard, at least one per
+    worker, 1 for serial).  The count concatenation is shard-ordered,
+    so every executor returns identical metrics.
 
     Examples
     --------
@@ -129,7 +135,11 @@ def evaluate_triplets(
     if executor is None:
         executor = SerialExecutor()
     if n_shards is None:
-        n_shards = getattr(executor, "n_workers", 1)
+        n_shards = adaptive_shard_count(
+            triangles.n_triangles,
+            getattr(executor, "n_workers", 1),
+            VALIDATION_TRIPLETS_PER_SECOND,
+        )
     shards = triplet_range_shards(
         triangles.a, triangles.b, triangles.c, max(1, n_shards)
     )

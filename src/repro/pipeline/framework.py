@@ -185,10 +185,11 @@ class CoordinationPipeline:
                     # comparable with :meth:`run_distributed` (and any other
                     # engine).
                     if plan_executor is not None:
+                        # n_shards=None: adaptive sizing from the wedge
+                        # count (~100 ms of work per shard).
                         triangles = survey_triangles_plan(
                             ci_thr.edges,
                             plan_executor,
-                            4 * plan_executor.n_workers,
                         ).sorted_canonical()
                     else:
                         triangles = survey_triangles(

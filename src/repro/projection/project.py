@@ -30,7 +30,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exec.executors import SerialExecutor
-from repro.exec.plans import PROJECTION_PLAN, page_aligned_shards
+from repro.exec.plans import (
+    PROJECTION_PLAN,
+    PROJECTION_ROWS_PER_SECOND,
+    adaptive_shard_count,
+    page_aligned_shards,
+)
 from repro.graph.bipartite import BipartiteTemporalMultigraph
 from repro.graph.edgelist import EdgeList
 from repro.kernels import (
@@ -177,7 +182,9 @@ def project(
         page-aligned sharding keeps the reduction bit-identical.
     n_shards:
         Number of page-aligned shards to cut the comment stream into;
-        defaults to the executor's ``n_workers`` (1 for serial).
+        defaults to adaptive sizing
+        (:func:`~repro.exec.plans.adaptive_shard_count`: ~100 ms of
+        work per shard, at least one per worker, 1 for serial).
 
     Examples
     --------
@@ -202,7 +209,11 @@ def project(
     if executor is None:
         executor = SerialExecutor()
     if n_shards is None:
-        n_shards = getattr(executor, "n_workers", 1)
+        n_shards = adaptive_shard_count(
+            users.shape[0],
+            getattr(executor, "n_workers", 1),
+            PROJECTION_ROWS_PER_SECOND,
+        )
     if users.shape[0] == 0:
         shards = []
     elif n_shards <= 1:

@@ -24,7 +24,12 @@ the equivalence is asserted in tests on both backends.
 from __future__ import annotations
 
 from repro.exec.executors import YgmExecutor
-from repro.exec.plans import SURVEY_PLAN, position_range_shards
+from repro.exec.plans import (
+    SURVEY_PLAN,
+    SURVEY_WEDGES_PER_SECOND,
+    adaptive_shard_count,
+    position_range_shards,
+)
 from repro.graph.edgelist import EdgeList
 from repro.graph.ordering import degree_order
 from repro.kernels import forward_adjacency, wedge_counts
@@ -44,17 +49,18 @@ _SHARDS_PER_RANK = 4
 def survey_triangles_plan(
     edges: EdgeList,
     executor,
-    n_shards: int,
+    n_shards: int | None = None,
     min_edge_weight: int = 0,
 ) -> TriangleSet:
     """Enumerate all triangles of *edges* on an arbitrary plan executor.
 
     The executor-generic core of the surveyed engine: builds the
     adjacency and wedge prices once, cuts the wedge positions into
-    *n_shards* ranges, and runs :data:`~repro.exec.plans.SURVEY_PLAN`
-    through *executor* (serial, parallel, or YGM — same kernels, same
-    shard-ordered concatenation, so output is identical on every
-    backend).  Semantics match
+    *n_shards* ranges (``None`` sizes shards adaptively from the wedge
+    count — ~100 ms of work each, at least one per worker), and runs
+    :data:`~repro.exec.plans.SURVEY_PLAN` through *executor* (serial,
+    parallel, or YGM — same kernels, same shard-ordered concatenation,
+    so output is identical on every backend).  Semantics match
     :func:`repro.tripoll.survey.survey_triangles`, including the
     ``min_edge_weight`` pre-threshold.
     """
@@ -73,6 +79,12 @@ def survey_triangles_plan(
     adj = forward_adjacency(acc.src, acc.dst, acc.weight, rank, n)
     counts, cum = wedge_counts(adj)
     total_wedges = int(cum[-1])
+    if n_shards is None:
+        n_shards = adaptive_shard_count(
+            total_wedges,
+            getattr(executor, "n_workers", 1),
+            SURVEY_WEDGES_PER_SECOND,
+        )
     wedge_batch = max(1, -(-total_wedges // max(1, n_shards)))
     shards = position_range_shards(counts, cum, wedge_batch)
 

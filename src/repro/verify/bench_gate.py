@@ -16,15 +16,23 @@ passes):
 - **Speedup ratios** (kernel vs reference twin, parallel vs serial) are
   dimensionless and transfer across machines better than seconds; they
   are compared only when the baseline's slow side is above the noise
-  floor (otherwise the ratio itself is noise) and, for worker-scaling
-  entries, only when the fresh host has at least that many cores and the
-  baseline actually scaled (speedup ≥ 1) — a 1-core baseline records
-  overhead, not scaling, and gating on it would be meaningless.
+  floor (otherwise the ratio itself is noise) and, for multi-worker
+  scaling entries, only when the fresh host has at least that many cores
+  and the baseline actually scaled (speedup ≥ 1).  The 1-worker ratio is
+  *always* gated — it measures dispatch overhead, which is meaningful on
+  any host — while a multi-worker baseline that never scaled is a
+  **stale baseline**: silently skipped by default, a hard error under
+  ``--strict`` (recapture it on a multi-core host, see
+  ``docs/benchmarking.md``).
 
-A baseline file whose fresh counterpart is missing fails the gate (the
-bench did not run); a fresh file that does not parse fails with a
-pointer at the atomic-write contract (``benchmarks/_figures.py``), since
-a truncated ``BENCH_*.json`` means a writer bypassed it.
+Baselines are *required* or *optional*.  A required baseline whose fresh
+counterpart is missing fails the gate (the bench did not run); an
+optional one — e.g. the full-scale ``BENCH_parallel.json``, which takes
+minutes and is not part of the CI smoke — is skipped when no fresh run
+exists and compared when one does.  A fresh file that does not parse
+fails with a pointer at the atomic-write contract
+(``benchmarks/_figures.py``), since a truncated ``BENCH_*.json`` means a
+writer bypassed it.
 
 Run as ``python -m repro.verify.bench_gate``; ``--update`` refreshes the
 baselines from the fresh results instead of comparing (the documented
@@ -94,6 +102,7 @@ class GateReport:
 
     tolerance: float
     noise_floor: float
+    strict: bool = False
     checks: list[GateCheck] = field(default_factory=list)
     skipped: list[str] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
@@ -110,8 +119,8 @@ class GateReport:
         """Human-readable gate report: checks, skips, errors, verdict."""
         lines = [
             f"bench gate: tolerance ±{self.tolerance:.0%}, noise floor "
-            f"{self.noise_floor}s — {len(self.checks)} check(s), "
-            f"{len(self.skipped)} skipped"
+            f"{self.noise_floor}s{', strict' if self.strict else ''} — "
+            f"{len(self.checks)} check(s), {len(self.skipped)} skipped"
         ]
         lines += [f"  {c.describe()}" for c in self.checks]
         lines += [f"  skip {s}" for s in self.skipped]
@@ -204,24 +213,40 @@ def _compare_parallel(base: dict, fresh: dict, rep: GateReport) -> None:
             float(f["serial_seconds"]),
         )
         for w, bw in b.get("workers", {}).items():
+            if int(w) > fresh_cpus:
+                # A core-starved fresh host cannot express the baseline's
+                # parallelism; skipping (even when the fresh bench dropped
+                # the entry entirely) is correct, erroring is not.
+                rep.skipped.append(
+                    f"plans[{plan}].workers[{w}]: fresh host has only "
+                    f"{fresh_cpus} core(s)"
+                )
+                continue
             fw = f.get("workers", {}).get(w)
             if fw is None:
                 rep.errors.append(
                     f"plans[{plan}].workers[{w}]: missing from fresh results"
                 )
                 continue
-            if int(w) > fresh_cpus:
-                rep.skipped.append(
-                    f"plans[{plan}].workers[{w}]: fresh host has only "
-                    f"{fresh_cpus} core(s)"
+            if int(w) >= 2 and float(bw["speedup"]) < 1.0:
+                # A multi-worker baseline below 1x never scaled — it
+                # guards nothing.  Under --strict that is a stale
+                # baseline to recapture, not a skip.
+                msg = (
+                    f"plans[{plan}].workers[{w}]: baseline never scaled "
+                    f"(speedup {bw['speedup']}x)"
                 )
+                if rep.strict:
+                    rep.errors.append(
+                        msg + " — stale baseline; recapture on a "
+                        "multi-core host (--update)"
+                    )
+                else:
+                    rep.skipped.append(msg + " — nothing to regress")
                 continue
-            if float(bw["speedup"]) < 1.0:
-                rep.skipped.append(
-                    f"plans[{plan}].workers[{w}]: baseline did not scale "
-                    f"(speedup {bw['speedup']}x) — nothing to regress"
-                )
-                continue
+            # w=1 ratios measure dispatch overhead and are gated like any
+            # other speedup: a fresh drop below baseline*(1-tol) means the
+            # executor's fixed costs regressed.
             cmp.speedup(
                 f"plans[{plan}].workers[{w}].speedup",
                 float(bw["speedup"]),
@@ -230,9 +255,14 @@ def _compare_parallel(base: dict, fresh: dict, rep: GateReport) -> None:
             )
 
 
+# name -> (comparator, required).  Required baselines must have a fresh
+# counterpart (CI runs those benches every time); optional ones — the
+# full-scale parallel bench takes minutes on a big host — are compared
+# only when a fresh run exists.
 _COMPARATORS = {
-    "BENCH_kernels.json": _compare_kernels,
-    "BENCH_parallel.json": _compare_parallel,
+    "BENCH_kernels.json": (_compare_kernels, True),
+    "BENCH_parallel_smoke.json": (_compare_parallel, True),
+    "BENCH_parallel.json": (_compare_parallel, False),
 }
 
 
@@ -242,6 +272,7 @@ def run_gate(
     *,
     tolerance: float = DEFAULT_TOLERANCE,
     noise_floor: float = DEFAULT_NOISE_FLOOR,
+    strict: bool = False,
 ) -> GateReport:
     """Compare every committed baseline against its fresh counterpart.
 
@@ -259,22 +290,28 @@ def run_gate(
     """
     baseline_dir = Path(baseline_dir)
     results_dir = Path(results_dir)
-    rep = GateReport(tolerance=tolerance, noise_floor=noise_floor)
+    rep = GateReport(tolerance=tolerance, noise_floor=noise_floor, strict=strict)
     baselines = sorted(baseline_dir.glob("BENCH_*.json"))
     if not baselines:
         rep.errors.append(f"no BENCH_*.json baselines under {baseline_dir}")
         return rep
     for base_path in baselines:
-        compare = _COMPARATORS.get(base_path.name)
-        if compare is None:
+        entry = _COMPARATORS.get(base_path.name)
+        if entry is None:
             rep.skipped.append(f"{base_path.name}: no comparator registered")
             continue
+        compare, required = entry
         fresh_path = results_dir / base_path.name
         if not fresh_path.exists():
-            rep.errors.append(
-                f"{base_path.name}: fresh result missing under {results_dir} "
-                "(bench did not run?)"
-            )
+            if required:
+                rep.errors.append(
+                    f"{base_path.name}: fresh result missing under "
+                    f"{results_dir} (bench did not run?)"
+                )
+            else:
+                rep.skipped.append(
+                    f"{base_path.name}: optional baseline, no fresh run"
+                )
             continue
         try:
             compare(_load(base_path), _load(fresh_path), rep)
@@ -325,6 +362,12 @@ def main(argv: list[str] | None = None) -> int:
         help="refresh the baselines from the fresh results instead of "
         "comparing",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat a multi-worker baseline that never scaled "
+        "(speedup < 1) as a hard stale-baseline error instead of a skip",
+    )
     args = parser.parse_args(argv)
     if args.update:
         updated = update_baselines(args.baseline_dir, args.results_dir)
@@ -335,6 +378,7 @@ def main(argv: list[str] | None = None) -> int:
         args.results_dir,
         tolerance=args.tolerance,
         noise_floor=args.noise_floor,
+        strict=args.strict,
     )
     print(report.describe())
     return 0 if report.ok else 1

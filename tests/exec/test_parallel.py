@@ -12,6 +12,7 @@ from repro.exec import (
     VALIDATION_PLAN,
     ParallelExecutor,
     SerialExecutor,
+    leaked_shm_files,
     live_segment_names,
     page_aligned_shards,
     position_range_shards,
@@ -160,6 +161,40 @@ class TestPoolLifecycle:
         finally:
             ex.shutdown()
 
+    def test_dead_worker_between_runs_triggers_respawn(self, plan_inputs):
+        # A worker that died while the pool sat idle must not be reused:
+        # dispatching into a dead rank's queue would hang the next run.
+        import signal
+        import time
+
+        plan, shards, ctx = plan_inputs["projection"]
+        serial = SerialExecutor().run(plan, shards, ctx)
+        ex = ParallelExecutor(2, deadline=30.0)
+        try:
+            ex.run(plan, shards, ctx)
+            victim = ex.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            while ex.alive and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert not ex.alive
+            again = ex.run(plan, shards, ctx)
+            assert _equal(serial, again)
+            assert victim not in ex.worker_pids()
+        finally:
+            ex.shutdown()
+        assert live_segment_names() == ()
+
+    def test_repeated_runs_leave_no_shm_files(self, plan_inputs):
+        before = leaked_shm_files()
+        with ParallelExecutor(2) as ex:
+            for plan_name in ("projection", "survey", "validation"):
+                plan, shards, ctx = plan_inputs[plan_name]
+                for _ in range(3):
+                    ex.run(plan, shards, ctx)
+        assert leaked_shm_files() == before
+        assert live_segment_names() == ()
+
 
 @pytest.mark.faults
 class TestFaults:
@@ -217,6 +252,69 @@ class TestFaults:
             ),
         ) as ex:
             assert _equal(serial, ex.run(plan, shards, ctx))
+
+    @pytest.mark.parametrize("at_message", [1, 2, 3])
+    def test_crash_mid_batch_still_detected(self, plan_inputs, at_message):
+        # One queue item now carries a rank's whole task list (5 shards
+        # over 2 workers: rank 0 holds tasks 1..3).  The fault clock must
+        # tick per *task*, so a crash can land mid-batch — and the driver
+        # must still notice the death and sweep the dead worker's
+        # already-published outputs.
+        plan, shards, ctx = plan_inputs["projection"]
+        assert len(shards) == 5
+        ex = ParallelExecutor(
+            2,
+            fault_plan=FaultPlan.single("crash", rank=0, at_message=at_message),
+            join_deadline=0.5,
+        )
+        try:
+            with pytest.raises(WorkerDiedError) as exc_info:
+                ex.run(plan, shards, ctx)
+            assert exc_info.value.rank == 0
+        finally:
+            ex.shutdown()
+        assert live_segment_names() == ()
+        assert leaked_shm_files() == ()
+
+    @pytest.mark.parametrize("at_message", [2, 3])
+    def test_raise_mid_batch_surfaces_handler_error(
+        self, plan_inputs, at_message
+    ):
+        plan, shards, ctx = plan_inputs["projection"]
+        serial = SerialExecutor().run(plan, shards, ctx)
+        ex = ParallelExecutor(
+            2,
+            fault_plan=FaultPlan.single("raise", rank=0, at_message=at_message),
+            join_deadline=0.5,
+        )
+        try:
+            with pytest.raises(HandlerError) as exc_info:
+                ex.run(plan, shards, ctx)
+            assert exc_info.value.rank == 0
+            # The aborted job's leftover tasks are flushed, not executed
+            # against its unlinked arena: the same pool serves the next
+            # run and nothing is left in /dev/shm afterwards.
+            assert _equal(serial, ex.run(plan, shards, ctx))
+        finally:
+            ex.shutdown()
+        assert live_segment_names() == ()
+        assert leaked_shm_files() == ()
+
+    def test_hang_mid_batch_bounded_by_deadline(self, plan_inputs):
+        plan, shards, ctx = plan_inputs["projection"]
+        ex = ParallelExecutor(
+            2,
+            fault_plan=FaultPlan.single("hang", rank=0, at_message=2),
+            deadline=0.5,
+            join_deadline=0.5,
+        )
+        try:
+            with pytest.raises(BarrierTimeoutError):
+                ex.run(plan, shards, ctx)
+        finally:
+            ex.shutdown()
+        assert live_segment_names() == ()
+        assert leaked_shm_files() == ()
 
     def test_executor_usable_after_failure(self, plan_inputs):
         # A raise fault leaves the worker alive with its delivery count

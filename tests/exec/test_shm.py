@@ -1,15 +1,35 @@
-"""Tests for the shared-memory arena: publish/attach, refcounts, unlink."""
+"""Tests for the shared-memory arena: publish/attach, refcounts, unlink,
+and the worker-output path (publish → claim/discard/sweep)."""
+
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.exec.shm import (
+    OutputWriter,
     SegmentCache,
     ShmArena,
     ShmRef,
+    claim_output,
+    discard_output,
+    leaked_shm_files,
     live_segment_names,
     materialize,
+    output_prefix,
+    sweep_segments,
 )
+
+# Arrays that stress the copy path: publish must go through
+# ascontiguousarray, so strided views and zero-size shapes round-trip.
+AWKWARD_ARRAYS = [
+    np.arange(20, dtype=np.int64)[::2],
+    np.arange(12, dtype=np.float64).reshape(3, 4).T,
+    np.arange(30, dtype=np.int32).reshape(5, 6)[1:4, 2:5],
+    np.empty((0,), dtype=np.int64),
+    np.empty((0, 3), dtype=np.float32),
+]
+AWKWARD_IDS = ["strided", "transposed", "inner-slice", "zero-1d", "zero-2d"]
 
 
 class TestPublishRoundtrip:
@@ -91,6 +111,74 @@ class TestRefcounting:
             assert np.array_equal(back["shards"][1][1], obj["shards"][1][1])
             assert np.array_equal(back["nested"]["w"], obj["nested"]["w"])
             cache.close()
+
+
+class TestAwkwardArrays:
+    @pytest.mark.parametrize("array", AWKWARD_ARRAYS, ids=AWKWARD_IDS)
+    def test_arena_roundtrips_noncontiguous_and_empty(self, array):
+        cache = SegmentCache()
+        with ShmArena() as arena:
+            got = materialize(arena.publish(array), cache)
+            assert got.shape == array.shape
+            assert got.dtype == array.dtype
+            assert np.array_equal(got, array)
+            cache.close()
+
+    @pytest.mark.parametrize("array", AWKWARD_ARRAYS, ids=AWKWARD_IDS)
+    def test_output_writer_roundtrips_noncontiguous_and_empty(self, array):
+        writer = OutputWriter(output_prefix())
+        got = claim_output(writer.publish(array))
+        assert got.shape == array.shape
+        assert got.dtype == array.dtype
+        assert np.array_equal(got, array)
+
+
+class TestOutputPath:
+    def test_claim_unlinks_the_segment_file(self):
+        writer = OutputWriter(output_prefix())
+        ref = writer.publish(np.arange(5))
+        path = Path("/dev/shm") / ref.name
+        assert path.exists()
+        claim_output(ref)
+        assert not path.exists()
+
+    def test_share_and_claim_recurse(self):
+        writer = OutputWriter(output_prefix())
+        obj = {"w": np.arange(4), "parts": [(np.ones(2), 3)], "n": 7}
+        back = claim_output(writer.share(obj))
+        assert np.array_equal(back["w"], obj["w"])
+        assert np.array_equal(back["parts"][0][0], obj["parts"][0][0])
+        assert back["parts"][0][1] == 3 and back["n"] == 7
+
+    def test_discard_unlinks_without_materializing(self):
+        writer = OutputWriter(output_prefix())
+        shared = writer.share({"a": np.arange(3), "b": (np.ones(2),)})
+        discard_output(shared)
+        for ref in (shared["a"], shared["b"][0]):
+            assert not (Path("/dev/shm") / ref.name).exists()
+        discard_output(shared)  # already gone: no-op
+
+    def test_sweep_reclaims_unclaimed_outputs(self):
+        prefix = output_prefix()
+        writer = OutputWriter(prefix)
+        refs = [writer.publish(np.arange(3)) for _ in range(3)]
+        removed = sweep_segments(prefix)
+        assert set(removed) == {r.name for r in refs}
+        assert sweep_segments(prefix) == ()
+        assert leaked_shm_files() == ()
+
+    def test_publish_reclaims_stale_orphan_of_recycled_pid(self):
+        # A respawned worker whose pid the OS recycled would mint the
+        # same first segment name as its dead predecessor's orphan; the
+        # name contract makes the stale segment ours to replace.
+        prefix = output_prefix()
+        stale = OutputWriter(prefix).publish(np.arange(9))
+        fresh_ref = OutputWriter(prefix).publish(np.array([7, 7]))
+        try:
+            assert fresh_ref.name == stale.name
+            assert np.array_equal(claim_output(fresh_ref), [7, 7])
+        finally:
+            sweep_segments(prefix)
 
 
 class TestLifecycle:

@@ -163,15 +163,88 @@ class TestParallelScalingPolicy:
         assert report.ok
         assert any("only 1 core" in s for s in report.skipped)
 
-    def test_unscaled_baseline_entry_never_gates(self, dirs):
+    def test_one_worker_overhead_ratio_is_gated(self, dirs):
+        # The w=1 ratio measures dispatch overhead — always compared,
+        # even though it sits below 1x by construction.
         base, res = dirs
         _write(base, "BENCH_parallel.json", PARALLEL)
         fresh = _deep(PARALLEL)
-        fresh["plans"]["projection"]["workers"]["1"]["speedup"] = 0.01
+        fresh["plans"]["projection"]["workers"]["1"]["speedup"] = 0.2
+        _write(res, "BENCH_parallel.json", fresh)
+        report = run_gate(base, res)
+        assert any("workers[1]" in c.name for c in report.failures)
+
+    def test_unscaled_multiworker_baseline_skips_by_default(self, dirs):
+        base, res = dirs
+        stale = _deep(PARALLEL)
+        stale["plans"]["projection"]["workers"]["2"]["speedup"] = 0.9
+        _write(base, "BENCH_parallel.json", stale)
+        fresh = _deep(PARALLEL)
+        fresh["plans"]["projection"]["workers"]["2"]["speedup"] = 0.01
         _write(res, "BENCH_parallel.json", fresh)
         report = run_gate(base, res)
         assert report.ok
-        assert any("did not scale" in s for s in report.skipped)
+        assert any("never scaled" in s for s in report.skipped)
+
+    def test_unscaled_multiworker_baseline_errors_under_strict(self, dirs):
+        base, res = dirs
+        stale = _deep(PARALLEL)
+        stale["plans"]["projection"]["workers"]["2"]["speedup"] = 0.9
+        _write(base, "BENCH_parallel.json", stale)
+        _write(res, "BENCH_parallel.json", stale)
+        report = run_gate(base, res, strict=True)
+        assert not report.ok
+        assert any("stale baseline" in e for e in report.errors)
+        # The healthy w=1 and w=4 entries are still gated normally.
+        assert any("workers[4]" in c.name for c in report.checks)
+
+    def test_strict_passes_on_healthy_baseline(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_parallel.json", PARALLEL)
+        _write(res, "BENCH_parallel.json", PARALLEL)
+        assert run_gate(base, res, strict=True).ok
+
+    def test_core_starved_host_tolerates_dropped_worker_entries(self, dirs):
+        # A 1-core fresh host may not run w=2/4 at all; the missing
+        # entries are a skip, not a missing-results error.
+        base, res = dirs
+        _write(base, "BENCH_parallel.json", PARALLEL)
+        fresh = _deep(PARALLEL)
+        fresh["cpu_count"] = 1
+        del fresh["plans"]["projection"]["workers"]["2"]
+        del fresh["plans"]["projection"]["workers"]["4"]
+        _write(res, "BENCH_parallel.json", fresh)
+        report = run_gate(base, res)
+        assert report.ok, report.describe()
+        assert sum("only 1 core" in s for s in report.skipped) == 2
+
+
+class TestRequiredVsOptionalBaselines:
+    def test_optional_fullscale_baseline_skips_when_fresh_missing(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_parallel.json", PARALLEL)
+        report = run_gate(base, res)
+        assert report.ok
+        assert any("optional baseline" in s for s in report.skipped)
+
+    def test_required_smoke_baseline_errors_when_fresh_missing(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_parallel_smoke.json", PARALLEL)
+        report = run_gate(base, res)
+        assert not report.ok
+        assert any(
+            "BENCH_parallel_smoke" in e and "did not run" in e
+            for e in report.errors
+        )
+
+    def test_smoke_baseline_uses_parallel_comparator(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_parallel_smoke.json", PARALLEL)
+        fresh = _deep(PARALLEL)
+        fresh["plans"]["projection"]["workers"]["4"]["speedup"] = 1.0
+        _write(res, "BENCH_parallel_smoke.json", fresh)
+        report = run_gate(base, res)
+        assert any("workers[4]" in c.name for c in report.failures)
 
 
 class TestGateErrors:
