@@ -2,25 +2,15 @@
 
 from __future__ import annotations
 
-import os
-from pathlib import Path
-
 from repro.analysis.figures import ScoreFigure, WeightFigure
 from repro.pipeline import CoordinationPipeline, PipelineConfig, PipelineResult
 from repro.projection import TimeWindow
 
-
-def atomic_write_text(path: Path, text: str) -> None:
-    """Write *text* to *path* atomically (tmp file + rename).
-
-    Bench results feed the CI regression gate; a cancelled run must never
-    leave a truncated ``BENCH_*.json`` behind to poison the next
-    comparison, so the content lands under a temporary name and is moved
-    into place in one ``os.replace`` step.
-    """
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text, encoding="utf-8")
-    os.replace(tmp, path)
+# Bench results feed the CI regression gate; a cancelled run must never
+# leave a truncated ``BENCH_*.json`` behind to poison the next
+# comparison.  Re-exported from the shared helper so existing bench
+# imports keep working.
+from repro.util.io import atomic_write_text  # noqa: F401
 
 
 def run_pipeline(dataset, delta2: int, cutoff: int = 10) -> PipelineResult:

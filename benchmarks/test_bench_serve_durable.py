@@ -1,0 +1,148 @@
+"""Durability tax: DurableDetectionService vs the in-memory service.
+
+Crash-safety is only deployable if the journal does not eat the
+throughput the serve loop exists to provide.  This bench streams the
+same clustered corpus through the plain :class:`~repro.serve.DetectionService`
+and through :class:`~repro.serve.DurableDetectionService` under each
+fsync policy, asserts the durable run stays bit-identical to the
+in-memory one, and reports the throughput ratio per policy.
+
+The committed claim (``BENCH_serve_durable.json``, gated by
+``repro.verify.bench_gate``): **fsync=interval keeps at least 70% of
+in-memory throughput.**  ``fsync=off`` bounds the pure journaling cost,
+``fsync=always`` shows the price of per-record durability.
+
+``BENCH_SERVE_DURABLE_SCALE=tiny`` shrinks the corpus ~8× (CI smoke)
+and writes ``BENCH_serve_durable_smoke.json``; the full run writes
+``BENCH_serve_durable.json``.  Separate files keep the two scales from
+being compared against each other (same split as the parallel bench).
+"""
+
+import json
+import os
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.graph.filters import AuthorFilter
+from repro.pipeline import PipelineConfig
+from repro.projection import TimeWindow
+from repro.serve import DetectionService, DurableDetectionService
+from repro.util.io import atomic_write_text
+from repro.util.timers import Timer
+from repro.verify.chaos import diff_results
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+TINY = os.environ.get("BENCH_SERVE_DURABLE_SCALE", "").lower() == "tiny"
+N_EVENTS = 3_000 if TINY else 24_000
+FSYNC_POLICIES = ("off", "interval", "always")
+MIN_INTERVAL_RATIO = 0.70
+
+
+@pytest.fixture(scope="module")
+def event_stream():
+    """The serve-throughput corpus shape: rotating cohorts + noise."""
+    rng = random.Random(77)
+    events = []
+    t = 0
+    for _ in range(N_EVENTS):
+        epoch = t // 3_000
+        if rng.random() < 0.6:
+            author = f"bot{epoch % 4}_{rng.randrange(10)}"
+            page = f"hot{epoch % 4}_{rng.randrange(5)}"
+        else:
+            author = f"user{rng.randrange(2_000)}"
+            page = f"page{rng.randrange(800)}"
+        events.append((author, page, t + rng.randrange(-30, 30)))
+        t += rng.randrange(0, 3)
+    return events
+
+
+def _service_kwargs():
+    return dict(
+        window_horizon=25_000,
+        batch_size=64,
+        queue_capacity=8_192,
+    )
+
+
+def test_bench_serve_durable(event_stream, report_sink, tmp_path):
+    config = PipelineConfig(
+        window=TimeWindow(0, 60),
+        min_triangle_weight=3,
+        min_component_size=3,
+        author_filter=AuthorFilter.none(),
+    )
+
+    memory = DetectionService(config, **_service_kwargs())
+    with Timer() as t_mem:
+        consumed = memory.run_events(event_stream)
+    assert consumed == N_EVENTS
+    mem_tput = consumed / max(t_mem.elapsed, 1e-9)
+    reference = memory.engine.snapshot()
+
+    durable = {}
+    lines = [
+        f"Durable service overhead ({'tiny' if TINY else 'full'} scale, "
+        f"{N_EVENTS:,} events, batch 64, snapshot every 256 records)",
+        f"in-memory   {t_mem.elapsed * 1e3:9.1f} ms   "
+        f"{mem_tput:10,.0f} events/s",
+    ]
+    for policy in FSYNC_POLICIES:
+        directory = tmp_path / policy
+        with DurableDetectionService(
+            config,
+            directory=directory,
+            fsync=policy,
+            snapshot_every=256,
+            **_service_kwargs(),
+        ) as svc:
+            with Timer() as t_dur:
+                consumed = svc.run_events(event_stream)
+            assert consumed == N_EVENTS
+            # Crash-safety must not change the answer: same in-order
+            # stream, same final state, bit for bit.
+            assert diff_results(reference, svc.engine.snapshot()) == [], (
+                f"fsync={policy}: durable run diverged from in-memory"
+            )
+        tput = consumed / max(t_dur.elapsed, 1e-9)
+        ratio = tput / mem_tput
+        durable[policy] = {
+            "seconds": round(t_dur.elapsed, 6),
+            "events_per_s": round(tput, 1),
+            "ratio": round(ratio, 4),
+        }
+        lines.append(
+            f"fsync={policy:8s} {t_dur.elapsed * 1e3:9.1f} ms   "
+            f"{tput:10,.0f} events/s   {ratio:6.1%} of in-memory"
+        )
+
+    payload = {
+        "scale": "tiny" if TINY else "full",
+        "n_events": N_EVENTS,
+        "memory": {
+            "seconds": round(t_mem.elapsed, 6),
+            "events_per_s": round(mem_tput, 1),
+        },
+        "durable": durable,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = (
+        "BENCH_serve_durable_smoke.json" if TINY else "BENCH_serve_durable.json"
+    )
+    atomic_write_text(RESULTS_DIR / name, json.dumps(payload, indent=2) + "\n")
+    report_sink("serve_durable", "\n".join(lines))
+
+    # The committed claim: journaling with interval fsync costs at most
+    # 30% of throughput.  (off only bounds it from above; always is
+    # informational — its cost is the disk's fsync latency, not ours.)
+    assert durable["interval"]["ratio"] >= MIN_INTERVAL_RATIO, (
+        f"fsync=interval kept only {durable['interval']['ratio']:.1%} "
+        f"of in-memory throughput (floor {MIN_INTERVAL_RATIO:.0%})"
+    )
+    assert durable["off"]["ratio"] >= durable["interval"]["ratio"] * 0.8, (
+        "fsync=off slower than fsync=interval beyond noise — "
+        "journal write path regressed independent of fsync"
+    )

@@ -47,6 +47,7 @@ from repro.analysis import (
     weight_figure,
 )
 from repro.analysis.export import result_to_dot
+from repro.util.io import atomic_write_text
 from repro.datagen import GroundTruth, RedditDatasetBuilder, score_detection
 from repro.graph import AuthorFilter
 from repro.graph.io import btm_from_ndjson, write_comments_ndjson
@@ -219,6 +220,43 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip Step 3 validation scores")
     srv.add_argument("--status-json", metavar="PATH",
                      help="write the final status() snapshot as JSON")
+
+    dur = srv.add_argument_group(
+        "durability", "crash-safe serving (WAL + snapshots, --durable DIR)"
+    )
+    dur.add_argument("--durable", metavar="DIR", default=None,
+                     help="durable store directory; existing state is "
+                          "recovered on start (exact replay)")
+    dur.add_argument("--fsync", choices=["always", "interval", "off"],
+                     default="interval",
+                     help="journal fsync policy (power-loss window)")
+    dur.add_argument("--fsync-interval", type=int, default=32,
+                     help="records between fsyncs under --fsync interval")
+    dur.add_argument("--snapshot-every", type=int, default=256,
+                     help="journal records between snapshot generations")
+    dur.add_argument("--keep-snapshots", type=int, default=3,
+                     help="snapshot generations retained for fallback")
+    dur.add_argument("--wal-segment-bytes", type=int, default=4 * 1024 * 1024,
+                     help="journal segment rotation threshold")
+
+    sup = srv.add_argument_group(
+        "supervision", "watchdog child process (--supervise, needs --durable)"
+    )
+    sup.add_argument("--supervise", action="store_true",
+                     help="run the engine in a supervised child that is "
+                          "restarted (with recovery) if it dies or hangs")
+    sup.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                     help="seconds before an unresponsive child is replaced")
+    sup.add_argument("--max-restarts", type=int, default=5,
+                     help="restarts allowed inside --restart-window before "
+                          "degrading to load shedding")
+    sup.add_argument("--restart-window", type=float, default=60.0,
+                     help="sliding window (seconds) for the restart budget")
+    sup.add_argument("--backoff-base", type=float, default=0.1,
+                     help="first restart backoff (seconds, doubles each "
+                          "consecutive failure)")
+    sup.add_argument("--backoff-cap", type=float, default=5.0,
+                     help="maximum restart backoff (seconds)")
 
     return parser
 
@@ -471,7 +509,7 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
 def _cmd_serve(args: argparse.Namespace, out) -> int:
     from contextlib import nullcontext
 
-    from repro.serve import DetectionService
+    from repro.serve import DetectionService, DurableDetectionService
 
     config = PipelineConfig(
         window=TimeWindow(args.delta1, args.delta2),
@@ -479,14 +517,36 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         author_filter=AuthorFilter.none() if args.no_filter else AuthorFilter(),
         compute_hypergraph=not args.no_hypergraph,
     )
-    service = DetectionService(
-        config,
-        window_horizon=args.horizon,
-        allowed_lateness=args.lateness,
-        batch_size=args.batch_size,
-        queue_capacity=args.queue_capacity,
-        queue_policy=args.queue_policy,
-    )
+    if args.supervise:
+        if not args.durable:
+            print("--supervise requires --durable DIR", file=out)
+            return 2
+        return _serve_supervised(args, config, out)
+    if args.durable:
+        service = DurableDetectionService(
+            config,
+            directory=args.durable,
+            fsync=args.fsync,
+            fsync_interval=args.fsync_interval,
+            snapshot_every=args.snapshot_every,
+            keep_snapshots=args.keep_snapshots,
+            wal_segment_bytes=args.wal_segment_bytes,
+            window_horizon=args.horizon,
+            allowed_lateness=args.lateness,
+            batch_size=args.batch_size,
+            queue_capacity=args.queue_capacity,
+            queue_policy=args.queue_policy,
+        )
+        print(service.recovery.describe(), file=out)
+    else:
+        service = DetectionService(
+            config,
+            window_horizon=args.horizon,
+            allowed_lateness=args.lateness,
+            batch_size=args.batch_size,
+            queue_capacity=args.queue_capacity,
+            queue_policy=args.queue_policy,
+        )
 
     def report_top(header: str) -> None:
         print(header, file=out)
@@ -542,12 +602,92 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
     report_top(f"final top {args.top} by {args.rank_by}:")
     print("", file=out)
     print(service.metrics.format(), file=out)
+    if args.durable:
+        service.close()
+        print(f"durable state persisted to {args.durable}", file=out)
+    _write_status_json(args, status, out)
+    return 0
+
+
+def _write_status_json(args: argparse.Namespace, status: dict, out) -> None:
     if args.status_json:
-        Path(args.status_json).write_text(
-            json.dumps(status, indent=2, default=str), encoding="utf-8"
+        atomic_write_text(
+            Path(args.status_json),
+            json.dumps(status, indent=2, default=str),
         )
         print(f"wrote status snapshot to {args.status_json}", file=out)
-    return 0
+
+
+def _serve_supervised(args: argparse.Namespace, config, out) -> int:
+    """``serve --durable DIR --supervise``: watchdog parent + durable child."""
+    from contextlib import nullcontext
+
+    from repro.graph.io import IngestStats
+    from repro.serve import ServeSupervisor
+    from repro.serve.ingest import iter_ndjson_events
+
+    supervisor = ServeSupervisor(
+        config,
+        directory=args.durable,
+        queue_capacity=args.queue_capacity,
+        queue_policy=args.queue_policy,
+        forward_batch=args.batch_size,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_restarts=args.max_restarts,
+        restart_window=args.restart_window,
+        backoff_base=args.backoff_base,
+        backoff_cap=args.backoff_cap,
+        fsync=args.fsync,
+        fsync_interval=args.fsync_interval,
+        snapshot_every=args.snapshot_every,
+        keep_snapshots=args.keep_snapshots,
+        wal_segment_bytes=args.wal_segment_bytes,
+        window_horizon=args.horizon,
+        allowed_lateness=args.lateness,
+        batch_size=args.batch_size,
+    )
+    print(f"supervised child pid {supervisor.child_pid}", file=out)
+    print(supervisor.last_recovery, file=out)
+    stats = IngestStats()
+    source = (
+        nullcontext(sys.stdin)
+        if args.input == "-"
+        else open(args.input, "r", encoding="utf-8")
+    )
+    with source as lines:
+        consumed = supervisor.run_events(
+            iter_ndjson_events(lines, stats), max_events=args.max_events
+        )
+    status = supervisor.status()
+    why = (
+        "interrupt"
+        if supervisor.metrics.counter("service.interrupted").value
+        else "end of stream"
+    )
+    print(f"\nshutdown ({why}): {consumed:,} events consumed", file=out)
+    print(
+        f"supervision: restarts={status['restarts']} "
+        f"degraded={status['degraded']} shed={status['shed_events']:,} "
+        f"acked={status['acked_events']:,}",
+        file=out,
+    )
+    if not supervisor.degraded:
+        rows = supervisor.top_k_triplets(args.top, by=args.rank_by)
+        print(f"final top {args.top} by {args.rank_by}:", file=out)
+        if not rows:
+            print("  (no triplets above the cutoff)", file=out)
+        for row in rows:
+            x, y, z = row["authors"]
+            print(
+                f"  {x} / {y} / {z}  "
+                f"min_w'={row['min_weight']} T={row['t']:.4f} "
+                f"w_xyz={row['w_xyz']} C={row['c']:.4f}",
+                file=out,
+            )
+    supervisor.close()
+    print(f"durable state persisted to {args.durable}", file=out)
+    _write_status_json(args, status, out)
+    return 0 if not supervisor.degraded else 1
 
 
 def main(argv: list[str] | None = None, out=None) -> int:

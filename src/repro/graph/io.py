@@ -132,6 +132,11 @@ def read_comments_ndjson(
                         )
                         qfh.write(line)
                         qfh.write("\n")
+                        # Flush per record: the sidecar is forensic
+                        # evidence, and a crash mid-stream must not cost
+                        # the rejects buffered before it.
+                        if hasattr(qfh, "flush"):
+                            qfh.flush()
     finally:
         if qfh is not None and owns_qfh:
             qfh.close()
@@ -169,6 +174,10 @@ def btm_from_ndjson(
         def write(self, text: str) -> None:
             sidecar().write(text)
 
+        def flush(self) -> None:
+            if qfh is not None:
+                qfh.flush()
+
     def triples() -> Iterator[tuple]:
         reader_quarantine = _LazySidecar() if quarantine is not None else None
         for rec in read_comments_ndjson(
@@ -187,6 +196,7 @@ def btm_from_ndjson(
                 if fh is not None:
                     fh.write(json.dumps(rec, separators=(",", ":")))
                     fh.write("\n")
+                    fh.flush()
 
     try:
         return BipartiteTemporalMultigraph.from_comments(triples())

@@ -33,6 +33,7 @@ from repro.projection.ci_graph import CommonInteractionGraph
 from repro.projection.window import TimeWindow
 from repro.tripoll.survey import TriangleSet
 from repro.util.ids import Interner
+from repro.util.io import atomic_write_text
 
 __all__ = ["CheckpointMismatchError", "PipelineCheckpoint"]
 
@@ -101,8 +102,10 @@ class PipelineCheckpoint:
             )
 
     def _flush(self) -> None:
-        self._manifest_path.write_text(
-            json.dumps(self._manifest, indent=2), encoding="utf-8"
+        # Atomic: a crash mid-flush must leave the previous manifest, not
+        # a truncated one that poisons every later resume.
+        atomic_write_text(
+            self._manifest_path, json.dumps(self._manifest, indent=2)
         )
 
     def has(self, stage: str) -> bool:

@@ -19,7 +19,15 @@ Layers (each usable on its own):
 - :mod:`repro.serve.service` — :class:`DetectionService`, the event
   loop composing the two, driven by ``repro-botnets serve``;
 - :mod:`repro.serve.metrics` — :class:`ServiceMetrics` counters,
-  gauges, and latency histograms surfaced through ``status()``.
+  gauges, and latency histograms surfaced through ``status()``;
+- :mod:`repro.serve.wal` — :class:`WriteAheadLog`, the segmented
+  checksummed event journal the durability story is built on;
+- :mod:`repro.serve.durable` — :class:`DurableDetectionService`,
+  the crash-safe service (journal + snapshots + exact-replay
+  recovery via :mod:`repro.store`);
+- :mod:`repro.serve.supervisor` — :class:`ServeSupervisor`, the
+  watchdog parent that restarts a killed durable child with capped
+  backoff and sheds load when the restart budget is spent.
 """
 
 from repro.serve.engine import BatchReport, DetectionEngine
@@ -30,20 +38,29 @@ from repro.serve.ingest import (
     iter_ndjson_events,
     parse_comment_event,
 )
+from repro.serve.durable import DurableDetectionService
 from repro.serve.metrics import Counter, Gauge, Histogram, ServiceMetrics
 from repro.serve.service import DetectionService
+from repro.serve.supervisor import DegradedError, ServeSupervisor
+from repro.serve.wal import WriteAheadLog, read_wal, wal_end_state
 
 __all__ = [
     "BatchReport",
     "Counter",
     "DetectionEngine",
+    "DegradedError",
     "DetectionService",
+    "DurableDetectionService",
     "Event",
     "EventQueue",
     "Gauge",
     "Histogram",
+    "ServeSupervisor",
     "ServiceMetrics",
     "WatermarkTracker",
+    "WriteAheadLog",
     "iter_ndjson_events",
     "parse_comment_event",
+    "read_wal",
+    "wal_end_state",
 ]

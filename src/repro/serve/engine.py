@@ -164,6 +164,26 @@ class DetectionEngine:
         self._filtered_names: dict[str, None] = {}
         self._filtered_comments = 0
 
+    @classmethod
+    def restore(
+        cls,
+        store,
+        config: PipelineConfig | None = None,
+        *,
+        metrics: ServiceMetrics | None = None,
+    ):
+        """Rebuild an engine from a :class:`~repro.store.DurableStore`.
+
+        Loads the newest snapshot generation that validates (falling back
+        to older generations on corruption) and replays the write-ahead
+        journal's suffix, so the returned engine is bit-identical to one
+        that never crashed — the contract the recovery chaos matrix
+        (:func:`repro.verify.chaos.run_recovery_chaos`) enforces.
+        Returns ``(engine, recovery_report)``.
+        """
+        config = config if config is not None else PipelineConfig()
+        return store.recover_engine(config, metrics=metrics)
+
     # -- updates ---------------------------------------------------------------
     def ingest(self, events) -> BatchReport:
         """Apply one micro-batch of ``(author, page, created_utc)`` events.

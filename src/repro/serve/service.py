@@ -102,12 +102,15 @@ class DetectionService:
         """Drain one micro-batch into the engine and slide the window."""
         with self.metrics.time("service.tick"):
             batch = self.queue.drain(self.batch_size)
-            report = self.engine.ingest(batch)
             cutoff = self.watermark.evict_cutoff
             if cutoff is not None and (
-                self.engine.evict_cutoff is None
-                or cutoff > self.engine.evict_cutoff
+                self.engine.evict_cutoff is not None
+                and cutoff <= self.engine.evict_cutoff
             ):
+                cutoff = None
+            self._pre_apply(batch, cutoff)
+            report = self.engine.ingest(batch)
+            if cutoff is not None:
                 adv = self.engine.advance(cutoff)
                 report = _merge_reports(report, adv)
         m = self.metrics
@@ -117,6 +120,16 @@ class DetectionService:
         if self.watermark.watermark is not None:
             m.gauge("service.watermark").set(self.watermark.watermark)
         return report
+
+    def _pre_apply(self, batch: list[Event], cutoff: int | None) -> None:
+        """Hook invoked before a tick's state change is applied.
+
+        *batch* is the drained micro-batch and *cutoff* the window
+        advance this tick will perform (``None`` when the window does not
+        move).  The durable subclass journals exactly this pair before
+        the engine mutates — write-ahead ordering in one seam — so the
+        base loop and the durable loop cannot drift apart.
+        """
 
     def drain_all(self) -> int:
         """Tick until the queue is empty; returns ticks run (shutdown path)."""

@@ -1,0 +1,436 @@
+"""Supervised serve loop: a durable child process under a watchdog parent.
+
+:class:`ServeSupervisor` runs a :class:`~repro.serve.durable.DurableDetectionService`
+in a child process and keeps detection available across crashes:
+
+- **delivery** — the parent buffers producer events in its own bounded
+  :class:`~repro.serve.ingest.EventQueue` and forwards them to the child
+  in batches over a pipe.  Forwarded events are *retained* until the
+  child acknowledges them as journaled; the durable stream position
+  (``events_journaled``, carried in every WAL record and snapshot) tells
+  a restarted child's parent exactly which retained events to resend —
+  exactly-once delivery into the journal across process crashes.
+- **watchdog** — every request carries a response deadline
+  (``heartbeat_timeout``).  A missed deadline, ``BrokenPipeError`` or
+  ``EOFError`` all mean the child is gone (killed, hung, OOMed) and
+  trigger a restart.
+- **restart with capped exponential backoff** — each consecutive failed
+  start doubles the sleep (``backoff_base`` up to ``backoff_cap``).  A
+  successful handshake resets the streak.
+- **graceful degradation** — more than ``max_restarts`` restarts inside
+  ``restart_window`` seconds flips the supervisor into *degraded* mode:
+  no more restart attempts, producer events shed per the parent queue's
+  policy, everything visible in :meth:`status` and
+  :class:`~repro.serve.metrics.ServiceMetrics`.  :meth:`restart` clears
+  it (an operator decision, not an automatic loop).
+
+The child never sheds: its queue uses the ``reject`` policy and the
+drive loop ticks until admission, so the journal holds an exact prefix
+of the delivered stream and the resume arithmetic stays trivial.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from collections import deque
+from pathlib import Path
+
+from repro.pipeline.config import PipelineConfig
+from repro.serve.durable import DurableDetectionService
+from repro.serve.ingest import Event, EventQueue
+from repro.serve.metrics import ServiceMetrics
+
+__all__ = ["DegradedError", "ServeSupervisor"]
+
+
+class _ChildUnresponsive(Exception):
+    """The child missed its response deadline (treated like a crash)."""
+
+
+class DegradedError(RuntimeError):
+    """The supervisor is in degraded mode and cannot serve the request."""
+
+
+def _child_main(conn, config, durable_kwargs) -> None:
+    """Child process body: durable service + request loop on *conn*."""
+    # The parent owns lifecycle; a SIGINT meant for the parent's loop
+    # must not also unwind the child mid-tick.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    svc = DurableDetectionService(config, **durable_kwargs)
+    conn.send(
+        (
+            "hello",
+            {
+                "pid": os.getpid(),
+                "events_durable": svc.events_journaled,
+                "recovery": svc.recovery.describe(),
+            },
+        )
+    )
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "events":
+                for ev in msg[1]:
+                    event = tuple(ev)
+                    while not svc.submit(event):
+                        svc.tick()
+                    if svc.queue.depth >= svc.batch_size:
+                        svc.tick()
+                conn.send(("ok", svc.events_journaled))
+            elif op == "drain":
+                svc.drain_all()
+                conn.send(("ok", svc.events_journaled))
+            elif op == "status":
+                conn.send(("ok", svc.status()))
+            elif op == "results":
+                conn.send(("ok", svc.engine.snapshot()))
+            elif op == "top":
+                k, by = msg[1]
+                conn.send(("ok", svc.engine.top_k_triplets(k, by=by)))
+            elif op == "sync":
+                svc.wal.sync()
+                conn.send(("ok", svc.events_journaled))
+            elif op == "crash":  # test hook: die exactly like a SIGKILL
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif op == "close":
+                svc.drain_all()
+                svc.close()
+                conn.send(("ok", svc.events_journaled))
+                return
+            else:  # pragma: no cover - protocol bug guard
+                conn.send(("error", f"unknown op {op!r}"))
+    except (EOFError, KeyboardInterrupt):
+        # Parent vanished: persist what we have and exit quietly.
+        svc.drain_all()
+        svc.close()
+
+
+class ServeSupervisor:
+    """Parent-side handle on a supervised durable detection child.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration (forked into the child).
+    directory:
+        Durable store root — the single source of truth across restarts.
+    queue_capacity / queue_policy:
+        Parent-side producer buffer; its policy is what sheds load in
+        degraded mode (``reject`` → backpressure, ``drop-oldest`` /
+        ``drop-newest`` → silent shed with counters).
+    forward_batch:
+        Events per pipe message to the child.
+    heartbeat_timeout:
+        Seconds a request may wait for the child before the watchdog
+        declares it dead.
+    max_restarts / restart_window:
+        Degradation threshold: more than *max_restarts* restarts within
+        *restart_window* seconds stops the restart loop.
+    backoff_base / backoff_cap:
+        Capped exponential backoff between consecutive start attempts.
+    **durable_kwargs:
+        Passed to the child's :class:`DurableDetectionService`
+        (``fsync``, ``snapshot_every``, ``batch_size``, …).
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        *,
+        directory: str | Path,
+        queue_capacity: int = 65_536,
+        queue_policy: str = "drop-oldest",
+        forward_batch: int = 512,
+        heartbeat_timeout: float = 30.0,
+        max_restarts: int = 5,
+        restart_window: float = 60.0,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 5.0,
+        metrics: ServiceMetrics | None = None,
+        **durable_kwargs,
+    ) -> None:
+        self.config = config
+        self.directory = Path(directory)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.queue = EventQueue(queue_capacity, queue_policy)
+        self.forward_batch = int(forward_batch)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.max_restarts = int(max_restarts)
+        self.restart_window = float(restart_window)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        durable_kwargs.setdefault("queue_policy", "reject")
+        self._durable_kwargs = dict(durable_kwargs, directory=self.directory)
+
+        self._ctx = multiprocessing.get_context("fork")
+        self._proc = None
+        self._conn = None
+        self.child_pid: int | None = None
+        self.degraded = False
+        self.restarts = 0
+        self.last_recovery: str | None = None
+        #: Forwarded-but-not-yet-durable events: ``(stream_idx, event)``.
+        self._retained: deque[tuple[int, Event]] = deque()
+        self._stream_idx = 0  # events handed to the delivery layer so far
+        self._acked = 0  # durable stream position last confirmed by a child
+        self._restart_times: deque[float] = deque()
+        self._start_child()
+
+    # -- child lifecycle ---------------------------------------------------
+    def _start_child(self) -> None:
+        """Fork a child, wait for its recovery handshake, resend the gap."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_child_main,
+            args=(child_conn, self.config, self._durable_kwargs),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        if not parent_conn.poll(self.heartbeat_timeout):
+            parent_conn.close()
+            proc.kill()
+            proc.join()
+            raise _ChildUnresponsive("child did not complete its handshake")
+        tag, hello = parent_conn.recv()
+        assert tag == "hello", tag
+        self._proc = proc
+        self._conn = parent_conn
+        self.child_pid = hello["pid"]
+        self.last_recovery = hello["recovery"]
+        durable = int(hello["events_durable"])
+        self._acked = durable
+        # Re-deliver retained events the durable state does not cover.
+        while self._retained and self._retained[0][0] <= durable:
+            self._retained.popleft()
+        resend = [event for _idx, event in self._retained]
+        if resend:
+            self.metrics.counter("supervisor.resent_events").inc(len(resend))
+            self._conn.send(("events", resend))
+            if not self._conn.poll(self.heartbeat_timeout):
+                raise _ChildUnresponsive("child hung during resend")
+            _tag, acked = self._conn.recv()
+            self._prune_retained(int(acked))
+
+    def _prune_retained(self, acked: int) -> None:
+        if acked > self._acked:
+            self._acked = acked
+        while self._retained and self._retained[0][0] <= self._acked:
+            self._retained.popleft()
+
+    def _handle_child_death(self) -> None:
+        """Reap the dead child and restart it under backoff + budget."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        if self._proc is not None:
+            self._proc.kill()
+            self._proc.join()
+            self._proc = None
+        self.child_pid = None
+        failures = 0
+        while True:
+            now = time.monotonic()
+            while (
+                self._restart_times
+                and now - self._restart_times[0] > self.restart_window
+            ):
+                self._restart_times.popleft()
+            if len(self._restart_times) >= self.max_restarts:
+                self.degraded = True
+                self.metrics.gauge("supervisor.degraded").set(1)
+                raise DegradedError(
+                    f"restart budget exhausted ({self.max_restarts} in "
+                    f"{self.restart_window:g}s); shedding load"
+                )
+            time.sleep(min(self.backoff_cap, self.backoff_base * (2**failures)))
+            self._restart_times.append(time.monotonic())
+            self.restarts += 1
+            self.metrics.counter("supervisor.restarts").inc()
+            try:
+                self._start_child()
+                return
+            except (_ChildUnresponsive, EOFError, BrokenPipeError, OSError):
+                failures += 1
+
+    def _request(self, op: str, payload=None):
+        """One request/response round with watchdog + restart semantics.
+
+        ``events`` payloads are already retained by the caller, so after
+        a crash-triggered restart (which resends the retained suffix)
+        the request is complete without a literal retry; queries retry
+        against the fresh child.
+        """
+        if self.degraded:
+            raise DegradedError("supervisor is degraded")
+        msg = (op,) if payload is None else (op, payload)
+        for _attempt in range(2 + self.max_restarts):
+            try:
+                self._conn.send(msg)
+                if not self._conn.poll(self.heartbeat_timeout):
+                    raise _ChildUnresponsive(f"child missed deadline on {op!r}")
+                tag, value = self._conn.recv()
+                if tag == "ok":
+                    if op in ("events", "drain", "sync", "close"):
+                        self._prune_retained(int(value))
+                    return value
+                raise RuntimeError(f"child error on {op!r}: {value}")
+            except (
+                _ChildUnresponsive,
+                EOFError,
+                BrokenPipeError,
+                ConnectionResetError,
+            ):
+                self._handle_child_death()  # raises DegradedError when spent
+                if op == "events":
+                    return self._acked  # restart resent the retained gap
+        raise _ChildUnresponsive(f"child kept dying while serving {op!r}")
+
+    # -- producer API ------------------------------------------------------
+    def submit(self, event: Event) -> bool:
+        """Buffer one event; forwards a batch when enough are queued.
+
+        A healthy supervisor never sheds: a full parent queue forwards
+        to the child first.  Only in degraded mode (or while a restart
+        is failing) does the queue fill and its policy decide what is
+        lost — visible as ``shed_events`` in :meth:`status`.
+        """
+        if not self.degraded and self.queue.is_full:
+            self._forward()
+        dropped_before = self.queue.dropped
+        admitted = self.queue.offer(event)
+        if self.queue.dropped > dropped_before:
+            self.metrics.counter("supervisor.shed").inc()
+        if not self.degraded and self.queue.depth >= self.forward_batch:
+            self._forward()
+        return admitted
+
+    def _forward(self) -> None:
+        """Drain the parent queue into retained + child delivery."""
+        while self.queue.depth:
+            chunk = self.queue.drain(self.forward_batch)
+            for event in chunk:
+                self._stream_idx += 1
+                self._retained.append((self._stream_idx, event))
+            try:
+                self._request("events", [list(e) for e in chunk])
+            except DegradedError:
+                return
+        self.metrics.gauge("supervisor.retained").set(len(self._retained))
+
+    def run_events(self, events, *, max_events: int | None = None) -> int:
+        """Feed an iterable through the supervised child; returns consumed."""
+        consumed = 0
+        try:
+            for event in events:
+                if max_events is not None and consumed >= max_events:
+                    break
+                consumed += 1
+                self.submit(event)
+        except KeyboardInterrupt:
+            self.metrics.counter("service.interrupted").inc()
+        self.flush()
+        return consumed
+
+    def flush(self) -> None:
+        """Forward everything buffered and drain the child's queue."""
+        if self.degraded:
+            return
+        try:
+            self._forward()
+            self._request("drain")
+        except DegradedError:
+            pass
+
+    # -- queries -----------------------------------------------------------
+    def results(self):
+        """The child's current :class:`PipelineResult` snapshot."""
+        return self._request("results")
+
+    def top_k_triplets(self, k: int = 10, by: str = "t"):
+        """Proxy of :meth:`DetectionEngine.top_k_triplets` on the child."""
+        return self._request("top", (k, by))
+
+    def status(self) -> dict:
+        """Child status (when reachable) + supervision counters."""
+        child_status: dict = {}
+        if not self.degraded:
+            try:
+                child_status = self._request("status")
+            except DegradedError:
+                pass
+        child_status.update(
+            supervised=True,
+            child_pid=self.child_pid,
+            degraded=self.degraded,
+            restarts=self.restarts,
+            shed_events=self.queue.dropped,
+            pending_events=self.queue.depth,
+            retained_events=len(self._retained),
+            acked_events=self._acked,
+            submitted_events=self.queue.offered,
+            last_recovery=self.last_recovery,
+        )
+        return child_status
+
+    # -- operator controls -------------------------------------------------
+    def restart(self) -> None:
+        """Clear degraded mode and bring a child back up (operator action)."""
+        self.degraded = False
+        self.metrics.gauge("supervisor.degraded").set(0)
+        self._restart_times.clear()
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        if self._proc is not None:
+            self._proc.kill()
+            self._proc.join()
+            self._proc = None
+        self.restarts += 1
+        self.metrics.counter("supervisor.restarts").inc()
+        self._start_child()
+        if not self.degraded:
+            self._forward()
+
+    def kill_child(self) -> None:
+        """SIGKILL the child without telling it (chaos / test hook)."""
+        if self.child_pid is not None:
+            try:
+                os.kill(self.child_pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass  # already dead — the watchdog just hasn't noticed
+            if self._proc is not None:
+                self._proc.join()
+
+    def close(self) -> None:
+        """Flush, persist, and shut the child down cleanly."""
+        if self._conn is None:
+            return
+        try:
+            if not self.degraded:
+                self._forward()
+                self._request("close")
+        except (DegradedError, _ChildUnresponsive):
+            pass
+        finally:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+            if self._proc is not None:
+                self._proc.join(self.heartbeat_timeout)
+                if self._proc.is_alive():  # pragma: no cover - hang guard
+                    self._proc.kill()
+                    self._proc.join()
+                self._proc = None
+            self.child_pid = None
+
+    def __enter__(self) -> "ServeSupervisor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

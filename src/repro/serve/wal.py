@@ -1,0 +1,377 @@
+"""Segmented, checksummed write-ahead event journal for the serve tier.
+
+Durability contract: every record the engine is about to apply is
+appended (and, per the fsync policy, persisted) *before* the in-memory
+state changes.  After a crash, replaying the journal's surviving suffix
+over the newest snapshot reproduces the engine bit-for-bit — see
+:meth:`repro.serve.engine.DetectionEngine.restore`.
+
+On-disk layout (one directory):
+
+- segments named ``wal-<first_seq, 16 digits>.log``, rotated once a
+  segment exceeds ``segment_bytes``;
+- each segment starts with the 8-byte magic ``RBWAL001``;
+- each record is ``<u32 payload length> <u32 CRC32(payload)>``
+  followed by the UTF-8 JSON payload.  The payload carries its own
+  monotone ``"seq"`` so replay can both skip below a snapshot's offset
+  and detect gaps.
+
+Damage semantics (the part recovery leans on):
+
+- a **torn tail** — the last segment ends in a truncated or
+  checksum-failing record — is the expected signature of a crash
+  mid-append.  The reader drops the torn record (and any bytes after
+  it, which a torn write makes untrustworthy) and reports it; the
+  writer truncates it away before appending again.
+- damage anywhere *else* (a bad record followed by another segment, a
+  sequence gap, a corrupt magic) means applied events are unrecoverable
+  and raises :class:`~repro.store.errors.TornWalError` instead of
+  silently skipping them.
+
+fsync policies: ``"always"`` syncs every append (maximum durability,
+slowest), ``"interval"`` syncs every ``fsync_interval`` records and on
+rotation/close (bounded loss window), ``"off"`` leaves persistence to
+the OS (crash-of-process safe via the atomic append ordering, power-loss
+unsafe).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.store.errors import TornWalError
+from repro.util.io import fsync_dir
+
+__all__ = ["WalEndState", "WriteAheadLog", "read_wal", "wal_end_state"]
+
+_MAGIC = b"RBWAL001"
+_HEADER = struct.Struct("<II")
+#: Sanity cap on one record's payload; a "length" above this is damage,
+#: not a real record (the serve tier's micro-batches are ~KB scale).
+_MAX_RECORD_BYTES = 1 << 30
+
+_FSYNC_POLICIES = ("always", "interval", "off")
+
+
+def _segment_path(directory: Path, first_seq: int) -> Path:
+    return directory / f"wal-{first_seq:016d}.log"
+
+
+def _segment_first_seq(path: Path) -> int:
+    return int(path.stem.split("-", 1)[1])
+
+
+def _segments(directory: Path) -> list[Path]:
+    return sorted(directory.glob("wal-*.log"))
+
+
+@dataclass(frozen=True)
+class WalEndState:
+    """Where a journal directory's valid data ends (see :func:`wal_end_state`)."""
+
+    #: Sequence number the next appended record will carry.
+    next_seq: int
+    #: Records that parsed and checksummed clean across all segments.
+    valid_records: int
+    #: Byte offset of the valid prefix inside the last segment (the
+    #: truncation point for a writer reopening after a crash).
+    last_segment_end: int
+    #: Whether a torn tail was dropped to get there.
+    torn_tail: bool
+
+
+def _iter_segment(
+    path: Path, *, is_last: bool, expect_first: int | None
+) -> Iterator[tuple[int, dict, int]]:
+    """Yield ``(seq, payload, end_offset)`` per valid record of one segment.
+
+    *end_offset* is the file offset just past the record — the valid
+    prefix length if this record turns out to be the last clean one.
+    Damage in the last segment stops iteration (torn tail); damage
+    elsewhere raises :class:`TornWalError`.
+    """
+
+    def damaged(detail: str) -> None:
+        """Torn tail if this is the last segment; fatal damage otherwise."""
+        if not is_last:
+            raise TornWalError(
+                f"{path.name}: {detail} in a non-final WAL segment"
+            )
+
+    data = path.read_bytes()
+    if len(data) == 0 and is_last:
+        # A crash between segment creation and the magic write.
+        return
+    if len(data) < len(_MAGIC) or data[: len(_MAGIC)] != _MAGIC:
+        if len(data) < len(_MAGIC) and is_last:
+            return
+        raise TornWalError(f"{path.name}: bad WAL segment magic")
+    offset = len(_MAGIC)
+    expected = expect_first
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            damaged("truncated record header")
+            return
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length > _MAX_RECORD_BYTES:
+            damaged(f"implausible record length {length}")
+            return
+        start = offset + _HEADER.size
+        end = start + length
+        if end > len(data):
+            damaged("truncated record payload")
+            return
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            damaged("record checksum mismatch")
+            return
+        try:
+            record = json.loads(payload.decode("utf-8"))
+            seq = int(record["seq"])
+        except (UnicodeDecodeError, ValueError, KeyError, TypeError):
+            damaged("undecodable record payload")
+            return
+        if expected is not None and seq != expected:
+            # A checksum-clean record carrying the wrong seq cannot come
+            # from a torn append; refuse even at the tail.
+            raise TornWalError(
+                f"{path.name}: sequence gap (expected {expected}, found {seq})"
+            )
+        expected = seq + 1
+        yield seq, record, end
+        offset = end
+
+
+def _read_all(
+    directory: str | Path,
+) -> Iterator[tuple[int, dict, Path, int]]:
+    """Yield ``(seq, record, segment, end_offset)`` across all segments."""
+    directory = Path(directory)
+    segments = _segments(directory)
+    expected: int | None = None
+    for i, path in enumerate(segments):
+        first = _segment_first_seq(path)
+        if expected is not None and first != expected:
+            raise TornWalError(
+                f"{path.name}: segment starts at seq {first}, "
+                f"expected {expected} (missing or reordered segment)"
+            )
+        expected = first
+        for seq, record, end in _iter_segment(
+            path, is_last=(i == len(segments) - 1), expect_first=first
+        ):
+            expected = seq + 1
+            yield seq, record, path, end
+
+
+def read_wal(
+    directory: str | Path, start_seq: int = 0
+) -> Iterator[tuple[int, dict]]:
+    """Replay the journal: yield ``(seq, record)`` for every valid record
+    with ``seq >= start_seq``, dropping a torn tail, raising
+    :class:`TornWalError` on mid-journal damage."""
+    for seq, record, _path, _end in _read_all(directory):
+        if seq >= start_seq:
+            yield seq, record
+
+
+def wal_end_state(directory: str | Path) -> WalEndState:
+    """Scan the journal and report where its valid data ends."""
+    directory = Path(directory)
+    segments = _segments(directory)
+    next_seq = _segment_first_seq(segments[-1]) if segments else 0
+    valid = 0
+    end = len(_MAGIC) if segments and segments[-1].stat().st_size else 0
+    last = segments[-1] if segments else None
+    for seq, _record, path, offset in _read_all(directory):
+        next_seq = seq + 1
+        valid += 1
+        if path == last:
+            end = offset
+    torn = last is not None and last.stat().st_size > max(end, 0)
+    return WalEndState(
+        next_seq=next_seq,
+        valid_records=valid,
+        last_segment_end=end,
+        torn_tail=torn,
+    )
+
+
+class WriteAheadLog:
+    """Appending side of the journal (one writer per directory).
+
+    Parameters
+    ----------
+    directory:
+        Journal directory (created if missing).  An existing journal is
+        continued: the valid tail is located, any torn final record is
+        truncated away, and appends resume at the next sequence number.
+    fsync:
+        ``"always"`` / ``"interval"`` / ``"off"`` (see module docstring).
+    fsync_interval:
+        Records between syncs under the ``"interval"`` policy.
+    segment_bytes:
+        Rotation threshold; a segment is closed once it grows past this.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> d = tempfile.mkdtemp()
+    >>> wal = WriteAheadLog(d, fsync="off")
+    >>> wal.append({"events": [["a", "p", 0]], "cutoff": None})
+    0
+    >>> wal.append({"events": [], "cutoff": 10})
+    1
+    >>> wal.close()
+    >>> [(seq, r["cutoff"]) for seq, r in read_wal(d)]
+    [(0, None), (1, 10)]
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        fsync: str = "interval",
+        fsync_interval: int = 32,
+        segment_bytes: int = 4 * 1024 * 1024,
+    ) -> None:
+        if fsync not in _FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {_FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if fsync_interval <= 0:
+            raise ValueError(f"fsync_interval must be > 0, got {fsync_interval}")
+        if segment_bytes <= len(_MAGIC):
+            raise ValueError(f"segment_bytes too small: {segment_bytes}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.fsync_interval = int(fsync_interval)
+        self.segment_bytes = int(segment_bytes)
+        self._fh = None
+        self._unsynced = 0
+
+        end = wal_end_state(self.directory)
+        self.next_seq = end.next_seq
+        self.recovered_torn_tail = end.torn_tail
+        segments = _segments(self.directory)
+        if segments:
+            last = segments[-1]
+            if end.torn_tail:
+                # Drop the torn record so the resumed tail stays readable.
+                with open(last, "r+b") as fh:
+                    fh.truncate(max(end.last_segment_end, 0))
+            if last.stat().st_size < self.segment_bytes:
+                self._fh = open(last, "ab")
+                if last.stat().st_size == 0:
+                    self._fh.write(_MAGIC)
+                    self._fh.flush()
+
+    # -- appends -----------------------------------------------------------
+    def append(self, record: dict) -> int:
+        """Journal one record (``"seq"`` is added here); returns its seq.
+
+        The record is on disk (to the fsync policy's guarantee) when this
+        returns — callers apply the corresponding state change *after*.
+        """
+        if "seq" in record:
+            raise ValueError("record must not carry its own 'seq'")
+        seq = self.next_seq
+        payload = json.dumps(
+            {"seq": seq, **record}, separators=(",", ":")
+        ).encode("utf-8")
+        fh = self._fh
+        if fh is None:
+            fh = self._open_segment(seq)
+        fh.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
+        fh.write(payload)
+        # Always hand the bytes to the OS: process death then costs at
+        # most the torn tail, never a buffered batch.  fsync (power-loss
+        # durability) is what the policy actually modulates.
+        fh.flush()
+        self.next_seq = seq + 1
+        self._unsynced += 1
+        if self.fsync == "always" or (
+            self.fsync == "interval" and self._unsynced >= self.fsync_interval
+        ):
+            self.sync()
+        if fh.tell() >= self.segment_bytes:
+            self._rotate()
+        return seq
+
+    def sync(self) -> None:
+        """Flush and ``fsync`` the open segment (no-op when nothing is open)."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        self._unsynced = 0
+
+    def _open_segment(self, first_seq: int):
+        path = _segment_path(self.directory, first_seq)
+        self._fh = open(path, "ab")
+        if self._fh.tell() == 0:
+            self._fh.write(_MAGIC)
+            self._fh.flush()
+        fsync_dir(self.directory)
+        return self._fh
+
+    def _rotate(self) -> None:
+        self.sync()
+        self._fh.close()
+        self._fh = None  # next append opens wal-<next_seq>.log
+
+    # -- maintenance -------------------------------------------------------
+    def reset_to(self, seq: int) -> None:
+        """Discard every segment and restart the journal at *seq*.
+
+        Only valid when something else (a snapshot generation) already
+        covers every surviving record — e.g. after a recovery in which
+        the newest snapshot was ahead of a damaged journal.  Restarting
+        at *seq* keeps the snapshot-offset convention intact without
+        leaving a sequence gap for the next reader to trip over.
+        """
+        self.close()
+        for path in _segments(self.directory):
+            path.unlink()
+        fsync_dir(self.directory)
+        self.next_seq = int(seq)
+
+    def prune_before(self, seq: int) -> int:
+        """Delete segments whose records all precede *seq* (post-snapshot
+        retention); returns the number of segments removed."""
+        segments = _segments(self.directory)
+        removed = 0
+        for path, nxt in zip(segments, segments[1:]):
+            if _segment_first_seq(nxt) <= seq and (
+                self._fh is None or path.name != Path(self._fh.name).name
+            ):
+                path.unlink()
+                removed += 1
+        if removed:
+            fsync_dir(self.directory)
+        return removed
+
+    def close(self) -> None:
+        """Flush, sync, and release the open segment (idempotent)."""
+        if self._fh is not None:
+            self.sync()
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WriteAheadLog({str(self.directory)!r}, next_seq={self.next_seq}, "
+            f"fsync={self.fsync})"
+        )

@@ -29,7 +29,13 @@ subcommand (``--chaos`` for the fault-injected mode, ``--online`` for
 the streaming mode).
 """
 
-from repro.verify.chaos import ChaosReport, diff_results, run_chaos
+from repro.verify.chaos import (
+    ChaosReport,
+    RecoveryChaosReport,
+    diff_results,
+    run_chaos,
+    run_recovery_chaos,
+)
 from repro.verify.online import OnlineParityReport, run_online_parity
 
 from repro.verify.invariants import (
@@ -68,7 +74,9 @@ __all__ = [
     "run_gate",
     "ChaosReport",
     "diff_results",
+    "RecoveryChaosReport",
     "run_chaos",
+    "run_recovery_chaos",
     "InvariantViolation",
     "check_edge_canonical_form",
     "check_edge_weight_bounds",

@@ -255,6 +255,45 @@ def _compare_parallel(base: dict, fresh: dict, rep: GateReport) -> None:
             )
 
 
+def _compare_serve_durable(base: dict, fresh: dict, rep: GateReport) -> None:
+    cmp = _Comparator(rep)
+    if base.get("scale") != fresh.get("scale"):
+        rep.errors.append(
+            f"BENCH_serve_durable: scale mismatch (baseline "
+            f"{base.get('scale')!r} vs fresh {fresh.get('scale')!r}) — "
+            "rerun at baseline scale"
+        )
+        return
+    cmp.seconds(
+        "serve_durable.memory.seconds",
+        float(base["memory"]["seconds"]),
+        float(fresh["memory"]["seconds"]),
+    )
+    for policy, b in base.get("durable", {}).items():
+        f = fresh.get("durable", {}).get(policy)
+        if f is None:
+            rep.errors.append(
+                f"serve_durable.durable[{policy}]: missing from fresh results"
+            )
+            continue
+        cmp.seconds(
+            f"serve_durable.durable[{policy}].seconds",
+            float(b["seconds"]),
+            float(f["seconds"]),
+        )
+    # The headline durability claim is absolute, not baseline-relative:
+    # fsync=interval must keep >= 70% of in-memory throughput (the same
+    # floor the bench itself asserts — the gate re-checks the *committed*
+    # numbers so a stale result file cannot hide a regression).
+    interval = fresh.get("durable", {}).get("interval")
+    if interval is not None and float(interval["ratio"]) < 0.70:
+        rep.errors.append(
+            "serve_durable.durable[interval].ratio: "
+            f"{float(interval['ratio']):.2%} of in-memory throughput — "
+            "the durability tax exceeds the committed 30% budget"
+        )
+
+
 # name -> (comparator, required).  Required baselines must have a fresh
 # counterpart (CI runs those benches every time); optional ones — the
 # full-scale parallel bench takes minutes on a big host — are compared
@@ -263,6 +302,8 @@ _COMPARATORS = {
     "BENCH_kernels.json": (_compare_kernels, True),
     "BENCH_parallel_smoke.json": (_compare_parallel, True),
     "BENCH_parallel.json": (_compare_parallel, False),
+    "BENCH_serve_durable_smoke.json": (_compare_serve_durable, True),
+    "BENCH_serve_durable.json": (_compare_serve_durable, False),
 }
 
 

@@ -35,7 +35,13 @@ from repro.ygm.errors import YgmError
 from repro.ygm.faults import FaultPlan
 from repro.ygm.world import YgmWorld
 
-__all__ = ["ChaosReport", "run_chaos", "diff_results"]
+__all__ = [
+    "ChaosReport",
+    "RecoveryChaosReport",
+    "run_chaos",
+    "run_recovery_chaos",
+    "diff_results",
+]
 
 _DIFF_LIMIT = 4
 
@@ -191,4 +197,286 @@ def run_chaos(
         report.divergences = diff_results(oracle, recovered)
     else:
         report.divergences = diff_results(oracle, first)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Recovery chaos: SIGKILL the durable serve tier, damage its files, demand
+# bit-identical recovery (the WAL + snapshot contract of repro.store).
+# ---------------------------------------------------------------------------
+
+_CORRUPTIONS = ("none", "torn-tail", "corrupt-snapshot")
+
+
+@dataclass
+class RecoveryChaosReport:
+    """Outcome of one kill-and-recover scenario against the durable store."""
+
+    kill_at: int
+    corruption: str
+    fsync: str
+    #: Child exit code (``-9`` = died to the injected SIGKILL as planned).
+    child_exit: int | None = None
+    #: Journal records the durable state covered at recovery time.
+    applied_seq: int = 0
+    #: Stream position recovered (events covered by the durable state).
+    events_durable: int = 0
+    records_replayed: int = 0
+    snapshots_skipped: int = 0
+    torn_tail: bool = False
+    recovery: str = ""
+    #: Recovered state vs the serial oracle stopped at the same record.
+    divergences: list[str] = field(default_factory=list)
+    #: After resuming the stream tail: final state vs a full serial run
+    #: (empty when the tail was not resumed).
+    resume_divergences: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Planned kill, exact recovery, exact post-resume parity."""
+        return (
+            self.child_exit == -9
+            and not self.divergences
+            and not self.resume_divergences
+        )
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"recovery chaos: kill at event {self.kill_at}, "
+            f"corruption [{self.corruption}], fsync={self.fsync}",
+            f"  child exit: {self.child_exit}",
+            f"  {self.recovery}",
+        ]
+        if self.ok:
+            lines.append(
+                "  RECOVERY PARITY OK — recovered state matches the serial "
+                "oracle exactly"
+            )
+        else:
+            for name, diffs in (
+                ("recovery", self.divergences),
+                ("resume", self.resume_divergences),
+            ):
+                for d in diffs:
+                    lines.append(f"  {name.upper()} DIVERGENCE: {d}")
+            if self.child_exit != -9:
+                lines.append(
+                    f"  CHILD DID NOT DIE TO THE PLANNED SIGKILL "
+                    f"(exit {self.child_exit})"
+                )
+        return "\n".join(lines)
+
+
+def _drive_service(service, events, *, kill_at=None) -> None:
+    """The one deterministic drive loop every recovery-chaos party runs.
+
+    Feeding, backpressure ticking, and batch-threshold ticking must be
+    byte-for-byte the same schedule in the killed child and in the
+    serial oracle — the bit-identity assertion depends on it.  The loop
+    never drains the tail: a killed process would not have either.
+    """
+    import os as _os
+    import signal as _signal
+
+    for i, event in enumerate(events):
+        if kill_at is not None and i == kill_at:
+            _os.kill(_os.getpid(), _signal.SIGKILL)
+        while not service.submit(event):
+            service.tick()
+        if service.queue.depth >= service.batch_size:
+            service.tick()
+
+
+class _OracleStop(Exception):
+    pass
+
+
+def _oracle_snapshot(events, config, service_kwargs, n_records):
+    """Serial in-memory state after exactly *n_records* journal-equivalent
+    ticks of the shared drive loop (the recovery ground truth)."""
+    from repro.serve.service import DetectionService
+
+    class _Counting(DetectionService):
+        _records = 0
+
+        def _pre_apply(self, batch, cutoff):
+            if not batch and cutoff is None:
+                return
+            if self._records >= n_records:
+                raise _OracleStop()
+            self._records += 1
+
+    svc = _Counting(config, **service_kwargs)
+    try:
+        _drive_service(svc, events)
+        svc.drain_all()
+    except _OracleStop:
+        pass
+    return svc.engine.snapshot()
+
+
+def _inject_corruption(directory, corruption: str) -> None:
+    """Damage the durable files the way a real fault would."""
+    from pathlib import Path
+
+    root = Path(directory)
+    if corruption == "torn-tail":
+        segments = sorted((root / "wal").glob("wal-*.log"))
+        if segments:
+            with open(segments[-1], "ab") as fh:
+                # A plausible header promising more payload than exists.
+                fh.write(b"\x80\x00\x00\x00\xde\xad\xbe\xefhalf-a-record")
+    elif corruption == "corrupt-snapshot":
+        snaps = sorted((root / "snapshots").glob("snap-*/state.npz"))
+        if snaps:
+            data = bytearray(snaps[-1].read_bytes())
+            data[len(data) // 2] ^= 0xFF
+            snaps[-1].write_bytes(bytes(data))
+    elif corruption != "none":
+        raise ValueError(
+            f"corruption must be one of {_CORRUPTIONS}, got {corruption!r}"
+        )
+
+
+def run_recovery_chaos(
+    events: Sequence[tuple],
+    config: PipelineConfig,
+    *,
+    kill_at: int,
+    corruption: str = "none",
+    fsync: str = "interval",
+    snapshot_every: int = 8,
+    batch_size: int = 32,
+    window_horizon: int = 86_400,
+    allowed_lateness: int = 0,
+    directory: str | None = None,
+    resume_tail: bool = True,
+) -> RecoveryChaosReport:
+    """Kill a durable serve process mid-stream, damage its files, recover.
+
+    The scenario, end to end:
+
+    1. fork a child that drives *events* through a
+       :class:`~repro.serve.durable.DurableDetectionService` and
+       SIGKILLs **itself** at event index *kill_at* — a real no-warning
+       death, not an exception;
+    2. optionally damage what it left behind (*corruption*:
+       ``"torn-tail"`` appends a half-written record to the journal,
+       ``"corrupt-snapshot"`` flips a byte inside the newest snapshot
+       payload);
+    3. recover in-process and compare the recovered engine
+       **bit-for-bit** against a serial oracle stopped after the same
+       number of journal records;
+    4. with *resume_tail*, feed the recovered service the stream suffix
+       its durable state does not cover and demand the final state match
+       an uninterrupted serial run of the whole stream.
+
+    Every step is deterministic, so a failure is reproducible from the
+    report's parameters alone.
+    """
+    import tempfile as _tempfile
+
+    if corruption not in _CORRUPTIONS:
+        raise ValueError(
+            f"corruption must be one of {_CORRUPTIONS}, got {corruption!r}"
+        )
+    report = RecoveryChaosReport(
+        kill_at=kill_at, corruption=corruption, fsync=fsync
+    )
+    service_kwargs = dict(
+        window_horizon=window_horizon,
+        allowed_lateness=allowed_lateness,
+        batch_size=batch_size,
+    )
+    root = directory or _tempfile.mkdtemp(prefix="repro-recovery-chaos-")
+    events = [tuple(e) for e in events]
+    try:
+        return _run_recovery_chaos(
+            report,
+            events,
+            config,
+            root,
+            kill_at=kill_at,
+            corruption=corruption,
+            fsync=fsync,
+            snapshot_every=snapshot_every,
+            resume_tail=resume_tail,
+            service_kwargs=service_kwargs,
+        )
+    finally:
+        if directory is None:
+            # The harness owns a directory it created; a caller-provided
+            # one (e.g. a pytest tmp_path) is the caller's to keep.
+            import shutil
+
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def _run_recovery_chaos(
+    report: "RecoveryChaosReport",
+    events: list,
+    config,
+    root,
+    *,
+    kill_at,
+    corruption: str,
+    fsync: str,
+    snapshot_every: int,
+    resume_tail: bool,
+    service_kwargs: dict,
+) -> "RecoveryChaosReport":
+    import multiprocessing
+
+    from repro.serve.durable import DurableDetectionService
+    from repro.serve.service import DetectionService
+
+    def _victim() -> None:
+        svc = DurableDetectionService(
+            config,
+            directory=root,
+            fsync=fsync,
+            snapshot_every=snapshot_every,
+            snapshot_on_close=False,
+            **service_kwargs,
+        )
+        _drive_service(svc, events, kill_at=kill_at)
+        svc.close()  # only reached when kill_at is past the stream end
+
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=_victim)
+    proc.start()
+    proc.join()
+    report.child_exit = proc.exitcode
+
+    _inject_corruption(root, corruption)
+
+    recovered = DurableDetectionService(
+        config,
+        directory=root,
+        fsync=fsync,
+        snapshot_every=snapshot_every,
+        **service_kwargs,
+    )
+    rec = recovered.recovery
+    report.applied_seq = rec.applied_seq
+    report.events_durable = rec.events_durable
+    report.records_replayed = rec.records_replayed
+    report.snapshots_skipped = len(rec.snapshots_skipped)
+    report.torn_tail = rec.torn_tail
+    report.recovery = rec.describe()
+
+    oracle = _oracle_snapshot(events, config, service_kwargs, rec.applied_seq)
+    report.divergences = diff_results(oracle, recovered.engine.snapshot())
+
+    if resume_tail:
+        _drive_service(recovered, events[rec.events_durable :])
+        recovered.drain_all()
+        full = DetectionService(config, **service_kwargs)
+        _drive_service(full, events)
+        full.drain_all()
+        report.resume_divergences = diff_results(
+            full.engine.snapshot(), recovered.engine.snapshot()
+        )
+    recovered.close()
     return report

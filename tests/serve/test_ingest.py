@@ -46,6 +46,48 @@ class TestEventQueue:
         with pytest.raises(ValueError):
             EventQueue(1, policy="explode")
 
+    def test_zero_and_negative_capacity_rejected(self):
+        # A zero-capacity queue would make every offer bounce and every
+        # drain empty — a silent black hole — so construction refuses it.
+        for capacity in (0, -1, -100):
+            with pytest.raises(ValueError, match="capacity"):
+                EventQueue(capacity)
+
+    def test_full_queue_drains_completely_at_shutdown(self):
+        # Shutdown finds the buffer at capacity: everything admitted must
+        # still come back out, under every policy.
+        for policy in ("reject", "drop-oldest", "drop-newest"):
+            q = EventQueue(capacity=4, policy=policy)
+            for t in range(7):
+                q.offer(("u", "p", t))
+            assert q.is_full
+            drained = q.drain(q.capacity)
+            assert len(drained) == 4
+            assert q.depth == 0 and not q.is_full
+            assert q.drain(10) == []
+
+    def test_reject_vs_drop_keep_different_ends_of_the_stream(self):
+        # Same over-capacity stream, three survivor sets: reject and
+        # drop-newest keep the oldest prefix, drop-oldest the newest
+        # suffix — and every loss is counted either way.
+        survivors = {}
+        for policy in ("reject", "drop-oldest", "drop-newest"):
+            q = EventQueue(capacity=3, policy=policy)
+            for t in range(6):
+                q.offer(("u", "p", t))
+            assert q.offered == 6 and q.dropped == 3
+            survivors[policy] = [e[2] for e in q.drain(10)]
+        assert survivors["reject"] == [0, 1, 2]
+        assert survivors["drop-newest"] == [0, 1, 2]
+        assert survivors["drop-oldest"] == [3, 4, 5]
+
+    def test_drain_nonpositive_budget_is_a_noop(self):
+        q = EventQueue(capacity=4)
+        q.offer(("u", "p", 1))
+        assert q.drain(0) == []
+        assert q.drain(-5) == []
+        assert q.depth == 1
+
 
 class TestWatermarkTracker:
     def test_watermark_trails_max_by_lateness(self):

@@ -69,6 +69,22 @@ class TestSubmitAndTick:
         assert ticks >= 4 and svc.queue.depth == 0
         assert svc.engine.n_live_comments == 7
 
+    def test_drain_all_on_empty_queue_is_a_noop(self):
+        svc = make_service()
+        assert svc.drain_all() == 0
+        assert svc.metrics.counter("service.ticks").value == 0
+
+    def test_drain_all_with_queue_full_at_shutdown(self):
+        # Shutdown arrives with the buffer at capacity under the reject
+        # policy: every admitted event must still reach the engine.
+        svc = make_service(queue_capacity=8, batch_size=3)
+        for t in range(8):
+            assert svc.submit((f"u{t}", "p", t))
+        assert svc.queue.is_full
+        svc.drain_all()
+        assert svc.queue.depth == 0
+        assert svc.engine.n_live_comments == 8
+
 
 class TestRunLoops:
     def test_run_events_consumes_everything(self):
@@ -118,6 +134,38 @@ class TestRunLoops:
         assert svc.metrics.counter("service.interrupted").value == 1
         assert svc.queue.depth == 0                  # tail was drained
         assert svc.engine.n_live_comments == 2
+
+    def test_keyboard_interrupt_with_full_queue_drains_everything(self):
+        # SIGINT lands exactly when the buffer is at capacity: the
+        # shutdown drain must still flush every admitted event.
+        svc = make_service(queue_capacity=4, batch_size=100)
+
+        def stream():
+            for t in range(4):
+                yield (f"u{t}", "p", t)
+            raise KeyboardInterrupt
+
+        svc.run_events(stream())
+        assert svc.queue.depth == 0
+        assert svc.engine.n_live_comments == 4
+        assert svc.metrics.counter("service.interrupted").value == 1
+
+    def test_keyboard_interrupt_with_drop_policy_accounts_shed(self):
+        # A shedding deployment interrupted mid-stream: survivors land,
+        # losses stay counted, nothing lingers in the queue.
+        svc = make_service(
+            queue_capacity=2, batch_size=100, queue_policy="drop-oldest"
+        )
+
+        def stream():
+            for t in range(5):
+                yield (f"u{t}", "p", t)
+            raise KeyboardInterrupt
+
+        svc.run_events(stream())
+        assert svc.queue.depth == 0
+        assert svc.engine.n_live_comments == 2       # newest two survived
+        assert svc.queue.dropped == 3
 
     def test_status_merges_frontend_and_engine(self):
         svc = make_service()

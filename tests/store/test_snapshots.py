@@ -1,0 +1,144 @@
+"""Tests for SnapshotStore: atomicity, validation, fallback, retention."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.store import CorruptSnapshotError, SnapshotStore
+
+pytestmark = pytest.mark.serve
+
+
+def save_gen(store, seq, note="n"):
+    store.save(seq, {"xs": np.arange(seq + 1)}, {"note": note, "seq": seq})
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        save_gen(store, 7, note="hello")
+        arrays, meta = store.load(7)
+        assert arrays["xs"].tolist() == list(range(8))
+        assert meta == {"note": "hello", "seq": 7}
+
+    def test_object_arrays_roundtrip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        names = np.array(["alice", "bob", "carol"], dtype=object)
+        store.save(1, {"names": names}, {})
+        arrays, _ = store.load(1)
+        assert arrays["names"].tolist() == ["alice", "bob", "carol"]
+
+    def test_generations_newest_first(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=10)
+        for seq in (3, 11, 7):
+            save_gen(store, seq)
+        assert store.generations() == [11, 7, 3]
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        for seq in (1, 2, 3, 4):
+            save_gen(store, seq)
+        assert store.generations() == [4, 3]
+
+    def test_resave_same_seq_replaces(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        save_gen(store, 5, note="first")
+        save_gen(store, 5, note="second")
+        _, meta = store.load(5)
+        assert meta["note"] == "second"
+
+    def test_tmp_orphan_swept_on_next_save(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        orphan = tmp_path / "snap-0000000000000001.tmp"
+        orphan.mkdir()
+        (orphan / "state.npz").write_bytes(b"half-written")
+        save_gen(store, 2)
+        assert not orphan.exists()
+        assert store.generations() == [2]
+
+    def test_keep_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            SnapshotStore(tmp_path, keep=0)
+
+
+class TestCorruptionTaxonomy:
+    def corrupt(self, tmp_path, mutate):
+        store = SnapshotStore(tmp_path)
+        save_gen(store, 4)
+        mutate(tmp_path / "snap-0000000000000004")
+        return store
+
+    def test_missing_generation(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        with pytest.raises(CorruptSnapshotError, match="manifest missing"):
+            store.load(99)
+
+    def test_manifest_missing(self, tmp_path):
+        store = self.corrupt(tmp_path, lambda g: (g / "manifest.json").unlink())
+        with pytest.raises(CorruptSnapshotError, match="manifest missing"):
+            store.load(4)
+
+    def test_manifest_unparseable(self, tmp_path):
+        store = self.corrupt(
+            tmp_path, lambda g: (g / "manifest.json").write_text("{nope")
+        )
+        with pytest.raises(CorruptSnapshotError, match="unparseable"):
+            store.load(4)
+
+    def test_manifest_wrong_seq(self, tmp_path):
+        def mutate(g):
+            m = json.loads((g / "manifest.json").read_text())
+            m["seq"] = 5
+            (g / "manifest.json").write_text(json.dumps(m))
+
+        store = self.corrupt(tmp_path, mutate)
+        with pytest.raises(CorruptSnapshotError, match="seq"):
+            store.load(4)
+
+    def test_payload_missing(self, tmp_path):
+        store = self.corrupt(tmp_path, lambda g: (g / "state.npz").unlink())
+        with pytest.raises(CorruptSnapshotError, match="payload missing"):
+            store.load(4)
+
+    def test_payload_bitflip(self, tmp_path):
+        def mutate(g):
+            data = bytearray((g / "state.npz").read_bytes())
+            data[len(data) // 2] ^= 0xFF
+            (g / "state.npz").write_bytes(bytes(data))
+
+        store = self.corrupt(tmp_path, mutate)
+        with pytest.raises(CorruptSnapshotError, match="checksum"):
+            store.load(4)
+
+    def test_payload_truncated(self, tmp_path):
+        def mutate(g):
+            data = (g / "state.npz").read_bytes()
+            (g / "state.npz").write_bytes(data[: len(data) // 2])
+
+        store = self.corrupt(tmp_path, mutate)
+        with pytest.raises(CorruptSnapshotError, match="checksum"):
+            store.load(4)
+
+
+class TestNewestValidFallback:
+    def test_falls_back_past_corrupt_newest(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        for seq in (1, 2, 3):
+            save_gen(store, seq)
+        npz = tmp_path / "snap-0000000000000003" / "state.npz"
+        npz.write_bytes(b"garbage")
+        seq, arrays, meta, skipped = store.load_newest_valid()
+        assert seq == 2
+        assert meta["seq"] == 2
+        assert [s for s, _reason in skipped] == [3]
+        assert "mismatch" in skipped[0][1]
+
+    def test_all_corrupt_returns_none(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        save_gen(store, 1)
+        (tmp_path / "snap-0000000000000001" / "manifest.json").unlink()
+        assert store.load_newest_valid() is None
+
+    def test_empty_store_returns_none(self, tmp_path):
+        assert SnapshotStore(tmp_path).load_newest_valid() is None

@@ -1,0 +1,165 @@
+"""Tests for the write-ahead journal: framing, rotation, damage semantics."""
+
+import pytest
+
+from repro.serve.wal import WriteAheadLog, read_wal, wal_end_state
+from repro.store import TornWalError
+
+pytestmark = pytest.mark.serve
+
+
+def records(n, start=0):
+    return [
+        {"events": [["u%d" % i, "p", i]], "cutoff": None, "wm": i}
+        for i in range(start, start + n)
+    ]
+
+
+class TestAppendAndRead:
+    def test_roundtrip_preserves_records_in_order(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="off") as wal:
+            for rec in records(5):
+                wal.append(dict(rec))
+        got = list(read_wal(tmp_path))
+        assert [seq for seq, _ in got] == [0, 1, 2, 3, 4]
+        assert got[3][1]["wm"] == 3
+        assert got[3][1]["events"] == [["u3", "p", 3]]
+
+    def test_append_assigns_and_rejects_seq(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="off") as wal:
+            assert wal.append({"events": []}) == 0
+            assert wal.append({"events": []}) == 1
+            with pytest.raises(ValueError):
+                wal.append({"seq": 7, "events": []})
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="off") as wal:
+            for rec in records(3):
+                wal.append(dict(rec))
+        with WriteAheadLog(tmp_path, fsync="off") as wal:
+            assert wal.next_seq == 3
+            assert wal.append({"events": []}) == 3
+        assert [seq for seq, _ in read_wal(tmp_path)] == [0, 1, 2, 3]
+
+    def test_start_seq_filters_replay(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="off") as wal:
+            for rec in records(6):
+                wal.append(dict(rec))
+        assert [seq for seq, _ in read_wal(tmp_path, start_seq=4)] == [4, 5]
+
+    def test_fsync_policy_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path, fsync="sometimes")
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path, fsync="interval", fsync_interval=0)
+
+
+class TestRotation:
+    def test_segments_rotate_at_threshold(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="off", segment_bytes=256) as wal:
+            for rec in records(20):
+                wal.append(dict(rec))
+        segments = sorted(tmp_path.glob("wal-*.log"))
+        assert len(segments) > 1
+        # Replay is seamless across the segment boundaries.
+        assert [seq for seq, _ in read_wal(tmp_path)] == list(range(20))
+
+    def test_prune_before_drops_only_covered_segments(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="off", segment_bytes=256) as wal:
+            for rec in records(20):
+                wal.append(dict(rec))
+            n_before = len(sorted(tmp_path.glob("wal-*.log")))
+            removed = wal.prune_before(10)
+            assert 0 < removed < n_before
+        # Everything at or past seq 10 must still replay.
+        seqs = [seq for seq, _ in read_wal(tmp_path, start_seq=10)]
+        assert seqs == list(range(10, 20))
+
+    def test_reset_to_restarts_cleanly(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="off") as wal:
+            for rec in records(4):
+                wal.append(dict(rec))
+            wal.reset_to(50)
+            assert wal.append({"events": []}) == 50
+        assert [seq for seq, _ in read_wal(tmp_path)] == [50]
+
+
+class TestDamageSemantics:
+    def _write(self, tmp_path, n=6, segment_bytes=1 << 22):
+        with WriteAheadLog(
+            tmp_path, fsync="off", segment_bytes=segment_bytes
+        ) as wal:
+            for rec in records(n):
+                wal.append(dict(rec))
+
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        self._write(tmp_path)
+        last = sorted(tmp_path.glob("wal-*.log"))[-1]
+        with open(last, "ab") as fh:
+            fh.write(b"\x99\x00\x00\x00\x01\x02\x03\x04torn")
+        end = wal_end_state(tmp_path)
+        assert end.torn_tail
+        assert end.next_seq == 6
+        assert [seq for seq, _ in read_wal(tmp_path)] == list(range(6))
+
+    def test_truncated_final_record_is_dropped(self, tmp_path):
+        self._write(tmp_path)
+        last = sorted(tmp_path.glob("wal-*.log"))[-1]
+        data = last.read_bytes()
+        last.write_bytes(data[:-3])  # torn mid-payload
+        end = wal_end_state(tmp_path)
+        assert end.torn_tail
+        assert end.next_seq == 5
+        assert [seq for seq, _ in read_wal(tmp_path)] == list(range(5))
+
+    def test_writer_truncates_torn_tail_and_resumes(self, tmp_path):
+        self._write(tmp_path)
+        last = sorted(tmp_path.glob("wal-*.log"))[-1]
+        last.write_bytes(last.read_bytes()[:-3])
+        with WriteAheadLog(tmp_path, fsync="off") as wal:
+            assert wal.recovered_torn_tail
+            assert wal.append({"events": []}) == 5
+        assert [seq for seq, _ in read_wal(tmp_path)] == list(range(6))
+
+    def test_damage_in_non_final_segment_is_fatal(self, tmp_path):
+        self._write(tmp_path, n=20, segment_bytes=256)
+        first = sorted(tmp_path.glob("wal-*.log"))[0]
+        data = bytearray(first.read_bytes())
+        data[20] ^= 0xFF  # corrupt a record body mid-journal
+        first.write_bytes(bytes(data))
+        with pytest.raises(TornWalError):
+            list(read_wal(tmp_path))
+
+    def test_missing_middle_segment_is_fatal(self, tmp_path):
+        self._write(tmp_path, n=20, segment_bytes=256)
+        segments = sorted(tmp_path.glob("wal-*.log"))
+        assert len(segments) >= 3
+        segments[1].unlink()
+        with pytest.raises(TornWalError):
+            list(read_wal(tmp_path))
+
+    def test_checksum_clean_wrong_seq_is_fatal(self, tmp_path):
+        """A clean record carrying the wrong seq is not a torn append."""
+        self._write(tmp_path, n=3)
+        import json
+        import struct
+        import zlib
+
+        last = sorted(tmp_path.glob("wal-*.log"))[-1]
+        payload = json.dumps({"seq": 9, "events": []}).encode()
+        with open(last, "ab") as fh:
+            fh.write(struct.pack("<II", len(payload), zlib.crc32(payload)))
+            fh.write(payload)
+        with pytest.raises(TornWalError):
+            list(read_wal(tmp_path))
+
+    def test_empty_last_segment_tolerated(self, tmp_path):
+        self._write(tmp_path, n=3)
+        (tmp_path / "wal-0000000000000003.log").write_bytes(b"")
+        assert [seq for seq, _ in read_wal(tmp_path)] == [0, 1, 2]
+        assert wal_end_state(tmp_path).next_seq == 3
+
+    def test_empty_directory(self, tmp_path):
+        assert list(read_wal(tmp_path)) == []
+        end = wal_end_state(tmp_path)
+        assert end.next_seq == 0 and not end.torn_tail

@@ -1,0 +1,87 @@
+"""Tests for the crash-safe write helpers in repro.util.io."""
+
+import os
+
+import pytest
+
+from repro.util.io import (
+    atomic_write_bytes,
+    atomic_write_text,
+    fsync_dir,
+    fsync_path,
+)
+
+
+class TestAtomicWrite:
+    def test_creates_file_with_content(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, '{"ok": true}')
+        assert target.read_text(encoding="utf-8") == '{"ok": true}'
+
+    def test_overwrites_existing(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_tmp_sibling_left_behind(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"\x00\x01")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.bin"]
+
+    def test_durable_flag_roundtrips(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"abc", durable=True)
+        assert target.read_bytes() == b"abc"
+
+    def test_bytes_and_text_agree(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        atomic_write_text(a, "héllo")
+        atomic_write_bytes(b, "héllo".encode("utf-8"))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_failed_write_leaves_old_content(self, tmp_path):
+        """The replace only happens after the tmp file is fully written."""
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "precious")
+
+        class Exploding:
+            def encode(self, *_a):
+                raise RuntimeError("boom mid-serialisation")
+
+        with pytest.raises(RuntimeError):
+            atomic_write_text(target, Exploding())
+        assert target.read_text() == "precious"
+
+
+class TestFsyncHelpers:
+    def test_fsync_path_on_real_file(self, tmp_path):
+        f = tmp_path / "f"
+        f.write_text("x")
+        fsync_path(f)  # must not raise
+
+    def test_fsync_dir_best_effort(self, tmp_path):
+        fsync_dir(tmp_path)  # must not raise
+        fsync_dir(tmp_path / "does-not-exist")  # swallowed, not fatal
+
+    def test_fsync_path_missing_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            fsync_path(tmp_path / "missing")
+
+    def test_atomic_write_is_visible_to_concurrent_reader(self, tmp_path):
+        """A reader polling the path only ever sees complete content."""
+        target = tmp_path / "status.json"
+        for i in range(20):
+            atomic_write_text(target, f"generation-{i}" * 100)
+            content = target.read_text()
+            assert content == f"generation-{i}" * 100
+        assert not any(
+            p.name.endswith(".tmp") for p in tmp_path.iterdir()
+        ), "tmp siblings must never accumulate"
+
+    def test_parent_dir_fd_not_leaked(self, tmp_path):
+        before = len(os.listdir(f"/proc/{os.getpid()}/fd"))
+        for _ in range(10):
+            atomic_write_bytes(tmp_path / "x", b"y", durable=True)
+        after = len(os.listdir(f"/proc/{os.getpid()}/fd"))
+        assert after <= before + 1

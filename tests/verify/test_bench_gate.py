@@ -219,6 +219,57 @@ class TestParallelScalingPolicy:
         assert sum("only 1 core" in s for s in report.skipped) == 2
 
 
+SERVE_DURABLE = {
+    "scale": "tiny",
+    "n_events": 3_000,
+    "memory": {"seconds": 0.40, "events_per_s": 7_500.0},
+    "durable": {
+        "off": {"seconds": 0.42, "events_per_s": 7_100.0, "ratio": 0.95},
+        "interval": {"seconds": 0.45, "events_per_s": 6_700.0, "ratio": 0.89},
+        "always": {"seconds": 0.80, "events_per_s": 3_750.0, "ratio": 0.50},
+    },
+}
+
+
+class TestServeDurablePolicy:
+    def test_identical_results_pass(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_serve_durable_smoke.json", SERVE_DURABLE)
+        _write(res, "BENCH_serve_durable_smoke.json", SERVE_DURABLE)
+        report = run_gate(base, res)
+        assert report.ok, report.describe()
+
+    def test_durable_seconds_regression_fails(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_serve_durable_smoke.json", SERVE_DURABLE)
+        fresh = _deep(SERVE_DURABLE)
+        fresh["durable"]["interval"]["seconds"] = 0.45 * 2
+        _write(res, "BENCH_serve_durable_smoke.json", fresh)
+        report = run_gate(base, res)
+        assert any("interval" in c.name for c in report.failures)
+
+    def test_interval_ratio_floor_is_absolute(self, dirs):
+        # Even a fresh run that matches its baseline fails when the
+        # committed claim itself is broken: interval below 70%.
+        base, res = dirs
+        broken = _deep(SERVE_DURABLE)
+        broken["durable"]["interval"]["ratio"] = 0.55
+        _write(base, "BENCH_serve_durable_smoke.json", broken)
+        _write(res, "BENCH_serve_durable_smoke.json", broken)
+        report = run_gate(base, res)
+        assert not report.ok
+        assert any("30% budget" in e for e in report.errors)
+
+    def test_scale_mismatch_is_an_error(self, dirs):
+        base, res = dirs
+        _write(base, "BENCH_serve_durable_smoke.json", SERVE_DURABLE)
+        fresh = _deep(SERVE_DURABLE)
+        fresh["scale"] = "full"
+        _write(res, "BENCH_serve_durable_smoke.json", fresh)
+        report = run_gate(base, res)
+        assert any("scale mismatch" in e for e in report.errors)
+
+
 class TestRequiredVsOptionalBaselines:
     def test_optional_fullscale_baseline_skips_when_fresh_missing(self, dirs):
         base, res = dirs
