@@ -19,11 +19,17 @@ Six subcommands cover the workflow the paper describes:
   run and checks the fail-typed → checkpoint-resume → exact-parity
   contract; ``verify --online`` drives a seeded append/advance
   interleaving through the online engine and diffs every query surface
-  against from-scratch batch runs;
+  against from-scratch batch runs; ``verify --sharded`` streams the
+  corpus through sharded query tiers at several shard counts and
+  requires every merged answer to match the single-engine oracle;
 - ``serve`` — tail an ndjson stream (file or ``-`` for stdin) through
   the online detection service: sliding-window eviction at the
   watermark, incremental re-scoring, periodic top-k and metrics output,
-  clean shutdown on EOF or SIGINT.
+  clean shutdown on EOF or SIGINT.  ``--shards N`` fans the stream out
+  to N supervised engine shards partitioning the query keyspace by user
+  hash; ``--http PORT`` fronts the tier with the stdlib HTTP gateway
+  (``/topk``, ``/user/<id>/score``, ``/component/<id>``, ``/status``,
+  ``/metrics``); ``--linger`` keeps answering queries after stream end.
 
 ``detect`` and ``figures`` accept ``--skip-malformed`` (plus
 ``--quarantine``) to survive corrupt lines in real-world dumps.
@@ -184,6 +190,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="interleaved steps for --online")
     ver.add_argument("--check-every", type=int, default=10,
                      help="oracle-diff frequency (steps) for --online")
+    ver.add_argument("--sharded", action="store_true",
+                     help="sharded parity instead: stream the corpus "
+                     "through sharded query tiers at several shard "
+                     "counts and diff every merged answer (top-k, user "
+                     "scores, components) against the single-engine "
+                     "oracle")
+    ver.add_argument("--shard-counts", default="1,2,4",
+                     help="comma-separated shard counts for --sharded")
 
     srv = sub.add_parser(
         "serve",
@@ -257,6 +271,25 @@ def build_parser() -> argparse.ArgumentParser:
                           "consecutive failure)")
     sup.add_argument("--backoff-cap", type=float, default=5.0,
                      help="maximum restart backoff (seconds)")
+
+    net = srv.add_argument_group(
+        "sharding / http",
+        "horizontally sharded query tier (--shards N) behind a stdlib "
+        "HTTP gateway (--http PORT)",
+    )
+    net.add_argument("--shards", type=int, default=1,
+                     help="supervised engine shards partitioning the "
+                          "query keyspace by user hash (>1 runs worker "
+                          "processes; composes with --durable)")
+    net.add_argument("--http", type=int, default=None, metavar="PORT",
+                     help="serve /topk /user/<id>/score /component/<id> "
+                          "/status /metrics over HTTP on this port "
+                          "(0 = pick a free port)")
+    net.add_argument("--http-host", default="127.0.0.1",
+                     help="bind address for --http")
+    net.add_argument("--linger", action="store_true",
+                     help="after the input stream ends, keep answering "
+                          "HTTP queries until SIGINT (needs --http)")
 
     return parser
 
@@ -456,6 +489,32 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
         print(online_report.describe(), file=out)
         return 0 if online_report.ok else 1
 
+    if args.sharded:
+        from repro.verify import run_sharded_parity
+
+        named_comments = [
+            (
+                str(btm.user_names.key_of(u)),
+                str(btm.page_names.key_of(p)),
+                t,
+            )
+            for u, p, t in comments
+        ]
+        counts = tuple(
+            int(c) for c in str(args.shard_counts).split(",") if c.strip()
+        )
+        sharded_report = run_sharded_parity(
+            named_comments,
+            PipelineConfig(
+                window=window,
+                min_triangle_weight=args.cutoff,
+            ),
+            shard_counts=counts or (1, 2),
+            seed=args.seed,
+        )
+        print(sharded_report.describe(), file=out)
+        return 0 if sharded_report.ok else 1
+
     if args.chaos:
         from repro.verify import run_chaos
 
@@ -517,11 +576,17 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         author_filter=AuthorFilter.none() if args.no_filter else AuthorFilter(),
         compute_hypergraph=not args.no_hypergraph,
     )
+    if args.shards > 1 or args.http is not None:
+        return _serve_sharded(args, config, out)
+    if args.linger:
+        print("--linger requires --http PORT", file=out)
+        return 2
     if args.supervise:
         if not args.durable:
             print("--supervise requires --durable DIR", file=out)
             return 2
         return _serve_supervised(args, config, out)
+    sink = _StatusSink(args, out)
     if args.durable:
         service = DurableDetectionService(
             config,
@@ -577,45 +642,84 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
             )
             report_top(f"[tick {ticks}] top {args.top} by {args.rank_by}:")
 
-    source = (
-        nullcontext(sys.stdin)
-        if args.input == "-"
-        else open(args.input, "r", encoding="utf-8")
-    )
-    with source as lines:
-        consumed = service.run_ndjson(
-            lines, on_tick=on_tick, max_events=args.max_events
+    sink.bind(service.status)
+    try:
+        source = (
+            nullcontext(sys.stdin)
+            if args.input == "-"
+            else open(args.input, "r", encoding="utf-8")
         )
+        with source as lines:
+            consumed = service.run_ndjson(
+                lines, on_tick=on_tick, max_events=args.max_events
+            )
 
-    status = service.status()
-    interrupted = service.metrics.counter("service.interrupted").value
-    why = "interrupt" if interrupted else "end of stream"
-    print(f"\nshutdown ({why}): {consumed:,} events consumed", file=out)
-    print(
-        f"final state: live={status['live_comments']:,} "
-        f"pages={status['live_pages']:,} "
-        f"edges={status['thresholded_edges']:,} "
-        f"triangles={status['triangles']:,} "
-        f"malformed={status['ingest_malformed']:,}",
-        file=out,
-    )
-    report_top(f"final top {args.top} by {args.rank_by}:")
-    print("", file=out)
-    print(service.metrics.format(), file=out)
-    if args.durable:
-        service.close()
-        print(f"durable state persisted to {args.durable}", file=out)
-    _write_status_json(args, status, out)
+        status = service.status()
+        sink.bind(status)
+        interrupted = service.metrics.counter("service.interrupted").value
+        why = "interrupt" if interrupted else "end of stream"
+        print(f"\nshutdown ({why}): {consumed:,} events consumed", file=out)
+        print(
+            f"final state: live={status['live_comments']:,} "
+            f"pages={status['live_pages']:,} "
+            f"edges={status['thresholded_edges']:,} "
+            f"triangles={status['triangles']:,} "
+            f"malformed={status['ingest_malformed']:,}",
+            file=out,
+        )
+        report_top(f"final top {args.top} by {args.rank_by}:")
+        print("", file=out)
+        print(service.metrics.format(), file=out)
+        if args.durable:
+            service.close()
+            print(f"durable state persisted to {args.durable}", file=out)
+    except BaseException as exc:
+        sink.write(error=exc)
+        raise
+    sink.write()
     return 0
 
 
-def _write_status_json(args: argparse.Namespace, status: dict, out) -> None:
-    if args.status_json:
+class _StatusSink:
+    """The one ``--status-json`` write path shared by every serve variant.
+
+    Created before the service, bound to its ``status()`` as soon as one
+    exists, and fired exactly once — on the normal exit path *or* on an
+    error unwind (then with an ``"error"`` field) — so even a crashed
+    serve run leaves a final snapshot behind for operators to read.
+    """
+
+    def __init__(self, args: argparse.Namespace, out) -> None:
+        self.path = getattr(args, "status_json", None)
+        self.out = out
+        self._source = None
+        self._written = False
+
+    def bind(self, source) -> None:
+        """*source* is a ``status()`` callable or an already-built dict."""
+        self._source = source
+
+    def write(self, error: BaseException | None = None) -> None:
+        """Write the snapshot once; later calls are no-ops."""
+        if self._written or not self.path:
+            return
+        self._written = True
+        if callable(self._source):
+            try:
+                status = dict(self._source())
+            except Exception as exc:
+                status = {"status_error": f"{type(exc).__name__}: {exc}"}
+        elif self._source is not None:
+            status = dict(self._source)
+        else:
+            status = {}
+        if error is not None:
+            status["error"] = f"{type(error).__name__}: {error}"
         atomic_write_text(
-            Path(args.status_json),
+            Path(self.path),
             json.dumps(status, indent=2, default=str),
         )
-        print(f"wrote status snapshot to {args.status_json}", file=out)
+        print(f"wrote status snapshot to {self.path}", file=self.out)
 
 
 def _serve_supervised(args: argparse.Namespace, config, out) -> int:
@@ -646,48 +750,191 @@ def _serve_supervised(args: argparse.Namespace, config, out) -> int:
         allowed_lateness=args.lateness,
         batch_size=args.batch_size,
     )
+    sink = _StatusSink(args, out)
+    sink.bind(supervisor.status)
     print(f"supervised child pid {supervisor.child_pid}", file=out)
     print(supervisor.last_recovery, file=out)
-    stats = IngestStats()
-    source = (
-        nullcontext(sys.stdin)
-        if args.input == "-"
-        else open(args.input, "r", encoding="utf-8")
-    )
-    with source as lines:
-        consumed = supervisor.run_events(
-            iter_ndjson_events(lines, stats), max_events=args.max_events
+    try:
+        stats = IngestStats()
+        source = (
+            nullcontext(sys.stdin)
+            if args.input == "-"
+            else open(args.input, "r", encoding="utf-8")
         )
-    status = supervisor.status()
-    why = (
-        "interrupt"
-        if supervisor.metrics.counter("service.interrupted").value
-        else "end of stream"
+        with source as lines:
+            consumed = supervisor.run_events(
+                iter_ndjson_events(lines, stats), max_events=args.max_events
+            )
+        status = supervisor.status()
+        sink.bind(status)
+        why = (
+            "interrupt"
+            if supervisor.metrics.counter("service.interrupted").value
+            else "end of stream"
+        )
+        print(f"\nshutdown ({why}): {consumed:,} events consumed", file=out)
+        print(
+            f"supervision: restarts={status['restarts']} "
+            f"degraded={status['degraded']} shed={status['shed_events']:,} "
+            f"acked={status['acked_events']:,}",
+            file=out,
+        )
+        if not supervisor.degraded:
+            rows = supervisor.top_k_triplets(args.top, by=args.rank_by)
+            print(f"final top {args.top} by {args.rank_by}:", file=out)
+            if not rows:
+                print("  (no triplets above the cutoff)", file=out)
+            for row in rows:
+                x, y, z = row["authors"]
+                print(
+                    f"  {x} / {y} / {z}  "
+                    f"min_w'={row['min_weight']} T={row['t']:.4f} "
+                    f"w_xyz={row['w_xyz']} C={row['c']:.4f}",
+                    file=out,
+                )
+        supervisor.close()
+        print(f"durable state persisted to {args.durable}", file=out)
+    except BaseException as exc:
+        sink.write(error=exc)
+        raise
+    sink.write()
+    return 0 if not supervisor.degraded else 1
+
+
+def _serve_sharded(args: argparse.Namespace, config, out) -> int:
+    """``serve --shards N [--http PORT]``: sharded query tier + gateway.
+
+    Every shard runs as a supervised worker process (``--supervise`` is
+    implied); with ``--durable DIR`` each journals to its own
+    ``DIR/shard-NN`` store.  ``--http`` fronts the tier with the stdlib
+    gateway; ``--linger`` keeps it answering after the stream ends.
+    SIGTERM is treated like SIGINT (graceful drain + final report), so
+    a plain ``kill`` — e.g. from a CI step — still exits 0.
+    """
+    import signal
+    import time
+    from contextlib import nullcontext
+
+    from repro.graph.io import IngestStats
+    from repro.serve import HttpGateway, ShardedDetectionService
+    from repro.serve.ingest import iter_ndjson_events
+    from repro.serve.shard import ShardUnavailableError
+
+    if args.linger and args.http is None:
+        print("--linger requires --http PORT", file=out)
+        return 2
+    durable_kwargs = {}
+    if args.durable:
+        durable_kwargs = dict(
+            fsync=args.fsync,
+            fsync_interval=args.fsync_interval,
+            snapshot_every=args.snapshot_every,
+            keep_snapshots=args.keep_snapshots,
+            wal_segment_bytes=args.wal_segment_bytes,
+        )
+    sink = _StatusSink(args, out)
+    service = ShardedDetectionService(
+        config,
+        n_shards=max(1, args.shards),
+        directory=args.durable,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_shard_restarts=args.max_restarts,
+        restart_backoff=args.backoff_base,
+        forward_batch=args.batch_size,
+        queue_capacity=args.queue_capacity,
+        window_horizon=args.horizon,
+        allowed_lateness=args.lateness,
+        batch_size=args.batch_size,
+        **durable_kwargs,
     )
-    print(f"\nshutdown ({why}): {consumed:,} events consumed", file=out)
+    sink.bind(service.status)
+    mode = "durable" if args.durable else "volatile"
     print(
-        f"supervision: restarts={status['restarts']} "
-        f"degraded={status['degraded']} shed={status['shed_events']:,} "
-        f"acked={status['acked_events']:,}",
+        f"sharded tier: {service.n_shards} {mode} shard(s), "
+        f"routing = crc32(author) % {service.n_shards}",
         file=out,
     )
-    if not supervisor.degraded:
-        rows = supervisor.top_k_triplets(args.top, by=args.rank_by)
-        print(f"final top {args.top} by {args.rank_by}:", file=out)
-        if not rows:
-            print("  (no triplets above the cutoff)", file=out)
-        for row in rows:
-            x, y, z = row["authors"]
+    def _graceful(_sig, _frame):
+        raise KeyboardInterrupt
+
+    try:
+        prev_term = signal.signal(signal.SIGTERM, _graceful)
+    except ValueError:  # not the main thread (in-process test harness)
+        prev_term = None
+    gateway = None
+    exit_code = 0
+    try:
+        if args.http is not None:
+            gateway = HttpGateway(
+                service, host=args.http_host, port=args.http
+            ).start()
+            print(f"http gateway listening on {gateway.url}", file=out)
+        stats = IngestStats()
+        source = (
+            nullcontext(sys.stdin)
+            if args.input == "-"
+            else open(args.input, "r", encoding="utf-8")
+        )
+        with source as lines:
+            consumed = service.run_events(
+                iter_ndjson_events(lines, stats), max_events=args.max_events
+            )
+        interrupted = service.metrics.counter("service.interrupted").value
+        if args.linger and gateway is not None and not interrupted:
             print(
-                f"  {x} / {y} / {z}  "
-                f"min_w'={row['min_weight']} T={row['t']:.4f} "
-                f"w_xyz={row['w_xyz']} C={row['c']:.4f}",
+                f"\nstream consumed ({consumed:,} events); answering "
+                "queries until interrupt",
                 file=out,
             )
-    supervisor.close()
-    print(f"durable state persisted to {args.durable}", file=out)
-    _write_status_json(args, status, out)
-    return 0 if not supervisor.degraded else 1
+            try:
+                while True:
+                    time.sleep(0.5)
+            except KeyboardInterrupt:
+                pass
+        status = service.status()
+        sink.bind(status)
+        why = (
+            "interrupt"
+            if service.metrics.counter("service.interrupted").value
+            else "end of stream"
+        )
+        print(f"\nshutdown ({why}): {consumed:,} events consumed", file=out)
+        up = sum(1 for s in status["shards"] if s["up"])
+        restarts = int(service.metrics.counter("sharded.restarts").value)
+        shed = int(service.metrics.counter("sharded.shed").value)
+        print(
+            f"shards: {up}/{status['n_shards']} up, "
+            f"restarts={restarts}, shed={shed:,}",
+            file=out,
+        )
+        try:
+            rows = service.top_k_triplets(args.top, by=args.rank_by)
+            print(f"final top {args.top} by {args.rank_by}:", file=out)
+            if not rows:
+                print("  (no triplets above the cutoff)", file=out)
+            for row in rows:
+                x, y, z = row["authors"]
+                print(
+                    f"  {x} / {y} / {z}  "
+                    f"min_w'={row['min_weight']} T={row['t']:.4f}",
+                    file=out,
+                )
+        except (ShardUnavailableError, ValueError) as exc:
+            print(f"final top-k unavailable: {exc}", file=out)
+        if args.durable:
+            print(f"durable state persisted to {args.durable}", file=out)
+        exit_code = 0 if status["healthy"] else 1
+    except BaseException as exc:
+        sink.write(error=exc)
+        raise
+    finally:
+        if prev_term is not None:
+            signal.signal(signal.SIGTERM, prev_term)
+        if gateway is not None:
+            gateway.close()
+        service.close()
+    sink.write()
+    return exit_code
 
 
 def main(argv: list[str] | None = None, out=None) -> int:

@@ -27,7 +27,15 @@ Layers (each usable on its own):
   recovery via :mod:`repro.store`);
 - :mod:`repro.serve.supervisor` — :class:`ServeSupervisor`, the
   watchdog parent that restarts a killed durable child with capped
-  backoff and sheds load when the restart budget is spent.
+  backoff and sheds load when the restart budget is spent;
+- :mod:`repro.serve.shard` — :class:`ShardedDetectionService`, N
+  supervised engine shards partitioning the query keyspace by stable
+  user hash (:func:`shard_of`), with exact gateway-side merges for
+  top-k (k-way) and components (boundary-edge union-find);
+- :mod:`repro.serve.http` — :class:`HttpGateway`, the stdlib
+  ``ThreadingHTTPServer`` front door (``/topk``, ``/user/<id>/score``,
+  ``/component/<id>``, ``/status``, ``/metrics`` in Prometheus text
+  exposition via :func:`prometheus_text`).
 """
 
 from repro.serve.engine import BatchReport, DetectionEngine
@@ -37,10 +45,19 @@ from repro.serve.ingest import (
     WatermarkTracker,
     iter_ndjson_events,
     parse_comment_event,
+    shard_of,
 )
 from repro.serve.durable import DurableDetectionService
-from repro.serve.metrics import Counter, Gauge, Histogram, ServiceMetrics
+from repro.serve.http import HttpGateway
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    ServiceMetrics,
+    prometheus_text,
+)
 from repro.serve.service import DetectionService
+from repro.serve.shard import ShardedDetectionService, ShardUnavailableError
 from repro.serve.supervisor import DegradedError, ServeSupervisor
 from repro.serve.wal import WriteAheadLog, read_wal, wal_end_state
 
@@ -55,12 +72,17 @@ __all__ = [
     "EventQueue",
     "Gauge",
     "Histogram",
+    "HttpGateway",
     "ServeSupervisor",
     "ServiceMetrics",
+    "ShardUnavailableError",
+    "ShardedDetectionService",
     "WatermarkTracker",
     "WriteAheadLog",
     "iter_ndjson_events",
     "parse_comment_event",
+    "prometheus_text",
     "read_wal",
+    "shard_of",
     "wal_end_state",
 ]

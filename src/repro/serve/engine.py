@@ -692,6 +692,58 @@ class DetectionEngine:
             out.sort(key=lambda names: (-len(names), names))
             return out
 
+    def owned_top_k_triplets(
+        self, k: int, shard_id: int, n_shards: int, by: str = "t"
+    ) -> list[dict]:
+        """The *k* best live triplets **owned** by one query shard.
+
+        Under the user-hash partition of the serving tier
+        (:func:`repro.serve.ingest.shard_of`) a triplet is owned by the
+        shard of its lexicographically-first author, so every triplet is
+        owned exactly once.  Each shard's owned list is the global
+        ranking restricted to its keyspace — any global top-k row is
+        therefore within the first k of its owner's list, which makes
+        the gateway's k-way merge (:func:`repro.serve.shard.merge_topk`)
+        exact.  Rows and ordering are identical to
+        :meth:`top_k_triplets` restricted to owned triplets.
+        """
+        from repro.serve.ingest import shard_of
+
+        rows = self.top_k_triplets(len(self._tris), by=by)
+        owned = [
+            r for r in rows if shard_of(r["authors"][0], n_shards) == shard_id
+        ]
+        return owned[: max(int(k), 0)]
+
+    def owned_component_fragment(
+        self, shard_id: int, n_shards: int
+    ) -> dict[str, list]:
+        """This shard's fragment of the thresholded graph, name-keyed.
+
+        ``vertices`` are the owned users present in the thresholded
+        adjacency; ``edges`` every edge incident to an owned vertex as a
+        sorted name pair — *including* boundary edges whose far end
+        another shard owns.  Unioning all shards' fragments (gateway
+        union-find, :func:`repro.serve.shard.merge_components`) rebuilds
+        the full component structure exactly: every vertex appears in
+        one fragment, every edge in at least one.
+        """
+        from repro.serve.ingest import shard_of
+
+        with self.metrics.time("engine.query"):
+            name_of = self.proj.user_names.key_of
+            vertices: list[str] = []
+            edges: set[tuple[str, str]] = set()
+            for u, nbrs in self._adj.items():
+                un = str(name_of(u))
+                if shard_of(un, n_shards) != shard_id:
+                    continue
+                vertices.append(un)
+                for v in nbrs:
+                    vn = str(name_of(v))
+                    edges.add((un, vn) if un <= vn else (vn, un))
+            return {"vertices": sorted(vertices), "edges": sorted(edges)}
+
     def snapshot(self) -> PipelineResult:
         """Export the live state as a batch-compatible
         :class:`~repro.pipeline.results.PipelineResult`.

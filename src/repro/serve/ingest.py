@@ -29,6 +29,7 @@ stable under load:
 from __future__ import annotations
 
 import json
+import zlib
 from collections import deque
 from typing import IO, Iterable, Iterator
 
@@ -40,10 +41,27 @@ __all__ = [
     "WatermarkTracker",
     "parse_comment_event",
     "iter_ndjson_events",
+    "shard_of",
 ]
 
 #: One comment event: ``(author, page, created_utc)``.
 Event = tuple[str, str, int]
+
+
+def shard_of(author: str, n_shards: int) -> int:
+    """The shard that owns *author*'s query keyspace.
+
+    Stable across processes and Python runs (``zlib.crc32`` of the
+    UTF-8 name — the builtin ``hash`` is salted per interpreter, which
+    would scatter ownership across restarts).  Every layer of the
+    sharded serving tier — child engines filtering their owned
+    candidates, the gateway routing ``/user/<id>/score`` — must agree on
+    this single function.
+    """
+    if n_shards <= 1:
+        return 0
+    data = str(author).encode("utf-8", "surrogatepass")
+    return zlib.crc32(data) % int(n_shards)
 
 _POLICIES = ("reject", "drop-oldest", "drop-newest")
 

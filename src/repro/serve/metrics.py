@@ -23,13 +23,20 @@ service dashboard and the familiar per-stage totals.
 
 from __future__ import annotations
 
+import re
 import time
 from contextlib import contextmanager
 from typing import Iterator
 
 from repro.util.timers import StageTimings
 
-__all__ = ["Counter", "Gauge", "Histogram", "ServiceMetrics"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ServiceMetrics",
+    "prometheus_text",
+]
 
 
 class Counter:
@@ -219,6 +226,16 @@ class ServiceMetrics:
             },
         }
 
+    def snapshot_instruments(
+        self,
+    ) -> tuple[list[Counter], list[Gauge], list[Histogram]]:
+        """Name-sorted instrument lists (the exposition iteration order)."""
+        return (
+            [c for _n, c in sorted(self._counters.items())],
+            [g for _n, g in sorted(self._gauges.items())],
+            [h for _n, h in sorted(self._histograms.items())],
+        )
+
     def format(self) -> str:
         """Fixed-width dashboard rendering (counters, gauges, latencies)."""
         lines: list[str] = []
@@ -248,3 +265,57 @@ class ServiceMetrics:
                     f"p99={s['p99'] * 1e3:8.3f}ms"
                 )
         return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+_PROM_UNSAFE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(namespace: str, name: str) -> str:
+    """A dotted instrument name as a legal Prometheus metric name."""
+    full = f"{namespace}_{name}" if namespace else name
+    full = _PROM_UNSAFE.sub("_", full)
+    if full and full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def _prom_value(value: float) -> str:
+    """A finite sample value in exposition syntax (ints stay integral)."""
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return f"{float(value):.10g}"
+
+
+def prometheus_text(metrics: ServiceMetrics, namespace: str = "repro") -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Counters gain the conventional ``_total`` suffix; histograms emit
+    cumulative ``_bucket{le="..."}`` series (closed under the log-spaced
+    upper bounds, plus ``+Inf``) with ``_sum`` / ``_count``.  Dots in
+    instrument names become underscores.  Empty histograms render as
+    all-zero bucket series — never ``NaN``/``inf`` — so ``/metrics`` is
+    scrapeable from the first request onward.
+    """
+    counters, gauges, histograms = metrics.snapshot_instruments()
+    lines: list[str] = []
+    for c in counters:
+        name = _prom_name(namespace, c.name) + "_total"
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_prom_value(c.value)}")
+    for g in gauges:
+        name = _prom_name(namespace, g.name)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_prom_value(g.value)}")
+    for h in histograms:
+        name = _prom_name(namespace, h.name)
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound, count in zip(h.bounds, h.counts):
+            cumulative += count
+            lines.append(
+                f'{name}_bucket{{le="{bound:.10g}"}} {cumulative}'
+            )
+        lines.append(f'{name}_bucket{{le="+Inf"}} {h.count}')
+        lines.append(f"{name}_sum {_prom_value(h.total)}")
+        lines.append(f"{name}_count {h.count}")
+    return "\n".join(lines) + "\n"

@@ -191,6 +191,22 @@ class DetectionService:
         )
 
     # -- queries (proxied to the engine between ticks) ---------------------------
+    def top_k_triplets(self, k: int = 10, by: str = "t") -> list[dict]:
+        """Proxy of :meth:`DetectionEngine.top_k_triplets` (gateway duck type)."""
+        return self.engine.top_k_triplets(k, by=by)
+
+    def user_score(self, author: str) -> dict:
+        """Proxy of :meth:`DetectionEngine.user_score`."""
+        return self.engine.user_score(author)
+
+    def component_of(self, author: str) -> list[str]:
+        """Proxy of :meth:`DetectionEngine.component_of`."""
+        return self.engine.component_of(author)
+
+    def components(self) -> list[list[str]]:
+        """Proxy of :meth:`DetectionEngine.components`."""
+        return self.engine.components()
+
     def status(self) -> dict:
         """Engine status plus frontend state (queue, watermark, ingest)."""
         status = self.engine.status()

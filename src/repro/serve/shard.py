@@ -1,0 +1,602 @@
+"""Sharded serving tier: N supervised engine shards behind one facade.
+
+:class:`ShardedDetectionService` turns the single supervised serve loop
+into a horizontally query-scaled tier.  The partition is the stable
+user hash :func:`repro.serve.ingest.shard_of`, and it partitions the
+**query keyspace**, not the event stream:
+
+- **ingest is replicated** — every event fans out to every shard, so
+  each shard's :class:`~repro.serve.engine.DetectionEngine` holds the
+  full live window.  This is what keeps the exactness contract intact:
+  a triangle's ``w'`` weights need the joint per-page timelines of all
+  three authors, so a shard that saw only "its" users' events could not
+  score cross-shard triplets bit-for-bit.  (True ingest partitioning —
+  page-hash sharding with partial-weight merge — is a full distributed
+  engine and is tracked as future work in ROADMAP.md.)
+- **queries are partitioned** — shard ``s`` is authoritative for the
+  users hashing to ``s``.  ``user_score`` routes to the owner; global
+  top-k is the k-way merge of per-shard *owned* candidate lists
+  (a triplet is owned by the shard of its lexicographically-first
+  author, so each appears exactly once); components are rebuilt by a
+  gateway-side union-find over per-shard owned-vertex fragments whose
+  boundary edges stitch the cuts back together.  Each answer is
+  bit-identical to the single-engine oracle's
+  (:func:`repro.verify.sharded.run_sharded_parity` enforces this).
+
+What replication buys: query throughput scales with shards (each query
+touches one shard, or N shards each doing 1/N of the candidate work),
+and availability degrades **per keyspace** — a crashed shard 503s only
+the users it owns while its supervisor restarts it; the other shards
+answer normally.
+
+Each shard is a :class:`~repro.serve.supervisor.ServeSupervisor` with
+``max_restarts=0``: the shard tier owns restart policy.  A detected
+death flips the shard to *restarting* (queries raise
+:class:`ShardUnavailableError` → HTTP 503), a background thread runs
+``sup.restart()`` under capped backoff, and a restart-budget exhaustion
+marks the shard permanently failed.  With a durable root every shard
+journals to its own ``shard-NN/`` store and recovery is exact; without
+one shards are volatile and a restart replays only the retained
+in-flight suffix.
+
+Engine state can also be pulled out of a live shard wholesale:
+:meth:`ShardedDetectionService.engine_clone` asks the child to publish
+its state arrays through the :mod:`repro.exec.shm` output path
+(numeric arrays via shared memory, interner keys length-packed into
+``uint8`` blobs since object arrays cannot cross a segment) and
+rehydrates a private :class:`DetectionEngine` in the caller.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from itertools import islice
+from pathlib import Path
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.exec.shm import (
+    OutputWriter,
+    claim_output,
+    output_prefix,
+    sweep_segments,
+)
+from repro.pipeline.config import PipelineConfig
+from repro.serve.ingest import Event, shard_of
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.supervisor import DegradedError, ServeSupervisor
+from repro.store.engine_state import engine_state_arrays, restore_engine_state
+
+__all__ = [
+    "ShardUnavailableError",
+    "ShardedDetectionService",
+    "claim_engine_state",
+    "merge_components",
+    "merge_topk",
+    "merged_component_of",
+    "publish_engine_state",
+    "shard_of",
+]
+
+_RANKS = ("t", "c", "min_weight")
+
+
+class ShardUnavailableError(RuntimeError):
+    """The authoritative shard for a query is down or restarting.
+
+    The HTTP gateway maps this to ``503 Service Unavailable`` with a
+    ``Retry-After`` hint; only the dead shard's keyspace is affected.
+    """
+
+    def __init__(self, shard_id: int, reason: str) -> None:
+        super().__init__(f"shard {shard_id} unavailable: {reason}")
+        self.shard_id = shard_id
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Merge helpers (pure functions — the gateway-side halves of each query)
+# ---------------------------------------------------------------------------
+
+
+def _merge_key(by: str) -> Callable[[dict], tuple]:
+    if by not in _RANKS:
+        raise ValueError(f"unknown ranking {by!r} (use t, c, min_weight)")
+    return lambda row: (-row[by], row["authors"])
+
+
+def merge_topk(per_shard: Iterable[list[dict]], k: int, by: str) -> list[dict]:
+    """K-way merge of per-shard owned candidate lists into the global top-k.
+
+    Each input list is already sorted by the engine's ranking
+    (descending score, lexicographic author tie-break) and owns its
+    rows exclusively, so a heap merge of the lists *is* the global
+    ranking and its first *k* rows are exact.
+    """
+    merged = heapq.merge(*per_shard, key=_merge_key(by))
+    return list(islice(merged, max(int(k), 0)))
+
+
+class _UnionFind:
+    """Small path-compressing union-find over vertex names."""
+
+    def __init__(self) -> None:
+        self.parent: dict[str, str] = {}
+
+    def add(self, v: str) -> None:
+        self.parent.setdefault(v, v)
+
+    def find(self, v: str) -> str:
+        parent = self.parent
+        root = v
+        while parent[root] != root:
+            root = parent[root]
+        while parent[v] != root:
+            parent[v], v = root, parent[v]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        self.add(a)
+        self.add(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+    def groups(self) -> list[list[str]]:
+        by_root: dict[str, list[str]] = {}
+        for v in self.parent:
+            by_root.setdefault(self.find(v), []).append(v)
+        return [sorted(members) for members in by_root.values()]
+
+
+def _fragments_union(fragments: Iterable[dict]) -> _UnionFind:
+    uf = _UnionFind()
+    for frag in fragments:
+        for v in frag["vertices"]:
+            uf.add(v)
+        for a, b in frag["edges"]:
+            uf.union(a, b)
+    return uf
+
+
+def merge_components(
+    fragments: Iterable[dict], min_component_size: int = 1
+) -> list[list[str]]:
+    """Union per-shard graph fragments into global components.
+
+    Boundary edges are reported by both incident shards; the union-find
+    is idempotent under the duplication.  Output matches
+    :meth:`DetectionEngine.components` exactly: sorted name lists,
+    floored at *min_component_size*, largest first with lexicographic
+    tie-break.
+    """
+    groups = [
+        g
+        for g in _fragments_union(fragments).groups()
+        if len(g) >= min_component_size
+    ]
+    groups.sort(key=lambda names: (-len(names), names))
+    return groups
+
+
+def merged_component_of(fragments: Iterable[dict], author: str) -> list[str]:
+    """*author*'s component across fragments (empty when absent/isolated)."""
+    uf = _fragments_union(fragments)
+    if author not in uf.parent:
+        return []
+    root = uf.find(author)
+    return sorted(v for v in uf.parent if uf.find(v) == root)
+
+
+# ---------------------------------------------------------------------------
+# Engine-state handoff over the shm output path
+# ---------------------------------------------------------------------------
+
+
+def _pack_str_array(values: Iterable) -> dict[str, np.ndarray]:
+    """Length-prefix-pack strings into shm-safe numeric arrays."""
+    blobs = [str(v).encode("utf-8", "surrogatepass") for v in values]
+    lengths = np.asarray([len(b) for b in blobs], dtype=np.int64)
+    data = (
+        np.frombuffer(b"".join(blobs), dtype=np.uint8).copy()
+        if blobs
+        else np.empty(0, dtype=np.uint8)
+    )
+    return {"packed_data": data, "packed_lengths": lengths}
+
+
+def _unpack_str_array(packed: dict[str, np.ndarray]) -> list[str]:
+    data = packed["packed_data"].tobytes()
+    out: list[str] = []
+    offset = 0
+    for n in packed["packed_lengths"].tolist():
+        out.append(data[offset : offset + n].decode("utf-8", "surrogatepass"))
+        offset += n
+    return out
+
+
+def publish_engine_state(engine, writer: OutputWriter) -> dict:
+    """Child-side half of the state handoff: engine → shm segments.
+
+    Numeric state arrays are published directly through
+    :meth:`OutputWriter.share`; the object-dtype arrays (interner keys,
+    filtered names — variable-length strings cannot live in a fixed
+    segment) are packed into ``uint8`` data + ``int64`` length arrays
+    first.  Returns a picklable ``{"arrays": ..., "meta": ...}`` payload
+    of :class:`~repro.exec.shm.ShmRef` trees for the pipe.
+    """
+    arrays, meta = engine_state_arrays(engine)
+    packed: dict[str, object] = {}
+    for key, arr in arrays.items():
+        packed[key] = _pack_str_array(arr.tolist()) if arr.dtype == object else arr
+    return {"arrays": writer.share(packed), "meta": meta}
+
+
+def claim_engine_state(payload: dict, config, *, metrics=None):
+    """Caller-side half: claim the segments and rehydrate an engine.
+
+    Claiming copies and unlinks every segment, so a completed handoff
+    leaves ``/dev/shm`` clean.  The snapshot codec
+    (:func:`repro.store.engine_state.restore_engine_state`) validates
+    the config fingerprint — a clone under the wrong config refuses.
+    """
+    packed = claim_output(payload["arrays"])
+    arrays: dict[str, np.ndarray] = {}
+    for key, value in packed.items():
+        if isinstance(value, dict) and "packed_data" in value:
+            arrays[key] = np.asarray(_unpack_str_array(value), dtype=object)
+        else:
+            arrays[key] = value
+    return restore_engine_state(arrays, payload["meta"], config, metrics=metrics)
+
+
+# ---------------------------------------------------------------------------
+# The sharded service
+# ---------------------------------------------------------------------------
+
+
+class _Shard:
+    """One supervised engine shard plus its serialization + health state."""
+
+    __slots__ = ("sid", "sup", "lock", "restarting", "failed", "restarts")
+
+    def __init__(self, sid: int, sup: ServeSupervisor) -> None:
+        self.sid = sid
+        self.sup = sup
+        self.lock = threading.Lock()  # serializes this shard's pipe
+        self.restarting = False
+        self.failed = False
+        self.restarts = 0
+
+
+class ShardedDetectionService:
+    """N supervised engine shards behind one exact query facade.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration, forked into every shard (and used to
+        validate :meth:`engine_clone` handoffs).
+    n_shards:
+        Worker processes / query keyspace partitions.
+    directory:
+        Optional durable root; shard ``s`` journals under
+        ``directory/shard-NN``.  ``None`` = volatile shards.
+    heartbeat_timeout / query_timeout:
+        Watchdog deadline per shard request; how long a query waits for
+        a shard's pipe before declaring the shard busy (503).
+    max_shard_restarts / restart_backoff:
+        Per-shard restart budget and base backoff (doubles per
+        consecutive attempt) applied by the tier's background restart
+        thread; an exhausted budget fails the shard permanently.
+    **service_kwargs:
+        Forwarded to every shard's child service (``window_horizon``,
+        ``batch_size``, and — with a durable root — ``fsync``,
+        ``snapshot_every``, …).
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        *,
+        n_shards: int = 2,
+        directory: str | Path | None = None,
+        metrics: ServiceMetrics | None = None,
+        heartbeat_timeout: float = 30.0,
+        query_timeout: float = 5.0,
+        max_shard_restarts: int = 5,
+        restart_backoff: float = 0.05,
+        forward_batch: int = 512,
+        queue_capacity: int = 65_536,
+        **service_kwargs,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.config = config if config is not None else PipelineConfig()
+        self.n_shards = int(n_shards)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.query_timeout = float(query_timeout)
+        self.max_shard_restarts = int(max_shard_restarts)
+        self.restart_backoff = float(restart_backoff)
+        self.directory = Path(directory) if directory is not None else None
+        self._shm_prefix = output_prefix()  # this process claims handoffs
+        self._state_lock = threading.Lock()
+        self._restart_threads: dict[int, threading.Thread] = {}
+        self._shards: list[_Shard] = []
+        try:
+            for sid in range(self.n_shards):
+                shard_dir = (
+                    None
+                    if self.directory is None
+                    else self.directory / f"shard-{sid:02d}"
+                )
+                sup = ServeSupervisor(
+                    self.config,
+                    directory=shard_dir,
+                    queue_capacity=queue_capacity,
+                    queue_policy="reject",
+                    forward_batch=forward_batch,
+                    heartbeat_timeout=heartbeat_timeout,
+                    # The tier owns restart policy: any child death
+                    # degrades the supervisor immediately and the
+                    # background restart thread takes over.
+                    max_restarts=0,
+                    backoff_base=self.restart_backoff,
+                    backoff_cap=self.restart_backoff,
+                    **service_kwargs,
+                )
+                self._shards.append(_Shard(sid, sup))
+                self.metrics.gauge(f"sharded.shard{sid}.up").set(1)
+        except BaseException:
+            self.close()
+            raise
+        self.metrics.gauge("sharded.n_shards").set(self.n_shards)
+
+    # -- ingest (replicated fan-out) ---------------------------------------
+    def submit(self, event: Event) -> bool:
+        """Fan one event out to every shard.
+
+        Returns ``False`` when any live shard applied backpressure
+        (its parent queue is full while it restarts) — the producer
+        should back off and retry, mirroring
+        :meth:`DetectionService.submit`.  Permanently failed shards
+        shed silently (counted) rather than wedging ingest forever.
+        """
+        ok = True
+        for shard in self._shards:
+            if shard.failed:
+                self.metrics.counter("sharded.shed").inc()
+                continue
+            with shard.lock:
+                admitted = shard.sup.submit(event)
+            if shard.sup.degraded:
+                self._begin_restart(shard)
+            if not admitted:
+                self.metrics.counter("sharded.backpressure").inc()
+                ok = False
+        self.metrics.counter("sharded.events").inc()
+        return ok
+
+    def run_events(
+        self, events: Iterable[Event], *, max_events: int | None = None
+    ) -> int:
+        """Feed an iterable through every shard; returns events consumed."""
+        consumed = 0
+        try:
+            for event in events:
+                if max_events is not None and consumed >= max_events:
+                    break
+                consumed += 1
+                while not self.submit(event):
+                    time.sleep(0.01)  # a shard is restarting with a full queue
+        except KeyboardInterrupt:
+            self.metrics.counter("service.interrupted").inc()
+        self.flush()
+        return consumed
+
+    def flush(self) -> None:
+        """Forward and drain every live shard (waits out active restarts)."""
+        for shard in self._shards:
+            if shard.failed:
+                continue
+            self._await_restart(shard)
+            with shard.lock:
+                shard.sup.flush()
+
+    # -- restart machinery -------------------------------------------------
+    def _begin_restart(self, shard: _Shard) -> None:
+        with self._state_lock:
+            if shard.restarting or shard.failed:
+                return
+            if shard.restarts >= self.max_shard_restarts:
+                shard.failed = True
+                self.metrics.gauge(f"sharded.shard{shard.sid}.up").set(0)
+                return
+            shard.restarting = True
+        self.metrics.gauge(f"sharded.shard{shard.sid}.up").set(0)
+        thread = threading.Thread(
+            target=self._restart_shard,
+            args=(shard,),
+            daemon=True,
+            name=f"shard-{shard.sid}-restart",
+        )
+        self._restart_threads[shard.sid] = thread
+        thread.start()
+
+    def _restart_shard(self, shard: _Shard) -> None:
+        try:
+            while True:
+                with self._state_lock:
+                    if shard.restarts >= self.max_shard_restarts:
+                        shard.failed = True
+                        return
+                    shard.restarts += 1
+                    attempt = shard.restarts
+                time.sleep(
+                    min(1.0, self.restart_backoff * (2 ** (attempt - 1)))
+                )
+                try:
+                    with shard.lock:
+                        shard.sup.restart()
+                    self.metrics.counter("sharded.restarts").inc()
+                    self.metrics.gauge(f"sharded.shard{shard.sid}.up").set(1)
+                    return
+                except Exception:
+                    # Failed start attempt: keep the shard visibly down
+                    # and try again until the budget runs out.
+                    shard.sup.degraded = True
+        finally:
+            with self._state_lock:
+                shard.restarting = False
+
+    def _await_restart(self, shard: _Shard, timeout: float = 30.0) -> None:
+        thread = self._restart_threads.get(shard.sid)
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+
+    def await_healthy(self, timeout: float = 30.0) -> bool:
+        """Block until no shard is mid-restart; ``True`` if all are up."""
+        deadline = time.monotonic() + timeout
+        for shard in self._shards:
+            self._await_restart(shard, max(0.0, deadline - time.monotonic()))
+        return all(
+            not s.failed and not s.restarting and not s.sup.degraded
+            for s in self._shards
+        )
+
+    # -- queries -----------------------------------------------------------
+    def _query(self, shard_id: int, fn):
+        """Run *fn(supervisor)* on one shard under its lock, 503-typed."""
+        shard = self._shards[shard_id]
+        if shard.failed:
+            self.metrics.counter("sharded.unavailable").inc()
+            raise ShardUnavailableError(
+                shard_id, "restart budget exhausted (shard failed)"
+            )
+        if shard.restarting or shard.sup.degraded:
+            self.metrics.counter("sharded.unavailable").inc()
+            raise ShardUnavailableError(shard_id, "shard restarting")
+        if not shard.lock.acquire(timeout=self.query_timeout):
+            self.metrics.counter("sharded.unavailable").inc()
+            raise ShardUnavailableError(
+                shard_id, f"shard busy (> {self.query_timeout:g}s)"
+            )
+        try:
+            try:
+                return fn(shard.sup)
+            except DegradedError as exc:
+                self.metrics.counter("sharded.unavailable").inc()
+                raise ShardUnavailableError(shard_id, str(exc)) from exc
+        finally:
+            shard.lock.release()
+            if shard.sup.degraded:
+                self._begin_restart(shard)
+
+    def shard_for(self, author: str) -> int:
+        """The shard authoritative for *author* (the routing rule)."""
+        return shard_of(author, self.n_shards)
+
+    def user_score(self, author: str) -> dict:
+        """Route :meth:`DetectionEngine.user_score` to the owner shard."""
+        with self.metrics.time("sharded.query.user"):
+            sid = self.shard_for(author)
+            return self._query(sid, lambda sup: sup.user_score(author))
+
+    def top_k_triplets(self, k: int = 10, by: str = "t") -> list[dict]:
+        """Global top-k: gather each shard's owned candidates and merge."""
+        _merge_key(by)  # validate the ranking before any pipe roundtrip
+        if by == "c" and not self.config.compute_hypergraph:
+            raise ValueError("ranking by C requires compute_hypergraph=True")
+        with self.metrics.time("sharded.query.topk"):
+            per_shard = [
+                self._query(
+                    shard.sid,
+                    lambda sup, sid=shard.sid: sup.owned_top_k(
+                        k, by, sid, self.n_shards
+                    ),
+                )
+                for shard in self._shards
+            ]
+            return merge_topk(per_shard, k, by)
+
+    def _gather_fragments(self) -> list[dict]:
+        return [
+            self._query(
+                shard.sid,
+                lambda sup, sid=shard.sid: sup.owned_fragment(
+                    sid, self.n_shards
+                ),
+            )
+            for shard in self._shards
+        ]
+
+    def component_of(self, author: str) -> list[str]:
+        """*author*'s cross-shard component via the boundary-edge union."""
+        with self.metrics.time("sharded.query.component"):
+            return merged_component_of(self._gather_fragments(), author)
+
+    def components(self) -> list[list[str]]:
+        """All candidate networks, merged across shards."""
+        with self.metrics.time("sharded.query.component"):
+            return merge_components(
+                self._gather_fragments(), self.config.min_component_size
+            )
+
+    def engine_clone(self, shard_id: int = 0):
+        """A private :class:`DetectionEngine` cloned from one live shard.
+
+        The child publishes its full state through the shm output path;
+        this process claims the segments (copy + unlink) and rehydrates.
+        Exactness riders: the clone answers every query identically to
+        the shard it came from.
+        """
+        payload = self._query(
+            shard_id, lambda sup: sup.engine_state(self._shm_prefix)
+        )
+        return claim_engine_state(payload, self.config)
+
+    def status(self) -> dict:
+        """Tier health + per-shard status (degraded shards summarized)."""
+        shards = []
+        for shard in self._shards:
+            entry: dict = {
+                "shard": shard.sid,
+                "up": not (
+                    shard.failed or shard.restarting or shard.sup.degraded
+                ),
+                "failed": shard.failed,
+                "restarting": shard.restarting,
+                "restarts": shard.restarts,
+            }
+            if entry["up"]:
+                try:
+                    entry["status"] = self._query(
+                        shard.sid, lambda sup: sup.status()
+                    )
+                except ShardUnavailableError:
+                    entry["up"] = False
+            shards.append(entry)
+        return {
+            "sharded": True,
+            "n_shards": self.n_shards,
+            "healthy": all(s["up"] for s in shards),
+            "shards": shards,
+            "metrics": self.metrics.to_dict(),
+        }
+
+    def close(self) -> None:
+        """Stop every shard and sweep any unclaimed handoff segments."""
+        for shard in self._shards:
+            self._await_restart(shard)
+            with shard.lock:
+                shard.sup.close()
+        sweep_segments(self._shm_prefix)
+
+    def __enter__(self) -> "ShardedDetectionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

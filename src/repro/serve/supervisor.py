@@ -27,6 +27,15 @@ in a child process and keeps detection available across crashes:
 The child never sheds: its queue uses the ``reject`` policy and the
 drive loop ticks until admission, so the journal holds an exact prefix
 of the delivered stream and the resume arithmetic stays trivial.
+
+``directory=None`` runs a **volatile** child: a plain
+:class:`~repro.serve.service.DetectionService` with no journal.  The
+acked stream position is then the count of events the current
+incarnation received, so a restart resets it to zero and the parent
+resends its entire retained buffer — which is only the in-flight
+suffix the sharded tier keeps small by flushing.  The sharded serving
+tier (:mod:`repro.serve.shard`) uses this mode when no ``--durable``
+root is given, supplying its own restart policy per shard.
 """
 
 from __future__ import annotations
@@ -38,10 +47,12 @@ import time
 from collections import deque
 from pathlib import Path
 
+from repro.exec.shm import OutputWriter, disown_resource_tracking
 from repro.pipeline.config import PipelineConfig
 from repro.serve.durable import DurableDetectionService
 from repro.serve.ingest import Event, EventQueue
 from repro.serve.metrics import ServiceMetrics
+from repro.serve.service import DetectionService
 
 __all__ = ["DegradedError", "ServeSupervisor"]
 
@@ -54,60 +65,134 @@ class DegradedError(RuntimeError):
     """The supervisor is in degraded mode and cannot serve the request."""
 
 
-def _child_main(conn, config, durable_kwargs) -> None:
-    """Child process body: durable service + request loop on *conn*."""
+def _child_main(conn, config, durable, service_kwargs) -> None:
+    """Child process body: detection service + request loop on *conn*.
+
+    *durable* selects the service: a
+    :class:`~repro.serve.durable.DurableDetectionService` (journal +
+    snapshots, position = ``events_journaled``) or a volatile
+    :class:`~repro.serve.service.DetectionService` whose position is
+    simply the events received by this incarnation.  Exceptions raised
+    by an op are sent back as typed ``("error", ...)`` responses — a
+    bad query (e.g. ranking by C without the hypergraph) must fail that
+    request, not crash-loop the child through the watchdog.
+    """
     # The parent owns lifecycle; a SIGINT meant for the parent's loop
     # must not also unwind the child mid-tick.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    svc = DurableDetectionService(config, **durable_kwargs)
+    # State-handoff segments are published here but claimed (and
+    # unlinked) by the parent; the shared resource tracker must not
+    # count them against this process.
+    disown_resource_tracking()
+    if durable:
+        svc = DurableDetectionService(config, **service_kwargs)
+        recovery = svc.recovery.describe()
+    else:
+        svc = DetectionService(config, **service_kwargs)
+        recovery = "volatile start (no durable store; a restart loses state)"
+    received = 0
+    writer = None  # lazy OutputWriter for shm state handoff
+
+    def position() -> int:
+        return svc.events_journaled if durable else received
+
     conn.send(
         (
             "hello",
             {
                 "pid": os.getpid(),
-                "events_durable": svc.events_journaled,
-                "recovery": svc.recovery.describe(),
+                "events_durable": position(),
+                "recovery": recovery,
             },
         )
     )
+    parent_pid = os.getppid()
     try:
         while True:
+            # A blocking recv() would never see EOF if sibling shards
+            # (forked later) inherited our parent-side pipe fd, so a
+            # SIGKILLed parent would orphan every child forever.  Poll
+            # and watch the parent pid instead.
+            while not conn.poll(1.0):
+                if os.getppid() != parent_pid:
+                    return
             msg = conn.recv()
             op = msg[0]
-            if op == "events":
-                for ev in msg[1]:
-                    event = tuple(ev)
-                    while not svc.submit(event):
-                        svc.tick()
-                    if svc.queue.depth >= svc.batch_size:
-                        svc.tick()
-                conn.send(("ok", svc.events_journaled))
-            elif op == "drain":
-                svc.drain_all()
-                conn.send(("ok", svc.events_journaled))
-            elif op == "status":
-                conn.send(("ok", svc.status()))
-            elif op == "results":
-                conn.send(("ok", svc.engine.snapshot()))
-            elif op == "top":
-                k, by = msg[1]
-                conn.send(("ok", svc.engine.top_k_triplets(k, by=by)))
-            elif op == "sync":
-                svc.wal.sync()
-                conn.send(("ok", svc.events_journaled))
-            elif op == "crash":  # test hook: die exactly like a SIGKILL
-                os.kill(os.getpid(), signal.SIGKILL)
-            elif op == "close":
-                svc.drain_all()
-                svc.close()
-                conn.send(("ok", svc.events_journaled))
-                return
-            else:  # pragma: no cover - protocol bug guard
-                conn.send(("error", f"unknown op {op!r}"))
+            try:
+                if op == "events":
+                    for ev in msg[1]:
+                        event = tuple(ev)
+                        while not svc.submit(event):
+                            svc.tick()
+                        if svc.queue.depth >= svc.batch_size:
+                            svc.tick()
+                    received += len(msg[1])
+                    conn.send(("ok", position()))
+                elif op == "drain":
+                    svc.drain_all()
+                    conn.send(("ok", position()))
+                elif op == "status":
+                    conn.send(("ok", svc.status()))
+                elif op == "results":
+                    conn.send(("ok", svc.engine.snapshot()))
+                elif op == "top":
+                    k, by = msg[1]
+                    conn.send(("ok", svc.engine.top_k_triplets(k, by=by)))
+                elif op == "owned_top":
+                    k, by, shard_id, n_shards = msg[1]
+                    conn.send(
+                        (
+                            "ok",
+                            svc.engine.owned_top_k_triplets(
+                                k, shard_id, n_shards, by=by
+                            ),
+                        )
+                    )
+                elif op == "user":
+                    conn.send(("ok", svc.engine.user_score(msg[1])))
+                elif op == "component":
+                    conn.send(("ok", svc.engine.component_of(msg[1])))
+                elif op == "components":
+                    conn.send(("ok", svc.engine.components()))
+                elif op == "fragment":
+                    shard_id, n_shards = msg[1]
+                    conn.send(
+                        (
+                            "ok",
+                            svc.engine.owned_component_fragment(
+                                shard_id, n_shards
+                            ),
+                        )
+                    )
+                elif op == "state_shm":
+                    from repro.serve.shard import publish_engine_state
+
+                    if writer is None:
+                        writer = OutputWriter(msg[1])
+                    conn.send(("ok", publish_engine_state(svc.engine, writer)))
+                elif op == "sync":
+                    if durable:
+                        svc.wal.sync()
+                    conn.send(("ok", position()))
+                elif op == "crash":  # test hook: die exactly like a SIGKILL
+                    os.kill(os.getpid(), signal.SIGKILL)
+                elif op == "close":
+                    svc.drain_all()
+                    if durable:
+                        svc.close()
+                    conn.send(("ok", position()))
+                    return
+                else:  # pragma: no cover - protocol bug guard
+                    conn.send(("error", f"unknown op {op!r}"))
+            except (EOFError, KeyboardInterrupt):
+                raise
+            except Exception as exc:
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
     except (EOFError, KeyboardInterrupt):
         # Parent vanished: persist what we have and exit quietly.
         svc.drain_all()
-        svc.close()
+        if durable:
+            svc.close()
 
 
 class ServeSupervisor:
@@ -119,6 +204,11 @@ class ServeSupervisor:
         Pipeline configuration (forked into the child).
     directory:
         Durable store root — the single source of truth across restarts.
+        ``None`` runs a **volatile** child (plain
+        :class:`~repro.serve.service.DetectionService`): cheaper, but a
+        restart loses the live window and replays only the retained
+        in-flight suffix.  The sharded tier uses volatile shards unless
+        given a durable root.
     queue_capacity / queue_policy:
         Parent-side producer buffer; its policy is what sheds load in
         degraded mode (``reject`` → backpressure, ``drop-oldest`` /
@@ -133,16 +223,18 @@ class ServeSupervisor:
         *restart_window* seconds stops the restart loop.
     backoff_base / backoff_cap:
         Capped exponential backoff between consecutive start attempts.
-    **durable_kwargs:
-        Passed to the child's :class:`DurableDetectionService`
-        (``fsync``, ``snapshot_every``, ``batch_size``, …).
+    **service_kwargs:
+        Passed to the child's service — :class:`DurableDetectionService`
+        kwargs (``fsync``, ``snapshot_every``, ``batch_size``, …) in
+        durable mode, plain :class:`DetectionService` kwargs when
+        volatile.
     """
 
     def __init__(
         self,
         config: PipelineConfig | None = None,
         *,
-        directory: str | Path,
+        directory: str | Path | None = None,
         queue_capacity: int = 65_536,
         queue_policy: str = "drop-oldest",
         forward_batch: int = 512,
@@ -152,10 +244,11 @@ class ServeSupervisor:
         backoff_base: float = 0.1,
         backoff_cap: float = 5.0,
         metrics: ServiceMetrics | None = None,
-        **durable_kwargs,
+        **service_kwargs,
     ) -> None:
         self.config = config
-        self.directory = Path(directory)
+        self.directory = Path(directory) if directory is not None else None
+        self.durable = self.directory is not None
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.queue = EventQueue(queue_capacity, queue_policy)
         self.forward_batch = int(forward_batch)
@@ -164,8 +257,10 @@ class ServeSupervisor:
         self.restart_window = float(restart_window)
         self.backoff_base = float(backoff_base)
         self.backoff_cap = float(backoff_cap)
-        durable_kwargs.setdefault("queue_policy", "reject")
-        self._durable_kwargs = dict(durable_kwargs, directory=self.directory)
+        service_kwargs.setdefault("queue_policy", "reject")
+        if self.durable:
+            service_kwargs["directory"] = self.directory
+        self._service_kwargs = service_kwargs
 
         self._ctx = multiprocessing.get_context("fork")
         self._proc = None
@@ -178,6 +273,9 @@ class ServeSupervisor:
         self._retained: deque[tuple[int, Event]] = deque()
         self._stream_idx = 0  # events handed to the delivery layer so far
         self._acked = 0  # durable stream position last confirmed by a child
+        # A volatile child counts from zero each incarnation; its acks
+        # are offset by the global position it (re)started from.
+        self._ack_base = 0
         self._restart_times: deque[float] = deque()
         self._start_child()
 
@@ -187,7 +285,7 @@ class ServeSupervisor:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=_child_main,
-            args=(child_conn, self.config, self._durable_kwargs),
+            args=(child_conn, self.config, self.durable, self._service_kwargs),
             daemon=True,
         )
         proc.start()
@@ -203,10 +301,16 @@ class ServeSupervisor:
         self._conn = parent_conn
         self.child_pid = hello["pid"]
         self.last_recovery = hello["recovery"]
-        durable = int(hello["events_durable"])
-        self._acked = durable
-        # Re-deliver retained events the durable state does not cover.
-        while self._retained and self._retained[0][0] <= durable:
+        if self.durable:
+            covered = int(hello["events_durable"])
+            self._acked = covered
+        else:
+            # A fresh volatile child covers nothing beyond what was
+            # already acked; its incarnation-local acks count from here.
+            self._ack_base = self._acked
+            covered = self._acked
+        # Re-deliver retained events the child's state does not cover.
+        while self._retained and self._retained[0][0] <= covered:
             self._retained.popleft()
         resend = [event for _idx, event in self._retained]
         if resend:
@@ -215,7 +319,11 @@ class ServeSupervisor:
             if not self._conn.poll(self.heartbeat_timeout):
                 raise _ChildUnresponsive("child hung during resend")
             _tag, acked = self._conn.recv()
-            self._prune_retained(int(acked))
+            self._prune_retained(self._global_ack(int(acked)))
+
+    def _global_ack(self, value: int) -> int:
+        """A child ack as a global stream position (volatile offsetting)."""
+        return value if self.durable else self._ack_base + value
 
     def _prune_retained(self, acked: int) -> None:
         if acked > self._acked:
@@ -277,7 +385,7 @@ class ServeSupervisor:
                 tag, value = self._conn.recv()
                 if tag == "ok":
                     if op in ("events", "drain", "sync", "close"):
-                        self._prune_retained(int(value))
+                        self._prune_retained(self._global_ack(int(value)))
                     return value
                 raise RuntimeError(f"child error on {op!r}: {value}")
             except (
@@ -355,6 +463,39 @@ class ServeSupervisor:
     def top_k_triplets(self, k: int = 10, by: str = "t"):
         """Proxy of :meth:`DetectionEngine.top_k_triplets` on the child."""
         return self._request("top", (k, by))
+
+    def user_score(self, author: str) -> dict:
+        """Proxy of :meth:`DetectionEngine.user_score` on the child."""
+        return self._request("user", author)
+
+    def component_of(self, author: str) -> list[str]:
+        """Proxy of :meth:`DetectionEngine.component_of` on the child."""
+        return self._request("component", author)
+
+    def components(self) -> list[list[str]]:
+        """Proxy of :meth:`DetectionEngine.components` on the child."""
+        return self._request("components")
+
+    def owned_top_k(
+        self, k: int, by: str, shard_id: int, n_shards: int
+    ) -> list[dict]:
+        """Proxy of :meth:`DetectionEngine.owned_top_k_triplets`."""
+        return self._request("owned_top", (k, by, shard_id, n_shards))
+
+    def owned_fragment(self, shard_id: int, n_shards: int) -> dict:
+        """Proxy of :meth:`DetectionEngine.owned_component_fragment`."""
+        return self._request("fragment", (shard_id, n_shards))
+
+    def engine_state(self, shm_prefix: str) -> dict:
+        """Publish the child's full engine state into shared memory.
+
+        Returns the ``{"arrays": refs, "meta": ...}`` payload of
+        :func:`repro.serve.shard.publish_engine_state`; the caller must
+        claim it (:func:`repro.serve.shard.claim_engine_state`) — every
+        claim unlinks its segments, and
+        :func:`repro.exec.shm.sweep_segments` is the crash backstop.
+        """
+        return self._request("state_shm", shm_prefix)
 
     def status(self) -> dict:
         """Child status (when reachable) + supervision counters."""

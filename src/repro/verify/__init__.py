@@ -22,11 +22,16 @@ distributed).  This package makes that guarantee executable:
   of appends, out-of-order arrivals, and window advances is driven
   through the :class:`~repro.serve.engine.DetectionEngine`, whose every
   queryable surface must exactly match a from-scratch batch run over the
-  live window at each checkpoint.
+  live window at each checkpoint;
+- :mod:`repro.verify.sharded` — sharded parity: one corpus is streamed
+  through the single-engine oracle and through
+  :class:`~repro.serve.shard.ShardedDetectionService` tiers at several
+  shard counts, and every merged answer (top-k, user scores,
+  components, engine clones) must match the oracle bit-for-bit.
 
 All are callable from tests and from the ``repro-botnets verify`` CLI
 subcommand (``--chaos`` for the fault-injected mode, ``--online`` for
-the streaming mode).
+the streaming mode, ``--sharded`` for the shard-topology mode).
 """
 
 from repro.verify.chaos import (
@@ -37,6 +42,7 @@ from repro.verify.chaos import (
     run_recovery_chaos,
 )
 from repro.verify.online import OnlineParityReport, run_online_parity
+from repro.verify.sharded import ShardedParityReport, run_sharded_parity
 
 from repro.verify.invariants import (
     InvariantViolation,
@@ -86,6 +92,8 @@ __all__ = [
     "check_window_monotonicity",
     "OnlineParityReport",
     "run_online_parity",
+    "ShardedParityReport",
+    "run_sharded_parity",
     "ParityReport",
     "default_projection_engines",
     "default_triangle_engines",

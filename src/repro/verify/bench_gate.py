@@ -294,6 +294,40 @@ def _compare_serve_durable(base: dict, fresh: dict, rep: GateReport) -> None:
         )
 
 
+def _compare_serve_http(base: dict, fresh: dict, rep: GateReport) -> None:
+    cmp = _Comparator(rep)
+    if base.get("scale") != fresh.get("scale"):
+        rep.errors.append(
+            f"BENCH_serve_http: scale mismatch (baseline "
+            f"{base.get('scale')!r} vs fresh {fresh.get('scale')!r}) — "
+            "rerun at baseline scale"
+        )
+        return
+    cmp.seconds(
+        "serve_http.ingest.seconds",
+        float(base["ingest"]["seconds"]),
+        float(fresh["ingest"]["seconds"]),
+    )
+    for quantile in ("p50_s", "p99_s"):
+        cmp.seconds(
+            f"serve_http.query.{quantile}",
+            float(base["query"][quantile]),
+            float(fresh["query"][quantile]),
+        )
+    # The headline serving claim is absolute, not baseline-relative:
+    # query p99 under sustained ingest must stay inside the committed
+    # SLO (the same bound the bench itself asserts — the gate re-checks
+    # the committed numbers so a stale result file cannot hide a
+    # regression).
+    slo = float(fresh.get("slo", {}).get("p99_s", 0.0))
+    if slo > 0.0 and float(fresh["query"]["p99_s"]) > slo:
+        rep.errors.append(
+            "serve_http.query.p99_s: "
+            f"{float(fresh['query']['p99_s']):.4f}s exceeds the committed "
+            f"{slo:g}s SLO"
+        )
+
+
 # name -> (comparator, required).  Required baselines must have a fresh
 # counterpart (CI runs those benches every time); optional ones — the
 # full-scale parallel bench takes minutes on a big host — are compared
@@ -304,6 +338,8 @@ _COMPARATORS = {
     "BENCH_parallel.json": (_compare_parallel, False),
     "BENCH_serve_durable_smoke.json": (_compare_serve_durable, True),
     "BENCH_serve_durable.json": (_compare_serve_durable, False),
+    "BENCH_serve_http_smoke.json": (_compare_serve_http, True),
+    "BENCH_serve_http.json": (_compare_serve_http, False),
 }
 
 

@@ -1,8 +1,16 @@
 """Tests for the service metrics registry (counters, gauges, histograms)."""
 
+import math
+
 import pytest
 
-from repro.serve.metrics import Counter, Gauge, Histogram, ServiceMetrics
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    ServiceMetrics,
+    prometheus_text,
+)
 
 pytestmark = pytest.mark.serve
 
@@ -64,6 +72,16 @@ class TestHistogram:
         with pytest.raises(ValueError):
             h.percentile(0.0)
 
+    def test_empty_summary_is_finite(self):
+        # The /metrics endpoint renders summaries before the first
+        # observation; every field must be a real number, never NaN/inf.
+        s = Histogram("lat").summary()
+        assert all(math.isfinite(v) for v in s.values())
+        assert s == {
+            "count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0,
+            "min": 0.0, "max": 0.0,
+        }
+
 
 class TestServiceMetrics:
     def test_instruments_created_on_first_access(self):
@@ -98,3 +116,63 @@ class TestServiceMetrics:
 
     def test_format_empty(self):
         assert "no metrics" in ServiceMetrics().format()
+
+
+class TestPrometheusText:
+    def test_counter_gets_total_suffix_and_type_line(self):
+        m = ServiceMetrics()
+        m.counter("http.requests").inc(3)
+        text = prometheus_text(m)
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "repro_http_requests_total 3" in text
+
+    def test_gauge_and_dotted_name_sanitization(self):
+        m = ServiceMetrics()
+        m.gauge("sharded.shard0.up").set(1)
+        text = prometheus_text(m)
+        assert "# TYPE repro_sharded_shard0_up gauge" in text
+        assert "repro_sharded_shard0_up 1" in text
+
+    def test_histogram_buckets_are_cumulative_and_closed(self):
+        m = ServiceMetrics()
+        h = m.histogram("lat")
+        for v in (0.001, 0.002, 0.004, 0.008):
+            h.observe(v)
+        lines = prometheus_text(m).splitlines()
+        buckets = [
+            int(ln.rsplit(" ", 1)[1])
+            for ln in lines
+            if ln.startswith("repro_lat_bucket")
+        ]
+        assert buckets == sorted(buckets)  # cumulative => monotone
+        assert buckets[-1] == 4  # +Inf bucket equals the total count
+        assert "repro_lat_count 4" in lines
+        assert any(ln.startswith("repro_lat_sum ") for ln in lines)
+
+    def test_empty_histogram_renders_zeros_never_nan(self):
+        m = ServiceMetrics()
+        m.histogram("lat")  # registered, zero observations
+        text = prometheus_text(m)
+        assert "nan" not in text.lower() and "inf " not in text.lower()
+        assert 'repro_lat_bucket{le="+Inf"} 0' in text
+        assert "repro_lat_sum 0" in text and "repro_lat_count 0" in text
+
+    def test_custom_namespace_and_digit_prefix_guard(self):
+        m = ServiceMetrics()
+        m.counter("x").inc()
+        assert "svc_x_total 1" in prometheus_text(m, namespace="svc")
+        m2 = ServiceMetrics()
+        m2.counter("9lives").inc()
+        text = prometheus_text(m2, namespace="")
+        assert "_9lives_total 1" in text
+
+    def test_values_are_parseable_floats(self):
+        m = ServiceMetrics()
+        m.gauge("watermark").set(1_234_567.25)
+        with m.time("tick"):
+            pass
+        for line in prometheus_text(m).splitlines():
+            if line.startswith("#"):
+                continue
+            value = float(line.rsplit(" ", 1)[1])
+            assert math.isfinite(value)
