@@ -1,0 +1,167 @@
+"""Multi-layer pipeline costs and planted-scenario recovery.
+
+The action-layer refactor promises two things at once: running the
+framework once per behaviour layer costs roughly *layers × single-layer*
+(no superlinear fusion overhead), and the fused score actually finds
+campaigns that coordinate on non-page behaviours.  This bench measures
+both on the ``multilayer`` corpus — background chatter plus four planted
+nets, each coordinating on a different layer (restream → page, link-spam
+→ shared URLs, hashtag brigade → tags, copypasta → near-duplicate text):
+
+- **per-layer costs** — event extraction throughput over all layers in
+  one corpus pass, then each layer's full framework run (projection,
+  survey, hypergraph) timed separately via the pipeline's own stage
+  ledger;
+- **fused overhead** — the fusion stage's share of total multi-layer
+  wall time (committed claim: a small fraction, not a second pipeline);
+- **recovery** — precision/recall of the fused components against the
+  planted ground truth, with the committed floor asserted here *and*
+  re-checked by the bench gate on the committed numbers.
+
+``BENCH_LAYERS_SCALE=tiny`` shrinks the background ~3× (CI smoke) and
+writes ``BENCH_layers_smoke.json``; the full run writes
+``BENCH_layers.json``.  The planted nets do not scale with the
+background, so the recovery claim is identical at both scales.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.actions import available_layers
+from repro.datagen import RedditDatasetBuilder, score_detection
+from repro.pipeline import MultiLayerPipeline, PipelineConfig, btms_from_records
+from repro.projection import TimeWindow
+from repro.util.io import atomic_write_text
+from repro.util.timers import Timer
+
+pytestmark = pytest.mark.layers
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+TINY = os.environ.get("BENCH_LAYERS_SCALE", "").lower() == "tiny"
+SCALE = 0.08 if TINY else 0.25
+CUTOFF = 15
+RECOVERY_FLOOR = 0.90  # committed per-net precision AND recall floor
+PLANTED = ("restream", "linkspam", "brigade", "copypasta")
+
+
+@pytest.fixture(scope="module")
+def multilayer_dataset():
+    """The four-net multilayer corpus (generation is not measured)."""
+    return RedditDatasetBuilder.multilayer(seed=2024, scale=SCALE).build()
+
+
+def test_bench_layers(multilayer_dataset, report_sink):
+    dataset = multilayer_dataset
+    layers = available_layers()
+    rows = [rec.to_pushshift_dict() for rec in dataset.records]
+
+    # Extraction: one corpus pass fanning events out to every layer.
+    with Timer() as t_extract:
+        btms = btms_from_records(rows, layers)
+    layer_events = {name: btms[name].n_comments for name in layers}
+    extract_tput = len(rows) / max(t_extract.elapsed, 1e-9)
+
+    config = PipelineConfig(
+        window=TimeWindow(0, 60),
+        min_triangle_weight=CUTOFF,
+        min_component_size=4,
+    )
+    pipeline = MultiLayerPipeline(config, layers=layers)
+    with Timer() as t_run:
+        result = pipeline.run(btms)
+
+    stage = result.timings.stages
+    layer_seconds = {
+        name: stage[f"layer.{name}"] for name in layers
+    }
+    fuse_seconds = stage["fuse"]
+    total_layer_seconds = sum(layer_seconds.values())
+    fused_overhead = fuse_seconds / max(total_layer_seconds, 1e-9)
+
+    recovery = {
+        name: {
+            "precision": round(score.precision, 4),
+            "recall": round(score.recall, 4),
+            "f1": round(score.f1, 4),
+        }
+        for name, score in score_detection(
+            dataset.truth, result.fused_components
+        ).items()
+    }
+    for net in PLANTED:
+        assert net in recovery, f"planted net {net!r} missing from scoring"
+        score = recovery[net]
+        assert score["precision"] >= RECOVERY_FLOOR, (
+            f"{net}: fused precision {score['precision']} below the "
+            f"committed {RECOVERY_FLOOR} floor"
+        )
+        assert score["recall"] >= RECOVERY_FLOOR, (
+            f"{net}: fused recall {score['recall']} below the committed "
+            f"{RECOVERY_FLOOR} floor"
+        )
+
+    # Fusion must stay a rounding error next to the per-layer runs; 25%
+    # is an order-of-magnitude guard (measured: well under 5%), loose
+    # enough for tiny-scale jitter on 1-core CI hosts.
+    assert fused_overhead <= 0.25, (
+        f"fusion took {fused_overhead:.1%} of per-layer pipeline time"
+    )
+
+    payload = {
+        "scale": "tiny" if TINY else "full",
+        "n_records": len(rows),
+        "cutoff": CUTOFF,
+        "extract": {
+            "seconds": round(t_extract.elapsed, 6),
+            "records_per_s": round(extract_tput, 1),
+        },
+        "layers": {
+            name: {
+                "events": int(layer_events[name]),
+                "seconds": round(layer_seconds[name], 6),
+                "events_per_s": round(
+                    layer_events[name] / max(layer_seconds[name], 1e-9), 1
+                ),
+            }
+            for name in layers
+        },
+        "fuse": {
+            "seconds": round(fuse_seconds, 6),
+            "overhead_ratio": round(fused_overhead, 6),
+        },
+        "total_seconds": round(t_run.elapsed, 6),
+        "recovery_floor": RECOVERY_FLOOR,
+        "recovery": recovery,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = "BENCH_layers_smoke.json" if TINY else "BENCH_layers.json"
+    atomic_write_text(RESULTS_DIR / name, json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"Multi-layer pipeline ({'tiny' if TINY else 'full'} scale, "
+        f"{len(rows):,} records, cutoff {CUTOFF})",
+        f"extract {t_extract.elapsed * 1e3:9.1f} ms   "
+        f"{extract_tput:10,.0f} records/s (all layers, one pass)",
+    ]
+    for layer in layers:
+        lines.append(
+            f"  [{layer:7s}] {layer_events[layer]:7,} events   "
+            f"{layer_seconds[layer] * 1e3:8.1f} ms   "
+            f"{layer_events[layer] / max(layer_seconds[layer], 1e-9):10,.0f} "
+            "events/s"
+        )
+    lines.append(
+        f"fuse    {fuse_seconds * 1e3:9.1f} ms   "
+        f"({fused_overhead:.1%} of per-layer time)"
+    )
+    for net in PLANTED:
+        score = recovery[net]
+        lines.append(
+            f"  {net:<10} P={score['precision']:.2f} "
+            f"R={score['recall']:.2f} F1={score['f1']:.2f}"
+        )
+    report_sink("layers", "\n".join(lines))

@@ -1,0 +1,59 @@
+"""Pluggable co-action layers: extractors, bucketing, and score fusion.
+
+The paper's framework is behaviour-agnostic — "the same action within
+time *t*" — and this package supplies the *action* half of that sentence.
+:mod:`repro.actions.base` defines the :class:`ActionKey` extractor
+protocol and the layer registry; :mod:`repro.actions.keys` provides the
+built-in layers (page, link, reply, hashtag, text);
+:mod:`repro.actions.textbucket` implements the minhash-LSH bucketing the
+text layer rides on; and :mod:`repro.actions.fuse` combines per-layer CI
+graphs into one multi-layer coordination score.
+
+See ``docs/action_layers.md`` for the full tour.
+"""
+
+from repro.actions.base import (
+    ACTION_LAYERS,
+    ActionKey,
+    available_layers,
+    get_action_key,
+    register_action_key,
+    resolve_layers,
+)
+from repro.actions.fuse import (
+    FusedEdge,
+    FusedGraph,
+    fuse_edge_maps,
+    fuse_layers,
+)
+from repro.actions.keys import (
+    HashtagKey,
+    LinkKey,
+    PageKey,
+    ReplyTargetKey,
+    TextBucketKey,
+    normalize_hashtag,
+    normalize_url,
+)
+from repro.actions.textbucket import MinHashBucketer
+
+__all__ = [
+    "ACTION_LAYERS",
+    "ActionKey",
+    "available_layers",
+    "get_action_key",
+    "register_action_key",
+    "resolve_layers",
+    "FusedEdge",
+    "FusedGraph",
+    "fuse_layers",
+    "fuse_edge_maps",
+    "PageKey",
+    "LinkKey",
+    "ReplyTargetKey",
+    "HashtagKey",
+    "TextBucketKey",
+    "normalize_url",
+    "normalize_hashtag",
+    "MinHashBucketer",
+]

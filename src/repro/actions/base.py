@@ -1,0 +1,141 @@
+"""The pluggable co-action axis: ``ActionKey`` extractors.
+
+The paper's framework detects "the same action within time *t*" — but the
+seed pipeline hard-coded one action: commenting on the same page.  An
+:class:`ActionKey` makes the action axis injectable.  Each key names one
+coordination *layer* and maps a Pushshift-style comment record to the
+action values the comment performs on that layer:
+
+==========  =====================  ========================================
+layer       record field(s)        two users co-act when they …
+==========  =====================  ========================================
+page        ``link_id``            comment on the same page (the seed axis)
+link        ``link``               share the same (normalized) URL
+reply       ``reply_to``           reply to the same comment/author
+hashtag     ``hashtags``           use the same hashtag
+text        ``text``               post near-duplicate text (minhash bucket)
+==========  =====================  ========================================
+
+The extracted value plays exactly the role the page id played: the
+``(author, action_value, created_utc)`` triples feed the untouched
+:class:`~repro.graph.bipartite.BipartiteTemporalMultigraph` → projection →
+triangle machinery, producing one common-interaction graph per layer.
+
+**Skip semantics.**  A record that lacks the field(s) a layer needs (an
+ordinary comment with no URL, no hashtags, …) simply performs no action on
+that layer: :meth:`ActionKey.extract` returns an empty tuple and lenient
+ingestion counts the record in the layer's skip counter instead of
+crashing — see :func:`repro.graph.io.btms_from_ndjson`.
+
+A record may perform *several* actions on one layer (three hashtags = three
+actions); each value becomes its own BTM edge, exactly as three comments on
+three pages would.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = [
+    "ActionKey",
+    "ACTION_LAYERS",
+    "get_action_key",
+    "register_action_key",
+    "available_layers",
+    "resolve_layers",
+]
+
+
+class ActionKey:
+    """One coordination layer: a named extractor over comment records.
+
+    Subclasses (or instances constructed with an ``extract`` override)
+    define :meth:`extract`; everything downstream — BTM construction,
+    projection, triangle survey, fusion — is layer-agnostic.
+
+    Attributes
+    ----------
+    name:
+        The layer name (``"page"``, ``"link"``, …); used as the registry
+        key, the CLI ``--layers`` token, metric labels, and fusion
+        provenance.
+    fields:
+        The ndjson record fields the extractor reads.  Records missing
+        any of them are *skipped on this layer* (never an error): they
+        perform no action of this kind.
+    """
+
+    name: str = ""
+    fields: tuple[str, ...] = ()
+
+    def extract(self, record: Mapping) -> tuple[str, ...]:
+        """Action values this record performs on the layer.
+
+        Returns an empty tuple when the record performs no such action
+        (missing/blank field).  Values are strings: they are interned
+        into the BTM's action id space exactly as page ids are.
+        """
+        raise NotImplementedError
+
+    def triples(
+        self, record: Mapping
+    ) -> list[tuple[str, str, int]]:
+        """``(author, action_value, created_utc)`` triples for *record*.
+
+        Raises ``KeyError`` / ``ValueError`` when the record lacks the
+        *universal* fields (``author``, ``created_utc``) — that is
+        malformation, not a layer skip — and returns ``[]`` when the
+        record merely performs no action on this layer.
+        """
+        author = record["author"]
+        created = int(record["created_utc"])
+        return [(author, value, created) for value in self.extract(record)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+#: The global layer registry, populated by :mod:`repro.actions.keys`.
+ACTION_LAYERS: dict[str, ActionKey] = {}
+
+
+def register_action_key(key: ActionKey) -> ActionKey:
+    """Add *key* to the registry (last registration wins); returns it."""
+    if not key.name:
+        raise ValueError("action key must have a non-empty name")
+    ACTION_LAYERS[key.name] = key
+    return key
+
+
+def get_action_key(name_or_key: "str | ActionKey") -> ActionKey:
+    """Resolve a layer name (or pass an :class:`ActionKey` through)."""
+    if isinstance(name_or_key, ActionKey):
+        return name_or_key
+    key = ACTION_LAYERS.get(str(name_or_key))
+    if key is None:
+        raise ValueError(
+            f"unknown action layer {name_or_key!r} "
+            f"(available: {', '.join(available_layers())})"
+        )
+    return key
+
+
+def available_layers() -> list[str]:
+    """Registered layer names, sorted (the canonical iteration order)."""
+    return sorted(ACTION_LAYERS)
+
+
+def resolve_layers(
+    layers: "Sequence[str | ActionKey]",
+) -> "list[ActionKey]":
+    """Resolve a layer list, rejecting duplicates, sorted by name.
+
+    Sorting makes every multi-layer surface (pipeline, fusion, metrics,
+    reports) independent of the order the caller listed the layers in —
+    the determinism contract the fused score relies on.
+    """
+    keys = [get_action_key(layer) for layer in layers]
+    names = [k.name for k in keys]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate action layers in {names}")
+    return sorted(keys, key=lambda k: k.name)

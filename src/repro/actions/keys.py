@@ -1,0 +1,145 @@
+"""The concrete action keys: page, link, reply, hashtag, text.
+
+Importing this module populates :data:`repro.actions.base.ACTION_LAYERS`
+with the five built-in layers.  Each key reads Pushshift-style record
+fields (see :class:`repro.datagen.records.CommentRecord` for the
+generator side) and normalizes aggressively — coordination hides behind
+cosmetic variation, so two records that *mean* the same action must map
+to the same value.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+from urllib.parse import urlsplit, urlunsplit
+
+from repro.actions.base import ActionKey, register_action_key
+from repro.actions.textbucket import MinHashBucketer
+
+__all__ = [
+    "PageKey",
+    "LinkKey",
+    "ReplyTargetKey",
+    "HashtagKey",
+    "TextBucketKey",
+    "normalize_url",
+    "normalize_hashtag",
+]
+
+
+def normalize_url(raw: str) -> str:
+    """Canonical form of a shared URL.
+
+    Lowercases scheme/host, folds ``http`` into ``https``, strips the
+    fragment, a ``www.`` prefix, and any trailing slash — the mutations
+    link-spam tooling applies to dodge exact-match dedup — while keeping
+    path and query (different articles on one host are different actions).
+    """
+    raw = str(raw).strip()
+    if not raw:
+        return ""
+    parts = urlsplit(raw)
+    scheme = parts.scheme.casefold()
+    if scheme == "http":
+        scheme = "https"
+    host = parts.netloc.casefold()
+    if host.startswith("www."):
+        host = host[4:]
+    path = parts.path.rstrip("/")
+    return urlunsplit((scheme, host, path, parts.query, ""))
+
+
+def normalize_hashtag(raw: str) -> str:
+    """Casefolded tag with any leading ``#`` stripped."""
+    return str(raw).strip().lstrip("#").casefold()
+
+
+class PageKey(ActionKey):
+    """The seed behaviour: commenting on the same page (``link_id``)."""
+
+    name = "page"
+    fields = ("link_id",)
+
+    def extract(self, record: Mapping) -> tuple[str, ...]:
+        page = record.get("link_id")
+        if page is None or page == "":
+            return ()
+        return (str(page),)
+
+
+class LinkKey(ActionKey):
+    """Sharing the same URL (co-link coordination)."""
+
+    name = "link"
+    fields = ("link",)
+
+    def extract(self, record: Mapping) -> tuple[str, ...]:
+        link = record.get("link")
+        if not link:
+            return ()
+        norm = normalize_url(link)
+        return (norm,) if norm else ()
+
+
+class ReplyTargetKey(ActionKey):
+    """Replying to the same comment/author (co-reply coordination)."""
+
+    name = "reply"
+    fields = ("reply_to",)
+
+    def extract(self, record: Mapping) -> tuple[str, ...]:
+        target = record.get("reply_to")
+        if not target:
+            return ()
+        return (str(target).strip(),)
+
+
+class HashtagKey(ActionKey):
+    """Using the same hashtag (co-hashtag coordination).
+
+    A record carrying several hashtags performs one action per distinct
+    normalized tag (sorted, so extraction order never depends on the
+    record's tag order).
+    """
+
+    name = "hashtag"
+    fields = ("hashtags",)
+
+    def extract(self, record: Mapping) -> tuple[str, ...]:
+        raw = record.get("hashtags")
+        if not raw:
+            return ()
+        if isinstance(raw, str):
+            raw = raw.split()
+        tags = {normalize_hashtag(t) for t in raw}
+        tags.discard("")
+        return tuple(sorted(tags))
+
+
+class TextBucketKey(ActionKey):
+    """Posting near-duplicate text (minhash LSH band buckets).
+
+    See :class:`~repro.actions.textbucket.MinHashBucketer` — each LSH
+    band bucket of the record's ``text`` is one action value, so
+    near-duplicates co-act once per colliding band.
+    """
+
+    name = "text"
+    fields = ("text",)
+
+    def __init__(self, bucketer: MinHashBucketer | None = None) -> None:
+        self.bucketer = bucketer if bucketer is not None else MinHashBucketer()
+
+    def extract(self, record: Mapping) -> tuple[str, ...]:
+        text = record.get("text")
+        if not text:
+            return ()
+        return self.bucketer.buckets(str(text))
+
+
+# Populate the registry (import side effect, idempotent).
+register_action_key(PageKey())
+register_action_key(LinkKey())
+register_action_key(ReplyTargetKey())
+register_action_key(HashtagKey())
+register_action_key(TextBucketKey())

@@ -7,7 +7,9 @@ Six subcommands cover the workflow the paper describes:
 - ``recommend`` — profile a corpus's same-page delays and cost candidate
   windows *before* projecting (the §3.2.3 parameter question);
 - ``detect`` — run the three-step framework over an ndjson corpus and
-  report components, optionally exporting DOT renders;
+  report components, optionally exporting DOT renders; ``--layers``
+  runs one pass per action layer (page, link, reply, hashtag, text) and
+  fuses the per-layer CI graphs into one multi-layer score;
 - ``figures`` — regenerate the paper's metric-relationship figures
   (C vs T, w_xyz vs min w') for a corpus and window;
 - ``verify`` — run a seeded corpus through every projection and triangle
@@ -22,6 +24,9 @@ Six subcommands cover the workflow the paper describes:
   against from-scratch batch runs; ``verify --sharded`` streams the
   corpus through sharded query tiers at several shard counts and
   requires every merged answer to match the single-engine oracle;
+  ``verify --layers`` sweeps every action layer of a seeded multilayer
+  corpus through the engine-parity harness, diffs the page layer
+  against the pre-refactor path, and checks fusion determinism;
 - ``serve`` — tail an ndjson stream (file or ``-`` for stdin) through
   the online detection service: sliding-window eviction at the
   watermark, incremental re-scoring, periodic top-k and metrics output,
@@ -77,9 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gen.add_argument(
         "--preset",
-        choices=["jan2020", "oct2016"],
+        choices=["jan2020", "oct2016", "multilayer"],
         default="jan2020",
-        help="corpus preset (botnet mix mirrors the paper's months)",
+        help="corpus preset (botnet mix mirrors the paper's months; "
+        "multilayer adds link-spam, hashtag-brigade, and copypasta nets "
+        "that coordinate on non-page action layers)",
     )
     gen.add_argument("--seed", type=int, default=2020)
     gen.add_argument("--scale", type=float, default=1.0,
@@ -124,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("--quarantine", metavar="PATH",
                      help="with --skip-malformed, copy rejected lines to "
                      "this sidecar file")
+    det.add_argument("--layers", metavar="LIST", default=None,
+                     help="comma-separated action layers (or 'all'): run "
+                     "one framework pass per layer and fuse the CI graphs "
+                     "into a multi-layer score (e.g. page,link,hashtag)")
+    det.add_argument("--layer-weights", metavar="LIST", default=None,
+                     help="with --layers, per-layer fusion multipliers as "
+                     "name=weight pairs (e.g. page=1,text=0.5)")
 
     fig = sub.add_parser(
         "figures", help="regenerate the metric-relationship figures"
@@ -198,6 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
                      "oracle")
     ver.add_argument("--shard-counts", default="1,2,4",
                      help="comma-separated shard counts for --sharded")
+    ver.add_argument("--layers", action="store_true",
+                     help="multi-layer parity instead: sweep every action "
+                     "layer of a seeded multilayer corpus through the full "
+                     "engine-parity harness, check the page layer against "
+                     "the pre-refactor path byte-for-byte, and require the "
+                     "fused score to be identical under layer/weight "
+                     "permutations")
 
     srv = sub.add_parser(
         "serve",
@@ -299,12 +320,15 @@ def build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------------
 
 
+_PRESETS = {
+    "jan2020": RedditDatasetBuilder.jan2020_like,
+    "oct2016": RedditDatasetBuilder.oct2016_like,
+    "multilayer": RedditDatasetBuilder.multilayer,
+}
+
+
 def _cmd_generate(args: argparse.Namespace, out) -> int:
-    builder = (
-        RedditDatasetBuilder.jan2020_like(seed=args.seed, scale=args.scale)
-        if args.preset == "jan2020"
-        else RedditDatasetBuilder.oct2016_like(seed=args.seed, scale=args.scale)
-    )
+    builder = _PRESETS[args.preset](seed=args.seed, scale=args.scale)
     dataset = builder.build()
     count = write_comments_ndjson(
         args.out, (rec.to_pushshift_dict() for rec in dataset.records)
@@ -379,7 +403,80 @@ def _load_btm(args: argparse.Namespace, out):
     return btm
 
 
+def _parse_layer_weights(spec: str | None) -> tuple[tuple[str, float], ...]:
+    if not spec:
+        return ()
+    pairs = []
+    for item in spec.split(","):
+        name, _, value = item.partition("=")
+        if not name.strip() or not value.strip():
+            raise SystemExit(
+                f"bad --layer-weights entry {item!r} (want name=weight)"
+            )
+        pairs.append((name.strip(), float(value)))
+    return tuple(pairs)
+
+
+def _cmd_detect_layers(args: argparse.Namespace, out) -> int:
+    """``detect --layers``: one framework pass per layer, plus fusion."""
+    from repro.actions import available_layers
+    from repro.pipeline import MultiLayerPipeline
+
+    spec = str(args.layers).strip()
+    names = (
+        available_layers()
+        if spec.lower() == "all"
+        else [n.strip() for n in spec.split(",") if n.strip()]
+    )
+    config = PipelineConfig(
+        window=TimeWindow(args.delta1, args.delta2),
+        min_triangle_weight=args.cutoff,
+        author_filter=AuthorFilter.none() if args.no_filter else AuthorFilter(),
+        compute_hypergraph=not args.no_hypergraph,
+        time_bucket_width=args.buckets,
+        executor=args.executor,
+        n_workers=args.workers,
+        layer_weights=_parse_layer_weights(args.layer_weights),
+    )
+    pipeline = MultiLayerPipeline(config, layers=names)
+    result = pipeline.run_ndjson(
+        args.input,
+        errors="skip" if args.skip_malformed else "raise",
+        quarantine=args.quarantine if args.skip_malformed else None,
+    )
+    if result.ingest is not None and result.ingest.malformed:
+        print(
+            f"skipped {result.ingest.malformed:,} malformed record(s) of "
+            f"{result.ingest.total_lines:,}",
+            file=out,
+        )
+    print(result.summary(), file=out)
+
+    print("", file=out)
+    print("top fused edges:", file=out)
+    for edge in result.fused.top_edges(args.top):
+        provenance = ", ".join(f"{n}:{w}" for n, w in edge.per_layer)
+        print(
+            f"  {edge.a} — {edge.b}  fused={edge.score:g}  [{provenance}]",
+            file=out,
+        )
+    if args.truth:
+        truth = _load_truth(args.truth)
+        scores = score_detection(truth, result.fused_components)
+        print("", file=out)
+        print("ground-truth scoring (fused components):", file=out)
+        for name, s in sorted(scores.items()):
+            print(
+                f"  {name:<12} P={s.precision:.2f} R={s.recall:.2f} "
+                f"F1={s.f1:.2f}",
+                file=out,
+            )
+    return 0
+
+
 def _cmd_detect(args: argparse.Namespace, out) -> int:
+    if args.layers:
+        return _cmd_detect_layers(args, out)
     btm = _load_btm(args, out)
     config = PipelineConfig(
         window=TimeWindow(args.delta1, args.delta2),
@@ -453,6 +550,23 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
         check_window_monotonicity,
         run_parity,
     )
+
+    if args.layers:
+        from repro.verify import run_layer_parity
+
+        dataset = RedditDatasetBuilder.multilayer(
+            seed=args.seed, scale=args.scale
+        ).build()
+        layer_report = run_layer_parity(
+            dataset.records,
+            TimeWindow(args.delta1, args.delta2),
+            min_edge_weight=args.cutoff,
+            bucket_width=args.bucket_width,
+            parallel_workers=max(1, args.workers),
+            shrink=not args.no_shrink,
+        )
+        print(layer_report.describe(), file=out)
+        return 0 if layer_report.ok else 1
 
     builder = (
         RedditDatasetBuilder.jan2020_like(seed=args.seed, scale=args.scale)

@@ -40,6 +40,16 @@ from repro.datagen.botnets import (
     generate_misc_botnets,
     generate_helpful_bots,
 )
+from repro.datagen.scenarios import (
+    LinkSpamBotnetConfig,
+    HashtagBrigadeConfig,
+    CopypastaBotnetConfig,
+    LayerNoiseConfig,
+    generate_link_spam_botnet,
+    generate_hashtag_brigade,
+    generate_copypasta_botnet,
+    generate_layer_noise,
+)
 from repro.datagen.reddit import RedditDatasetBuilder, SyntheticDataset
 from repro.datagen.ground_truth import GroundTruth, DetectionScore, score_detection
 
@@ -59,6 +69,14 @@ __all__ = [
     "generate_evasive_botnet",
     "generate_misc_botnets",
     "generate_helpful_bots",
+    "LinkSpamBotnetConfig",
+    "HashtagBrigadeConfig",
+    "CopypastaBotnetConfig",
+    "LayerNoiseConfig",
+    "generate_link_spam_botnet",
+    "generate_hashtag_brigade",
+    "generate_copypasta_botnet",
+    "generate_layer_noise",
     "RedditDatasetBuilder",
     "SyntheticDataset",
     "GroundTruth",

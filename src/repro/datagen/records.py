@@ -36,6 +36,20 @@ class CommentRecord(NamedTuple):
     source:
         Generator provenance tag (``"background"``, ``"gpt2"``, …); this
         is *ground truth only* and is never fed to the detection pipeline.
+    link:
+        URL the comment shares, if any (the ``link`` co-action layer).
+    reply_to:
+        Comment/author the comment replies to, if any (``reply`` layer).
+    hashtags:
+        Hashtags the comment carries (``hashtag`` layer).
+    text:
+        Comment body, when a scenario needs near-duplicate detection
+        (``text`` layer).  Empty for behaviour-only corpora — the method
+        never reads content except through the text-bucket extractor.
+
+    The four layer fields are optional: a record that leaves them empty
+    simply performs no action on those layers (lenient-ingestion skip
+    semantics — see :mod:`repro.actions.base`).
     """
 
     author: str
@@ -43,15 +57,32 @@ class CommentRecord(NamedTuple):
     created_utc: int
     subreddit: str = ""
     source: str = "background"
+    link: str = ""
+    reply_to: str = ""
+    hashtags: tuple[str, ...] = ()
+    text: str = ""
 
     def to_pushshift_dict(self) -> dict:
-        """Render as a Pushshift-style JSON object (provenance dropped)."""
-        return {
+        """Render as a Pushshift-style JSON object (provenance dropped).
+
+        Layer fields appear only when non-empty, so legacy page-only
+        corpora serialize byte-for-byte as before this schema grew.
+        """
+        out = {
             "author": self.author,
             "link_id": self.page,
             "created_utc": int(self.created_utc),
             "subreddit": self.subreddit,
         }
+        if self.link:
+            out["link"] = self.link
+        if self.reply_to:
+            out["reply_to"] = self.reply_to
+        if self.hashtags:
+            out["hashtags"] = list(self.hashtags)
+        if self.text:
+            out["text"] = self.text
+        return out
 
     def as_triple(self) -> tuple[str, str, int]:
         """The ``(author, page, created_utc)`` triple the BTM builder eats."""

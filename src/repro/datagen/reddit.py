@@ -29,6 +29,16 @@ from repro.datagen.botnets import (
 )
 from repro.datagen.ground_truth import GroundTruth
 from repro.datagen.records import CommentRecord
+from repro.datagen.scenarios import (
+    CopypastaBotnetConfig,
+    HashtagBrigadeConfig,
+    LayerNoiseConfig,
+    LinkSpamBotnetConfig,
+    generate_copypasta_botnet,
+    generate_hashtag_brigade,
+    generate_layer_noise,
+    generate_link_spam_botnet,
+)
 from repro.graph.bipartite import BipartiteTemporalMultigraph
 from repro.util.rng import SeedSequenceFactory
 
@@ -96,6 +106,10 @@ class RedditDatasetBuilder:
     reply_config: ReplyTriggerBotnetConfig | None = None
     misc_config: MiscBotnetConfig | None = None
     helpful_config: HelpfulBotConfig | None = None
+    link_spam_config: LinkSpamBotnetConfig | None = None
+    hashtag_config: HashtagBrigadeConfig | None = None
+    copypasta_config: CopypastaBotnetConfig | None = None
+    layer_noise_config: LayerNoiseConfig | None = None
 
     # -- fluent configuration ---------------------------------------------------
     def with_background(self, config: BackgroundConfig) -> "RedditDatasetBuilder":
@@ -142,6 +156,42 @@ class RedditDatasetBuilder:
     ) -> "RedditDatasetBuilder":
         """Add AutoModerator / [deleted] traffic (paper §3's exclusions)."""
         self.helpful_config = config if config is not None else HelpfulBotConfig()
+        return self
+
+    def with_link_spam_botnet(
+        self, config: LinkSpamBotnetConfig | None = None
+    ) -> "RedditDatasetBuilder":
+        """Inject a link-spam net (visible only on the ``link`` layer)."""
+        self.link_spam_config = (
+            config if config is not None else LinkSpamBotnetConfig()
+        )
+        return self
+
+    def with_hashtag_brigade(
+        self, config: HashtagBrigadeConfig | None = None
+    ) -> "RedditDatasetBuilder":
+        """Inject a hashtag brigade (``hashtag`` layer, ``reply`` echo)."""
+        self.hashtag_config = (
+            config if config is not None else HashtagBrigadeConfig()
+        )
+        return self
+
+    def with_copypasta_botnet(
+        self, config: CopypastaBotnetConfig | None = None
+    ) -> "RedditDatasetBuilder":
+        """Inject a copypasta net (visible only on the ``text`` layer)."""
+        self.copypasta_config = (
+            config if config is not None else CopypastaBotnetConfig()
+        )
+        return self
+
+    def with_layer_noise(
+        self, config: LayerNoiseConfig | None = None
+    ) -> "RedditDatasetBuilder":
+        """Add organic (uncoordinated) link/hashtag/reply/text traffic."""
+        self.layer_noise_config = (
+            config if config is not None else LayerNoiseConfig()
+        )
         return self
 
     # -- presets -------------------------------------------------------------------
@@ -213,6 +263,32 @@ class RedditDatasetBuilder:
             .with_helpful_bots()
         )
 
+    @classmethod
+    def multilayer(cls, seed: int = 2024, scale: float = 1.0) -> "RedditDatasetBuilder":
+        """The multi-layer scenario corpus.
+
+        A page-layer reshare net for continuity, the three layer-specific
+        nets (link-spam, hashtag brigade, copypasta) that the page layer
+        cannot see, and organic layer noise so every layer carries
+        uncoordinated mass.  ``scale`` multiplies the background size.
+        """
+        return (
+            cls(seed=seed)
+            .with_background(
+                BackgroundConfig(
+                    n_users=int(1200 * scale),
+                    n_pages=int(1800 * scale),
+                    n_comments=int(18_000 * scale),
+                )
+            )
+            .with_reshare_botnet()
+            .with_link_spam_botnet()
+            .with_hashtag_brigade()
+            .with_copypasta_botnet()
+            .with_layer_noise()
+            .with_helpful_bots()
+        )
+
     # -- build ----------------------------------------------------------------------
     def build(self) -> SyntheticDataset:
         """Generate all configured components and assemble the dataset."""
@@ -249,6 +325,29 @@ class RedditDatasetBuilder:
             records.extend(recs)
             for group_name, members in groups.items():
                 truth.add(group_name, members)
+        if self.link_spam_config is not None:
+            recs, members = generate_link_spam_botnet(
+                self.link_spam_config, seeds, host_pages
+            )
+            records.extend(recs)
+            truth.add(self.link_spam_config.name, members)
+        if self.hashtag_config is not None:
+            recs, members = generate_hashtag_brigade(
+                self.hashtag_config, seeds, host_pages
+            )
+            records.extend(recs)
+            truth.add(self.hashtag_config.name, members)
+        if self.copypasta_config is not None:
+            recs, members = generate_copypasta_botnet(
+                self.copypasta_config, seeds, host_pages
+            )
+            records.extend(recs)
+            truth.add(self.copypasta_config.name, members)
+        if self.layer_noise_config is not None:
+            recs, _ = generate_layer_noise(
+                self.layer_noise_config, seeds, host_pages
+            )
+            records.extend(recs)
         if self.helpful_config is not None:
             recs, helpful_names = generate_helpful_bots(
                 self.helpful_config,

@@ -1,0 +1,368 @@
+"""Planted multi-layer coordination scenarios (link, hashtag, text layers).
+
+The botnets in :mod:`~repro.datagen.botnets` coordinate on the *page*
+axis.  The three nets here are deliberately invisible to page analysis —
+every member posts on its **own** randomly chosen organic page — and
+coordinate on exactly one of the new action layers instead:
+
+- **link-spam net** — each campaign wave pushes a fresh promo URL; every
+  participating member posts it (with the usual cosmetic mutations:
+  ``www.``, trailing slash, ``http`` vs ``https``) within seconds.
+- **hashtag brigade** — each wave hijacks a fresh campaign hashtag
+  (casing varies per member); members may also reply to the wave's
+  target post, leaving a secondary trace on the *reply* layer.
+- **copypasta net** — each wave re-posts a template text; members pad it
+  with a couple of junk tokens, the classic exact-dedup evasion that
+  minhash bucketing (:mod:`repro.actions.textbucket`) is built to catch.
+
+:func:`generate_layer_noise` supplies the organic counterpart: accounts
+posting *diverse* URLs, hashtags, replies, and one-off texts, so the new
+layers carry uncoordinated mass and per-layer thresholds mean something.
+
+Each generator follows the house convention: ``(config, seeds, …) ->
+(records, member_names)`` with the member list as ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.records import MONTH_SECONDS, CommentRecord
+from repro.util.rng import SeedSequenceFactory
+
+__all__ = [
+    "LinkSpamBotnetConfig",
+    "HashtagBrigadeConfig",
+    "CopypastaBotnetConfig",
+    "LayerNoiseConfig",
+    "generate_link_spam_botnet",
+    "generate_hashtag_brigade",
+    "generate_copypasta_botnet",
+    "generate_layer_noise",
+]
+
+
+def _spread_pages(
+    rng: np.random.Generator,
+    host_pages: list[tuple[str, int, str]],
+    n: int,
+    fallback_prefix: str,
+) -> list[tuple[str, str]]:
+    """Pick *n* (page, subreddit) homes, one per member, without repeats.
+
+    Distinct pages per member are the point of these scenarios: the page
+    layer must see nothing.  When the organic corpus is too small to
+    supply enough distinct pages, synthetic singleton pages fill in.
+    """
+    if len(host_pages) >= n:
+        picks = rng.choice(len(host_pages), size=n, replace=False)
+        return [(host_pages[int(i)][0], host_pages[int(i)][2]) for i in picks]
+    return [(f"t3_{fallback_prefix}_solo{i}", "r/all") for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# Link-spam network (the `link` layer)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LinkSpamBotnetConfig:
+    """Parameters of the link-spam net.
+
+    Expected link-layer pair weight is ``n_waves · participation²`` (one
+    fresh URL per wave, deduped per action value), so the defaults land
+    well above a threshold of 20 while each individual page sees a single
+    member — zero page-layer signal.
+    """
+
+    name: str = "linkspam"
+    n_bots: int = 12
+    n_waves: int = 40
+    participation: float = 0.9
+    post_delay_low: int = 1
+    post_delay_high: int = 50
+    domain: str = "promo-blast.example"
+    span_seconds: int = MONTH_SECONDS
+
+
+def generate_link_spam_botnet(
+    config: LinkSpamBotnetConfig,
+    seeds: SeedSequenceFactory,
+    host_pages: list[tuple[str, int, str]],
+) -> tuple[list[CommentRecord], list[str]]:
+    """Generate the link-spam net's comments and its member list."""
+    rng = seeds.rng(f"scenario.{config.name}")
+    members = [f"{config.name}_acct_{i:02d}" for i in range(config.n_bots)]
+    records: list[CommentRecord] = []
+    wave_times = np.sort(
+        rng.integers(0, config.span_seconds, size=config.n_waves)
+    )
+    # The cosmetic URL mutations real spam tooling rotates through; all
+    # normalize to the same canonical link action.
+    mutations = (
+        "https://{d}/promo/{w}",
+        "https://www.{d}/promo/{w}",
+        "http://{d}/promo/{w}/",
+        "https://{d}/promo/{w}#src",
+    )
+    for w, t0 in enumerate(wave_times):
+        homes = _spread_pages(rng, host_pages, config.n_bots, config.name)
+        for i, (page, subreddit) in enumerate(homes):
+            if rng.random() >= config.participation:
+                continue
+            url = mutations[int(rng.integers(0, len(mutations)))].format(
+                d=config.domain, w=w
+            )
+            d = int(
+                rng.integers(config.post_delay_low, config.post_delay_high + 1)
+            )
+            records.append(
+                CommentRecord(
+                    members[i],
+                    page,
+                    min(int(t0 + d), config.span_seconds - 1),
+                    subreddit,
+                    config.name,
+                    link=url,
+                )
+            )
+    return records, members
+
+
+# ---------------------------------------------------------------------------
+# Hashtag brigade (the `hashtag` layer, with a `reply` echo)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HashtagBrigadeConfig:
+    """Parameters of the hashtag-brigading net.
+
+    Each wave pushes a fresh campaign tag plus an evergreen anchor tag;
+    ``reply_prob`` of the posts also reply to the wave's target post,
+    leaving coordinated evidence on the *reply* layer too — the
+    multi-behaviour case fusion exists for.
+    """
+
+    name: str = "brigade"
+    n_bots: int = 14
+    n_waves: int = 36
+    participation: float = 0.85
+    reply_prob: float = 0.5
+    post_delay_low: int = 1
+    post_delay_high: int = 55
+    anchor_tag: str = "StopTheThing"
+    span_seconds: int = MONTH_SECONDS
+
+
+def generate_hashtag_brigade(
+    config: HashtagBrigadeConfig,
+    seeds: SeedSequenceFactory,
+    host_pages: list[tuple[str, int, str]],
+) -> tuple[list[CommentRecord], list[str]]:
+    """Generate the brigade's comments and its member list."""
+    rng = seeds.rng(f"scenario.{config.name}")
+    members = [f"{config.name}_acct_{i:02d}" for i in range(config.n_bots)]
+    records: list[CommentRecord] = []
+    wave_times = np.sort(
+        rng.integers(0, config.span_seconds, size=config.n_waves)
+    )
+    for w, t0 in enumerate(wave_times):
+        wave_tag = f"{config.anchor_tag}Wave{w}"
+        target = f"t1_{config.name}_target{w}"
+        homes = _spread_pages(rng, host_pages, config.n_bots, config.name)
+        for i, (page, subreddit) in enumerate(homes):
+            if rng.random() >= config.participation:
+                continue
+            # Casing/`#` prefix vary per member; normalization folds them.
+            casing = (wave_tag, wave_tag.lower(), f"#{wave_tag}")[
+                int(rng.integers(0, 3))
+            ]
+            tags = [casing]
+            if rng.random() < 0.5:
+                tags.append(f"#{config.anchor_tag}")
+            d = int(
+                rng.integers(config.post_delay_low, config.post_delay_high + 1)
+            )
+            records.append(
+                CommentRecord(
+                    members[i],
+                    page,
+                    min(int(t0 + d), config.span_seconds - 1),
+                    subreddit,
+                    config.name,
+                    hashtags=tuple(tags),
+                    reply_to=target if rng.random() < config.reply_prob else "",
+                )
+            )
+    return records, members
+
+
+# ---------------------------------------------------------------------------
+# Copypasta network (the `text` layer)
+# ---------------------------------------------------------------------------
+
+_COPYPASTA_POOL = (
+    "breaking urgent share this before they take it down the media wont "
+    "tell you what really happened last night wake up people the truth is "
+    "finally coming out do your own research and spread the word now"
+).split()
+
+_JUNK_TOKENS = (
+    "fr", "ngl", "lol", "smh", "rt", "pls", "asap", "omg", "wow", "yikes"
+)
+
+
+@dataclass(frozen=True)
+class CopypastaBotnetConfig:
+    """Parameters of the copypasta net.
+
+    Templates are long (``template_words`` ≈ 20) and members only *pad*
+    them with junk tokens, keeping pairwise shingle Jaccard high enough
+    that near-duplicates share most LSH bands; every shared band bucket
+    per wave is one co-action.
+    """
+
+    name: str = "copypasta"
+    n_bots: int = 10
+    n_waves: int = 18
+    participation: float = 0.9
+    template_words: int = 20
+    max_pad_tokens: int = 2
+    post_delay_low: int = 1
+    post_delay_high: int = 50
+    span_seconds: int = MONTH_SECONDS
+
+
+def generate_copypasta_botnet(
+    config: CopypastaBotnetConfig,
+    seeds: SeedSequenceFactory,
+    host_pages: list[tuple[str, int, str]],
+) -> tuple[list[CommentRecord], list[str]]:
+    """Generate the copypasta net's comments and its member list."""
+    rng = seeds.rng(f"scenario.{config.name}")
+    members = [f"{config.name}_acct_{i:02d}" for i in range(config.n_bots)]
+    records: list[CommentRecord] = []
+    wave_times = np.sort(
+        rng.integers(0, config.span_seconds, size=config.n_waves)
+    )
+    for w, t0 in enumerate(wave_times):
+        # One template per wave: a shuffled slice of the pool plus a wave
+        # marker so different waves never bucket together.
+        order = rng.permutation(len(_COPYPASTA_POOL))
+        template = [
+            _COPYPASTA_POOL[int(j)] for j in order[: config.template_words]
+        ] + [f"wave{w}"]
+        homes = _spread_pages(rng, host_pages, config.n_bots, config.name)
+        for i, (page, subreddit) in enumerate(homes):
+            if rng.random() >= config.participation:
+                continue
+            pad = [
+                _JUNK_TOKENS[int(rng.integers(0, len(_JUNK_TOKENS)))]
+                for _ in range(int(rng.integers(0, config.max_pad_tokens + 1)))
+            ]
+            d = int(
+                rng.integers(config.post_delay_low, config.post_delay_high + 1)
+            )
+            records.append(
+                CommentRecord(
+                    members[i],
+                    page,
+                    min(int(t0 + d), config.span_seconds - 1),
+                    subreddit,
+                    config.name,
+                    text=" ".join(template + pad),
+                )
+            )
+    return records, members
+
+
+# ---------------------------------------------------------------------------
+# Organic layer noise (decoys — no ground truth entry)
+# ---------------------------------------------------------------------------
+
+_NOISE_DOMAINS = (
+    "news.example", "videos.example", "blog.example", "pics.example",
+    "forum.example", "wiki.example",
+)
+
+_NOISE_TAGS = (
+    "monday", "caturday", "oc", "news", "sports", "gaming", "music",
+    "movies", "science", "food", "travel", "art", "history", "space",
+)
+
+
+@dataclass(frozen=True)
+class LayerNoiseConfig:
+    """Organic accounts using links/hashtags/replies/texts *diversely*.
+
+    Every URL is unique, hashtags are drawn independently from a broad
+    pool, replies target random recent authors, and texts are one-off
+    word salads — mass on every layer, coordination on none.
+    """
+
+    n_users: int = 120
+    n_posts: int = 900
+    link_prob: float = 0.35
+    hashtag_prob: float = 0.3
+    reply_prob: float = 0.25
+    text_prob: float = 0.4
+    span_seconds: int = MONTH_SECONDS
+
+
+def generate_layer_noise(
+    config: LayerNoiseConfig,
+    seeds: SeedSequenceFactory,
+    host_pages: list[tuple[str, int, str]],
+) -> tuple[list[CommentRecord], list[str]]:
+    """Generate organic multi-layer traffic; member list is empty."""
+    rng = seeds.rng("scenario.layer_noise")
+    if not host_pages:
+        host_pages = [("t3_noise_p0", 0, "r/all")]
+    users = [f"layeruser_{i:03d}" for i in range(config.n_users)]
+    records: list[CommentRecord] = []
+    for n in range(config.n_posts):
+        page, t0, subreddit = host_pages[int(rng.integers(0, len(host_pages)))]
+        author = users[int(rng.integers(0, config.n_users))]
+        link = ""
+        if rng.random() < config.link_prob:
+            domain = _NOISE_DOMAINS[int(rng.integers(0, len(_NOISE_DOMAINS)))]
+            link = f"https://{domain}/item/{n}"
+        tags: tuple[str, ...] = ()
+        if rng.random() < config.hashtag_prob:
+            picks = rng.choice(
+                len(_NOISE_TAGS),
+                size=int(rng.integers(1, 3)),
+                replace=False,
+            )
+            tags = tuple(_NOISE_TAGS[int(i)] for i in picks)
+        reply_to = ""
+        if rng.random() < config.reply_prob:
+            reply_to = f"t1_organic_{int(rng.integers(0, config.n_posts))}"
+        text = ""
+        if rng.random() < config.text_prob:
+            words = rng.choice(
+                len(_COPYPASTA_POOL), size=12, replace=False
+            )
+            text = " ".join(
+                [_COPYPASTA_POOL[int(j)] for j in words] + [f"n{n}"]
+            )
+        records.append(
+            CommentRecord(
+                author,
+                page,
+                min(
+                    t0 + int(rng.exponential(5400.0)),
+                    config.span_seconds - 1,
+                ),
+                subreddit,
+                "layer_noise",
+                link=link,
+                reply_to=reply_to,
+                hashtags=tags,
+                text=text,
+            )
+        )
+    return records, []

@@ -13,9 +13,9 @@ Two formats:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 import numpy as np
 
@@ -23,11 +23,15 @@ from repro.graph.bipartite import BipartiteTemporalMultigraph
 from repro.graph.edgelist import EdgeList
 from repro.util.ids import Interner
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, see btms_from_ndjson
+    from repro.actions.base import ActionKey
+
 __all__ = [
     "IngestStats",
     "write_comments_ndjson",
     "read_comments_ndjson",
     "btm_from_ndjson",
+    "btms_from_ndjson",
     "save_btm_npz",
     "load_btm_npz",
     "save_edgelist_npz",
@@ -53,16 +57,29 @@ class IngestStats:
     quarantined_to:
         Path the dropped lines were copied to, when quarantining was
         requested.
+    layer_skips:
+        Per-layer skip counters, filled by the layer-aware loaders
+        (:func:`btm_from_ndjson` with ``action_key=`` and
+        :func:`btms_from_ndjson`): how many *well-formed* records
+        performed no action on each requested layer — an ordinary
+        comment with no URL is no error, it just does not co-link.
+        Skipped-everywhere records go to the quarantine sidecar; records
+        active on at least one layer do not.
     """
 
     total_lines: int = 0
     malformed: int = 0
     quarantined_to: str | None = None
+    layer_skips: dict[str, int] = field(default_factory=dict)
 
     @property
     def kept(self) -> int:
         """Lines that survived."""
         return self.total_lines - self.malformed
+
+    def skip_count(self, layer: str) -> int:
+        """Skips recorded for *layer* (0 when the layer never loaded)."""
+        return self.layer_skips.get(layer, 0)
 
 
 def write_comments_ndjson(
@@ -148,6 +165,7 @@ def btm_from_ndjson(
     *,
     quarantine: str | Path | None = None,
     stats: IngestStats | None = None,
+    action_key: "str | ActionKey | None" = None,
 ) -> BipartiteTemporalMultigraph:
     """Load a BTM from Pushshift-style ndjson comment records.
 
@@ -157,7 +175,20 @@ def btm_from_ndjson(
     that fail to parse *or* lack a required field / carry a non-integer
     timestamp are dropped and counted (and optionally quarantined) instead
     of aborting the load — see :func:`read_comments_ndjson`.
+
+    With ``action_key=`` (a layer name or :class:`~repro.actions.base.ActionKey`)
+    the co-action axis is the key's extracted values instead of the page
+    column, with lenient per-layer skip semantics — the single-layer form
+    of :func:`btms_from_ndjson`.  ``action_key=None`` is the exact legacy
+    page path, bit-for-bit.
     """
+    if action_key is not None:
+        from repro.actions.base import get_action_key
+
+        key = get_action_key(action_key)
+        return btms_from_ndjson(
+            path, [key], errors, quarantine=quarantine, stats=stats
+        )[key.name]
     # One shared sidecar for both reject kinds (parse-level and
     # field-level), opened lazily on the first reject of either kind.
     qfh = None
@@ -203,6 +234,108 @@ def btm_from_ndjson(
     finally:
         if qfh is not None:
             qfh.close()
+
+
+def btms_from_ndjson(
+    path: str | Path,
+    layers: "Iterable[str | ActionKey]",
+    errors: str = "raise",
+    *,
+    quarantine: str | Path | None = None,
+    stats: IngestStats | None = None,
+) -> dict[str, BipartiteTemporalMultigraph]:
+    """Load one BTM per action layer from a single pass over *path*.
+
+    The multi-layer companion of :func:`btm_from_ndjson`: every record is
+    read once and offered to every requested layer's extractor, producing
+    ``{layer name: BTM}`` (keys sorted by layer name).  Each layer's BTM
+    interns its own author/action id spaces, so downstream projection and
+    triangle machinery runs per layer unchanged.
+
+    **Skip semantics** (satisfying lenient ingestion): a well-formed
+    record that performs no action on a layer — no URL for ``link``, no
+    hashtags for ``hashtag``, … — is *skipped on that layer* and counted
+    in ``stats.layer_skips[layer]``; it still feeds every layer it is
+    active on.  A record skipped on **all** requested layers contributed
+    nothing to the load and is written to the quarantine sidecar (when
+    one was requested) for offline inspection.  Malformed records
+    (unparseable JSON, missing ``author``/``created_utc``) follow the
+    usual ``errors=``/quarantine rules and never reach the extractors.
+    """
+    from repro.actions.base import resolve_layers
+
+    keys = resolve_layers(list(layers))
+    if errors not in ("raise", "skip"):
+        raise ValueError(f"errors must be 'raise' or 'skip', got {errors!r}")
+    stats = stats if stats is not None else IngestStats()
+    for key in keys:
+        stats.layer_skips.setdefault(key.name, 0)
+
+    qfh = None
+
+    def sidecar():
+        nonlocal qfh
+        if qfh is None and quarantine is not None:
+            qfh = open(quarantine, "w", encoding="utf-8")
+            stats.quarantined_to = str(quarantine)
+        return qfh
+
+    class _LazySidecar:
+        def write(self, text: str) -> None:
+            sidecar().write(text)
+
+        def flush(self) -> None:
+            if qfh is not None:
+                qfh.flush()
+
+    def write_reject(rec: dict) -> None:
+        fh = sidecar()
+        if fh is not None:
+            fh.write(json.dumps(rec, separators=(",", ":")))
+            fh.write("\n")
+            fh.flush()
+
+    per_layer: dict[str, list[tuple[str, str, int]]] = {
+        key.name: [] for key in keys
+    }
+    reader_quarantine = _LazySidecar() if quarantine is not None else None
+    try:
+        for rec in read_comments_ndjson(
+            path, errors, quarantine=reader_quarantine, stats=stats
+        ):
+            try:
+                author = rec["author"]
+                created = int(rec["created_utc"])
+            except (KeyError, TypeError, ValueError) as exc:
+                if errors == "raise":
+                    raise ValueError(
+                        f"{path}: record missing/invalid field: {exc!r}"
+                    ) from exc
+                stats.malformed += 1
+                write_reject(rec)
+                continue
+            acted = False
+            for key in keys:
+                values = key.extract(rec)
+                if not values:
+                    stats.layer_skips[key.name] += 1
+                    continue
+                acted = True
+                per_layer[key.name].extend(
+                    (author, value, created) for value in values
+                )
+            if not acted:
+                write_reject(rec)
+    finally:
+        if qfh is not None:
+            qfh.close()
+
+    return {
+        key.name: BipartiteTemporalMultigraph.from_comments(
+            per_layer[key.name]
+        )
+        for key in keys
+    }
 
 
 def save_btm_npz(path: str | Path, btm: BipartiteTemporalMultigraph) -> None:

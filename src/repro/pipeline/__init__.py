@@ -13,7 +13,9 @@ together exactly as §1.3 prescribes:
 returning a :class:`~repro.pipeline.results.PipelineResult` that carries
 every intermediate artifact the paper's figures are drawn from.
 :mod:`~repro.pipeline.iterative` adds the §2.4 refinement loop: rule
-authors out, reproject, repeat.
+authors out, reproject, repeat.  :mod:`~repro.pipeline.layers` runs the
+framework once per action layer and fuses the per-layer CI graphs into a
+multi-layer coordination score.
 """
 
 from repro.pipeline.checkpoint import CheckpointMismatchError, PipelineCheckpoint
@@ -21,11 +23,19 @@ from repro.pipeline.config import PipelineConfig
 from repro.pipeline.framework import CoordinationPipeline
 from repro.pipeline.results import PipelineResult, ComponentReport
 from repro.pipeline.iterative import IterativeRefiner, RefinementRound
+from repro.pipeline.layers import (
+    MultiLayerPipeline,
+    MultiLayerResult,
+    btms_from_records,
+)
 from repro.pipeline.sweep import SweepPoint, detection_curve, run_sweep
 
 __all__ = [
     "PipelineConfig",
     "CoordinationPipeline",
+    "MultiLayerPipeline",
+    "MultiLayerResult",
+    "btms_from_records",
     "PipelineCheckpoint",
     "CheckpointMismatchError",
     "PipelineResult",

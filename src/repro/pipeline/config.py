@@ -63,6 +63,14 @@ class PipelineConfig:
         which always uses the YGM backend.
     n_workers:
         Pool size for ``executor="parallel"``; 0 means ``os.cpu_count()``.
+    layers:
+        Action layers a multi-layer run covers
+        (:class:`~repro.pipeline.layers.MultiLayerPipeline`); the empty
+        default means the legacy single-axis (page) run and changes
+        nothing about :class:`~repro.pipeline.framework.CoordinationPipeline`.
+    layer_weights:
+        Optional per-layer fusion multipliers as sorted ``(layer,
+        weight)`` pairs; empty means weight 1.0 per layer.
     """
 
     window: TimeWindow = field(default_factory=lambda: TimeWindow(0, 60))
@@ -78,6 +86,8 @@ class PipelineConfig:
     barrier_deadline: float | None = None
     executor: str = "serial"
     n_workers: int = 0
+    layers: tuple[str, ...] = ()
+    layer_weights: tuple[tuple[str, float], ...] = ()
 
     def describe(self) -> str:
         """One-line summary for reports."""
@@ -91,8 +101,9 @@ class PipelineConfig:
             if self.executor == "parallel"
             else ""
         )
+        lay = f", layers=[{','.join(self.layers)}]" if self.layers else ""
         return (
             f"window={self.window}, cutoff={self.min_triangle_weight}"
-            f"{bucket}{ex}, "
+            f"{bucket}{ex}{lay}, "
             f"filter={'on' if self.author_filter.exact_names else 'off'}"
         )

@@ -84,6 +84,11 @@ class PipelineResult:
     stage_retries:
         Distributed stage attempts that failed and were retried on a
         fresh backend (0 for a clean run).
+    layer:
+        Action layer this result covers when produced by a multi-layer
+        run (:class:`~repro.pipeline.layers.MultiLayerPipeline`);
+        ``None`` for a legacy single-axis run — legacy results are
+        byte-identical to before the field existed.
     """
 
     config: PipelineConfig
@@ -98,6 +103,7 @@ class PipelineResult:
     timings: StageTimings = field(default_factory=StageTimings)
     resumed_stages: tuple[str, ...] = ()
     stage_retries: int = 0
+    layer: str | None = None
 
     # -- conveniences -----------------------------------------------------------
     @property

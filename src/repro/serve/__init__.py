@@ -35,10 +35,15 @@ Layers (each usable on its own):
 - :mod:`repro.serve.http` — :class:`HttpGateway`, the stdlib
   ``ThreadingHTTPServer`` front door (``/topk``, ``/user/<id>/score``,
   ``/component/<id>``, ``/status``, ``/metrics`` in Prometheus text
-  exposition via :func:`prometheus_text`).
+  exposition via :func:`prometheus_text`);
+- :mod:`repro.serve.layers` — :class:`MultiLayerDetectionEngine`, one
+  live engine per action layer behind a single query surface
+  (``/topk?layer=``), with per-layer gauges and fused multi-layer
+  scores.
 """
 
 from repro.serve.engine import BatchReport, DetectionEngine
+from repro.serve.layers import MultiLayerDetectionEngine
 from repro.serve.ingest import (
     Event,
     EventQueue,
@@ -73,6 +78,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HttpGateway",
+    "MultiLayerDetectionEngine",
     "ServeSupervisor",
     "ServiceMetrics",
     "ShardUnavailableError",

@@ -173,6 +173,23 @@ class HttpGateway:
             with self.metrics.time("http.latency.topk"):
                 k = _int_param(query, "k", 10)
                 by = _str_param(query, "by", "t")
+                layer = _str_param(query, "layer", "")
+                if layer:
+                    try:
+                        rows = self.service.top_k_triplets(
+                            k, by=by, layer=layer
+                        )
+                    except TypeError:
+                        raise ValueError(
+                            "this deployment serves a single layer; "
+                            "drop the layer= parameter"
+                        ) from None
+                    return "topk", {
+                        "k": k,
+                        "by": by,
+                        "layer": layer,
+                        "rows": rows,
+                    }
                 return "topk", {
                     "k": k,
                     "by": by,

@@ -27,11 +27,16 @@ distributed).  This package makes that guarantee executable:
   through the single-engine oracle and through
   :class:`~repro.serve.shard.ShardedDetectionService` tiers at several
   shard counts, and every merged answer (top-k, user scores,
-  components, engine clones) must match the oracle bit-for-bit.
+  components, engine clones) must match the oracle bit-for-bit;
+- :mod:`repro.verify.layers` — multi-layer parity: every action layer's
+  event stream through the full engine sweep, the page layer against
+  the pre-refactor code path byte-for-byte, and the fused score under
+  layer/weight permutations (must be ``==``-identical).
 
 All are callable from tests and from the ``repro-botnets verify`` CLI
 subcommand (``--chaos`` for the fault-injected mode, ``--online`` for
-the streaming mode, ``--sharded`` for the shard-topology mode).
+the streaming mode, ``--sharded`` for the shard-topology mode,
+``--layers`` for the multi-layer mode).
 """
 
 from repro.verify.chaos import (
@@ -41,6 +46,7 @@ from repro.verify.chaos import (
     run_chaos,
     run_recovery_chaos,
 )
+from repro.verify.layers import LayerParityReport, run_layer_parity
 from repro.verify.online import OnlineParityReport, run_online_parity
 from repro.verify.sharded import ShardedParityReport, run_sharded_parity
 
@@ -90,6 +96,8 @@ __all__ = [
     "check_triangle_weight_bound",
     "check_unit_interval",
     "check_window_monotonicity",
+    "LayerParityReport",
+    "run_layer_parity",
     "OnlineParityReport",
     "run_online_parity",
     "ShardedParityReport",

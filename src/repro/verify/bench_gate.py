@@ -328,6 +328,59 @@ def _compare_serve_http(base: dict, fresh: dict, rep: GateReport) -> None:
         )
 
 
+def _compare_layers(base: dict, fresh: dict, rep: GateReport) -> None:
+    cmp = _Comparator(rep)
+    if base.get("scale") != fresh.get("scale"):
+        rep.errors.append(
+            f"BENCH_layers: scale mismatch (baseline {base.get('scale')!r} "
+            f"vs fresh {fresh.get('scale')!r}) — rerun at baseline scale"
+        )
+        return
+    cmp.seconds(
+        "layers.extract.seconds",
+        float(base["extract"]["seconds"]),
+        float(fresh["extract"]["seconds"]),
+    )
+    for layer, b in base.get("layers", {}).items():
+        f = fresh.get("layers", {}).get(layer)
+        if f is None:
+            rep.errors.append(
+                f"layers[{layer}]: missing from fresh results"
+            )
+            continue
+        cmp.seconds(
+            f"layers[{layer}].seconds",
+            float(b["seconds"]),
+            float(f["seconds"]),
+        )
+    cmp.seconds(
+        "layers.fuse.seconds",
+        float(base["fuse"]["seconds"]),
+        float(fresh["fuse"]["seconds"]),
+    )
+    # The headline multi-layer claim is absolute, not baseline-relative:
+    # every planted net must stay recovered by the fused score at the
+    # committed precision/recall floor (the same bound the bench itself
+    # asserts — the gate re-checks the committed numbers so a stale
+    # result file cannot hide a detection regression).
+    floor = float(fresh.get("recovery_floor", 0.0))
+    for net in base.get("recovery", {}):
+        score = fresh.get("recovery", {}).get(net)
+        if score is None:
+            rep.errors.append(
+                f"layers.recovery[{net}]: planted net missing from fresh "
+                "results"
+            )
+            continue
+        for metric in ("precision", "recall"):
+            if float(score[metric]) < floor:
+                rep.errors.append(
+                    f"layers.recovery[{net}].{metric}: "
+                    f"{float(score[metric]):.2f} below the committed "
+                    f"{floor:g} floor"
+                )
+
+
 # name -> (comparator, required).  Required baselines must have a fresh
 # counterpart (CI runs those benches every time); optional ones — the
 # full-scale parallel bench takes minutes on a big host — are compared
@@ -340,6 +393,8 @@ _COMPARATORS = {
     "BENCH_serve_durable.json": (_compare_serve_durable, False),
     "BENCH_serve_http_smoke.json": (_compare_serve_http, True),
     "BENCH_serve_http.json": (_compare_serve_http, False),
+    "BENCH_layers_smoke.json": (_compare_layers, True),
+    "BENCH_layers.json": (_compare_layers, False),
 }
 
 

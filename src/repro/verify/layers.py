@@ -1,0 +1,243 @@
+"""Multi-layer parity: every action layer against the serial oracle.
+
+The multi-layer refactor must not be able to change any number the repo
+already produces.  This harness makes that claim executable, in three
+parts:
+
+1. **Per-layer engine parity** — each action layer's extracted
+   ``(author, action_value, time)`` triples are run through the full
+   :func:`repro.verify.parity.run_parity` sweep (all projection and
+   triangle engines vs. the reference oracle).  A layer is just a
+   different event stream; every engine must agree on it bit-for-bit.
+2. **Legacy byte-identity** — the ``page`` layer is also run through
+   the *pre-refactor* code path (``link_id`` triples straight into
+   :meth:`BipartiteTemporalMultigraph.from_comments` and the unchanged
+   :class:`~repro.pipeline.framework.CoordinationPipeline`) and the two
+   :class:`~repro.pipeline.results.PipelineResult`\\ s are structurally
+   diffed with :func:`repro.verify.chaos.diff_results`.  This is the
+   "page layer alone reproduces today's results exactly" guarantee.
+3. **Fusion determinism** — the fused multi-layer score is recomputed
+   under permuted layer orders, reversed dict insertion orders, and
+   reordered weight mappings; every permutation must produce an
+   ``==``-identical :class:`~repro.actions.fuse.FusedGraph` (same edge
+   list, same provenance, same ranking).
+
+Driven by ``repro-botnets verify --layers`` and the ``layers``-marked
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.actions.base import ActionKey, available_layers, resolve_layers
+from repro.actions.fuse import fuse_layers
+from repro.graph.bipartite import BipartiteTemporalMultigraph
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.framework import CoordinationPipeline
+from repro.pipeline.layers import MultiLayerPipeline
+from repro.projection.window import TimeWindow
+from repro.verify.chaos import diff_results
+from repro.verify.parity import ParityReport, run_parity
+
+__all__ = ["LayerParityReport", "run_layer_parity"]
+
+
+@dataclass
+class LayerParityReport:
+    """Outcome of one multi-layer parity run (``ok`` iff all three hold)."""
+
+    window: TimeWindow
+    min_edge_weight: int
+    n_records: int
+    layers: list[str]
+    per_layer: dict[str, ParityReport] = field(default_factory=dict)
+    layer_events: dict[str, int] = field(default_factory=dict)
+    legacy_divergences: list[str] = field(default_factory=list)
+    fusion_divergences: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff every layer, the legacy path, and fusion all agree."""
+        return (
+            all(r.ok for r in self.per_layer.values())
+            and not self.legacy_divergences
+            and not self.fusion_divergences
+        )
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"layer parity run: {self.n_records:,} records, window "
+            f"{self.window}, cutoff {self.min_edge_weight}",
+            f"  layers: {', '.join(self.layers)}",
+        ]
+        for name in self.layers:
+            report = self.per_layer[name]
+            verdict = "ok" if report.ok else (
+                f"FAILED ({len(report.divergences)} divergence(s))"
+            )
+            lines.append(
+                f"  [{name}] {self.layer_events.get(name, 0):,} events → "
+                f"{report.n_edges:,} CI edges, {report.n_triangles:,} "
+                f"triangles — engine parity {verdict}"
+            )
+            if not report.ok:
+                lines += [f"      - {d}" for d in report.divergences]
+        if self.legacy_divergences:
+            lines.append("  LEGACY PATH DIVERGED (page layer != pre-refactor):")
+            lines += [f"    - {d}" for d in self.legacy_divergences]
+        else:
+            lines.append(
+                "  legacy byte-identity ok — page layer == pre-refactor path"
+            )
+        if self.fusion_divergences:
+            lines.append("  FUSION NOT DETERMINISTIC:")
+            lines += [f"    - {d}" for d in self.fusion_divergences]
+        else:
+            lines.append(
+                "  fusion determinism ok — identical under layer/weight "
+                "permutations"
+            )
+        lines.append(
+            "  LAYER PARITY OK" if self.ok else "  LAYER PARITY FAILED"
+        )
+        return "\n".join(lines)
+
+
+def _as_dicts(records: Iterable) -> list[Mapping]:
+    return [
+        rec.to_pushshift_dict() if hasattr(rec, "to_pushshift_dict") else rec
+        for rec in records
+    ]
+
+
+def _check_legacy_identity(
+    rows: Sequence[Mapping], config: PipelineConfig
+) -> list[str]:
+    """Diff the page layer against the pre-refactor single-layer path."""
+    legacy_triples = [
+        (rec["author"], rec["link_id"], int(rec["created_utc"]))
+        for rec in rows
+        if "link_id" in rec
+    ]
+    legacy_btm = BipartiteTemporalMultigraph.from_comments(legacy_triples)
+    legacy = CoordinationPipeline(config).run(legacy_btm)
+    layered = MultiLayerPipeline(config, layers=["page"]).run_records(rows)
+    msgs = diff_results(legacy, layered.layers["page"])
+    if legacy.layer is not None:
+        msgs.append(
+            f"legacy result unexpectedly tagged with layer {legacy.layer!r}"
+        )
+    if layered.layers["page"].layer != "page":
+        msgs.append("layered page result not tagged layer='page'")
+    return msgs
+
+
+def _check_fusion_determinism(
+    rows: Sequence[Mapping],
+    keys: "Sequence[ActionKey]",
+    config: PipelineConfig,
+) -> list[str]:
+    """Fuse under permuted orders; any inequality is a divergence."""
+    names = [key.name for key in keys]
+    baseline = MultiLayerPipeline(config, layers=list(names)).run_records(rows)
+    msgs: list[str] = []
+
+    permuted = MultiLayerPipeline(
+        config, layers=list(reversed(names))
+    ).run_records(rows)
+    if permuted.fused != baseline.fused:
+        msgs.append("fused graph differs under reversed layer-list order")
+    if permuted.fused_components != baseline.fused_components:
+        msgs.append("fused components differ under reversed layer-list order")
+
+    cis = {name: baseline.layers[name].ci_thresholded for name in names}
+    weights = dict(config.layer_weights) or None
+    forward = fuse_layers(cis, weights=weights)
+    backward = fuse_layers(
+        {name: cis[name] for name in reversed(names)},
+        weights=(
+            {k: weights[k] for k in reversed(sorted(weights))}
+            if weights
+            else None
+        ),
+    )
+    if forward != backward:
+        msgs.append("fused graph differs under reversed dict insertion order")
+    if forward != baseline.fused:
+        msgs.append("re-fusing the per-layer CI graphs changed the result")
+    if forward.ranking() != baseline.fused.ranking():
+        msgs.append("fused ranking differs between equal fused graphs")
+    return msgs
+
+
+def run_layer_parity(
+    records: Iterable,
+    window: TimeWindow,
+    min_edge_weight: int = 5,
+    *,
+    layers: "Sequence[str | ActionKey] | None" = None,
+    bucket_width: int | None = None,
+    n_ranks: int = 2,
+    parallel_workers: int = 2,
+    shrink: bool = True,
+) -> LayerParityReport:
+    """Sweep every action layer through the full engine-parity harness.
+
+    Parameters
+    ----------
+    records:
+        The corpus as Pushshift-style dicts or
+        :class:`~repro.datagen.records.CommentRecord` rows.
+    window / min_edge_weight:
+        Projection window and triangle cutoff, applied to every layer.
+    layers:
+        Layers to sweep (default: every registered layer).
+    bucket_width / n_ranks / parallel_workers / shrink:
+        Forwarded to :func:`repro.verify.parity.run_parity` per layer.
+
+    Examples
+    --------
+    >>> rows = [
+    ...     {"author": a, "link_id": "p", "created_utc": t,
+    ...      "link": "https://x.example/1"}
+    ...     for a, t in [("a", 0), ("b", 30), ("c", 45)]
+    ... ]
+    >>> report = run_layer_parity(
+    ...     rows, TimeWindow(0, 60), 0, layers=["page", "link"])
+    >>> report.ok
+    True
+    """
+    keys = resolve_layers(
+        list(layers) if layers is not None else available_layers()
+    )
+    rows = _as_dicts(records)
+    config = PipelineConfig(
+        window=window, min_triangle_weight=min_edge_weight
+    )
+    report = LayerParityReport(
+        window=window,
+        min_edge_weight=min_edge_weight,
+        n_records=len(rows),
+        layers=[key.name for key in keys],
+    )
+    for key in keys:
+        triples: list[tuple] = []
+        for rec in rows:
+            triples.extend(key.triples(rec))
+        report.layer_events[key.name] = len(triples)
+        report.per_layer[key.name] = run_parity(
+            triples,
+            window,
+            min_edge_weight=min_edge_weight,
+            bucket_width=bucket_width,
+            n_ranks=n_ranks,
+            parallel_workers=parallel_workers,
+            shrink=shrink,
+        )
+    if "page" in report.per_layer:
+        report.legacy_divergences = _check_legacy_identity(rows, config)
+    report.fusion_divergences = _check_fusion_determinism(rows, keys, config)
+    return report

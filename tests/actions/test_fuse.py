@@ -1,0 +1,143 @@
+"""Tests for multi-layer score fusion — especially its determinism.
+
+The fused score is the one number downstream consumers rank and alert
+on, so it must be bit-identical regardless of how the caller happened to
+order layers, dicts, or weights.  These tests pin that contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.actions import FusedEdge, fuse_edge_maps, fuse_layers
+from repro.graph.edgelist import EdgeList
+from repro.projection.ci_graph import CommonInteractionGraph
+from repro.projection.window import TimeWindow
+from repro.util.ids import Interner
+
+pytestmark = pytest.mark.layers
+
+
+def _ci(pairs, names):
+    """A tiny CI graph from ``{(a_name, b_name): w}``."""
+    interner = Interner(names)
+    ids = {name: i for i, name in enumerate(names)}
+    src = np.array([ids[a] for a, _b in pairs], dtype=np.int64)
+    dst = np.array([ids[b] for _a, b in pairs], dtype=np.int64)
+    weight = np.array(list(pairs.values()), dtype=np.int64)
+    return CommonInteractionGraph(
+        edges=EdgeList(src, dst, weight),
+        page_counts=np.ones(len(names), dtype=np.int64),
+        window=TimeWindow(0, 60),
+        user_names=interner,
+    )
+
+
+NAMES = ["ann", "bob", "cat", "dan"]
+LINK = {("ann", "bob"): 3, ("bob", "cat"): 2}
+HASHTAG = {("ann", "bob"): 5, ("cat", "dan"): 4}
+TEXT = {("ann", "cat"): 1}
+
+
+class TestFusionRule:
+    def test_weighted_union_with_provenance(self):
+        fused = fuse_edge_maps(
+            {"link": LINK, "hashtag": HASHTAG}, weights={"hashtag": 2.0}
+        )
+        edge = next(e for e in fused.edges if (e.a, e.b) == ("ann", "bob"))
+        assert edge.score == 3 * 1.0 + 5 * 2.0
+        assert edge.per_layer == (("hashtag", 5), ("link", 3))
+        assert edge.n_layers == 2
+
+    def test_single_layer_edges_keep_provenance(self):
+        fused = fuse_edge_maps({"link": LINK, "hashtag": HASHTAG})
+        edge = next(e for e in fused.edges if (e.a, e.b) == ("cat", "dan"))
+        assert edge.per_layer == (("hashtag", 4),)
+
+    def test_unknown_weight_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown layer"):
+            fuse_edge_maps({"link": LINK}, weights={"lnk": 2.0})
+
+    def test_pair_orientation_canonicalized(self):
+        fused = fuse_edge_maps({"a": {("bob", "ann"): 7}})
+        assert (fused.edges[0].a, fused.edges[0].b) == ("ann", "bob")
+
+    def test_ci_graph_and_edge_map_paths_agree(self):
+        by_ci = fuse_layers(
+            {"link": _ci(LINK, NAMES), "hashtag": _ci(HASHTAG, NAMES)}
+        )
+        by_map = fuse_edge_maps({"link": LINK, "hashtag": HASHTAG})
+        assert by_ci == by_map
+
+
+class TestDeterminism:
+    """The satellite contract: bit-identical under every permutation."""
+
+    def test_dict_insertion_order_irrelevant(self):
+        forward = fuse_edge_maps(
+            {"link": LINK, "hashtag": HASHTAG, "text": TEXT}
+        )
+        backward = fuse_edge_maps(
+            {"text": TEXT, "hashtag": HASHTAG, "link": LINK}
+        )
+        assert forward == backward
+        assert forward.weights == backward.weights
+
+    def test_float_scores_bit_identical_under_permutation(self):
+        weights = {"link": 0.1, "hashtag": 0.3, "text": 0.7}
+        forward = fuse_edge_maps(
+            {"link": LINK, "hashtag": HASHTAG, "text": TEXT}, weights
+        )
+        backward = fuse_edge_maps(
+            {"text": TEXT, "hashtag": HASHTAG, "link": LINK},
+            {k: weights[k] for k in reversed(sorted(weights))},
+        )
+        for e1, e2 in zip(forward.edges, backward.edges):
+            assert e1.score.hex() == e2.score.hex()
+        ranked = forward.user_scores()
+        for name, score in backward.user_scores().items():
+            assert score.hex() == ranked[name].hex()
+
+    def test_edge_map_key_order_irrelevant(self):
+        shuffled = dict(reversed(list(LINK.items())))
+        assert fuse_edge_maps({"link": LINK}) == fuse_edge_maps(
+            {"link": shuffled}
+        )
+
+    def test_edges_sorted_lexicographically(self):
+        fused = fuse_edge_maps({"link": LINK, "hashtag": HASHTAG, "text": TEXT})
+        assert [(e.a, e.b) for e in fused.edges] == sorted(
+            (e.a, e.b) for e in fused.edges
+        )
+
+    def test_ranking_ties_break_on_name(self):
+        fused = fuse_edge_maps({"a": {("xx", "yy"): 5}})
+        assert fused.ranking() == [("xx", 5.0), ("yy", 5.0)]
+
+    def test_top_edges_ties_break_on_names(self):
+        fused = fuse_edge_maps(
+            {"a": {("c", "d"): 5, ("a", "b"): 5, ("a", "c"): 9}}
+        )
+        assert [(e.a, e.b) for e in fused.top_edges(3)] == [
+            ("a", "c"), ("a", "b"), ("c", "d"),
+        ]
+
+
+class TestFusedGraphQueries:
+    def test_components_sorted_by_size_then_members(self):
+        fused = fuse_edge_maps(
+            {"a": {("a", "b"): 1, ("b", "c"): 1, ("x", "y"): 1}}
+        )
+        assert fused.components(min_size=2) == [["a", "b", "c"], ["x", "y"]]
+
+    def test_min_size_filters(self):
+        fused = fuse_edge_maps({"a": {("a", "b"): 1}})
+        assert fused.components(min_size=3) == []
+
+    def test_summary_counts_multi_behaviour_edges(self):
+        fused = fuse_edge_maps({"link": LINK, "hashtag": HASHTAG})
+        assert "1 multi-behaviour" in fused.summary()
+
+    def test_frozen_edges(self):
+        edge = FusedEdge(a="a", b="b", score=1.0, per_layer=(("l", 1),))
+        with pytest.raises(AttributeError):
+            edge.score = 2.0

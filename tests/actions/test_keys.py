@@ -1,0 +1,166 @@
+"""Tests for the action-key extractors and the layer registry."""
+
+import pytest
+
+from repro.actions import (
+    ACTION_LAYERS,
+    HashtagKey,
+    LinkKey,
+    PageKey,
+    ReplyTargetKey,
+    TextBucketKey,
+    available_layers,
+    get_action_key,
+    normalize_hashtag,
+    normalize_url,
+    resolve_layers,
+)
+
+pytestmark = pytest.mark.layers
+
+
+class TestRegistry:
+    def test_all_builtin_layers_registered(self):
+        assert available_layers() == [
+            "hashtag", "link", "page", "reply", "text",
+        ]
+
+    def test_get_action_key_by_name(self):
+        assert get_action_key("page").name == "page"
+        assert get_action_key("text").name == "text"
+
+    def test_unknown_layer_raises_with_candidates(self):
+        with pytest.raises(ValueError, match="page"):
+            get_action_key("nope")
+
+    def test_resolve_layers_sorts_by_name(self):
+        keys = resolve_layers(["text", "page", "link"])
+        assert [k.name for k in keys] == ["link", "page", "text"]
+
+    def test_resolve_layers_accepts_instances(self):
+        keys = resolve_layers([PageKey(), "link"])
+        assert [k.name for k in keys] == ["link", "page"]
+
+    def test_resolve_layers_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            resolve_layers(["page", "link", "page"])
+
+    def test_registry_is_name_keyed(self):
+        assert set(available_layers()) == set(ACTION_LAYERS)
+
+
+class TestUniversalFields:
+    def test_triples_carry_author_and_time(self):
+        rec = {"author": "ann", "created_utc": 42, "link_id": "t3_x"}
+        assert PageKey().triples(rec) == [("ann", "t3_x", 42)]
+
+    def test_missing_author_is_malformation_not_skip(self):
+        with pytest.raises(KeyError):
+            PageKey().triples({"created_utc": 0, "link_id": "t3_x"})
+
+    def test_bad_timestamp_is_malformation(self):
+        with pytest.raises((TypeError, ValueError)):
+            PageKey().triples(
+                {"author": "a", "created_utc": "noon", "link_id": "t3_x"}
+            )
+
+    def test_no_action_on_layer_is_empty_not_error(self):
+        rec = {"author": "a", "created_utc": 0, "link_id": "t3_x"}
+        assert LinkKey().triples(rec) == []
+        assert HashtagKey().triples(rec) == []
+        assert TextBucketKey().triples(rec) == []
+
+
+class TestNormalizeUrl:
+    def test_cosmetic_variants_collapse(self):
+        variants = [
+            "https://x.example/promo?id=1",
+            "http://x.example/promo?id=1",
+            "https://www.x.example/promo?id=1",
+            "HTTPS://X.EXAMPLE/promo?id=1",
+            "https://x.example/promo/?id=1",
+            "https://x.example/promo?id=1#src",
+        ]
+        canon = {normalize_url(u) for u in variants}
+        assert len(canon) == 1
+
+    def test_distinct_paths_stay_distinct(self):
+        assert normalize_url("https://x.example/a") != normalize_url(
+            "https://x.example/b"
+        )
+
+    def test_path_case_preserved(self):
+        assert normalize_url("https://x.example/A") != normalize_url(
+            "https://x.example/a"
+        )
+
+
+class TestHashtagKey:
+    def test_casing_variants_collapse(self):
+        assert normalize_hashtag("#StopTheThing") == normalize_hashtag(
+            "stopthething"
+        )
+
+    def test_list_and_string_forms(self):
+        key = HashtagKey()
+        from_list = key.extract(
+            {"author": "a", "created_utc": 0, "hashtags": ["#B", "a"]}
+        )
+        from_str = key.extract(
+            {"author": "a", "created_utc": 0, "hashtags": "#B a"}
+        )
+        assert from_list == from_str == ("a", "b")
+
+    def test_deduped_and_sorted(self):
+        values = HashtagKey().extract(
+            {"author": "a", "created_utc": 0, "hashtags": ["x", "#X", "a"]}
+        )
+        assert values == ("a", "x")
+
+
+class TestReplyTargetKey:
+    def test_extracts_reply_target(self):
+        values = ReplyTargetKey().extract(
+            {"author": "a", "created_utc": 0, "reply_to": "t1_abc"}
+        )
+        assert values == ("t1_abc",)
+
+    def test_empty_target_skips(self):
+        assert ReplyTargetKey().extract(
+            {"author": "a", "created_utc": 0, "reply_to": ""}
+        ) == ()
+
+
+class TestTextBucketKey:
+    def test_near_duplicates_share_a_bucket(self):
+        key = TextBucketKey()
+        a = key.extract({
+            "author": "a", "created_utc": 0,
+            "text": "amazing deal on crypto visit our site now friends "
+                    "do not miss this limited offer today",
+        })
+        b = key.extract({
+            "author": "b", "created_utc": 0,
+            "text": "AMAZING deal on crypto!! visit our site now friends "
+                    "do not miss this limited offer today",
+        })
+        assert set(a) & set(b)
+
+    def test_unrelated_texts_do_not_collide(self):
+        key = TextBucketKey()
+        a = key.extract({
+            "author": "a", "created_utc": 0,
+            "text": "the weather in the mountains was lovely this morning "
+                    "so we hiked up to the frozen lake",
+        })
+        b = key.extract({
+            "author": "b", "created_utc": 0,
+            "text": "quarterly earnings beat analyst expectations driven "
+                    "by strong cloud revenue growth and margins",
+        })
+        assert not set(a) & set(b)
+
+    def test_buckets_deterministic_across_instances(self):
+        rec = {"author": "a", "created_utc": 0,
+               "text": "one two three four five six seven eight nine ten"}
+        assert TextBucketKey().extract(rec) == TextBucketKey().extract(rec)

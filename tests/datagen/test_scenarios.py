@@ -1,0 +1,128 @@
+"""Tests for the planted multi-layer scenario generators."""
+
+import pytest
+
+from repro.actions import HashtagKey, LinkKey, TextBucketKey, normalize_url
+from repro.datagen.scenarios import (
+    CopypastaBotnetConfig,
+    HashtagBrigadeConfig,
+    LayerNoiseConfig,
+    LinkSpamBotnetConfig,
+    generate_copypasta_botnet,
+    generate_hashtag_brigade,
+    generate_layer_noise,
+    generate_link_spam_botnet,
+)
+from repro.util.rng import SeedSequenceFactory
+
+pytestmark = pytest.mark.layers
+
+HOST_PAGES = [(f"t3_h{i}", i * 1000, "r/host") for i in range(200)]
+
+
+@pytest.fixture
+def seeds():
+    return SeedSequenceFactory(77)
+
+
+class TestLinkSpamBotnet:
+    def test_members_and_truth_wiring(self, seeds):
+        config = LinkSpamBotnetConfig(n_bots=4, n_waves=3)
+        records, members = generate_link_spam_botnet(config, seeds, HOST_PAGES)
+        assert members == [f"linkspam_acct_{i:02d}" for i in range(4)]
+        assert {r.author for r in records} <= set(members)
+        assert all(r.source == "linkspam" for r in records)
+
+    def test_wave_urls_collapse_under_normalization(self, seeds):
+        config = LinkSpamBotnetConfig(n_bots=6, n_waves=5, participation=1.0)
+        records, _ = generate_link_spam_botnet(config, seeds, HOST_PAGES)
+        canon = {normalize_url(r.link) for r in records}
+        # One canonical URL per wave, despite the cosmetic mutations.
+        assert len(canon) == 5
+
+    def test_invisible_to_page_layer(self, seeds):
+        config = LinkSpamBotnetConfig(n_bots=8, n_waves=2, participation=1.0)
+        records, _ = generate_link_spam_botnet(config, seeds, HOST_PAGES)
+        for wave in range(2):
+            wave_records = records[wave * 8:(wave + 1) * 8]
+            pages = [r.page for r in wave_records]
+            assert len(set(pages)) == len(pages)
+
+    def test_deterministic_for_seed(self):
+        config = LinkSpamBotnetConfig(n_bots=4, n_waves=3)
+        a, _ = generate_link_spam_botnet(
+            config, SeedSequenceFactory(5), HOST_PAGES
+        )
+        b, _ = generate_link_spam_botnet(
+            config, SeedSequenceFactory(5), HOST_PAGES
+        )
+        assert a == b
+
+
+class TestHashtagBrigade:
+    def test_wave_tags_collapse_per_wave(self, seeds):
+        config = HashtagBrigadeConfig(
+            n_bots=6, n_waves=4, participation=1.0, reply_prob=1.0
+        )
+        records, members = generate_hashtag_brigade(config, seeds, HOST_PAGES)
+        assert members == [f"brigade_acct_{i:02d}" for i in range(6)]
+        key = HashtagKey()
+        wave_tags = set()
+        for rec in records:
+            values = key.triples(rec.to_pushshift_dict())
+            wave_tags.update(
+                v for (_a, v, _t) in values if v.startswith("stopthethingwave")
+            )
+        assert len(wave_tags) == 4
+
+    def test_reply_layer_echo(self, seeds):
+        config = HashtagBrigadeConfig(n_bots=6, n_waves=4, reply_prob=1.0)
+        records, _ = generate_hashtag_brigade(config, seeds, HOST_PAGES)
+        assert all(r.reply_to.startswith("t1_brigade_target") for r in records)
+
+    def test_no_reply_echo_when_disabled(self, seeds):
+        config = HashtagBrigadeConfig(n_bots=6, n_waves=4, reply_prob=0.0)
+        records, _ = generate_hashtag_brigade(config, seeds, HOST_PAGES)
+        assert all(r.reply_to == "" for r in records)
+
+
+class TestCopypastaBotnet:
+    def test_padding_preserves_template_words(self, seeds):
+        config = CopypastaBotnetConfig(
+            n_bots=5, n_waves=3, participation=1.0, max_pad_tokens=2
+        )
+        records, members = generate_copypasta_botnet(config, seeds, HOST_PAGES)
+        assert members == [f"copypasta_acct_{i:02d}" for i in range(5)]
+        by_wave = {}
+        for rec in records:
+            wave = next(w for w in rec.text.split() if w.startswith("wave"))
+            by_wave.setdefault(wave, []).append(rec.text)
+        assert len(by_wave) == 3
+        for texts in by_wave.values():
+            words = [set(t.split()) for t in texts]
+            shared = set.intersection(*words)
+            # The template itself (incl. the wave marker) survives padding.
+            assert len(shared) >= config.template_words
+
+    def test_wave_members_share_minhash_buckets(self, seeds):
+        config = CopypastaBotnetConfig(n_bots=5, n_waves=2, participation=1.0)
+        records, _ = generate_copypasta_botnet(config, seeds, HOST_PAGES)
+        key = TextBucketKey()
+        first_wave = records[:5]
+        buckets = [set(key.extract(r.to_pushshift_dict())) for r in first_wave]
+        assert set.intersection(*buckets)
+
+
+class TestLayerNoise:
+    def test_no_ground_truth_members(self, seeds):
+        config = LayerNoiseConfig()
+        records, members = generate_layer_noise(config, seeds, HOST_PAGES)
+        assert members == []
+        assert records
+
+    def test_noise_populates_every_new_layer(self, seeds):
+        records, _ = generate_layer_noise(LayerNoiseConfig(), seeds, HOST_PAGES)
+        rows = [r.to_pushshift_dict() for r in records]
+        assert any(LinkKey().extract(row) for row in rows)
+        assert any(HashtagKey().extract(row) for row in rows)
+        assert any(TextBucketKey().extract(row) for row in rows)

@@ -1,0 +1,148 @@
+"""Tests for the multi-layer detection engine and its HTTP surface."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.pipeline import PipelineConfig
+from repro.projection import TimeWindow
+from repro.serve import DetectionEngine, HttpGateway, MultiLayerDetectionEngine
+
+pytestmark = pytest.mark.layers
+
+CONFIG = PipelineConfig(window=TimeWindow(0, 60), min_triangle_weight=2)
+
+
+def _records():
+    """Six accounts: a/b/c co-post pages, a/b also co-share links."""
+    rows = []
+    for t, page in ((0, "t3_p1"), (100, "t3_p2"), (200, "t3_p3")):
+        for who in ("a", "b", "c"):
+            rows.append({"author": who, "link_id": page, "created_utc": t})
+    for t, url in ((5, "https://x.example/1"), (105, "https://x.example/2"),
+                   (205, "https://x.example/3")):
+        for who in ("a", "b"):
+            rows.append({
+                "author": who, "link_id": f"t3_solo_{who}_{t}",
+                "created_utc": t, "link": url,
+            })
+    rows.append({"author": "noise", "created_utc": 50})  # no action anywhere
+    return rows
+
+
+@pytest.fixture
+def engine():
+    eng = MultiLayerDetectionEngine(CONFIG, layers=["page", "link"])
+    eng.ingest(_records())
+    return eng
+
+
+class TestIngestFanout:
+    def test_layers_sorted_and_primary_page(self, engine):
+        assert list(engine.engines) == ["link", "page"]
+        assert engine.primary == "page"
+
+    def test_per_layer_event_counts(self, engine):
+        status = engine.status()
+        assert status["layers"]["page"]["live_comments"] == 15
+        assert status["layers"]["link"]["live_comments"] == 6
+
+    def test_skip_counters(self, engine):
+        counters = engine.metrics.to_dict()["counters"]
+        assert counters["layer.link.skipped_records"] == 10
+        assert counters["layer.page.skipped_records"] == 1
+
+    def test_layer_gauges_published(self, engine):
+        gauges = engine.metrics.to_dict()["gauges"]
+        assert gauges["layer.page.live_events"] == 15
+        assert gauges["layer.link.live_events"] == 6
+        assert "layer.link.ci_edges" in gauges
+        assert "layer.link.thresholded_edges" in gauges
+
+    def test_default_layers_from_config(self):
+        eng = MultiLayerDetectionEngine(CONFIG)
+        assert list(eng.engines) == ["page"]
+
+    def test_primary_falls_back_to_sorted_first(self):
+        eng = MultiLayerDetectionEngine(CONFIG, layers=["text", "link"])
+        assert eng.primary == "link"
+
+
+class TestQueries:
+    def test_layer_scoped_topk(self, engine):
+        page_rows = engine.top_k_triplets(5, layer="page")
+        link_rows = engine.top_k_triplets(5, layer="link")
+        page_names = {n for row in page_rows for n in row["authors"]}
+        link_names = {n for row in link_rows for n in row["authors"]}
+        assert "c" in page_names
+        assert "c" not in link_names
+
+    def test_unknown_layer_rejected(self, engine):
+        with pytest.raises(ValueError, match="not served"):
+            engine.top_k_triplets(5, layer="hashtag")
+
+    def test_user_score_carries_fused_score(self, engine):
+        score = engine.user_score("a")
+        assert score["present"] is True
+        assert score["fused_score"] > 0
+
+    def test_fused_ranking_rewards_multi_behaviour(self, engine):
+        ranked = dict(engine.fused_ranking(6))
+        assert ranked["a"] == ranked["b"] > ranked["c"]
+
+    def test_fused_component_of(self, engine):
+        component = engine.fused_component_of("a")
+        assert component is not None
+        assert {"a", "b", "c"} <= set(component)
+
+    def test_snapshot_tags_layer(self, engine):
+        snap = engine.snapshot("link")
+        assert snap.layer == "link"
+
+
+class TestHttpLayerParam:
+    def _get(self, url):
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def test_topk_layer_param_and_metrics(self, engine):
+        gw = HttpGateway(engine, port=0)
+        gw.start()
+        try:
+            status, body = self._get(f"{gw.url}/topk?k=5&layer=link")
+            assert status == 200
+            assert body["layer"] == "link"
+            names = {n for row in body["rows"] for n in row["authors"]}
+            assert "c" not in names
+            with urllib.request.urlopen(f"{gw.url}/metrics", timeout=5) as r:
+                text = r.read().decode()
+            assert "repro_layer_link_live_events" in text
+            assert "repro_layer_link_skipped_records_total" in text
+        finally:
+            gw.close()
+
+    def test_unknown_layer_is_400(self, engine):
+        gw = HttpGateway(engine, port=0)
+        gw.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                self._get(f"{gw.url}/topk?k=5&layer=bogus")
+            assert exc.value.code == 400
+        finally:
+            gw.close()
+
+    def test_single_layer_deployment_rejects_layer_param(self):
+        eng = DetectionEngine(CONFIG)
+        eng.ingest([("a", "t3_p", 0), ("b", "t3_p", 0)])
+        gw = HttpGateway(eng, port=0)
+        gw.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                self._get(f"{gw.url}/topk?k=5&layer=page")
+            assert exc.value.code == 400
+            body = json.loads(exc.value.read())
+            assert "single layer" in body["error"]
+        finally:
+            gw.close()

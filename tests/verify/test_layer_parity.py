@@ -1,0 +1,61 @@
+"""Tests for the multi-layer parity harness (`verify --layers`)."""
+
+import pytest
+
+from repro.datagen import RedditDatasetBuilder
+from repro.projection import TimeWindow
+from repro.verify import run_layer_parity
+
+pytestmark = [pytest.mark.layers, pytest.mark.slow]
+
+WINDOW = TimeWindow(0, 60)
+
+
+@pytest.fixture(scope="module")
+def report():
+    dataset = RedditDatasetBuilder.multilayer(seed=11, scale=0.03).build()
+    return run_layer_parity(
+        dataset.records, WINDOW, min_edge_weight=5, parallel_workers=1
+    )
+
+
+class TestRunLayerParity:
+    def test_full_sweep_is_ok(self, report):
+        assert report.ok, report.describe()
+
+    def test_covers_every_builtin_layer(self, report):
+        assert report.layers == ["hashtag", "link", "page", "reply", "text"]
+        assert set(report.per_layer) == set(report.layers)
+
+    def test_every_layer_carries_events(self, report):
+        assert all(report.layer_events[name] > 0 for name in report.layers)
+
+    def test_describe_reports_all_three_checks(self, report):
+        text = report.describe()
+        assert "legacy byte-identity ok" in text
+        assert "fusion determinism ok" in text
+        assert "LAYER PARITY OK" in text
+        for name in report.layers:
+            assert f"[{name}]" in text
+
+    def test_layer_subset_skips_legacy_check_silently(self):
+        dataset = RedditDatasetBuilder.multilayer(seed=11, scale=0.02).build()
+        report = run_layer_parity(
+            dataset.records, WINDOW, min_edge_weight=5,
+            layers=["link", "hashtag"], parallel_workers=1,
+        )
+        assert report.layers == ["hashtag", "link"]
+        assert report.ok, report.describe()
+
+
+class TestFailureReporting:
+    def test_divergences_flip_ok_and_describe(self, report):
+        report.legacy_divergences.append("synthetic divergence")
+        try:
+            assert not report.ok
+            text = report.describe()
+            assert "LEGACY PATH DIVERGED" in text
+            assert "synthetic divergence" in text
+            assert "LAYER PARITY FAILED" in text
+        finally:
+            report.legacy_divergences.clear()
