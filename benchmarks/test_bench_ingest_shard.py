@@ -1,0 +1,195 @@
+"""Ingest-sharding scaling: page-hash partitioning vs replicated fan-out.
+
+The sharded tier's replicated ingest mode keeps every shard exact by
+making every shard pay O(stream) ingest; page-hash mode
+(``ingest_sharding="page"``) routes each event to exactly one shard and
+recovers exactness through the partial-weight exchange
+(:mod:`repro.serve.exchange`).  This bench streams one clustered corpus
+through both modes at 1/2/4 shards and pins the claims that make page
+mode worth its exchange:
+
+- **per-shard ingest really partitions** — in page mode the per-shard
+  submitted-event counts sum to exactly the stream (and the largest
+  shard holds at most ``PAGE_BALANCE_SLACK / N`` of it), while
+  replicated mode submits ``N x stream`` total;
+- **answers stay exact** — top-k rows and (in page mode) the merged
+  ``w'`` ledger are compared ``==`` against a single-engine oracle;
+- **exchange volume is visible** — the shm bytes moved per exchange are
+  recorded so the transport cost of aggregate queries is a tracked
+  number, not folklore.
+
+``BENCH_INGEST_SHARD_SCALE=tiny`` shrinks the corpus ~5x (CI smoke) and
+writes ``BENCH_ingest_shard_smoke.json``; the full run writes
+``BENCH_ingest_shard.json``.  Both are gated by
+``repro.verify.bench_gate``, which re-checks the partitioning totals and
+parity flags from the committed numbers.
+"""
+
+import json
+import os
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.graph.filters import AuthorFilter
+from repro.pipeline import PipelineConfig
+from repro.projection import TimeWindow
+from repro.serve import DetectionService
+from repro.serve.shard import ShardedDetectionService
+from repro.util.io import atomic_write_text
+from repro.util.timers import Timer
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+TINY = os.environ.get("BENCH_INGEST_SHARD_SCALE", "").lower() == "tiny"
+N_EVENTS = 2_500 if TINY else 12_000
+SHARD_COUNTS = (1, 2, 4)
+MODES = ("replicated", "page")
+TOP_K = 25
+#: Page-hash balance bound: the largest shard may hold at most
+#: ``slack / n_shards`` of the stream (crc32 over ~100s of pages).
+PAGE_BALANCE_SLACK = 1.6
+
+
+@pytest.fixture(scope="module")
+def event_stream():
+    """Clustered serve corpus (hot cohorts + noise), time-sorted."""
+    rng = random.Random(1217)
+    events = []
+    t = 0
+    for _ in range(N_EVENTS):
+        epoch = t // 3_000
+        if rng.random() < 0.6:
+            author = f"bot{epoch % 4}_{rng.randrange(10)}"
+            page = f"hot{epoch % 4}_{rng.randrange(6)}"
+        else:
+            author = f"user{rng.randrange(2_000)}"
+            page = f"page{rng.randrange(600)}"
+        events.append((author, page, t + rng.randrange(-30, 30)))
+        t += rng.randrange(0, 3)
+    # In-order delivery keeps the drained final state independent of
+    # shard topology — the same precondition the parity harness uses.
+    events.sort(key=lambda e: e[2])
+    return events
+
+
+def _service_kwargs():
+    return dict(
+        window_horizon=25_000,
+        batch_size=64,
+        queue_capacity=8_192,
+    )
+
+
+def test_bench_ingest_shard(event_stream, report_sink):
+    config = PipelineConfig(
+        window=TimeWindow(0, 60),
+        min_triangle_weight=3,
+        min_component_size=3,
+        author_filter=AuthorFilter.none(),
+    )
+
+    oracle = DetectionService(config, **_service_kwargs())
+    with Timer() as t_single:
+        consumed = oracle.run_events(event_stream)
+    assert consumed == N_EVENTS
+    single_tput = consumed / max(t_single.elapsed, 1e-9)
+    oracle_top = oracle.top_k_triplets(TOP_K)
+    oracle_ci = oracle.engine.ci_edges()
+
+    lines = [
+        f"Ingest sharding ({'tiny' if TINY else 'full'} scale, "
+        f"{N_EVENTS:,} events, shard counts {list(SHARD_COUNTS)})",
+        f"single engine      {t_single.elapsed * 1e3:9.1f} ms   "
+        f"{single_tput:10,.0f} events/s",
+    ]
+    modes_payload = {}
+    for mode in MODES:
+        per_count = {}
+        for n in SHARD_COUNTS:
+            tier = ShardedDetectionService(
+                config,
+                n_shards=n,
+                ingest_sharding=mode,
+                forward_batch=64,
+                **_service_kwargs(),
+            )
+            try:
+                with Timer() as t_tier:
+                    consumed = tier.run_events(event_stream)
+                assert consumed == N_EVENTS
+                # Exactness is the license for everything this bench
+                # measures: both modes must answer like the oracle.
+                assert tier.top_k_triplets(TOP_K) == oracle_top, (
+                    f"{mode} n={n}: top-k diverged from the oracle"
+                )
+                if mode == "page":
+                    assert tier.ci_edges() == oracle_ci, (
+                        f"page n={n}: merged w' ledger diverged"
+                    )
+                status = tier.status()
+                per_shard = [
+                    int(s["status"]["submitted_events"])
+                    for s in status["shards"]
+                ]
+                counters = status["metrics"]["counters"]
+            finally:
+                tier.close()
+            total = sum(per_shard)
+            if mode == "page":
+                # Page hashing partitions: every event lands on exactly
+                # one shard, and crc32 keeps the split near-uniform.
+                assert total == N_EVENTS, (
+                    f"page n={n}: shards saw {total} events, "
+                    f"stream has {N_EVENTS}"
+                )
+                if n > 1:
+                    bound = N_EVENTS * PAGE_BALANCE_SLACK / n
+                    assert max(per_shard) <= bound, (
+                        f"page n={n}: hottest shard ingested "
+                        f"{max(per_shard)} events (> {bound:.0f})"
+                    )
+            else:
+                assert total == n * N_EVENTS, (
+                    f"replicated n={n}: shards saw {total} events, "
+                    f"expected {n} x {N_EVENTS}"
+                )
+            tput = N_EVENTS / max(t_tier.elapsed, 1e-9)
+            shard_rate = max(per_shard) / max(t_tier.elapsed, 1e-9)
+            exchange_bytes = int(counters.get("sharded.exchange_bytes", 0))
+            per_count[str(n)] = {
+                "seconds": round(t_tier.elapsed, 6),
+                "events_per_s": round(tput, 1),
+                "per_shard_events": per_shard,
+                "max_shard_events": max(per_shard),
+                "total_shard_events": total,
+                "max_shard_events_per_s": round(shard_rate, 1),
+                "exchanges": int(counters.get("sharded.exchanges", 0)),
+                "exchange_bytes": exchange_bytes,
+                "parity_ok": True,
+            }
+            lines.append(
+                f"{mode:10s} n={n}  {t_tier.elapsed * 1e3:9.1f} ms   "
+                f"{tput:10,.0f} events/s   max shard "
+                f"{max(per_shard):6,} ev ({max(per_shard) / N_EVENTS:5.1%} "
+                f"of stream)   exchange {exchange_bytes:8,} B"
+            )
+        modes_payload[mode] = per_count
+
+    payload = {
+        "scale": "tiny" if TINY else "full",
+        "n_events": N_EVENTS,
+        "page_balance_slack": PAGE_BALANCE_SLACK,
+        "single": {
+            "seconds": round(t_single.elapsed, 6),
+            "events_per_s": round(single_tput, 1),
+        },
+        "modes": modes_payload,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = (
+        "BENCH_ingest_shard_smoke.json" if TINY else "BENCH_ingest_shard.json"
+    )
+    atomic_write_text(RESULTS_DIR / name, json.dumps(payload, indent=2) + "\n")
+    report_sink("ingest_shard", "\n".join(lines))

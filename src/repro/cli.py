@@ -212,6 +212,10 @@ def build_parser() -> argparse.ArgumentParser:
                      "oracle")
     ver.add_argument("--shard-counts", default="1,2,4",
                      help="comma-separated shard counts for --sharded")
+    ver.add_argument("--ingest-modes", default="replicated,page",
+                     help="comma-separated ingest modes for --sharded "
+                     "(replicated fan-out and/or page-hash partitioning "
+                     "with the partial-weight exchange)")
     ver.add_argument("--layers", action="store_true",
                      help="multi-layer parity instead: sweep every action "
                      "layer of a seeded multilayer corpus through the full "
@@ -302,6 +306,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="supervised engine shards partitioning the "
                           "query keyspace by user hash (>1 runs worker "
                           "processes; composes with --durable)")
+    net.add_argument("--ingest-sharding", choices=["replicated", "page"],
+                     default="replicated",
+                     help="event routing across shards: replicated "
+                          "(every event to every shard) or page "
+                          "(page-hash partitioning; queries answered "
+                          "from the cross-shard partial-weight exchange)")
     net.add_argument("--http", type=int, default=None, metavar="PORT",
                      help="serve /topk /user/<id>/score /component/<id> "
                           "/status /metrics over HTTP on this port "
@@ -617,6 +627,11 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
         counts = tuple(
             int(c) for c in str(args.shard_counts).split(",") if c.strip()
         )
+        modes = tuple(
+            m.strip()
+            for m in str(args.ingest_modes).split(",")
+            if m.strip()
+        )
         sharded_report = run_sharded_parity(
             named_comments,
             PipelineConfig(
@@ -624,6 +639,7 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
                 min_triangle_weight=args.cutoff,
             ),
             shard_counts=counts or (1, 2),
+            ingest_modes=modes or ("replicated",),
             seed=args.seed,
         )
         print(sharded_report.describe(), file=out)
@@ -806,6 +822,7 @@ class _StatusSink:
     def __init__(self, args: argparse.Namespace, out) -> None:
         self.path = getattr(args, "status_json", None)
         self.out = out
+        self.extra: dict = {}
         self._source = None
         self._written = False
 
@@ -813,11 +830,7 @@ class _StatusSink:
         """*source* is a ``status()`` callable or an already-built dict."""
         self._source = source
 
-    def write(self, error: BaseException | None = None) -> None:
-        """Write the snapshot once; later calls are no-ops."""
-        if self._written or not self.path:
-            return
-        self._written = True
+    def _snapshot(self, error: BaseException | None = None) -> dict:
         if callable(self._source):
             try:
                 status = dict(self._source())
@@ -827,12 +840,35 @@ class _StatusSink:
             status = dict(self._source)
         else:
             status = {}
+        status.update(self.extra)
         if error is not None:
             status["error"] = f"{type(error).__name__}: {error}"
+        return status
+
+    def _emit(self, status: dict) -> None:
         atomic_write_text(
             Path(self.path),
             json.dumps(status, indent=2, default=str),
         )
+
+    def checkpoint(self) -> None:
+        """Write a live snapshot *now* without consuming the final write.
+
+        Lets a long-running serve publish runtime facts early — e.g. the
+        ephemeral port an ``--http 0`` gateway actually bound — so
+        harnesses can discover them while the stream is still flowing.
+        The exactly-once final :meth:`write` still happens at shutdown.
+        """
+        if self._written or not self.path:
+            return
+        self._emit(self._snapshot())
+
+    def write(self, error: BaseException | None = None) -> None:
+        """Write the snapshot once; later calls are no-ops."""
+        if self._written or not self.path:
+            return
+        self._written = True
+        self._emit(self._snapshot(error))
         print(f"wrote status snapshot to {self.path}", file=self.out)
 
 
@@ -950,6 +986,7 @@ def _serve_sharded(args: argparse.Namespace, config, out) -> int:
     service = ShardedDetectionService(
         config,
         n_shards=max(1, args.shards),
+        ingest_sharding=args.ingest_sharding,
         directory=args.durable,
         heartbeat_timeout=args.heartbeat_timeout,
         max_shard_restarts=args.max_restarts,
@@ -963,9 +1000,15 @@ def _serve_sharded(args: argparse.Namespace, config, out) -> int:
     )
     sink.bind(service.status)
     mode = "durable" if args.durable else "volatile"
+    ingest_rule = (
+        f"crc32(page) % {service.n_shards} (partial-weight exchange)"
+        if service.ingest_sharding == "page"
+        else "replicated fan-out"
+    )
     print(
         f"sharded tier: {service.n_shards} {mode} shard(s), "
-        f"routing = crc32(author) % {service.n_shards}",
+        f"queries = crc32(author) % {service.n_shards}, "
+        f"ingest = {ingest_rule}",
         file=out,
     )
     def _graceful(_sig, _frame):
@@ -982,6 +1025,16 @@ def _serve_sharded(args: argparse.Namespace, config, out) -> int:
             gateway = HttpGateway(
                 service, host=args.http_host, port=args.http
             ).start()
+            host, port = gateway.address
+            # Publish the bound address (ephemeral under --http 0) both
+            # in the final snapshot and in an immediate checkpoint, so
+            # harnesses can discover the port while the stream runs.
+            sink.extra["http"] = {
+                "host": host,
+                "port": port,
+                "url": gateway.url,
+            }
+            sink.checkpoint()
             print(f"http gateway listening on {gateway.url}", file=out)
         stats = IngestStats()
         source = (

@@ -31,7 +31,13 @@ Layers (each usable on its own):
 - :mod:`repro.serve.shard` — :class:`ShardedDetectionService`, N
   supervised engine shards partitioning the query keyspace by stable
   user hash (:func:`shard_of`), with exact gateway-side merges for
-  top-k (k-way) and components (boundary-edge union-find);
+  top-k (k-way) and components (boundary-edge union-find); ingest is
+  either replicated or partitioned by page hash (:func:`page_shard_of`);
+- :mod:`repro.serve.exchange` — the page-mode partial-weight exchange:
+  ingest shards publish ``w'``/``P'``/incidence partials over the shm
+  output path, :func:`merge_partials` sums them exactly, and
+  :class:`AggregateView` runs CI thresholding + triangle scoring once
+  over the merged weights;
 - :mod:`repro.serve.http` — :class:`HttpGateway`, the stdlib
   ``ThreadingHTTPServer`` front door (``/topk``, ``/user/<id>/score``,
   ``/component/<id>``, ``/status``, ``/metrics`` in Prometheus text
@@ -43,12 +49,20 @@ Layers (each usable on its own):
 """
 
 from repro.serve.engine import BatchReport, DetectionEngine
+from repro.serve.exchange import (
+    AggregateView,
+    MergedWeights,
+    PartialExchangeError,
+    PartialWeights,
+    merge_partials,
+)
 from repro.serve.layers import MultiLayerDetectionEngine
 from repro.serve.ingest import (
     Event,
     EventQueue,
     WatermarkTracker,
     iter_ndjson_events,
+    page_shard_of,
     parse_comment_event,
     shard_of,
 )
@@ -67,6 +81,7 @@ from repro.serve.supervisor import DegradedError, ServeSupervisor
 from repro.serve.wal import WriteAheadLog, read_wal, wal_end_state
 
 __all__ = [
+    "AggregateView",
     "BatchReport",
     "Counter",
     "DetectionEngine",
@@ -78,7 +93,10 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HttpGateway",
+    "MergedWeights",
     "MultiLayerDetectionEngine",
+    "PartialExchangeError",
+    "PartialWeights",
     "ServeSupervisor",
     "ServiceMetrics",
     "ShardUnavailableError",
@@ -86,6 +104,8 @@ __all__ = [
     "WatermarkTracker",
     "WriteAheadLog",
     "iter_ndjson_events",
+    "merge_partials",
+    "page_shard_of",
     "parse_comment_event",
     "prometheus_text",
     "read_wal",

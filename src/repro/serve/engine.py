@@ -864,3 +864,28 @@ class DetectionEngine:
         """Sorted names of authors with at least one live comment."""
         name_of = self.proj.user_names.key_of
         return sorted(str(name_of(u)) for u in self._user_pages)
+
+    def filtered_names(self) -> tuple[str, ...]:
+        """Author names the filter has excluded so far (first-seen order)."""
+        return tuple(self._filtered_names)
+
+    @property
+    def filtered_comments(self) -> int:
+        """Comments dropped by the author filter so far."""
+        return self._filtered_comments
+
+    def live_incidence(self) -> dict[str, dict[str, int]]:
+        """Live comment counts as ``{author: {page: count}}``, name-keyed.
+
+        This is the engine's ``w_xyz``/``p_x`` substrate (eqs. 2–3)
+        exported by name so page-partitioned ingest shards can exchange
+        it: pages are disjoint across shards under the page hash, so the
+        per-shard incidences merge by plain union into exactly the
+        single-engine incidence.
+        """
+        uname = self.proj.user_names.key_of
+        pname = self.proj.page_names.key_of
+        return {
+            str(uname(u)): {str(pname(p)): int(c) for p, c in pages.items()}
+            for u, pages in self._user_pages.items()
+        }

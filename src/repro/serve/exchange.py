@@ -1,0 +1,492 @@
+"""Partial-weight exchange: page-hash ingest shards → exact aggregation.
+
+Under the sharded tier's **page-hash ingest mode** each shard consumes
+only the events whose page hashes to it
+(:func:`repro.serve.ingest.page_shard_of`), so no shard holds the full
+live window.  What makes answers still exact is page locality: a page's
+co-comment pairs are computable from that page's timeline alone, and
+pages are **disjoint** across shards, so every per-page contribution to
+the CI state lives on exactly one shard and the global state is a plain
+sum/union of per-shard partials:
+
+- ``w'`` pair weights (eq. 1) — per-page pair contributions, summed by
+  user-name pair;
+- ``P'`` ledgers — distinct-page counts per user, summed;
+- the live user→page incidence (the ``w_xyz``/``p_x`` substrate of
+  eqs. 2–3) — unioned (page keys never collide across shards);
+- the author-filter census — name union plus comment-count sum.
+
+The exchange itself reuses the :mod:`repro.exec.shm` output path the
+engine-state handoff already rides: the child packs its partial into
+numeric arrays (strings length-prefix-packed into ``uint8`` blobs),
+publishes them as shared-memory segments
+(:func:`publish_partial_weights`), and the aggregator claims them —
+copy + unlink, so a completed exchange leaves ``/dev/shm`` clean
+(:func:`claim_partial_weights`).  :func:`merge_partials` is idempotent
+under duplicate delivery (partials are deduplicated by ``shard_id``)
+and raises :class:`PartialExchangeError` when a shard's partial is
+missing, so a torn exchange fails typed instead of under-counting.
+
+:class:`AggregateView` then runs CI thresholding, triangle closure, and
+scoring (eqs. 2–4, 7) over the merged weights with the **same scalar
+kernel** the engine uses, so every query answer — top-k rows, user
+scores, components — is bit-for-bit identical to the single-engine
+oracle's (:func:`repro.verify.sharded.run_sharded_parity` sweeps both
+ingest modes to enforce this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.exec.shm import OutputWriter, claim_output
+from repro.kernels import normalized_score_scalar
+from repro.pipeline.config import PipelineConfig
+from repro.serve.engine import DetectionEngine
+from repro.serve.ingest import shard_of
+
+__all__ = [
+    "AggregateView",
+    "MergedWeights",
+    "PartialExchangeError",
+    "PartialWeights",
+    "claim_partial_weights",
+    "merge_partials",
+    "pack_str_array",
+    "publish_partial_weights",
+    "unpack_str_array",
+]
+
+
+class PartialExchangeError(RuntimeError):
+    """A partial-weight exchange is structurally incomplete or invalid.
+
+    Raised when the gathered partials do not cover every ingest shard
+    exactly once (after deduplication) or disagree on the shard count —
+    aggregating anyway would silently under- or double-count weights.
+    """
+
+
+# ---------------------------------------------------------------------------
+# String packing (shm segments carry numeric dtypes only)
+# ---------------------------------------------------------------------------
+
+
+def pack_str_array(values: Iterable[object]) -> dict[str, np.ndarray]:
+    """Length-prefix-pack strings into shm-safe numeric arrays."""
+    blobs = [str(v).encode("utf-8", "surrogatepass") for v in values]
+    lengths = np.asarray([len(b) for b in blobs], dtype=np.int64)
+    data = (
+        np.frombuffer(b"".join(blobs), dtype=np.uint8).copy()
+        if blobs
+        else np.empty(0, dtype=np.uint8)
+    )
+    return {"packed_data": data, "packed_lengths": lengths}
+
+
+def unpack_str_array(packed: Mapping[str, np.ndarray]) -> list[str]:
+    """Inverse of :func:`pack_str_array`."""
+    data = packed["packed_data"].tobytes()
+    out: list[str] = []
+    offset = 0
+    for n in packed["packed_lengths"].tolist():
+        out.append(data[offset : offset + n].decode("utf-8", "surrogatepass"))
+        offset += n
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The partial itself: publish (child) / claim (aggregator) / merge
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartialWeights:
+    """One ingest shard's additive contribution to the global CI state."""
+
+    shard_id: int
+    n_shards: int
+    pair_weights: dict[tuple[str, str], int]
+    page_counts: dict[str, int]
+    incidence: dict[str, dict[str, int]]
+    filtered_names: tuple[str, ...]
+    filtered_comments: int
+    n_live_comments: int
+    #: Bytes claimed from shared memory for this partial (transport cost).
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class MergedWeights:
+    """The cross-shard aggregate: exactly the single-engine CI state."""
+
+    n_shards: int
+    pair_weights: dict[tuple[str, str], int]
+    page_counts: dict[str, int]
+    incidence: dict[str, dict[str, int]]
+    filtered_names: tuple[str, ...]
+    filtered_comments: int
+    n_live_comments: int
+    #: Total shm bytes moved by the exchange (sum over partials).
+    exchange_bytes: int = 0
+
+
+def publish_partial_weights(
+    engine: DetectionEngine, shard_id: int, n_shards: int, writer: OutputWriter
+) -> dict[str, Any]:
+    """Child-side half of the exchange: engine partials → shm segments.
+
+    Everything is serialized in sorted order so the payload is a pure
+    function of engine state (deterministic across runs).  Returns a
+    picklable ``{"arrays": ShmRef tree, "meta": ...}`` payload for the
+    pipe; the caller must claim it with :func:`claim_partial_weights`.
+    """
+    pairs = sorted(engine.ci_edges().items())
+    pprime = sorted(engine.page_counts().items())
+    incidence = engine.live_incidence()
+    flat_inc = [
+        (user, page, count)
+        for user in sorted(incidence)
+        for page, count in sorted(incidence[user].items())
+    ]
+    arrays: dict[str, Any] = {
+        "pair_a": pack_str_array(a for (a, _b), _w in pairs),
+        "pair_b": pack_str_array(b for (_a, b), _w in pairs),
+        "pair_w": np.asarray([w for _p, w in pairs], dtype=np.int64),
+        "pp_names": pack_str_array(n for n, _c in pprime),
+        "pp_counts": np.asarray([c for _n, c in pprime], dtype=np.int64),
+        "inc_users": pack_str_array(u for u, _p, _c in flat_inc),
+        "inc_pages": pack_str_array(p for _u, p, _c in flat_inc),
+        "inc_counts": np.asarray(
+            [c for _u, _p, c in flat_inc], dtype=np.int64
+        ),
+        "filtered_names": pack_str_array(sorted(engine.filtered_names())),
+    }
+    meta = {
+        "shard_id": int(shard_id),
+        "n_shards": int(n_shards),
+        "filtered_comments": int(engine.filtered_comments),
+        "n_live_comments": int(engine.n_live_comments),
+    }
+    return {"arrays": writer.share(arrays), "meta": meta}
+
+
+def _tree_nbytes(tree: Any) -> int:
+    if isinstance(tree, np.ndarray):
+        return int(tree.nbytes)
+    if isinstance(tree, Mapping):
+        return sum(_tree_nbytes(v) for v in tree.values())
+    return 0
+
+
+def claim_partial_weights(payload: Mapping[str, Any]) -> PartialWeights:
+    """Aggregator-side half: claim the segments and rebuild the partial.
+
+    Claiming copies and unlinks every segment (the
+    :func:`repro.exec.shm.claim_output` contract), so a completed
+    exchange leaves ``/dev/shm`` clean;
+    :func:`repro.exec.shm.sweep_segments` is the crash backstop.
+    """
+    arrays = claim_output(payload["arrays"])
+    meta = payload["meta"]
+    pair_a = unpack_str_array(arrays["pair_a"])
+    pair_b = unpack_str_array(arrays["pair_b"])
+    pair_w = arrays["pair_w"].tolist()
+    pp_names = unpack_str_array(arrays["pp_names"])
+    pp_counts = arrays["pp_counts"].tolist()
+    inc_users = unpack_str_array(arrays["inc_users"])
+    inc_pages = unpack_str_array(arrays["inc_pages"])
+    inc_counts = arrays["inc_counts"].tolist()
+    incidence: dict[str, dict[str, int]] = {}
+    for user, page, count in zip(inc_users, inc_pages, inc_counts):
+        incidence.setdefault(user, {})[page] = int(count)
+    return PartialWeights(
+        shard_id=int(meta["shard_id"]),
+        n_shards=int(meta["n_shards"]),
+        pair_weights={
+            (a, b): int(w) for a, b, w in zip(pair_a, pair_b, pair_w)
+        },
+        page_counts={n: int(c) for n, c in zip(pp_names, pp_counts)},
+        incidence=incidence,
+        filtered_names=tuple(unpack_str_array(arrays["filtered_names"])),
+        filtered_comments=int(meta["filtered_comments"]),
+        n_live_comments=int(meta["n_live_comments"]),
+        nbytes=_tree_nbytes(arrays),
+    )
+
+
+def merge_partials(
+    partials: Iterable[PartialWeights], n_shards: int
+) -> MergedWeights:
+    """Sum per-shard partials into the exact global CI state.
+
+    Deduplicates by ``shard_id`` — redelivering a shard's partial (a
+    retried gather) is idempotent, first delivery wins.  Raises
+    :class:`PartialExchangeError` when a shard id is out of range,
+    disagrees on *n_shards*, or is missing entirely: page-partitioned
+    weights are additive, so a missing partial would silently
+    under-count every cross-page weight instead of failing the query.
+    """
+    n_shards = int(n_shards)
+    by_shard: dict[int, PartialWeights] = {}
+    for partial in partials:
+        if partial.n_shards != n_shards:
+            raise PartialExchangeError(
+                f"partial from shard {partial.shard_id} was built for "
+                f"{partial.n_shards} shard(s), aggregating for {n_shards}"
+            )
+        if not 0 <= partial.shard_id < n_shards:
+            raise PartialExchangeError(
+                f"shard id {partial.shard_id} out of range for "
+                f"{n_shards} shard(s)"
+            )
+        # Idempotent under duplicate delivery: first delivery wins.
+        by_shard.setdefault(partial.shard_id, partial)
+    missing = [sid for sid in range(n_shards) if sid not in by_shard]
+    if missing:
+        raise PartialExchangeError(
+            f"exchange incomplete: no partial from shard(s) {missing} — "
+            "aggregating would under-count pair weights"
+        )
+    pair_weights: dict[tuple[str, str], int] = {}
+    page_counts: dict[str, int] = {}
+    incidence: dict[str, dict[str, int]] = {}
+    filtered: set[str] = set()
+    filtered_comments = 0
+    n_live = 0
+    nbytes = 0
+    for sid in range(n_shards):
+        partial = by_shard[sid]
+        for pair, w in partial.pair_weights.items():
+            pair_weights[pair] = pair_weights.get(pair, 0) + w
+        for name, c in partial.page_counts.items():
+            page_counts[name] = page_counts.get(name, 0) + c
+        for user, pages in partial.incidence.items():
+            mine = incidence.setdefault(user, {})
+            for page, count in pages.items():
+                # Pages are disjoint across shards; += keeps the merge
+                # correct even if a caller feeds replicated partials.
+                mine[page] = mine.get(page, 0) + count
+        filtered.update(partial.filtered_names)
+        filtered_comments += partial.filtered_comments
+        n_live += partial.n_live_comments
+        nbytes += partial.nbytes
+    return MergedWeights(
+        n_shards=n_shards,
+        pair_weights=pair_weights,
+        page_counts=page_counts,
+        incidence=incidence,
+        filtered_names=tuple(sorted(filtered)),
+        filtered_comments=filtered_comments,
+        n_live_comments=n_live,
+        exchange_bytes=nbytes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The aggregate: thresholding + triangle scoring over merged weights
+# ---------------------------------------------------------------------------
+
+
+class AggregateView:
+    """CI thresholding and triangle scoring over exchanged weights.
+
+    A name-keyed re-run of the engine's Steps 2–3 on the merged pair
+    weights: thresholded adjacency at ``min_triangle_weight``, triangle
+    enumeration by common-neighbor closure, and scoring through
+    :func:`repro.kernels.normalized_score_scalar` — the same scalar
+    kernel the engine and the batch pipeline use, so every float is
+    bit-identical to the oracle's.  Implements the full query surface
+    of :class:`~repro.serve.engine.DetectionEngine` that the sharded
+    facade needs (top-k, owned top-k, user scores, components, owned
+    fragments), which lets the tier run its usual per-owner merge
+    machinery unchanged on top of page-partitioned ingest.
+    """
+
+    def __init__(self, merged: MergedWeights, config: PipelineConfig) -> None:
+        self.merged = merged
+        self.config = config
+        cutoff = config.min_triangle_weight
+        adj: dict[str, dict[str, int]] = {}
+        for (a, b), w in merged.pair_weights.items():
+            if w >= cutoff:
+                adj.setdefault(a, {})[b] = w
+                adj.setdefault(b, {})[a] = w
+        self._adj = adj
+        self._rows = self._score_triangles()
+        self._rows_by_user: dict[str, list[dict[str, Any]]] = {}
+        for row in self._rows:
+            for name in row["authors"]:
+                self._rows_by_user.setdefault(name, []).append(row)
+
+    def _score_triangles(self) -> list[dict[str, Any]]:
+        adj = self._adj
+        pp = self.merged.page_counts
+        inc = self.merged.incidence
+        hyper = self.config.compute_hypergraph
+        rows: list[dict[str, Any]] = []
+        for u in adj:
+            for v, w_uv in adj[u].items():
+                if v <= u:
+                    continue
+                nbrs_u = adj[u]
+                nbrs_v = adj[v]
+                for x in nbrs_u.keys() & nbrs_v.keys():
+                    if x <= v:
+                        continue
+                    w_ux = nbrs_u[x]
+                    w_vx = nbrs_v[x]
+                    min_w = min(w_uv, w_ux, w_vx)
+                    denom = pp.get(u, 0) + pp.get(v, 0) + pp.get(x, 0)
+                    if hyper:
+                        pu = inc.get(u, {})
+                        pv = inc.get(v, {})
+                        px = inc.get(x, {})
+                        sets = sorted((pu, pv, px), key=len)
+                        small = sets[0].keys() & sets[1].keys()
+                        w_xyz = len(small & sets[2].keys()) if small else 0
+                        p_sum = len(pu) + len(pv) + len(px)
+                        c = normalized_score_scalar(w_xyz, p_sum)
+                    else:
+                        w_xyz = 0
+                        p_sum = 0
+                        c = 0.0
+                    rows.append(
+                        {
+                            "authors": (u, v, x),
+                            "min_weight": min_w,
+                            "weights": tuple(sorted((w_uv, w_ux, w_vx))),
+                            "t": normalized_score_scalar(min_w, denom),
+                            "w_xyz": w_xyz,
+                            "p_sum": p_sum,
+                            "c": c,
+                        }
+                    )
+        return rows
+
+    # -- ranking ----------------------------------------------------------
+    def _rank_key(self, by: str) -> str:
+        if by in ("t", "min_weight"):
+            return by
+        if by == "c":
+            if not self.config.compute_hypergraph:
+                raise ValueError(
+                    "ranking by C requires compute_hypergraph=True"
+                )
+            return "c"
+        raise ValueError(f"unknown ranking {by!r} (use t, c, min_weight)")
+
+    def top_k_triplets(self, k: int, by: str = "t") -> list[dict[str, Any]]:
+        """Global top-k rows, identical to the single engine's."""
+        key = self._rank_key(by)
+        rows = sorted(self._rows, key=lambda r: (-r[key], r["authors"]))
+        return rows[: max(int(k), 0)]
+
+    def owned_top_k(
+        self, k: int, by: str, shard_id: int, n_shards: int
+    ) -> list[dict[str, Any]]:
+        """Top-k restricted to one query shard's owned triplets.
+
+        Ownership is the user-hash rule of the replicated tier (shard of
+        the lexicographically-first author), so the facade's k-way merge
+        (:func:`repro.serve.shard.merge_topk`) applies unchanged.
+        """
+        rows = self.top_k_triplets(len(self._rows), by=by)
+        owned = [
+            r for r in rows if shard_of(r["authors"][0], n_shards) == shard_id
+        ]
+        return owned[: max(int(k), 0)]
+
+    # -- per-user and component surfaces -----------------------------------
+    def user_score(self, author: str) -> dict[str, Any]:
+        """Per-author summary row, identical to the engine's."""
+        if author not in self.merged.incidence:
+            return {
+                "author": author,
+                "present": False,
+                "p_prime": 0,
+                "pages": 0,
+                "degree": 0,
+                "n_triplets": 0,
+                "best_t": 0.0,
+                "best_c": 0.0,
+            }
+        rows = self._rows_by_user.get(author, [])
+        return {
+            "author": author,
+            "present": True,
+            "p_prime": self.merged.page_counts.get(author, 0),
+            "pages": len(self.merged.incidence[author]),
+            "degree": len(self._adj.get(author, {})),
+            "n_triplets": len(rows),
+            "best_t": max((r["t"] for r in rows), default=0.0),
+            "best_c": max((r["c"] for r in rows), default=0.0),
+        }
+
+    def _bfs(self, start: str) -> set[str]:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            nxt: list[str] = []
+            for u in frontier:
+                for v in self._adj.get(u, ()):
+                    if v not in seen:
+                        seen.add(v)
+                        nxt.append(v)
+            frontier = nxt
+        return seen
+
+    def component_of(self, author: str) -> list[str]:
+        """*author*'s thresholded-graph component (no size floor)."""
+        if author not in self._adj:
+            return []
+        return sorted(self._bfs(author))
+
+    def components(self) -> list[list[str]]:
+        """All components ≥ ``min_component_size``, largest first."""
+        seen: set[str] = set()
+        out: list[list[str]] = []
+        for start in sorted(self._adj):
+            if start in seen:
+                continue
+            comp = self._bfs(start)
+            seen |= comp
+            if len(comp) >= self.config.min_component_size:
+                out.append(sorted(comp))
+        out.sort(key=lambda names: (-len(names), names))
+        return out
+
+    def owned_fragment(self, shard_id: int, n_shards: int) -> dict[str, list]:
+        """One query shard's component fragment (with boundary edges).
+
+        Same contract as
+        :meth:`DetectionEngine.owned_component_fragment`, so the
+        facade's union-find stitch (:func:`repro.serve.shard.merge_components`)
+        applies unchanged.
+        """
+        vertices: list[str] = []
+        edges: set[tuple[str, str]] = set()
+        for u, nbrs in self._adj.items():
+            if shard_of(u, n_shards) != shard_id:
+                continue
+            vertices.append(u)
+            for v in nbrs:
+                edges.add((u, v) if u <= v else (v, u))
+        return {"vertices": sorted(vertices), "edges": sorted(edges)}
+
+    # -- raw-state accessors (the parity harness diffs these) -------------
+    def ci_edges(self) -> dict[tuple[str, str], int]:
+        """Merged ``w'`` weights keyed by sorted author-name pairs."""
+        return dict(self.merged.pair_weights)
+
+    def page_counts(self) -> dict[str, int]:
+        """Merged nonzero ``P'`` entries keyed by author name."""
+        return dict(self.merged.page_counts)
+
+    @property
+    def n_triangles(self) -> int:
+        """Triangles above the cutoff in the aggregate."""
+        return len(self._rows)

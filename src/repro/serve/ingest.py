@@ -41,6 +41,7 @@ __all__ = [
     "WatermarkTracker",
     "parse_comment_event",
     "iter_ndjson_events",
+    "page_shard_of",
     "shard_of",
 ]
 
@@ -62,6 +63,23 @@ def shard_of(author: str, n_shards: int) -> int:
         return 0
     data = str(author).encode("utf-8", "surrogatepass")
     return zlib.crc32(data) % int(n_shards)
+
+
+def page_shard_of(page: str, n_shards: int) -> int:
+    """The ingest shard that owns *page*'s timeline (page-hash mode).
+
+    The page-partitioned ingest mode of the sharded tier routes every
+    event to the shard its ``link_id`` hashes to, so each page's full
+    timeline — and therefore each page's co-comment pair ledger — lives
+    on exactly one shard (the locality Algorithm 1 exploits).  Same
+    stable-hash rationale as :func:`shard_of`; the two partitions are
+    independent axes (users for query ownership, pages for ingest).
+    """
+    if n_shards <= 1:
+        return 0
+    data = str(page).encode("utf-8", "surrogatepass")
+    return zlib.crc32(data) % int(n_shards)
+
 
 _POLICIES = ("reject", "drop-oldest", "drop-newest")
 

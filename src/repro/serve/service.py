@@ -98,6 +98,17 @@ class DetectionService:
             self.metrics.counter("service.backpressure").inc()
         return admitted
 
+    def observe(self, event_time: int) -> None:
+        """Advance the watermark without an event (global time sync).
+
+        Page-partitioned ingest shards each see only a timestamp subset
+        of the stream; the sharded tier broadcasts the global maximum
+        event time through this hook so every shard's eviction cutoff
+        converges on the one a single engine consuming the full stream
+        would reach.  Purely monotone — a stale broadcast is a no-op.
+        """
+        self.watermark.observe(int(event_time))
+
     def tick(self) -> BatchReport:
         """Drain one micro-batch into the engine and slide the window."""
         with self.metrics.time("service.tick"):

@@ -1,33 +1,53 @@
 """Sharded serving tier: N supervised engine shards behind one facade.
 
 :class:`ShardedDetectionService` turns the single supervised serve loop
-into a horizontally query-scaled tier.  The partition is the stable
-user hash :func:`repro.serve.ingest.shard_of`, and it partitions the
-**query keyspace**, not the event stream:
+into a horizontally scaled tier.  Queries are always partitioned by the
+stable user hash :func:`repro.serve.ingest.shard_of`; **ingest** runs
+in one of two modes (``ingest_sharding``):
 
-- **ingest is replicated** — every event fans out to every shard, so
+- ``"replicated"`` (default) — every event fans out to every shard, so
   each shard's :class:`~repro.serve.engine.DetectionEngine` holds the
-  full live window.  This is what keeps the exactness contract intact:
-  a triangle's ``w'`` weights need the joint per-page timelines of all
-  three authors, so a shard that saw only "its" users' events could not
-  score cross-shard triplets bit-for-bit.  (True ingest partitioning —
-  page-hash sharding with partial-weight merge — is a full distributed
-  engine and is tracked as future work in ROADMAP.md.)
-- **queries are partitioned** — shard ``s`` is authoritative for the
-  users hashing to ``s``.  ``user_score`` routes to the owner; global
-  top-k is the k-way merge of per-shard *owned* candidate lists
-  (a triplet is owned by the shard of its lexicographically-first
-  author, so each appears exactly once); components are rebuilt by a
-  gateway-side union-find over per-shard owned-vertex fragments whose
-  boundary edges stitch the cuts back together.  Each answer is
-  bit-identical to the single-engine oracle's
-  (:func:`repro.verify.sharded.run_sharded_parity` enforces this).
+  full live window and answers its owned queries locally.  Maximally
+  available (a dead shard 503s only its keyspace) but every shard pays
+  O(stream) ingest.
+- ``"page"`` — each event routes only to the shard its page hashes to
+  (:func:`repro.serve.ingest.page_shard_of`), so per-shard ingest cost
+  is O(stream/N).  Page locality keeps this exact: a page's co-comment
+  pairs are computable from that page's timeline alone and pages are
+  disjoint across shards, so each shard builds per-page pair ledgers
+  locally and the tier **exchanges partial pair weights** — the shards
+  publish their ``w'``/``P'``/incidence partials through the
+  :mod:`repro.exec.shm` output path (the transport the engine-state
+  handoff already rides) and the facade merges them
+  (:mod:`repro.serve.exchange`) before CI thresholding and triangle
+  scoring in an :class:`~repro.serve.exchange.AggregateView`.  Shards
+  see only a timestamp subset of the stream, so the tier tracks the
+  global watermark and broadcasts it (supervisor op ``observe``) so
+  every shard's eviction cutoff converges on the single-engine one.
+  Ingest shards skip local triangle maintenance entirely (their
+  engines run with an unreachable cutoff — owner-computes: thresholding
+  and scoring happen once, at the aggregator).
 
-What replication buys: query throughput scales with shards (each query
-touches one shard, or N shards each doing 1/N of the candidate work),
-and availability degrades **per keyspace** — a crashed shard 503s only
-the users it owns while its supervisor restarts it; the other shards
-answer normally.
+**Queries are partitioned either way** — shard ``s`` is authoritative
+for the users hashing to ``s``.  ``user_score`` routes to the owner;
+global top-k is the k-way merge of per-shard *owned* candidate lists
+(a triplet is owned by the shard of its lexicographically-first
+author, so each appears exactly once); components are rebuilt by a
+gateway-side union-find over per-shard owned-vertex fragments whose
+boundary edges stitch the cuts back together.  In page mode the same
+merge machinery runs over the aggregate's per-owner views.  Each
+answer is bit-identical to the single-engine oracle's
+(:func:`repro.verify.sharded.run_sharded_parity` sweeps both ingest
+modes to enforce this).
+
+What replication buys: query throughput scales with shards and
+availability degrades **per keyspace** — a crashed shard 503s only the
+users it owns while its supervisor restarts it.  What page partitioning
+buys: ingest throughput scales with shards too (each shard processes
+~1/N of the stream — ``benchmarks/test_bench_ingest_shard.py`` pins
+this), at the cost of query-time exchange latency and coarser
+availability (an exchange needs *every* shard, so a dead shard 503s
+aggregate queries until it restarts).
 
 Each shard is a :class:`~repro.serve.supervisor.ServeSupervisor` with
 ``max_restarts=0``: the shard tier owns restart policy.  A detected
@@ -52,9 +72,10 @@ from __future__ import annotations
 import heapq
 import threading
 import time
+from dataclasses import replace
 from itertools import islice
 from pathlib import Path
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
 import numpy as np
 
@@ -65,23 +86,47 @@ from repro.exec.shm import (
     sweep_segments,
 )
 from repro.pipeline.config import PipelineConfig
-from repro.serve.ingest import Event, shard_of
+from repro.serve.engine import DetectionEngine
+from repro.serve.exchange import (
+    AggregateView,
+    claim_partial_weights,
+    merge_partials,
+    pack_str_array,
+    unpack_str_array,
+)
+from repro.serve.ingest import Event, page_shard_of, shard_of
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.supervisor import DegradedError, ServeSupervisor
 from repro.store.engine_state import engine_state_arrays, restore_engine_state
 
 __all__ = [
+    "INGEST_MODES",
     "ShardUnavailableError",
     "ShardedDetectionService",
     "claim_engine_state",
     "merge_components",
     "merge_topk",
     "merged_component_of",
+    "page_shard_of",
     "publish_engine_state",
     "shard_of",
 ]
 
 _RANKS = ("t", "c", "min_weight")
+
+#: Supported ``ingest_sharding`` modes of the tier.
+INGEST_MODES = ("replicated", "page")
+
+#: Edge-weight cutoff no live pair can reach: page-mode ingest shards run
+#: their engines with this so they maintain pair ledgers, ``P'`` and the
+#: incidence (all cutoff-independent) but never materialize thresholded
+#: adjacency or triangles — that work happens once, at the aggregator.
+_LEDGER_ONLY_CUTOFF = 2**62
+
+# Backwards-compatible aliases: the packers now live in
+# repro.serve.exchange (both handoffs share them).
+_pack_str_array = pack_str_array
+_unpack_str_array = unpack_str_array
 
 
 class ShardUnavailableError(RuntimeError):
@@ -196,29 +241,7 @@ def merged_component_of(fragments: Iterable[dict], author: str) -> list[str]:
 # ---------------------------------------------------------------------------
 
 
-def _pack_str_array(values: Iterable) -> dict[str, np.ndarray]:
-    """Length-prefix-pack strings into shm-safe numeric arrays."""
-    blobs = [str(v).encode("utf-8", "surrogatepass") for v in values]
-    lengths = np.asarray([len(b) for b in blobs], dtype=np.int64)
-    data = (
-        np.frombuffer(b"".join(blobs), dtype=np.uint8).copy()
-        if blobs
-        else np.empty(0, dtype=np.uint8)
-    )
-    return {"packed_data": data, "packed_lengths": lengths}
-
-
-def _unpack_str_array(packed: dict[str, np.ndarray]) -> list[str]:
-    data = packed["packed_data"].tobytes()
-    out: list[str] = []
-    offset = 0
-    for n in packed["packed_lengths"].tolist():
-        out.append(data[offset : offset + n].decode("utf-8", "surrogatepass"))
-        offset += n
-    return out
-
-
-def publish_engine_state(engine, writer: OutputWriter) -> dict:
+def publish_engine_state(engine: DetectionEngine, writer: OutputWriter) -> dict:
     """Child-side half of the state handoff: engine → shm segments.
 
     Numeric state arrays are published directly through
@@ -229,13 +252,18 @@ def publish_engine_state(engine, writer: OutputWriter) -> dict:
     of :class:`~repro.exec.shm.ShmRef` trees for the pipe.
     """
     arrays, meta = engine_state_arrays(engine)
-    packed: dict[str, object] = {}
+    packed: dict[str, Any] = {}
     for key, arr in arrays.items():
         packed[key] = _pack_str_array(arr.tolist()) if arr.dtype == object else arr
     return {"arrays": writer.share(packed), "meta": meta}
 
 
-def claim_engine_state(payload: dict, config, *, metrics=None):
+def claim_engine_state(
+    payload: dict,
+    config: PipelineConfig | None,
+    *,
+    metrics: ServiceMetrics | None = None,
+) -> DetectionEngine:
     """Caller-side half: claim the segments and rehydrate an engine.
 
     Claiming copies and unlinks every segment, so a completed handoff
@@ -282,6 +310,11 @@ class ShardedDetectionService:
         validate :meth:`engine_clone` handoffs).
     n_shards:
         Worker processes / query keyspace partitions.
+    ingest_sharding:
+        ``"replicated"`` (every event to every shard) or ``"page"``
+        (events route by page hash; queries answered from the
+        partial-weight exchange).  ``None`` (default) reads
+        ``config.ingest_sharding``.
     directory:
         Optional durable root; shard ``s`` journals under
         ``directory/shard-NN``.  ``None`` = volatile shards.
@@ -303,6 +336,7 @@ class ShardedDetectionService:
         config: PipelineConfig | None = None,
         *,
         n_shards: int = 2,
+        ingest_sharding: str | None = None,
         directory: str | Path | None = None,
         metrics: ServiceMetrics | None = None,
         heartbeat_timeout: float = 30.0,
@@ -311,11 +345,27 @@ class ShardedDetectionService:
         restart_backoff: float = 0.05,
         forward_batch: int = 512,
         queue_capacity: int = 65_536,
-        **service_kwargs,
+        **service_kwargs: Any,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         self.config = config if config is not None else PipelineConfig()
+        if ingest_sharding is None:
+            ingest_sharding = self.config.ingest_sharding
+        if ingest_sharding not in INGEST_MODES:
+            raise ValueError(
+                f"unknown ingest_sharding {ingest_sharding!r} "
+                f"(use one of {', '.join(INGEST_MODES)})"
+            )
+        self.ingest_sharding = ingest_sharding
+        self._page_mode = ingest_sharding == "page"
+        # Page-mode ingest shards only keep ledgers (cutoff-independent
+        # state); thresholding + scoring happen once, in the aggregate.
+        child_config = (
+            replace(self.config, min_triangle_weight=_LEDGER_ONLY_CUTOFF)
+            if self._page_mode
+            else self.config
+        )
         self.n_shards = int(n_shards)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.query_timeout = float(query_timeout)
@@ -325,6 +375,13 @@ class ShardedDetectionService:
         self._shm_prefix = output_prefix()  # this process claims handoffs
         self._state_lock = threading.Lock()
         self._restart_threads: dict[int, threading.Thread] = {}
+        # Page-mode tier state: the global watermark broadcast and the
+        # memoized cross-shard aggregate (invalidated by any ingest).
+        self._forward_batch = int(forward_batch)
+        self._max_event_t: int | None = None
+        self._events_since_observe = 0
+        self._agg_lock = threading.Lock()
+        self._aggregate: AggregateView | None = None
         self._shards: list[_Shard] = []
         try:
             for sid in range(self.n_shards):
@@ -334,7 +391,7 @@ class ShardedDetectionService:
                     else self.directory / f"shard-{sid:02d}"
                 )
                 sup = ServeSupervisor(
-                    self.config,
+                    child_config,
                     directory=shard_dir,
                     queue_capacity=queue_capacity,
                     queue_policy="reject",
@@ -355,16 +412,20 @@ class ShardedDetectionService:
             raise
         self.metrics.gauge("sharded.n_shards").set(self.n_shards)
 
-    # -- ingest (replicated fan-out) ---------------------------------------
+    # -- ingest ------------------------------------------------------------
     def submit(self, event: Event) -> bool:
-        """Fan one event out to every shard.
+        """Route one event into the tier (mode-dependent).
 
-        Returns ``False`` when any live shard applied backpressure
-        (its parent queue is full while it restarts) — the producer
-        should back off and retry, mirroring
-        :meth:`DetectionService.submit`.  Permanently failed shards
-        shed silently (counted) rather than wedging ingest forever.
+        Replicated mode fans the event out to every shard; page mode
+        delivers it only to the shard its page hashes to.  Returns
+        ``False`` when a live target shard applied backpressure (its
+        parent queue is full while it restarts) — the producer should
+        back off and retry, mirroring :meth:`DetectionService.submit`.
+        Permanently failed shards shed silently (counted) rather than
+        wedging ingest forever.
         """
+        if self._page_mode:
+            return self._submit_page(event)
         ok = True
         for shard in self._shards:
             if shard.failed:
@@ -379,6 +440,54 @@ class ShardedDetectionService:
                 ok = False
         self.metrics.counter("sharded.events").inc()
         return ok
+
+    def _submit_page(self, event: Event) -> bool:
+        """Page-hash delivery: one event → exactly one ingest shard.
+
+        The tier tracks the global max event time itself (each shard
+        sees only a timestamp subset) and broadcasts it every
+        ``forward_batch`` events so per-shard eviction cutoffs track the
+        single-engine one.  Any accepted event invalidates the memoized
+        cross-shard aggregate.
+        """
+        t = int(event[2])
+        if self._max_event_t is None or t > self._max_event_t:
+            self._max_event_t = t
+        self._aggregate = None
+        sid = page_shard_of(event[1], self.n_shards)
+        shard = self._shards[sid]
+        if shard.failed:
+            self.metrics.counter("sharded.shed").inc()
+            self.metrics.counter("sharded.events").inc()
+            return True
+        with shard.lock:
+            admitted = shard.sup.submit(event)
+        if shard.sup.degraded:
+            self._begin_restart(shard)
+        if not admitted:
+            self.metrics.counter("sharded.backpressure").inc()
+        self.metrics.counter("sharded.events").inc()
+        self._events_since_observe += 1
+        if self._events_since_observe >= self._forward_batch:
+            self._broadcast_watermark()
+        return admitted
+
+    def _broadcast_watermark(self) -> None:
+        """Push the tier-wide max event time into every live shard."""
+        self._events_since_observe = 0
+        t = self._max_event_t
+        if t is None:
+            return
+        for shard in self._shards:
+            if shard.failed:
+                continue
+            try:
+                with shard.lock:
+                    shard.sup.observe(t)
+            except DegradedError:
+                pass
+            if shard.sup.degraded:
+                self._begin_restart(shard)
 
     def run_events(
         self, events: Iterable[Event], *, max_events: int | None = None
@@ -398,13 +507,21 @@ class ShardedDetectionService:
         return consumed
 
     def flush(self) -> None:
-        """Forward and drain every live shard (waits out active restarts)."""
+        """Forward and drain every live shard (waits out active restarts).
+
+        In page mode the global watermark is re-broadcast afterwards so
+        every shard's eviction cutoff lands on the tier-wide final value
+        before any partial weights are exchanged.
+        """
         for shard in self._shards:
             if shard.failed:
                 continue
             self._await_restart(shard)
             with shard.lock:
                 shard.sup.flush()
+        if self._page_mode:
+            self._aggregate = None
+            self._broadcast_watermark()
 
     # -- restart machinery -------------------------------------------------
     def _begin_restart(self, shard: _Shard) -> None:
@@ -468,7 +585,7 @@ class ShardedDetectionService:
         )
 
     # -- queries -----------------------------------------------------------
-    def _query(self, shard_id: int, fn):
+    def _query(self, shard_id: int, fn: Callable[[ServeSupervisor], Any]) -> Any:
         """Run *fn(supervisor)* on one shard under its lock, 503-typed."""
         shard = self._shards[shard_id]
         if shard.failed:
@@ -495,6 +612,40 @@ class ShardedDetectionService:
             if shard.sup.degraded:
                 self._begin_restart(shard)
 
+    def _aggregate_view(self) -> AggregateView:
+        """The memoized cross-shard aggregate (page mode's query engine).
+
+        Runs the partial-weight exchange when stale: flush every shard,
+        have each publish its ``w'``/``P'``/incidence partials through
+        the shm output path, claim and merge them, then threshold and
+        score once in an :class:`AggregateView`.  A dead shard raises
+        :class:`ShardUnavailableError` — an exchange needs every
+        partition, so page-mode aggregate queries 503 until the shard's
+        restart completes.
+        """
+        with self._agg_lock:
+            if self._aggregate is not None:
+                return self._aggregate
+            self.flush()
+            with self.metrics.time("sharded.exchange"):
+                partials = []
+                for shard in self._shards:
+                    payload = self._query(
+                        shard.sid,
+                        lambda sup, sid=shard.sid: sup.partial_state(
+                            self._shm_prefix, sid, self.n_shards
+                        ),
+                    )
+                    partials.append(claim_partial_weights(payload))
+                merged = merge_partials(partials, self.n_shards)
+            self.metrics.counter("sharded.exchanges").inc()
+            self.metrics.counter("sharded.exchange_bytes").inc(
+                merged.exchange_bytes
+            )
+            view = AggregateView(merged, self.config)
+            self._aggregate = view
+            return view
+
     def shard_for(self, author: str) -> int:
         """The shard authoritative for *author* (the routing rule)."""
         return shard_of(author, self.n_shards)
@@ -502,15 +653,30 @@ class ShardedDetectionService:
     def user_score(self, author: str) -> dict:
         """Route :meth:`DetectionEngine.user_score` to the owner shard."""
         with self.metrics.time("sharded.query.user"):
+            if self._page_mode:
+                return self._aggregate_view().user_score(author)
             sid = self.shard_for(author)
             return self._query(sid, lambda sup: sup.user_score(author))
 
     def top_k_triplets(self, k: int = 10, by: str = "t") -> list[dict]:
-        """Global top-k: gather each shard's owned candidates and merge."""
+        """Global top-k: gather each shard's owned candidates and merge.
+
+        Page mode runs the same owner-sliced merge over the aggregate:
+        each user-hash owner's candidate list comes out of the exchanged
+        weights, and :func:`merge_topk` stitches them exactly as in
+        replicated mode.
+        """
         _merge_key(by)  # validate the ranking before any pipe roundtrip
         if by == "c" and not self.config.compute_hypergraph:
             raise ValueError("ranking by C requires compute_hypergraph=True")
         with self.metrics.time("sharded.query.topk"):
+            if self._page_mode:
+                view = self._aggregate_view()
+                per_owner = [
+                    view.owned_top_k(k, by, sid, self.n_shards)
+                    for sid in range(self.n_shards)
+                ]
+                return merge_topk(per_owner, k, by)
             per_shard = [
                 self._query(
                     shard.sid,
@@ -523,6 +689,12 @@ class ShardedDetectionService:
             return merge_topk(per_shard, k, by)
 
     def _gather_fragments(self) -> list[dict]:
+        if self._page_mode:
+            view = self._aggregate_view()
+            return [
+                view.owned_fragment(sid, self.n_shards)
+                for sid in range(self.n_shards)
+            ]
         return [
             self._query(
                 shard.sid,
@@ -545,14 +717,39 @@ class ShardedDetectionService:
                 self._gather_fragments(), self.config.min_component_size
             )
 
-    def engine_clone(self, shard_id: int = 0):
+    def ci_edges(self) -> dict[tuple[str, str], int]:
+        """Merged CI pair weights at the cutoff (page mode only).
+
+        The parity harness diffs this against the single-engine oracle's
+        :meth:`DetectionEngine.ci_edges`; replicated shards hold full
+        engines, so there :meth:`engine_clone` is the richer probe.
+        """
+        if not self._page_mode:
+            raise ValueError("ci_edges() requires ingest_sharding='page'")
+        return self._aggregate_view().ci_edges()
+
+    def page_counts(self) -> dict[str, int]:
+        """Merged nonzero ``P'`` entries keyed by author name (page mode)."""
+        if not self._page_mode:
+            raise ValueError("page_counts() requires ingest_sharding='page'")
+        return self._aggregate_view().page_counts()
+
+    def engine_clone(self, shard_id: int = 0) -> DetectionEngine:
         """A private :class:`DetectionEngine` cloned from one live shard.
 
         The child publishes its full state through the shm output path;
         this process claims the segments (copy + unlink) and rehydrates.
         Exactness riders: the clone answers every query identically to
-        the shard it came from.
+        the shard it came from.  Page-mode shards hold only their page
+        slice (under a ledger-only config), so no single shard *has* a
+        full engine to clone — use :meth:`ci_edges` / the query facade
+        instead.
         """
+        if self._page_mode:
+            raise ValueError(
+                "engine_clone requires ingest_sharding='replicated': "
+                "page-partitioned shards each hold only their page slice"
+            )
         payload = self._query(
             shard_id, lambda sup: sup.engine_state(self._shm_prefix)
         )
@@ -582,6 +779,7 @@ class ShardedDetectionService:
         return {
             "sharded": True,
             "n_shards": self.n_shards,
+            "ingest_sharding": self.ingest_sharding,
             "healthy": all(s["up"] for s in shards),
             "shards": shards,
             "metrics": self.metrics.to_dict(),

@@ -131,6 +131,14 @@ def _child_main(conn, config, durable, service_kwargs) -> None:
                 elif op == "drain":
                     svc.drain_all()
                     conn.send(("ok", position()))
+                elif op == "observe":
+                    # Global watermark sync (page-partitioned ingest):
+                    # fold the tier-wide max event time in, then tick so
+                    # the advanced eviction cutoff is applied even when
+                    # this shard has no pending events of its own.
+                    svc.observe(msg[1])
+                    svc.tick()
+                    conn.send(("ok", position()))
                 elif op == "status":
                     conn.send(("ok", svc.status()))
                 elif op == "results":
@@ -170,6 +178,20 @@ def _child_main(conn, config, durable, service_kwargs) -> None:
                     if writer is None:
                         writer = OutputWriter(msg[1])
                     conn.send(("ok", publish_engine_state(svc.engine, writer)))
+                elif op == "partial_shm":
+                    from repro.serve.exchange import publish_partial_weights
+
+                    prefix, shard_id, n_shards = msg[1]
+                    if writer is None:
+                        writer = OutputWriter(prefix)
+                    conn.send(
+                        (
+                            "ok",
+                            publish_partial_weights(
+                                svc.engine, shard_id, n_shards, writer
+                            ),
+                        )
+                    )
                 elif op == "sync":
                     if durable:
                         svc.wal.sync()
@@ -455,6 +477,16 @@ class ServeSupervisor:
         except DegradedError:
             pass
 
+    def observe(self, event_time: int) -> None:
+        """Advance the child's watermark to a tier-wide event time.
+
+        The child folds the timestamp in and ticks, so the broadcast
+        eviction cutoff is applied immediately — see
+        :meth:`DetectionService.observe` for why page-partitioned
+        ingest needs this.
+        """
+        self._request("observe", int(event_time))
+
     # -- queries -----------------------------------------------------------
     def results(self):
         """The child's current :class:`PipelineResult` snapshot."""
@@ -496,6 +528,17 @@ class ServeSupervisor:
         :func:`repro.exec.shm.sweep_segments` is the crash backstop.
         """
         return self._request("state_shm", shm_prefix)
+
+    def partial_state(self, shm_prefix: str, shard_id: int, n_shards: int) -> dict:
+        """Publish the child's partial CI weights into shared memory.
+
+        The page-hash exchange: returns the payload of
+        :func:`repro.serve.exchange.publish_partial_weights`, which the
+        caller must claim
+        (:func:`repro.serve.exchange.claim_partial_weights`) — the same
+        claim-or-sweep contract as :meth:`engine_state`.
+        """
+        return self._request("partial_shm", (shm_prefix, shard_id, n_shards))
 
     def status(self) -> dict:
         """Child status (when reachable) + supervision counters."""

@@ -381,6 +381,72 @@ def _compare_layers(base: dict, fresh: dict, rep: GateReport) -> None:
                 )
 
 
+def _compare_ingest_shard(base: dict, fresh: dict, rep: GateReport) -> None:
+    cmp = _Comparator(rep)
+    if base.get("scale") != fresh.get("scale"):
+        rep.errors.append(
+            f"BENCH_ingest_shard: scale mismatch (baseline "
+            f"{base.get('scale')!r} vs fresh {fresh.get('scale')!r}) — "
+            "rerun at baseline scale"
+        )
+        return
+    cmp.seconds(
+        "ingest_shard.single.seconds",
+        float(base["single"]["seconds"]),
+        float(fresh["single"]["seconds"]),
+    )
+    for mode, b_counts in base.get("modes", {}).items():
+        f_counts = fresh.get("modes", {}).get(mode, {})
+        for n, b in b_counts.items():
+            f = f_counts.get(n)
+            if f is None:
+                rep.errors.append(
+                    f"ingest_shard.modes[{mode}][{n}]: missing from fresh "
+                    "results"
+                )
+                continue
+            cmp.seconds(
+                f"ingest_shard.modes[{mode}][{n}].seconds",
+                float(b["seconds"]),
+                float(f["seconds"]),
+            )
+    # The headline partitioning claims are absolute, not
+    # baseline-relative (the same invariants the bench itself asserts —
+    # the gate re-checks the *committed* numbers so a stale result file
+    # cannot hide a broken exchange):
+    #   - both modes must report exact parity with the oracle;
+    #   - page mode must partition the stream (totals sum to the stream,
+    #     hottest shard within the balance slack), while replicated mode
+    #     must fan out N copies.
+    n_events = int(fresh.get("n_events", 0))
+    slack = float(fresh.get("page_balance_slack", 0.0))
+    for mode, f_counts in fresh.get("modes", {}).items():
+        for n, f in f_counts.items():
+            tag = f"ingest_shard.modes[{mode}][{n}]"
+            if not f.get("parity_ok", False):
+                rep.errors.append(
+                    f"{tag}.parity_ok: sharded answers diverged from the "
+                    "single-engine oracle"
+                )
+            total = int(f.get("total_shard_events", -1))
+            expected = n_events if mode == "page" else int(n) * n_events
+            if total != expected:
+                rep.errors.append(
+                    f"{tag}.total_shard_events: {total} != {expected} — "
+                    "ingest no longer "
+                    + ("partitions" if mode == "page" else "replicates")
+                )
+            if mode == "page" and int(n) > 1 and slack > 0.0:
+                bound = n_events * slack / int(n)
+                hottest = int(f.get("max_shard_events", 0))
+                if hottest > bound:
+                    rep.errors.append(
+                        f"{tag}.max_shard_events: hottest shard ingested "
+                        f"{hottest} events, above the committed "
+                        f"{slack:g}/N balance bound ({bound:.0f})"
+                    )
+
+
 # name -> (comparator, required).  Required baselines must have a fresh
 # counterpart (CI runs those benches every time); optional ones — the
 # full-scale parallel bench takes minutes on a big host — are compared
@@ -395,6 +461,8 @@ _COMPARATORS = {
     "BENCH_serve_http.json": (_compare_serve_http, False),
     "BENCH_layers_smoke.json": (_compare_layers, True),
     "BENCH_layers.json": (_compare_layers, False),
+    "BENCH_ingest_shard_smoke.json": (_compare_ingest_shard, True),
+    "BENCH_ingest_shard.json": (_compare_ingest_shard, False),
 }
 
 

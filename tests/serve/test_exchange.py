@@ -1,0 +1,196 @@
+"""Tests for page-hash ingest sharding and the partial-weight exchange."""
+
+import pytest
+
+from repro.graph.filters import AuthorFilter
+from repro.pipeline.config import PipelineConfig
+from repro.projection import TimeWindow
+from repro.serve import (
+    DetectionService,
+    PartialExchangeError,
+    PartialWeights,
+    ShardUnavailableError,
+    ShardedDetectionService,
+    merge_partials,
+    page_shard_of,
+    shard_of,
+)
+
+pytestmark = pytest.mark.serve
+
+CONFIG = PipelineConfig(
+    window=TimeWindow(0, 120),
+    min_triangle_weight=1,
+    min_component_size=2,
+    author_filter=AuthorFilter.none(),
+    compute_hypergraph=True,
+)
+
+
+def stream(n=400):
+    """In-order events (timestamp order keeps final state topology-free)."""
+    return [("u%d" % (i % 18), "p%d" % (i % 6), i) for i in range(n)]
+
+
+def make_tier(n_shards=2, **kw):
+    kw.setdefault("ingest_sharding", "page")
+    kw.setdefault("window_horizon", 10_000)
+    kw.setdefault("batch_size", 32)
+    kw.setdefault("forward_batch", 64)
+    kw.setdefault("heartbeat_timeout", 20.0)
+    kw.setdefault("restart_backoff", 0.01)
+    return ShardedDetectionService(CONFIG, n_shards=n_shards, **kw)
+
+
+def oracle_service(events, **kw):
+    kw.setdefault("window_horizon", 10_000)
+    svc = DetectionService(CONFIG, batch_size=32, **kw)
+    svc.run_events(events)
+    return svc
+
+
+def partial(sid, n, pairs=(), pages=(), inc=(), nbytes=0):
+    return PartialWeights(
+        shard_id=sid,
+        n_shards=n,
+        pair_weights=dict(pairs),
+        page_counts=dict(pages),
+        incidence={u: dict(ps) for u, ps in inc},
+        filtered_names=(),
+        filtered_comments=0,
+        n_live_comments=sum(w for _, w in pairs),
+        nbytes=nbytes,
+    )
+
+
+class TestMergePartials:
+    def test_weights_sum_additively(self):
+        merged = merge_partials(
+            [
+                partial(0, 2, pairs=[(("a", "b"), 2)], pages=[("a", 1)]),
+                partial(1, 2, pairs=[(("a", "b"), 3), (("b", "c"), 1)]),
+            ],
+            2,
+        )
+        assert merged.pair_weights == {("a", "b"): 5, ("b", "c"): 1}
+        assert merged.page_counts == {"a": 1}
+
+    def test_duplicate_delivery_is_idempotent(self):
+        # A retried gather redelivers a shard's partial; summing it twice
+        # would double every weight that shard contributed.
+        p0 = partial(0, 2, pairs=[(("a", "b"), 2)], nbytes=64)
+        p1 = partial(1, 2, pairs=[(("a", "b"), 3)], nbytes=32)
+        once = merge_partials([p0, p1], 2)
+        redelivered = merge_partials([p0, p1, p0, p1, p0], 2)
+        assert redelivered.pair_weights == once.pair_weights == {("a", "b"): 5}
+        assert redelivered.exchange_bytes == once.exchange_bytes == 96
+
+    def test_missing_shard_raises_instead_of_undercounting(self):
+        with pytest.raises(PartialExchangeError, match=r"shard\(s\) \[1\]"):
+            merge_partials([partial(0, 2)], 2)
+
+    def test_topology_disagreement_raises(self):
+        with pytest.raises(PartialExchangeError, match="built for 3"):
+            merge_partials([partial(0, 3), partial(1, 2)], 2)
+        with pytest.raises(PartialExchangeError, match="out of range"):
+            merge_partials([partial(0, 2), partial(5, 2)], 2)
+
+
+class TestPageModeTier:
+    def test_foreign_owner_page_stays_exact(self):
+        # A page whose commenters ALL user-hash to other shards is the
+        # case replicated ingest never has: the ingest shard holding the
+        # page's ledger owns none of its authors' answers.  The exchange
+        # must still hand the user-hash owners the full weights.
+        n = 2
+        authors = ["u%d" % i for i in range(40) if shard_of("u%d" % i, n) == 0]
+        page = next(
+            "p%d" % i for i in range(40) if page_shard_of("p%d" % i, n) == 1
+        )
+        trio = authors[:3]
+        events = sorted(
+            [(a, page, 10 * i + j) for i, a in enumerate(trio * 4) for j in (0,)]
+            + [(a, "filler", 200 + i) for i, a in enumerate(trio)],
+            key=lambda e: e[2],
+        )
+        oracle = oracle_service(events)
+        with make_tier(n_shards=n) as tier:
+            tier.run_events(events)
+            # The foreign page's pairs survived the exchange verbatim.
+            assert tier.ci_edges() == oracle.engine.ci_edges()
+            for author in trio:
+                assert tier.user_score(author) == oracle.user_score(author)
+            assert tier.top_k_triplets(10) == oracle.top_k_triplets(10)
+
+    def test_eviction_parity_via_watermark_broadcast(self):
+        # A narrow horizon forces eviction; page-partitioned shards only
+        # see their slice of the stream, so without the broadcast
+        # watermark an idle shard would never advance its cutoff.
+        events = stream(400)
+        oracle = oracle_service(events, window_horizon=120)
+        with make_tier(n_shards=4, window_horizon=120) as tier:
+            tier.run_events(events)
+            assert tier.ci_edges() == oracle.engine.ci_edges()
+            assert tier.page_counts() == oracle.engine.page_counts()
+            assert tier.top_k_triplets(25) == oracle.top_k_triplets(25)
+            assert tier.components() == oracle.components()
+
+    def test_status_reports_mode_and_exchange_metrics(self):
+        with make_tier(n_shards=2) as tier:
+            tier.run_events(stream(200))
+            tier.top_k_triplets(5)
+            status = tier.status()
+            assert status["ingest_sharding"] == "page"
+            counters = status["metrics"]["counters"]
+            assert counters["sharded.exchanges"] >= 1
+            assert counters["sharded.exchange_bytes"] > 0
+            # Page partitioning: per-shard submissions sum to the stream.
+            submitted = sum(
+                s["status"]["submitted_events"] for s in status["shards"]
+            )
+            assert submitted == 200
+
+    def test_engine_clone_refuses_partial_slices(self):
+        with make_tier(n_shards=2) as tier:
+            tier.run_events(stream(60))
+            with pytest.raises(ValueError, match="replicated"):
+                tier.engine_clone(0)
+
+    def test_ledger_accessors_require_page_mode(self):
+        with make_tier(n_shards=2, ingest_sharding="replicated") as tier:
+            tier.run_events(stream(60))
+            with pytest.raises(ValueError, match="page"):
+                tier.ci_edges()
+            with pytest.raises(ValueError, match="page"):
+                tier.page_counts()
+
+    def test_rejects_unknown_ingest_mode(self):
+        with pytest.raises(ValueError, match="ingest_sharding"):
+            ShardedDetectionService(
+                CONFIG, n_shards=2, ingest_sharding="broadcast"
+            )
+
+
+@pytest.mark.faults
+class TestExchangeFaults:
+    def test_dead_ingest_shard_fails_aggregate_queries_typed(self):
+        # Page mode has coarser availability than replicated: every
+        # aggregate answer needs every shard's partial, so one dead
+        # ingest shard 503s the whole surface — typed, never silently
+        # under-counted.
+        events = stream(300)
+        with make_tier(n_shards=2, max_shard_restarts=0) as tier:
+            tier.run_events(events)
+            victim = 1
+            tier._shards[victim].sup.kill_child()
+            with pytest.raises(ShardUnavailableError) as excinfo:
+                tier.top_k_triplets(10)
+            assert excinfo.value.shard_id == victim
+            # Even an author whose user-hash owner is alive: the owner
+            # cannot aggregate without the dead shard's partial.
+            live_author = next(
+                a for a in ("u%d" % i for i in range(18))
+                if shard_of(a, 2) != victim
+            )
+            with pytest.raises(ShardUnavailableError):
+                tier.user_score(live_author)
